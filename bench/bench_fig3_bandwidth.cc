@@ -1,0 +1,92 @@
+// Figure 3: data-transfer bandwidth using CUDA and OpenCL across GPUs,
+// host-to-device (H2D) and device-to-host (D2H), pageable vs pinned memory.
+//
+// Expected shape (paper): CUDA shows a higher bandwidth range than OpenCL
+// (OpenCL pays translation overhead); pinned memory roughly doubles
+// pageable bandwidth; the PCIe 4.0 setup outruns the PCIe 3.0 one.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace adamant::bench {
+namespace {
+
+void TransferBench(benchmark::State& state, sim::DriverKind kind,
+                   sim::HardwareSetup setup, bool h2d, bool pinned) {
+  BenchRig rig = BenchRig::Make(kind, setup);
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> host(bytes);
+
+  for (auto _ : state) {
+    rig.dev()->ResetTimelines();
+    BufferId buf;
+    if (pinned) {
+      auto r = rig.dev()->AddPinnedMemory(bytes);
+      ADAMANT_CHECK(r.ok());
+      buf = *r;
+    } else {
+      auto r = rig.dev()->PrepareMemory(bytes);
+      ADAMANT_CHECK(r.ok());
+      buf = *r;
+    }
+    const double t0 = rig.dev()->MaxCompletion();
+    Status st = h2d ? rig.dev()->PlaceData(buf, host.data(), bytes, 0)
+                    : rig.dev()->RetrieveData(buf, host.data(), bytes, 0);
+    ADAMANT_CHECK(st.ok());
+    const double elapsed_us = rig.dev()->MaxCompletion() - t0;
+    state.SetIterationTime(sim::SecFromUs(elapsed_us));
+    state.counters["GiB/s"] = static_cast<double>(bytes) /
+                              (1024.0 * 1024 * 1024) /
+                              sim::SecFromUs(elapsed_us);
+    ADAMANT_CHECK(rig.dev()->DeleteMemory(buf).ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) *
+                          static_cast<int64_t>(state.iterations()));
+}
+
+void RegisterAll() {
+  struct Combo {
+    const char* name;
+    sim::DriverKind kind;
+    sim::HardwareSetup setup;
+  };
+  const Combo combos[] = {
+      {"cuda/2080Ti", sim::DriverKind::kCudaGpu, sim::HardwareSetup::kSetup1},
+      {"opencl/2080Ti", sim::DriverKind::kOpenClGpu,
+       sim::HardwareSetup::kSetup1},
+      {"cuda/A100", sim::DriverKind::kCudaGpu, sim::HardwareSetup::kSetup2},
+      {"opencl/A100", sim::DriverKind::kOpenClGpu,
+       sim::HardwareSetup::kSetup2},
+  };
+  for (const Combo& combo : combos) {
+    for (bool h2d : {true, false}) {
+      for (bool pinned : {false, true}) {
+        std::string name = std::string("fig3/") + combo.name +
+                           (h2d ? "/H2D" : "/D2H") +
+                           (pinned ? "/pinned" : "/pageable");
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [combo, h2d, pinned](benchmark::State& state) {
+              TransferBench(state, combo.kind, combo.setup, h2d, pinned);
+            })
+            ->RangeMultiplier(4)
+            ->Range(1 << 20, 256 << 20)
+            ->UseManualTime()
+        ->Iterations(2);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adamant::bench
+
+int main(int argc, char** argv) {
+  adamant::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 5: throughput of the map and reduce (AGG_BLOCK) primitives across
+// the four drivers, input sizes up to 2^28 int32 values.
+//
+// Expected shape (paper): for these simple streaming primitives, OpenCL and
+// the device-aware implementations (CUDA, OpenMP) perform mostly the same
+// on each device class; GPUs are an order of magnitude above CPUs.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace adamant::bench {
+namespace {
+
+// Run actual 2^22 elements; scale charges nominal state.range(0) tuples.
+constexpr size_t kActualElems = size_t{1} << 22;
+
+void PrimitiveBench(benchmark::State& state, sim::DriverKind kind,
+                    bool reduce) {
+  const auto nominal = static_cast<size_t>(state.range(0));
+  BenchRig rig = BenchRig::Make(kind);
+  rig.manager->SetDataScale(static_cast<double>(nominal) /
+                            static_cast<double>(kActualElems));
+  std::vector<int32_t> data(kActualElems);
+  std::iota(data.begin(), data.end(), 0);
+
+  for (auto _ : state) {
+    rig.dev()->ResetTimelines();
+    auto in = rig.dev()->PrepareMemory(kActualElems * 4);
+    auto out = rig.dev()->PrepareMemory(reduce ? 8 : kActualElems * 4);
+    ADAMANT_CHECK(in.ok() && out.ok());
+    ADAMANT_CHECK(
+        rig.dev()->PlaceData(*in, data.data(), kActualElems * 4, 0).ok());
+    const double t0 = rig.dev()->MaxCompletion();
+    KernelLaunch launch =
+        reduce ? kernels::MakeAggBlock(*in, *out, AggOp::kSum,
+                                       ElementType::kInt32, true,
+                                       kActualElems)
+               : kernels::MakeMap(*in, kInvalidBuffer, *out, MapOp::kAddScalar,
+                                  ElementType::kInt32, ElementType::kInt32, 1,
+                                  kActualElems);
+    ADAMANT_CHECK(rig.dev()->Execute(launch).ok());
+    const double elapsed_us = rig.dev()->MaxCompletion() - t0;
+    state.SetIterationTime(sim::SecFromUs(elapsed_us));
+    state.counters["Gtuples/s"] =
+        static_cast<double>(nominal) / 1e9 / sim::SecFromUs(elapsed_us);
+    ADAMANT_CHECK(rig.dev()->DeleteMemory(*in).ok());
+    ADAMANT_CHECK(rig.dev()->DeleteMemory(*out).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(nominal) *
+                          static_cast<int64_t>(state.iterations()));
+}
+
+void RegisterAll() {
+  for (auto [name, kind] :
+       std::vector<std::pair<const char*, sim::DriverKind>>{
+           {"opencl_gpu", sim::DriverKind::kOpenClGpu},
+           {"cuda_gpu", sim::DriverKind::kCudaGpu},
+           {"opencl_cpu", sim::DriverKind::kOpenClCpu},
+           {"openmp_cpu", sim::DriverKind::kOpenMpCpu}}) {
+    for (bool reduce : {false, true}) {
+      std::string bench_name = std::string("fig5/") +
+                               (reduce ? "reduce/" : "map/") + name;
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [kind = kind, reduce](benchmark::State& state) {
+            PrimitiveBench(state, kind, reduce);
+          })
+          ->RangeMultiplier(16)
+          ->Range(1 << 20, 1 << 28)
+          ->UseManualTime()
+        ->Iterations(2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adamant::bench
+
+int main(int argc, char** argv) {
+  adamant::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+#ifndef ADAMANT_BENCH_BENCH_UTIL_H_
+#define ADAMANT_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the figure-reproduction benchmarks.
+//
+// All benchmarks report *simulated* time: runs execute the real kernels on
+// scaled-down data while the device models charge nominal-size costs (see
+// DESIGN.md §2). google-benchmark's manual-time mode is fed the simulated
+// seconds, so the reported "time" columns are simulated durations.
+
+#include <memory>
+#include <string>
+
+#include "adamant/adamant.h"
+
+namespace adamant::bench {
+
+/// Actual generated scale factor; benchmarks set DeviceManager::data_scale
+/// to nominal_sf / kActualSf.
+constexpr double kActualSf = 0.02;
+
+inline const Catalog& SharedCatalog() {
+  static const Catalog* const kCatalog = [] {
+    tpch::TpchConfig config;
+    config.scale_factor = kActualSf;
+    config.include_dimension_tables = false;
+    auto catalog = tpch::Generate(config);
+    ADAMANT_CHECK(catalog.ok()) << catalog.status().ToString();
+    return new Catalog(**catalog);
+  }();
+  return *kCatalog;
+}
+
+struct BenchRig {
+  std::unique_ptr<DeviceManager> manager;
+  DeviceId device = 0;
+
+  static BenchRig Make(sim::DriverKind kind,
+                       sim::HardwareSetup setup = sim::HardwareSetup::kSetup1,
+                       double nominal_sf = kActualSf) {
+    BenchRig rig;
+    rig.manager = std::make_unique<DeviceManager>(setup);
+    rig.manager->SetDataScale(nominal_sf / kActualSf);
+    auto device = rig.manager->AddDriver(kind);
+    ADAMANT_CHECK(device.ok()) << device.status().ToString();
+    rig.device = *device;
+    ADAMANT_CHECK(BindStandardKernels(rig.manager->device(*device)).ok());
+    return rig;
+  }
+
+  SimulatedDevice* dev() const { return manager->device(device); }
+};
+
+inline plan::PlanBundle BuildQuery(int query, const Catalog& catalog,
+                                   DeviceId device) {
+  switch (query) {
+    case 1:
+      return std::move(*plan::BuildQ1(catalog, {}, device));
+    case 3:
+      return std::move(*plan::BuildQ3(catalog, {}, device));
+    case 4:
+      return std::move(*plan::BuildQ4(catalog, {}, device));
+    default:
+      return std::move(*plan::BuildQ6(catalog, {}, device));
+  }
+}
+
+}  // namespace adamant::bench
+
+#endif  // ADAMANT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,94 @@
+// Cross-device and cross-SDK execution: ADAMANT's runtime routes data
+// between plugged devices through the transfer hub, so one primitive graph
+// can mix devices — and the task layer's transformation table converts a
+// buffer between SDK representations in place (Fig. 4) instead of bouncing
+// it through the host.
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "adamant/adamant.h"
+
+using namespace adamant;  // NOLINT — example brevity
+
+int main() {
+  DeviceManager manager;
+  auto cpu = manager.AddDriver(sim::DriverKind::kOpenMpCpu);
+  auto gpu = manager.AddDriver(sim::DriverKind::kCudaGpu);
+  if (!cpu.ok() || !gpu.ok()) return 1;
+  if (!BindStandardKernels(manager.device(*cpu)).ok()) return 1;
+  if (!BindStandardKernels(manager.device(*gpu)).ok()) return 1;
+
+  // --- Part 1: a plan whose filter half runs on the CPU and whose
+  //     aggregation half runs on the GPU. ---
+  std::vector<int32_t> values(1 << 20);
+  std::iota(values.begin(), values.end(), 0);
+  auto col = Column::FromVector("v", values);
+
+  PrimitiveGraph graph;
+  NodeConfig fcfg;
+  fcfg.cmp_op = CmpOp::kLt;
+  fcfg.lo = 1 << 19;
+  int filter = graph.AddNode(PrimitiveKind::kFilterBitmap, *cpu, fcfg,
+                             "cpu.filter");
+  NodeConfig mcfg;
+  mcfg.selectivity = 0.55;
+  int mat = graph.AddNode(PrimitiveKind::kMaterialize, *cpu, mcfg, "cpu.mat");
+  NodeConfig acfg;
+  acfg.agg_op = AggOp::kSum;
+  int agg = graph.AddNode(PrimitiveKind::kAggBlock, *gpu, acfg, "gpu.agg");
+  if (!graph.ConnectScan(col, filter, 0).ok()) return 1;
+  if (!graph.ConnectScan(col, mat, 0).ok()) return 1;
+  if (!graph.Connect(filter, 0, mat, 1).ok()) return 1;
+  if (!graph.Connect(mat, 0, agg, 0).ok()) return 1;
+
+  ExecutionOptions options;
+  options.model = ExecutionModelKind::kChunked;
+  options.chunk_elems = 1 << 18;
+  QueryExecutor executor(&manager);
+  auto exec = executor.Run(&graph, options);
+  if (!exec.ok()) {
+    std::fprintf(stderr, "%s\n", exec.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t expected =
+      (int64_t{1} << 19) * ((int64_t{1} << 19) - 1) / 2;
+  std::printf("CPU-filter -> GPU-aggregate plan:\n");
+  std::printf("  sum = %lld (%s), %.3f ms simulated\n",
+              static_cast<long long>(*exec->AggValue(agg)),
+              *exec->AggValue(agg) == expected ? "correct" : "WRONG",
+              sim::MsFromUs(exec->stats.elapsed_us));
+  std::printf("  bytes routed device->host->device: %zu\n\n",
+              exec->stats.bytes_d2h);
+
+  // --- Part 2: SDK-format conversion on one device — transform_memory vs
+  //     the naive host round-trip. ---
+  const size_t bytes = 64 << 20;
+  std::vector<uint8_t> host(bytes);
+  std::printf("Converting a %zu MiB cl-style buffer to a Thrust view:\n",
+              bytes >> 20);
+  for (bool allow_transform : {true, false}) {
+    DataTransferHub hub(&manager,
+                        allow_transform
+                            ? DataContainer::WithDefaultTransforms()
+                            : DataContainer::WithoutTransforms());
+    manager.device(*gpu)->ResetTimelines();
+    auto buf = hub.LoadData(*gpu, host.data(), bytes);
+    if (!buf.ok()) return 1;
+    const double t0 = manager.device(*gpu)->MaxCompletion();
+    auto converted =
+        hub.EnsureFormat(*gpu, *buf, SdkFormat::kThrustVector, bytes);
+    if (!converted.ok()) return 1;
+    const double us = manager.device(*gpu)->MaxCompletion() - t0;
+    std::printf("  %-26s: %10.1f us\n",
+                allow_transform ? "transform_memory (in place)"
+                                : "naive host round-trip",
+                us);
+    (void)manager.device(*gpu)->DeleteMemory(*converted);
+  }
+  std::printf(
+      "\nThe transformation table makes the conversion metadata-only —\n"
+      "exactly the unwanted transfers Fig. 4's transform interface avoids.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Larger-than-memory query processing (Section IV-A/B): the same TPC-H Q6
+// at a scale whose working set exceeds device memory fails under
+// operator-at-a-time but streams through under the chunked models, using
+// only a chunk-sized slice of device memory.
+
+#include <cstdio>
+
+#include "adamant/adamant.h"
+
+using namespace adamant;  // NOLINT — example brevity
+
+int main() {
+  auto catalog = tpch::Generate(
+      {.scale_factor = 0.02, .include_dimension_tables = false});
+  if (!catalog.ok()) return 1;
+
+  // SF 100: Q6 reads ~11.1 GiB of lineitem columns — more than the
+  // RTX 2080 Ti's 11 GiB of device memory.
+  DeviceManager manager(sim::HardwareSetup::kSetup1);
+  manager.SetDataScale(100.0 / 0.02);
+  auto gpu = manager.AddDriver(sim::DriverKind::kCudaGpu);
+  if (!gpu.ok() || !BindStandardKernels(manager.device(*gpu)).ok()) return 1;
+
+  auto bundle = plan::BuildQ6(**catalog, {}, *gpu);
+  if (!bundle.ok()) return 1;
+  const double input_gib = static_cast<double>(
+                               plan::QueryInputBytes(*bundle)) *
+                           manager.data_scale() / (1024.0 * 1024 * 1024);
+  std::printf("TPC-H Q6 at nominal SF 100: %.1f GiB of input columns\n",
+              input_gib);
+  std::printf("Device: %s with %.1f GiB global memory\n\n",
+              manager.device(*gpu)->name().c_str(),
+              static_cast<double>(
+                  manager.device(*gpu)->perf_model().device_memory_bytes) /
+                  (1024.0 * 1024 * 1024));
+
+  QueryExecutor executor(&manager);
+
+  // Operator-at-a-time: whole columns resident -> out of memory.
+  {
+    ExecutionOptions options;
+    options.model = ExecutionModelKind::kOperatorAtATime;
+    auto exec = executor.Run(bundle->graph.get(), options);
+    std::printf("operator-at-a-time : %s\n",
+                exec.ok() ? "unexpectedly succeeded"
+                          : exec.status().ToString().c_str());
+  }
+
+  // Chunked models: bounded device-memory footprint.
+  auto reference = tpch::Q6Reference(**catalog, {});
+  for (auto model :
+       {ExecutionModelKind::kChunked, ExecutionModelKind::kFourPhaseChunked}) {
+    plan::PlanBundle fresh = std::move(*plan::BuildQ6(**catalog, {}, *gpu));
+    ExecutionOptions options;
+    options.model = model;
+    options.chunk_elems = size_t{1} << 25;  // the paper's chunk size
+    auto exec = executor.Run(fresh.graph.get(), options);
+    if (!exec.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", ExecutionModelName(model),
+                   exec.status().ToString().c_str());
+      return 1;
+    }
+    auto revenue = plan::ExtractQ6(fresh, *exec);
+    const auto& dev = exec->stats.devices[static_cast<size_t>(*gpu)];
+    std::printf(
+        "%-18s : %8.1f ms simulated, %zu chunks, peak device memory "
+        "%.2f GiB, result %s\n",
+        ExecutionModelName(model), sim::MsFromUs(exec->stats.elapsed_us),
+        exec->stats.chunks,
+        static_cast<double>(dev.device_mem_high_water) /
+            (1024.0 * 1024 * 1024),
+        revenue.ok() && *revenue == *reference ? "correct" : "WRONG");
+  }
+
+  std::printf(
+      "\nThe chunked models hold only chunk-sized staging plus per-chunk\n"
+      "intermediates on the device — the input size no longer limits what\n"
+      "the co-processor can process (Section IV-B).\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#ifndef ADAMANT_ADAMANT_H_
+#define ADAMANT_ADAMANT_H_
+
+/// Umbrella header for the ADAMANT library — a query executor with plug-in
+/// interfaces for easy co-processor integration (Gurumurthy et al., ICDE
+/// 2023 reproduction).
+///
+/// Layer map (Fig. 2 of the paper):
+///   device/  — the ten pluggable device-interface functions + drivers
+///   task/    — primitive definitions (Table I), kernels, containers
+///   runtime/ — primitive graph, transfer hub, execution models
+///   plan/    — TPC-H plans as primitive graphs
+///   sim/     — calibrated co-processor performance models (substitution
+///              for physical GPUs; see DESIGN.md §2)
+
+#include "baseline/heavydb_model.h"
+#include "common/date.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "device/device.h"
+#include "device/device_manager.h"
+#include "device/drivers.h"
+#include "device/sim_device.h"
+#include "plan/logical_plan.h"
+#include "plan/lowering.h"
+#include "plan/placement_optimizer.h"
+#include "plan/tpch_logical.h"
+#include "plan/tpch_plans.h"
+#include "runtime/chunk_tuner.h"
+#include "runtime/executor.h"
+#include "runtime/primitive_graph.h"
+#include "runtime/transfer_hub.h"
+#include "sim/presets.h"
+#include "sim/trace_export.h"
+#include "storage/table.h"
+#include "task/containers.h"
+#include "task/kernel_registry.h"
+#include "task/kernels.h"
+#include "task/primitive.h"
+#include "tpch/reference.h"
+#include "tpch/tpch_gen.h"
+
+#endif  // ADAMANT_ADAMANT_H_

@@ -1,0 +1,60 @@
+#include "common/aligned_buffer.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+
+namespace adamant {
+
+AlignedBuffer::~AlignedBuffer() { Reset(); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      capacity_(std::exchange(other.capacity_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    capacity_ = std::exchange(other.capacity_, 0);
+  }
+  return *this;
+}
+
+void AlignedBuffer::Resize(size_t new_size) {
+  if (new_size <= capacity_) {
+    if (new_size > size_) {
+      std::memset(data_ + size_, 0, new_size - size_);
+    }
+    size_ = new_size;
+    return;
+  }
+  size_t new_capacity = bit_util::RoundUp(new_size, kAlignment);
+  void* fresh = std::aligned_alloc(kAlignment, new_capacity);
+  ADAMANT_CHECK(fresh != nullptr) << "aligned_alloc of " << new_capacity
+                                  << " bytes failed";
+  std::memset(fresh, 0, new_capacity);
+  if (data_ != nullptr) {
+    std::memcpy(fresh, data_, size_);
+    std::free(data_);
+  }
+  data_ = static_cast<uint8_t*>(fresh);
+  size_ = new_size;
+  capacity_ = new_capacity;
+}
+
+void AlignedBuffer::Reset() {
+  if (data_ != nullptr) {
+    std::free(data_);
+    data_ = nullptr;
+  }
+  size_ = 0;
+  capacity_ = 0;
+}
+
+}  // namespace adamant

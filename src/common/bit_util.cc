@@ -1,0 +1,21 @@
+#include "common/bit_util.h"
+
+#include <bit>
+
+namespace adamant::bit_util {
+
+size_t CountSetBits(const uint64_t* bitmap, size_t num_bits) {
+  size_t full_words = num_bits / 64;
+  size_t count = 0;
+  for (size_t w = 0; w < full_words; ++w) {
+    count += static_cast<size_t>(std::popcount(bitmap[w]));
+  }
+  size_t tail = num_bits % 64;
+  if (tail != 0) {
+    uint64_t mask = (uint64_t{1} << tail) - 1;
+    count += static_cast<size_t>(std::popcount(bitmap[full_words] & mask));
+  }
+  return count;
+}
+
+}  // namespace adamant::bit_util

@@ -1,0 +1,103 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+namespace adamant {
+
+namespace {
+
+// Howard Hinnant's civil-day algorithms (public domain).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  int64_t era = (y >= 0 ? y : y - 399) / 400;
+  int yoe = static_cast<int>(y - era * 400);                        // [0, 399]
+  int doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;         // [0, 365]
+  int doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;                  // [0,146096]
+  return era * 146097 + doe - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y_out, int* m_out, int* d_out) {
+  z += 719468;
+  int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  int doe = static_cast<int>(z - era * 146097);                      // [0,146096]
+  int yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;   // [0, 399]
+  int64_t y = yoe + era * 400;
+  int doy = doe - (365 * yoe + yoe / 4 - yoe / 100);                 // [0, 365]
+  int mp = (5 * doy + 2) / 153;                                      // [0, 11]
+  int d = doy - (153 * mp + 2) / 5 + 1;                              // [1, 31]
+  int m = mp + (mp < 10 ? 3 : -9);                                   // [1, 12]
+  *y_out = static_cast<int>(y + (m <= 2));
+  *m_out = m;
+  *d_out = d;
+}
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysInMonth(int y, int m) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  return m == 2 && IsLeap(y) ? 29 : kDays[m - 1];
+}
+
+}  // namespace
+
+Date Date::FromYmd(int year, int month, int day) {
+  return Date(static_cast<int32_t>(DaysFromCivil(year, month, day)));
+}
+
+Result<Date> Date::Parse(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  char tail = '\0';
+  int matched = std::sscanf(text.c_str(), "%d-%d-%d%c", &y, &m, &d, &tail);
+  if (matched != 3) {
+    return Status::InvalidArgument("expected YYYY-MM-DD, got '" + text + "'");
+  }
+  if (m < 1 || m > 12 || d < 1 || d > DaysInMonth(y, m)) {
+    return Status::InvalidArgument("out-of-range date '" + text + "'");
+  }
+  return FromYmd(y, m, d);
+}
+
+int Date::year() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return y;
+}
+
+int Date::month() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return m;
+}
+
+int Date::day() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return d;
+}
+
+std::string Date::ToString() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+Date Date::AddMonths(int n) const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  int total = y * 12 + (m - 1) + n;
+  int ny = total / 12;
+  int nm = total % 12;
+  if (nm < 0) {
+    nm += 12;
+    ny -= 1;
+  }
+  nm += 1;
+  int nd = d;
+  int max_day = DaysInMonth(ny, nm);
+  if (nd > max_day) nd = max_day;
+  return FromYmd(ny, nm, nd);
+}
+
+}  // namespace adamant

@@ -1,0 +1,53 @@
+#ifndef ADAMANT_COMMON_DATE_H_
+#define ADAMANT_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace adamant {
+
+/// Calendar dates stored as days since the civil epoch 1970-01-01 (negative
+/// for earlier dates). TPC-H dates span 1992-01-01 .. 1998-12-31, so int32
+/// is ample. Columns store these day numbers directly, which lets every date
+/// predicate run as a plain integer comparison on any device.
+class Date {
+ public:
+  Date() = default;
+  explicit Date(int32_t days_since_epoch) : days_(days_since_epoch) {}
+
+  /// Builds a date from a civil year/month/day (proleptic Gregorian).
+  static Date FromYmd(int year, int month, int day);
+
+  /// Parses "YYYY-MM-DD". Rejects malformed strings and out-of-range fields.
+  static Result<Date> Parse(const std::string& text);
+
+  int32_t days() const { return days_; }
+
+  int year() const;
+  int month() const;
+  int day() const;
+
+  /// "YYYY-MM-DD".
+  std::string ToString() const;
+
+  Date AddDays(int32_t n) const { return Date(days_ + n); }
+  /// Civil-calendar month arithmetic; clamps the day to the target month's
+  /// length (e.g. Jan 31 + 1 month = Feb 28/29), matching SQL INTERVAL.
+  Date AddMonths(int n) const;
+
+  friend bool operator==(Date a, Date b) { return a.days_ == b.days_; }
+  friend bool operator!=(Date a, Date b) { return a.days_ != b.days_; }
+  friend bool operator<(Date a, Date b) { return a.days_ < b.days_; }
+  friend bool operator<=(Date a, Date b) { return a.days_ <= b.days_; }
+  friend bool operator>(Date a, Date b) { return a.days_ > b.days_; }
+  friend bool operator>=(Date a, Date b) { return a.days_ >= b.days_; }
+
+ private:
+  int32_t days_ = 0;
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_COMMON_DATE_H_

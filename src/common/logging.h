@@ -1,0 +1,71 @@
+#ifndef ADAMANT_COMMON_LOGGING_H_
+#define ADAMANT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace adamant {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Minimum level that is emitted; messages below it are dropped.
+/// Default: kWarning (keeps test and benchmark output clean).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink. A kFatal message aborts the process on destruction,
+/// which backs ADAMANT_CHECK.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define ADAMANT_LOG(level)                                                 \
+  ::adamant::internal::LogMessage(::adamant::LogLevel::k##level, __FILE__, \
+                                  __LINE__)
+
+/// Always-on invariant check; logs the streamed message and aborts on
+/// failure. Reserved for programming errors — recoverable conditions return
+/// Status instead.
+#define ADAMANT_CHECK(condition) \
+  if (condition) {               \
+  } else                         \
+    ADAMANT_LOG(Fatal) << "Check failed: " #condition " "
+
+#ifndef NDEBUG
+#define ADAMANT_DCHECK(condition) ADAMANT_CHECK(condition)
+#else
+#define ADAMANT_DCHECK(condition) \
+  if (true) {                     \
+  } else                          \
+    ADAMANT_LOG(Fatal)
+#endif
+
+}  // namespace adamant
+
+#endif  // ADAMANT_COMMON_LOGGING_H_

@@ -1,0 +1,62 @@
+#ifndef ADAMANT_COMMON_RANDOM_H_
+#define ADAMANT_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace adamant {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeded xoshiro256**). ADAMANT uses
+/// its own generator instead of <random> so that the TPC-H generator and
+/// every benchmark produce identical data across platforms and compilers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    ADAMANT_DCHECK(lo <= hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_COMMON_RANDOM_H_

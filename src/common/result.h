@@ -1,0 +1,65 @@
+#ifndef ADAMANT_COMMON_RESULT_H_
+#define ADAMANT_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace adamant {
+
+/// Value-or-Status, modeled after arrow::Result. A Result is either OK and
+/// holds a T, or holds a non-OK Status. Accessing the value of an errored
+/// Result aborts (programming error), so call sites either check ok() first
+/// or use ADAMANT_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (mirrors arrow::Result ergonomics).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status. Constructing from an OK status is a bug.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    ADAMANT_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  const T& ValueOrDie() const& {
+    ADAMANT_CHECK(ok()) << "ValueOrDie on errored Result: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    ADAMANT_CHECK(ok()) << "ValueOrDie on errored Result: " << status_.ToString();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    ADAMANT_CHECK(ok()) << "ValueOrDie on errored Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Precondition: ok(). Used by ADAMANT_ASSIGN_OR_RETURN after checking.
+  T ValueUnsafe() && { return std::move(*value_); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_COMMON_RESULT_H_

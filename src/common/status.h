@@ -1,0 +1,124 @@
+#ifndef ADAMANT_COMMON_STATUS_H_
+#define ADAMANT_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace adamant {
+
+/// Error categories used across the ADAMANT code base. The set mirrors the
+/// failure modes of a co-processor query executor: device-side resource
+/// exhaustion, unsupported SDK features, malformed plans, and internal
+/// invariant violations.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfMemory = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kNotSupported = 5,
+  kIOError = 6,
+  kExecutionError = 7,
+  kInternal = 8,
+};
+
+/// Returns a human-readable name for a status code ("OK", "Out of memory"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. ADAMANT never throws; every fallible
+/// operation returns a Status (or Result<T>). The OK status carries no
+/// allocation so that the happy path stays cheap.
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsExecutionError() const { return code() == StatusCode::kExecutionError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "<code name>: <message>" or "OK".
+  std::string ToString() const;
+
+  /// Prefixes the message with additional context, keeping the code.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // nullptr means OK.
+  std::unique_ptr<State> state_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define ADAMANT_RETURN_NOT_OK(expr)                \
+  do {                                             \
+    ::adamant::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#define ADAMANT_CONCAT_IMPL(x, y) x##y
+#define ADAMANT_CONCAT(x, y) ADAMANT_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the status,
+/// otherwise move-assigns the value into `lhs` (which may be a declaration).
+#define ADAMANT_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  ADAMANT_ASSIGN_OR_RETURN_IMPL(                                          \
+      ADAMANT_CONCAT(_adamant_result_, __COUNTER__), lhs, rexpr)
+
+#define ADAMANT_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                  \
+  if (!result_name.ok()) return result_name.status();          \
+  lhs = std::move(result_name).ValueUnsafe();
+
+}  // namespace adamant
+
+#endif  // ADAMANT_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef ADAMANT_COMMON_UNITS_H_
+#define ADAMANT_COMMON_UNITS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adamant {
+
+constexpr size_t kKiB = size_t{1} << 10;
+constexpr size_t kMiB = size_t{1} << 20;
+constexpr size_t kGiB = size_t{1} << 30;
+
+/// TPC-H money values are stored as fixed-point int64 with two decimal
+/// digits, i.e. cents. SUM/AVG on any device is then exact integer math.
+using Money = int64_t;
+constexpr Money kMoneyScale = 100;
+
+constexpr Money MoneyFromDouble(double v) {
+  return static_cast<Money>(v * kMoneyScale + (v >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double MoneyToDouble(Money m) {
+  return static_cast<double>(m) / kMoneyScale;
+}
+
+}  // namespace adamant
+
+#endif  // ADAMANT_COMMON_UNITS_H_

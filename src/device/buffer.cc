@@ -1,0 +1,31 @@
+#include "device/buffer.h"
+
+namespace adamant {
+
+const char* SdkFormatName(SdkFormat format) {
+  switch (format) {
+    case SdkFormat::kRaw:
+      return "raw";
+    case SdkFormat::kOpenClBuffer:
+      return "cl_mem";
+    case SdkFormat::kCudaDevPtr:
+      return "cuda_devptr";
+    case SdkFormat::kThrustVector:
+      return "thrust";
+    case SdkFormat::kBoostComputeVec:
+      return "boost_compute";
+  }
+  return "?";
+}
+
+const char* MemoryKindName(MemoryKind kind) {
+  switch (kind) {
+    case MemoryKind::kDevice:
+      return "device";
+    case MemoryKind::kPinnedHost:
+      return "pinned";
+  }
+  return "?";
+}
+
+}  // namespace adamant

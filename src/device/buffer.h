@@ -1,0 +1,37 @@
+#ifndef ADAMANT_DEVICE_BUFFER_H_
+#define ADAMANT_DEVICE_BUFFER_H_
+
+#include <cstdint>
+
+namespace adamant {
+
+/// Handle to a device-resident memory object (the paper's "alias"). Ids are
+/// scoped to the device that created them.
+using BufferId = int32_t;
+constexpr BufferId kInvalidBuffer = -1;
+
+/// Where a buffer physically lives in the simulated machine.
+enum class MemoryKind : uint8_t {
+  kDevice,      // device global memory (counts against device capacity)
+  kPinnedHost,  // page-locked host memory (fast DMA; counts against pinned pool)
+};
+
+/// SDK-level representation of a memory object (Fig. 4 of the paper: the
+/// same GPU allocation looks different to CUDA, OpenCL, Thrust and
+/// Boost.Compute). transform_memory() converts between these without moving
+/// bytes through the host.
+enum class SdkFormat : uint8_t {
+  kRaw = 0,            // plain pointer (OpenMP / host)
+  kOpenClBuffer = 1,   // cl_mem
+  kCudaDevPtr = 2,     // CUdeviceptr
+  kThrustVector = 3,   // thrust::device_vector view
+  kBoostComputeVec = 4 // boost::compute::vector view
+};
+
+const char* SdkFormatName(SdkFormat format);
+
+const char* MemoryKindName(MemoryKind kind);
+
+}  // namespace adamant
+
+#endif  // ADAMANT_DEVICE_BUFFER_H_

@@ -1,0 +1,80 @@
+#ifndef ADAMANT_DEVICE_DEVICE_H_
+#define ADAMANT_DEVICE_DEVICE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "device/buffer.h"
+#include "device/kernel_launch.h"
+
+namespace adamant {
+
+/// The ADAMANT device layer: the ten pluggable interface functions of the
+/// paper (Section III-A). A co-processor + SDK combination is integrated
+/// into the executor by implementing this interface; no other part of the
+/// engine needs to change.
+///
+/// Mapping to the paper's interface list:
+///   place_data         -> PlaceData
+///   retrieve_data      -> RetrieveData
+///   prepare_memory     -> PrepareMemory
+///   transform_memory   -> TransformMemory
+///   delete_memory      -> DeleteMemory
+///   prepare_kernel     -> PrepareKernel
+///   initialize         -> Initialize
+///   create_chunk       -> CreateChunk
+///   add_pinned_memory  -> AddPinnedMemory
+///   execute            -> Execute
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Set relevant properties for the co-processor; called once before use.
+  /// Drivers with runtime compilation compile all pre-registered kernels
+  /// here (the paper compiles all pre-existing kernels during
+  /// initialization).
+  virtual Status Initialize() = 0;
+
+  /// Allocates `bytes` of device global memory; returns its id.
+  virtual Result<BufferId> PrepareMemory(size_t bytes) = 0;
+
+  /// Reserves host-accessible pinned memory of `bytes` for fast DMA.
+  virtual Result<BufferId> AddPinnedMemory(size_t bytes) = 0;
+
+  /// Pushes `bytes` from host memory `src` into buffer `dst` starting at
+  /// byte `dst_offset`.
+  virtual Status PlaceData(BufferId dst, const void* src, size_t bytes,
+                           size_t dst_offset) = 0;
+
+  /// Receives `bytes` from buffer `src` (starting at `src_offset`) into
+  /// host memory `dst`.
+  virtual Status RetrieveData(BufferId src, void* dst, size_t bytes,
+                              size_t src_offset) = 0;
+
+  /// Converts the SDK representation of `id` to `target` in place, without
+  /// moving data through the host (Fig. 4).
+  virtual Status TransformMemory(BufferId id, SdkFormat target) = 0;
+
+  /// De-allocates a buffer (or drops a chunk alias).
+  virtual Status DeleteMemory(BufferId id) = 0;
+
+  /// Compiles/install a kernel under `name`. Mandatory before Execute on
+  /// drivers with runtime compilation; a no-op registration elsewhere.
+  virtual Status PrepareKernel(const std::string& name,
+                               const KernelSource& source) = 0;
+
+  /// Creates a zero-copy view of `bytes` of `parent` starting at `offset`.
+  virtual Result<BufferId> CreateChunk(BufferId parent, size_t bytes,
+                                       size_t offset) = 0;
+
+  /// Executes a task tagged to this device.
+  virtual Status Execute(const KernelLaunch& launch) = 0;
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_DEVICE_DEVICE_H_

@@ -1,0 +1,33 @@
+#include "device/drivers.h"
+
+#include <string>
+
+namespace adamant {
+
+std::unique_ptr<SimulatedDevice> MakeDriver(sim::DriverKind kind,
+                                            sim::HardwareSetup setup,
+                                            std::shared_ptr<SimContext> ctx) {
+  sim::DevicePerfModel model = sim::MakePerfModel(kind, setup);
+  SdkFormat format = SdkFormat::kRaw;
+  bool runtime_compile = false;
+  switch (kind) {
+    case sim::DriverKind::kOpenClGpu:
+    case sim::DriverKind::kOpenClCpu:
+      format = SdkFormat::kOpenClBuffer;
+      runtime_compile = true;
+      break;
+    case sim::DriverKind::kCudaGpu:
+      format = SdkFormat::kCudaDevPtr;
+      runtime_compile = false;
+      break;
+    case sim::DriverKind::kOpenMpCpu:
+      format = SdkFormat::kRaw;
+      runtime_compile = false;
+      break;
+  }
+  return std::make_unique<SimulatedDevice>(std::string(DriverKindName(kind)),
+                                           std::move(model), format,
+                                           runtime_compile, std::move(ctx));
+}
+
+}  // namespace adamant

@@ -1,0 +1,24 @@
+#ifndef ADAMANT_DEVICE_DRIVERS_H_
+#define ADAMANT_DEVICE_DRIVERS_H_
+
+#include <memory>
+
+#include "device/sim_context.h"
+#include "device/sim_device.h"
+#include "sim/presets.h"
+
+namespace adamant {
+
+/// Builds one of the four paper drivers (OpenCL-GPU, CUDA-GPU, OpenCL-CPU,
+/// OpenMP-CPU) on the given hardware setup. Properties per driver:
+///   * native SDK format: cl_mem for OpenCL, CUdeviceptr for CUDA, raw
+///     pointers for OpenMP;
+///   * runtime compilation: OpenCL drivers must prepare_kernel() before
+///     execute(); CUDA/OpenMP ship precompiled kernels.
+std::unique_ptr<SimulatedDevice> MakeDriver(sim::DriverKind kind,
+                                            sim::HardwareSetup setup,
+                                            std::shared_ptr<SimContext> ctx);
+
+}  // namespace adamant
+
+#endif  // ADAMANT_DEVICE_DRIVERS_H_

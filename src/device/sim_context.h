@@ -1,0 +1,19 @@
+#ifndef ADAMANT_DEVICE_SIM_CONTEXT_H_
+#define ADAMANT_DEVICE_SIM_CONTEXT_H_
+
+namespace adamant {
+
+/// Simulation-wide knobs shared by all devices of a DeviceManager.
+struct SimContext {
+  /// Nominal-size multiplier: every byte/tuple count entering the cost and
+  /// capacity models is multiplied by this factor. Benchmarks run the real
+  /// computation on scaled-down data (SF 0.1) while charging time and
+  /// memory as if it were the paper's nominal size (SF 100 => scale 1000).
+  /// Chunk sizes are scaled down by the same factor so the chunk *count* —
+  /// and with it the schedule shape — matches the nominal run exactly.
+  double data_scale = 1.0;
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_DEVICE_SIM_CONTEXT_H_

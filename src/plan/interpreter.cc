@@ -1,0 +1,199 @@
+#include "plan/interpreter.h"
+
+#include <algorithm>
+
+namespace adamant::plan {
+
+int64_t InterpretExpr(const ScalarExpr& expr, const InterpreterStream& s,
+                      size_t row) {
+  const int64_t a = s.cols.at(expr.a)[row];
+  const int64_t b = expr.is_column_column() ? s.cols.at(expr.b)[row] : 0;
+  switch (expr.op) {
+    case MapOp::kAddScalar:
+      return a + expr.imm;
+    case MapOp::kSubScalar:
+      return a - expr.imm;
+    case MapOp::kMulScalar:
+      return a * expr.imm;
+    case MapOp::kAddCol:
+      return a + b;
+    case MapOp::kSubCol:
+      return a - b;
+    case MapOp::kMulCol:
+      return a * b;
+    case MapOp::kMulPctComplement:
+      return a * (100 - b) / 100;
+    case MapOp::kMulPct:
+      return a * b / 100;
+    case MapOp::kMulPctPlus:
+      return a * (100 + b) / 100;
+    case MapOp::kIdentity:
+      return a;
+    case MapOp::kNeqPrev:
+      return row > 0 && a != s.cols.at(expr.a)[row - 1] ? 1 : 0;
+  }
+  return 0;
+}
+
+bool InterpretPredicate(const Predicate& pred, int64_t v) {
+  switch (pred.op) {
+    case CmpOp::kLt:
+      return v < pred.lo;
+    case CmpOp::kLe:
+      return v <= pred.lo;
+    case CmpOp::kGt:
+      return v > pred.lo;
+    case CmpOp::kGe:
+      return v >= pred.lo;
+    case CmpOp::kEq:
+      return v == pred.lo;
+    case CmpOp::kNe:
+      return v != pred.lo;
+    case CmpOp::kBetween:
+      return pred.lo <= v && v <= pred.hi;
+    case CmpOp::kInPair:
+      return v == pred.lo || v == pred.hi;
+  }
+  return false;
+}
+
+namespace {
+
+Result<InterpreterStream> InterpretScan(const LogicalNode& node,
+                                        const Catalog& catalog) {
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(node.table));
+  InterpreterStream s;
+  s.rows = table->num_rows();
+  for (const ColumnPtr& column : table->columns()) {
+    std::vector<int64_t>& out = s.cols[column->name()];
+    out.resize(s.rows);
+    for (size_t i = 0; i < s.rows; ++i) {
+      out[i] = column->type() == ElementType::kInt32
+                   ? column->Value<int32_t>(i)
+                   : column->Value<int64_t>(i);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<InterpreterStream> InterpretStream(const LogicalNode& node,
+                                          const Catalog& catalog) {
+  switch (node.kind) {
+    case LogicalNode::Kind::kScan:
+      return InterpretScan(node, catalog);
+    case LogicalNode::Kind::kFilter: {
+      ADAMANT_ASSIGN_OR_RETURN(InterpreterStream in,
+                               InterpretStream(*node.child, catalog));
+      InterpreterStream out;
+      for (const auto& [name, values] : in.cols) out.cols[name] = {};
+      for (size_t row = 0; row < in.rows; ++row) {
+        bool keep = true;
+        for (const Predicate& pred : node.predicates) {
+          keep = keep &&
+                 InterpretPredicate(pred, in.cols.at(pred.column)[row]);
+        }
+        if (!keep) continue;
+        for (auto& [name, values] : out.cols) {
+          values.push_back(in.cols.at(name)[row]);
+        }
+        ++out.rows;
+      }
+      return out;
+    }
+    case LogicalNode::Kind::kProject: {
+      ADAMANT_ASSIGN_OR_RETURN(InterpreterStream s,
+                               InterpretStream(*node.child, catalog));
+      for (const auto& [name, expr] : node.projections) {
+        std::vector<int64_t> values(s.rows);
+        for (size_t row = 0; row < s.rows; ++row) {
+          values[row] = InterpretExpr(expr, s, row);
+        }
+        s.cols[name] = std::move(values);
+      }
+      return s;
+    }
+    case LogicalNode::Kind::kHashJoin: {
+      ADAMANT_ASSIGN_OR_RETURN(InterpreterStream build,
+                               InterpretStream(*node.build, catalog));
+      ADAMANT_ASSIGN_OR_RETURN(InterpreterStream probe,
+                               InterpretStream(*node.child, catalog));
+      std::map<int64_t, size_t> build_count;
+      for (size_t row = 0; row < build.rows; ++row) {
+        build_count[build.cols.at(node.build_key)[row]]++;
+      }
+      InterpreterStream out;
+      for (const auto& [name, values] : probe.cols) out.cols[name] = {};
+      for (size_t row = 0; row < probe.rows; ++row) {
+        auto it = build_count.find(probe.cols.at(node.probe_key)[row]);
+        if (it == build_count.end()) continue;
+        const size_t copies =
+            node.join_mode == ProbeMode::kSemi ? 1 : it->second;
+        for (size_t c = 0; c < copies; ++c) {
+          for (auto& [name, values] : out.cols) {
+            values.push_back(probe.cols.at(name)[row]);
+          }
+          ++out.rows;
+        }
+      }
+      return out;
+    }
+    case LogicalNode::Kind::kGroupBy:
+    case LogicalNode::Kind::kReduce:
+      return Status::InvalidArgument(
+          "InterpretStream cannot evaluate a sink; use InterpretPlan");
+  }
+  return Status::Internal("unknown logical node kind");
+}
+
+Result<InterpreterResults> InterpretPlan(const LogicalNode& root,
+                                         const Catalog& catalog) {
+  if (root.kind != LogicalNode::Kind::kGroupBy &&
+      root.kind != LogicalNode::Kind::kReduce) {
+    return Status::InvalidArgument("plan root must be a GroupBy or Reduce");
+  }
+  ADAMANT_ASSIGN_OR_RETURN(InterpreterStream s,
+                           InterpretStream(*root.child, catalog));
+  InterpreterResults results;
+  for (const AggSpec& agg : root.aggregates) {
+    std::map<int32_t, int64_t> groups;
+    for (size_t row = 0; row < s.rows; ++row) {
+      const int32_t key =
+          root.kind == LogicalNode::Kind::kGroupBy
+              ? static_cast<int32_t>(s.cols.at(root.group_key)[row])
+              : 0;
+      const int64_t v =
+          agg.op == AggOp::kCount ? 0 : s.cols.at(agg.value_column)[row];
+      auto [it, inserted] = groups.try_emplace(key, 0);
+      if (inserted) {
+        it->second = agg.op == AggOp::kMin   ? INT64_MAX
+                     : agg.op == AggOp::kMax ? INT64_MIN
+                                             : 0;
+      }
+      switch (agg.op) {
+        case AggOp::kSum:
+          it->second += v;
+          break;
+        case AggOp::kCount:
+          it->second += 1;
+          break;
+        case AggOp::kMin:
+          it->second = std::min(it->second, v);
+          break;
+        case AggOp::kMax:
+          it->second = std::max(it->second, v);
+          break;
+      }
+    }
+    if (root.kind == LogicalNode::Kind::kReduce && groups.empty()) {
+      groups[0] = agg.op == AggOp::kMin   ? INT64_MAX
+                  : agg.op == AggOp::kMax ? INT64_MIN
+                                          : 0;
+    }
+    results[agg.output_name] = std::move(groups);
+  }
+  return results;
+}
+
+}  // namespace adamant::plan

@@ -1,0 +1,44 @@
+#ifndef ADAMANT_PLAN_INTERPRETER_H_
+#define ADAMANT_PLAN_INTERPRETER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/logical_plan.h"
+#include "storage/table.h"
+
+namespace adamant::plan {
+
+/// A row-wise reference interpreter for the logical algebra. It shares no
+/// code with the device kernels or the executor — only the operator
+/// semantics — so it serves as an independent oracle: the plan fuzzer
+/// compares every lowered/executed plan against it, and users can verify
+/// their own plans the same way. It is also the sampling engine behind the
+/// selectivity annotator (selectivity.h). All values are widened to int64.
+struct InterpreterStream {
+  std::map<std::string, std::vector<int64_t>> cols;
+  size_t rows = 0;
+};
+
+/// Evaluates the subtree under a sink (everything except GroupBy/Reduce).
+Result<InterpreterStream> InterpretStream(const LogicalNode& node,
+                                          const Catalog& catalog);
+
+/// Full-plan results: output name -> (group key -> value). Reduce results
+/// use the single key 0. A Reduce over zero rows yields the aggregate's
+/// identity (matching AGG_BLOCK's accumulator initialization).
+using InterpreterResults = std::map<std::string, std::map<int32_t, int64_t>>;
+
+Result<InterpreterResults> InterpretPlan(const LogicalNode& root,
+                                         const Catalog& catalog);
+
+/// Scalar-expression and predicate evaluation, shared with the annotator.
+int64_t InterpretExpr(const ScalarExpr& expr, const InterpreterStream& s,
+                      size_t row);
+bool InterpretPredicate(const Predicate& pred, int64_t value);
+
+}  // namespace adamant::plan
+
+#endif  // ADAMANT_PLAN_INTERPRETER_H_

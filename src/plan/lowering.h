@@ -1,0 +1,54 @@
+#ifndef ADAMANT_PLAN_LOWERING_H_
+#define ADAMANT_PLAN_LOWERING_H_
+
+#include <map>
+
+#include "common/result.h"
+#include "device/device_manager.h"
+#include "plan/logical_plan.h"
+#include "plan/tpch_plans.h"
+#include "storage/table.h"
+
+namespace adamant::plan {
+
+/// Device-placement policy applied during lowering — the "annotations which
+/// mark the target device" of Fig. 2. The default places every primitive on
+/// one device; per-kind overrides send e.g. streaming filters to a CPU
+/// driver while hash primitives stay on the GPU. Cross-device edges are
+/// routed by the transfer hub at execution time.
+struct PlacementPolicy {
+  DeviceId default_device = 0;
+  std::map<PrimitiveKind, DeviceId> by_kind;
+
+  static PlacementPolicy AllOn(DeviceId device) {
+    return PlacementPolicy{device, {}};
+  }
+
+  DeviceId For(PrimitiveKind kind) const {
+    auto it = by_kind.find(kind);
+    return it == by_kind.end() ? default_device : it->second;
+  }
+};
+
+/// Translates a logical plan tree into an annotated primitive graph — the
+/// step Fig. 2 labels "query plan -> primitive graph". The lowering pass
+///   * splits conjunctive filters into FILTER_BITMAP chains,
+///   * materializes columns on demand when they are first used past a
+///     filter (MATERIALIZE) or past a join (MATERIALIZE_POSITION),
+///   * expands joins into HASH_BUILD / HASH_PROBE pairs,
+///   * expands aggregations into HASH_AGG / AGG_BLOCK sinks, and
+///   * carries the optimizer's cardinality estimates into the node
+///     configurations that size device buffers.
+///
+/// Every primitive is annotated with `device`; the PlanBundle's named nodes
+/// map each AggSpec::output_name to its sink for result extraction.
+Result<PlanBundle> LowerPlan(const LogicalNode& root, const Catalog& catalog,
+                             DeviceId device);
+
+/// As above, with per-primitive-kind device placement.
+Result<PlanBundle> LowerPlan(const LogicalNode& root, const Catalog& catalog,
+                             const PlacementPolicy& policy);
+
+}  // namespace adamant::plan
+
+#endif  // ADAMANT_PLAN_LOWERING_H_

@@ -1,0 +1,75 @@
+#include "plan/placement_optimizer.h"
+
+namespace adamant::plan {
+
+namespace {
+
+const PrimitiveKind kStreaming[] = {
+    PrimitiveKind::kMap,         PrimitiveKind::kFilterBitmap,
+    PrimitiveKind::kFilterPosition, PrimitiveKind::kMaterialize,
+    PrimitiveKind::kMaterializePosition, PrimitiveKind::kPrefixSum};
+const PrimitiveKind kHash[] = {PrimitiveKind::kHashBuild,
+                               PrimitiveKind::kHashProbe,
+                               PrimitiveKind::kHashAgg,
+                               PrimitiveKind::kSortAgg};
+const PrimitiveKind kSink[] = {PrimitiveKind::kAggBlock};
+
+PlacementPolicy MakeCandidate(DeviceId streaming, DeviceId hash,
+                              DeviceId sink) {
+  PlacementPolicy policy;
+  policy.default_device = streaming;
+  for (PrimitiveKind kind : kStreaming) policy.by_kind[kind] = streaming;
+  for (PrimitiveKind kind : kHash) policy.by_kind[kind] = hash;
+  for (PrimitiveKind kind : kSink) policy.by_kind[kind] = sink;
+  return policy;
+}
+
+}  // namespace
+
+Result<PlacementSearchResult> SearchPlacements(
+    const LogicalNode& root, const Catalog& catalog, DeviceManager* manager,
+    const ExecutionOptions& options) {
+  if (manager == nullptr || manager->num_devices() == 0) {
+    return Status::InvalidArgument("no devices plugged");
+  }
+
+  PlacementSearchResult result;
+  bool have_best = false;
+  const auto devices = static_cast<DeviceId>(manager->num_devices());
+  for (DeviceId streaming = 0; streaming < devices; ++streaming) {
+    for (DeviceId hash = 0; hash < devices; ++hash) {
+      for (DeviceId sink = 0; sink < devices; ++sink) {
+        const std::string name =
+            "streaming=" + manager->device(streaming)->name() +
+            ",hash=" + manager->device(hash)->name() +
+            ",sink=" + manager->device(sink)->name();
+        PlacementPolicy policy = MakeCandidate(streaming, hash, sink);
+        ADAMANT_ASSIGN_OR_RETURN(PlanBundle bundle,
+                                 LowerPlan(root, catalog, policy));
+        QueryExecutor executor(manager);
+        auto exec = executor.Run(bundle.graph.get(), options);
+        if (!exec.ok()) {
+          // A candidate can legitimately fail (e.g. the hash table exceeds
+          // one device's memory); record and move on.
+          result.evaluated.emplace_back(name + " (" +
+                                            exec.status().ToString() + ")",
+                                        -1.0);
+          continue;
+        }
+        result.evaluated.emplace_back(name, exec->stats.elapsed_us);
+        if (!have_best || exec->stats.elapsed_us < result.best_elapsed_us) {
+          have_best = true;
+          result.best = policy;
+          result.best_name = name;
+          result.best_elapsed_us = exec->stats.elapsed_us;
+        }
+      }
+    }
+  }
+  if (!have_best) {
+    return Status::ExecutionError("every placement candidate failed");
+  }
+  return result;
+}
+
+}  // namespace adamant::plan

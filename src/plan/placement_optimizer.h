@@ -1,0 +1,41 @@
+#ifndef ADAMANT_PLAN_PLACEMENT_OPTIMIZER_H_
+#define ADAMANT_PLAN_PLACEMENT_OPTIMIZER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plan/lowering.h"
+#include "runtime/executor.h"
+
+namespace adamant::plan {
+
+/// What-if operator placement: the paper's conclusion names operator
+/// placement as part of the "complex optimization space" ADAMANT exists to
+/// explore — and a deterministic simulator makes the exploration trivial:
+/// lower the plan under every candidate policy, simulate each run, keep the
+/// fastest. Results are identical across candidates by construction (the
+/// executor is placement-agnostic); only the schedule changes.
+///
+/// Candidates assign three primitive classes independently to the manager's
+/// devices:
+///   * streaming  — MAP, FILTER_*, MATERIALIZE*, PREFIX_SUM
+///   * hash       — HASH_BUILD, HASH_PROBE, HASH_AGG, SORT_AGG
+///   * sink       — AGG_BLOCK
+/// With D plugged devices that is D^3 simulated runs.
+struct PlacementSearchResult {
+  PlacementPolicy best;
+  std::string best_name;
+  sim::SimTime best_elapsed_us = 0;
+  /// Every evaluated candidate: name -> simulated elapsed (us).
+  std::vector<std::pair<std::string, sim::SimTime>> evaluated;
+};
+
+Result<PlacementSearchResult> SearchPlacements(const LogicalNode& root,
+                                               const Catalog& catalog,
+                                               DeviceManager* manager,
+                                               const ExecutionOptions& options);
+
+}  // namespace adamant::plan
+
+#endif  // ADAMANT_PLAN_PLACEMENT_OPTIMIZER_H_

@@ -1,0 +1,177 @@
+#include "plan/selectivity.h"
+
+#include <algorithm>
+#include <set>
+
+#include "plan/interpreter.h"
+
+namespace adamant::plan {
+
+namespace {
+
+/// Floor for measured fractions: a predicate that matched nothing in the
+/// sample may still match a few rows at full scale.
+constexpr double kMinSelectivity = 0.02;
+
+/// Systematic sample of every table (every k-th row). Dictionaries are not
+/// copied — the interpreter only reads raw codes.
+Result<std::shared_ptr<Catalog>> SampleCatalog(const Catalog& catalog,
+                                               size_t sample_every) {
+  auto sampled = std::make_shared<Catalog>();
+  for (const std::string& name : catalog.TableNames()) {
+    ADAMANT_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(name));
+    auto copy = std::make_shared<Table>(name);
+    for (const ColumnPtr& column : table->columns()) {
+      auto sampled_col = std::make_shared<Column>(column->name(),
+                                                  column->type());
+      for (size_t i = 0; i < column->length(); i += sample_every) {
+        if (column->type() == ElementType::kInt32) {
+          sampled_col->Append(column->Value<int32_t>(i));
+        } else if (column->type() == ElementType::kInt64) {
+          sampled_col->Append(column->Value<int64_t>(i));
+        } else {
+          sampled_col->Append(column->Value<double>(i));
+        }
+      }
+      ADAMANT_RETURN_NOT_OK(copy->AddColumn(sampled_col));
+    }
+    ADAMANT_RETURN_NOT_OK(sampled->AddTable(copy));
+  }
+  return sampled;
+}
+
+double Fraction(size_t num, size_t den) {
+  if (den == 0) return kMinSelectivity;
+  return std::max(kMinSelectivity,
+                  static_cast<double>(num) / static_cast<double>(den));
+}
+
+class Annotator {
+ public:
+  Annotator(const Catalog& sample, size_t sample_every)
+      : sample_(sample), sample_every_(sample_every) {}
+
+  /// Returns (annotated node, the node's sampled output stream).
+  struct Annotated {
+    std::shared_ptr<LogicalNode> node;
+    InterpreterStream stream;
+  };
+
+  Result<Annotated> Visit(const LogicalNode& node) {
+    auto copy = std::make_shared<LogicalNode>(node);
+    switch (node.kind) {
+      case LogicalNode::Kind::kScan: {
+        ADAMANT_ASSIGN_OR_RETURN(InterpreterStream s,
+                                 InterpretStream(node, sample_));
+        return Annotated{copy, std::move(s)};
+      }
+      case LogicalNode::Kind::kFilter: {
+        ADAMANT_ASSIGN_OR_RETURN(Annotated child, Visit(*node.child));
+        copy->child = child.node;
+        InterpreterStream stream = std::move(child.stream);
+        for (Predicate& pred : copy->predicates) {
+          InterpreterStream next;
+          for (const auto& [name, values] : stream.cols) next.cols[name] = {};
+          for (size_t row = 0; row < stream.rows; ++row) {
+            if (!InterpretPredicate(pred,
+                                    stream.cols.at(pred.column)[row])) {
+              continue;
+            }
+            for (auto& [name, values] : next.cols) {
+              values.push_back(stream.cols.at(name)[row]);
+            }
+            ++next.rows;
+          }
+          // Conditional selectivity of this term given the earlier terms.
+          pred.selectivity = Fraction(next.rows, stream.rows);
+          stream = std::move(next);
+        }
+        return Annotated{copy, std::move(stream)};
+      }
+      case LogicalNode::Kind::kProject: {
+        ADAMANT_ASSIGN_OR_RETURN(Annotated child, Visit(*node.child));
+        copy->child = child.node;
+        InterpreterStream stream = std::move(child.stream);
+        for (const auto& [name, expr] : node.projections) {
+          std::vector<int64_t> values(stream.rows);
+          for (size_t row = 0; row < stream.rows; ++row) {
+            values[row] = InterpretExpr(expr, stream, row);
+          }
+          stream.cols[name] = std::move(values);
+        }
+        return Annotated{copy, std::move(stream)};
+      }
+      case LogicalNode::Kind::kHashJoin: {
+        ADAMANT_ASSIGN_OR_RETURN(Annotated build, Visit(*node.build));
+        ADAMANT_ASSIGN_OR_RETURN(Annotated probe, Visit(*node.child));
+        copy->build = build.node;
+        copy->child = probe.node;
+        std::map<int64_t, size_t> build_count;
+        for (size_t row = 0; row < build.stream.rows; ++row) {
+          build_count[build.stream.cols.at(node.build_key)[row]]++;
+        }
+        InterpreterStream out;
+        for (const auto& [name, values] : probe.stream.cols) {
+          out.cols[name] = {};
+        }
+        for (size_t row = 0; row < probe.stream.rows; ++row) {
+          auto it =
+              build_count.find(probe.stream.cols.at(node.probe_key)[row]);
+          if (it == build_count.end()) continue;
+          const size_t copies =
+              node.join_mode == ProbeMode::kSemi ? 1 : it->second;
+          for (size_t c = 0; c < copies; ++c) {
+            for (auto& [name, values] : out.cols) {
+              values.push_back(probe.stream.cols.at(name)[row]);
+            }
+            ++out.rows;
+          }
+        }
+        copy->join_selectivity = Fraction(out.rows, probe.stream.rows);
+        return Annotated{copy, std::move(out)};
+      }
+      case LogicalNode::Kind::kGroupBy:
+      case LogicalNode::Kind::kReduce: {
+        ADAMANT_ASSIGN_OR_RETURN(Annotated child, Visit(*node.child));
+        copy->child = child.node;
+        if (node.kind == LogicalNode::Kind::kGroupBy &&
+            node.expected_groups <= 0) {
+          std::set<int64_t> distinct;
+          const auto& keys = child.stream.cols.at(node.group_key);
+          distinct.insert(keys.begin(), keys.end());
+          // The sample sees at most 1/k of the rows; distinct counts scale
+          // somewhere between 1x (low-cardinality keys, all seen) and kx
+          // (unique keys). Scaling by k is the safe (larger-table) choice.
+          copy->expected_groups = std::max<double>(
+              16.0,
+              static_cast<double>(distinct.size() * sample_every_));
+          copy->groups_scale_with_data = node.groups_scale_with_data;
+        }
+        return Annotated{copy, std::move(child.stream)};
+      }
+    }
+    return Status::Internal("unknown logical node kind");
+  }
+
+ private:
+  const Catalog& sample_;
+  size_t sample_every_;
+};
+
+}  // namespace
+
+Result<LogicalNodePtr> AnnotateSelectivities(const LogicalNode& root,
+                                             const Catalog& catalog,
+                                             size_t sample_every) {
+  if (sample_every == 0) {
+    return Status::InvalidArgument("sample_every must be >= 1");
+  }
+  ADAMANT_ASSIGN_OR_RETURN(std::shared_ptr<Catalog> sample,
+                           SampleCatalog(catalog, sample_every));
+  Annotator annotator(*sample, sample_every);
+  ADAMANT_ASSIGN_OR_RETURN(Annotator::Annotated result,
+                           annotator.Visit(root));
+  return LogicalNodePtr(result.node);
+}
+
+}  // namespace adamant::plan

@@ -1,0 +1,95 @@
+#include "plan/tpch_logical.h"
+
+namespace adamant::plan {
+
+Result<LogicalNodePtr> Q6Logical(const Catalog& catalog,
+                                 const tpch::Q6Params& params) {
+  ADAMANT_RETURN_NOT_OK(catalog.GetTable("lineitem").status());
+  auto filtered = Filter(
+      Scan("lineitem"),
+      {Predicate::Between("l_shipdate", params.date, params.date_end() - 1,
+                          0.15),
+       Predicate::Between("l_discount", params.discount_pct - 1,
+                          params.discount_pct + 1, 0.28),
+       Predicate::Lt("l_quantity", params.quantity, 0.47)});
+  auto revenue = Project(
+      filtered,
+      {{"revenue", ScalarExpr::MulPct("l_extendedprice", "l_discount")}});
+  return Reduce(revenue, {{AggOp::kSum, "revenue", "revenue"}});
+}
+
+Result<LogicalNodePtr> Q4Logical(const Catalog& catalog,
+                                 const tpch::Q4Params& params) {
+  ADAMANT_RETURN_NOT_OK(catalog.GetTable("orders").status());
+  auto late_lineitems = Filter(
+      Project(Scan("lineitem"),
+              {{"late", ScalarExpr::SubCol("l_receiptdate", "l_commitdate")}}),
+      {Predicate::Gt("late", 0, 0.63)});
+  auto quarter_orders = Filter(
+      Scan("orders"),
+      {Predicate::Between("o_orderdate", params.date, params.date_end() - 1,
+                          0.05)});
+  auto exists = HashJoin(quarter_orders, late_lineitems, "o_orderkey",
+                         "l_orderkey", ProbeMode::kSemi,
+                         /*join_selectivity=*/0.7);
+  return GroupBy(exists, "o_orderpriority",
+                 {{AggOp::kCount, "", "order_count"}},
+                 /*expected_groups=*/8, /*groups_scale_with_data=*/false);
+}
+
+Result<LogicalNodePtr> Q3Logical(const Catalog& catalog,
+                                 const tpch::Q3Params& params) {
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr customer, catalog.GetTable("customer"));
+  const StringDictionary* dict = customer->FindDictionary("c_mktsegment");
+  if (dict == nullptr) {
+    return Status::Internal("customer has no c_mktsegment dictionary");
+  }
+  ADAMANT_ASSIGN_OR_RETURN(int32_t segment, dict->Lookup(params.segment));
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr orders, catalog.GetTable("orders"));
+
+  auto segment_customers = Filter(
+      Scan("customer"), {Predicate::Eq("c_mktsegment", segment, 0.22)});
+  auto open_orders =
+      Filter(Scan("orders"), {Predicate::Lt("o_orderdate", params.date, 0.5)});
+  auto customer_orders =
+      HashJoin(open_orders, segment_customers, "o_custkey", "c_custkey",
+               ProbeMode::kAll, /*join_selectivity=*/0.25);
+  auto late_lineitems = Filter(
+      Scan("lineitem"), {Predicate::Gt("l_shipdate", params.date, 0.56)});
+  auto joined = HashJoin(late_lineitems, customer_orders, "l_orderkey",
+                         "o_orderkey", ProbeMode::kAll,
+                         /*join_selectivity=*/0.22);
+  auto revenue = Project(joined, {{"revenue", ScalarExpr::MulPctComplement(
+                                                  "l_extendedprice",
+                                                  "l_discount")}});
+  return GroupBy(revenue, "l_orderkey", {{AggOp::kSum, "revenue", "revenue"}},
+                 /*expected_groups=*/
+                 static_cast<double>(orders->num_rows()) * 0.15,
+                 /*groups_scale_with_data=*/true);
+}
+
+Result<LogicalNodePtr> Q1Logical(const Catalog& catalog,
+                                 const tpch::Q1Params& params) {
+  ADAMANT_RETURN_NOT_OK(catalog.GetTable("lineitem").status());
+  auto filtered = Filter(
+      Scan("lineitem"),
+      {Predicate::Le("l_shipdate", params.ship_cutoff(), 0.99)});
+  auto derived = Project(
+      filtered,
+      {{"key_hi",
+        ScalarExpr::MulScalar("l_returnflag", 8, ElementType::kInt32)},
+       {"key", ScalarExpr::AddCol("key_hi", "l_linestatus",
+                                  ElementType::kInt32)},
+       {"disc_price",
+        ScalarExpr::MulPctComplement("l_extendedprice", "l_discount")},
+       {"charge", ScalarExpr::MulPctPlus("disc_price", "l_tax")}});
+  return GroupBy(derived, "key",
+                 {{AggOp::kSum, "l_quantity", "sum_qty"},
+                  {AggOp::kSum, "l_extendedprice", "sum_base"},
+                  {AggOp::kSum, "disc_price", "sum_disc_price"},
+                  {AggOp::kSum, "charge", "sum_charge"},
+                  {AggOp::kCount, "", "count"}},
+                 /*expected_groups=*/32, /*groups_scale_with_data=*/false);
+}
+
+}  // namespace adamant::plan

@@ -1,0 +1,29 @@
+#ifndef ADAMANT_PLAN_TPCH_LOGICAL_H_
+#define ADAMANT_PLAN_TPCH_LOGICAL_H_
+
+#include "common/result.h"
+#include "plan/logical_plan.h"
+#include "storage/table.h"
+#include "tpch/queries.h"
+
+namespace adamant::plan {
+
+/// The evaluated TPC-H queries expressed as logical plans — what an
+/// optimizer would emit — exercising the lowering pass end to end. Lowered
+/// bundles name their sinks compatibly with the hand-built plans in
+/// tpch_plans.h, so the same Extract* functions produce the results.
+///
+/// Cardinality estimates mirror the validation-parameter selectivities.
+
+Result<LogicalNodePtr> Q6Logical(const Catalog& catalog,
+                                 const tpch::Q6Params& params);
+Result<LogicalNodePtr> Q4Logical(const Catalog& catalog,
+                                 const tpch::Q4Params& params);
+Result<LogicalNodePtr> Q3Logical(const Catalog& catalog,
+                                 const tpch::Q3Params& params);
+Result<LogicalNodePtr> Q1Logical(const Catalog& catalog,
+                                 const tpch::Q1Params& params);
+
+}  // namespace adamant::plan
+
+#endif  // ADAMANT_PLAN_TPCH_LOGICAL_H_

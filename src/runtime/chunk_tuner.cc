@@ -1,0 +1,43 @@
+#include "runtime/chunk_tuner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/bit_util.h"
+
+namespace adamant {
+
+Result<size_t> SuggestChunkElems(const SimulatedDevice& device,
+                                 const PrimitiveGraph& graph) {
+  ADAMANT_ASSIGN_OR_RETURN(std::vector<Pipeline> pipelines,
+                           graph.SplitPipelines());
+
+  // Bytes of scan data per row of the widest pipeline (distinct columns).
+  size_t widest_row_bytes = 0;
+  for (const Pipeline& pipeline : pipelines) {
+    std::set<const Column*> seen;
+    size_t row_bytes = 0;
+    for (int edge_id : pipeline.scan_edges) {
+      const GraphEdge& edge = graph.edges()[static_cast<size_t>(edge_id)];
+      if (seen.insert(edge.column.get()).second) {
+        row_bytes += ElementSize(edge.elem_type);
+      }
+    }
+    widest_row_bytes = std::max(widest_row_bytes, row_bytes);
+  }
+  if (widest_row_bytes == 0) {
+    return Status::InvalidArgument("graph has no scan inputs");
+  }
+
+  // Budget: a quarter of device memory, split between dual staging buffers
+  // (2x) and an equal allowance for intermediates (2x again).
+  const size_t budget = device.perf_model().device_memory_bytes / 4;
+  const size_t per_row = widest_row_bytes * 4;
+  size_t elems = budget / per_row;
+  elems = bit_util::NextPowerOfTwo(std::max<size_t>(elems, 2)) / 2;  // floor
+  constexpr size_t kMinChunk = size_t{1} << 16;
+  constexpr size_t kMaxChunk = size_t{1} << 26;
+  return std::clamp(elems, kMinChunk, kMaxChunk);
+}
+
+}  // namespace adamant

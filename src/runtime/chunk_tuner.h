@@ -1,0 +1,24 @@
+#ifndef ADAMANT_RUNTIME_CHUNK_TUNER_H_
+#define ADAMANT_RUNTIME_CHUNK_TUNER_H_
+
+#include "common/result.h"
+#include "device/sim_device.h"
+#include "runtime/primitive_graph.h"
+
+namespace adamant {
+
+/// Picks a chunk size (in nominal elements, the unit of
+/// ExecutionOptions::chunk_elems) for running `graph` on `device` — the
+/// paper's "chunk size found to be optimal for the underlying GPU based on
+/// the available space in the device".
+///
+/// Heuristic: the widest pipeline's per-row scan bytes, double-buffered,
+/// plus a matching allowance for intermediates, should fit in a quarter of
+/// the device's global memory; the result is rounded down to a power of two
+/// and clamped to [2^16, 2^26].
+Result<size_t> SuggestChunkElems(const SimulatedDevice& device,
+                                 const PrimitiveGraph& graph);
+
+}  // namespace adamant
+
+#endif  // ADAMANT_RUNTIME_CHUNK_TUNER_H_

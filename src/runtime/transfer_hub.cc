@@ -1,0 +1,108 @@
+#include "runtime/transfer_hub.h"
+
+#include <vector>
+
+#include "task/hash_table.h"
+#include "task/kernels.h"
+
+namespace adamant {
+
+Result<BufferId> DataTransferHub::LoadData(DeviceId device, const void* src,
+                                           size_t bytes) {
+  ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
+  ADAMANT_ASSIGN_OR_RETURN(BufferId id, dev->PrepareMemory(bytes));
+  Status st = dev->PlaceData(id, src, bytes, 0);
+  if (!st.ok()) {
+    (void)dev->DeleteMemory(id);
+    return st;
+  }
+  bytes_h2d_ += bytes;
+  return id;
+}
+
+Status DataTransferHub::PlaceChunk(DeviceId device, BufferId dst,
+                                   const void* src, size_t bytes,
+                                   size_t dst_offset) {
+  ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
+  ADAMANT_RETURN_NOT_OK(dev->PlaceData(dst, src, bytes, dst_offset));
+  bytes_h2d_ += bytes;
+  return Status::OK();
+}
+
+Result<BufferId> DataTransferHub::Router(DeviceId src_device, BufferId src,
+                                         DeviceId dst_device, size_t bytes) {
+  if (src_device == dst_device) return src;
+  ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * from,
+                           manager_->GetDevice(src_device));
+  ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * to,
+                           manager_->GetDevice(dst_device));
+  // The host is the only interconnect between plugged devices.
+  std::vector<uint8_t> scratch(bytes);
+  ADAMANT_RETURN_NOT_OK(from->RetrieveData(src, scratch.data(), bytes, 0));
+  bytes_d2h_ += bytes;
+  ADAMANT_ASSIGN_OR_RETURN(BufferId dst, to->PrepareMemory(bytes));
+  Status st = to->PlaceData(dst, scratch.data(), bytes, 0);
+  if (!st.ok()) {
+    (void)to->DeleteMemory(dst);
+    return st;
+  }
+  bytes_h2d_ += bytes;
+  return dst;
+}
+
+Result<BufferId> DataTransferHub::EnsureFormat(DeviceId device, BufferId id,
+                                               SdkFormat target,
+                                               size_t bytes) {
+  ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
+  ADAMANT_ASSIGN_OR_RETURN(SdkFormat current, dev->BufferFormat(id));
+  switch (transforms_.PlanRoute(current, target)) {
+    case DataContainer::Route::kNone:
+      return id;
+    case DataContainer::Route::kTransform:
+      ADAMANT_RETURN_NOT_OK(dev->TransformMemory(id, target));
+      return id;
+    case DataContainer::Route::kHostRoundTrip: {
+      // The naive path of Fig. 4: through the host, transform there, back.
+      std::vector<uint8_t> scratch(bytes);
+      ADAMANT_RETURN_NOT_OK(dev->RetrieveData(id, scratch.data(), bytes, 0));
+      bytes_d2h_ += bytes;
+      ADAMANT_RETURN_NOT_OK(dev->DeleteMemory(id));
+      ADAMANT_ASSIGN_OR_RETURN(BufferId fresh, dev->PrepareMemory(bytes));
+      ADAMANT_RETURN_NOT_OK(dev->PlaceData(fresh, scratch.data(), bytes, 0));
+      bytes_h2d_ += bytes;
+      ADAMANT_RETURN_NOT_OK(dev->TransformMemory(fresh, target));
+      return fresh;
+    }
+  }
+  return Status::Internal("unreachable transform route");
+}
+
+Result<BufferId> DataTransferHub::PrepareOutputBuffer(DeviceId device,
+                                                      DataSemantic semantic,
+                                                      size_t bytes,
+                                                      bool pinned) {
+  ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
+  BufferId id;
+  if (pinned) {
+    ADAMANT_ASSIGN_OR_RETURN(id, dev->AddPinnedMemory(bytes));
+  } else {
+    ADAMANT_ASSIGN_OR_RETURN(id, dev->PrepareMemory(bytes));
+  }
+  if (semantic == DataSemantic::kHashTable) {
+    KernelLaunch fill = kernels::MakeFill(id, HashTableLayout::kEmptyKey,
+                                          bytes / sizeof(int32_t));
+    if (!dev->HasKernel("fill")) {
+      // The standard library binds "fill"; a custom driver may not have it —
+      // fall back to the inline implementation.
+      fill.fn = kernels::GetKernelFn("fill");
+    }
+    Status st = dev->Execute(fill);
+    if (!st.ok()) {
+      (void)dev->DeleteMemory(id);
+      return st;
+    }
+  }
+  return id;
+}
+
+}  // namespace adamant

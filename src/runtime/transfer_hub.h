@@ -1,0 +1,61 @@
+#ifndef ADAMANT_RUNTIME_TRANSFER_HUB_H_
+#define ADAMANT_RUNTIME_TRANSFER_HUB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "device/device_manager.h"
+#include "task/containers.h"
+#include "task/primitive.h"
+
+namespace adamant {
+
+/// The runtime layer's data transfer hub (Section III-C): loads input data
+/// onto devices, routes data across devices and SDK formats, and prepares
+/// semantically-initialized output buffers.
+class DataTransferHub {
+ public:
+  DataTransferHub(DeviceManager* manager, DataContainer transforms)
+      : manager_(manager), transforms_(std::move(transforms)) {}
+
+  /// load_data(): allocates a device buffer and places `bytes` of host data.
+  Result<BufferId> LoadData(DeviceId device, const void* src, size_t bytes);
+
+  /// Places a chunk of host data into an existing device buffer.
+  Status PlaceChunk(DeviceId device, BufferId dst, const void* src,
+                    size_t bytes, size_t dst_offset = 0);
+
+  /// router(): makes the content of `src` (on `src_device`) available on
+  /// `dst_device`. Cross-device movement goes through the host (retrieve +
+  /// place). Returns the buffer id on the destination device.
+  Result<BufferId> Router(DeviceId src_device, BufferId src,
+                          DeviceId dst_device, size_t bytes);
+
+  /// Converts a buffer's SDK format, using transform_memory() when the
+  /// transformation table allows it and the naive host round-trip otherwise
+  /// (Fig. 4). Returns the (possibly new) buffer id.
+  Result<BufferId> EnsureFormat(DeviceId device, BufferId id, SdkFormat target,
+                                size_t bytes);
+
+  /// prepare_output_buffer(): allocates `bytes` for a primitive output and
+  /// applies semantic initialization — HASH_TABLE buffers are filled with
+  /// the empty-key sentinel via the device's fill kernel.
+  Result<BufferId> PrepareOutputBuffer(DeviceId device, DataSemantic semantic,
+                                       size_t bytes, bool pinned = false);
+
+  size_t bytes_host_to_device() const { return bytes_h2d_; }
+  size_t bytes_device_to_host() const { return bytes_d2h_; }
+  const DataContainer& transforms() const { return transforms_; }
+
+ private:
+  DeviceManager* manager_;
+  DataContainer transforms_;
+  size_t bytes_h2d_ = 0;
+  size_t bytes_d2h_ = 0;
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_RUNTIME_TRANSFER_HUB_H_

@@ -1,0 +1,28 @@
+#include "sim/memory_arena.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace adamant::sim {
+
+Status MemoryArena::Allocate(size_t nominal_bytes) {
+  if (used_ + nominal_bytes > capacity_) {
+    return Status::OutOfMemory(
+        name_ + ": requested " + std::to_string(nominal_bytes) + " bytes, " +
+        std::to_string(capacity_ - used_) + " of " + std::to_string(capacity_) +
+        " available");
+  }
+  used_ += nominal_bytes;
+  high_water_ = std::max(high_water_, used_);
+  return Status::OK();
+}
+
+void MemoryArena::Free(size_t nominal_bytes) {
+  ADAMANT_CHECK(nominal_bytes <= used_)
+      << name_ << ": freeing " << nominal_bytes << " bytes but only " << used_
+      << " allocated";
+  used_ -= nominal_bytes;
+}
+
+}  // namespace adamant::sim

@@ -1,0 +1,47 @@
+#ifndef ADAMANT_SIM_MEMORY_ARENA_H_
+#define ADAMANT_SIM_MEMORY_ARENA_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace adamant::sim {
+
+/// Capacity accounting for a simulated memory pool (device global memory or
+/// host pinned memory). The arena tracks *nominal* byte counts — i.e. the
+/// sizes the workload would occupy at the benchmark's nominal scale factor —
+/// so out-of-memory behaviour (e.g. OAAT failing on larger-than-memory
+/// inputs, HeavyDB refusing TPC-H Q3 at SF 100) is reproduced even though the
+/// actual host allocations are scaled down.
+class MemoryArena {
+ public:
+  MemoryArena(std::string name, size_t capacity_bytes)
+      : name_(std::move(name)), capacity_(capacity_bytes) {}
+
+  /// Reserves `nominal_bytes`; fails with OutOfMemory when the pool would
+  /// overflow (nothing is reserved in that case).
+  Status Allocate(size_t nominal_bytes);
+
+  /// Releases a previous reservation. Callers must pass the same size they
+  /// allocated; the arena checks for underflow.
+  void Free(size_t nominal_bytes);
+
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_; }
+  size_t available() const { return capacity_ - used_; }
+  size_t high_water() const { return high_water_; }
+  const std::string& name() const { return name_; }
+
+  void ResetHighWater() { high_water_ = used_; }
+
+ private:
+  std::string name_;
+  size_t capacity_;
+  size_t used_ = 0;
+  size_t high_water_ = 0;
+};
+
+}  // namespace adamant::sim
+
+#endif  // ADAMANT_SIM_MEMORY_ARENA_H_

@@ -1,0 +1,205 @@
+#include "sim/presets.h"
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace adamant::sim {
+
+const char* HardwareSetupName(HardwareSetup setup) {
+  switch (setup) {
+    case HardwareSetup::kSetup1:
+      return "setup1(i7-8700+RTX2080Ti)";
+    case HardwareSetup::kSetup2:
+      return "setup2(Xeon5220R+A100)";
+  }
+  return "?";
+}
+
+const char* DriverKindName(DriverKind kind) {
+  switch (kind) {
+    case DriverKind::kOpenClGpu:
+      return "opencl_gpu";
+    case DriverKind::kCudaGpu:
+      return "cuda_gpu";
+    case DriverKind::kOpenClCpu:
+      return "opencl_cpu";
+    case DriverKind::kOpenMpCpu:
+      return "openmp_cpu";
+  }
+  return "?";
+}
+
+bool IsGpuDriver(DriverKind kind) {
+  return kind == DriverKind::kOpenClGpu || kind == DriverKind::kCudaGpu;
+}
+
+namespace {
+
+KernelCostProfile P(double tuples_per_us, double fixed_us = 0.0,
+                    double contention_alpha = 0.0, double size_alpha = 0.0) {
+  return KernelCostProfile{tuples_per_us, fixed_us, contention_alpha,
+                           size_alpha};
+}
+
+// ---------------------------------------------------------------------------
+// GPU kernel calibration.
+//
+// Rates are tuples/us. Anchors:
+//  * RTX 2080 Ti global-memory bandwidth ~616 GB/s; a streaming int32 map
+//    (8 B traffic/tuple) tops out near 77 Gt/s; we model ~65% of peak.
+//  * A100 bandwidth ~1555 GB/s => ~2.5x Setup1 streaming rates.
+//  * Fig. 9a: filter(bitmap) roughly flat; OpenCL ~= CUDA on the GPU.
+//  * Fig. 9b: adding materialization drops GPU throughput to ~30% of the
+//    bitmap-only filter (cooperative bitmap extraction), so the materialize
+//    kernel rate is ~filter/2.3 (t_f + t_m = t_f/0.3).
+//  * Fig. 9c: OpenCL hash aggregation degrades drastically with group count
+//    (static thread scheduling + shared memory controller); CUDA stays
+//    roughly flat => large contention_alpha for OpenCL, small for CUDA.
+//  * Fig. 9d: hash build drops with data size on the GPU (repeated atomic
+//    insertions into one shared table) => size_alpha > 0; build is clearly
+//    slower than probe (atomic serialization).
+//  * Fig. 9e: CUDA probe slightly *worse* than OpenCL probe (thread order of
+//    global-memory access), the one place OpenCL wins on the GPU.
+// ---------------------------------------------------------------------------
+void GpuKernels(DevicePerfModel* m, double s, bool opencl) {
+  m->kernels["map"] = P(45000 * s);
+  m->kernels["filter_bitmap"] = P(52000 * s);
+  m->kernels["filter_position"] = P(30000 * s);
+  // filter+materialize ~= 30% of bitmap-only filter on GPUs (Fig. 9b).
+  m->kernels["materialize"] = P(22000 * s);
+  m->kernels["materialize_position"] = P(26000 * s);
+  m->kernels["prefix_sum"] = P(24000 * s);
+  m->kernels["agg_block"] = P(40000 * s);
+  if (opencl) {
+    m->kernels["hash_agg"] = P(3200 * s, 0, /*contention=*/0.55, /*size=*/0.05);
+    m->kernels["hash_build"] = P(2600 * s, 0, 0.10, /*size=*/0.18);
+    m->kernels["hash_probe"] = P(4200 * s, 0, 0.05, 0.08);
+  } else {  // CUDA
+    m->kernels["hash_agg"] = P(3400 * s, 0, /*contention=*/0.06, /*size=*/0.05);
+    m->kernels["hash_build"] = P(2800 * s, 0, 0.08, /*size=*/0.15);
+    // CUDA probe a bit below OpenCL probe (Fig. 9e).
+    m->kernels["hash_probe"] = P(3600 * s, 0, 0.05, 0.08);
+  }
+  m->kernels["sort_agg"] = P(15000 * s);
+  m->default_kernel = P(10000 * s);
+}
+
+// ---------------------------------------------------------------------------
+// CPU kernel calibration.
+//
+// Anchors:
+//  * i7-8700 (6C/12T) sustained memory bandwidth ~35 GB/s => ~4.4 Gt/s int32
+//    streaming; Xeon Gold 5220R (24C) ~105 GB/s => ~2.8x.
+//  * Fig. 9a: on the CPU, OpenCL beats OpenMP for the streaming filter (the
+//    OpenMP variant pays explicit thread scheduling / data movement).
+//  * Fig. 9b: materialization impact is small on CPUs (threads own disjoint
+//    32-value sequences, no cooperative bit extraction).
+//  * Fig. 9c/d: CPU hash primitives are largely flat in group count and data
+//    size (coherent caches absorb the contention).
+// ---------------------------------------------------------------------------
+void CpuKernels(DevicePerfModel* m, double s, bool opencl) {
+  double streaming = opencl ? 4400.0 : 3300.0;  // OpenCL > OpenMP (Fig. 9a)
+  m->kernels["map"] = P(streaming * s);
+  m->kernels["filter_bitmap"] = P(streaming * 1.05 * s);
+  m->kernels["filter_position"] = P(streaming * 0.8 * s);
+  // Materialization barely affects CPUs (Fig. 9b): threads own disjoint
+  // 32-value sequences and write only selected values, so the compaction
+  // kernel itself is cheap relative to the streaming filter.
+  m->kernels["materialize"] = P(streaming * 3.0 * s);
+  m->kernels["materialize_position"] = P(streaming * 0.8 * s);
+  m->kernels["prefix_sum"] = P(streaming * 0.5 * s);
+  m->kernels["agg_block"] = P(streaming * 0.9 * s);
+  double hash = opencl ? 750.0 : 700.0;
+  m->kernels["hash_agg"] = P(hash * s, 0, /*contention=*/0.03, 0.0);
+  m->kernels["hash_build"] = P(hash * 1.1 * s, 0, 0.02, 0.02);
+  m->kernels["hash_probe"] = P(hash * 1.5 * s, 0, 0.02, 0.02);
+  m->kernels["sort_agg"] = P(streaming * 0.4 * s);
+  m->default_kernel = P(streaming * 0.5 * s);
+}
+
+}  // namespace
+
+DevicePerfModel MakePerfModel(DriverKind kind, HardwareSetup setup) {
+  DevicePerfModel m;
+  m.name = std::string(DriverKindName(kind)) + "@" + HardwareSetupName(setup);
+  const bool setup2 = setup == HardwareSetup::kSetup2;
+  // GPU compute scale: A100 vs 2080 Ti streaming ~2.5x. CPU: 5220R ~2.8x.
+  const double gpu_scale = setup2 ? 2.5 : 1.0;
+  const double cpu_scale = setup2 ? 2.8 : 1.0;
+
+  switch (kind) {
+    case DriverKind::kCudaGpu:
+      // Fig. 3: CUDA reaches the full PCIe envelope; pinned ~2x pageable.
+      // Setup1: PCIe 3.0 x16 (~12.5 GiB/s pinned); Setup2: PCIe 4.0 x16.
+      m.transfer = setup2 ? TransferParams{11.0, 24.0, 10.0, 22.0, 8.0}
+                          : TransferParams{6.3, 12.3, 6.0, 11.8, 10.0};
+      m.kernel_launch_us = 5.0;
+      m.per_arg_map_us = 0.1;  // CUDA needs no explicit data mapping.
+      m.host_call_us = 0.5;
+      m.alloc_us = 8.0;
+      m.free_us = 4.0;
+      m.pinned_alloc_us = 80.0;
+      m.transform_us = 2.0;
+      m.kernel_compile_us = 0.0;  // precompiled fatbins
+      m.device_memory_bytes = (setup2 ? size_t{40} : size_t{11}) * kGiB;
+      m.pinned_memory_bytes = size_t{8} * kGiB;
+      GpuKernels(&m, gpu_scale, /*opencl=*/false);
+      break;
+
+    case DriverKind::kOpenClGpu:
+      // Fig. 3: OpenCL shows a consistently lower bandwidth range than CUDA
+      // (translation overhead) — modeled as ~0.85x bandwidth + higher call
+      // latency.
+      m.transfer = setup2 ? TransferParams{9.4, 20.4, 8.5, 18.7, 14.0}
+                          : TransferParams{5.4, 10.5, 5.1, 10.0, 16.0};
+      m.kernel_launch_us = 14.0;   // enqueueNDRange + arg setup
+      m.per_arg_map_us = 2.0;      // explicit clSetKernelArg mapping (Fig. 10)
+      m.host_call_us = 1.2;
+      m.alloc_us = 12.0;
+      m.free_us = 6.0;
+      m.pinned_alloc_us = 110.0;
+      m.transform_us = 2.5;
+      m.kernel_compile_us = 45000.0;  // runtime clBuildProgram per kernel
+      m.device_memory_bytes = (setup2 ? size_t{40} : size_t{11}) * kGiB;
+      m.pinned_memory_bytes = size_t{8} * kGiB;
+      GpuKernels(&m, gpu_scale, /*opencl=*/true);
+      break;
+
+    case DriverKind::kOpenClCpu:
+      // The CPU "device" shares host memory: transfers are memcpy-speed and
+      // pinning changes nothing.
+      m.transfer = TransferParams{15.0 * cpu_scale, 15.0 * cpu_scale,
+                                  15.0 * cpu_scale, 15.0 * cpu_scale, 1.0};
+      m.kernel_launch_us = 9.0;
+      m.per_arg_map_us = 1.5;
+      m.host_call_us = 1.0;
+      m.alloc_us = 3.0;
+      m.free_us = 2.0;
+      m.pinned_alloc_us = 6.0;
+      m.transform_us = 1.5;
+      m.kernel_compile_us = 30000.0;
+      m.device_memory_bytes = size_t{64} * kGiB;
+      m.pinned_memory_bytes = size_t{32} * kGiB;
+      CpuKernels(&m, cpu_scale, /*opencl=*/true);
+      break;
+
+    case DriverKind::kOpenMpCpu:
+      m.transfer = TransferParams{18.0 * cpu_scale, 18.0 * cpu_scale,
+                                  18.0 * cpu_scale, 18.0 * cpu_scale, 0.5};
+      m.kernel_launch_us = 3.0;  // omp parallel region spawn
+      m.per_arg_map_us = 0.0;    // shared address space, no mapping
+      m.host_call_us = 0.3;
+      m.alloc_us = 2.0;
+      m.free_us = 1.0;
+      m.pinned_alloc_us = 4.0;
+      m.transform_us = 1.0;
+      m.kernel_compile_us = 0.0;
+      m.device_memory_bytes = size_t{64} * kGiB;
+      m.pinned_memory_bytes = size_t{32} * kGiB;
+      CpuKernels(&m, cpu_scale, /*opencl=*/false);
+      break;
+  }
+  return m;
+}
+
+}  // namespace adamant::sim

@@ -1,0 +1,32 @@
+#ifndef ADAMANT_SIM_PRESETS_H_
+#define ADAMANT_SIM_PRESETS_H_
+
+#include <string>
+
+#include "sim/perf_model.h"
+
+namespace adamant::sim {
+
+/// The two evaluation environments of the paper (Table II).
+///   Setup1: Intel i7-8700 + GeForce RTX 2080 Ti, PCIe 3.0 x16.
+///   Setup2: Intel Xeon Gold 5220R + Nvidia A100, PCIe 4.0 x16.
+enum class HardwareSetup { kSetup1, kSetup2 };
+
+/// The four device drivers evaluated in the paper: a GPU driven through
+/// OpenCL and through CUDA, and the host CPU driven through OpenCL and
+/// through OpenMP.
+enum class DriverKind { kOpenClGpu, kCudaGpu, kOpenClCpu, kOpenMpCpu };
+
+const char* HardwareSetupName(HardwareSetup setup);
+const char* DriverKindName(DriverKind kind);
+bool IsGpuDriver(DriverKind kind);
+
+/// Builds the calibrated performance model for a driver on a setup. The
+/// calibration constants are documented inline in presets.cc; they are
+/// derived from public hardware specs plus the relative behaviours the paper
+/// reports in Figs. 3, 5, 9 and 10.
+DevicePerfModel MakePerfModel(DriverKind kind, HardwareSetup setup);
+
+}  // namespace adamant::sim
+
+#endif  // ADAMANT_SIM_PRESETS_H_

@@ -1,0 +1,26 @@
+#ifndef ADAMANT_SIM_SIM_TIME_H_
+#define ADAMANT_SIM_SIM_TIME_H_
+
+namespace adamant::sim {
+
+/// Simulated time in microseconds. All device timing in ADAMANT's simulated
+/// co-processors is expressed in SimTime; wall-clock time never enters the
+/// model, which keeps every run bit-deterministic.
+using SimTime = double;
+
+constexpr SimTime kUsPerMs = 1000.0;
+constexpr SimTime kUsPerSec = 1e6;
+
+constexpr SimTime UsFromMs(double ms) { return ms * kUsPerMs; }
+constexpr SimTime UsFromSec(double sec) { return sec * kUsPerSec; }
+constexpr double MsFromUs(SimTime us) { return us / kUsPerMs; }
+constexpr double SecFromUs(SimTime us) { return us / kUsPerSec; }
+
+/// Duration of moving `bytes` at `gib_per_sec` (GiB/s), in microseconds.
+constexpr SimTime TransferUs(double bytes, double gib_per_sec) {
+  return bytes / (gib_per_sec * 1024.0 * 1024.0 * 1024.0) * kUsPerSec;
+}
+
+}  // namespace adamant::sim
+
+#endif  // ADAMANT_SIM_SIM_TIME_H_

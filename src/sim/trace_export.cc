@@ -1,0 +1,45 @@
+#include "sim/trace_export.h"
+
+#include <sstream>
+
+namespace adamant::sim {
+
+namespace {
+void AppendEscaped(const std::string& text, std::ostringstream* out) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      *out << '\\';
+    }
+    *out << c;
+  }
+}
+}  // namespace
+
+std::string ToChromeTrace(
+    const std::vector<const ResourceTimeline*>& timelines) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (size_t tid = 0; tid < timelines.size(); ++tid) {
+    const ResourceTimeline* timeline = timelines[tid];
+    if (timeline == nullptr) continue;
+    // Thread-name metadata event.
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    AppendEscaped(timeline->name(), &out);
+    out << "\"}}";
+    for (const TimelineEntry& entry : timeline->trace()) {
+      out << ",{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid << ",\"ts\":"
+          << entry.start << ",\"dur\":" << (entry.end - entry.start)
+          << ",\"name\":\"";
+      AppendEscaped(entry.label.empty() ? "op" : entry.label, &out);
+      out << "\"}";
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace adamant::sim

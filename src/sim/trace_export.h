@@ -1,0 +1,21 @@
+#ifndef ADAMANT_SIM_TRACE_EXPORT_H_
+#define ADAMANT_SIM_TRACE_EXPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/timeline.h"
+
+namespace adamant::sim {
+
+/// Serializes traced timelines as Chrome Trace Event JSON (viewable in
+/// chrome://tracing or Perfetto). Each timeline becomes one "thread" whose
+/// complete events are the booked operations; timestamps are simulated
+/// microseconds. Timelines must have had tracing enabled before the run.
+std::string ToChromeTrace(
+    const std::vector<const ResourceTimeline*>& timelines);
+
+}  // namespace adamant::sim
+
+#endif  // ADAMANT_SIM_TRACE_EXPORT_H_

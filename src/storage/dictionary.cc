@@ -1,0 +1,29 @@
+#include "storage/dictionary.h"
+
+#include "common/logging.h"
+
+namespace adamant {
+
+int32_t StringDictionary::GetOrInsert(const std::string& value) {
+  auto [it, inserted] =
+      index_.emplace(value, static_cast<int32_t>(strings_.size()));
+  if (inserted) strings_.push_back(value);
+  return it->second;
+}
+
+Result<int32_t> StringDictionary::Lookup(const std::string& value) const {
+  auto it = index_.find(value);
+  if (it == index_.end()) {
+    return Status::NotFound("dictionary code for '" + value + "'");
+  }
+  return it->second;
+}
+
+const std::string& StringDictionary::GetString(int32_t code) const {
+  ADAMANT_CHECK(code >= 0 && static_cast<size_t>(code) < strings_.size())
+      << "dictionary code " << code << " out of range (size "
+      << strings_.size() << ")";
+  return strings_[static_cast<size_t>(code)];
+}
+
+}  // namespace adamant

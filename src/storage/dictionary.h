@@ -1,0 +1,38 @@
+#ifndef ADAMANT_STORAGE_DICTIONARY_H_
+#define ADAMANT_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace adamant {
+
+/// Order-preserving-enough string dictionary: maps strings to dense int32
+/// codes so that string columns (o_orderpriority, l_returnflag, ...) can run
+/// through the integer-only device kernels. Codes are assigned in first-seen
+/// order; equality predicates and group-bys only need code identity.
+class StringDictionary {
+ public:
+  /// Returns the code for `value`, interning it if new.
+  int32_t GetOrInsert(const std::string& value);
+
+  /// Returns the code for `value` or NotFound.
+  Result<int32_t> Lookup(const std::string& value) const;
+
+  /// Returns the string for `code`; dies on out-of-range codes
+  /// (programming error — codes only come from this dictionary).
+  const std::string& GetString(int32_t code) const;
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, int32_t> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_STORAGE_DICTIONARY_H_

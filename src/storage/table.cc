@@ -1,0 +1,79 @@
+#include "storage/table.h"
+
+namespace adamant {
+
+Status Table::AddColumn(ColumnPtr column) {
+  if (column == nullptr) {
+    return Status::InvalidArgument("null column");
+  }
+  if (!columns_.empty() && column->length() != num_rows()) {
+    return Status::InvalidArgument(
+        "column '" + column->name() + "' has " +
+        std::to_string(column->length()) + " rows, table '" + name_ +
+        "' has " + std::to_string(num_rows()));
+  }
+  for (const auto& existing : columns_) {
+    if (existing->name() == column->name()) {
+      return Status::AlreadyExists("column '" + column->name() + "' in table '" +
+                                   name_ + "'");
+    }
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Result<ColumnPtr> Table::GetColumn(const std::string& name) const {
+  for (const auto& column : columns_) {
+    if (column->name() == name) return column;
+  }
+  return Status::NotFound("column '" + name + "' in table '" + name_ + "'");
+}
+
+StringDictionary* Table::GetDictionary(const std::string& column_name) {
+  for (auto& [name, dict] : dictionaries_) {
+    if (name == column_name) return dict.get();
+  }
+  dictionaries_.emplace_back(column_name, std::make_unique<StringDictionary>());
+  return dictionaries_.back().second.get();
+}
+
+const StringDictionary* Table::FindDictionary(
+    const std::string& column_name) const {
+  for (const auto& [name, dict] : dictionaries_) {
+    if (name == column_name) return dict.get();
+  }
+  return nullptr;
+}
+
+size_t Table::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& column : columns_) total += column->byte_size();
+  return total;
+}
+
+Status Catalog::AddTable(TablePtr table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  for (const auto& existing : tables_) {
+    if (existing->name() == table->name()) {
+      return Status::AlreadyExists("table '" + table->name() + "'");
+    }
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  for (const auto& table : tables_) {
+    if (table->name() == name) return table;
+  }
+  return Status::NotFound("table '" + name + "'");
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& table : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace adamant

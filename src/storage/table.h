@@ -1,0 +1,64 @@
+#ifndef ADAMANT_STORAGE_TABLE_H_
+#define ADAMANT_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column.h"
+#include "storage/dictionary.h"
+
+namespace adamant {
+
+/// A named collection of equal-length columns plus the dictionaries backing
+/// any dictionary-encoded (string) columns.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0]->length(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Adds a column; all columns of a table must have equal length
+  /// (checked at add time once the table is non-empty).
+  Status AddColumn(ColumnPtr column);
+
+  Result<ColumnPtr> GetColumn(const std::string& name) const;
+  ColumnPtr column(size_t i) const { return columns_.at(i); }
+  const std::vector<ColumnPtr>& columns() const { return columns_; }
+
+  /// Dictionary used by a given dictionary-encoded column (shared; created
+  /// on first access).
+  StringDictionary* GetDictionary(const std::string& column_name);
+  const StringDictionary* FindDictionary(const std::string& column_name) const;
+
+  /// Total bytes across all columns (what a full-table device residency —
+  /// the HeavyDB model — would occupy).
+  size_t TotalBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnPtr> columns_;
+  std::vector<std::pair<std::string, std::unique_ptr<StringDictionary>>>
+      dictionaries_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+/// Name -> table registry for a database instance.
+class Catalog {
+ public:
+  Status AddTable(TablePtr table);
+  Result<TablePtr> GetTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::vector<TablePtr> tables_;
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_STORAGE_TABLE_H_

@@ -1,0 +1,198 @@
+#include "storage/tbl_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/date.h"
+#include "common/units.h"
+
+namespace adamant {
+
+namespace {
+
+Result<int64_t> ParseInt(const std::string& field, size_t row) {
+  int64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    return Status::InvalidArgument("row " + std::to_string(row) +
+                                   ": not an integer: '" + field + "'");
+  }
+  return value;
+}
+
+/// Parses a decimal like "-123.45" into scaled hundredths without floating
+/// point (exact for the two-digit decimals dbgen emits).
+Result<int64_t> ParseHundredths(const std::string& field, size_t row) {
+  const size_t dot = field.find('.');
+  const bool negative = !field.empty() && field[0] == '-';
+  std::string whole = dot == std::string::npos ? field : field.substr(0, dot);
+  std::string frac = dot == std::string::npos ? "" : field.substr(dot + 1);
+  if (frac.size() > 2) frac.resize(2);  // truncate extra digits
+  while (frac.size() < 2) frac += '0';
+  ADAMANT_ASSIGN_OR_RETURN(int64_t whole_value, ParseInt(whole, row));
+  ADAMANT_ASSIGN_OR_RETURN(int64_t frac_value,
+                           ParseInt(frac.empty() ? "0" : frac, row));
+  const int64_t magnitude = std::abs(whole_value) * 100 + frac_value;
+  return negative || whole_value < 0 ? -magnitude : magnitude;
+}
+
+}  // namespace
+
+Result<TablePtr> ReadTblFile(const std::string& path,
+                             const std::string& table_name,
+                             const std::vector<TblColumnSpec>& specs) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+
+  auto table = std::make_shared<Table>(table_name);
+  std::vector<ColumnPtr> columns(specs.size());
+  std::vector<StringDictionary*> dicts(specs.size(), nullptr);
+  for (size_t c = 0; c < specs.size(); ++c) {
+    const TblColumnSpec& spec = specs[c];
+    if (spec.kind == TblColumnSpec::Kind::kSkip) continue;
+    const ElementType type = spec.kind == TblColumnSpec::Kind::kInt64 ||
+                                     spec.kind == TblColumnSpec::Kind::kMoney
+                                 ? ElementType::kInt64
+                                 : ElementType::kInt32;
+    columns[c] = std::make_shared<Column>(spec.name, type);
+    if (spec.kind == TblColumnSpec::Kind::kDict) {
+      dicts[c] = table->GetDictionary(spec.name);
+    }
+  }
+
+  std::string line;
+  size_t row = 0;
+  while (std::getline(in, line)) {
+    ++row;
+    if (line.empty()) continue;
+    // dbgen rows end with a trailing '|'.
+    std::istringstream fields(line);
+    std::string field;
+    for (size_t c = 0; c < specs.size(); ++c) {
+      if (!std::getline(fields, field, '|')) {
+        return Status::InvalidArgument(
+            "row " + std::to_string(row) + ": expected " +
+            std::to_string(specs.size()) + " fields, got " +
+            std::to_string(c));
+      }
+      const TblColumnSpec& spec = specs[c];
+      switch (spec.kind) {
+        case TblColumnSpec::Kind::kSkip:
+          break;
+        case TblColumnSpec::Kind::kInt32: {
+          ADAMANT_ASSIGN_OR_RETURN(int64_t value, ParseInt(field, row));
+          columns[c]->Append(static_cast<int32_t>(value));
+          break;
+        }
+        case TblColumnSpec::Kind::kInt64: {
+          ADAMANT_ASSIGN_OR_RETURN(int64_t value, ParseInt(field, row));
+          columns[c]->Append(value);
+          break;
+        }
+        case TblColumnSpec::Kind::kMoney: {
+          ADAMANT_ASSIGN_OR_RETURN(int64_t cents, ParseHundredths(field, row));
+          columns[c]->Append(cents);
+          break;
+        }
+        case TblColumnSpec::Kind::kPct: {
+          ADAMANT_ASSIGN_OR_RETURN(int64_t pct, ParseHundredths(field, row));
+          columns[c]->Append(static_cast<int32_t>(pct));
+          break;
+        }
+        case TblColumnSpec::Kind::kDate: {
+          auto date = Date::Parse(field);
+          if (!date.ok()) {
+            return date.status().WithContext("row " + std::to_string(row));
+          }
+          columns[c]->Append(date->days());
+          break;
+        }
+        case TblColumnSpec::Kind::kDict:
+          columns[c]->Append(dicts[c]->GetOrInsert(field));
+          break;
+      }
+    }
+  }
+
+  for (size_t c = 0; c < specs.size(); ++c) {
+    if (columns[c] != nullptr) {
+      ADAMANT_RETURN_NOT_OK(table->AddColumn(columns[c]));
+    }
+  }
+  return table;
+}
+
+Status WriteTblFile(const Table& table, const std::string& path,
+                    const std::vector<TblColumnSpec>& specs) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+
+  std::vector<ColumnPtr> columns;
+  std::vector<const StringDictionary*> dicts;
+  for (const TblColumnSpec& spec : specs) {
+    if (spec.kind == TblColumnSpec::Kind::kSkip) {
+      return Status::InvalidArgument("kSkip is not valid for export");
+    }
+    ADAMANT_ASSIGN_OR_RETURN(ColumnPtr column, table.GetColumn(spec.name));
+    columns.push_back(column);
+    dicts.push_back(spec.kind == TblColumnSpec::Kind::kDict
+                        ? table.FindDictionary(spec.name)
+                        : nullptr);
+    if (spec.kind == TblColumnSpec::Kind::kDict && dicts.back() == nullptr) {
+      return Status::InvalidArgument("column '" + spec.name +
+                                     "' has no dictionary");
+    }
+  }
+
+  char buf[32];
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    for (size_t c = 0; c < specs.size(); ++c) {
+      switch (specs[c].kind) {
+        case TblColumnSpec::Kind::kInt32:
+          out << columns[c]->Value<int32_t>(row);
+          break;
+        case TblColumnSpec::Kind::kInt64:
+          out << columns[c]->Value<int64_t>(row);
+          break;
+        case TblColumnSpec::Kind::kMoney: {
+          const int64_t cents = columns[c]->Value<int64_t>(row);
+          std::snprintf(buf, sizeof(buf), "%lld.%02lld",
+                        static_cast<long long>(cents / 100),
+                        static_cast<long long>(std::abs(cents % 100)));
+          out << buf;
+          break;
+        }
+        case TblColumnSpec::Kind::kPct: {
+          const int32_t pct = columns[c]->Value<int32_t>(row);
+          std::snprintf(buf, sizeof(buf), "%d.%02d", pct / 100,
+                        std::abs(pct % 100));
+          out << buf;
+          break;
+        }
+        case TblColumnSpec::Kind::kDate:
+          out << Date(columns[c]->Value<int32_t>(row)).ToString();
+          break;
+        case TblColumnSpec::Kind::kDict:
+          out << dicts[c]->GetString(columns[c]->Value<int32_t>(row));
+          break;
+        case TblColumnSpec::Kind::kSkip:
+          break;
+      }
+      out << '|';
+    }
+    out << '\n';
+  }
+  if (!out.good()) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace adamant

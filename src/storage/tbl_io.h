@@ -1,0 +1,52 @@
+#ifndef ADAMANT_STORAGE_TBL_IO_H_
+#define ADAMANT_STORAGE_TBL_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace adamant {
+
+/// Import/export of dbgen-style `.tbl` files ('|'-separated values, one
+/// trailing separator per row) so the executor can consume data produced by
+/// the official TPC-H dbgen — and emit its own tables in the same format.
+///
+/// On import, text values are converted into ADAMANT's device-friendly
+/// encodings: dates become day numbers, decimals become int64 cents,
+/// low-cardinality strings become dictionary codes.
+
+struct TblColumnSpec {
+  enum class Kind {
+    kInt32,  // plain integer
+    kInt64,  // plain 64-bit integer
+    kMoney,  // decimal like "1234.56" -> int64 cents
+    kPct,    // decimal fraction like "0.06" -> int32 percent (6)
+    kDate,   // "YYYY-MM-DD" -> int32 day number
+    kDict,   // string -> dictionary code (per-column dictionary)
+    kSkip,   // column present in the file but not imported
+  };
+
+  std::string name;
+  Kind kind = Kind::kInt32;
+};
+
+/// Parses `path` into a table named `table_name` with the given column
+/// layout (specs must cover every field of the file, in order; use kSkip
+/// for fields to drop). Fails with IOError on unreadable files and
+/// InvalidArgument on malformed rows (row number in the message).
+Result<TablePtr> ReadTblFile(const std::string& path,
+                             const std::string& table_name,
+                             const std::vector<TblColumnSpec>& specs);
+
+/// Writes `table` in .tbl format. Columns exported per `specs` (which must
+/// name existing columns; kSkip is not meaningful here). Money is printed
+/// with two decimals, dates as YYYY-MM-DD, dictionary codes as their
+/// strings.
+Status WriteTblFile(const Table& table, const std::string& path,
+                    const std::vector<TblColumnSpec>& specs);
+
+}  // namespace adamant
+
+#endif  // ADAMANT_STORAGE_TBL_IO_H_

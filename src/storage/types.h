@@ -1,0 +1,60 @@
+#ifndef ADAMANT_STORAGE_TYPES_H_
+#define ADAMANT_STORAGE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adamant {
+
+/// Physical element types of ADAMANT columns. The executor is integer-
+/// centric like the paper's prototype ("2^29.7 32 bit integer values"):
+/// strings are dictionary-encoded to kInt32 codes, dates are day numbers,
+/// and money is fixed-point kInt64 cents.
+enum class ElementType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kFloat64 = 2,
+};
+
+constexpr size_t ElementSize(ElementType type) {
+  switch (type) {
+    case ElementType::kInt32:
+      return 4;
+    case ElementType::kInt64:
+      return 8;
+    case ElementType::kFloat64:
+      return 8;
+  }
+  return 0;
+}
+
+constexpr const char* ElementTypeName(ElementType type) {
+  switch (type) {
+    case ElementType::kInt32:
+      return "int32";
+    case ElementType::kInt64:
+      return "int64";
+    case ElementType::kFloat64:
+      return "float64";
+  }
+  return "?";
+}
+
+template <typename T>
+struct ElementTypeOf;
+template <>
+struct ElementTypeOf<int32_t> {
+  static constexpr ElementType value = ElementType::kInt32;
+};
+template <>
+struct ElementTypeOf<int64_t> {
+  static constexpr ElementType value = ElementType::kInt64;
+};
+template <>
+struct ElementTypeOf<double> {
+  static constexpr ElementType value = ElementType::kFloat64;
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_STORAGE_TYPES_H_

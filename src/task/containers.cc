@@ -1,0 +1,35 @@
+#include "task/containers.h"
+
+#include <algorithm>
+
+namespace adamant {
+
+DataContainer DataContainer::WithDefaultTransforms() {
+  DataContainer container;
+  const SdkFormat kAll[] = {SdkFormat::kRaw, SdkFormat::kOpenClBuffer,
+                            SdkFormat::kCudaDevPtr, SdkFormat::kThrustVector,
+                            SdkFormat::kBoostComputeVec};
+  for (SdkFormat from : kAll) {
+    for (SdkFormat to : kAll) {
+      if (from != to) container.AllowTransform(from, to);
+    }
+  }
+  return container;
+}
+
+void DataContainer::AllowTransform(SdkFormat from, SdkFormat to) {
+  if (!CanTransform(from, to)) allowed_.emplace_back(from, to);
+}
+
+bool DataContainer::CanTransform(SdkFormat from, SdkFormat to) const {
+  return std::find(allowed_.begin(), allowed_.end(),
+                   std::make_pair(from, to)) != allowed_.end();
+}
+
+DataContainer::Route DataContainer::PlanRoute(SdkFormat from,
+                                              SdkFormat to) const {
+  if (from == to) return Route::kNone;
+  return CanTransform(from, to) ? Route::kTransform : Route::kHostRoundTrip;
+}
+
+}  // namespace adamant

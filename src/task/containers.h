@@ -1,0 +1,68 @@
+#ifndef ADAMANT_TASK_CONTAINERS_H_
+#define ADAMANT_TASK_CONTAINERS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "device/buffer.h"
+#include "device/kernel_launch.h"
+
+namespace adamant {
+
+/// Task-layer kernel container (Section III-B1): an adapter carrying the
+/// runtime information needed to execute a custom-written function — its
+/// implementation, and, for SDKs with runtime compilation, the kernel
+/// string to compile.
+class KernelContainer {
+ public:
+  KernelContainer(std::string name, HostKernelFn fn,
+                  std::string source_text = std::string())
+      : name_(std::move(name)),
+        fn_(std::move(fn)),
+        source_text_(std::move(source_text)) {}
+
+  const std::string& name() const { return name_; }
+  const HostKernelFn& fn() const { return fn_; }
+  bool has_source() const { return !source_text_.empty(); }
+  const std::string& source_text() const { return source_text_; }
+
+  KernelSource ToKernelSource() const { return KernelSource{source_text_, fn_}; }
+
+ private:
+  std::string name_;
+  HostKernelFn fn_;
+  std::string source_text_;
+};
+
+/// Task-layer data container (Section III-B1): manages data formats for a
+/// task via a lookup table of legal SDK-to-SDK transformations. The router
+/// consults it to decide between an in-device transform_memory() and the
+/// naive host round-trip (retrieve + re-place) of Fig. 4.
+class DataContainer {
+ public:
+  enum class Route {
+    kNone,           // formats already match
+    kTransform,      // in-device transform_memory()
+    kHostRoundTrip,  // retrieve to host, re-place in target format
+  };
+
+  /// Default table: every SDK pair on the same physical device is
+  /// transformable in place (the relationships of Fig. 4).
+  static DataContainer WithDefaultTransforms();
+
+  /// Empty table: everything falls back to host round-trips (the naive
+  /// case the paper's transform interface exists to avoid).
+  static DataContainer WithoutTransforms() { return DataContainer(); }
+
+  void AllowTransform(SdkFormat from, SdkFormat to);
+  bool CanTransform(SdkFormat from, SdkFormat to) const;
+  Route PlanRoute(SdkFormat from, SdkFormat to) const;
+
+ private:
+  std::vector<std::pair<SdkFormat, SdkFormat>> allowed_;
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_TASK_CONTAINERS_H_

@@ -1,0 +1,61 @@
+#ifndef ADAMANT_TASK_HASH_TABLE_H_
+#define ADAMANT_TASK_HASH_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bit_util.h"
+
+namespace adamant {
+
+/// Device-resident hash-table layout shared by HASH_BUILD / HASH_PROBE /
+/// HASH_AGG. Open addressing with linear probing (the paper's hashing
+/// technique), single global table, empty slots marked by a key sentinel.
+///
+/// Build/join table slot:  { int32 key, int32 payload }           (8 bytes)
+/// Aggregation table slot: { int32 key, int32 pad, int64 value }  (16 bytes)
+///
+/// Duplicate keys occupy separate slots; probes scan the collision cluster
+/// until an empty slot, emitting every match (inner-join semantics).
+struct HashTableLayout {
+  static constexpr int32_t kEmptyKey = INT32_MIN;
+
+  struct BuildSlot {
+    int32_t key;
+    int32_t payload;
+  };
+
+  struct AggSlot {
+    int32_t key;
+    int32_t pad;
+    int64_t value;
+  };
+
+  static size_t BuildTableBytes(size_t num_slots) {
+    return num_slots * sizeof(BuildSlot);
+  }
+  static size_t AggTableBytes(size_t num_slots) {
+    return num_slots * sizeof(AggSlot);
+  }
+
+  /// Power-of-two slot count for <= 50% load factor.
+  static size_t SlotsFor(size_t expected_keys) {
+    size_t wanted = expected_keys < 8 ? 16 : expected_keys * 2;
+    return bit_util::NextPowerOfTwo(wanted);
+  }
+
+  /// 32-bit finalizer (murmur3 fmix); slot = Hash(key) & (num_slots - 1).
+  static uint32_t Hash(int32_t key) {
+    auto h = static_cast<uint32_t>(key);
+    h ^= h >> 16;
+    h *= 0x85EBCA6BU;
+    h ^= h >> 13;
+    h *= 0xC2B2AE35U;
+    h ^= h >> 16;
+    return h;
+  }
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_TASK_HASH_TABLE_H_

@@ -1,0 +1,21 @@
+#include "task/kernel_registry.h"
+
+#include "task/kernels.h"
+
+namespace adamant {
+
+Status BindStandardKernels(SimulatedDevice* device) {
+  if (device == nullptr) return Status::InvalidArgument("null device");
+  for (const std::string& name : kernels::AllKernelNames()) {
+    HostKernelFn fn = kernels::GetKernelFn(name);
+    if (device->requires_compilation()) {
+      KernelSource source{kernels::KernelSourceText(name), std::move(fn)};
+      ADAMANT_RETURN_NOT_OK(device->PrepareKernel(name, source));
+    } else {
+      device->RegisterPrecompiledKernel(name, std::move(fn));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace adamant

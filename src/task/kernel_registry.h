@@ -1,0 +1,18 @@
+#ifndef ADAMANT_TASK_KERNEL_REGISTRY_H_
+#define ADAMANT_TASK_KERNEL_REGISTRY_H_
+
+#include "common/status.h"
+#include "device/sim_device.h"
+
+namespace adamant {
+
+/// Installs the standard Table-I kernel library on a device. On drivers with
+/// runtime compilation (OpenCL) every kernel goes through prepare_kernel —
+/// ADAMANT compiles all pre-existing kernels during initialization, paying
+/// the compile cost once; on CUDA/OpenMP drivers kernels are registered as
+/// precompiled binaries.
+Status BindStandardKernels(SimulatedDevice* device);
+
+}  // namespace adamant
+
+#endif  // ADAMANT_TASK_KERNEL_REGISTRY_H_

@@ -1,0 +1,128 @@
+#ifndef ADAMANT_TASK_PRIMITIVE_H_
+#define ADAMANT_TASK_PRIMITIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace adamant {
+
+/// The granular database primitives of Table I. A database operator (e.g. a
+/// hash join) is composed from these; any implementation adhering to the
+/// signature can be plugged in per device/SDK.
+enum class PrimitiveKind : uint8_t {
+  kMap = 0,
+  kAggBlock,
+  kHashAgg,
+  kHashBuild,
+  kHashProbe,
+  kSortAgg,
+  kFilterBitmap,
+  kFilterPosition,
+  kPrefixSum,
+  kMaterialize,
+  kMaterializePosition,
+};
+
+constexpr int kNumPrimitiveKinds = 11;
+
+/// I/O semantics of primitive inputs/outputs (Section III-B3). The runtime
+/// uses these on data edges to pick the right downstream primitive (e.g. a
+/// BITMAP filter result must flow into MATERIALIZE, a POSITION result into
+/// MATERIALIZE_POSITION).
+enum class DataSemantic : uint8_t {
+  kNumeric = 0,
+  kBitmap,
+  kPosition,
+  kPrefixSum,
+  kHashTable,
+  kGeneric,
+};
+
+const char* PrimitiveKindName(PrimitiveKind kind);
+const char* DataSemanticName(DataSemantic semantic);
+
+/// Functional signature of a primitive: the semantics of its data inputs and
+/// outputs, and whether it breaks a query pipeline (materializing its result
+/// in device memory — marked with a dagger in Table I).
+struct PrimitiveSignature {
+  PrimitiveKind kind;
+  /// Kernel/cost-profile name ("map", "hash_build", ...).
+  const char* kernel_name;
+  std::vector<DataSemantic> inputs;
+  std::vector<DataSemantic> outputs;
+  bool pipeline_breaker;
+};
+
+/// Signature of `kind` per Table I.
+const PrimitiveSignature& GetSignature(PrimitiveKind kind);
+
+/// All signatures, in PrimitiveKind order.
+const std::vector<PrimitiveSignature>& AllSignatures();
+
+/// Validates that the produced semantics `from` may feed input slot
+/// `input_index` of `to` (the I/O definitions of Section III-B3).
+Status ValidateEdge(DataSemantic from, PrimitiveKind to, size_t input_index);
+
+// ---------------------------------------------------------------------------
+// Operation codes passed as scalar kernel arguments.
+// ---------------------------------------------------------------------------
+
+/// Map operations (one-to-one, Table I: "e.g. arithmetic operation").
+enum class MapOp : int64_t {
+  kAddScalar = 0,  // out = in0 + imm
+  kSubScalar,      // out = in0 - imm
+  kMulScalar,      // out = in0 * imm
+  kAddCol,         // out = in0 + in1
+  kSubCol,         // out = in0 - in1
+  kMulCol,         // out = in0 * in1
+  /// out = in0 * (100 - in1) / 100; fixed-point "price * (1 - discount)"
+  /// with in1 a percentage. Exercised by TPC-H Q3/Q6 revenue.
+  kMulPctComplement,
+  /// out = in0 * in1 / 100; fixed-point "price * discount".
+  kMulPct,
+  /// out = in0 * (100 + in1) / 100; fixed-point "price * (1 + tax)".
+  kMulPctPlus,
+  /// out = in0 (with optional widening cast).
+  kIdentity,
+  /// out[i] = (i > 0 && in0[i] != in0[i-1]) ? 1 : 0 — group-boundary flags
+  /// over sorted keys; PREFIX_SUM over them yields SORT_AGG group indices.
+  kNeqPrev,
+};
+
+/// Comparison operations for filters.
+enum class CmpOp : int64_t {
+  kLt = 0,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  /// lo <= in && in <= hi (inclusive).
+  kBetween,
+  /// in == lo || in == hi (two-element IN list, e.g. TPC-H Q12's
+  /// l_shipmode IN ('MAIL', 'SHIP') over dictionary codes).
+  kInPair,
+};
+
+/// Block/group aggregation functions.
+enum class AggOp : int64_t {
+  kSum = 0,
+  kCount,
+  kMin,
+  kMax,
+};
+
+/// hash_probe emission modes.
+enum class ProbeMode : int64_t {
+  /// Emit every matching build-side entry (inner join).
+  kAll = 0,
+  /// Emit at most one match per probe key (semi join / EXISTS).
+  kSemi,
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_TASK_PRIMITIVE_H_

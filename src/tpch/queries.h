@@ -1,0 +1,97 @@
+#ifndef ADAMANT_TPCH_QUERIES_H_
+#define ADAMANT_TPCH_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/date.h"
+
+namespace adamant::tpch {
+
+/// Validation-run parameters of the evaluated TPC-H queries. Money is int64
+/// cents, percentages are int32 percent, dates are day numbers (see
+/// tpch_gen.h for the encoding).
+
+/// Q1: pricing summary report.
+///   l_shipdate <= 1998-12-01 - delta days; group by returnflag, linestatus.
+struct Q1Params {
+  int delta_days = 90;
+  int32_t ship_cutoff() const {
+    return Date::FromYmd(1998, 12, 1).AddDays(-delta_days).days();
+  }
+};
+
+/// Q3: shipping priority (multiple joins — the paper's join-heavy query).
+///   customer.mktsegment = segment, o_orderdate < date, l_shipdate > date;
+///   group by orderkey; top-k by revenue.
+struct Q3Params {
+  std::string segment = "BUILDING";
+  int32_t date = Date::FromYmd(1995, 3, 15).days();
+  size_t limit = 10;
+};
+
+/// Q4: order priority checking (subquery — EXISTS turned into a semi join).
+///   o_orderdate in [date, date + 3 months), EXISTS(lineitem with
+///   l_commitdate < l_receiptdate); count per priority.
+struct Q4Params {
+  int32_t date = Date::FromYmd(1993, 7, 1).days();
+  int32_t date_end() const {
+    return Date(date).AddMonths(3).days();
+  }
+};
+
+/// Q5: local supplier volume — the six-table join (customer, orders,
+/// lineitem, supplier, nation, region) with the cross-side condition
+/// c_nationkey = s_nationkey. Revenue per nation of one region and year.
+struct Q5Params {
+  std::string region = "ASIA";
+  int32_t date = Date::FromYmd(1994, 1, 1).days();
+  int32_t date_end() const { return Date(date).AddMonths(12).days(); }
+};
+
+/// Q10: returned-item reporting (customers who returned items, by revenue
+/// lost). The order's custkey travels as the hash payload and becomes the
+/// aggregation key.
+///   o_orderdate in [date, date+3mo), l_returnflag = 'R';
+///   revenue per customer; top-k by revenue.
+struct Q10Params {
+  int32_t date = Date::FromYmd(1993, 10, 1).days();
+  int32_t date_end() const { return Date(date).AddMonths(3).days(); }
+  size_t limit = 20;
+};
+
+/// Q12: shipping modes and order priority (join whose build side
+/// contributes a payload attribute — exercises HASH_PROBE's right output).
+///   l_shipmode IN (mode1, mode2), l_commitdate < l_receiptdate,
+///   l_shipdate < l_commitdate, l_receiptdate in [date, date+1y);
+///   per ship mode: count of high-priority (1-URGENT/2-HIGH) and other
+///   lines.
+struct Q12Params {
+  std::string shipmode1 = "MAIL";
+  std::string shipmode2 = "SHIP";
+  int32_t date = Date::FromYmd(1994, 1, 1).days();
+  int32_t date_end() const { return Date(date).AddMonths(12).days(); }
+};
+
+/// Q14: promotion effect (join against part; conditional aggregation).
+///   l_partkey = p_partkey, l_shipdate in [date, date+1mo);
+///   promo_revenue = 100 * sum(revenue where p_type like 'PROMO%')
+///                        / sum(revenue).
+struct Q14Params {
+  int32_t date = Date::FromYmd(1995, 9, 1).days();
+  int32_t date_end() const { return Date(date).AddMonths(1).days(); }
+};
+
+/// Q6: forecasting revenue change (heavy scan + aggregation).
+///   l_shipdate in [date, date+1y), discount in [pct-1, pct+1],
+///   quantity < qty; revenue = sum(extendedprice * discount).
+struct Q6Params {
+  int32_t date = Date::FromYmd(1994, 1, 1).days();
+  int32_t date_end() const { return Date(date).AddMonths(12).days(); }
+  int32_t discount_pct = 6;  // spec 0.06 -> [5, 7] inclusive
+  int32_t quantity = 24;     // l_quantity < 24
+};
+
+}  // namespace adamant::tpch
+
+#endif  // ADAMANT_TPCH_QUERIES_H_

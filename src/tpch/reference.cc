@@ -1,0 +1,460 @@
+#include "tpch/reference.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace adamant::tpch {
+
+namespace {
+
+struct LineitemCols {
+  const int32_t* orderkey;
+  const int32_t* quantity;
+  const int64_t* extendedprice;
+  const int32_t* discount;
+  const int32_t* tax;
+  const int32_t* returnflag;
+  const int32_t* linestatus;
+  const int32_t* shipdate;
+  const int32_t* commitdate;
+  const int32_t* receiptdate;
+  size_t rows;
+};
+
+Result<LineitemCols> GetLineitem(const Catalog& catalog) {
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable("lineitem"));
+  LineitemCols cols{};
+  ADAMANT_ASSIGN_OR_RETURN(ColumnPtr c, table->GetColumn("l_orderkey"));
+  cols.orderkey = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, table->GetColumn("l_quantity"));
+  cols.quantity = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, table->GetColumn("l_extendedprice"));
+  cols.extendedprice = c->data<int64_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, table->GetColumn("l_discount"));
+  cols.discount = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, table->GetColumn("l_tax"));
+  cols.tax = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, table->GetColumn("l_returnflag"));
+  cols.returnflag = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, table->GetColumn("l_linestatus"));
+  cols.linestatus = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, table->GetColumn("l_shipdate"));
+  cols.shipdate = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, table->GetColumn("l_commitdate"));
+  cols.commitdate = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, table->GetColumn("l_receiptdate"));
+  cols.receiptdate = c->data<int32_t>();
+  cols.rows = table->num_rows();
+  return cols;
+}
+
+}  // namespace
+
+Result<std::vector<Q1Row>> Q1Reference(const Catalog& catalog,
+                                       const Q1Params& params) {
+  ADAMANT_ASSIGN_OR_RETURN(LineitemCols li, GetLineitem(catalog));
+  const int32_t cutoff = params.ship_cutoff();
+
+  std::map<std::pair<int32_t, int32_t>, Q1Row> groups;
+  for (size_t i = 0; i < li.rows; ++i) {
+    if (li.shipdate[i] > cutoff) continue;
+    auto key = std::make_pair(li.returnflag[i], li.linestatus[i]);
+    auto [it, inserted] = groups.try_emplace(
+        key, Q1Row{key.first, key.second, 0, 0, 0, 0, 0});
+    Q1Row& row = it->second;
+    // Same truncating fixed-point formulas as the device map kernels.
+    const int64_t disc_price =
+        li.extendedprice[i] * (100 - li.discount[i]) / 100;
+    const int64_t charge = disc_price * (100 + li.tax[i]) / 100;
+    row.sum_qty += li.quantity[i];
+    row.sum_base_price += li.extendedprice[i];
+    row.sum_disc_price += disc_price;
+    row.sum_charge += charge;
+    row.count += 1;
+  }
+
+  std::vector<Q1Row> result;
+  result.reserve(groups.size());
+  for (const auto& [key, row] : groups) result.push_back(row);
+  return result;
+}
+
+Result<std::vector<Q3Row>> Q3Reference(const Catalog& catalog,
+                                       const Q3Params& params) {
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr customer, catalog.GetTable("customer"));
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr orders, catalog.GetTable("orders"));
+  ADAMANT_ASSIGN_OR_RETURN(LineitemCols li, GetLineitem(catalog));
+
+  const StringDictionary* seg_dict = customer->FindDictionary("c_mktsegment");
+  if (seg_dict == nullptr) {
+    return Status::Internal("customer has no c_mktsegment dictionary");
+  }
+  ADAMANT_ASSIGN_OR_RETURN(int32_t segment_code,
+                           seg_dict->Lookup(params.segment));
+
+  ADAMANT_ASSIGN_OR_RETURN(ColumnPtr c, customer->GetColumn("c_custkey"));
+  const int32_t* c_custkey = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, customer->GetColumn("c_mktsegment"));
+  const int32_t* c_segment = c->data<int32_t>();
+  const size_t n_cust = customer->num_rows();
+
+  std::unordered_set<int32_t> building_custs;
+  for (size_t i = 0; i < n_cust; ++i) {
+    if (c_segment[i] == segment_code) building_custs.insert(c_custkey[i]);
+  }
+
+  ADAMANT_ASSIGN_OR_RETURN(c, orders->GetColumn("o_orderkey"));
+  const int32_t* o_orderkey = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, orders->GetColumn("o_custkey"));
+  const int32_t* o_custkey = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, orders->GetColumn("o_orderdate"));
+  const int32_t* o_orderdate = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, orders->GetColumn("o_shippriority"));
+  const int32_t* o_shippriority = c->data<int32_t>();
+  const size_t n_orders = orders->num_rows();
+
+  struct OrderInfo {
+    int32_t orderdate;
+    int32_t shippriority;
+  };
+  std::unordered_map<int32_t, OrderInfo> qualifying_orders;
+  for (size_t i = 0; i < n_orders; ++i) {
+    if (o_orderdate[i] < params.date &&
+        building_custs.count(o_custkey[i]) > 0) {
+      qualifying_orders.emplace(o_orderkey[i],
+                                OrderInfo{o_orderdate[i], o_shippriority[i]});
+    }
+  }
+
+  std::unordered_map<int32_t, int64_t> revenue;
+  for (size_t i = 0; i < li.rows; ++i) {
+    if (li.shipdate[i] <= params.date) continue;
+    auto it = qualifying_orders.find(li.orderkey[i]);
+    if (it == qualifying_orders.end()) continue;
+    revenue[li.orderkey[i]] +=
+        li.extendedprice[i] * (100 - li.discount[i]) / 100;
+  }
+
+  std::vector<Q3Row> rows;
+  rows.reserve(revenue.size());
+  for (const auto& [orderkey, rev] : revenue) {
+    const OrderInfo& info = qualifying_orders.at(orderkey);
+    rows.push_back(Q3Row{orderkey, rev, info.orderdate, info.shippriority});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Q3Row& a, const Q3Row& b) {
+    if (a.revenue != b.revenue) return a.revenue > b.revenue;
+    if (a.orderdate != b.orderdate) return a.orderdate < b.orderdate;
+    return a.orderkey < b.orderkey;
+  });
+  if (rows.size() > params.limit) rows.resize(params.limit);
+  return rows;
+}
+
+Result<std::vector<Q4Row>> Q4Reference(const Catalog& catalog,
+                                       const Q4Params& params) {
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr orders, catalog.GetTable("orders"));
+  ADAMANT_ASSIGN_OR_RETURN(LineitemCols li, GetLineitem(catalog));
+
+  std::unordered_set<int32_t> late_orders;
+  for (size_t i = 0; i < li.rows; ++i) {
+    if (li.commitdate[i] < li.receiptdate[i]) late_orders.insert(li.orderkey[i]);
+  }
+
+  ADAMANT_ASSIGN_OR_RETURN(ColumnPtr c, orders->GetColumn("o_orderkey"));
+  const int32_t* o_orderkey = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, orders->GetColumn("o_orderdate"));
+  const int32_t* o_orderdate = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, orders->GetColumn("o_orderpriority"));
+  const int32_t* o_priority = c->data<int32_t>();
+  const size_t n_orders = orders->num_rows();
+
+  std::map<int32_t, int64_t> counts;
+  const int32_t end = params.date_end();
+  for (size_t i = 0; i < n_orders; ++i) {
+    if (o_orderdate[i] < params.date || o_orderdate[i] >= end) continue;
+    if (late_orders.count(o_orderkey[i]) == 0) continue;
+    counts[o_priority[i]] += 1;
+  }
+
+  std::vector<Q4Row> rows;
+  rows.reserve(counts.size());
+  for (const auto& [priority, count] : counts) {
+    rows.push_back(Q4Row{priority, count});
+  }
+  return rows;
+}
+
+Result<std::vector<Q5Row>> Q5Reference(const Catalog& catalog,
+                                       const Q5Params& params) {
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr region, catalog.GetTable("region"));
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr nation, catalog.GetTable("nation"));
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr customer, catalog.GetTable("customer"));
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr supplier, catalog.GetTable("supplier"));
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr orders, catalog.GetTable("orders"));
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr lineitem, catalog.GetTable("lineitem"));
+
+  const StringDictionary* region_dict = region->FindDictionary("r_name");
+  const StringDictionary* nation_dict = nation->FindDictionary("n_name");
+  if (region_dict == nullptr || nation_dict == nullptr) {
+    return Status::Internal("region/nation dictionaries missing");
+  }
+  ADAMANT_ASSIGN_OR_RETURN(int32_t region_code,
+                           region_dict->Lookup(params.region));
+  ADAMANT_ASSIGN_OR_RETURN(ColumnPtr c, region->GetColumn("r_regionkey"));
+  const int32_t* r_key = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, region->GetColumn("r_name"));
+  const int32_t* r_name = c->data<int32_t>();
+  int32_t regionkey = -1;
+  for (size_t i = 0; i < region->num_rows(); ++i) {
+    if (r_name[i] == region_code) regionkey = r_key[i];
+  }
+  if (regionkey < 0) return Status::NotFound("region " + params.region);
+
+  ADAMANT_ASSIGN_OR_RETURN(c, nation->GetColumn("n_nationkey"));
+  const int32_t* n_key = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, nation->GetColumn("n_regionkey"));
+  const int32_t* n_region = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, nation->GetColumn("n_name"));
+  const int32_t* n_name = c->data<int32_t>();
+  std::unordered_map<int32_t, int32_t> region_nations;  // key -> name code
+  for (size_t i = 0; i < nation->num_rows(); ++i) {
+    if (n_region[i] == regionkey) region_nations.emplace(n_key[i], n_name[i]);
+  }
+
+  ADAMANT_ASSIGN_OR_RETURN(c, customer->GetColumn("c_custkey"));
+  const int32_t* c_key = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, customer->GetColumn("c_nationkey"));
+  const int32_t* c_nation = c->data<int32_t>();
+  std::unordered_map<int32_t, int32_t> cust_nation;
+  for (size_t i = 0; i < customer->num_rows(); ++i) {
+    cust_nation.emplace(c_key[i], c_nation[i]);
+  }
+
+  ADAMANT_ASSIGN_OR_RETURN(c, supplier->GetColumn("s_suppkey"));
+  const int32_t* s_key = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, supplier->GetColumn("s_nationkey"));
+  const int32_t* s_nation = c->data<int32_t>();
+  std::unordered_map<int32_t, int32_t> supp_nation;
+  for (size_t i = 0; i < supplier->num_rows(); ++i) {
+    supp_nation.emplace(s_key[i], s_nation[i]);
+  }
+
+  ADAMANT_ASSIGN_OR_RETURN(c, orders->GetColumn("o_orderkey"));
+  const int32_t* o_key = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, orders->GetColumn("o_custkey"));
+  const int32_t* o_cust = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, orders->GetColumn("o_orderdate"));
+  const int32_t* o_date = c->data<int32_t>();
+  std::unordered_map<int32_t, int32_t> order_cust;  // qualifying orders
+  const int32_t end = params.date_end();
+  for (size_t i = 0; i < orders->num_rows(); ++i) {
+    if (o_date[i] >= params.date && o_date[i] < end) {
+      order_cust.emplace(o_key[i], o_cust[i]);
+    }
+  }
+
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_orderkey"));
+  const int32_t* l_order = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_suppkey"));
+  const int32_t* l_supp = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_extendedprice"));
+  const int64_t* l_price = c->data<int64_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_discount"));
+  const int32_t* l_disc = c->data<int32_t>();
+
+  std::unordered_map<int32_t, int64_t> revenue;  // nationkey -> cents
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    auto order = order_cust.find(l_order[i]);
+    if (order == order_cust.end()) continue;
+    auto cust = cust_nation.find(order->second);
+    if (cust == cust_nation.end()) continue;
+    auto supp = supp_nation.find(l_supp[i]);
+    if (supp == supp_nation.end()) continue;
+    if (cust->second != supp->second) continue;  // local supplier only
+    if (region_nations.count(cust->second) == 0) continue;
+    revenue[cust->second] += l_price[i] * (100 - l_disc[i]) / 100;
+  }
+
+  std::vector<Q5Row> rows;
+  rows.reserve(revenue.size());
+  for (const auto& [nationkey, rev] : revenue) {
+    rows.push_back(Q5Row{nationkey,
+                         nation_dict->GetString(region_nations.at(nationkey)),
+                         rev});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Q5Row& a, const Q5Row& b) {
+    if (a.revenue != b.revenue) return a.revenue > b.revenue;
+    return a.nationkey < b.nationkey;
+  });
+  return rows;
+}
+
+Result<std::vector<Q10Row>> Q10Reference(const Catalog& catalog,
+                                         const Q10Params& params) {
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr lineitem, catalog.GetTable("lineitem"));
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr orders, catalog.GetTable("orders"));
+  const StringDictionary* rf_dict = lineitem->FindDictionary("l_returnflag");
+  if (rf_dict == nullptr) {
+    return Status::Internal("lineitem has no l_returnflag dictionary");
+  }
+  ADAMANT_ASSIGN_OR_RETURN(int32_t code_r, rf_dict->Lookup("R"));
+
+  ADAMANT_ASSIGN_OR_RETURN(ColumnPtr c, orders->GetColumn("o_orderkey"));
+  const int32_t* o_orderkey = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, orders->GetColumn("o_custkey"));
+  const int32_t* o_custkey = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, orders->GetColumn("o_orderdate"));
+  const int32_t* o_orderdate = c->data<int32_t>();
+  std::unordered_map<int32_t, int32_t> cust_of;  // qualifying orders
+  const int32_t end = params.date_end();
+  for (size_t i = 0; i < orders->num_rows(); ++i) {
+    if (o_orderdate[i] >= params.date && o_orderdate[i] < end) {
+      cust_of.emplace(o_orderkey[i], o_custkey[i]);
+    }
+  }
+
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_orderkey"));
+  const int32_t* l_orderkey = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_returnflag"));
+  const int32_t* l_returnflag = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_extendedprice"));
+  const int64_t* l_extendedprice = c->data<int64_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_discount"));
+  const int32_t* l_discount = c->data<int32_t>();
+
+  std::unordered_map<int32_t, int64_t> revenue;
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    if (l_returnflag[i] != code_r) continue;
+    auto it = cust_of.find(l_orderkey[i]);
+    if (it == cust_of.end()) continue;
+    revenue[it->second] +=
+        l_extendedprice[i] * (100 - l_discount[i]) / 100;
+  }
+
+  std::vector<Q10Row> rows;
+  rows.reserve(revenue.size());
+  for (const auto& [custkey, rev] : revenue) {
+    rows.push_back(Q10Row{custkey, rev});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Q10Row& a, const Q10Row& b) {
+    if (a.revenue != b.revenue) return a.revenue > b.revenue;
+    return a.custkey < b.custkey;
+  });
+  if (rows.size() > params.limit) rows.resize(params.limit);
+  return rows;
+}
+
+Result<std::vector<Q12Row>> Q12Reference(const Catalog& catalog,
+                                         const Q12Params& params) {
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr lineitem, catalog.GetTable("lineitem"));
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr orders, catalog.GetTable("orders"));
+  const StringDictionary* modes = lineitem->FindDictionary("l_shipmode");
+  if (modes == nullptr) {
+    return Status::Internal("lineitem has no l_shipmode dictionary");
+  }
+  ADAMANT_ASSIGN_OR_RETURN(int32_t mode1, modes->Lookup(params.shipmode1));
+  ADAMANT_ASSIGN_OR_RETURN(int32_t mode2, modes->Lookup(params.shipmode2));
+
+  ADAMANT_ASSIGN_OR_RETURN(ColumnPtr c, orders->GetColumn("o_orderkey"));
+  const int32_t* o_orderkey = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, orders->GetColumn("o_orderpriority"));
+  const int32_t* o_priority = c->data<int32_t>();
+  std::unordered_map<int32_t, int32_t> priority_of;
+  priority_of.reserve(orders->num_rows());
+  for (size_t i = 0; i < orders->num_rows(); ++i) {
+    priority_of.emplace(o_orderkey[i], o_priority[i]);
+  }
+
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_orderkey"));
+  const int32_t* l_orderkey = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_shipmode"));
+  const int32_t* l_shipmode = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_shipdate"));
+  const int32_t* l_shipdate = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_commitdate"));
+  const int32_t* l_commitdate = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_receiptdate"));
+  const int32_t* l_receiptdate = c->data<int32_t>();
+
+  std::map<int32_t, Q12Row> rows;
+  const int32_t end = params.date_end();
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    if (l_shipmode[i] != mode1 && l_shipmode[i] != mode2) continue;
+    if (l_commitdate[i] >= l_receiptdate[i]) continue;
+    if (l_shipdate[i] >= l_commitdate[i]) continue;
+    if (l_receiptdate[i] < params.date || l_receiptdate[i] >= end) continue;
+    auto it = priority_of.find(l_orderkey[i]);
+    if (it == priority_of.end()) continue;
+    Q12Row& row = rows.try_emplace(l_shipmode[i],
+                                   Q12Row{l_shipmode[i], 0, 0})
+                      .first->second;
+    // Priority codes interned in spec order: 0 = 1-URGENT, 1 = 2-HIGH.
+    if (it->second <= 1) {
+      row.high_line_count += 1;
+    } else {
+      row.low_line_count += 1;
+    }
+  }
+  std::vector<Q12Row> result;
+  result.reserve(rows.size());
+  for (const auto& [mode, row] : rows) result.push_back(row);
+  return result;
+}
+
+Result<Q14Result> Q14Reference(const Catalog& catalog,
+                               const Q14Params& params) {
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr lineitem, catalog.GetTable("lineitem"));
+  ADAMANT_ASSIGN_OR_RETURN(TablePtr part, catalog.GetTable("part"));
+
+  ADAMANT_ASSIGN_OR_RETURN(ColumnPtr c, part->GetColumn("p_partkey"));
+  const int32_t* p_partkey = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, part->GetColumn("p_ispromo"));
+  const int32_t* p_ispromo = c->data<int32_t>();
+  std::unordered_map<int32_t, bool> promo_of;
+  promo_of.reserve(part->num_rows());
+  for (size_t i = 0; i < part->num_rows(); ++i) {
+    promo_of.emplace(p_partkey[i], p_ispromo[i] != 0);
+  }
+
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_partkey"));
+  const int32_t* l_partkey = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_shipdate"));
+  const int32_t* l_shipdate = c->data<int32_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_extendedprice"));
+  const int64_t* l_extendedprice = c->data<int64_t>();
+  ADAMANT_ASSIGN_OR_RETURN(c, lineitem->GetColumn("l_discount"));
+  const int32_t* l_discount = c->data<int32_t>();
+
+  Q14Result result{0, 0};
+  const int32_t end = params.date_end();
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    if (l_shipdate[i] < params.date || l_shipdate[i] >= end) continue;
+    auto it = promo_of.find(l_partkey[i]);
+    if (it == promo_of.end()) continue;
+    const int64_t revenue =
+        l_extendedprice[i] * (100 - l_discount[i]) / 100;
+    result.total_revenue_cents += revenue;
+    if (it->second) result.promo_revenue_cents += revenue;
+  }
+  return result;
+}
+
+Result<int64_t> Q6Reference(const Catalog& catalog, const Q6Params& params) {
+  ADAMANT_ASSIGN_OR_RETURN(LineitemCols li, GetLineitem(catalog));
+  const int32_t end = params.date_end();
+  const int32_t lo = params.discount_pct - 1;
+  const int32_t hi = params.discount_pct + 1;
+
+  int64_t revenue = 0;
+  for (size_t i = 0; i < li.rows; ++i) {
+    if (li.shipdate[i] < params.date || li.shipdate[i] >= end) continue;
+    if (li.discount[i] < lo || li.discount[i] > hi) continue;
+    if (li.quantity[i] >= params.quantity) continue;
+    revenue += li.extendedprice[i] * li.discount[i] / 100;
+  }
+  return revenue;
+}
+
+}  // namespace adamant::tpch

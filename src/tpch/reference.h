@@ -1,0 +1,108 @@
+#ifndef ADAMANT_TPCH_REFERENCE_H_
+#define ADAMANT_TPCH_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+#include "tpch/queries.h"
+
+namespace adamant::tpch {
+
+/// Scalar host reference implementations of the evaluated queries. The
+/// executor's results are bit-compared against these in the integration
+/// tests; all arithmetic uses the same fixed-point conventions as the
+/// device kernels so equality is exact.
+
+struct Q1Row {
+  int32_t returnflag;  // dictionary code
+  int32_t linestatus;  // dictionary code
+  int64_t sum_qty;
+  int64_t sum_base_price;   // cents
+  int64_t sum_disc_price;   // cents
+  int64_t sum_charge;       // cents
+  int64_t count;
+  bool operator==(const Q1Row&) const = default;
+};
+
+struct Q3Row {
+  int32_t orderkey;
+  int64_t revenue;  // cents
+  int32_t orderdate;
+  int32_t shippriority;
+  bool operator==(const Q3Row&) const = default;
+};
+
+struct Q4Row {
+  int32_t priority;  // dictionary code 0..4 (spec order)
+  int64_t order_count;
+  bool operator==(const Q4Row&) const = default;
+};
+
+/// Q1 rows sorted by (returnflag, linestatus) dictionary code.
+Result<std::vector<Q1Row>> Q1Reference(const Catalog& catalog,
+                                       const Q1Params& params);
+
+/// Q3 top-`limit` rows by (revenue desc, orderdate asc, orderkey asc).
+Result<std::vector<Q3Row>> Q3Reference(const Catalog& catalog,
+                                       const Q3Params& params);
+
+/// Q4 rows sorted by priority code (== spec priority order).
+Result<std::vector<Q4Row>> Q4Reference(const Catalog& catalog,
+                                       const Q4Params& params);
+
+/// Q6 revenue in cents.
+Result<int64_t> Q6Reference(const Catalog& catalog, const Q6Params& params);
+
+struct Q5Row {
+  int32_t nationkey;
+  std::string nation;
+  int64_t revenue;  // cents
+  bool operator==(const Q5Row&) const = default;
+};
+
+/// Q5 rows sorted by revenue descending.
+Result<std::vector<Q5Row>> Q5Reference(const Catalog& catalog,
+                                       const Q5Params& params);
+
+struct Q10Row {
+  int32_t custkey;
+  int64_t revenue;  // cents
+  bool operator==(const Q10Row&) const = default;
+};
+
+/// Q10 top-`limit` rows by (revenue desc, custkey asc).
+Result<std::vector<Q10Row>> Q10Reference(const Catalog& catalog,
+                                         const Q10Params& params);
+
+struct Q12Row {
+  int32_t shipmode;  // dictionary code (spec ship-mode order)
+  int64_t high_line_count;
+  int64_t low_line_count;
+  bool operator==(const Q12Row&) const = default;
+};
+
+/// Q12 rows sorted by ship-mode code.
+Result<std::vector<Q12Row>> Q12Reference(const Catalog& catalog,
+                                         const Q12Params& params);
+
+struct Q14Result {
+  int64_t promo_revenue_cents;
+  int64_t total_revenue_cents;
+  /// 100 * promo / total.
+  double promo_pct() const {
+    return total_revenue_cents == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(promo_revenue_cents) /
+                     static_cast<double>(total_revenue_cents);
+  }
+  bool operator==(const Q14Result&) const = default;
+};
+
+Result<Q14Result> Q14Reference(const Catalog& catalog,
+                               const Q14Params& params);
+
+}  // namespace adamant::tpch
+
+#endif  // ADAMANT_TPCH_REFERENCE_H_

@@ -1,0 +1,123 @@
+#include "tpch/tbl_schemas.h"
+
+#include <sys/stat.h>
+
+namespace adamant::tpch {
+
+namespace {
+using K = TblColumnSpec::Kind;
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+}  // namespace
+
+std::vector<TblColumnSpec> LineitemTblSpec() {
+  return {{"l_orderkey", K::kInt32},     {"l_partkey", K::kInt32},
+          {"l_suppkey", K::kInt32},      {"l_linenumber", K::kInt32},
+          {"l_quantity", K::kInt32},     {"l_extendedprice", K::kMoney},
+          {"l_discount", K::kPct},       {"l_tax", K::kPct},
+          {"l_returnflag", K::kDict},    {"l_linestatus", K::kDict},
+          {"l_shipdate", K::kDate},      {"l_commitdate", K::kDate},
+          {"l_receiptdate", K::kDate},   {"l_shipinstruct", K::kSkip},
+          {"l_shipmode", K::kDict},      {"l_comment", K::kSkip}};
+}
+
+std::vector<TblColumnSpec> OrdersTblSpec() {
+  return {{"o_orderkey", K::kInt32},     {"o_custkey", K::kInt32},
+          {"o_orderstatus", K::kDict},   {"o_totalprice", K::kMoney},
+          {"o_orderdate", K::kDate},     {"o_orderpriority", K::kDict},
+          {"o_clerk", K::kSkip},         {"o_shippriority", K::kInt32},
+          {"o_comment", K::kSkip}};
+}
+
+std::vector<TblColumnSpec> CustomerTblSpec() {
+  return {{"c_custkey", K::kInt32},   {"c_name", K::kSkip},
+          {"c_address", K::kSkip},    {"c_nationkey", K::kInt32},
+          {"c_phone", K::kSkip},      {"c_acctbal", K::kMoney},
+          {"c_mktsegment", K::kDict}, {"c_comment", K::kSkip}};
+}
+
+std::vector<TblColumnSpec> PartTblSpec() {
+  return {{"p_partkey", K::kInt32},     {"p_name", K::kSkip},
+          {"p_mfgr", K::kSkip},         {"p_brand", K::kSkip},
+          {"p_type", K::kDict},         {"p_size", K::kInt32},
+          {"p_container", K::kSkip},    {"p_retailprice", K::kMoney},
+          {"p_comment", K::kSkip}};
+}
+
+std::vector<TblColumnSpec> SupplierTblSpec() {
+  return {{"s_suppkey", K::kInt32}, {"s_name", K::kSkip},
+          {"s_address", K::kSkip},  {"s_nationkey", K::kInt32},
+          {"s_phone", K::kSkip},    {"s_acctbal", K::kMoney},
+          {"s_comment", K::kSkip}};
+}
+
+std::vector<TblColumnSpec> PartsuppTblSpec() {
+  return {{"ps_partkey", K::kInt32},
+          {"ps_suppkey", K::kInt32},
+          {"ps_availqty", K::kInt32},
+          {"ps_supplycost", K::kMoney},
+          {"ps_comment", K::kSkip}};
+}
+
+std::vector<TblColumnSpec> NationTblSpec() {
+  return {{"n_nationkey", K::kInt32},
+          {"n_name", K::kDict},
+          {"n_regionkey", K::kInt32},
+          {"n_comment", K::kSkip}};
+}
+
+std::vector<TblColumnSpec> RegionTblSpec() {
+  return {{"r_regionkey", K::kInt32},
+          {"r_name", K::kDict},
+          {"r_comment", K::kSkip}};
+}
+
+Status DerivePartPromoFlag(Table* part) {
+  if (part == nullptr) return Status::InvalidArgument("null table");
+  ADAMANT_ASSIGN_OR_RETURN(ColumnPtr type, part->GetColumn("p_type"));
+  const StringDictionary* dict = part->FindDictionary("p_type");
+  if (dict == nullptr) {
+    return Status::InvalidArgument("part has no p_type dictionary");
+  }
+  std::vector<int32_t> ispromo(part->num_rows());
+  const int32_t* codes = type->data<int32_t>();
+  for (size_t i = 0; i < part->num_rows(); ++i) {
+    ispromo[i] = dict->GetString(codes[i]).rfind("PROMO", 0) == 0 ? 1 : 0;
+  }
+  return part->AddColumn(Column::FromVector("p_ispromo", ispromo));
+}
+
+Result<std::shared_ptr<Catalog>> LoadTblDirectory(const std::string& dir) {
+  struct Entry {
+    const char* table;
+    std::vector<TblColumnSpec> (*spec)();
+  };
+  const Entry entries[] = {
+      {"lineitem", &LineitemTblSpec}, {"orders", &OrdersTblSpec},
+      {"customer", &CustomerTblSpec}, {"part", &PartTblSpec},
+      {"supplier", &SupplierTblSpec}, {"partsupp", &PartsuppTblSpec},
+      {"nation", &NationTblSpec},     {"region", &RegionTblSpec},
+  };
+  auto catalog = std::make_shared<Catalog>();
+  size_t loaded = 0;
+  for (const Entry& entry : entries) {
+    const std::string path = dir + "/" + entry.table + ".tbl";
+    if (!FileExists(path)) continue;
+    ADAMANT_ASSIGN_OR_RETURN(TablePtr table,
+                             ReadTblFile(path, entry.table, entry.spec()));
+    if (std::string(entry.table) == "part") {
+      ADAMANT_RETURN_NOT_OK(DerivePartPromoFlag(table.get()));
+    }
+    ADAMANT_RETURN_NOT_OK(catalog->AddTable(table));
+    ++loaded;
+  }
+  if (loaded == 0) {
+    return Status::NotFound("no .tbl files in '" + dir + "'");
+  }
+  return catalog;
+}
+
+}  // namespace adamant::tpch

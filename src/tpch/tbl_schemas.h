@@ -1,0 +1,38 @@
+#ifndef ADAMANT_TPCH_TBL_SCHEMAS_H_
+#define ADAMANT_TPCH_TBL_SCHEMAS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+#include "storage/tbl_io.h"
+
+namespace adamant::tpch {
+
+/// Column layouts of the official dbgen `.tbl` files, mapped onto ADAMANT's
+/// encodings (text columns the executor never touches are dropped with
+/// kSkip). Importing official dbgen output therefore yields the same
+/// catalog shape the built-in generator produces.
+std::vector<TblColumnSpec> LineitemTblSpec();
+std::vector<TblColumnSpec> OrdersTblSpec();
+std::vector<TblColumnSpec> CustomerTblSpec();
+std::vector<TblColumnSpec> PartTblSpec();
+std::vector<TblColumnSpec> SupplierTblSpec();
+std::vector<TblColumnSpec> PartsuppTblSpec();
+std::vector<TblColumnSpec> NationTblSpec();
+std::vector<TblColumnSpec> RegionTblSpec();
+
+/// Adds the pre-decoded `p_ispromo` flag ("p_type LIKE 'PROMO%'" evaluated
+/// against the dictionary) that TPC-H Q14 consumes; call after importing a
+/// part table.
+Status DerivePartPromoFlag(Table* part);
+
+/// Loads every recognized `<table>.tbl` file from `dir` into a catalog
+/// (missing files are skipped; at least one must exist).
+Result<std::shared_ptr<Catalog>> LoadTblDirectory(const std::string& dir);
+
+}  // namespace adamant::tpch
+
+#endif  // ADAMANT_TPCH_TBL_SCHEMAS_H_

@@ -1,0 +1,370 @@
+#include "tpch/tpch_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "common/random.h"
+#include "common/units.h"
+
+namespace adamant::tpch {
+
+namespace {
+
+// Spec anchors.
+const Date kStartDate = Date::FromYmd(1992, 1, 1);
+const Date kEndDate = Date::FromYmd(1998, 12, 31);
+const Date kCurrentDate = Date::FromYmd(1995, 6, 17);
+// Latest o_orderdate = ENDDATE - 151 days so every lineitem date fits.
+const int32_t kMaxOrderDate = kEndDate.days() - 151;
+
+int64_t ScaledRows(double sf, int64_t base) {
+  auto rows = static_cast<int64_t>(std::llround(sf * static_cast<double>(base)));
+  return std::max<int64_t>(rows, 1);
+}
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",         "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",          "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",         "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",          "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+// n_regionkey per nation (spec Appendix).
+const int32_t kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                                 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+const char* kShipModes[] = {"REG AIR", "AIR",   "RAIL", "SHIP",
+                            "TRUCK",   "MAIL", "FOB"};
+// Spec 4.2.2.13 p_type = Types1 Types2 Types3 (6 x 5 x 5 = 150 strings).
+const char* kTypes1[] = {"STANDARD", "SMALL", "MEDIUM",
+                         "LARGE",    "ECONOMY", "PROMO"};
+const char* kTypes2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                         "BRUSHED"};
+const char* kTypes3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+
+struct LineitemBuilder {
+  std::vector<int32_t> orderkey, partkey, suppkey, linenumber, quantity;
+  std::vector<int64_t> extendedprice;
+  std::vector<int32_t> discount, tax, returnflag, linestatus, shipmode;
+  std::vector<int32_t> shipdate, commitdate, receiptdate;
+
+  void Reserve(size_t n) {
+    for (auto* v : {&orderkey, &partkey, &suppkey, &linenumber, &quantity,
+                    &discount, &tax, &returnflag, &linestatus, &shipmode,
+                    &shipdate, &commitdate, &receiptdate}) {
+      v->reserve(n);
+    }
+    extendedprice.reserve(n);
+  }
+};
+
+Status AddInt32(Table* table, std::string name, std::vector<int32_t> values) {
+  return table->AddColumn(Column::FromVector(std::move(name), values));
+}
+
+Status AddInt64(Table* table, std::string name, std::vector<int64_t> values) {
+  return table->AddColumn(Column::FromVector(std::move(name), values));
+}
+
+}  // namespace
+
+int64_t CustomerRows(double sf) { return ScaledRows(sf, 150000); }
+int64_t OrdersRows(double sf) { return ScaledRows(sf, 1500000); }
+int64_t LineitemRowsApprox(double sf) { return ScaledRows(sf, 6000000); }
+int64_t PartRows(double sf) { return ScaledRows(sf, 200000); }
+int64_t SupplierRows(double sf) { return ScaledRows(sf, 10000); }
+int64_t PartsuppRows(double sf) { return ScaledRows(sf, 800000); }
+
+int64_t RetailPriceCents(int32_t partkey) {
+  // Spec 4.2.3: (90000 + ((partkey/10) mod 20001) + 100*(partkey mod 1000))
+  // expressed in cents.
+  return 90000 + (partkey / 10) % 20001 + 100 * (partkey % 1000);
+}
+
+Result<std::shared_ptr<Catalog>> Generate(const TpchConfig& config) {
+  if (config.scale_factor <= 0) {
+    return Status::InvalidArgument("scale_factor must be positive");
+  }
+  auto catalog = std::make_shared<Catalog>();
+  Rng rng(config.seed);
+
+  const int64_t num_customers = CustomerRows(config.scale_factor);
+  const int64_t num_orders = OrdersRows(config.scale_factor);
+  const int64_t num_parts = PartRows(config.scale_factor);
+  const int64_t num_suppliers = SupplierRows(config.scale_factor);
+
+  // --- customer ---
+  {
+    auto table = std::make_shared<Table>("customer");
+    auto* seg_dict = table->GetDictionary("c_mktsegment");
+    std::vector<int32_t> custkey(num_customers), nationkey(num_customers),
+        mktsegment(num_customers);
+    std::vector<int64_t> acctbal(num_customers);
+    for (int64_t i = 0; i < num_customers; ++i) {
+      custkey[i] = static_cast<int32_t>(i + 1);
+      nationkey[i] = static_cast<int32_t>(rng.Uniform(0, 24));
+      mktsegment[i] =
+          seg_dict->GetOrInsert(kSegments[rng.Uniform(0, 4)]);
+      acctbal[i] = rng.Uniform(-99999, 999999);  // cents, spec [-999.99,9999.99]
+    }
+    ADAMANT_RETURN_NOT_OK(AddInt32(table.get(), "c_custkey", std::move(custkey)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(table.get(), "c_nationkey", std::move(nationkey)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(table.get(), "c_mktsegment", std::move(mktsegment)));
+    ADAMANT_RETURN_NOT_OK(AddInt64(table.get(), "c_acctbal", std::move(acctbal)));
+    ADAMANT_RETURN_NOT_OK(catalog->AddTable(table));
+  }
+
+  // --- orders + lineitem (generated together; lineitem dates chain off
+  //     o_orderdate per spec) ---
+  {
+    auto orders = std::make_shared<Table>("orders");
+    auto* prio_dict = orders->GetDictionary("o_orderpriority");
+    auto* status_dict = orders->GetDictionary("o_orderstatus");
+    // Intern priorities in spec order so code k <-> kPriorities[k].
+    for (const char* p : kPriorities) prio_dict->GetOrInsert(p);
+
+    std::vector<int32_t> o_orderkey(num_orders), o_custkey(num_orders),
+        o_orderstatus(num_orders), o_orderdate(num_orders),
+        o_orderpriority(num_orders), o_shippriority(num_orders);
+    std::vector<int64_t> o_totalprice(num_orders);
+
+    auto lineitem = std::make_shared<Table>("lineitem");
+    auto* rf_dict = lineitem->GetDictionary("l_returnflag");
+    auto* ls_dict = lineitem->GetDictionary("l_linestatus");
+    auto* sm_dict = lineitem->GetDictionary("l_shipmode");
+    // Intern ship modes in spec order so code k <-> kShipModes[k].
+    for (const char* mode : kShipModes) sm_dict->GetOrInsert(mode);
+    const int32_t kCodeR = rf_dict->GetOrInsert("R");
+    const int32_t kCodeA = rf_dict->GetOrInsert("A");
+    const int32_t kCodeN = rf_dict->GetOrInsert("N");
+    const int32_t kCodeO = ls_dict->GetOrInsert("O");
+    const int32_t kCodeF = ls_dict->GetOrInsert("F");
+
+    LineitemBuilder li;
+    li.Reserve(static_cast<size_t>(num_orders) * 4);
+
+    const int32_t code_f = status_dict->GetOrInsert("F");
+    const int32_t code_o = status_dict->GetOrInsert("O");
+    const int32_t code_p = status_dict->GetOrInsert("P");
+
+    for (int64_t o = 0; o < num_orders; ++o) {
+      const auto orderkey = static_cast<int32_t>(o + 1);
+      o_orderkey[o] = orderkey;
+      o_custkey[o] = static_cast<int32_t>(rng.Uniform(1, num_customers));
+      o_orderdate[o] = static_cast<int32_t>(
+          rng.Uniform(kStartDate.days(), kMaxOrderDate));
+      o_orderpriority[o] = static_cast<int32_t>(rng.Uniform(0, 4));
+      o_shippriority[o] = 0;
+
+      const int64_t num_lines = rng.Uniform(1, 7);
+      int64_t total_price = 0;
+      int shipped_lines = 0;
+      for (int64_t l = 0; l < num_lines; ++l) {
+        const auto pk = static_cast<int32_t>(rng.Uniform(1, num_parts));
+        const auto qty = static_cast<int32_t>(rng.Uniform(1, 50));
+        const int64_t extprice = qty * RetailPriceCents(pk);
+        const auto disc = static_cast<int32_t>(rng.Uniform(0, 10));
+        const auto tax = static_cast<int32_t>(rng.Uniform(0, 8));
+        const int32_t shipdate =
+            o_orderdate[o] + static_cast<int32_t>(rng.Uniform(1, 121));
+        const int32_t commitdate =
+            o_orderdate[o] + static_cast<int32_t>(rng.Uniform(30, 90));
+        const int32_t receiptdate =
+            shipdate + static_cast<int32_t>(rng.Uniform(1, 30));
+
+        li.orderkey.push_back(orderkey);
+        li.partkey.push_back(pk);
+        li.suppkey.push_back(static_cast<int32_t>(rng.Uniform(1, num_suppliers)));
+        li.linenumber.push_back(static_cast<int32_t>(l + 1));
+        li.quantity.push_back(qty);
+        li.extendedprice.push_back(extprice);
+        li.discount.push_back(disc);
+        li.tax.push_back(tax);
+        // Spec: R/A when the line was received by the current date, N after.
+        if (receiptdate <= kCurrentDate.days()) {
+          li.returnflag.push_back(rng.Bernoulli(0.5) ? kCodeR : kCodeA);
+        } else {
+          li.returnflag.push_back(kCodeN);
+        }
+        li.shipmode.push_back(static_cast<int32_t>(rng.Uniform(0, 6)));
+        const bool shipped = shipdate <= kCurrentDate.days();
+        li.linestatus.push_back(shipped ? kCodeF : kCodeO);
+        shipped_lines += shipped ? 1 : 0;
+        li.shipdate.push_back(shipdate);
+        li.commitdate.push_back(commitdate);
+        li.receiptdate.push_back(receiptdate);
+        total_price += extprice * (100 - disc) * (100 + tax) / 10000;
+      }
+      o_totalprice[o] = total_price;
+      o_orderstatus[o] = shipped_lines == num_lines ? code_f
+                         : shipped_lines == 0       ? code_o
+                                                    : code_p;
+    }
+
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(orders.get(), "o_orderkey", std::move(o_orderkey)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(orders.get(), "o_custkey", std::move(o_custkey)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(orders.get(), "o_orderstatus", std::move(o_orderstatus)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt64(orders.get(), "o_totalprice", std::move(o_totalprice)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(orders.get(), "o_orderdate", std::move(o_orderdate)));
+    ADAMANT_RETURN_NOT_OK(AddInt32(orders.get(), "o_orderpriority",
+                                   std::move(o_orderpriority)));
+    ADAMANT_RETURN_NOT_OK(AddInt32(orders.get(), "o_shippriority",
+                                   std::move(o_shippriority)));
+    ADAMANT_RETURN_NOT_OK(catalog->AddTable(orders));
+
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(lineitem.get(), "l_orderkey", std::move(li.orderkey)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(lineitem.get(), "l_partkey", std::move(li.partkey)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(lineitem.get(), "l_suppkey", std::move(li.suppkey)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(lineitem.get(), "l_linenumber", std::move(li.linenumber)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(lineitem.get(), "l_quantity", std::move(li.quantity)));
+    ADAMANT_RETURN_NOT_OK(AddInt64(lineitem.get(), "l_extendedprice",
+                                   std::move(li.extendedprice)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(lineitem.get(), "l_discount", std::move(li.discount)));
+    ADAMANT_RETURN_NOT_OK(AddInt32(lineitem.get(), "l_tax", std::move(li.tax)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(lineitem.get(), "l_returnflag", std::move(li.returnflag)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(lineitem.get(), "l_linestatus", std::move(li.linestatus)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(lineitem.get(), "l_shipmode", std::move(li.shipmode)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(lineitem.get(), "l_shipdate", std::move(li.shipdate)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(lineitem.get(), "l_commitdate", std::move(li.commitdate)));
+    ADAMANT_RETURN_NOT_OK(
+        AddInt32(lineitem.get(), "l_receiptdate", std::move(li.receiptdate)));
+    ADAMANT_RETURN_NOT_OK(catalog->AddTable(lineitem));
+  }
+
+  if (config.include_dimension_tables) {
+    // --- part ---
+    {
+      auto table = std::make_shared<Table>("part");
+      auto* type_dict = table->GetDictionary("p_type");
+      // Intern all 150 spec type strings so codes are SF-independent; codes
+      // [125, 150) are the PROMO types.
+      for (const char* t1 : kTypes1) {
+        for (const char* t2 : kTypes2) {
+          for (const char* t3 : kTypes3) {
+            type_dict->GetOrInsert(std::string(t1) + " " + t2 + " " + t3);
+          }
+        }
+      }
+      std::vector<int32_t> partkey(num_parts), size(num_parts),
+          type(num_parts), ispromo(num_parts);
+      std::vector<int64_t> retailprice(num_parts);
+      for (int64_t i = 0; i < num_parts; ++i) {
+        partkey[i] = static_cast<int32_t>(i + 1);
+        size[i] = static_cast<int32_t>(rng.Uniform(1, 50));
+        retailprice[i] = RetailPriceCents(partkey[i]);
+        type[i] = static_cast<int32_t>(rng.Uniform(0, 149));
+        // Pre-decoded "p_type LIKE 'PROMO%'" flag: dictionary predicates are
+        // evaluated once against the dictionary and stored as an int column
+        // the integer-only device kernels can consume.
+        ispromo[i] =
+            type_dict->GetString(type[i]).rfind("PROMO", 0) == 0 ? 1 : 0;
+      }
+      ADAMANT_RETURN_NOT_OK(AddInt32(table.get(), "p_partkey", std::move(partkey)));
+      ADAMANT_RETURN_NOT_OK(AddInt32(table.get(), "p_size", std::move(size)));
+      ADAMANT_RETURN_NOT_OK(
+          AddInt64(table.get(), "p_retailprice", std::move(retailprice)));
+      ADAMANT_RETURN_NOT_OK(AddInt32(table.get(), "p_type", std::move(type)));
+      ADAMANT_RETURN_NOT_OK(
+          AddInt32(table.get(), "p_ispromo", std::move(ispromo)));
+      ADAMANT_RETURN_NOT_OK(catalog->AddTable(table));
+    }
+
+    // --- supplier ---
+    {
+      auto table = std::make_shared<Table>("supplier");
+      std::vector<int32_t> suppkey(num_suppliers), nationkey(num_suppliers);
+      std::vector<int64_t> acctbal(num_suppliers);
+      for (int64_t i = 0; i < num_suppliers; ++i) {
+        suppkey[i] = static_cast<int32_t>(i + 1);
+        nationkey[i] = static_cast<int32_t>(rng.Uniform(0, 24));
+        acctbal[i] = rng.Uniform(-99999, 999999);
+      }
+      ADAMANT_RETURN_NOT_OK(AddInt32(table.get(), "s_suppkey", std::move(suppkey)));
+      ADAMANT_RETURN_NOT_OK(
+          AddInt32(table.get(), "s_nationkey", std::move(nationkey)));
+      ADAMANT_RETURN_NOT_OK(AddInt64(table.get(), "s_acctbal", std::move(acctbal)));
+      ADAMANT_RETURN_NOT_OK(catalog->AddTable(table));
+    }
+
+    // --- partsupp ---
+    {
+      auto table = std::make_shared<Table>("partsupp");
+      const int64_t rows = PartsuppRows(config.scale_factor);
+      std::vector<int32_t> ps_partkey(rows), ps_suppkey(rows), availqty(rows);
+      std::vector<int64_t> supplycost(rows);
+      for (int64_t i = 0; i < rows; ++i) {
+        ps_partkey[i] = static_cast<int32_t>(i % num_parts + 1);
+        ps_suppkey[i] = static_cast<int32_t>(rng.Uniform(1, num_suppliers));
+        availqty[i] = static_cast<int32_t>(rng.Uniform(1, 9999));
+        supplycost[i] = rng.Uniform(100, 100000);
+      }
+      ADAMANT_RETURN_NOT_OK(
+          AddInt32(table.get(), "ps_partkey", std::move(ps_partkey)));
+      ADAMANT_RETURN_NOT_OK(
+          AddInt32(table.get(), "ps_suppkey", std::move(ps_suppkey)));
+      ADAMANT_RETURN_NOT_OK(
+          AddInt32(table.get(), "ps_availqty", std::move(availqty)));
+      ADAMANT_RETURN_NOT_OK(
+          AddInt64(table.get(), "ps_supplycost", std::move(supplycost)));
+      ADAMANT_RETURN_NOT_OK(catalog->AddTable(table));
+    }
+
+    // --- nation / region ---
+    {
+      auto nation = std::make_shared<Table>("nation");
+      auto* name_dict = nation->GetDictionary("n_name");
+      std::vector<int32_t> nationkey(25), regionkey(25), name(25);
+      for (int i = 0; i < 25; ++i) {
+        nationkey[i] = i;
+        regionkey[i] = kNationRegion[i];
+        name[i] = name_dict->GetOrInsert(kNations[i]);
+      }
+      ADAMANT_RETURN_NOT_OK(
+          AddInt32(nation.get(), "n_nationkey", std::move(nationkey)));
+      ADAMANT_RETURN_NOT_OK(
+          AddInt32(nation.get(), "n_regionkey", std::move(regionkey)));
+      ADAMANT_RETURN_NOT_OK(AddInt32(nation.get(), "n_name", std::move(name)));
+      ADAMANT_RETURN_NOT_OK(catalog->AddTable(nation));
+
+      auto region = std::make_shared<Table>("region");
+      auto* region_dict = region->GetDictionary("r_name");
+      std::vector<int32_t> rkey(5), rname(5);
+      for (int i = 0; i < 5; ++i) {
+        rkey[i] = i;
+        rname[i] = region_dict->GetOrInsert(kRegions[i]);
+      }
+      ADAMANT_RETURN_NOT_OK(AddInt32(region.get(), "r_regionkey", std::move(rkey)));
+      ADAMANT_RETURN_NOT_OK(AddInt32(region.get(), "r_name", std::move(rname)));
+      ADAMANT_RETURN_NOT_OK(catalog->AddTable(region));
+    }
+  }
+
+  return catalog;
+}
+
+}  // namespace adamant::tpch

@@ -1,0 +1,258 @@
+// Unit tests for the primitive graph: construction, I/O-semantic validation,
+// topological ordering, and pipeline splitting.
+
+#include <gtest/gtest.h>
+
+#include "runtime/primitive_graph.h"
+#include "storage/column.h"
+#include "task/primitive.h"
+
+namespace adamant {
+namespace {
+
+ColumnPtr SmallColumn(const std::string& name, size_t n = 8) {
+  auto col = std::make_shared<Column>(name, ElementType::kInt32);
+  col->Resize(n);
+  return col;
+}
+
+// --- Table I signatures ---
+
+TEST(Signatures, TableOneComplete) {
+  EXPECT_EQ(AllSignatures().size(), static_cast<size_t>(kNumPrimitiveKinds));
+  for (const PrimitiveSignature& sig : AllSignatures()) {
+    EXPECT_EQ(&GetSignature(sig.kind), &sig);
+    EXPECT_FALSE(sig.inputs.empty());
+    EXPECT_FALSE(sig.outputs.empty());
+  }
+}
+
+TEST(Signatures, BreakersPerPaper) {
+  // Dagger-marked primitives in Table I.
+  EXPECT_TRUE(GetSignature(PrimitiveKind::kAggBlock).pipeline_breaker);
+  EXPECT_TRUE(GetSignature(PrimitiveKind::kHashAgg).pipeline_breaker);
+  EXPECT_TRUE(GetSignature(PrimitiveKind::kHashBuild).pipeline_breaker);
+  EXPECT_TRUE(GetSignature(PrimitiveKind::kSortAgg).pipeline_breaker);
+  EXPECT_TRUE(GetSignature(PrimitiveKind::kPrefixSum).pipeline_breaker);
+  EXPECT_FALSE(GetSignature(PrimitiveKind::kMap).pipeline_breaker);
+  EXPECT_FALSE(GetSignature(PrimitiveKind::kFilterBitmap).pipeline_breaker);
+  EXPECT_FALSE(GetSignature(PrimitiveKind::kFilterPosition).pipeline_breaker);
+  EXPECT_FALSE(GetSignature(PrimitiveKind::kHashProbe).pipeline_breaker);
+  EXPECT_FALSE(GetSignature(PrimitiveKind::kMaterialize).pipeline_breaker);
+  EXPECT_FALSE(
+      GetSignature(PrimitiveKind::kMaterializePosition).pipeline_breaker);
+}
+
+TEST(Signatures, OutputSemantics) {
+  EXPECT_EQ(GetSignature(PrimitiveKind::kFilterBitmap).outputs[0],
+            DataSemantic::kBitmap);
+  EXPECT_EQ(GetSignature(PrimitiveKind::kFilterPosition).outputs[0],
+            DataSemantic::kPosition);
+  EXPECT_EQ(GetSignature(PrimitiveKind::kHashBuild).outputs[0],
+            DataSemantic::kHashTable);
+  EXPECT_EQ(GetSignature(PrimitiveKind::kHashProbe).outputs[0],
+            DataSemantic::kPosition);
+  EXPECT_EQ(GetSignature(PrimitiveKind::kHashProbe).outputs[1],
+            DataSemantic::kNumeric);
+  EXPECT_EQ(GetSignature(PrimitiveKind::kPrefixSum).outputs[0],
+            DataSemantic::kPrefixSum);
+}
+
+TEST(Signatures, ValidateEdgeSemantics) {
+  // A bitmap may feed MATERIALIZE slot 1 but not slot 0.
+  EXPECT_TRUE(ValidateEdge(DataSemantic::kBitmap, PrimitiveKind::kMaterialize,
+                           1)
+                  .ok());
+  EXPECT_TRUE(ValidateEdge(DataSemantic::kBitmap, PrimitiveKind::kMaterialize,
+                           0)
+                  .IsInvalidArgument());
+  // GENERIC bypasses checks in both directions.
+  EXPECT_TRUE(
+      ValidateEdge(DataSemantic::kGeneric, PrimitiveKind::kMaterialize, 0)
+          .ok());
+  // Out-of-range slot.
+  EXPECT_TRUE(ValidateEdge(DataSemantic::kNumeric, PrimitiveKind::kMap, 5)
+                  .IsInvalidArgument());
+}
+
+// --- Graph construction & validation ---
+
+TEST(Graph, EmptyGraphInvalid) {
+  PrimitiveGraph g;
+  EXPECT_TRUE(g.Validate().IsInvalidArgument());
+}
+
+TEST(Graph, SimpleChainValidates) {
+  PrimitiveGraph g;
+  NodeConfig fcfg;
+  fcfg.cmp_op = CmpOp::kLt;
+  fcfg.lo = 5;
+  int f = g.AddNode(PrimitiveKind::kFilterBitmap, 0, fcfg);
+  int m = g.AddNode(PrimitiveKind::kMaterialize, 0, {});
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("a"), f, 0).ok());
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("a2"), m, 0).ok());
+  ASSERT_TRUE(g.Connect(f, 0, m, 1).ok());
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(Graph, MissingRequiredInput) {
+  PrimitiveGraph g;
+  int m = g.AddNode(PrimitiveKind::kMaterialize, 0, {});
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("a"), m, 0).ok());
+  // Missing the bitmap input.
+  EXPECT_TRUE(g.Validate().IsInvalidArgument());
+}
+
+TEST(Graph, SemanticMismatchRejected) {
+  PrimitiveGraph g;
+  NodeConfig fcfg;
+  int f = g.AddNode(PrimitiveKind::kFilterBitmap, 0, fcfg);
+  int m = g.AddNode(PrimitiveKind::kMaterializePosition, 0, {});
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("a"), f, 0).ok());
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("b"), m, 0).ok());
+  // BITMAP into a POSITION slot.
+  ASSERT_TRUE(g.Connect(f, 0, m, 1).ok());
+  EXPECT_TRUE(g.Validate().IsInvalidArgument());
+}
+
+TEST(Graph, DuplicateSlotRejected) {
+  PrimitiveGraph g;
+  int m = g.AddNode(PrimitiveKind::kMap, 0, {});
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("a"), m, 0).ok());
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("b"), m, 0).ok());
+  EXPECT_TRUE(g.Validate().IsInvalidArgument());
+}
+
+TEST(Graph, UnknownNodesRejectedAtConnect) {
+  PrimitiveGraph g;
+  int m = g.AddNode(PrimitiveKind::kMap, 0, {});
+  EXPECT_TRUE(g.ConnectScan(SmallColumn("a"), 7, 0).status().IsNotFound());
+  EXPECT_TRUE(g.Connect(7, 0, m, 0).status().IsNotFound());
+  EXPECT_TRUE(g.Connect(m, 5, m, 0).status().IsInvalidArgument())
+      << "map has one output slot";
+  EXPECT_TRUE(g.ConnectScan(nullptr, m, 0).status().IsInvalidArgument());
+}
+
+TEST(Graph, CombineFilterNeedsBitmapInput) {
+  PrimitiveGraph g;
+  NodeConfig combine;
+  combine.combine_and = true;
+  int f = g.AddNode(PrimitiveKind::kFilterBitmap, 0, combine);
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("a"), f, 0).ok());
+  EXPECT_TRUE(g.Validate().IsInvalidArgument()) << "slot 1 bitmap required";
+}
+
+TEST(Graph, TopoOrderRespectsEdges) {
+  PrimitiveGraph g;
+  int f = g.AddNode(PrimitiveKind::kFilterBitmap, 0, {});
+  int m = g.AddNode(PrimitiveKind::kMaterialize, 0, {});
+  NodeConfig agg;
+  agg.agg_op = AggOp::kSum;
+  int a = g.AddNode(PrimitiveKind::kAggBlock, 0, agg);
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("c"), f, 0).ok());
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("c2"), m, 0).ok());
+  ASSERT_TRUE(g.Connect(f, 0, m, 1).ok());
+  ASSERT_TRUE(g.Connect(m, 0, a, 0).ok());
+  auto order = g.TopoOrder();
+  ASSERT_TRUE(order.ok());
+  auto pos = [&](int node) {
+    return std::find(order->begin(), order->end(), node) - order->begin();
+  };
+  EXPECT_LT(pos(f), pos(m));
+  EXPECT_LT(pos(m), pos(a));
+}
+
+TEST(Graph, InputBytesCountsDistinctColumns) {
+  PrimitiveGraph g;
+  auto col = SmallColumn("a", 100);  // 400 bytes
+  int f1 = g.AddNode(PrimitiveKind::kFilterBitmap, 0, {});
+  int m = g.AddNode(PrimitiveKind::kMaterialize, 0, {});
+  ASSERT_TRUE(g.ConnectScan(col, f1, 0).ok());
+  ASSERT_TRUE(g.ConnectScan(col, m, 0).ok());  // same column twice
+  ASSERT_TRUE(g.Connect(f1, 0, m, 1).ok());
+  EXPECT_EQ(g.InputBytes(), 400u);
+}
+
+// --- Pipeline splitting ---
+
+TEST(Pipelines, SinglePipelineChain) {
+  PrimitiveGraph g;
+  int f = g.AddNode(PrimitiveKind::kFilterBitmap, 0, {});
+  int m = g.AddNode(PrimitiveKind::kMaterialize, 0, {});
+  NodeConfig agg;
+  int a = g.AddNode(PrimitiveKind::kAggBlock, 0, agg);
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("x", 100), f, 0).ok());
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("y", 100), m, 0).ok());
+  ASSERT_TRUE(g.Connect(f, 0, m, 1).ok());
+  ASSERT_TRUE(g.Connect(m, 0, a, 0).ok());
+  auto pipelines = g.SplitPipelines();
+  ASSERT_TRUE(pipelines.ok());
+  ASSERT_EQ(pipelines->size(), 1u);
+  EXPECT_EQ((*pipelines)[0].nodes.size(), 3u);
+  EXPECT_EQ((*pipelines)[0].input_rows, 100u);
+  EXPECT_EQ((*pipelines)[0].scan_edges.size(), 2u);
+}
+
+TEST(Pipelines, BreakerStartsNewPipeline) {
+  // build (pipeline 0), probe pipeline (pipeline 1).
+  PrimitiveGraph g;
+  NodeConfig build_cfg;
+  build_cfg.expected_build_rows = 8;
+  int build = g.AddNode(PrimitiveKind::kHashBuild, 0, build_cfg);
+  NodeConfig probe_cfg;
+  int probe = g.AddNode(PrimitiveKind::kHashProbe, 0, probe_cfg);
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("build_keys", 8), build, 0).ok());
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("probe_keys", 32), probe, 0).ok());
+  ASSERT_TRUE(g.Connect(build, 0, probe, 1).ok());
+  auto pipelines = g.SplitPipelines();
+  ASSERT_TRUE(pipelines.ok());
+  ASSERT_EQ(pipelines->size(), 2u);
+  EXPECT_EQ((*pipelines)[0].nodes, std::vector<int>{build});
+  EXPECT_EQ((*pipelines)[0].input_rows, 8u);
+  EXPECT_EQ((*pipelines)[1].nodes, std::vector<int>{probe});
+  EXPECT_EQ((*pipelines)[1].input_rows, 32u);
+}
+
+TEST(Pipelines, MismatchedScanLengthsRejected) {
+  PrimitiveGraph g;
+  int m = g.AddNode(PrimitiveKind::kMap, 0,
+                    [] {
+                      NodeConfig cfg;
+                      cfg.map_op = MapOp::kAddCol;
+                      return cfg;
+                    }());
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("a", 10), m, 0).ok());
+  ASSERT_TRUE(g.ConnectScan(SmallColumn("b", 20), m, 1).ok());
+  EXPECT_TRUE(g.SplitPipelines().status().IsInvalidArgument());
+}
+
+TEST(Pipelines, ProgressPointersResettable) {
+  PrimitiveGraph g;
+  int f = g.AddNode(PrimitiveKind::kFilterBitmap, 0, {});
+  auto edge = g.ConnectScan(SmallColumn("a"), f, 0);
+  ASSERT_TRUE(edge.ok());
+  g.edge(*edge).fetched_until = 100;
+  g.edge(*edge).processed_until = 50;
+  g.ResetProgress();
+  EXPECT_EQ(g.edge(*edge).fetched_until, 0u);
+  EXPECT_EQ(g.edge(*edge).processed_until, 0u);
+}
+
+TEST(Pipelines, EdgeAnnotationsCarryDataIds) {
+  PrimitiveGraph g;
+  int f = g.AddNode(PrimitiveKind::kFilterBitmap, 0, {});
+  int m = g.AddNode(PrimitiveKind::kMaterialize, 0, {});
+  auto e1 = g.ConnectScan(SmallColumn("a"), f, 0);
+  auto e2 = g.ConnectScan(SmallColumn("b"), m, 0);
+  auto e3 = g.Connect(f, 0, m, 1);
+  ASSERT_TRUE(e1.ok() && e2.ok() && e3.ok());
+  EXPECT_NE(*e1, *e2);
+  EXPECT_NE(*e2, *e3);
+  EXPECT_EQ(g.edges()[static_cast<size_t>(*e3)].semantic,
+            DataSemantic::kBitmap);
+  EXPECT_TRUE(g.edges()[static_cast<size_t>(*e1)].is_scan());
+  EXPECT_FALSE(g.edges()[static_cast<size_t>(*e3)].is_scan());
+}
+
+}  // namespace
+}  // namespace adamant

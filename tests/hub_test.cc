@@ -1,0 +1,194 @@
+// Unit tests for the data transfer hub (router / load_data /
+// prepare_output_buffer) and the task-layer containers.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "device/device_manager.h"
+#include "runtime/transfer_hub.h"
+#include "task/containers.h"
+#include "task/hash_table.h"
+#include "task/kernel_registry.h"
+
+namespace adamant {
+namespace {
+
+class HubTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto gpu = manager_.AddDriver(sim::DriverKind::kCudaGpu);
+    auto cpu = manager_.AddDriver(sim::DriverKind::kOpenMpCpu);
+    ASSERT_TRUE(gpu.ok() && cpu.ok());
+    gpu_ = *gpu;
+    cpu_ = *cpu;
+    ASSERT_TRUE(BindStandardKernels(manager_.device(gpu_)).ok());
+    ASSERT_TRUE(BindStandardKernels(manager_.device(cpu_)).ok());
+  }
+
+  DeviceManager manager_;
+  DeviceId gpu_ = 0;
+  DeviceId cpu_ = 0;
+};
+
+TEST_F(HubTest, LoadDataPlacesBytes) {
+  DataTransferHub hub(&manager_, DataContainer::WithDefaultTransforms());
+  std::vector<int32_t> data = {1, 2, 3, 4};
+  auto buf = hub.LoadData(gpu_, data.data(), 16);
+  ASSERT_TRUE(buf.ok());
+  int32_t got[4];
+  ASSERT_TRUE(manager_.device(gpu_)->RetrieveData(*buf, got, 16, 0).ok());
+  EXPECT_EQ(got[2], 3);
+  EXPECT_EQ(hub.bytes_host_to_device(), 16u);
+}
+
+TEST_F(HubTest, RouterSameDeviceIsNoop) {
+  DataTransferHub hub(&manager_, DataContainer::WithDefaultTransforms());
+  std::vector<int32_t> data = {9};
+  auto buf = hub.LoadData(gpu_, data.data(), 4);
+  ASSERT_TRUE(buf.ok());
+  auto routed = hub.Router(gpu_, *buf, gpu_, 4);
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(*routed, *buf);
+}
+
+TEST_F(HubTest, RouterMovesAcrossDevicesThroughHost) {
+  DataTransferHub hub(&manager_, DataContainer::WithDefaultTransforms());
+  std::vector<int32_t> data = {5, 6, 7};
+  auto src = hub.LoadData(gpu_, data.data(), 12);
+  ASSERT_TRUE(src.ok());
+  const size_t d2h_before = hub.bytes_device_to_host();
+  auto dst = hub.Router(gpu_, *src, cpu_, 12);
+  ASSERT_TRUE(dst.ok());
+  int32_t got[3];
+  ASSERT_TRUE(manager_.device(cpu_)->RetrieveData(*dst, got, 12, 0).ok());
+  EXPECT_EQ(got[0], 5);
+  EXPECT_EQ(got[2], 7);
+  EXPECT_EQ(hub.bytes_device_to_host() - d2h_before, 12u)
+      << "cross-device routing goes through the host";
+}
+
+TEST_F(HubTest, EnsureFormatUsesTransformWhenAllowed) {
+  DataTransferHub hub(&manager_, DataContainer::WithDefaultTransforms());
+  std::vector<int32_t> data = {1};
+  auto buf = hub.LoadData(gpu_, data.data(), 4);
+  ASSERT_TRUE(buf.ok());
+  const size_t d2h_before = hub.bytes_device_to_host();
+  auto converted = hub.EnsureFormat(gpu_, *buf, SdkFormat::kThrustVector, 4);
+  ASSERT_TRUE(converted.ok());
+  EXPECT_EQ(*converted, *buf) << "in-place transform keeps the buffer";
+  EXPECT_EQ(hub.bytes_device_to_host(), d2h_before) << "no data movement";
+  EXPECT_EQ(*manager_.device(gpu_)->BufferFormat(*buf),
+            SdkFormat::kThrustVector);
+}
+
+TEST_F(HubTest, EnsureFormatFallsBackToRoundTrip) {
+  DataTransferHub hub(&manager_, DataContainer::WithoutTransforms());
+  std::vector<int32_t> data = {42};
+  auto buf = hub.LoadData(gpu_, data.data(), 4);
+  ASSERT_TRUE(buf.ok());
+  const size_t d2h_before = hub.bytes_device_to_host();
+  auto converted = hub.EnsureFormat(gpu_, *buf, SdkFormat::kThrustVector, 4);
+  ASSERT_TRUE(converted.ok());
+  EXPECT_GE(hub.bytes_device_to_host() - d2h_before, 4u)
+      << "naive path retrieves the buffer to the host (Fig. 4)";
+  int32_t got = 0;
+  ASSERT_TRUE(manager_.device(gpu_)->RetrieveData(*converted, &got, 4, 0).ok());
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(*manager_.device(gpu_)->BufferFormat(*converted),
+            SdkFormat::kThrustVector);
+}
+
+TEST_F(HubTest, EnsureFormatNoopWhenAlreadyTarget) {
+  DataTransferHub hub(&manager_, DataContainer::WithoutTransforms());
+  std::vector<int32_t> data = {1};
+  auto buf = hub.LoadData(gpu_, data.data(), 4);
+  ASSERT_TRUE(buf.ok());
+  auto same = hub.EnsureFormat(gpu_, *buf, SdkFormat::kCudaDevPtr, 4);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(*same, *buf);
+}
+
+TEST_F(HubTest, PrepareOutputBufferInitializesHashTables) {
+  DataTransferHub hub(&manager_, DataContainer::WithDefaultTransforms());
+  const size_t slots = 32;
+  auto table = hub.PrepareOutputBuffer(gpu_, DataSemantic::kHashTable,
+                                       HashTableLayout::BuildTableBytes(slots));
+  ASSERT_TRUE(table.ok());
+  std::vector<HashTableLayout::BuildSlot> got(slots);
+  ASSERT_TRUE(manager_.device(gpu_)
+                  ->RetrieveData(*table, got.data(),
+                                 HashTableLayout::BuildTableBytes(slots), 0)
+                  .ok());
+  for (const auto& slot : got) {
+    EXPECT_EQ(slot.key, HashTableLayout::kEmptyKey);
+  }
+}
+
+TEST_F(HubTest, PrepareOutputBufferPinned) {
+  DataTransferHub hub(&manager_, DataContainer::WithDefaultTransforms());
+  const size_t pinned_before = manager_.device(gpu_)->pinned_arena().used();
+  auto buf = hub.PrepareOutputBuffer(gpu_, DataSemantic::kNumeric, 1024,
+                                     /*pinned=*/true);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ(manager_.device(gpu_)->pinned_arena().used() - pinned_before,
+            1024u);
+}
+
+// --- DataContainer (task layer) ---
+
+TEST(DataContainer, DefaultTableAllowsAllPairs) {
+  DataContainer dc = DataContainer::WithDefaultTransforms();
+  EXPECT_TRUE(dc.CanTransform(SdkFormat::kCudaDevPtr, SdkFormat::kThrustVector));
+  EXPECT_TRUE(
+      dc.CanTransform(SdkFormat::kOpenClBuffer, SdkFormat::kBoostComputeVec));
+  EXPECT_TRUE(dc.CanTransform(SdkFormat::kOpenClBuffer, SdkFormat::kCudaDevPtr));
+}
+
+TEST(DataContainer, RoutePlanning) {
+  DataContainer dc;
+  dc.AllowTransform(SdkFormat::kCudaDevPtr, SdkFormat::kThrustVector);
+  EXPECT_EQ(dc.PlanRoute(SdkFormat::kCudaDevPtr, SdkFormat::kCudaDevPtr),
+            DataContainer::Route::kNone);
+  EXPECT_EQ(dc.PlanRoute(SdkFormat::kCudaDevPtr, SdkFormat::kThrustVector),
+            DataContainer::Route::kTransform);
+  EXPECT_EQ(dc.PlanRoute(SdkFormat::kThrustVector, SdkFormat::kCudaDevPtr),
+            DataContainer::Route::kHostRoundTrip)
+      << "transforms are directional";
+}
+
+TEST(DataContainer, AllowTransformIdempotent) {
+  DataContainer dc;
+  dc.AllowTransform(SdkFormat::kRaw, SdkFormat::kCudaDevPtr);
+  dc.AllowTransform(SdkFormat::kRaw, SdkFormat::kCudaDevPtr);
+  EXPECT_TRUE(dc.CanTransform(SdkFormat::kRaw, SdkFormat::kCudaDevPtr));
+}
+
+TEST(KernelContainer, CarriesRuntimeInfo) {
+  bool ran = false;
+  KernelContainer container(
+      "custom", [&ran](KernelExecContext*) {
+        ran = true;
+        return Status::OK();
+      },
+      "__kernel void custom() {}");
+  EXPECT_EQ(container.name(), "custom");
+  EXPECT_TRUE(container.has_source());
+  KernelSource source = container.ToKernelSource();
+  EXPECT_EQ(source.source_text, "__kernel void custom() {}");
+  ASSERT_TRUE(source.fn != nullptr);
+  EXPECT_TRUE(source.fn(nullptr).ok());
+  EXPECT_TRUE(ran);
+}
+
+TEST(KernelContainer, HandWrittenWithoutSource) {
+  KernelContainer container("hand", [](KernelExecContext*) {
+    return Status::OK();
+  });
+  EXPECT_FALSE(container.has_source())
+      << "hand-written kernels need no runtime compilation";
+}
+
+}  // namespace
+}  // namespace adamant

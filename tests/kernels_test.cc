@@ -1,0 +1,758 @@
+// Unit tests for the Table-I primitive kernels, run through a device so the
+// full argument-resolution path (buffers, counts, scalars) is exercised.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "device/sim_device.h"
+#include "sim/presets.h"
+#include "task/hash_table.h"
+#include "task/kernel_registry.h"
+#include "task/kernels.h"
+
+namespace adamant {
+namespace {
+
+/// Test harness: one CUDA-like device plus typed push/pull helpers.
+class KernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ctx = std::make_shared<SimContext>();
+    device_ = std::make_unique<SimulatedDevice>(
+        "k", sim::MakePerfModel(sim::DriverKind::kCudaGpu,
+                                sim::HardwareSetup::kSetup1),
+        SdkFormat::kCudaDevPtr, false, ctx);
+    ASSERT_TRUE(BindStandardKernels(device_.get()).ok());
+    ASSERT_TRUE(device_->Initialize().ok());
+  }
+
+  template <typename T>
+  BufferId Push(const std::vector<T>& data) {
+    auto buf = device_->PrepareMemory(data.size() * sizeof(T));
+    EXPECT_TRUE(buf.ok());
+    EXPECT_TRUE(
+        device_->PlaceData(*buf, data.data(), data.size() * sizeof(T), 0).ok());
+    return *buf;
+  }
+
+  BufferId Alloc(size_t bytes) {
+    auto buf = device_->PrepareMemory(bytes);
+    EXPECT_TRUE(buf.ok());
+    return *buf;
+  }
+
+  template <typename T>
+  std::vector<T> Pull(BufferId id, size_t n) {
+    std::vector<T> out(n);
+    EXPECT_TRUE(device_->RetrieveData(id, out.data(), n * sizeof(T), 0).ok());
+    return out;
+  }
+
+  int64_t PullCount(BufferId id) { return Pull<int64_t>(id, 1)[0]; }
+
+  std::unique_ptr<SimulatedDevice> device_;
+};
+
+// --- MAP ---
+
+TEST_F(KernelTest, MapScalarOps) {
+  BufferId in = Push<int32_t>({1, 2, 3});
+  BufferId out = Alloc(12);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeMap(in, kInvalidBuffer, out,
+                                             MapOp::kAddScalar,
+                                             ElementType::kInt32,
+                                             ElementType::kInt32, 10, 3))
+                  .ok());
+  EXPECT_EQ(Pull<int32_t>(out, 3), (std::vector<int32_t>{11, 12, 13}));
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeMap(in, kInvalidBuffer, out,
+                                             MapOp::kMulScalar,
+                                             ElementType::kInt32,
+                                             ElementType::kInt32, -2, 3))
+                  .ok());
+  EXPECT_EQ(Pull<int32_t>(out, 3), (std::vector<int32_t>{-2, -4, -6}));
+}
+
+TEST_F(KernelTest, MapColumnOps) {
+  BufferId a = Push<int32_t>({10, 20, 30});
+  BufferId b = Push<int32_t>({1, 2, 3});
+  BufferId out = Alloc(12);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeMap(a, b, out, MapOp::kSubCol,
+                                             ElementType::kInt32,
+                                             ElementType::kInt32, 0, 3))
+                  .ok());
+  EXPECT_EQ(Pull<int32_t>(out, 3), (std::vector<int32_t>{9, 18, 27}));
+}
+
+TEST_F(KernelTest, MapWideningCast) {
+  BufferId in = Push<int32_t>({1 << 30, 5});
+  BufferId out = Alloc(16);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeMap(in, kInvalidBuffer, out,
+                                             MapOp::kMulScalar,
+                                             ElementType::kInt32,
+                                             ElementType::kInt64, 4, 2))
+                  .ok());
+  EXPECT_EQ(Pull<int64_t>(out, 2),
+            (std::vector<int64_t>{int64_t{1} << 32, 20}));
+}
+
+TEST_F(KernelTest, MapFixedPointPercentOps) {
+  // price * (1 - discount): 1000 cents at 7% discount -> 930.
+  BufferId price = Push<int64_t>({1000, 999});
+  BufferId pct = Push<int32_t>({7, 3});
+  BufferId out = Alloc(16);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeMap(price, pct, out,
+                                             MapOp::kMulPctComplement,
+                                             ElementType::kInt64,
+                                             ElementType::kInt64, 0, 2))
+                  .ok());
+  EXPECT_EQ(Pull<int64_t>(out, 2), (std::vector<int64_t>{930, 969}));
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeMap(price, pct, out, MapOp::kMulPct,
+                                             ElementType::kInt64,
+                                             ElementType::kInt64, 0, 2))
+                  .ok());
+  EXPECT_EQ(Pull<int64_t>(out, 2), (std::vector<int64_t>{70, 29}));
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeMap(price, pct, out,
+                                             MapOp::kMulPctPlus,
+                                             ElementType::kInt64,
+                                             ElementType::kInt64, 0, 2))
+                  .ok());
+  EXPECT_EQ(Pull<int64_t>(out, 2), (std::vector<int64_t>{1070, 1028}));
+}
+
+TEST_F(KernelTest, MapRejectsOperandMismatch) {
+  BufferId in = Push<int32_t>({1});
+  BufferId out = Alloc(4);
+  // Column op without second input.
+  EXPECT_TRUE(device_
+                  ->Execute(kernels::MakeMap(in, kInvalidBuffer, out,
+                                             MapOp::kAddCol,
+                                             ElementType::kInt32,
+                                             ElementType::kInt32, 0, 1))
+                  .IsInvalidArgument());
+  // Scalar op with a second input.
+  EXPECT_TRUE(device_
+                  ->Execute(kernels::MakeMap(in, in, out, MapOp::kAddScalar,
+                                             ElementType::kInt32,
+                                             ElementType::kInt32, 0, 1))
+                  .IsInvalidArgument());
+}
+
+TEST_F(KernelTest, MapRejectsFloat) {
+  BufferId in = Push<double>({1.0});
+  BufferId out = Alloc(8);
+  EXPECT_TRUE(device_
+                  ->Execute(kernels::MakeMap(in, kInvalidBuffer, out,
+                                             MapOp::kIdentity,
+                                             ElementType::kFloat64,
+                                             ElementType::kFloat64, 0, 1))
+                  .IsNotSupported());
+}
+
+TEST_F(KernelTest, MapOutputTooSmall) {
+  BufferId in = Push<int32_t>({1, 2, 3, 4});
+  BufferId out = Alloc(8);  // room for 2 only
+  EXPECT_TRUE(device_
+                  ->Execute(kernels::MakeMap(in, kInvalidBuffer, out,
+                                             MapOp::kIdentity,
+                                             ElementType::kInt32,
+                                             ElementType::kInt32, 0, 4))
+                  .IsExecutionError());
+}
+
+// --- FILTER_BITMAP (parameterized over comparison ops) ---
+
+struct FilterCase {
+  CmpOp op;
+  int64_t lo, hi;
+  std::vector<bool> expected;  // over {1, 5, 7, 9, 12}
+};
+
+class FilterBitmapTest : public KernelTest,
+                         public ::testing::WithParamInterface<FilterCase> {};
+
+TEST_P(FilterBitmapTest, ComparisonSemantics) {
+  const FilterCase& c = GetParam();
+  BufferId in = Push<int32_t>({1, 5, 7, 9, 12});
+  BufferId bitmap = Alloc(bit_util::BytesForBits(5));
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeFilterBitmap(
+                      in, bitmap, c.op, ElementType::kInt32, c.lo, c.hi,
+                      false, 5))
+                  .ok());
+  auto words = Pull<uint64_t>(bitmap, 1);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(bit_util::GetBit(words.data(), i), c.expected[i])
+        << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, FilterBitmapTest,
+    ::testing::Values(
+        FilterCase{CmpOp::kLt, 7, 0, {true, true, false, false, false}},
+        FilterCase{CmpOp::kLe, 7, 0, {true, true, true, false, false}},
+        FilterCase{CmpOp::kGt, 7, 0, {false, false, false, true, true}},
+        FilterCase{CmpOp::kGe, 7, 0, {false, false, true, true, true}},
+        FilterCase{CmpOp::kEq, 9, 0, {false, false, false, true, false}},
+        FilterCase{CmpOp::kNe, 9, 0, {true, true, true, false, true}},
+        FilterCase{CmpOp::kBetween, 5, 9, {false, true, true, true, false}}));
+
+TEST_F(KernelTest, FilterBitmapCombineAnd) {
+  BufferId in = Push<int32_t>({1, 5, 7, 9});
+  BufferId bitmap = Alloc(bit_util::BytesForBits(4));
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeFilterBitmap(in, bitmap, CmpOp::kGt,
+                                                      ElementType::kInt32, 2,
+                                                      0, false, 4))
+                  .ok());
+  // AND with v < 8: expect {_, 5, 7, _}.
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeFilterBitmap(in, bitmap, CmpOp::kLt,
+                                                      ElementType::kInt32, 8,
+                                                      0, true, 4))
+                  .ok());
+  auto words = Pull<uint64_t>(bitmap, 1);
+  EXPECT_FALSE(bit_util::GetBit(words.data(), 0));
+  EXPECT_TRUE(bit_util::GetBit(words.data(), 1));
+  EXPECT_TRUE(bit_util::GetBit(words.data(), 2));
+  EXPECT_FALSE(bit_util::GetBit(words.data(), 3));
+}
+
+TEST_F(KernelTest, FilterBitmapInt64Column) {
+  BufferId in = Push<int64_t>({100, int64_t{1} << 40, 50});
+  BufferId bitmap = Alloc(bit_util::BytesForBits(3));
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeFilterBitmap(
+                      in, bitmap, CmpOp::kGt, ElementType::kInt64, 99, 0,
+                      false, 3))
+                  .ok());
+  auto words = Pull<uint64_t>(bitmap, 1);
+  EXPECT_TRUE(bit_util::GetBit(words.data(), 0));
+  EXPECT_TRUE(bit_util::GetBit(words.data(), 1));
+  EXPECT_FALSE(bit_util::GetBit(words.data(), 2));
+}
+
+// --- FILTER_POSITION ---
+
+TEST_F(KernelTest, FilterPositionEmitsIndices) {
+  BufferId in = Push<int32_t>({4, 8, 2, 8, 1});
+  BufferId positions = Alloc(5 * 4);
+  BufferId count = Alloc(8);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeFilterPosition(
+                      in, positions, count, CmpOp::kEq, ElementType::kInt32,
+                      8, 0, 5))
+                  .ok());
+  EXPECT_EQ(PullCount(count), 2);
+  auto pos = Pull<int32_t>(positions, 2);
+  EXPECT_EQ(pos, (std::vector<int32_t>{1, 3}));
+}
+
+TEST_F(KernelTest, FilterPositionOverflowIsError) {
+  BufferId in = Push<int32_t>({1, 1, 1});
+  BufferId positions = Alloc(1 * 4);  // room for one hit
+  BufferId count = Alloc(8);
+  EXPECT_TRUE(device_
+                  ->Execute(kernels::MakeFilterPosition(
+                      in, positions, count, CmpOp::kEq, ElementType::kInt32,
+                      1, 0, 3))
+                  .IsExecutionError());
+}
+
+// --- MATERIALIZE / MATERIALIZE_POSITION ---
+
+TEST_F(KernelTest, MaterializeCompactsByBitmap) {
+  BufferId in = Push<int32_t>({10, 20, 30, 40, 50});
+  std::vector<uint64_t> bits = {0b10101};
+  BufferId bitmap = Push<uint64_t>(bits);
+  BufferId out = Alloc(5 * 4);
+  BufferId count = Alloc(8);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeMaterialize(
+                      in, bitmap, out, count, ElementType::kInt32, 5))
+                  .ok());
+  EXPECT_EQ(PullCount(count), 3);
+  EXPECT_EQ(Pull<int32_t>(out, 3), (std::vector<int32_t>{10, 30, 50}));
+}
+
+TEST_F(KernelTest, MaterializeInt64) {
+  BufferId in = Push<int64_t>({100, 200, 300});
+  BufferId bitmap = Push<uint64_t>({0b110});
+  BufferId out = Alloc(3 * 8);
+  BufferId count = Alloc(8);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeMaterialize(
+                      in, bitmap, out, count, ElementType::kInt64, 3))
+                  .ok());
+  EXPECT_EQ(PullCount(count), 2);
+  EXPECT_EQ(Pull<int64_t>(out, 2), (std::vector<int64_t>{200, 300}));
+}
+
+TEST_F(KernelTest, MaterializeOverflowIsError) {
+  BufferId in = Push<int32_t>({1, 2, 3});
+  BufferId bitmap = Push<uint64_t>({0b111});
+  BufferId out = Alloc(2 * 4);
+  BufferId count = Alloc(8);
+  EXPECT_TRUE(device_
+                  ->Execute(kernels::MakeMaterialize(
+                      in, bitmap, out, count, ElementType::kInt32, 3))
+                  .IsExecutionError());
+}
+
+TEST_F(KernelTest, MaterializePositionGathers) {
+  BufferId in = Push<int32_t>({10, 20, 30, 40});
+  BufferId positions = Push<int32_t>({3, 0, 3});
+  BufferId out = Alloc(3 * 4);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeMaterializePosition(
+                      in, positions, out, ElementType::kInt32, 3))
+                  .ok());
+  EXPECT_EQ(Pull<int32_t>(out, 3), (std::vector<int32_t>{40, 10, 40}));
+}
+
+TEST_F(KernelTest, MaterializePositionOutOfRangeIsError) {
+  BufferId in = Push<int32_t>({10, 20});
+  BufferId positions = Push<int32_t>({5});
+  BufferId out = Alloc(4);
+  EXPECT_TRUE(device_
+                  ->Execute(kernels::MakeMaterializePosition(
+                      in, positions, out, ElementType::kInt32, 1))
+                  .IsExecutionError());
+}
+
+// --- PREFIX_SUM ---
+
+TEST_F(KernelTest, PrefixSumInclusiveExclusive) {
+  BufferId in = Push<int32_t>({1, 0, 1, 1, 0});
+  BufferId out = Alloc(5 * 4);
+  ASSERT_TRUE(device_->Execute(kernels::MakePrefixSum(in, out, false, 5)).ok());
+  EXPECT_EQ(Pull<int32_t>(out, 5), (std::vector<int32_t>{1, 1, 2, 3, 3}));
+  ASSERT_TRUE(device_->Execute(kernels::MakePrefixSum(in, out, true, 5)).ok());
+  EXPECT_EQ(Pull<int32_t>(out, 5), (std::vector<int32_t>{0, 1, 1, 2, 3}));
+}
+
+// --- AGG_BLOCK ---
+
+TEST_F(KernelTest, AggBlockOps) {
+  BufferId in = Push<int32_t>({4, -2, 9, 1});
+  BufferId acc = Alloc(8);
+  auto run = [&](AggOp op) {
+    EXPECT_TRUE(device_
+                    ->Execute(kernels::MakeAggBlock(in, acc, op,
+                                                    ElementType::kInt32,
+                                                    /*init=*/true, 4))
+                    .ok());
+    return PullCount(acc);
+  };
+  EXPECT_EQ(run(AggOp::kSum), 12);
+  EXPECT_EQ(run(AggOp::kCount), 4);
+  EXPECT_EQ(run(AggOp::kMin), -2);
+  EXPECT_EQ(run(AggOp::kMax), 9);
+}
+
+TEST_F(KernelTest, AggBlockAccumulatesAcrossChunks) {
+  BufferId a = Push<int32_t>({1, 2});
+  BufferId b = Push<int32_t>({10});
+  BufferId acc = Alloc(8);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeAggBlock(a, acc, AggOp::kSum,
+                                                  ElementType::kInt32, true, 2))
+                  .ok());
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeAggBlock(b, acc, AggOp::kSum,
+                                                  ElementType::kInt32, false,
+                                                  1))
+                  .ok());
+  EXPECT_EQ(PullCount(acc), 13);
+}
+
+TEST_F(KernelTest, AggBlockMinAcrossChunksUsesIdentity) {
+  BufferId a = Push<int32_t>({5, 9});
+  BufferId b = Push<int32_t>({7});
+  BufferId acc = Alloc(8);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeAggBlock(a, acc, AggOp::kMin,
+                                                  ElementType::kInt32, true, 2))
+                  .ok());
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeAggBlock(b, acc, AggOp::kMin,
+                                                  ElementType::kInt32, false,
+                                                  1))
+                  .ok());
+  EXPECT_EQ(PullCount(acc), 5);
+}
+
+// --- HASH_BUILD / HASH_PROBE ---
+
+TEST_F(KernelTest, HashBuildProbeInner) {
+  BufferId keys = Push<int32_t>({10, 20, 30});
+  BufferId payload = Push<int32_t>({100, 200, 300});
+  const size_t slots = 16;
+  BufferId table = Alloc(HashTableLayout::BuildTableBytes(slots));
+  ASSERT_TRUE(device_->Execute(kernels::MakeFill(
+                                   table, HashTableLayout::kEmptyKey,
+                                   HashTableLayout::BuildTableBytes(slots) / 4))
+                  .ok());
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeHashBuild(keys, payload, table,
+                                                   slots, 0, 3))
+                  .ok());
+  BufferId probe_keys = Push<int32_t>({20, 99, 10});
+  BufferId left = Alloc(4 * 4);
+  BufferId right = Alloc(4 * 4);
+  BufferId count = Alloc(8);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeHashProbe(
+                      probe_keys, table, left, right, count, slots,
+                      ProbeMode::kAll, 0, 3))
+                  .ok());
+  EXPECT_EQ(PullCount(count), 2);
+  EXPECT_EQ(Pull<int32_t>(left, 2), (std::vector<int32_t>{0, 2}));
+  EXPECT_EQ(Pull<int32_t>(right, 2), (std::vector<int32_t>{200, 100}));
+}
+
+TEST_F(KernelTest, HashProbeDuplicateBuildKeysEmitAllMatches) {
+  BufferId keys = Push<int32_t>({7, 7, 8});
+  const size_t slots = 16;
+  BufferId table = Alloc(HashTableLayout::BuildTableBytes(slots));
+  ASSERT_TRUE(device_->Execute(kernels::MakeFill(
+                                   table, HashTableLayout::kEmptyKey,
+                                   HashTableLayout::BuildTableBytes(slots) / 4))
+                  .ok());
+  // No payload: defaults to pos_base + i.
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeHashBuild(keys, kInvalidBuffer,
+                                                   table, slots, 100, 3))
+                  .ok());
+  BufferId probe_keys = Push<int32_t>({7});
+  BufferId left = Alloc(4 * 4);
+  BufferId right = Alloc(4 * 4);
+  BufferId count = Alloc(8);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeHashProbe(
+                      probe_keys, table, left, right, count, slots,
+                      ProbeMode::kAll, 0, 1))
+                  .ok());
+  EXPECT_EQ(PullCount(count), 2);
+  auto payloads = Pull<int32_t>(right, 2);
+  std::sort(payloads.begin(), payloads.end());
+  EXPECT_EQ(payloads, (std::vector<int32_t>{100, 101}));
+}
+
+TEST_F(KernelTest, HashProbeSemiEmitsOnce) {
+  BufferId keys = Push<int32_t>({7, 7});
+  const size_t slots = 16;
+  BufferId table = Alloc(HashTableLayout::BuildTableBytes(slots));
+  ASSERT_TRUE(device_->Execute(kernels::MakeFill(
+                                   table, HashTableLayout::kEmptyKey,
+                                   HashTableLayout::BuildTableBytes(slots) / 4))
+                  .ok());
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeHashBuild(keys, kInvalidBuffer,
+                                                   table, slots, 0, 2))
+                  .ok());
+  BufferId probe_keys = Push<int32_t>({7, 9});
+  BufferId left = Alloc(4 * 4);
+  BufferId right = Alloc(4 * 4);
+  BufferId count = Alloc(8);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeHashProbe(
+                      probe_keys, table, left, right, count, slots,
+                      ProbeMode::kSemi, 0, 2))
+                  .ok());
+  EXPECT_EQ(PullCount(count), 1);
+  EXPECT_EQ(Pull<int32_t>(left, 1)[0], 0);
+}
+
+TEST_F(KernelTest, HashBuildTableFullIsError) {
+  BufferId keys = Push<int32_t>({1, 2, 3, 4, 5});
+  const size_t slots = 4;
+  BufferId table = Alloc(HashTableLayout::BuildTableBytes(slots));
+  ASSERT_TRUE(device_->Execute(kernels::MakeFill(
+                                   table, HashTableLayout::kEmptyKey,
+                                   HashTableLayout::BuildTableBytes(slots) / 4))
+                  .ok());
+  EXPECT_TRUE(device_
+                  ->Execute(kernels::MakeHashBuild(keys, kInvalidBuffer,
+                                                   table, slots, 0, 5))
+                  .IsExecutionError());
+}
+
+TEST_F(KernelTest, HashBuildRejectsNonPowerOfTwoSlots) {
+  BufferId keys = Push<int32_t>({1});
+  BufferId table = Alloc(HashTableLayout::BuildTableBytes(16));
+  EXPECT_TRUE(device_
+                  ->Execute(kernels::MakeHashBuild(keys, kInvalidBuffer,
+                                                   table, 10, 0, 1))
+                  .IsInvalidArgument());
+}
+
+TEST_F(KernelTest, HashBuildRejectsSentinelKey) {
+  BufferId keys = Push<int32_t>({HashTableLayout::kEmptyKey});
+  const size_t slots = 16;
+  BufferId table = Alloc(HashTableLayout::BuildTableBytes(slots));
+  EXPECT_TRUE(device_
+                  ->Execute(kernels::MakeHashBuild(keys, kInvalidBuffer,
+                                                   table, slots, 0, 1))
+                  .IsInvalidArgument());
+}
+
+TEST_F(KernelTest, HashProbeCollisionClusters) {
+  // Many keys in a small table force linear-probing clusters; probing must
+  // still find exactly the right entries.
+  std::vector<int32_t> keys(32);
+  std::iota(keys.begin(), keys.end(), 1);
+  const size_t slots = 64;
+  BufferId keys_buf = Push(keys);
+  BufferId table = Alloc(HashTableLayout::BuildTableBytes(slots));
+  ASSERT_TRUE(device_->Execute(kernels::MakeFill(
+                                   table, HashTableLayout::kEmptyKey,
+                                   HashTableLayout::BuildTableBytes(slots) / 4))
+                  .ok());
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeHashBuild(keys_buf, kInvalidBuffer,
+                                                   table, slots, 0, 32))
+                  .ok());
+  BufferId left = Alloc(32 * 4);
+  BufferId right = Alloc(32 * 4);
+  BufferId count = Alloc(8);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeHashProbe(
+                      keys_buf, table, left, right, count, slots,
+                      ProbeMode::kAll, 0, 32))
+                  .ok());
+  EXPECT_EQ(PullCount(count), 32);
+  auto payloads = Pull<int32_t>(right, 32);
+  std::sort(payloads.begin(), payloads.end());
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(payloads[static_cast<size_t>(i)], i);
+}
+
+// --- HASH_AGG ---
+
+TEST_F(KernelTest, HashAggSumByGroup) {
+  BufferId keys = Push<int32_t>({1, 2, 1, 3, 2, 1});
+  BufferId values = Push<int64_t>({10, 20, 30, 40, 50, 60});
+  const size_t slots = 16;
+  BufferId table = Alloc(HashTableLayout::AggTableBytes(slots));
+  ASSERT_TRUE(device_->Execute(kernels::MakeFill(
+                                   table, HashTableLayout::kEmptyKey,
+                                   HashTableLayout::AggTableBytes(slots) / 4))
+                  .ok());
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeHashAgg(keys, values, table, slots,
+                                                 AggOp::kSum,
+                                                 ElementType::kInt64, 6, 3,
+                                                 false))
+                  .ok());
+  auto bytes = Pull<uint8_t>(table, HashTableLayout::AggTableBytes(slots));
+  const auto* agg_slots =
+      reinterpret_cast<const HashTableLayout::AggSlot*>(bytes.data());
+  std::map<int32_t, int64_t> groups;
+  for (size_t i = 0; i < slots; ++i) {
+    if (agg_slots[i].key != HashTableLayout::kEmptyKey) {
+      groups[agg_slots[i].key] = agg_slots[i].value;
+    }
+  }
+  EXPECT_EQ(groups, (std::map<int32_t, int64_t>{{1, 100}, {2, 70}, {3, 40}}));
+}
+
+TEST_F(KernelTest, HashAggCountNeedsNoValues) {
+  BufferId keys = Push<int32_t>({5, 5, 6});
+  const size_t slots = 16;
+  BufferId table = Alloc(HashTableLayout::AggTableBytes(slots));
+  ASSERT_TRUE(device_->Execute(kernels::MakeFill(
+                                   table, HashTableLayout::kEmptyKey,
+                                   HashTableLayout::AggTableBytes(slots) / 4))
+                  .ok());
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeHashAgg(keys, kInvalidBuffer, table,
+                                                 slots, AggOp::kCount,
+                                                 ElementType::kInt64, 3, 2,
+                                                 false))
+                  .ok());
+  auto bytes = Pull<uint8_t>(table, HashTableLayout::AggTableBytes(slots));
+  const auto* agg_slots =
+      reinterpret_cast<const HashTableLayout::AggSlot*>(bytes.data());
+  int64_t count5 = 0, count6 = 0;
+  for (size_t i = 0; i < slots; ++i) {
+    if (agg_slots[i].key == 5) count5 = agg_slots[i].value;
+    if (agg_slots[i].key == 6) count6 = agg_slots[i].value;
+  }
+  EXPECT_EQ(count5, 2);
+  EXPECT_EQ(count6, 1);
+}
+
+TEST_F(KernelTest, HashAggRejectsValueMismatch) {
+  BufferId keys = Push<int32_t>({1});
+  BufferId values = Push<int64_t>({1});
+  const size_t slots = 16;
+  BufferId table = Alloc(HashTableLayout::AggTableBytes(slots));
+  // COUNT with values.
+  EXPECT_TRUE(device_
+                  ->Execute(kernels::MakeHashAgg(keys, values, table, slots,
+                                                 AggOp::kCount,
+                                                 ElementType::kInt64, 1, 1,
+                                                 false))
+                  .IsInvalidArgument());
+  // SUM without values.
+  EXPECT_TRUE(device_
+                  ->Execute(kernels::MakeHashAgg(keys, kInvalidBuffer, table,
+                                                 slots, AggOp::kSum,
+                                                 ElementType::kInt64, 1, 1,
+                                                 false))
+                  .IsInvalidArgument());
+}
+
+TEST_F(KernelTest, HashAggMinMax) {
+  BufferId keys = Push<int32_t>({1, 1, 1});
+  BufferId values = Push<int64_t>({5, -3, 9});
+  const size_t slots = 16;
+  for (auto [op, want] : std::vector<std::pair<AggOp, int64_t>>{
+           {AggOp::kMin, -3}, {AggOp::kMax, 9}}) {
+    BufferId table = Alloc(HashTableLayout::AggTableBytes(slots));
+    ASSERT_TRUE(
+        device_->Execute(kernels::MakeFill(
+                             table, HashTableLayout::kEmptyKey,
+                             HashTableLayout::AggTableBytes(slots) / 4))
+            .ok());
+    ASSERT_TRUE(device_
+                    ->Execute(kernels::MakeHashAgg(keys, values, table, slots,
+                                                   op, ElementType::kInt64, 3,
+                                                   1, false))
+                    .ok());
+    auto bytes = Pull<uint8_t>(table, HashTableLayout::AggTableBytes(slots));
+    const auto* agg_slots =
+        reinterpret_cast<const HashTableLayout::AggSlot*>(bytes.data());
+    int64_t got = 0;
+    for (size_t i = 0; i < slots; ++i) {
+      if (agg_slots[i].key == 1) got = agg_slots[i].value;
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+// --- SORT_AGG ---
+
+TEST_F(KernelTest, SortAggSumsByGroupIndex) {
+  BufferId values = Push<int64_t>({10, 20, 30, 40});
+  BufferId pxsum = Push<int32_t>({0, 0, 1, 2});
+  BufferId agg = Alloc(3 * 8);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeSortAgg(values, pxsum, agg,
+                                                 AggOp::kSum,
+                                                 ElementType::kInt64, 3, true,
+                                                 4))
+                  .ok());
+  EXPECT_EQ(Pull<int64_t>(agg, 3), (std::vector<int64_t>{30, 30, 40}));
+}
+
+TEST_F(KernelTest, SortAggRejectsMinMax) {
+  BufferId values = Push<int64_t>({1});
+  BufferId pxsum = Push<int32_t>({0});
+  BufferId agg = Alloc(8);
+  EXPECT_TRUE(device_
+                  ->Execute(kernels::MakeSortAgg(values, pxsum, agg,
+                                                 AggOp::kMin,
+                                                 ElementType::kInt64, 1, true,
+                                                 1))
+                  .IsNotSupported());
+}
+
+TEST_F(KernelTest, SortAggGroupOutOfRangeIsError) {
+  BufferId values = Push<int64_t>({1});
+  BufferId pxsum = Push<int32_t>({5});
+  BufferId agg = Alloc(2 * 8);
+  EXPECT_TRUE(device_
+                  ->Execute(kernels::MakeSortAgg(values, pxsum, agg,
+                                                 AggOp::kSum,
+                                                 ElementType::kInt64, 2, true,
+                                                 1))
+                  .IsExecutionError());
+}
+
+// --- Device-resident counts (the count_in convention) ---
+
+TEST_F(KernelTest, CountInLimitsProcessing) {
+  BufferId in = Push<int32_t>({1, 2, 3, 4, 5});
+  BufferId count_in = Push<int64_t>({3});
+  BufferId out = Alloc(5 * 4);
+  // Pre-fill output so untouched slots are observable.
+  ASSERT_TRUE(device_->Execute(kernels::MakeFill(out, -1, 5)).ok());
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeMap(in, kInvalidBuffer, out,
+                                             MapOp::kAddScalar,
+                                             ElementType::kInt32,
+                                             ElementType::kInt32, 10,
+                                             /*worst case=*/5, count_in))
+                  .ok());
+  auto got = Pull<int32_t>(out, 5);
+  EXPECT_EQ(got, (std::vector<int32_t>{11, 12, 13, -1, -1}));
+}
+
+TEST_F(KernelTest, CountInChainsThroughPipelineStages) {
+  // filter_position -> materialize_position driven purely by device counts.
+  BufferId in = Push<int32_t>({9, 1, 9, 2, 9});
+  BufferId positions = Alloc(5 * 4);
+  BufferId count = Alloc(8);
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeFilterPosition(
+                      in, positions, count, CmpOp::kEq, ElementType::kInt32,
+                      9, 0, 5))
+                  .ok());
+  BufferId values = Push<int32_t>({100, 101, 102, 103, 104});
+  BufferId out = Alloc(5 * 4);
+  ASSERT_TRUE(device_->Execute(kernels::MakeFill(out, -1, 5)).ok());
+  ASSERT_TRUE(device_
+                  ->Execute(kernels::MakeMaterializePosition(
+                      values, positions, out, ElementType::kInt32,
+                      /*worst case=*/5, count))
+                  .ok());
+  auto got = Pull<int32_t>(out, 5);
+  EXPECT_EQ(got, (std::vector<int32_t>{100, 102, 104, -1, -1}));
+}
+
+TEST_F(KernelTest, NegativeDeviceCountIsError) {
+  BufferId in = Push<int32_t>({1});
+  BufferId count_in = Push<int64_t>({-1});
+  BufferId out = Alloc(4);
+  EXPECT_TRUE(device_
+                  ->Execute(kernels::MakeMap(in, kInvalidBuffer, out,
+                                             MapOp::kIdentity,
+                                             ElementType::kInt32,
+                                             ElementType::kInt32, 0, 1,
+                                             count_in))
+                  .IsExecutionError());
+}
+
+// --- fill ---
+
+TEST_F(KernelTest, FillWritesPattern) {
+  BufferId out = Alloc(4 * 4);
+  ASSERT_TRUE(device_->Execute(kernels::MakeFill(out, 0x5A5A5A5A, 4)).ok());
+  EXPECT_EQ(Pull<int32_t>(out, 4), std::vector<int32_t>(4, 0x5A5A5A5A));
+}
+
+// --- Registry metadata ---
+
+TEST(KernelRegistry, AllKernelNamesHaveFnAndSource) {
+  for (const std::string& name : kernels::AllKernelNames()) {
+    EXPECT_TRUE(kernels::HasKernel(name));
+    EXPECT_NE(kernels::KernelSourceText(name).find("__kernel"),
+              std::string::npos);
+  }
+  EXPECT_FALSE(kernels::HasKernel("bogus"));
+  EXPECT_EQ(kernels::AllKernelNames().size(), 12u) << "11 Table-I + fill";
+}
+
+}  // namespace
+}  // namespace adamant

@@ -1,0 +1,392 @@
+// Tests for the TPC-H generator (spec conformance of the distributions the
+// evaluated queries depend on) and the scalar reference queries.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/date.h"
+#include "tpch/reference.h"
+#include "tpch/tpch_gen.h"
+
+namespace adamant::tpch {
+namespace {
+
+const Catalog& TestCatalog() {
+  static const Catalog* const kCatalog = [] {
+    TpchConfig config;
+    config.scale_factor = 0.01;
+    auto catalog = Generate(config);
+    ADAMANT_CHECK(catalog.ok()) << catalog.status().ToString();
+    // Intentionally leaked singleton (test process lifetime).
+    return new Catalog(**catalog);
+  }();
+  return *kCatalog;
+}
+
+TEST(TpchGen, RowCountsScale) {
+  EXPECT_EQ(CustomerRows(1.0), 150000);
+  EXPECT_EQ(OrdersRows(1.0), 1500000);
+  EXPECT_EQ(PartRows(1.0), 200000);
+  EXPECT_EQ(SupplierRows(1.0), 10000);
+  EXPECT_EQ(PartsuppRows(1.0), 800000);
+  EXPECT_EQ(CustomerRows(0.01), 1500);
+  EXPECT_EQ(CustomerRows(1e-9), 1) << "fractional SF clamps to >= 1 row";
+}
+
+TEST(TpchGen, RejectsNonPositiveScale) {
+  TpchConfig config;
+  config.scale_factor = 0;
+  EXPECT_TRUE(Generate(config).status().IsInvalidArgument());
+}
+
+TEST(TpchGen, AllTablesPresent) {
+  const Catalog& catalog = TestCatalog();
+  for (const char* name : {"customer", "orders", "lineitem", "part",
+                           "supplier", "partsupp", "nation", "region"}) {
+    EXPECT_TRUE(catalog.GetTable(name).ok()) << name;
+  }
+  EXPECT_EQ((*catalog.GetTable("nation"))->num_rows(), 25u);
+  EXPECT_EQ((*catalog.GetTable("region"))->num_rows(), 5u);
+}
+
+TEST(TpchGen, DimensionTablesOptional) {
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  config.include_dimension_tables = false;
+  auto catalog = Generate(config);
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_TRUE((*catalog)->GetTable("lineitem").ok());
+  EXPECT_TRUE((*catalog)->GetTable("part").status().IsNotFound());
+}
+
+TEST(TpchGen, DeterministicForSeed) {
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  auto a = Generate(config);
+  auto b = Generate(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ca = *(*a)->GetTable("lineitem");
+  auto cb = *(*b)->GetTable("lineitem");
+  ASSERT_EQ(ca->num_rows(), cb->num_rows());
+  auto pa = (*ca->GetColumn("l_extendedprice"))->data<int64_t>();
+  auto pb = (*cb->GetColumn("l_extendedprice"))->data<int64_t>();
+  for (size_t i = 0; i < ca->num_rows(); ++i) EXPECT_EQ(pa[i], pb[i]);
+  config.seed = 42;
+  auto c = Generate(config);
+  ASSERT_TRUE(c.ok());
+  auto cc = *(*c)->GetTable("lineitem");
+  bool differs = cc->num_rows() != ca->num_rows();
+  if (!differs) {
+    auto pc = (*cc->GetColumn("l_extendedprice"))->data<int64_t>();
+    for (size_t i = 0; i < ca->num_rows() && !differs; ++i) {
+      differs = pa[i] != pc[i];
+    }
+  }
+  EXPECT_TRUE(differs) << "different seed, different data";
+}
+
+TEST(TpchGen, KeysDenseAndForeignKeysValid) {
+  const Catalog& catalog = TestCatalog();
+  auto orders = *catalog.GetTable("orders");
+  auto customer = *catalog.GetTable("customer");
+  const auto* okey = (*orders->GetColumn("o_orderkey"))->data<int32_t>();
+  const auto* ocust = (*orders->GetColumn("o_custkey"))->data<int32_t>();
+  const auto n_cust = static_cast<int32_t>(customer->num_rows());
+  for (size_t i = 0; i < orders->num_rows(); ++i) {
+    EXPECT_EQ(okey[i], static_cast<int32_t>(i + 1));
+    EXPECT_GE(ocust[i], 1);
+    EXPECT_LE(ocust[i], n_cust);
+  }
+  auto lineitem = *catalog.GetTable("lineitem");
+  const auto* lkey = (*lineitem->GetColumn("l_orderkey"))->data<int32_t>();
+  const auto n_orders = static_cast<int32_t>(orders->num_rows());
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    EXPECT_GE(lkey[i], 1);
+    EXPECT_LE(lkey[i], n_orders);
+  }
+}
+
+TEST(TpchGen, LineitemSpecRanges) {
+  const Catalog& catalog = TestCatalog();
+  auto lineitem = *catalog.GetTable("lineitem");
+  const size_t n = lineitem->num_rows();
+  const auto* qty = (*lineitem->GetColumn("l_quantity"))->data<int32_t>();
+  const auto* disc = (*lineitem->GetColumn("l_discount"))->data<int32_t>();
+  const auto* tax = (*lineitem->GetColumn("l_tax"))->data<int32_t>();
+  const auto* ship = (*lineitem->GetColumn("l_shipdate"))->data<int32_t>();
+  const auto* commit = (*lineitem->GetColumn("l_commitdate"))->data<int32_t>();
+  const auto* receipt =
+      (*lineitem->GetColumn("l_receiptdate"))->data<int32_t>();
+  const int32_t start = Date::FromYmd(1992, 1, 1).days();
+  const int32_t end = Date::FromYmd(1998, 12, 31).days();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GE(qty[i], 1);
+    EXPECT_LE(qty[i], 50);
+    EXPECT_GE(disc[i], 0);
+    EXPECT_LE(disc[i], 10);
+    EXPECT_GE(tax[i], 0);
+    EXPECT_LE(tax[i], 8);
+    EXPECT_GE(ship[i], start);
+    EXPECT_LE(ship[i], end);
+    EXPECT_GT(receipt[i], ship[i]) << "receipt follows shipment";
+    EXPECT_LE(receipt[i], end);
+    EXPECT_GT(commit[i], start);
+  }
+}
+
+TEST(TpchGen, ExtendedPriceFollowsRetailFormula) {
+  const Catalog& catalog = TestCatalog();
+  auto lineitem = *catalog.GetTable("lineitem");
+  const auto* qty = (*lineitem->GetColumn("l_quantity"))->data<int32_t>();
+  const auto* pk = (*lineitem->GetColumn("l_partkey"))->data<int32_t>();
+  const auto* price =
+      (*lineitem->GetColumn("l_extendedprice"))->data<int64_t>();
+  for (size_t i = 0; i < lineitem->num_rows(); i += 7) {
+    EXPECT_EQ(price[i], qty[i] * RetailPriceCents(pk[i]));
+  }
+}
+
+TEST(TpchGen, RetailPriceSpecValues) {
+  // Spec 4.2.3 spot checks.
+  EXPECT_EQ(RetailPriceCents(1), 90000 + 0 + 100 * 1);
+  EXPECT_EQ(RetailPriceCents(1000), 90000 + 100 + 0);
+  EXPECT_EQ(RetailPriceCents(10), 90000 + 1 + 100 * 10);
+}
+
+TEST(TpchGen, DictionariesDecodable) {
+  const Catalog& catalog = TestCatalog();
+  auto customer = *catalog.GetTable("customer");
+  const StringDictionary* seg = customer->FindDictionary("c_mktsegment");
+  ASSERT_NE(seg, nullptr);
+  EXPECT_EQ(seg->size(), 5u);
+  EXPECT_TRUE(seg->Lookup("BUILDING").ok());
+  auto orders = *catalog.GetTable("orders");
+  const StringDictionary* prio = orders->FindDictionary("o_orderpriority");
+  ASSERT_NE(prio, nullptr);
+  EXPECT_EQ(prio->size(), 5u);
+  // Priorities interned in spec order, so code k names priority k+1.
+  EXPECT_EQ(prio->GetString(0), "1-URGENT");
+  EXPECT_EQ(prio->GetString(4), "5-LOW");
+  auto lineitem = *catalog.GetTable("lineitem");
+  const StringDictionary* rf = lineitem->FindDictionary("l_returnflag");
+  ASSERT_NE(rf, nullptr);
+  EXPECT_EQ(rf->size(), 3u);  // R, A, N
+}
+
+TEST(TpchGen, SelectivityNearSpec) {
+  const Catalog& catalog = TestCatalog();
+  auto lineitem = *catalog.GetTable("lineitem");
+  const auto* ship = (*lineitem->GetColumn("l_shipdate"))->data<int32_t>();
+  Q6Params params;
+  size_t in_window = 0;
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    in_window += (ship[i] >= params.date && ship[i] < params.date_end()) ? 1 : 0;
+  }
+  const double frac =
+      static_cast<double>(in_window) / static_cast<double>(lineitem->num_rows());
+  EXPECT_NEAR(frac, 1.0 / 7.0, 0.03) << "one year of a ~7-year window";
+}
+
+TEST(TpchGen, ShipModeAndPartTypeDictionaries) {
+  const Catalog& catalog = TestCatalog();
+  auto lineitem = *catalog.GetTable("lineitem");
+  const StringDictionary* modes = lineitem->FindDictionary("l_shipmode");
+  ASSERT_NE(modes, nullptr);
+  EXPECT_EQ(modes->size(), 7u);
+  EXPECT_TRUE(modes->Lookup("MAIL").ok());
+  EXPECT_TRUE(modes->Lookup("SHIP").ok());
+  const auto* shipmode = (*lineitem->GetColumn("l_shipmode"))->data<int32_t>();
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    EXPECT_GE(shipmode[i], 0);
+    EXPECT_LT(shipmode[i], 7);
+  }
+
+  auto part = *catalog.GetTable("part");
+  const StringDictionary* types = part->FindDictionary("p_type");
+  ASSERT_NE(types, nullptr);
+  EXPECT_EQ(types->size(), 150u) << "6 x 5 x 5 spec type strings";
+  const auto* type = (*part->GetColumn("p_type"))->data<int32_t>();
+  const auto* ispromo = (*part->GetColumn("p_ispromo"))->data<int32_t>();
+  size_t promos = 0;
+  for (size_t i = 0; i < part->num_rows(); ++i) {
+    const bool starts_promo =
+        types->GetString(type[i]).rfind("PROMO", 0) == 0;
+    EXPECT_EQ(ispromo[i] != 0, starts_promo)
+        << "pre-decoded flag must match the dictionary string";
+    promos += ispromo[i];
+  }
+  const double frac =
+      static_cast<double>(promos) / static_cast<double>(part->num_rows());
+  EXPECT_NEAR(frac, 1.0 / 6.0, 0.05) << "PROMO is 1 of 6 leading words";
+}
+
+// --- Reference queries ---
+
+TEST(Reference, Q6MatchesManualScan) {
+  const Catalog& catalog = TestCatalog();
+  Q6Params params;
+  auto revenue = Q6Reference(catalog, params);
+  ASSERT_TRUE(revenue.ok());
+  EXPECT_GT(*revenue, 0);
+  // Tighter discount band can only lower revenue.
+  Q6Params narrow = params;
+  narrow.discount_pct = 0;  // band [-1, 1] keeps only discount 0..1
+  auto smaller = Q6Reference(catalog, narrow);
+  ASSERT_TRUE(smaller.ok());
+  EXPECT_LT(*smaller, *revenue);
+}
+
+TEST(Reference, Q4CountsBounded) {
+  const Catalog& catalog = TestCatalog();
+  Q4Params params;
+  auto rows = Q4Reference(catalog, params);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_LE(rows->size(), 5u);
+  int64_t total = 0;
+  for (const Q4Row& row : *rows) {
+    EXPECT_GE(row.priority, 0);
+    EXPECT_LE(row.priority, 4);
+    total += row.order_count;
+  }
+  auto orders = *catalog.GetTable("orders");
+  EXPECT_LE(total, static_cast<int64_t>(orders->num_rows()));
+  EXPECT_GT(total, 0);
+}
+
+TEST(Reference, Q3TopKOrderedByRevenue) {
+  const Catalog& catalog = TestCatalog();
+  Q3Params params;
+  auto rows = Q3Reference(catalog, params);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_LE(rows->size(), params.limit);
+  ASSERT_GT(rows->size(), 0u);
+  for (size_t i = 1; i < rows->size(); ++i) {
+    EXPECT_GE((*rows)[i - 1].revenue, (*rows)[i].revenue);
+  }
+  for (const Q3Row& row : *rows) {
+    EXPECT_LT(row.orderdate, params.date)
+        << "only orders placed before the cut date qualify";
+  }
+}
+
+TEST(Reference, Q3UnknownSegmentFails) {
+  const Catalog& catalog = TestCatalog();
+  Q3Params params;
+  params.segment = "SPACESHIPS";
+  EXPECT_TRUE(Q3Reference(catalog, params).status().IsNotFound());
+}
+
+TEST(Reference, Q1CoversAllLineitemsBelowCutoff) {
+  const Catalog& catalog = TestCatalog();
+  Q1Params params;
+  auto rows = Q1Reference(catalog, params);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_GE(rows->size(), 3u);
+  EXPECT_LE(rows->size(), 6u) << "R/A/N x O/F minus impossible combos";
+  int64_t count = 0;
+  for (const Q1Row& row : *rows) {
+    count += row.count;
+    EXPECT_GE(row.sum_disc_price, 0);
+    EXPECT_LE(row.sum_disc_price, row.sum_base_price);
+    EXPECT_GE(row.sum_charge, row.sum_disc_price);
+  }
+  auto lineitem = *catalog.GetTable("lineitem");
+  EXPECT_LT(count, static_cast<int64_t>(lineitem->num_rows()));
+  EXPECT_GT(count,
+            static_cast<int64_t>(lineitem->num_rows() * 9 / 10))
+      << "the 1998-09-02 cutoff keeps ~98% of lineitems";
+}
+
+TEST(Reference, Q5NationsBelongToRegion) {
+  const Catalog& catalog = TestCatalog();
+  auto rows = Q5Reference(catalog, Q5Params{});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_GT(rows->size(), 0u);
+  EXPECT_LE(rows->size(), 5u) << "at most the region's five nations";
+  const char* kAsia[] = {"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"};
+  for (size_t i = 0; i < rows->size(); ++i) {
+    const Q5Row& row = (*rows)[i];
+    EXPECT_GT(row.revenue, 0);
+    EXPECT_NE(std::find_if(std::begin(kAsia), std::end(kAsia),
+                           [&](const char* n) { return row.nation == n; }),
+              std::end(kAsia))
+        << row.nation;
+    if (i > 0) EXPECT_GE((*rows)[i - 1].revenue, row.revenue);
+  }
+}
+
+TEST(Reference, Q5UnknownRegionFails) {
+  const Catalog& catalog = TestCatalog();
+  Q5Params params;
+  params.region = "ATLANTIS";
+  EXPECT_TRUE(Q5Reference(catalog, params).status().IsNotFound());
+}
+
+TEST(Reference, Q10TopKOrderedByRevenue) {
+  const Catalog& catalog = TestCatalog();
+  auto rows = Q10Reference(catalog, Q10Params{});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_GT(rows->size(), 0u);
+  EXPECT_LE(rows->size(), Q10Params{}.limit);
+  for (size_t i = 1; i < rows->size(); ++i) {
+    EXPECT_GE((*rows)[i - 1].revenue, (*rows)[i].revenue);
+  }
+  auto customer = *catalog.GetTable("customer");
+  for (const Q10Row& row : *rows) {
+    EXPECT_GE(row.custkey, 1);
+    EXPECT_LE(row.custkey, static_cast<int32_t>(customer->num_rows()));
+    EXPECT_GT(row.revenue, 0);
+  }
+}
+
+TEST(Reference, Q12HighPlusLowBoundedByLineitems) {
+  const Catalog& catalog = TestCatalog();
+  auto rows = Q12Reference(catalog, Q12Params{});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_LE(rows->size(), 2u) << "two ship modes requested";
+  int64_t total = 0;
+  for (const Q12Row& row : *rows) {
+    EXPECT_GE(row.high_line_count, 0);
+    EXPECT_GE(row.low_line_count, 0);
+    total += row.high_line_count + row.low_line_count;
+  }
+  auto lineitem = *catalog.GetTable("lineitem");
+  EXPECT_GT(total, 0);
+  EXPECT_LT(total, static_cast<int64_t>(lineitem->num_rows()));
+}
+
+TEST(Reference, Q12UnknownModeFails) {
+  const Catalog& catalog = TestCatalog();
+  Q12Params params;
+  params.shipmode1 = "TELEPORT";
+  EXPECT_TRUE(Q12Reference(catalog, params).status().IsNotFound());
+}
+
+TEST(Reference, Q14PromoShareWithinBounds) {
+  const Catalog& catalog = TestCatalog();
+  auto result = Q14Reference(catalog, Q14Params{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->total_revenue_cents, 0);
+  EXPECT_GE(result->promo_revenue_cents, 0);
+  EXPECT_LE(result->promo_revenue_cents, result->total_revenue_cents);
+  // PROMO parts are ~1/6 of the population.
+  EXPECT_GT(result->promo_pct(), 5.0);
+  EXPECT_LT(result->promo_pct(), 30.0);
+}
+
+TEST(Reference, Q1SortedByFlagStatus) {
+  const Catalog& catalog = TestCatalog();
+  auto rows = Q1Reference(catalog, Q1Params{});
+  ASSERT_TRUE(rows.ok());
+  for (size_t i = 1; i < rows->size(); ++i) {
+    const auto& a = (*rows)[i - 1];
+    const auto& b = (*rows)[i];
+    EXPECT_TRUE(a.returnflag < b.returnflag ||
+                (a.returnflag == b.returnflag && a.linestatus < b.linestatus));
+  }
+}
+
+}  // namespace
+}  // namespace adamant::tpch

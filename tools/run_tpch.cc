@@ -1,0 +1,355 @@
+// run_tpch — command-line front end for the whole stack: generate or load
+// TPC-H data, pick a driver/setup/execution model, run queries, verify
+// against the scalar references, and optionally dump a chrome trace.
+//
+//   run_tpch --query=6 --sf=0.02 --nominal-sf=30 --driver=cuda_gpu
+//            --model=4phase --chunk=auto --verify --trace=/tmp/q6.json
+//
+// Flags:
+//   --query=N         1, 3, 4, 5, 6, 10, 12, 14 or "all" (default: all)
+//   --sf=F            generated scale factor (default 0.01)
+//   --nominal-sf=F    emulated scale factor for the cost model (default: sf)
+//   --tbl-dir=PATH    load dbgen .tbl files instead of generating
+//   --driver=NAME     cuda_gpu | opencl_gpu | opencl_cpu | openmp_cpu
+//   --setup=1|2       hardware setup (Table II)
+//   --model=NAME      oaat | chunked | pipelined | 4phase | 4phase-pipelined
+//   --chunk=N|auto    chunk size in nominal elements (default 2^25)
+//   --verify          compare results against the scalar reference
+//   --trace=PATH      write a chrome://tracing JSON of the run
+//   --explain         print the logical plan (where available) and exit
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adamant/adamant.h"
+#include "tpch/tbl_schemas.h"
+
+namespace adamant {
+namespace {
+
+struct Options {
+  std::string query = "all";
+  double sf = 0.01;
+  double nominal_sf = -1;
+  std::string tbl_dir;
+  std::string driver = "cuda_gpu";
+  int setup = 1;
+  std::string model = "chunked";
+  std::string chunk = "33554432";  // 2^25
+  bool verify = false;
+  std::string trace_path;
+  bool explain = false;
+};
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+Result<Options> ParseArgs(int argc, char** argv) {
+  Options options;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (ParseFlag(arg, "query", &value)) {
+      options.query = value;
+    } else if (ParseFlag(arg, "sf", &value)) {
+      options.sf = std::stod(value);
+    } else if (ParseFlag(arg, "nominal-sf", &value)) {
+      options.nominal_sf = std::stod(value);
+    } else if (ParseFlag(arg, "tbl-dir", &value)) {
+      options.tbl_dir = value;
+    } else if (ParseFlag(arg, "driver", &value)) {
+      options.driver = value;
+    } else if (ParseFlag(arg, "setup", &value)) {
+      options.setup = std::stoi(value);
+    } else if (ParseFlag(arg, "model", &value)) {
+      options.model = value;
+    } else if (ParseFlag(arg, "chunk", &value)) {
+      options.chunk = value;
+    } else if (ParseFlag(arg, "trace", &value)) {
+      options.trace_path = value;
+    } else if (arg == "--verify") {
+      options.verify = true;
+    } else if (arg == "--explain") {
+      options.explain = true;
+    } else if (arg == "--help") {
+      return Status::InvalidArgument("help requested");
+    } else {
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
+    }
+  }
+  if (options.nominal_sf <= 0) options.nominal_sf = options.sf;
+  return options;
+}
+
+Result<sim::DriverKind> DriverFromName(const std::string& name) {
+  const std::map<std::string, sim::DriverKind> kDrivers = {
+      {"cuda_gpu", sim::DriverKind::kCudaGpu},
+      {"opencl_gpu", sim::DriverKind::kOpenClGpu},
+      {"opencl_cpu", sim::DriverKind::kOpenClCpu},
+      {"openmp_cpu", sim::DriverKind::kOpenMpCpu},
+  };
+  auto it = kDrivers.find(name);
+  if (it == kDrivers.end()) {
+    return Status::InvalidArgument("unknown driver '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<ExecutionModelKind> ModelFromName(const std::string& name) {
+  const std::map<std::string, ExecutionModelKind> kModels = {
+      {"oaat", ExecutionModelKind::kOperatorAtATime},
+      {"chunked", ExecutionModelKind::kChunked},
+      {"pipelined", ExecutionModelKind::kPipelined},
+      {"4phase", ExecutionModelKind::kFourPhaseChunked},
+      {"4phase-pipelined", ExecutionModelKind::kFourPhasePipelined},
+  };
+  auto it = kModels.find(name);
+  if (it == kModels.end()) {
+    return Status::InvalidArgument("unknown model '" + name + "'");
+  }
+  return it->second;
+}
+
+void PrintStats(const QueryExecution& exec, DeviceId device) {
+  const QueryStats& stats = exec.stats;
+  std::printf("    elapsed %.3f ms | kernels %.3f ms | wire %.3f ms | "
+              "%zu chunks | H2D %zu B | D2H %zu B\n",
+              sim::MsFromUs(stats.elapsed_us),
+              sim::MsFromUs(stats.kernel_body_us),
+              sim::MsFromUs(stats.transfer_wire_us), stats.chunks,
+              stats.bytes_h2d, stats.bytes_d2h);
+  const DeviceRunStats& dev = stats.devices[static_cast<size_t>(device)];
+  std::printf("    per kernel:");
+  for (const auto& [name, us] : dev.kernel_body_by_name) {
+    std::printf(" %s=%.2fms", name.c_str(), sim::MsFromUs(us));
+  }
+  std::printf("\n");
+}
+
+Status RunQuery(const std::string& query, const Catalog& catalog,
+                DeviceManager* manager, DeviceId device,
+                const Options& options) {
+  ADAMANT_ASSIGN_OR_RETURN(ExecutionModelKind model,
+                           ModelFromName(options.model));
+
+  plan::PlanBundle bundle;
+  if (query == "1") {
+    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ1(catalog, {}, device));
+  } else if (query == "3") {
+    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ3(catalog, {}, device));
+  } else if (query == "4") {
+    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ4(catalog, {}, device));
+  } else if (query == "5") {
+    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ5(catalog, {}, device));
+  } else if (query == "6") {
+    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ6(catalog, {}, device));
+  } else if (query == "10") {
+    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ10(catalog, {}, device));
+  } else if (query == "12") {
+    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ12(catalog, {}, device));
+  } else if (query == "14") {
+    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ14(catalog, {}, device));
+  } else {
+    return Status::InvalidArgument("unknown query '" + query + "'");
+  }
+
+  if (options.explain) {
+    std::printf("Q%s primitive graph:\n", query.c_str());
+    for (const GraphNode& node : bundle.graph->nodes()) {
+      std::printf("  [%2d] %-22s %s\n", node.id, PrimitiveKindName(node.kind),
+                  node.label.c_str());
+    }
+    return Status::OK();
+  }
+
+  ExecutionOptions exec_options;
+  exec_options.model = model;
+  if (options.chunk == "auto") {
+    ADAMANT_ASSIGN_OR_RETURN(
+        exec_options.chunk_elems,
+        SuggestChunkElems(*manager->device(device), *bundle.graph));
+  } else {
+    exec_options.chunk_elems = std::stoull(options.chunk);
+  }
+
+  QueryExecutor executor(manager);
+  ADAMANT_ASSIGN_OR_RETURN(QueryExecution exec,
+                           executor.Run(bundle.graph.get(), exec_options));
+
+  std::printf("Q%-3s on %s (%s, chunk %zu):\n", query.c_str(),
+              manager->device(device)->name().c_str(),
+              ExecutionModelName(model), exec_options.chunk_elems);
+  PrintStats(exec, device);
+
+  // Results + optional verification.
+  auto verdict = [&](bool match) {
+    std::printf("    verification: %s\n", match ? "MATCH" : "MISMATCH");
+    return match ? Status::OK()
+                 : Status::ExecutionError("Q" + query + " mismatch");
+  };
+  if (query == "6") {
+    ADAMANT_ASSIGN_OR_RETURN(int64_t revenue, plan::ExtractQ6(bundle, exec));
+    std::printf("    revenue = %.2f\n", MoneyToDouble(revenue));
+    if (options.verify) {
+      ADAMANT_ASSIGN_OR_RETURN(int64_t want, tpch::Q6Reference(catalog, {}));
+      return verdict(revenue == want);
+    }
+  } else if (query == "3") {
+    ADAMANT_ASSIGN_OR_RETURN(auto rows,
+                             plan::ExtractQ3(bundle, exec, catalog, {}));
+    for (size_t i = 0; i < rows.size() && i < 3; ++i) {
+      std::printf("    order %d: revenue %.2f\n", rows[i].orderkey,
+                  MoneyToDouble(rows[i].revenue));
+    }
+    if (options.verify) {
+      ADAMANT_ASSIGN_OR_RETURN(auto want, tpch::Q3Reference(catalog, {}));
+      return verdict(rows == want);
+    }
+  } else if (query == "4") {
+    ADAMANT_ASSIGN_OR_RETURN(auto rows, plan::ExtractQ4(bundle, exec));
+    for (const auto& row : rows) {
+      std::printf("    priority %d: %lld orders\n", row.priority,
+                  static_cast<long long>(row.order_count));
+    }
+    if (options.verify) {
+      ADAMANT_ASSIGN_OR_RETURN(auto want, tpch::Q4Reference(catalog, {}));
+      return verdict(rows == want);
+    }
+  } else if (query == "5") {
+    ADAMANT_ASSIGN_OR_RETURN(auto rows, plan::ExtractQ5(bundle, exec, catalog));
+    for (const auto& row : rows) {
+      std::printf("    %-16s revenue %.2f\n", row.nation.c_str(),
+                  MoneyToDouble(row.revenue));
+    }
+    if (options.verify) {
+      ADAMANT_ASSIGN_OR_RETURN(auto want, tpch::Q5Reference(catalog, {}));
+      return verdict(rows == want);
+    }
+  } else if (query == "1") {
+    ADAMANT_ASSIGN_OR_RETURN(auto rows, plan::ExtractQ1(bundle, exec));
+    std::printf("    %zu (returnflag, linestatus) groups\n", rows.size());
+    if (options.verify) {
+      ADAMANT_ASSIGN_OR_RETURN(auto want, tpch::Q1Reference(catalog, {}));
+      return verdict(rows == want);
+    }
+  } else if (query == "10") {
+    ADAMANT_ASSIGN_OR_RETURN(auto rows, plan::ExtractQ10(bundle, exec, {}));
+    for (size_t i = 0; i < rows.size() && i < 3; ++i) {
+      std::printf("    customer %d: lost revenue %.2f\n", rows[i].custkey,
+                  MoneyToDouble(rows[i].revenue));
+    }
+    if (options.verify) {
+      ADAMANT_ASSIGN_OR_RETURN(auto want, tpch::Q10Reference(catalog, {}));
+      return verdict(rows == want);
+    }
+  } else if (query == "12") {
+    ADAMANT_ASSIGN_OR_RETURN(auto rows, plan::ExtractQ12(bundle, exec));
+    for (const auto& row : rows) {
+      std::printf("    shipmode %d: high %lld, low %lld\n", row.shipmode,
+                  static_cast<long long>(row.high_line_count),
+                  static_cast<long long>(row.low_line_count));
+    }
+    if (options.verify) {
+      ADAMANT_ASSIGN_OR_RETURN(auto want, tpch::Q12Reference(catalog, {}));
+      return verdict(rows == want);
+    }
+  } else if (query == "14") {
+    ADAMANT_ASSIGN_OR_RETURN(auto result, plan::ExtractQ14(bundle, exec));
+    std::printf("    promo revenue = %.2f%%\n", result.promo_pct());
+    if (options.verify) {
+      ADAMANT_ASSIGN_OR_RETURN(auto want, tpch::Q14Reference(catalog, {}));
+      return verdict(result == want);
+    }
+  }
+  return Status::OK();
+}
+
+Status Run(const Options& options) {
+  // Data.
+  std::shared_ptr<Catalog> catalog;
+  if (!options.tbl_dir.empty()) {
+    ADAMANT_ASSIGN_OR_RETURN(catalog, tpch::LoadTblDirectory(options.tbl_dir));
+    std::printf("loaded .tbl data from %s\n", options.tbl_dir.c_str());
+  } else {
+    tpch::TpchConfig config;
+    config.scale_factor = options.sf;
+    ADAMANT_ASSIGN_OR_RETURN(catalog, tpch::Generate(config));
+    std::printf("generated TPC-H at SF %g (emulating SF %g)\n", options.sf,
+                options.nominal_sf);
+  }
+
+  // Device.
+  ADAMANT_ASSIGN_OR_RETURN(sim::DriverKind kind,
+                           DriverFromName(options.driver));
+  DeviceManager manager(options.setup == 2 ? sim::HardwareSetup::kSetup2
+                                           : sim::HardwareSetup::kSetup1);
+  manager.SetDataScale(options.nominal_sf / options.sf);
+  ADAMANT_ASSIGN_OR_RETURN(DeviceId device, manager.AddDriver(kind));
+  ADAMANT_RETURN_NOT_OK(BindStandardKernels(manager.device(device)));
+  if (!options.trace_path.empty()) {
+    manager.device(device)->transfer_timeline().set_tracing(true);
+    manager.device(device)->d2h_timeline().set_tracing(true);
+    manager.device(device)->compute_timeline().set_tracing(true);
+  }
+
+  // Queries.
+  std::vector<std::string> queries;
+  if (options.query == "all") {
+    queries = {"1", "3", "4", "5", "6", "10", "12", "14"};
+  } else {
+    queries = {options.query};
+  }
+  for (const std::string& query : queries) {
+    if (query == "14" && !catalog->GetTable("part").ok()) {
+      std::printf("Q14 skipped (no part table)\n");
+      continue;
+    }
+    if (query == "5" && !catalog->GetTable("region").ok()) {
+      std::printf("Q5 skipped (no region table)\n");
+      continue;
+    }
+    ADAMANT_RETURN_NOT_OK(RunQuery(query, *catalog, &manager, device, options));
+  }
+
+  if (!options.trace_path.empty()) {
+    SimulatedDevice* dev = manager.device(device);
+    std::string json = sim::ToChromeTrace({&dev->transfer_timeline(),
+                                           &dev->d2h_timeline(),
+                                           &dev->compute_timeline()});
+    std::ofstream out(options.trace_path);
+    out << json;
+    if (!out.good()) {
+      return Status::IOError("cannot write trace to " + options.trace_path);
+    }
+    std::printf("trace written to %s (open in chrome://tracing)\n",
+                options.trace_path.c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace adamant
+
+int main(int argc, char** argv) {
+  auto options = adamant::ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n\nSee the header of tools/run_tpch.cc for "
+                         "usage.\n",
+                 options.status().ToString().c_str());
+    return 2;
+  }
+  adamant::Status st = adamant::Run(*options);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
