@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_map_reduce.dir/bench_fig5_map_reduce.cc.o"
+  "CMakeFiles/bench_fig5_map_reduce.dir/bench_fig5_map_reduce.cc.o.d"
+  "bench_fig5_map_reduce"
+  "bench_fig5_map_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_map_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_primitives.dir/bench_fig9_primitives.cc.o"
+  "CMakeFiles/bench_fig9_primitives.dir/bench_fig9_primitives.cc.o.d"
+  "bench_fig9_primitives"
+  "bench_fig9_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_device.dir/cross_device.cc.o"
+  "CMakeFiles/cross_device.dir/cross_device.cc.o.d"
+  "cross_device"
+  "cross_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/execution_models.dir/execution_models.cc.o"
+  "CMakeFiles/execution_models.dir/execution_models.cc.o.d"
+  "execution_models"
+  "execution_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/execution_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_plans.dir/logical_plans.cc.o"
+  "CMakeFiles/logical_plans.dir/logical_plans.cc.o.d"
+  "logical_plans"
+  "logical_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

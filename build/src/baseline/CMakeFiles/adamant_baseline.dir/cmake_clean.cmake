@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamant_baseline.dir/heavydb_model.cc.o"
+  "CMakeFiles/adamant_baseline.dir/heavydb_model.cc.o.d"
+  "libadamant_baseline.a"
+  "libadamant_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamant_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/aligned_buffer.cc" "src/common/CMakeFiles/adamant_common.dir/aligned_buffer.cc.o" "gcc" "src/common/CMakeFiles/adamant_common.dir/aligned_buffer.cc.o.d"
+  "/root/repo/src/common/bit_util.cc" "src/common/CMakeFiles/adamant_common.dir/bit_util.cc.o" "gcc" "src/common/CMakeFiles/adamant_common.dir/bit_util.cc.o.d"
+  "/root/repo/src/common/date.cc" "src/common/CMakeFiles/adamant_common.dir/date.cc.o" "gcc" "src/common/CMakeFiles/adamant_common.dir/date.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/adamant_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/adamant_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/adamant_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/adamant_common.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

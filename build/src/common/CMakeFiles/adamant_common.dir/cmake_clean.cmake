@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamant_common.dir/aligned_buffer.cc.o"
+  "CMakeFiles/adamant_common.dir/aligned_buffer.cc.o.d"
+  "CMakeFiles/adamant_common.dir/bit_util.cc.o"
+  "CMakeFiles/adamant_common.dir/bit_util.cc.o.d"
+  "CMakeFiles/adamant_common.dir/date.cc.o"
+  "CMakeFiles/adamant_common.dir/date.cc.o.d"
+  "CMakeFiles/adamant_common.dir/logging.cc.o"
+  "CMakeFiles/adamant_common.dir/logging.cc.o.d"
+  "CMakeFiles/adamant_common.dir/status.cc.o"
+  "CMakeFiles/adamant_common.dir/status.cc.o.d"
+  "libadamant_common.a"
+  "libadamant_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamant_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

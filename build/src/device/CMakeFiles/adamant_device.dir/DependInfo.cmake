@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/buffer.cc" "src/device/CMakeFiles/adamant_device.dir/buffer.cc.o" "gcc" "src/device/CMakeFiles/adamant_device.dir/buffer.cc.o.d"
+  "/root/repo/src/device/device_manager.cc" "src/device/CMakeFiles/adamant_device.dir/device_manager.cc.o" "gcc" "src/device/CMakeFiles/adamant_device.dir/device_manager.cc.o.d"
+  "/root/repo/src/device/drivers.cc" "src/device/CMakeFiles/adamant_device.dir/drivers.cc.o" "gcc" "src/device/CMakeFiles/adamant_device.dir/drivers.cc.o.d"
+  "/root/repo/src/device/sim_device.cc" "src/device/CMakeFiles/adamant_device.dir/sim_device.cc.o" "gcc" "src/device/CMakeFiles/adamant_device.dir/sim_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adamant_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adamant_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

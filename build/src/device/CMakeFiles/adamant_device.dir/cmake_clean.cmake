@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamant_device.dir/buffer.cc.o"
+  "CMakeFiles/adamant_device.dir/buffer.cc.o.d"
+  "CMakeFiles/adamant_device.dir/device_manager.cc.o"
+  "CMakeFiles/adamant_device.dir/device_manager.cc.o.d"
+  "CMakeFiles/adamant_device.dir/drivers.cc.o"
+  "CMakeFiles/adamant_device.dir/drivers.cc.o.d"
+  "CMakeFiles/adamant_device.dir/sim_device.cc.o"
+  "CMakeFiles/adamant_device.dir/sim_device.cc.o.d"
+  "libadamant_device.a"
+  "libadamant_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamant_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

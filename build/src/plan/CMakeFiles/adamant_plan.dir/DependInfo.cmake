@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/interpreter.cc" "src/plan/CMakeFiles/adamant_plan.dir/interpreter.cc.o" "gcc" "src/plan/CMakeFiles/adamant_plan.dir/interpreter.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/plan/CMakeFiles/adamant_plan.dir/logical_plan.cc.o" "gcc" "src/plan/CMakeFiles/adamant_plan.dir/logical_plan.cc.o.d"
+  "/root/repo/src/plan/lowering.cc" "src/plan/CMakeFiles/adamant_plan.dir/lowering.cc.o" "gcc" "src/plan/CMakeFiles/adamant_plan.dir/lowering.cc.o.d"
+  "/root/repo/src/plan/placement_optimizer.cc" "src/plan/CMakeFiles/adamant_plan.dir/placement_optimizer.cc.o" "gcc" "src/plan/CMakeFiles/adamant_plan.dir/placement_optimizer.cc.o.d"
+  "/root/repo/src/plan/selectivity.cc" "src/plan/CMakeFiles/adamant_plan.dir/selectivity.cc.o" "gcc" "src/plan/CMakeFiles/adamant_plan.dir/selectivity.cc.o.d"
+  "/root/repo/src/plan/tpch_logical.cc" "src/plan/CMakeFiles/adamant_plan.dir/tpch_logical.cc.o" "gcc" "src/plan/CMakeFiles/adamant_plan.dir/tpch_logical.cc.o.d"
+  "/root/repo/src/plan/tpch_plans.cc" "src/plan/CMakeFiles/adamant_plan.dir/tpch_plans.cc.o" "gcc" "src/plan/CMakeFiles/adamant_plan.dir/tpch_plans.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/adamant_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/adamant_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/adamant_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/adamant_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adamant_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/adamant_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adamant_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

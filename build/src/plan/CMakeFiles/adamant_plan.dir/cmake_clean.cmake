@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamant_plan.dir/interpreter.cc.o"
+  "CMakeFiles/adamant_plan.dir/interpreter.cc.o.d"
+  "CMakeFiles/adamant_plan.dir/logical_plan.cc.o"
+  "CMakeFiles/adamant_plan.dir/logical_plan.cc.o.d"
+  "CMakeFiles/adamant_plan.dir/lowering.cc.o"
+  "CMakeFiles/adamant_plan.dir/lowering.cc.o.d"
+  "CMakeFiles/adamant_plan.dir/placement_optimizer.cc.o"
+  "CMakeFiles/adamant_plan.dir/placement_optimizer.cc.o.d"
+  "CMakeFiles/adamant_plan.dir/selectivity.cc.o"
+  "CMakeFiles/adamant_plan.dir/selectivity.cc.o.d"
+  "CMakeFiles/adamant_plan.dir/tpch_logical.cc.o"
+  "CMakeFiles/adamant_plan.dir/tpch_logical.cc.o.d"
+  "CMakeFiles/adamant_plan.dir/tpch_plans.cc.o"
+  "CMakeFiles/adamant_plan.dir/tpch_plans.cc.o.d"
+  "libadamant_plan.a"
+  "libadamant_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamant_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamant_runtime.dir/chunk_tuner.cc.o"
+  "CMakeFiles/adamant_runtime.dir/chunk_tuner.cc.o.d"
+  "CMakeFiles/adamant_runtime.dir/executor.cc.o"
+  "CMakeFiles/adamant_runtime.dir/executor.cc.o.d"
+  "CMakeFiles/adamant_runtime.dir/primitive_graph.cc.o"
+  "CMakeFiles/adamant_runtime.dir/primitive_graph.cc.o.d"
+  "CMakeFiles/adamant_runtime.dir/transfer_hub.cc.o"
+  "CMakeFiles/adamant_runtime.dir/transfer_hub.cc.o.d"
+  "libadamant_runtime.a"
+  "libadamant_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamant_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/memory_arena.cc" "src/sim/CMakeFiles/adamant_sim.dir/memory_arena.cc.o" "gcc" "src/sim/CMakeFiles/adamant_sim.dir/memory_arena.cc.o.d"
+  "/root/repo/src/sim/perf_model.cc" "src/sim/CMakeFiles/adamant_sim.dir/perf_model.cc.o" "gcc" "src/sim/CMakeFiles/adamant_sim.dir/perf_model.cc.o.d"
+  "/root/repo/src/sim/presets.cc" "src/sim/CMakeFiles/adamant_sim.dir/presets.cc.o" "gcc" "src/sim/CMakeFiles/adamant_sim.dir/presets.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "src/sim/CMakeFiles/adamant_sim.dir/timeline.cc.o" "gcc" "src/sim/CMakeFiles/adamant_sim.dir/timeline.cc.o.d"
+  "/root/repo/src/sim/trace_export.cc" "src/sim/CMakeFiles/adamant_sim.dir/trace_export.cc.o" "gcc" "src/sim/CMakeFiles/adamant_sim.dir/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adamant_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamant_sim.dir/memory_arena.cc.o"
+  "CMakeFiles/adamant_sim.dir/memory_arena.cc.o.d"
+  "CMakeFiles/adamant_sim.dir/perf_model.cc.o"
+  "CMakeFiles/adamant_sim.dir/perf_model.cc.o.d"
+  "CMakeFiles/adamant_sim.dir/presets.cc.o"
+  "CMakeFiles/adamant_sim.dir/presets.cc.o.d"
+  "CMakeFiles/adamant_sim.dir/timeline.cc.o"
+  "CMakeFiles/adamant_sim.dir/timeline.cc.o.d"
+  "CMakeFiles/adamant_sim.dir/trace_export.cc.o"
+  "CMakeFiles/adamant_sim.dir/trace_export.cc.o.d"
+  "libadamant_sim.a"
+  "libadamant_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamant_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadamant_sim.a"
+)

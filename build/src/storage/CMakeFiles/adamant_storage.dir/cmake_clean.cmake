@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamant_storage.dir/dictionary.cc.o"
+  "CMakeFiles/adamant_storage.dir/dictionary.cc.o.d"
+  "CMakeFiles/adamant_storage.dir/table.cc.o"
+  "CMakeFiles/adamant_storage.dir/table.cc.o.d"
+  "CMakeFiles/adamant_storage.dir/tbl_io.cc.o"
+  "CMakeFiles/adamant_storage.dir/tbl_io.cc.o.d"
+  "libadamant_storage.a"
+  "libadamant_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamant_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/task/containers.cc" "src/task/CMakeFiles/adamant_task.dir/containers.cc.o" "gcc" "src/task/CMakeFiles/adamant_task.dir/containers.cc.o.d"
+  "/root/repo/src/task/kernel_registry.cc" "src/task/CMakeFiles/adamant_task.dir/kernel_registry.cc.o" "gcc" "src/task/CMakeFiles/adamant_task.dir/kernel_registry.cc.o.d"
+  "/root/repo/src/task/kernels.cc" "src/task/CMakeFiles/adamant_task.dir/kernels.cc.o" "gcc" "src/task/CMakeFiles/adamant_task.dir/kernels.cc.o.d"
+  "/root/repo/src/task/primitive.cc" "src/task/CMakeFiles/adamant_task.dir/primitive.cc.o" "gcc" "src/task/CMakeFiles/adamant_task.dir/primitive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adamant_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/adamant_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/adamant_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adamant_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamant_task.dir/containers.cc.o"
+  "CMakeFiles/adamant_task.dir/containers.cc.o.d"
+  "CMakeFiles/adamant_task.dir/kernel_registry.cc.o"
+  "CMakeFiles/adamant_task.dir/kernel_registry.cc.o.d"
+  "CMakeFiles/adamant_task.dir/kernels.cc.o"
+  "CMakeFiles/adamant_task.dir/kernels.cc.o.d"
+  "CMakeFiles/adamant_task.dir/primitive.cc.o"
+  "CMakeFiles/adamant_task.dir/primitive.cc.o.d"
+  "libadamant_task.a"
+  "libadamant_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamant_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpch/reference.cc" "src/tpch/CMakeFiles/adamant_tpch.dir/reference.cc.o" "gcc" "src/tpch/CMakeFiles/adamant_tpch.dir/reference.cc.o.d"
+  "/root/repo/src/tpch/tbl_schemas.cc" "src/tpch/CMakeFiles/adamant_tpch.dir/tbl_schemas.cc.o" "gcc" "src/tpch/CMakeFiles/adamant_tpch.dir/tbl_schemas.cc.o.d"
+  "/root/repo/src/tpch/tpch_gen.cc" "src/tpch/CMakeFiles/adamant_tpch.dir/tpch_gen.cc.o" "gcc" "src/tpch/CMakeFiles/adamant_tpch.dir/tpch_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adamant_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/adamant_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamant_tpch.dir/reference.cc.o"
+  "CMakeFiles/adamant_tpch.dir/reference.cc.o.d"
+  "CMakeFiles/adamant_tpch.dir/tbl_schemas.cc.o"
+  "CMakeFiles/adamant_tpch.dir/tbl_schemas.cc.o.d"
+  "CMakeFiles/adamant_tpch.dir/tpch_gen.cc.o"
+  "CMakeFiles/adamant_tpch.dir/tpch_gen.cc.o.d"
+  "libadamant_tpch.a"
+  "libadamant_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamant_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

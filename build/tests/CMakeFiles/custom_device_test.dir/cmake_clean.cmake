@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_device_test.dir/custom_device_test.cc.o"
+  "CMakeFiles/custom_device_test.dir/custom_device_test.cc.o.d"
+  "custom_device_test"
+  "custom_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

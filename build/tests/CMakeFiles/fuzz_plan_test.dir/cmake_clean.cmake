@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_plan_test.dir/fuzz_plan_test.cc.o"
+  "CMakeFiles/fuzz_plan_test.dir/fuzz_plan_test.cc.o.d"
+  "fuzz_plan_test"
+  "fuzz_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_shape_test.dir/model_shape_test.cc.o"
+  "CMakeFiles/model_shape_test.dir/model_shape_test.cc.o.d"
+  "model_shape_test"
+  "model_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tools_test.cc" "tests/CMakeFiles/tools_test.dir/tools_test.cc.o" "gcc" "tests/CMakeFiles/tools_test.dir/tools_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/adamant_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/adamant_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/adamant_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/adamant_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/adamant_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/adamant_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/adamant_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adamant_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adamant_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

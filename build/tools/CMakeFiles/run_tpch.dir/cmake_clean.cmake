@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_tpch.dir/run_tpch.cc.o"
+  "CMakeFiles/run_tpch.dir/run_tpch.cc.o.d"
+  "run_tpch"
+  "run_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
