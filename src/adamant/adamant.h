@@ -10,6 +10,8 @@
 ///   task/    — primitive definitions (Table I), kernels, containers
 ///   runtime/ — primitive graph, transfer hub, execution models
 ///   plan/    — TPC-H plans as primitive graphs
+///   service/ — serving layer: concurrent scheduler, per-device memory
+///              budgets, cross-query device column cache
 ///   sim/     — calibrated co-processor performance models (substitution
 ///              for physical GPUs; see DESIGN.md §2)
 
@@ -30,7 +32,12 @@
 #include "runtime/chunk_tuner.h"
 #include "runtime/executor.h"
 #include "runtime/primitive_graph.h"
+#include "runtime/runtime_hooks.h"
 #include "runtime/transfer_hub.h"
+#include "service/column_cache.h"
+#include "service/memory_budget.h"
+#include "service/query_service.h"
+#include "service/scheduler.h"
 #include "sim/presets.h"
 #include "sim/trace_export.h"
 #include "storage/table.h"

@@ -26,6 +26,13 @@ Result<DeviceId> DeviceManager::AddDriver(sim::DriverKind kind) {
   return AddDevice(MakeDriver(kind, setup_, ctx_));
 }
 
+Result<DeviceId> DeviceManager::AddDriver(sim::DriverKind kind,
+                                          const std::string& name) {
+  std::unique_ptr<SimulatedDevice> device = MakeDriver(kind, setup_, ctx_);
+  device->set_name(name);
+  return AddDevice(std::move(device));
+}
+
 Result<SimulatedDevice*> DeviceManager::GetDevice(DeviceId id) const {
   if (id < 0 || static_cast<size_t>(id) >= devices_.size()) {
     return Status::NotFound("device id " + std::to_string(id));

@@ -33,6 +33,10 @@ class DeviceManager {
   /// Plugs one of the four paper drivers on this manager's setup.
   Result<DeviceId> AddDriver(sim::DriverKind kind);
 
+  /// AddDriver with an explicit device name, for plugging several instances
+  /// of the same driver (e.g. a serving pool of identical GPUs).
+  Result<DeviceId> AddDriver(sim::DriverKind kind, const std::string& name);
+
   Result<SimulatedDevice*> GetDevice(DeviceId id) const;
   Result<DeviceId> FindByName(const std::string& name) const;
   SimulatedDevice* device(DeviceId id) const { return devices_.at(id).get(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "common/logging.h"
 
@@ -28,6 +29,7 @@ SimulatedDevice::SimulatedDevice(std::string name, sim::DevicePerfModel model,
 }
 
 Status SimulatedDevice::Initialize() {
+  std::lock_guard<std::mutex> lock(call_mu_);
   if (initialized_) {
     return Status::AlreadyExists("device " + name_ + " already initialized");
   }
@@ -88,6 +90,7 @@ SimTime SimulatedDevice::ReadReadyTime(const Resolved& r) {
 }
 
 Result<BufferId> SimulatedDevice::PrepareMemory(size_t bytes) {
+  std::lock_guard<std::mutex> lock(call_mu_);
   ++stats_.prepare_memory;
   ADAMANT_RETURN_NOT_OK(
       device_arena_.Allocate(ScaledBytes(bytes)).WithContext(name_));
@@ -103,6 +106,7 @@ Result<BufferId> SimulatedDevice::PrepareMemory(size_t bytes) {
 }
 
 Result<BufferId> SimulatedDevice::AddPinnedMemory(size_t bytes) {
+  std::lock_guard<std::mutex> lock(call_mu_);
   ++stats_.add_pinned_memory;
   ADAMANT_RETURN_NOT_OK(
       pinned_arena_.Allocate(ScaledBytes(bytes)).WithContext(name_));
@@ -119,6 +123,7 @@ Result<BufferId> SimulatedDevice::AddPinnedMemory(size_t bytes) {
 
 Status SimulatedDevice::PlaceData(BufferId dst, const void* src, size_t bytes,
                                   size_t dst_offset) {
+  std::lock_guard<std::mutex> lock(call_mu_);
   ++stats_.place_data;
   if (src == nullptr) return Status::InvalidArgument("null source");
   ADAMANT_ASSIGN_OR_RETURN(Resolved r, Resolve(dst));
@@ -147,6 +152,7 @@ Status SimulatedDevice::PlaceData(BufferId dst, const void* src, size_t bytes,
 
 Status SimulatedDevice::RetrieveData(BufferId src, void* dst, size_t bytes,
                                      size_t src_offset) {
+  std::lock_guard<std::mutex> lock(call_mu_);
   ++stats_.retrieve_data;
   if (dst == nullptr) return Status::InvalidArgument("null destination");
   ADAMANT_ASSIGN_OR_RETURN(Resolved r, Resolve(src));
@@ -173,6 +179,7 @@ Status SimulatedDevice::RetrieveData(BufferId src, void* dst, size_t bytes,
 }
 
 Status SimulatedDevice::TransformMemory(BufferId id, SdkFormat target) {
+  std::lock_guard<std::mutex> lock(call_mu_);
   ++stats_.transform_memory;
   ADAMANT_ASSIGN_OR_RETURN(BufferRecord * rec, FindRecord(id));
   // Metadata-only re-interpretation: no bytes move (this is the entire point
@@ -183,6 +190,7 @@ Status SimulatedDevice::TransformMemory(BufferId id, SdkFormat target) {
 }
 
 Status SimulatedDevice::DeleteMemory(BufferId id) {
+  std::lock_guard<std::mutex> lock(call_mu_);
   ++stats_.delete_memory;
   ADAMANT_ASSIGN_OR_RETURN(BufferRecord * rec, FindRecord(id));
   if (rec->parent == kInvalidBuffer) {
@@ -198,6 +206,7 @@ Status SimulatedDevice::DeleteMemory(BufferId id) {
 
 Status SimulatedDevice::PrepareKernel(const std::string& name,
                                       const KernelSource& source) {
+  std::lock_guard<std::mutex> lock(call_mu_);
   ++stats_.prepare_kernel;
   if (!source.fn) {
     return Status::InvalidArgument("kernel '" + name +
@@ -212,16 +221,19 @@ Status SimulatedDevice::PrepareKernel(const std::string& name,
 
 void SimulatedDevice::RegisterPrecompiledKernel(const std::string& name,
                                                 HostKernelFn fn) {
+  std::lock_guard<std::mutex> lock(call_mu_);
   precompiled_kernels_[name] = std::move(fn);
 }
 
 bool SimulatedDevice::HasKernel(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(call_mu_);
   return prepared_kernels_.count(name) > 0 ||
          precompiled_kernels_.count(name) > 0;
 }
 
 Result<BufferId> SimulatedDevice::CreateChunk(BufferId parent, size_t bytes,
                                               size_t offset) {
+  std::lock_guard<std::mutex> lock(call_mu_);
   ++stats_.create_chunk;
   ADAMANT_ASSIGN_OR_RETURN(BufferRecord * parent_rec, FindRecord(parent));
   if (offset + bytes > parent_rec->bytes) {
@@ -246,6 +258,7 @@ Result<BufferId> SimulatedDevice::CreateChunk(BufferId parent, size_t bytes,
 }
 
 Status SimulatedDevice::Execute(const KernelLaunch& launch) {
+  std::lock_guard<std::mutex> lock(call_mu_);
   ++stats_.execute;
   if (!initialized_) {
     return Status::ExecutionError("device " + name_ + " not initialized");
@@ -328,16 +341,23 @@ Status SimulatedDevice::Execute(const KernelLaunch& launch) {
 }
 
 SimTime SimulatedDevice::Synchronize() {
-  host_time_ = MaxCompletion();
+  std::lock_guard<std::mutex> lock(call_mu_);
+  host_time_ = MaxCompletionLocked();
   return host_time_;
 }
 
 SimTime SimulatedDevice::MaxCompletion() const {
+  std::lock_guard<std::mutex> lock(call_mu_);
+  return MaxCompletionLocked();
+}
+
+SimTime SimulatedDevice::MaxCompletionLocked() const {
   return std::max({host_time_, transfer_tl_.available_at(),
                    d2h_tl_.available_at(), compute_tl_.available_at()});
 }
 
 void SimulatedDevice::ResetTimelines() {
+  std::lock_guard<std::mutex> lock(call_mu_);
   transfer_tl_.Reset();
   d2h_tl_.Reset();
   compute_tl_.Reset();
@@ -352,18 +372,33 @@ void SimulatedDevice::ResetTimelines() {
 }
 
 Result<void*> SimulatedDevice::DebugBufferPtr(BufferId id) {
+  std::lock_guard<std::mutex> lock(call_mu_);
   ADAMANT_ASSIGN_OR_RETURN(Resolved r, Resolve(id));
   return static_cast<void*>(r.root->storage.data() + r.offset);
 }
 
 Result<size_t> SimulatedDevice::DebugBufferSize(BufferId id) const {
+  std::lock_guard<std::mutex> lock(call_mu_);
   ADAMANT_ASSIGN_OR_RETURN(const BufferRecord* rec, FindRecord(id));
   return rec->bytes;
 }
 
 Result<SdkFormat> SimulatedDevice::BufferFormat(BufferId id) const {
+  std::lock_guard<std::mutex> lock(call_mu_);
   ADAMANT_ASSIGN_OR_RETURN(const BufferRecord* rec, FindRecord(id));
   return rec->format;
+}
+
+Result<size_t> SimulatedDevice::BufferBytes(BufferId id) const {
+  std::lock_guard<std::mutex> lock(call_mu_);
+  ADAMANT_ASSIGN_OR_RETURN(const BufferRecord* rec, FindRecord(id));
+  return rec->bytes;
+}
+
+Result<MemoryKind> SimulatedDevice::BufferMemoryKind(BufferId id) const {
+  std::lock_guard<std::mutex> lock(call_mu_);
+  ADAMANT_ASSIGN_OR_RETURN(const BufferRecord* rec, FindRecord(id));
+  return rec->kind;
 }
 
 }  // namespace adamant

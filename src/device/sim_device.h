@@ -1,8 +1,10 @@
 #ifndef ADAMANT_DEVICE_SIM_DEVICE_H_
 #define ADAMANT_DEVICE_SIM_DEVICE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +37,15 @@ struct DeviceCallStats {
 /// the timing side books operations onto per-resource timelines using the
 /// driver's calibrated performance model.
 ///
+/// Thread safety: every interface call and simulation-control call locks a
+/// per-device mutex, so concurrent queries may share one device (the service
+/// layer's slot table allows this with slots_per_device > 1). Results stay
+/// exact under sharing; the *timing* accounting interleaves both queries'
+/// operations onto the same timelines, so per-query simulated stats are only
+/// meaningful when the device is leased exclusively. The stats/timeline
+/// accessors themselves are unsynchronized and are meant for exclusive
+/// leases (the default).
+///
 /// Concurrency model: the device has a transfer engine and a compute engine
 /// (two ResourceTimelines) plus a host cursor (`host_time_`). In synchronous
 /// mode (default) every call blocks the host until its operation completes —
@@ -53,6 +64,9 @@ class SimulatedDevice : public Device {
 
   // --- Device interface (the ten pluggable functions) ---
   const std::string& name() const override { return name_; }
+  /// Renames the device. Names must stay unique within a DeviceManager;
+  /// used when plugging several instances of one driver (serving).
+  void set_name(std::string name) { name_ = std::move(name); }
   Status Initialize() override;
   Result<BufferId> PrepareMemory(size_t bytes) override;
   Result<BufferId> AddPinnedMemory(size_t bytes) override;
@@ -120,6 +134,9 @@ class SimulatedDevice : public Device {
   Result<void*> DebugBufferPtr(BufferId id);
   Result<size_t> DebugBufferSize(BufferId id) const;
   Result<SdkFormat> BufferFormat(BufferId id) const;
+  /// Buffer metadata used by the transfer hub's memory accounting.
+  Result<size_t> BufferBytes(BufferId id) const;
+  Result<MemoryKind> BufferMemoryKind(BufferId id) const;
 
  private:
   struct BufferRecord {
@@ -156,11 +173,17 @@ class SimulatedDevice : public Device {
   static sim::SimTime WriteReadyTime(const Resolved& r);
   static sim::SimTime ReadReadyTime(const Resolved& r);
 
+  /// Completion time without taking call_mu_ (callers hold the lock).
+  sim::SimTime MaxCompletionLocked() const;
+
   std::string name_;
   sim::DevicePerfModel model_;
   SdkFormat native_format_;
   bool requires_compilation_;
   std::shared_ptr<SimContext> ctx_;
+
+  /// Serializes interface calls so concurrent queries can share the device.
+  mutable std::mutex call_mu_;
 
   std::unordered_map<BufferId, BufferRecord> records_;
   BufferId next_id_ = 1;
@@ -174,7 +197,9 @@ class SimulatedDevice : public Device {
   sim::ResourceTimeline d2h_tl_;       // D2H copy engine
   sim::ResourceTimeline compute_tl_;
   sim::SimTime host_time_ = 0;
-  bool async_mode_ = false;
+  // Atomic so queries sharing the device may toggle it without a data race
+  // (each Execute/Place call reads it under call_mu_).
+  std::atomic<bool> async_mode_{false};
   bool initialized_ = false;
 
   sim::SimTime kernel_body_time_ = 0;

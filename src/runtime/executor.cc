@@ -56,6 +56,116 @@ size_t EstimateElems(size_t input_capacity, double selectivity) {
   return static_cast<size_t>(est) + 64;
 }
 
+/// Sizes every output of `node` given its primary input element capacity;
+/// used by the stage phase, per-chunk allocation, and the admission-control
+/// footprint estimator.
+struct OutputPlanEntry {
+  int slot;
+  size_t bytes;
+  DataSemantic semantic;
+};
+std::vector<OutputPlanEntry> PlanNodeOutputs(const GraphNode& node,
+                                             size_t in_capacity) {
+  const double sel = node.config.selectivity;
+  switch (node.kind) {
+    case PrimitiveKind::kMap:
+      return {{0, in_capacity * ElementSize(node.config.out_type),
+               DataSemantic::kNumeric}};
+    case PrimitiveKind::kFilterBitmap:
+      if (node.config.combine_and) return {};  // writes into input bitmap
+      return {{0, bit_util::BytesForBits(in_capacity),
+               DataSemantic::kBitmap}};
+    case PrimitiveKind::kFilterPosition:
+      return {{0, EstimateElems(in_capacity, sel) * sizeof(int32_t),
+               DataSemantic::kPosition},
+              {2, sizeof(int64_t), DataSemantic::kNumeric}};
+    case PrimitiveKind::kMaterialize:
+      return {{0, EstimateElems(in_capacity, sel) * 8,
+               DataSemantic::kNumeric},
+              {2, sizeof(int64_t), DataSemantic::kNumeric}};
+    case PrimitiveKind::kMaterializePosition:
+      return {{0, in_capacity * 8, DataSemantic::kNumeric}};
+    case PrimitiveKind::kHashProbe:
+      return {{0, EstimateElems(in_capacity, sel) * sizeof(int32_t),
+               DataSemantic::kPosition},
+              {1, EstimateElems(in_capacity, sel) * sizeof(int32_t),
+               DataSemantic::kNumeric},
+              {2, sizeof(int64_t), DataSemantic::kNumeric}};
+    // Breakers write into their persists; no per-chunk outputs.
+    case PrimitiveKind::kAggBlock:
+    case PrimitiveKind::kHashBuild:
+    case PrimitiveKind::kHashAgg:
+    case PrimitiveKind::kSortAgg:
+    case PrimitiveKind::kPrefixSum:
+      return {};
+  }
+  return {};
+}
+
+/// Sizing of a pipeline breaker's device-resident persist (shared by
+/// AllocatePersist and the footprint estimator). Fills bytes/num_slots/
+/// capacity; device and buffer are the caller's business.
+struct PersistShape {
+  size_t bytes = 0;
+  size_t num_slots = 0;
+  size_t capacity = 0;
+};
+Result<PersistShape> PlanPersist(const GraphNode& node, size_t input_rows) {
+  PersistShape shape;
+  switch (node.kind) {
+    case PrimitiveKind::kAggBlock:
+      shape.bytes = sizeof(int64_t);
+      break;
+    case PrimitiveKind::kHashBuild: {
+      if (node.config.expected_build_rows <= 0) {
+        return Status::InvalidArgument(
+            node.label + ": expected_build_rows must be set for HASH_BUILD");
+      }
+      shape.num_slots = HashTableLayout::SlotsFor(
+          static_cast<size_t>(node.config.expected_build_rows));
+      shape.bytes = HashTableLayout::BuildTableBytes(shape.num_slots);
+      break;
+    }
+    case PrimitiveKind::kHashAgg: {
+      if (node.config.expected_build_rows <= 0) {
+        return Status::InvalidArgument(
+            node.label + ": expected_build_rows must be set for HASH_AGG");
+      }
+      shape.num_slots = HashTableLayout::SlotsFor(
+          static_cast<size_t>(node.config.expected_build_rows));
+      shape.bytes = HashTableLayout::AggTableBytes(shape.num_slots);
+      break;
+    }
+    case PrimitiveKind::kSortAgg:
+      if (node.config.num_groups == 0) {
+        return Status::InvalidArgument(node.label + ": num_groups must be set");
+      }
+      shape.bytes = node.config.num_groups * sizeof(int64_t);
+      shape.capacity = node.config.num_groups;
+      break;
+    case PrimitiveKind::kPrefixSum:
+      shape.bytes = input_rows * sizeof(int32_t);
+      shape.capacity = input_rows;
+      break;
+    default:
+      return Status::Internal(node.label + " is not a pipeline breaker");
+  }
+  return shape;
+}
+
+/// Chunk capacity (elements) the execution model uses for a pipeline.
+size_t PipelineChunkCapacity(const Pipeline& pipeline,
+                             const ExecutionOptions& options, bool oaat,
+                             double scale) {
+  size_t cap = pipeline.input_rows;
+  if (!oaat) {
+    auto actual =
+        static_cast<size_t>(static_cast<double>(options.chunk_elems) / scale);
+    cap = std::min(pipeline.input_rows, std::max<size_t>(actual, 1));
+  }
+  return cap;
+}
+
 class RunContext {
  public:
   RunContext(DeviceManager* manager, PrimitiveGraph* graph,
@@ -70,14 +180,23 @@ class RunContext {
                options.model == ExecutionModelKind::kFourPhasePipelined),
         hub_(manager, options.use_transform
                           ? DataContainer::WithDefaultTransforms()
-                          : DataContainer::WithoutTransforms()) {}
+                          : DataContainer::WithoutTransforms()) {
+    hub_.set_scan_cache(options.scan_cache);
+    hub_.set_memory_listener(options.memory_listener);
+  }
 
   Result<QueryExecution> Run() {
     Status st = RunImpl();
     // Delete phase / error cleanup: give every allocation back.
+    ReleaseScanLeases();
     FreeAll(&per_chunk_allocs_);
     FreeAll(&run_allocs_);
-    manager_->SetAsyncMode(false);
+    // Re-entrancy: only reset the devices this graph touched; another
+    // query's devices are none of our business.
+    for (DeviceId id : used_devices_) {
+      auto dev = manager_->GetDevice(id);
+      if (dev.ok()) (*dev)->SetAsyncMode(false);
+    }
     if (!st.ok()) return st;
     FinalizeStats();
     return std::move(exec_);
@@ -90,14 +209,23 @@ class RunContext {
     graph_->ResetProgress();
 
     for (const GraphNode& node : graph_->nodes()) {
-      ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev,
-                               manager_->GetDevice(node.device));
-      dev->ResetTimelines();
-      dev->ResetStats();
-      dev->device_arena().ResetHighWater();
-      dev->pinned_arena().ResetHighWater();
+      if (std::find(used_devices_.begin(), used_devices_.end(), node.device) ==
+          used_devices_.end()) {
+        used_devices_.push_back(node.device);
+      }
     }
-    manager_->SetAsyncMode(async_);
+    std::sort(used_devices_.begin(), used_devices_.end());
+
+    for (DeviceId id : used_devices_) {
+      ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(id));
+      if (options_.reset_device_state) {
+        dev->ResetTimelines();
+        dev->ResetStats();
+        dev->device_arena().ResetHighWater();
+        dev->pinned_arena().ResetHighWater();
+      }
+      dev->SetAsyncMode(async_);
+    }
 
     for (const Pipeline& pipeline : pipelines_) {
       ADAMANT_RETURN_NOT_OK(RunPipeline(pipeline));
@@ -109,18 +237,16 @@ class RunContext {
       if (!graph_->IsTerminal(node.id)) continue;
       ADAMANT_RETURN_NOT_OK(RetrieveBreaker(node));
     }
-    manager_->SynchronizeAll();
+    for (DeviceId id : used_devices_) {
+      ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(id));
+      dev->Synchronize();
+    }
     return Status::OK();
   }
 
   Status RunPipeline(const Pipeline& pipeline) {
-    const double scale = manager_->data_scale();
-    size_t cap = pipeline.input_rows;
-    if (!oaat_) {
-      auto actual = static_cast<size_t>(
-          static_cast<double>(options_.chunk_elems) / scale);
-      cap = std::min(pipeline.input_rows, std::max<size_t>(actual, 1));
-    }
+    const size_t cap = PipelineChunkCapacity(pipeline, options_, oaat_,
+                                             manager_->data_scale());
     const size_t chunks =
         cap == 0 ? 1 : bit_util::CeilDiv(pipeline.input_rows, cap);
 
@@ -168,6 +294,7 @@ class RunContext {
         graph_->edge(edge_id).processed_until += n;
       }
       FreeAll(&per_chunk_allocs_);
+      ReleaseScanLeases();
       ++exec_.stats.chunks;
     }
 
@@ -201,17 +328,30 @@ class RunContext {
     BufferId buf;
     if (staged_) {
       buf = staged_scan_bufs_.at(edge_id)[chunk % 2];
+      ADAMANT_RETURN_NOT_OK(
+          hub_.PlaceChunk(consumer.device, buf,
+                          edge.column->raw_data() + base_row * elem, n * elem));
     } else if (auto ring = ring_bufs_.find(edge_id); ring != ring_bufs_.end()) {
       buf = ring->second[chunk % ring->second.size()];
+      ADAMANT_RETURN_NOT_OK(
+          hub_.PlaceChunk(consumer.device, buf,
+                          edge.column->raw_data() + base_row * elem, n * elem));
     } else {
-      ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev,
-                               manager_->GetDevice(consumer.device));
-      ADAMANT_ASSIGN_OR_RETURN(buf, dev->PrepareMemory(n * elem));
-      per_chunk_allocs_.emplace_back(consumer.device, buf);
+      // Transient per-chunk path: goes through the hub's scan-cache-aware
+      // load. A hit reuses a device-resident chunk from an earlier query
+      // (no transfer); a cached miss fills a cache-owned buffer we lease
+      // until the chunk is consumed; otherwise we own a transient buffer.
+      ADAMANT_ASSIGN_OR_RETURN(
+          ScanBufferCache::Lease lease,
+          hub_.LoadColumnChunk(consumer.device, edge.column, base_row, n,
+                               elem));
+      buf = lease.buffer;
+      if (lease.cached) {
+        chunk_lease_tokens_.push_back(lease.token);
+      } else {
+        per_chunk_allocs_.emplace_back(consumer.device, buf);
+      }
     }
-    ADAMANT_RETURN_NOT_OK(
-        hub_.PlaceChunk(consumer.device, buf,
-                        edge.column->raw_data() + base_row * elem, n * elem));
     edge.fetched_until += n;
 
     Binding binding;
@@ -305,51 +445,6 @@ class RunContext {
     return buf;
   }
 
-  /// Sizes every output of `node` given input element capacities; used both
-  /// by the stage phase and by per-chunk allocation.
-  struct OutputPlanEntry {
-    int slot;
-    size_t bytes;
-    DataSemantic semantic;
-  };
-  std::vector<OutputPlanEntry> PlanOutputs(const GraphNode& node,
-                                           size_t in_capacity) const {
-    const double sel = node.config.selectivity;
-    switch (node.kind) {
-      case PrimitiveKind::kMap:
-        return {{0, in_capacity * ElementSize(node.config.out_type),
-                 DataSemantic::kNumeric}};
-      case PrimitiveKind::kFilterBitmap:
-        if (node.config.combine_and) return {};  // writes into input bitmap
-        return {{0, bit_util::BytesForBits(in_capacity),
-                 DataSemantic::kBitmap}};
-      case PrimitiveKind::kFilterPosition:
-        return {{0, EstimateElems(in_capacity, sel) * sizeof(int32_t),
-                 DataSemantic::kPosition},
-                {2, sizeof(int64_t), DataSemantic::kNumeric}};
-      case PrimitiveKind::kMaterialize:
-        return {{0, EstimateElems(in_capacity, sel) * 8,
-                 DataSemantic::kNumeric},
-                {2, sizeof(int64_t), DataSemantic::kNumeric}};
-      case PrimitiveKind::kMaterializePosition:
-        return {{0, in_capacity * 8, DataSemantic::kNumeric}};
-      case PrimitiveKind::kHashProbe:
-        return {{0, EstimateElems(in_capacity, sel) * sizeof(int32_t),
-                 DataSemantic::kPosition},
-                {1, EstimateElems(in_capacity, sel) * sizeof(int32_t),
-                 DataSemantic::kNumeric},
-                {2, sizeof(int64_t), DataSemantic::kNumeric}};
-      // Breakers write into their persists; no per-chunk outputs.
-      case PrimitiveKind::kAggBlock:
-      case PrimitiveKind::kHashBuild:
-      case PrimitiveKind::kHashAgg:
-      case PrimitiveKind::kSortAgg:
-      case PrimitiveKind::kPrefixSum:
-        return {};
-    }
-    return {};
-  }
-
   /// Capacity (elements) of a node's primary input within a chunk of `cap`.
   /// Used by the stage phase, before bindings exist.
   size_t StagedInputCapacity(const GraphNode& node, size_t cap,
@@ -380,12 +475,12 @@ class RunContext {
       auto key = std::make_pair(edge.column.get(), consumer.device);
       auto it = ring_by_column.find(key);
       if (it == ring_by_column.end()) {
-        ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev,
-                                 manager_->GetDevice(consumer.device));
         std::vector<BufferId> slots(options_.pipeline_depth);
         for (BufferId& slot : slots) {
           ADAMANT_ASSIGN_OR_RETURN(
-              slot, dev->PrepareMemory(cap * ElementSize(edge.elem_type)));
+              slot, hub_.PrepareOutputBuffer(
+                        consumer.device, DataSemantic::kNumeric,
+                        cap * ElementSize(edge.elem_type), /*pinned=*/false));
           run_allocs_.emplace_back(consumer.device, slot);
         }
         it = ring_by_column.emplace(key, std::move(slots)).first;
@@ -428,7 +523,7 @@ class RunContext {
     for (int node_id : pipeline.nodes) {
       const GraphNode& node = graph_->node(node_id);
       const size_t in_cap = StagedInputCapacity(node, cap, &caps);
-      for (const OutputPlanEntry& out : PlanOutputs(node, in_cap)) {
+      for (const OutputPlanEntry& out : PlanNodeOutputs(node, in_cap)) {
         ADAMANT_ASSIGN_OR_RETURN(
             BufferId buf,
             hub_.PrepareOutputBuffer(node.device, out.semantic, out.bytes,
@@ -686,47 +781,12 @@ class RunContext {
 
   Status AllocatePersist(const GraphNode& node, size_t input_rows) {
     if (persists_.count(node.id) > 0) return Status::OK();
+    ADAMANT_ASSIGN_OR_RETURN(PersistShape shape, PlanPersist(node, input_rows));
     Persist persist;
     persist.device = node.device;
-    switch (node.kind) {
-      case PrimitiveKind::kAggBlock:
-        persist.bytes = sizeof(int64_t);
-        break;
-      case PrimitiveKind::kHashBuild: {
-        if (node.config.expected_build_rows <= 0) {
-          return Status::InvalidArgument(
-              node.label + ": expected_build_rows must be set for HASH_BUILD");
-        }
-        persist.num_slots = HashTableLayout::SlotsFor(
-            static_cast<size_t>(node.config.expected_build_rows));
-        persist.bytes = HashTableLayout::BuildTableBytes(persist.num_slots);
-        break;
-      }
-      case PrimitiveKind::kHashAgg: {
-        if (node.config.expected_build_rows <= 0) {
-          return Status::InvalidArgument(
-              node.label + ": expected_build_rows must be set for HASH_AGG");
-        }
-        persist.num_slots = HashTableLayout::SlotsFor(
-            static_cast<size_t>(node.config.expected_build_rows));
-        persist.bytes = HashTableLayout::AggTableBytes(persist.num_slots);
-        break;
-      }
-      case PrimitiveKind::kSortAgg:
-        if (node.config.num_groups == 0) {
-          return Status::InvalidArgument(node.label +
-                                         ": num_groups must be set");
-        }
-        persist.bytes = node.config.num_groups * sizeof(int64_t);
-        persist.capacity = node.config.num_groups;
-        break;
-      case PrimitiveKind::kPrefixSum:
-        persist.bytes = input_rows * sizeof(int32_t);
-        persist.capacity = input_rows;
-        break;
-      default:
-        return Status::Internal(node.label + " is not a pipeline breaker");
-    }
+    persist.bytes = shape.bytes;
+    persist.num_slots = shape.num_slots;
+    persist.capacity = shape.capacity;
     const DataSemantic semantic = node.kind == PrimitiveKind::kHashBuild ||
                                           node.kind == PrimitiveKind::kHashAgg
                                       ? DataSemantic::kHashTable
@@ -794,26 +854,41 @@ class RunContext {
 
   void FreeAll(std::vector<std::pair<DeviceId, BufferId>>* allocs) {
     for (auto it = allocs->rbegin(); it != allocs->rend(); ++it) {
-      auto dev = manager_->GetDevice(it->first);
-      if (dev.ok()) {
-        Status st = (*dev)->DeleteMemory(it->second);
-        if (!st.ok()) {
-          ADAMANT_LOG(Warning) << "delete_memory failed: " << st.ToString();
-        }
+      Status st = hub_.FreeBuffer(it->first, it->second);
+      if (!st.ok()) {
+        ADAMANT_LOG(Warning) << "delete_memory failed: " << st.ToString();
       }
     }
     allocs->clear();
   }
 
+  /// Unpins every cache-owned scan chunk leased during the current chunk.
+  void ReleaseScanLeases() {
+    ScanBufferCache* cache = hub_.scan_cache();
+    if (cache != nullptr) {
+      for (uint64_t token : chunk_lease_tokens_) cache->Release(token);
+    }
+    chunk_lease_tokens_.clear();
+  }
+
   void FinalizeStats() {
     QueryStats& stats = exec_.stats;
-    stats.elapsed_us = manager_->MaxCompletion();
     stats.bytes_h2d = hub_.bytes_host_to_device();
     stats.bytes_d2h = hub_.bytes_device_to_host();
+    stats.scan_cache_hits = hub_.scan_cache_hits();
+    stats.scan_cache_misses = hub_.scan_cache_misses();
+    stats.bytes_h2d_saved = hub_.bytes_h2d_saved();
+    // One slot per plugged device so DeviceId indexes stay valid, but only
+    // the devices this query used are read — touching another device's live
+    // counters would race with concurrently-running queries.
+    stats.devices.resize(manager_->num_devices());
     for (size_t i = 0; i < manager_->num_devices(); ++i) {
-      SimulatedDevice* dev = manager_->device(static_cast<DeviceId>(i));
-      DeviceRunStats ds;
-      ds.name = dev->name();
+      stats.devices[i].name =
+          manager_->device(static_cast<DeviceId>(i))->name();
+    }
+    for (DeviceId id : used_devices_) {
+      SimulatedDevice* dev = manager_->device(id);
+      DeviceRunStats& ds = stats.devices[static_cast<size_t>(id)];
       ds.h2d_busy_us = dev->transfer_timeline().busy_time();
       ds.d2h_busy_us = dev->d2h_timeline().busy_time();
       ds.compute_busy_us = dev->compute_timeline().busy_time();
@@ -828,7 +903,7 @@ class RunContext {
       ds.pinned_mem_high_water = dev->pinned_arena().high_water();
       stats.kernel_body_us += ds.kernel_body_us;
       stats.transfer_wire_us += ds.transfer_wire_us;
-      stats.devices.push_back(std::move(ds));
+      stats.elapsed_us = std::max(stats.elapsed_us, dev->MaxCompletion());
     }
   }
 
@@ -850,6 +925,8 @@ class RunContext {
   std::map<std::pair<int, int>, BufferId> staged_outputs_;
   std::vector<std::pair<DeviceId, BufferId>> per_chunk_allocs_;
   std::vector<std::pair<DeviceId, BufferId>> run_allocs_;
+  std::vector<uint64_t> chunk_lease_tokens_;
+  std::vector<DeviceId> used_devices_;
   QueryExecution exec_;
 };
 
@@ -939,6 +1016,73 @@ Result<QueryExecution> QueryExecutor::Run(PrimitiveGraph* graph,
   }
   RunContext context(manager_, graph, options);
   return context.Run();
+}
+
+Result<size_t> EstimateDeviceMemoryBytes(const PrimitiveGraph& graph,
+                                         const ExecutionOptions& options,
+                                         double data_scale) {
+  ADAMANT_RETURN_NOT_OK(graph.Validate());
+  ADAMANT_ASSIGN_OR_RETURN(std::vector<Pipeline> pipelines,
+                           graph.SplitPipelines());
+  const bool oaat = options.model == ExecutionModelKind::kOperatorAtATime;
+  const bool staged = options.model == ExecutionModelKind::kFourPhaseChunked ||
+                      options.model == ExecutionModelKind::kFourPhasePipelined;
+  const bool async = options.model == ExecutionModelKind::kPipelined ||
+                     options.model == ExecutionModelKind::kFourPhasePipelined;
+
+  // Persists survive until the end of the run; transients peak within one
+  // pipeline. Peak per device = all persists + the worst pipeline.
+  std::map<DeviceId, size_t> persist_bytes;
+  std::map<DeviceId, size_t> worst_pipeline;
+  for (const Pipeline& pipeline : pipelines) {
+    const size_t cap = PipelineChunkCapacity(pipeline, options, oaat,
+                                             data_scale);
+    std::map<DeviceId, size_t> transient;
+
+    // Scan staging. The 4-phase models stage scan chunks in *pinned host*
+    // buffers (not charged against device memory); the ring holds
+    // pipeline_depth device-resident slots; otherwise one transient device
+    // buffer per distinct (column, device) per chunk.
+    if (!staged) {
+      const size_t copies =
+          async && options.pipeline_depth > 0 ? options.pipeline_depth : 1;
+      std::map<std::pair<const Column*, DeviceId>, size_t> scans;
+      for (int edge_id : pipeline.scan_edges) {
+        const GraphEdge& edge = graph.edges()[static_cast<size_t>(edge_id)];
+        const GraphNode& consumer = graph.node(edge.to_node);
+        scans[{edge.column.get(), consumer.device}] =
+            cap * ElementSize(edge.elem_type) * copies;
+      }
+      for (const auto& [key, bytes] : scans) transient[key.second] += bytes;
+    }
+
+    for (int node_id : pipeline.nodes) {
+      const GraphNode& node = graph.node(node_id);
+      // Conservative: size every node's outputs off the full chunk capacity
+      // (downstream capacities only shrink through selectivity).
+      for (const OutputPlanEntry& out : PlanNodeOutputs(node, cap)) {
+        transient[node.device] += out.bytes;
+      }
+      if (GetSignature(node.kind).pipeline_breaker) {
+        ADAMANT_ASSIGN_OR_RETURN(PersistShape shape,
+                                 PlanPersist(node, pipeline.input_rows));
+        persist_bytes[node.device] += shape.bytes;
+      }
+    }
+    for (const auto& [device, bytes] : transient) {
+      worst_pipeline[device] = std::max(worst_pipeline[device], bytes);
+    }
+  }
+
+  size_t peak_actual = 0;
+  for (const auto& [device, bytes] : persist_bytes) {
+    peak_actual = std::max(peak_actual, bytes + worst_pipeline[device]);
+  }
+  for (const auto& [device, bytes] : worst_pipeline) {
+    peak_actual = std::max(peak_actual, bytes + persist_bytes[device]);
+  }
+  // Buffers charge arenas at nominal size (actual bytes × data scale).
+  return static_cast<size_t>(static_cast<double>(peak_actual) * data_scale);
 }
 
 }  // namespace adamant

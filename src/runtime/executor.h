@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "device/device_manager.h"
 #include "runtime/primitive_graph.h"
+#include "runtime/runtime_hooks.h"
 #include "runtime/transfer_hub.h"
 #include "sim/sim_time.h"
 #include "task/containers.h"
@@ -53,6 +54,21 @@ struct ExecutionOptions {
   /// degenerates to chunked-like serialization, N = 2 is classic double
   /// buffering).
   size_t pipeline_depth = 0;
+
+  // --- Service-layer hooks (see src/service/). All default to off; a bare
+  //     QueryExecutor::Run behaves exactly as in the single-query engine. ---
+
+  /// Cross-query device column cache consulted for scan chunks (models
+  /// without per-run staging rings, i.e. oaat / chunked / unbounded
+  /// pipelined). Must outlive the run.
+  ScanBufferCache* scan_cache = nullptr;
+  /// Charged/credited for the run's device-memory allocations.
+  MemoryChargeListener* memory_listener = nullptr;
+  /// When false, the executor does not reset the devices' timelines, call
+  /// stats and arena high-water marks at query start. Set by the service
+  /// layer when several queries share one device (slots_per_device > 1),
+  /// where a mid-run reset would clobber a concurrent query's accounting.
+  bool reset_device_state = true;
 };
 
 /// Per-device timing/footprint snapshot for one query execution.
@@ -83,6 +99,14 @@ struct QueryStats {
   size_t chunks = 0;
   size_t bytes_h2d = 0;
   size_t bytes_d2h = 0;
+  /// Scan-cache effect on this run (0 when no cache is attached).
+  size_t scan_cache_hits = 0;
+  size_t scan_cache_misses = 0;
+  size_t bytes_h2d_saved = 0;
+  /// One entry per plugged device, indexed by DeviceId. Only the devices
+  /// this query's graph actually used carry timing/counter data; the rest
+  /// hold just their name (reading another device's live counters would
+  /// race with concurrently-running queries).
   std::vector<DeviceRunStats> devices;
 };
 
@@ -129,9 +153,23 @@ class QueryExecution {
   std::map<int, NodeOutput> outputs_;
 };
 
+/// Conservative estimate, in *nominal* bytes (see SimContext::data_scale),
+/// of the peak device-memory footprint of running `graph` under `options`:
+/// scan staging, per-chunk intermediate outputs, and pipeline-breaker
+/// persists. The service layer's admission control compares this against a
+/// device's MemoryBudget before dispatching, so a query that would OOM
+/// mid-run queues instead.
+Result<size_t> EstimateDeviceMemoryBytes(const PrimitiveGraph& graph,
+                                         const ExecutionOptions& options,
+                                         double data_scale);
+
 /// The ADAMANT query executor: interprets a primitive graph and runs it on
 /// the plugged devices under the chosen execution model. All device
 /// interaction goes through the ten pluggable interface functions.
+///
+/// Run() is re-entrant across threads as long as each concurrent run's graph
+/// targets its own device(s): all per-run mutable state lives in a private
+/// RunContext, and the executor only touches the devices its graph names.
 class QueryExecutor {
  public:
   explicit QueryExecutor(DeviceManager* manager) : manager_(manager) {}

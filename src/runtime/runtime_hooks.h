@@ -1,0 +1,65 @@
+#ifndef ADAMANT_RUNTIME_RUNTIME_HOOKS_H_
+#define ADAMANT_RUNTIME_RUNTIME_HOOKS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/result.h"
+#include "device/buffer.h"
+#include "device/device_manager.h"
+#include "storage/column.h"
+
+namespace adamant {
+
+/// Observer the DataTransferHub charges/credits for every *device-memory*
+/// allocation it makes or frees (pinned host buffers are not charged). The
+/// service layer plugs a per-device MemoryBudget ledger in here; without a
+/// listener the hub behaves exactly as before. Implementations must be
+/// thread-safe — one listener serves every concurrently-running query.
+class MemoryChargeListener {
+ public:
+  virtual ~MemoryChargeListener() = default;
+  virtual void OnAllocate(DeviceId device, size_t bytes) = 0;
+  virtual void OnFree(DeviceId device, size_t bytes) = 0;
+};
+
+/// Cross-query cache of device-resident scan-column chunks, consulted by the
+/// transfer hub when it loads input data. Entries are keyed by
+/// (column, chunk range, device): a hit means the exact bytes are already
+/// placed on the device and the H2D transfer can be skipped.
+///
+/// Protocol: Acquire() pins the entry (it cannot be evicted while a query
+/// reads it). When `cached` is true the cache owns the returned buffer and
+/// the caller must balance with Release(token) once the chunk is consumed —
+/// or Invalidate(token) if filling the buffer failed. When `cached` is false
+/// the cache declined (budget pressure, everything pinned) and the caller
+/// falls back to a transient per-chunk buffer it owns itself.
+/// Implementations must be thread-safe.
+class ScanBufferCache {
+ public:
+  struct Lease {
+    BufferId buffer = kInvalidBuffer;
+    uint64_t token = 0;   // opaque entry handle for Release/Invalidate
+    bool hit = false;     // bytes already resident; transfer can be skipped
+    bool cached = false;  // cache owns the buffer; caller must Release
+  };
+
+  virtual ~ScanBufferCache() = default;
+
+  /// Looks up (or admits) the chunk `column[base_row, base_row + count)` of
+  /// `bytes` bytes on `device`. On a miss with `cached == true` the returned
+  /// buffer is freshly allocated and the caller fills it.
+  virtual Result<Lease> Acquire(DeviceId device, const ColumnPtr& column,
+                                size_t base_row, size_t count,
+                                size_t bytes) = 0;
+
+  /// Unpins the entry behind a `cached` lease.
+  virtual void Release(uint64_t token) = 0;
+
+  /// Drops the entry behind a `cached` lease (placement failed).
+  virtual void Invalidate(uint64_t token) = 0;
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_RUNTIME_RUNTIME_HOOKS_H_

@@ -11,13 +11,58 @@ Result<BufferId> DataTransferHub::LoadData(DeviceId device, const void* src,
                                            size_t bytes) {
   ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
   ADAMANT_ASSIGN_OR_RETURN(BufferId id, dev->PrepareMemory(bytes));
+  ChargeAllocate(device, bytes);
   Status st = dev->PlaceData(id, src, bytes, 0);
   if (!st.ok()) {
     (void)dev->DeleteMemory(id);
+    ChargeFree(device, bytes);
     return st;
   }
   bytes_h2d_ += bytes;
   return id;
+}
+
+Result<ScanBufferCache::Lease> DataTransferHub::LoadColumnChunk(
+    DeviceId device, const ColumnPtr& column, size_t base_row, size_t count,
+    size_t elem_size) {
+  const size_t bytes = count * elem_size;
+  const uint8_t* src = column->raw_data() + base_row * elem_size;
+
+  if (scan_cache_ != nullptr) {
+    ADAMANT_ASSIGN_OR_RETURN(
+        ScanBufferCache::Lease lease,
+        scan_cache_->Acquire(device, column, base_row, count, bytes));
+    if (lease.cached) {
+      if (lease.hit) {
+        ++scan_cache_hits_;
+        bytes_h2d_saved_ += bytes;
+        return lease;
+      }
+      ++scan_cache_misses_;
+      Status st = PlaceChunk(device, lease.buffer, src, bytes);
+      if (!st.ok()) {
+        scan_cache_->Invalidate(lease.token);
+        return st;
+      }
+      return lease;
+    }
+    // The cache declined (budget pressure); fall through to a transient
+    // buffer, still counted as a miss for hit-rate purposes.
+    ++scan_cache_misses_;
+  }
+
+  ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
+  ADAMANT_ASSIGN_OR_RETURN(BufferId buf, dev->PrepareMemory(bytes));
+  ChargeAllocate(device, bytes);
+  Status st = PlaceChunk(device, buf, src, bytes);
+  if (!st.ok()) {
+    (void)dev->DeleteMemory(buf);
+    ChargeFree(device, bytes);
+    return st;
+  }
+  ScanBufferCache::Lease lease;
+  lease.buffer = buf;
+  return lease;
 }
 
 Status DataTransferHub::PlaceChunk(DeviceId device, BufferId dst,
@@ -31,6 +76,8 @@ Status DataTransferHub::PlaceChunk(DeviceId device, BufferId dst,
 
 Result<BufferId> DataTransferHub::Router(DeviceId src_device, BufferId src,
                                          DeviceId dst_device, size_t bytes) {
+  // Same-device routing is a pure no-op: the data is already resident, so
+  // neither transfer counter may be charged.
   if (src_device == dst_device) return src;
   ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * from,
                            manager_->GetDevice(src_device));
@@ -41,9 +88,11 @@ Result<BufferId> DataTransferHub::Router(DeviceId src_device, BufferId src,
   ADAMANT_RETURN_NOT_OK(from->RetrieveData(src, scratch.data(), bytes, 0));
   bytes_d2h_ += bytes;
   ADAMANT_ASSIGN_OR_RETURN(BufferId dst, to->PrepareMemory(bytes));
+  ChargeAllocate(dst_device, bytes);
   Status st = to->PlaceData(dst, scratch.data(), bytes, 0);
   if (!st.ok()) {
     (void)to->DeleteMemory(dst);
+    ChargeFree(dst_device, bytes);
     return st;
   }
   bytes_h2d_ += bytes;
@@ -67,7 +116,9 @@ Result<BufferId> DataTransferHub::EnsureFormat(DeviceId device, BufferId id,
       ADAMANT_RETURN_NOT_OK(dev->RetrieveData(id, scratch.data(), bytes, 0));
       bytes_d2h_ += bytes;
       ADAMANT_RETURN_NOT_OK(dev->DeleteMemory(id));
+      ChargeFree(device, bytes);
       ADAMANT_ASSIGN_OR_RETURN(BufferId fresh, dev->PrepareMemory(bytes));
+      ChargeAllocate(device, bytes);
       ADAMANT_RETURN_NOT_OK(dev->PlaceData(fresh, scratch.data(), bytes, 0));
       bytes_h2d_ += bytes;
       ADAMANT_RETURN_NOT_OK(dev->TransformMemory(fresh, target));
@@ -87,6 +138,7 @@ Result<BufferId> DataTransferHub::PrepareOutputBuffer(DeviceId device,
     ADAMANT_ASSIGN_OR_RETURN(id, dev->AddPinnedMemory(bytes));
   } else {
     ADAMANT_ASSIGN_OR_RETURN(id, dev->PrepareMemory(bytes));
+    ChargeAllocate(device, bytes);
   }
   if (semantic == DataSemantic::kHashTable) {
     KernelLaunch fill = kernels::MakeFill(id, HashTableLayout::kEmptyKey,
@@ -99,10 +151,20 @@ Result<BufferId> DataTransferHub::PrepareOutputBuffer(DeviceId device,
     Status st = dev->Execute(fill);
     if (!st.ok()) {
       (void)dev->DeleteMemory(id);
+      if (!pinned) ChargeFree(device, bytes);
       return st;
     }
   }
   return id;
+}
+
+Status DataTransferHub::FreeBuffer(DeviceId device, BufferId id) {
+  ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
+  ADAMANT_ASSIGN_OR_RETURN(size_t bytes, dev->BufferBytes(id));
+  ADAMANT_ASSIGN_OR_RETURN(MemoryKind kind, dev->BufferMemoryKind(id));
+  ADAMANT_RETURN_NOT_OK(dev->DeleteMemory(id));
+  if (kind == MemoryKind::kDevice) ChargeFree(device, bytes);
+  return Status::OK();
 }
 
 }  // namespace adamant

@@ -7,6 +7,8 @@
 
 #include "common/result.h"
 #include "device/device_manager.h"
+#include "runtime/runtime_hooks.h"
+#include "storage/column.h"
 #include "task/containers.h"
 #include "task/primitive.h"
 
@@ -15,13 +17,35 @@ namespace adamant {
 /// The runtime layer's data transfer hub (Section III-C): loads input data
 /// onto devices, routes data across devices and SDK formats, and prepares
 /// semantically-initialized output buffers.
+///
+/// Two optional service-layer hooks plug in here: a MemoryChargeListener is
+/// charged/credited for every device-memory allocation the hub makes or
+/// frees, and a ScanBufferCache lets LoadColumnChunk reuse device-resident
+/// column chunks across queries instead of re-transferring them.
 class DataTransferHub {
  public:
   DataTransferHub(DeviceManager* manager, DataContainer transforms)
       : manager_(manager), transforms_(std::move(transforms)) {}
 
+  void set_memory_listener(MemoryChargeListener* listener) {
+    memory_listener_ = listener;
+  }
+  void set_scan_cache(ScanBufferCache* cache) { scan_cache_ = cache; }
+  ScanBufferCache* scan_cache() const { return scan_cache_; }
+
   /// load_data(): allocates a device buffer and places `bytes` of host data.
   Result<BufferId> LoadData(DeviceId device, const void* src, size_t bytes);
+
+  /// load_data() for a scan-column chunk, through the scan cache when one is
+  /// attached: `column[base_row, base_row + count)` with `elem_size`-byte
+  /// elements ends up device-resident. On a cache hit nothing moves over the
+  /// wire; on a miss the cache (or, without one, the hub) allocates and the
+  /// chunk is placed. See ScanBufferCache for the lease protocol; when the
+  /// returned lease has `cached == false`, the caller owns the buffer.
+  Result<ScanBufferCache::Lease> LoadColumnChunk(DeviceId device,
+                                                 const ColumnPtr& column,
+                                                 size_t base_row, size_t count,
+                                                 size_t elem_size);
 
   /// Places a chunk of host data into an existing device buffer.
   Status PlaceChunk(DeviceId device, BufferId dst, const void* src,
@@ -29,7 +53,8 @@ class DataTransferHub {
 
   /// router(): makes the content of `src` (on `src_device`) available on
   /// `dst_device`. Cross-device movement goes through the host (retrieve +
-  /// place). Returns the buffer id on the destination device.
+  /// place); the same-device case is a no-op that charges no transfer
+  /// bytes. Returns the buffer id on the destination device.
   Result<BufferId> Router(DeviceId src_device, BufferId src,
                           DeviceId dst_device, size_t bytes);
 
@@ -45,15 +70,35 @@ class DataTransferHub {
   Result<BufferId> PrepareOutputBuffer(DeviceId device, DataSemantic semantic,
                                        size_t bytes, bool pinned = false);
 
+  /// delete_memory() with budget credit: frees a buffer previously allocated
+  /// through this hub and credits the memory listener.
+  Status FreeBuffer(DeviceId device, BufferId id);
+
   size_t bytes_host_to_device() const { return bytes_h2d_; }
   size_t bytes_device_to_host() const { return bytes_d2h_; }
+  /// Transfer bytes avoided by scan-cache hits, and the hit/miss counts.
+  size_t bytes_h2d_saved() const { return bytes_h2d_saved_; }
+  size_t scan_cache_hits() const { return scan_cache_hits_; }
+  size_t scan_cache_misses() const { return scan_cache_misses_; }
   const DataContainer& transforms() const { return transforms_; }
 
  private:
+  void ChargeAllocate(DeviceId device, size_t bytes) {
+    if (memory_listener_ != nullptr) memory_listener_->OnAllocate(device, bytes);
+  }
+  void ChargeFree(DeviceId device, size_t bytes) {
+    if (memory_listener_ != nullptr) memory_listener_->OnFree(device, bytes);
+  }
+
   DeviceManager* manager_;
   DataContainer transforms_;
+  MemoryChargeListener* memory_listener_ = nullptr;
+  ScanBufferCache* scan_cache_ = nullptr;
   size_t bytes_h2d_ = 0;
   size_t bytes_d2h_ = 0;
+  size_t bytes_h2d_saved_ = 0;
+  size_t scan_cache_hits_ = 0;
+  size_t scan_cache_misses_ = 0;
 };
 
 }  // namespace adamant

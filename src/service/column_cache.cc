@@ -1,0 +1,174 @@
+#include "service/column_cache.h"
+
+#include "common/logging.h"
+
+namespace adamant {
+
+DeviceColumnCache::DeviceColumnCache(DeviceManager* manager,
+                                     size_t budget_bytes)
+    : manager_(manager),
+      budget_bytes_(budget_bytes),
+      resident_(manager->num_devices(), 0) {}
+
+DeviceColumnCache::~DeviceColumnCache() { Clear(); }
+
+size_t DeviceColumnCache::Nominal(size_t actual_bytes) const {
+  return static_cast<size_t>(static_cast<double>(actual_bytes) *
+                             manager_->data_scale());
+}
+
+Result<ScanBufferCache::Lease> DeviceColumnCache::Acquire(
+    DeviceId device, const ColumnPtr& column, size_t base_row, size_t count,
+    size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{column.get(), base_row, count, device};
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Entry& entry = it->second;
+    if (entry.filling) {
+      // Another query is mid-transfer into this buffer; don't wait on it
+      // and don't double-fill — fall back to a transient buffer.
+      ++stats_.bypasses;
+      return Lease{};
+    }
+    if (entry.in_lru) {
+      lru_.erase(entry.lru_it);
+      entry.in_lru = false;
+    }
+    ++entry.pins;
+    ++stats_.hits;
+    stats_.bytes_saved += entry.nominal_bytes;
+    Lease lease;
+    lease.buffer = entry.buffer;
+    lease.token = next_token_++;
+    lease.hit = true;
+    lease.cached = true;
+    leases_[lease.token] = key;
+    return lease;
+  }
+
+  // Miss: admit if the chunk fits the device budget after LRU eviction.
+  const size_t nominal = Nominal(bytes);
+  if (!EvictFor(device, nominal)) {
+    ++stats_.bypasses;
+    return Lease{};
+  }
+  ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
+  auto buf = dev->PrepareMemory(bytes);
+  if (!buf.ok()) {
+    // Device arena full (other queries' working sets): decline rather than
+    // fail the load; the caller's transient path reports the real OOM if
+    // there is one.
+    ++stats_.bypasses;
+    return Lease{};
+  }
+
+  Entry entry;
+  entry.column = column;
+  entry.buffer = *buf;
+  entry.actual_bytes = bytes;
+  entry.nominal_bytes = nominal;
+  entry.pins = 1;
+  entry.filling = true;
+  entries_[key] = entry;
+  resident_[static_cast<size_t>(device)] += nominal;
+  ++stats_.misses;
+  ++stats_.inserts;
+
+  Lease lease;
+  lease.buffer = *buf;
+  lease.token = next_token_++;
+  lease.hit = false;
+  lease.cached = true;
+  leases_[lease.token] = key;
+  return lease;
+}
+
+bool DeviceColumnCache::EvictFor(DeviceId device, size_t need) {
+  const size_t d = static_cast<size_t>(device);
+  if (need > budget_bytes_) return false;
+  while (resident_[d] + need > budget_bytes_) {
+    // Oldest unpinned entry on this device; pinned/filling entries are not
+    // in the LRU list and are never evicted.
+    auto victim = lru_.end();
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (std::get<3>(*it) == device) {
+        victim = it;
+        break;
+      }
+    }
+    if (victim == lru_.end()) return false;
+    auto entry_it = entries_.find(*victim);
+    FreeEntryBuffer(device, entry_it->second);
+    resident_[d] -= entry_it->second.nominal_bytes;
+    entries_.erase(entry_it);
+    lru_.erase(victim);
+    ++stats_.evictions;
+  }
+  return true;
+}
+
+void DeviceColumnCache::FreeEntryBuffer(DeviceId device, const Entry& entry) {
+  auto dev = manager_->GetDevice(device);
+  if (!dev.ok()) return;
+  Status st = (*dev)->DeleteMemory(entry.buffer);
+  if (!st.ok()) {
+    ADAMANT_LOG(Warning) << "column cache evict: " << st.ToString();
+  }
+}
+
+void DeviceColumnCache::Unpin(uint64_t token, bool invalidate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto lease_it = leases_.find(token);
+  if (lease_it == leases_.end()) return;
+  const Key key = lease_it->second;
+  leases_.erase(lease_it);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  if (entry.pins > 0) --entry.pins;
+  if (invalidate) entry.filling = true;  // poison: drop once unpinned
+  else entry.filling = false;            // transfer completed; future hits ok
+  if (entry.pins > 0) return;
+  const DeviceId device = std::get<3>(key);
+  if (invalidate || entry.filling) {
+    FreeEntryBuffer(device, entry);
+    resident_[static_cast<size_t>(device)] -= entry.nominal_bytes;
+    if (entry.in_lru) lru_.erase(entry.lru_it);
+    entries_.erase(it);
+    ++stats_.invalidations;
+    return;
+  }
+  entry.lru_it = lru_.insert(lru_.end(), key);
+  entry.in_lru = true;
+}
+
+void DeviceColumnCache::Release(uint64_t token) { Unpin(token, false); }
+
+void DeviceColumnCache::Invalidate(uint64_t token) { Unpin(token, true); }
+
+void DeviceColumnCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.pins > 0) {
+      ++it;
+      continue;
+    }
+    const DeviceId device = std::get<3>(it->first);
+    FreeEntryBuffer(device, it->second);
+    resident_[static_cast<size_t>(device)] -= it->second.nominal_bytes;
+    if (it->second.in_lru) lru_.erase(it->second.lru_it);
+    it = entries_.erase(it);
+  }
+}
+
+DeviceColumnCache::Stats DeviceColumnCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = stats_;
+  stats.entries = entries_.size();
+  for (size_t bytes : resident_) stats.resident_bytes += bytes;
+  return stats;
+}
+
+}  // namespace adamant

@@ -1,0 +1,95 @@
+#ifndef ADAMANT_SERVICE_COLUMN_CACHE_H_
+#define ADAMANT_SERVICE_COLUMN_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "device/device_manager.h"
+#include "runtime/runtime_hooks.h"
+#include "storage/column.h"
+
+namespace adamant {
+
+/// Cross-query cache of device-resident scan-column chunks (the service
+/// layer's ScanBufferCache implementation). Entries are keyed by
+/// (column identity, chunk range, device) — queries sharing a catalog and
+/// chunk geometry hit each other's placed chunks, so a repeated Q6 run
+/// skips its H2D scan transfers entirely.
+///
+/// Entries hold the ColumnPtr, keeping the host column alive as long as any
+/// of its chunks are resident. Per-device budget (nominal bytes) with LRU
+/// eviction; pinned entries (Acquired but not yet Released) and entries
+/// still being filled are never evicted. Under budget pressure with nothing
+/// evictable, Acquire declines (`cached == false`) and the caller falls
+/// back to a transient buffer. Thread-safe.
+class DeviceColumnCache : public ScanBufferCache {
+ public:
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;    // admitted, buffer filled by the caller
+    size_t bypasses = 0;  // declined (budget pressure / concurrent fill)
+    size_t evictions = 0;
+    size_t inserts = 0;
+    size_t invalidations = 0;
+    size_t bytes_saved = 0;     // nominal H2D bytes avoided by hits
+    size_t resident_bytes = 0;  // nominal
+    size_t entries = 0;
+  };
+
+  /// `budget_bytes` is the per-device cap on resident chunk bytes, in
+  /// nominal bytes.
+  DeviceColumnCache(DeviceManager* manager, size_t budget_bytes);
+  ~DeviceColumnCache() override;
+
+  Result<Lease> Acquire(DeviceId device, const ColumnPtr& column,
+                        size_t base_row, size_t count, size_t bytes) override;
+  void Release(uint64_t token) override;
+  void Invalidate(uint64_t token) override;
+
+  /// Drops every unpinned entry (device buffers freed). Pinned entries
+  /// survive; their bytes stay accounted.
+  void Clear();
+
+  Stats GetStats() const;
+
+ private:
+  using Key = std::tuple<const Column*, size_t, size_t, DeviceId>;
+
+  struct Entry {
+    ColumnPtr column;  // keeps the host column alive
+    BufferId buffer = kInvalidBuffer;
+    size_t actual_bytes = 0;
+    size_t nominal_bytes = 0;
+    size_t pins = 0;
+    bool filling = true;  // set false when the filling lease is released
+    bool in_lru = false;
+    std::list<Key>::iterator lru_it;
+  };
+
+  size_t Nominal(size_t actual_bytes) const;
+  /// Evicts unpinned entries (LRU-first) on `device` until `need` nominal
+  /// bytes fit the budget; false if they cannot.
+  bool EvictFor(DeviceId device, size_t need);
+  void FreeEntryBuffer(DeviceId device, const Entry& entry);
+  void Unpin(uint64_t token, bool invalidate);
+
+  DeviceManager* manager_;
+  size_t budget_bytes_;
+
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  std::map<uint64_t, Key> leases_;
+  std::vector<size_t> resident_;  // nominal bytes per device
+  std::list<Key> lru_;            // front = oldest; unpinned entries only
+  uint64_t next_token_ = 1;
+  Stats stats_;
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_SERVICE_COLUMN_CACHE_H_

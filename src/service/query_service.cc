@@ -1,0 +1,315 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "runtime/executor.h"
+
+namespace adamant {
+
+namespace {
+
+double PercentileMs(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+QueryService::QueryService(DeviceManager* manager, ServiceConfig config)
+    : manager_(manager),
+      config_(config),
+      start_time_(std::chrono::steady_clock::now()),
+      queue_(config.max_queue),
+      slots_(manager->num_devices(), std::max<size_t>(config.slots_per_device, 1)),
+      completed_by_device_(manager->num_devices(), 0),
+      busy_us_by_device_(manager->num_devices(), 0) {
+  ledger_ = std::make_unique<MemoryLedger>(manager, config_.query_budget_bytes);
+  if (config_.enable_cache) {
+    size_t cache_budget = config_.cache_budget_bytes;
+    if (cache_budget == 0) {
+      size_t min_capacity = std::numeric_limits<size_t>::max();
+      for (size_t i = 0; i < manager->num_devices(); ++i) {
+        min_capacity = std::min(
+            min_capacity,
+            manager->device(static_cast<DeviceId>(i))->device_arena().capacity());
+      }
+      cache_budget = min_capacity / 4;
+    }
+    cache_ = std::make_unique<DeviceColumnCache>(manager, cache_budget);
+  }
+  const size_t n = std::max<size_t>(config_.workers, 1);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Stop(); }
+
+Result<std::shared_ptr<QueryTicket>> QueryService::Submit(QuerySpec spec) {
+  if (!spec.make_graph) {
+    return Status::InvalidArgument("QuerySpec.make_graph is not set");
+  }
+  for (DeviceId device : spec.eligible_devices) {
+    if (device < 0 ||
+        static_cast<size_t>(device) >= manager_->num_devices()) {
+      return Status::InvalidArgument("eligible device " +
+                                     std::to_string(device) +
+                                     " is not plugged");
+    }
+  }
+
+  // Footprint estimate for admission control: the plan's shape (and hence
+  // its memory footprint) is device-independent, so estimate on the first
+  // eligible device.
+  const DeviceId probe_device =
+      spec.eligible_devices.empty() ? 0 : spec.eligible_devices.front();
+  ADAMANT_ASSIGN_OR_RETURN(std::unique_ptr<PrimitiveGraph> probe,
+                           spec.make_graph(probe_device));
+  if (probe == nullptr) {
+    return Status::InvalidArgument(spec.name + ": make_graph returned null");
+  }
+  ADAMANT_ASSIGN_OR_RETURN(
+      size_t estimate,
+      EstimateDeviceMemoryBytes(*probe, spec.options, manager_->data_scale()));
+
+  // A query whose estimate exceeds every eligible budget would wait
+  // forever — reject it up front. One that merely exceeds what is free
+  // *right now* queues below.
+  size_t max_budget = 0;
+  auto consider = [&](DeviceId device) {
+    max_budget = std::max(max_budget, ledger_->budget(device).capacity());
+  };
+  if (spec.eligible_devices.empty()) {
+    for (size_t i = 0; i < manager_->num_devices(); ++i) {
+      consider(static_cast<DeviceId>(i));
+    }
+  } else {
+    for (DeviceId device : spec.eligible_devices) consider(device);
+  }
+
+  auto query = std::make_shared<QueuedQuery>();
+  query->spec = std::move(spec);
+  query->ticket = std::make_shared<QueryTicket>();
+  query->ticket->name_ = query->spec.name;
+  query->estimate_bytes = estimate;
+  query->submit_time = std::chrono::steady_clock::now();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+    if (estimate > max_budget) {
+      ++rejected_;
+      return Status::OutOfMemory(
+          query->spec.name + ": footprint estimate (" +
+          std::to_string(estimate) + " B) exceeds every eligible device's " +
+          "memory budget (" + std::to_string(max_budget) + " B)");
+    }
+    if (stopping_) {
+      ++rejected_;
+      return Status::ExecutionError("service is stopping");
+    }
+    if (queue_.full()) {
+      ++rejected_;
+      return Status::OutOfMemory("admission queue is full (" +
+                                 std::to_string(config_.max_queue) + ")");
+    }
+    ++admitted_;
+    std::shared_ptr<QueryTicket> ticket = query->ticket;
+    queue_.Push(std::move(query));
+    dispatch_cv_.notify_one();
+    return ticket;
+  }
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<QueuedQuery> query;
+    DeviceId device = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (stopping_ && queue_.empty()) return;
+        // Pick-query-and-device atomically: first admissible query in
+        // priority/FIFO order, placed on its least-loaded eligible device,
+        // with the device budget reserved. A query blocked only by budget
+        // stays queued (budget_deferrals) until a completion frees bytes.
+        query = queue_.PopFirst([&](const QueuedQuery& candidate) {
+          const DeviceId best =
+              slots_.PickLeastLoaded(candidate.spec.eligible_devices);
+          if (best < 0) return false;
+          if (!ledger_->budget(best).TryReserve(candidate.estimate_bytes)) {
+            ++budget_deferrals_;
+            return false;
+          }
+          device = best;
+          return true;
+        });
+        if (query != nullptr) break;
+        dispatch_cv_.wait(lock);
+      }
+      slots_.Acquire(device);
+      ++active_;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    Result<QueryExecution> result = RunOne(*query, device);
+    const auto end = std::chrono::steady_clock::now();
+    const bool ok = result.ok();
+
+    query->ticket->placed_device_ = device;
+    query->ticket->queue_wait_ms_ = ElapsedMs(query->submit_time, start);
+    query->ticket->run_ms_ = ElapsedMs(start, end);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slots_.Release(device);
+      ledger_->budget(device).Release(query->estimate_bytes);
+      --active_;
+      if (ok) {
+        ++completed_;
+        ++completed_by_device_[static_cast<size_t>(device)];
+      } else {
+        ++failed_;
+      }
+      queue_wait_ms_.push_back(query->ticket->queue_wait_ms_);
+      run_ms_.push_back(query->ticket->run_ms_);
+      busy_us_by_device_[static_cast<size_t>(device)] +=
+          query->ticket->run_ms_ * 1000.0;
+    }
+    // A finished query freed a slot and budget bytes: every waiting worker
+    // re-evaluates the queue (a deferred query may fit now).
+    dispatch_cv_.notify_all();
+    idle_cv_.notify_all();
+    query->ticket->Complete(std::move(result));
+  }
+}
+
+Result<QueryExecution> QueryService::RunOne(const QueuedQuery& query,
+                                            DeviceId device) {
+  ADAMANT_ASSIGN_OR_RETURN(std::unique_ptr<PrimitiveGraph> graph,
+                           query.spec.make_graph(device));
+  if (graph == nullptr) {
+    return Status::InvalidArgument(query.spec.name +
+                                   ": make_graph returned null");
+  }
+  ExecutionOptions options = query.spec.options;
+  options.scan_cache = cache_.get();
+  options.memory_listener = ledger_.get();
+  // With exclusive device leases each run may reset its device's clocks and
+  // counters; with shared devices that would clobber a neighbour mid-run.
+  options.reset_device_state = config_.slots_per_device <= 1;
+  QueryExecutor executor(manager_);
+  return executor.Run(graph.get(), options);
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void QueryService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  dispatch_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+ServiceStats QueryService::GetStats() const {
+  ServiceStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.submitted = submitted_;
+    stats.admitted = admitted_;
+    stats.completed = completed_;
+    stats.failed = failed_;
+    stats.rejected = rejected_;
+    stats.budget_deferrals = budget_deferrals_;
+    stats.queued = queue_.size();
+    stats.active = active_;
+    stats.wall_seconds =
+        ElapsedMs(start_time_, std::chrono::steady_clock::now()) / 1000.0;
+    stats.queue_wait_p50_ms = PercentileMs(queue_wait_ms_, 0.50);
+    stats.queue_wait_p95_ms = PercentileMs(queue_wait_ms_, 0.95);
+    stats.run_p50_ms = PercentileMs(run_ms_, 0.50);
+    stats.run_p95_ms = PercentileMs(run_ms_, 0.95);
+    const double wall_us = stats.wall_seconds * 1e6;
+    stats.devices.resize(manager_->num_devices());
+    for (size_t i = 0; i < manager_->num_devices(); ++i) {
+      ServiceStats::DeviceEntry& entry = stats.devices[i];
+      entry.name = manager_->device(static_cast<DeviceId>(i))->name();
+      entry.completed = completed_by_device_[i];
+      entry.busy_fraction =
+          wall_us > 0 ? busy_us_by_device_[i] / wall_us : 0;
+      const MemoryBudget& budget =
+          ledger_->budget(static_cast<DeviceId>(i));
+      entry.budget_capacity = budget.capacity();
+      entry.budget_reserved = budget.reserved();
+      entry.live_high_water = budget.live_high_water();
+    }
+  }
+  if (cache_ != nullptr) stats.cache = cache_->GetStats();
+  return stats;
+}
+
+std::string ServiceStats::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  out << "\"submitted\":" << submitted << ",\"admitted\":" << admitted
+      << ",\"completed\":" << completed << ",\"failed\":" << failed
+      << ",\"rejected\":" << rejected
+      << ",\"budget_deferrals\":" << budget_deferrals
+      << ",\"queued\":" << queued << ",\"active\":" << active
+      << ",\"wall_seconds\":" << wall_seconds
+      << ",\"queue_wait_p50_ms\":" << queue_wait_p50_ms
+      << ",\"queue_wait_p95_ms\":" << queue_wait_p95_ms
+      << ",\"run_p50_ms\":" << run_p50_ms << ",\"run_p95_ms\":" << run_p95_ms;
+  out << ",\"devices\":[";
+  for (size_t i = 0; i < devices.size(); ++i) {
+    const DeviceEntry& entry = devices[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << entry.name << "\""
+        << ",\"completed\":" << entry.completed
+        << ",\"busy_fraction\":" << entry.busy_fraction
+        << ",\"budget_capacity\":" << entry.budget_capacity
+        << ",\"budget_reserved\":" << entry.budget_reserved
+        << ",\"live_high_water\":" << entry.live_high_water << "}";
+  }
+  out << "]";
+  out << ",\"cache\":{\"hits\":" << cache.hits
+      << ",\"misses\":" << cache.misses << ",\"bypasses\":" << cache.bypasses
+      << ",\"evictions\":" << cache.evictions
+      << ",\"inserts\":" << cache.inserts
+      << ",\"invalidations\":" << cache.invalidations
+      << ",\"bytes_saved\":" << cache.bytes_saved
+      << ",\"resident_bytes\":" << cache.resident_bytes
+      << ",\"entries\":" << cache.entries;
+  const size_t lookups = cache.hits + cache.misses + cache.bypasses;
+  out << ",\"hit_rate\":"
+      << (lookups > 0 ? static_cast<double>(cache.hits) /
+                            static_cast<double>(lookups)
+                      : 0.0)
+      << "}}";
+  return out.str();
+}
+
+}  // namespace adamant

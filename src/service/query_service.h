@@ -1,0 +1,142 @@
+#ifndef ADAMANT_SERVICE_QUERY_SERVICE_H_
+#define ADAMANT_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "device/device_manager.h"
+#include "service/column_cache.h"
+#include "service/memory_budget.h"
+#include "service/scheduler.h"
+
+namespace adamant {
+
+struct ServiceConfig {
+  /// Worker threads draining the admission queue.
+  size_t workers = 4;
+  /// Concurrent queries per device. 1 (default) leases each device
+  /// exclusively: per-query timing stays exact. >1 interleaves queries on
+  /// the shared simulated device: results stay exact, timing approximate.
+  size_t slots_per_device = 1;
+  /// Admission queue bound; Submit rejects beyond it.
+  size_t max_queue = 256;
+  /// Per-device admission budget in nominal bytes; 0 = the device arena's
+  /// capacity.
+  size_t query_budget_bytes = 0;
+  /// Per-device column-cache budget in nominal bytes; 0 = a quarter of the
+  /// smallest device arena.
+  size_t cache_budget_bytes = 0;
+  bool enable_cache = true;
+};
+
+/// Aggregate service counters, exported as JSON by run_tpch --serve.
+struct ServiceStats {
+  size_t submitted = 0;
+  size_t admitted = 0;
+  size_t completed = 0;
+  size_t failed = 0;
+  size_t rejected = 0;  // queue full or estimate beyond every budget
+  /// Times a query with a free device slot had to stay queued because the
+  /// device's memory budget could not cover its footprint estimate yet.
+  size_t budget_deferrals = 0;
+  size_t queued = 0;  // snapshot
+  size_t active = 0;  // snapshot
+  double wall_seconds = 0;
+  double queue_wait_p50_ms = 0;
+  double queue_wait_p95_ms = 0;
+  double run_p50_ms = 0;
+  double run_p95_ms = 0;
+
+  struct DeviceEntry {
+    std::string name;
+    size_t completed = 0;
+    /// Fraction of the service's wall time this device was running a query
+    /// (can exceed 1 when slots_per_device > 1).
+    double busy_fraction = 0;
+    size_t budget_capacity = 0;
+    size_t budget_reserved = 0;
+    size_t live_high_water = 0;
+  };
+  std::vector<DeviceEntry> devices;
+
+  DeviceColumnCache::Stats cache;
+
+  std::string ToJson() const;
+};
+
+/// The service layer above the runtime (ROADMAP: "production-scale
+/// serving"): owns the DeviceManager's serving policy — a bounded two-level
+/// admission queue, worker threads leasing devices through a per-device
+/// slot table with least-loaded placement, per-device memory budgets that
+/// make over-committed queries wait instead of OOM-failing, and a
+/// cross-query device column cache that lets repeated scans skip their H2D
+/// transfers.
+///
+/// The manager must come fully provisioned (drivers added, kernels bound);
+/// the service adds no devices of its own.
+class QueryService {
+ public:
+  QueryService(DeviceManager* manager, ServiceConfig config);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues a query. Fails with OutOfMemory when the queue is full or the
+  /// query's footprint estimate exceeds every eligible device's budget.
+  Result<std::shared_ptr<QueryTicket>> Submit(QuerySpec spec);
+
+  /// Blocks until the queue is empty and no query is running.
+  void Drain();
+
+  /// Drains, then stops the workers. Idempotent; the destructor calls it.
+  void Stop();
+
+  ServiceStats GetStats() const;
+
+  DeviceColumnCache* cache() { return cache_.get(); }
+  MemoryLedger& ledger() { return *ledger_; }
+
+ private:
+  void WorkerLoop();
+  Result<QueryExecution> RunOne(const QueuedQuery& query, DeviceId device);
+
+  DeviceManager* manager_;
+  ServiceConfig config_;
+  std::unique_ptr<MemoryLedger> ledger_;
+  std::unique_ptr<DeviceColumnCache> cache_;
+  std::chrono::steady_clock::time_point start_time_;
+
+  mutable std::mutex mu_;
+  std::condition_variable dispatch_cv_;  // queue or capacity changed
+  std::condition_variable idle_cv_;      // a query finished
+  AdmissionQueue queue_;
+  DeviceSlotTable slots_;
+  bool stopping_ = false;
+  size_t active_ = 0;
+
+  // Counters under mu_.
+  size_t submitted_ = 0;
+  size_t admitted_ = 0;
+  size_t completed_ = 0;
+  size_t failed_ = 0;
+  size_t rejected_ = 0;
+  size_t budget_deferrals_ = 0;
+  std::vector<double> queue_wait_ms_;
+  std::vector<double> run_ms_;
+  std::vector<size_t> completed_by_device_;
+  std::vector<double> busy_us_by_device_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_SERVICE_QUERY_SERVICE_H_

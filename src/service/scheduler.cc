@@ -1,0 +1,65 @@
+#include "service/scheduler.h"
+
+namespace adamant {
+
+const Result<QueryExecution>& QueryTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return result_.has_value(); });
+  return *result_;
+}
+
+bool QueryTicket::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return result_.has_value();
+}
+
+void QueryTicket::Complete(Result<QueryExecution> result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    result_.emplace(std::move(result));
+  }
+  cv_.notify_all();
+}
+
+void AdmissionQueue::Push(std::shared_ptr<QueuedQuery> query) {
+  auto& level =
+      query->spec.priority == QueryPriority::kHigh ? high_ : normal_;
+  level.push_back(std::move(query));
+}
+
+std::shared_ptr<QueuedQuery> AdmissionQueue::PopFirst(
+    const std::function<bool(const QueuedQuery&)>& admit) {
+  for (auto* level : {&high_, &normal_}) {
+    for (auto it = level->begin(); it != level->end(); ++it) {
+      if (admit(**it)) {
+        std::shared_ptr<QueuedQuery> query = std::move(*it);
+        level->erase(it);
+        return query;
+      }
+    }
+  }
+  return nullptr;
+}
+
+DeviceId DeviceSlotTable::PickLeastLoaded(
+    const std::vector<DeviceId>& eligible) const {
+  DeviceId best = -1;
+  size_t best_active = 0;
+  auto consider = [&](DeviceId device) {
+    if (!HasFree(device)) return;
+    if (best < 0 || active(device) < best_active) {
+      best = device;
+      best_active = active(device);
+    }
+  };
+  if (eligible.empty()) {
+    for (size_t i = 0; i < active_.size(); ++i) {
+      consider(static_cast<DeviceId>(i));
+    }
+  } else {
+    for (DeviceId device : eligible) consider(device);
+  }
+  return best;
+}
+
+}  // namespace adamant

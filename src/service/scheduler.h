@@ -1,0 +1,129 @@
+#ifndef ADAMANT_SERVICE_SCHEDULER_H_
+#define ADAMANT_SERVICE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "device/device_manager.h"
+#include "runtime/executor.h"
+
+namespace adamant {
+
+/// Two-level admission priority: high-priority queries dispatch before any
+/// normal-priority query; FIFO within a level.
+enum class QueryPriority { kNormal = 0, kHigh = 1 };
+
+/// A query submitted to the service. The graph is built lazily by
+/// `make_graph` once the scheduler has picked a device, so one spec can run
+/// anywhere in `eligible_devices` (empty = any plugged device).
+struct QuerySpec {
+  std::string name;
+  std::function<Result<std::unique_ptr<PrimitiveGraph>>(DeviceId)> make_graph;
+  ExecutionOptions options;
+  QueryPriority priority = QueryPriority::kNormal;
+  std::vector<DeviceId> eligible_devices;
+};
+
+/// Handle returned by QueryService::Submit. Wait() blocks until the query
+/// has run (or failed) and returns its result; timing fields are valid
+/// afterwards.
+class QueryTicket {
+ public:
+  /// Blocks until completion.
+  const Result<QueryExecution>& Wait();
+  bool done() const;
+
+  const std::string& name() const { return name_; }
+  /// Device the scheduler placed the query on (-1 if it never dispatched).
+  DeviceId placed_device() const { return placed_device_; }
+  double queue_wait_ms() const { return queue_wait_ms_; }
+  double run_ms() const { return run_ms_; }
+
+ private:
+  friend class QueryService;
+  void Complete(Result<QueryExecution> result);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<Result<QueryExecution>> result_;
+  std::string name_;
+  DeviceId placed_device_ = -1;
+  double queue_wait_ms_ = 0;
+  double run_ms_ = 0;
+};
+
+/// A queued query: spec + ticket + the admission-control footprint estimate.
+struct QueuedQuery {
+  QuerySpec spec;
+  std::shared_ptr<QueryTicket> ticket;
+  size_t estimate_bytes = 0;  // nominal, from EstimateDeviceMemoryBytes
+  std::chrono::steady_clock::time_point submit_time;
+};
+
+/// Bounded two-level FIFO of pending queries. Not internally synchronized —
+/// QueryService guards it (together with the slot table, so "pick a query
+/// AND a device" is one atomic decision) under its own mutex.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t max_size) : max_size_(max_size) {}
+
+  size_t size() const { return high_.size() + normal_.size(); }
+  bool empty() const { return size() == 0; }
+  bool full() const { return size() >= max_size_; }
+
+  /// Caller must check full() first.
+  void Push(std::shared_ptr<QueuedQuery> query);
+
+  /// Removes and returns the first query (priority order, FIFO within a
+  /// level) for which `admit` returns true; nullptr when none qualifies.
+  /// Skipped queries keep their position.
+  std::shared_ptr<QueuedQuery> PopFirst(
+      const std::function<bool(const QueuedQuery&)>& admit);
+
+ private:
+  size_t max_size_;
+  std::deque<std::shared_ptr<QueuedQuery>> high_;
+  std::deque<std::shared_ptr<QueuedQuery>> normal_;
+};
+
+/// Per-device lease slots: a device runs at most `slots_per_device`
+/// concurrent queries (1 = exclusive, the default — timing stays exact; >1
+/// shares the simulated device, results stay exact but per-query timing is
+/// approximate). Not internally synchronized (see AdmissionQueue).
+class DeviceSlotTable {
+ public:
+  DeviceSlotTable(size_t num_devices, size_t slots_per_device)
+      : slots_per_device_(slots_per_device), active_(num_devices, 0) {}
+
+  size_t num_devices() const { return active_.size(); }
+  size_t active(DeviceId device) const {
+    return active_[static_cast<size_t>(device)];
+  }
+  bool HasFree(DeviceId device) const {
+    return active(device) < slots_per_device_;
+  }
+  void Acquire(DeviceId device) { ++active_[static_cast<size_t>(device)]; }
+  void Release(DeviceId device) { --active_[static_cast<size_t>(device)]; }
+
+  /// Least-loaded device with a free slot among `eligible` (empty = all);
+  /// ties break to the lowest id. Returns -1 when every candidate is full.
+  DeviceId PickLeastLoaded(const std::vector<DeviceId>& eligible) const;
+
+ private:
+  size_t slots_per_device_;
+  std::vector<size_t> active_;
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_SERVICE_SCHEDULER_H_

@@ -48,9 +48,15 @@ TEST_F(HubTest, RouterSameDeviceIsNoop) {
   std::vector<int32_t> data = {9};
   auto buf = hub.LoadData(gpu_, data.data(), 4);
   ASSERT_TRUE(buf.ok());
+  // Regression: the data is already resident, so the short-circuit must not
+  // charge either transfer counter.
+  const size_t h2d_before = hub.bytes_host_to_device();
+  const size_t d2h_before = hub.bytes_device_to_host();
   auto routed = hub.Router(gpu_, *buf, gpu_, 4);
   ASSERT_TRUE(routed.ok());
   EXPECT_EQ(*routed, *buf);
+  EXPECT_EQ(hub.bytes_host_to_device(), h2d_before);
+  EXPECT_EQ(hub.bytes_device_to_host(), d2h_before);
 }
 
 TEST_F(HubTest, RouterMovesAcrossDevicesThroughHost) {

@@ -1,0 +1,372 @@
+// Service-layer tests: scheduler determinism against serial runs, memory
+// budgets (queue instead of OOM), the cross-query device column cache, and
+// the scheduler building blocks.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "adamant/adamant.h"
+
+namespace adamant {
+namespace {
+
+struct ServiceFixture {
+  std::shared_ptr<Catalog> catalog;
+
+  static const ServiceFixture& Get() {
+    static const ServiceFixture* const kFixture = [] {
+      auto* fixture = new ServiceFixture();
+      tpch::TpchConfig config;
+      config.scale_factor = 0.002;
+      auto catalog = tpch::Generate(config);
+      ADAMANT_CHECK(catalog.ok()) << catalog.status().ToString();
+      fixture->catalog = *catalog;
+      return fixture;
+    }();
+    return *kFixture;
+  }
+};
+
+QuerySpec SpecFor(const Catalog* catalog, int kind) {
+  QuerySpec spec;
+  if (kind == 0) {
+    spec.name = "Q3";
+    spec.make_graph =
+        [catalog](DeviceId device) -> Result<std::unique_ptr<PrimitiveGraph>> {
+      ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle bundle,
+                               plan::BuildQ3(*catalog, {}, device));
+      return std::move(bundle.graph);
+    };
+  } else if (kind == 1) {
+    spec.name = "Q4";
+    spec.make_graph =
+        [catalog](DeviceId device) -> Result<std::unique_ptr<PrimitiveGraph>> {
+      ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle bundle,
+                               plan::BuildQ4(*catalog, {}, device));
+      return std::move(bundle.graph);
+    };
+  } else {
+    spec.name = "Q6";
+    spec.make_graph =
+        [catalog](DeviceId device) -> Result<std::unique_ptr<PrimitiveGraph>> {
+      ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle bundle,
+                               plan::BuildQ6(*catalog, {}, device));
+      return std::move(bundle.graph);
+    };
+  }
+  return spec;
+}
+
+// --- Scheduler building blocks -------------------------------------------
+
+TEST(MemoryBudgetTest, ReserveWithinCapacity) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.TryReserve(60));
+  EXPECT_FALSE(budget.TryReserve(50));  // 60 + 50 > 100, untouched
+  EXPECT_EQ(budget.reserved(), 60u);
+  EXPECT_TRUE(budget.TryReserve(40));
+  budget.Release(60);
+  EXPECT_EQ(budget.reserved(), 40u);
+  EXPECT_TRUE(budget.TryReserve(60));
+}
+
+TEST(MemoryBudgetTest, LiveChargeTracksHighWater) {
+  MemoryBudget budget(100);
+  budget.Charge(30);
+  budget.Charge(50);
+  budget.Credit(40);
+  EXPECT_EQ(budget.live_bytes(), 40u);
+  EXPECT_EQ(budget.live_high_water(), 80u);
+}
+
+TEST(AdmissionQueueTest, PriorityThenFifo) {
+  AdmissionQueue queue(8);
+  auto make = [](const std::string& name, QueryPriority priority) {
+    auto query = std::make_shared<QueuedQuery>();
+    query->spec.name = name;
+    query->spec.priority = priority;
+    return query;
+  };
+  queue.Push(make("n1", QueryPriority::kNormal));
+  queue.Push(make("n2", QueryPriority::kNormal));
+  queue.Push(make("h1", QueryPriority::kHigh));
+
+  auto any = [](const QueuedQuery&) { return true; };
+  EXPECT_EQ(queue.PopFirst(any)->spec.name, "h1");
+  EXPECT_EQ(queue.PopFirst(any)->spec.name, "n1");
+  EXPECT_EQ(queue.PopFirst(any)->spec.name, "n2");
+  EXPECT_EQ(queue.PopFirst(any), nullptr);
+}
+
+TEST(AdmissionQueueTest, PopFirstSkipsInadmissible) {
+  AdmissionQueue queue(8);
+  for (const char* name : {"a", "b", "c"}) {
+    auto query = std::make_shared<QueuedQuery>();
+    query->spec.name = name;
+    queue.Push(std::move(query));
+  }
+  auto picked = queue.PopFirst(
+      [](const QueuedQuery& query) { return query.spec.name == "b"; });
+  ASSERT_NE(picked, nullptr);
+  EXPECT_EQ(picked->spec.name, "b");
+  EXPECT_EQ(queue.size(), 2u);  // a and c keep their places
+}
+
+TEST(DeviceSlotTableTest, LeastLoadedPlacement) {
+  DeviceSlotTable slots(3, 2);
+  EXPECT_EQ(slots.PickLeastLoaded({}), 0);
+  slots.Acquire(0);
+  EXPECT_EQ(slots.PickLeastLoaded({}), 1);
+  slots.Acquire(1);
+  slots.Acquire(1);  // device 1 full
+  EXPECT_EQ(slots.PickLeastLoaded({1}), -1);
+  EXPECT_EQ(slots.PickLeastLoaded({1, 2}), 2);
+  slots.Release(1);
+  EXPECT_EQ(slots.PickLeastLoaded({1}), 1);
+}
+
+// --- The seeded mixed workload matches serial execution -------------------
+
+TEST(QueryServiceTest, SeededMixedWorkloadMatchesSerial) {
+  const auto& fixture = ServiceFixture::Get();
+  DeviceManager manager;
+  for (int i = 0; i < 2; ++i) {
+    auto device = manager.AddDriver(sim::DriverKind::kCudaGpu,
+                                    "gpu." + std::to_string(i));
+    ASSERT_TRUE(device.ok()) << device.status().ToString();
+    ASSERT_TRUE(BindStandardKernels(manager.device(*device)).ok());
+  }
+
+  // Serial references (and template bundles for extraction: node ids are
+  // deterministic per builder).
+  QueryExecutor executor(&manager);
+  auto q3_bundle = plan::BuildQ3(*fixture.catalog, {}, 0);
+  auto q4_bundle = plan::BuildQ4(*fixture.catalog, {}, 0);
+  auto q6_bundle = plan::BuildQ6(*fixture.catalog, {}, 0);
+  ASSERT_TRUE(q3_bundle.ok() && q4_bundle.ok() && q6_bundle.ok());
+  auto q3_exec = executor.Run(q3_bundle->graph.get(), {});
+  auto q4_exec = executor.Run(q4_bundle->graph.get(), {});
+  auto q6_exec = executor.Run(q6_bundle->graph.get(), {});
+  ASSERT_TRUE(q3_exec.ok() && q4_exec.ok() && q6_exec.ok());
+  auto q3_ref = plan::ExtractQ3(*q3_bundle, *q3_exec, *fixture.catalog, {});
+  auto q4_ref = plan::ExtractQ4(*q4_bundle, *q4_exec);
+  auto q6_ref = plan::ExtractQ6(*q6_bundle, *q6_exec);
+  ASSERT_TRUE(q3_ref.ok() && q4_ref.ok() && q6_ref.ok());
+
+  ServiceConfig config;
+  config.workers = 4;
+  QueryService service(&manager, config);
+
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> pick(0, 2);
+  std::vector<int> kinds;
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  for (int i = 0; i < 50; ++i) {
+    const int kind = pick(rng);
+    auto ticket = service.Submit(SpecFor(fixture.catalog.get(), kind));
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    kinds.push_back(kind);
+    tickets.push_back(*ticket);
+  }
+
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const Result<QueryExecution>& result = tickets[i]->Wait();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (kinds[i] == 0) {
+      auto rows = plan::ExtractQ3(*q3_bundle, *result, *fixture.catalog, {});
+      ASSERT_TRUE(rows.ok());
+      EXPECT_EQ(*rows, *q3_ref) << "query " << i;
+    } else if (kinds[i] == 1) {
+      auto rows = plan::ExtractQ4(*q4_bundle, *result);
+      ASSERT_TRUE(rows.ok());
+      EXPECT_EQ(*rows, *q4_ref) << "query " << i;
+    } else {
+      auto revenue = plan::ExtractQ6(*q6_bundle, *result);
+      ASSERT_TRUE(revenue.ok());
+      EXPECT_EQ(*revenue, *q6_ref) << "query " << i;
+    }
+  }
+  service.Drain();
+
+  ServiceStats stats = service.GetStats();
+  EXPECT_EQ(stats.admitted, 50u);
+  EXPECT_EQ(stats.completed, 50u);
+  EXPECT_EQ(stats.failed, 0u);
+  size_t by_device = 0;
+  for (const auto& device : stats.devices) by_device += device.completed;
+  EXPECT_EQ(by_device, 50u);
+  EXPECT_FALSE(stats.ToJson().empty());
+}
+
+// --- Memory budgets: queue, don't fail ------------------------------------
+
+TEST(QueryServiceTest, BudgetExceedingQueryQueuesInsteadOfFailing) {
+  const auto& fixture = ServiceFixture::Get();
+  DeviceManager manager;
+  auto device = manager.AddDriver(sim::DriverKind::kCudaGpu);
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(BindStandardKernels(manager.device(*device)).ok());
+
+  auto probe = plan::BuildQ6(*fixture.catalog, {}, 0);
+  ASSERT_TRUE(probe.ok());
+  auto estimate =
+      EstimateDeviceMemoryBytes(*probe->graph, {}, manager.data_scale());
+  ASSERT_TRUE(estimate.ok());
+  ASSERT_GT(*estimate, 0u);
+
+  // Budget fits one Q6 at a time but the device offers four slots: queries
+  // beyond the budget must wait for a completion, not OOM.
+  ServiceConfig config;
+  config.workers = 4;
+  config.slots_per_device = 4;
+  config.query_budget_bytes = *estimate + *estimate / 2;
+  QueryService service(&manager, config);
+
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  for (int i = 0; i < 6; ++i) {
+    auto ticket = service.Submit(SpecFor(fixture.catalog.get(), 2));
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    tickets.push_back(*ticket);
+  }
+  for (const auto& ticket : tickets) {
+    EXPECT_TRUE(ticket->Wait().ok()) << ticket->Wait().status().ToString();
+  }
+  service.Drain();
+
+  ServiceStats stats = service.GetStats();
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+  // The reservation ceiling held: live allocations never exceeded the
+  // budget even though four slots were open.
+  EXPECT_LE(service.ledger().budget(0).live_high_water(),
+            config.query_budget_bytes);
+}
+
+TEST(QueryServiceTest, RejectsQueryLargerThanEveryBudget) {
+  const auto& fixture = ServiceFixture::Get();
+  DeviceManager manager;
+  auto device = manager.AddDriver(sim::DriverKind::kCudaGpu);
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(BindStandardKernels(manager.device(*device)).ok());
+
+  ServiceConfig config;
+  config.query_budget_bytes = 1;  // nothing fits
+  QueryService service(&manager, config);
+  auto ticket = service.Submit(SpecFor(fixture.catalog.get(), 2));
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kOutOfMemory);
+  ServiceStats stats = service.GetStats();
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+// --- Cross-query column cache ---------------------------------------------
+
+TEST(QueryServiceTest, SecondRunHitsColumnCache) {
+  const auto& fixture = ServiceFixture::Get();
+  DeviceManager manager;
+  auto device = manager.AddDriver(sim::DriverKind::kCudaGpu);
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(BindStandardKernels(manager.device(*device)).ok());
+
+  ServiceConfig config;
+  config.workers = 1;
+  QueryService service(&manager, config);
+
+  auto first = service.Submit(SpecFor(fixture.catalog.get(), 2));
+  ASSERT_TRUE(first.ok());
+  const Result<QueryExecution>& first_result = (*first)->Wait();
+  ASSERT_TRUE(first_result.ok());
+  const size_t hits_after_first = service.GetStats().cache.hits;
+
+  auto second = service.Submit(SpecFor(fixture.catalog.get(), 2));
+  ASSERT_TRUE(second.ok());
+  const Result<QueryExecution>& second_result = (*second)->Wait();
+  ASSERT_TRUE(second_result.ok());
+
+  ServiceStats stats = service.GetStats();
+  EXPECT_GT(stats.cache.hits, hits_after_first);
+  EXPECT_GT(stats.cache.bytes_saved, 0u);
+  // The cached run produced the same answer.
+  auto bundle = plan::BuildQ6(*fixture.catalog, {}, 0);
+  ASSERT_TRUE(bundle.ok());
+  auto a = plan::ExtractQ6(*bundle, *first_result);
+  auto b = plan::ExtractQ6(*bundle, *second_result);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  // The executor surfaced the hits in its own stats too.
+  EXPECT_GT(second_result->stats.scan_cache_hits, 0u);
+  EXPECT_GT(second_result->stats.bytes_h2d_saved, 0u);
+}
+
+TEST(ColumnCacheTest, EvictionSkipsPinnedEntries) {
+  DeviceManager manager;
+  auto device = manager.AddDriver(sim::DriverKind::kCudaGpu);
+  ASSERT_TRUE(device.ok());
+
+  auto column_a = std::make_shared<Column>("a", ElementType::kInt32);
+  auto column_b = std::make_shared<Column>("b", ElementType::kInt32);
+  column_a->Resize(256);
+  column_b->Resize(256);
+  const size_t bytes = column_a->byte_size();
+
+  // Budget holds exactly one chunk.
+  DeviceColumnCache cache(&manager, bytes);
+
+  auto lease_a = cache.Acquire(0, column_a, 0, 256, bytes);
+  ASSERT_TRUE(lease_a.ok());
+  ASSERT_TRUE(lease_a->cached);
+  EXPECT_FALSE(lease_a->hit);
+
+  // While A is pinned the budget is exhausted and nothing is evictable:
+  // B must be declined, not evict A.
+  auto lease_b = cache.Acquire(0, column_b, 0, 256, bytes);
+  ASSERT_TRUE(lease_b.ok());
+  EXPECT_FALSE(lease_b->cached);
+  EXPECT_EQ(cache.GetStats().bypasses, 1u);
+  EXPECT_EQ(cache.GetStats().evictions, 0u);
+
+  // Unpinned (and filled), A becomes the LRU victim.
+  cache.Release(lease_a->token);
+  auto lease_b2 = cache.Acquire(0, column_b, 0, 256, bytes);
+  ASSERT_TRUE(lease_b2.ok());
+  EXPECT_TRUE(lease_b2->cached);
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+  cache.Release(lease_b2->token);
+
+  // A re-acquire of A is a miss again (it was evicted), and a re-acquire of
+  // B hits.
+  auto lease_b3 = cache.Acquire(0, column_b, 0, 256, bytes);
+  ASSERT_TRUE(lease_b3.ok());
+  EXPECT_TRUE(lease_b3->hit);
+  cache.Release(lease_b3->token);
+}
+
+TEST(ColumnCacheTest, InvalidateDropsEntry) {
+  DeviceManager manager;
+  auto device = manager.AddDriver(sim::DriverKind::kCudaGpu);
+  ASSERT_TRUE(device.ok());
+
+  auto column = std::make_shared<Column>("c", ElementType::kInt32);
+  column->Resize(64);
+  const size_t bytes = column->byte_size();
+  DeviceColumnCache cache(&manager, bytes * 4);
+
+  auto lease = cache.Acquire(0, column, 0, 64, bytes);
+  ASSERT_TRUE(lease.ok());
+  ASSERT_TRUE(lease->cached);
+  cache.Invalidate(lease->token);
+
+  auto again = cache.Acquire(0, column, 0, 64, bytes);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->hit);  // the poisoned entry did not survive
+  cache.Release(again->token);
+  EXPECT_EQ(cache.GetStats().invalidations, 1u);
+}
+
+}  // namespace
+}  // namespace adamant

@@ -17,11 +17,25 @@
 //   --verify          compare results against the scalar reference
 //   --trace=PATH      write a chrome://tracing JSON of the run
 //   --explain         print the logical plan (where available) and exit
+//
+// Serve mode (the service layer of src/service/): replays a seeded mixed
+// Q3/Q4/Q6 workload through the QueryService scheduler, verifies every
+// result against a serial run, and prints aggregate ServiceStats as JSON:
+//
+//   run_tpch --serve --clients=4 --queries=50 --seed=7 --devices=2
+//
+//   --serve           enable serve mode
+//   --clients=N       concurrent worker threads (default 4)
+//   --queries=N       workload size (default 50)
+//   --seed=N          workload RNG seed (default 7)
+//   --devices=N       instances of --driver to plug (default 2)
+//   --no-cache        disable the cross-query device column cache
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -43,6 +57,12 @@ struct Options {
   bool verify = false;
   std::string trace_path;
   bool explain = false;
+  bool serve = false;
+  size_t clients = 4;
+  size_t serve_queries = 50;
+  unsigned seed = 7;
+  size_t devices = 2;
+  bool no_cache = false;
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
@@ -75,6 +95,18 @@ Result<Options> ParseArgs(int argc, char** argv) {
       options.chunk = value;
     } else if (ParseFlag(arg, "trace", &value)) {
       options.trace_path = value;
+    } else if (ParseFlag(arg, "clients", &value)) {
+      options.clients = std::stoul(value);
+    } else if (ParseFlag(arg, "queries", &value)) {
+      options.serve_queries = std::stoul(value);
+    } else if (ParseFlag(arg, "seed", &value)) {
+      options.seed = static_cast<unsigned>(std::stoul(value));
+    } else if (ParseFlag(arg, "devices", &value)) {
+      options.devices = std::stoul(value);
+    } else if (arg == "--serve") {
+      options.serve = true;
+    } else if (arg == "--no-cache") {
+      options.no_cache = true;
     } else if (arg == "--verify") {
       options.verify = true;
     } else if (arg == "--explain") {
@@ -272,6 +304,173 @@ Status RunQuery(const std::string& query, const Catalog& catalog,
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Serve mode: a seeded Q3/Q4/Q6 mix through the QueryService, each result
+// checked bit-for-bit against a serial single-query run.
+// ---------------------------------------------------------------------------
+
+struct ServeReference {
+  std::vector<tpch::Q3Row> q3;
+  std::vector<tpch::Q4Row> q4;
+  int64_t q6 = 0;
+  // Template bundles: node ids are deterministic per builder, so one bundle
+  // per query kind serves result extraction for every served execution.
+  plan::PlanBundle q3_bundle;
+  plan::PlanBundle q4_bundle;
+  plan::PlanBundle q6_bundle;
+};
+
+Result<ServeReference> BuildServeReference(const Catalog& catalog,
+                                           DeviceManager* manager,
+                                           const ExecutionOptions& exec_options) {
+  ServeReference ref;
+  QueryExecutor executor(manager);
+  ADAMANT_ASSIGN_OR_RETURN(ref.q3_bundle, plan::BuildQ3(catalog, {}, 0));
+  ADAMANT_ASSIGN_OR_RETURN(ref.q4_bundle, plan::BuildQ4(catalog, {}, 0));
+  ADAMANT_ASSIGN_OR_RETURN(ref.q6_bundle, plan::BuildQ6(catalog, {}, 0));
+  {
+    ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle bundle,
+                             plan::BuildQ3(catalog, {}, 0));
+    ADAMANT_ASSIGN_OR_RETURN(QueryExecution exec,
+                             executor.Run(bundle.graph.get(), exec_options));
+    ADAMANT_ASSIGN_OR_RETURN(ref.q3,
+                             plan::ExtractQ3(bundle, exec, catalog, {}));
+  }
+  {
+    ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle bundle,
+                             plan::BuildQ4(catalog, {}, 0));
+    ADAMANT_ASSIGN_OR_RETURN(QueryExecution exec,
+                             executor.Run(bundle.graph.get(), exec_options));
+    ADAMANT_ASSIGN_OR_RETURN(ref.q4, plan::ExtractQ4(bundle, exec));
+  }
+  {
+    ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle bundle,
+                             plan::BuildQ6(catalog, {}, 0));
+    ADAMANT_ASSIGN_OR_RETURN(QueryExecution exec,
+                             executor.Run(bundle.graph.get(), exec_options));
+    ADAMANT_ASSIGN_OR_RETURN(ref.q6, plan::ExtractQ6(bundle, exec));
+  }
+  return ref;
+}
+
+Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
+  ADAMANT_ASSIGN_OR_RETURN(sim::DriverKind kind,
+                           DriverFromName(options.driver));
+  ADAMANT_ASSIGN_OR_RETURN(ExecutionModelKind model,
+                           ModelFromName(options.model));
+  DeviceManager manager(options.setup == 2 ? sim::HardwareSetup::kSetup2
+                                           : sim::HardwareSetup::kSetup1);
+  manager.SetDataScale(options.nominal_sf / options.sf);
+  const size_t num_devices = std::max<size_t>(options.devices, 1);
+  for (size_t i = 0; i < num_devices; ++i) {
+    ADAMANT_ASSIGN_OR_RETURN(
+        DeviceId device,
+        manager.AddDriver(kind,
+                          options.driver + "." + std::to_string(i)));
+    ADAMANT_RETURN_NOT_OK(BindStandardKernels(manager.device(device)));
+  }
+
+  ExecutionOptions exec_options;
+  exec_options.model = model;
+  exec_options.chunk_elems = std::stoull(options.chunk);
+
+  std::printf("serve: %zu devices (%s), %zu clients, %zu queries, seed %u, "
+              "cache %s\n",
+              num_devices, options.driver.c_str(), options.clients,
+              options.serve_queries, options.seed,
+              options.no_cache ? "off" : "on");
+
+  // Serial references first: the service's results must match these
+  // bit-for-bit.
+  ADAMANT_ASSIGN_OR_RETURN(ServeReference ref,
+                           BuildServeReference(*catalog, &manager,
+                                               exec_options));
+
+  ServiceConfig config;
+  config.workers = std::max<size_t>(options.clients, 1);
+  config.enable_cache = !options.no_cache;
+  QueryService service(&manager, config);
+
+  // Seeded workload: an even Q3/Q4/Q6 mix.
+  std::mt19937 rng(options.seed);
+  std::uniform_int_distribution<int> pick(0, 2);
+  const Catalog* cat = catalog.get();
+  std::vector<int> kinds;
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  kinds.reserve(options.serve_queries);
+  tickets.reserve(options.serve_queries);
+  for (size_t i = 0; i < options.serve_queries; ++i) {
+    const int kind_ix = pick(rng);
+    QuerySpec spec;
+    spec.options = exec_options;
+    if (kind_ix == 0) {
+      spec.name = "Q3";
+      spec.make_graph = [cat](DeviceId device)
+          -> Result<std::unique_ptr<PrimitiveGraph>> {
+        ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle bundle,
+                                 plan::BuildQ3(*cat, {}, device));
+        return std::move(bundle.graph);
+      };
+    } else if (kind_ix == 1) {
+      spec.name = "Q4";
+      spec.make_graph = [cat](DeviceId device)
+          -> Result<std::unique_ptr<PrimitiveGraph>> {
+        ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle bundle,
+                                 plan::BuildQ4(*cat, {}, device));
+        return std::move(bundle.graph);
+      };
+    } else {
+      spec.name = "Q6";
+      spec.make_graph = [cat](DeviceId device)
+          -> Result<std::unique_ptr<PrimitiveGraph>> {
+        ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle bundle,
+                                 plan::BuildQ6(*cat, {}, device));
+        return std::move(bundle.graph);
+      };
+    }
+    ADAMANT_ASSIGN_OR_RETURN(std::shared_ptr<QueryTicket> ticket,
+                             service.Submit(std::move(spec)));
+    kinds.push_back(kind_ix);
+    tickets.push_back(std::move(ticket));
+  }
+
+  size_t mismatches = 0;
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const Result<QueryExecution>& result = tickets[i]->Wait();
+    if (!result.ok()) {
+      return result.status().WithContext("served query " + std::to_string(i));
+    }
+    bool match = false;
+    if (kinds[i] == 0) {
+      ADAMANT_ASSIGN_OR_RETURN(
+          auto rows, plan::ExtractQ3(ref.q3_bundle, *result, *catalog, {}));
+      match = rows == ref.q3;
+    } else if (kinds[i] == 1) {
+      ADAMANT_ASSIGN_OR_RETURN(auto rows,
+                               plan::ExtractQ4(ref.q4_bundle, *result));
+      match = rows == ref.q4;
+    } else {
+      ADAMANT_ASSIGN_OR_RETURN(int64_t revenue,
+                               plan::ExtractQ6(ref.q6_bundle, *result));
+      match = revenue == ref.q6;
+    }
+    if (!match) ++mismatches;
+  }
+  service.Drain();
+
+  ServiceStats stats = service.GetStats();
+  std::printf("serve: %zu/%zu results match serial runs\n",
+              tickets.size() - mismatches, tickets.size());
+  std::printf("%s\n", stats.ToJson().c_str());
+  service.Stop();
+  if (mismatches > 0) {
+    return Status::ExecutionError(std::to_string(mismatches) +
+                                  " served queries diverged from the serial "
+                                  "reference");
+  }
+  return Status::OK();
+}
+
 Status Run(const Options& options) {
   // Data.
   std::shared_ptr<Catalog> catalog;
@@ -285,6 +484,8 @@ Status Run(const Options& options) {
     std::printf("generated TPC-H at SF %g (emulating SF %g)\n", options.sf,
                 options.nominal_sf);
   }
+
+  if (options.serve) return Serve(options, catalog);
 
   // Device.
   ADAMANT_ASSIGN_OR_RETURN(sim::DriverKind kind,
