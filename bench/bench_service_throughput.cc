@@ -75,7 +75,10 @@ Sample RunWorkload(const Catalog& catalog, size_t clients) {
   sample.qps = stats.wall_seconds > 0
                    ? static_cast<double>(stats.completed) / stats.wall_seconds
                    : 0;
-  const size_t lookups = stats.cache.hits + stats.cache.misses;
+  // Same denominator as ServiceStats::ToJson (hits + misses + bypasses),
+  // so the bench and the serve JSON report identical hit rates.
+  const size_t lookups =
+      stats.cache.hits + stats.cache.misses + stats.cache.bypasses;
   sample.cache_hit_rate =
       lookups > 0 ? static_cast<double>(stats.cache.hits) / lookups : 0;
   sample.bytes_saved_mib =

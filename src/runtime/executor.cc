@@ -886,6 +886,12 @@ class RunContext {
       stats.devices[i].name =
           manager_->device(static_cast<DeviceId>(i))->name();
     }
+    // The timeline/counter/high-water accessors are unsynchronized and only
+    // meaningful under an exclusive device lease; when the service shares a
+    // device across queries (reset_device_state == false) a neighbour
+    // mutates them under the device's call mutex mid-read, so skip the
+    // snapshot entirely — entries keep just their names.
+    if (!options_.reset_device_state) return;
     for (DeviceId id : used_devices_) {
       SimulatedDevice* dev = manager_->device(id);
       DeviceRunStats& ds = stats.devices[static_cast<size_t>(id)];

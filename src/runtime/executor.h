@@ -65,9 +65,12 @@ struct ExecutionOptions {
   /// Charged/credited for the run's device-memory allocations.
   MemoryChargeListener* memory_listener = nullptr;
   /// When false, the executor does not reset the devices' timelines, call
-  /// stats and arena high-water marks at query start. Set by the service
-  /// layer when several queries share one device (slots_per_device > 1),
-  /// where a mid-run reset would clobber a concurrent query's accounting.
+  /// stats and arena high-water marks at query start, and does not snapshot
+  /// them into QueryStats::devices at the end (the accessors are
+  /// unsynchronized; reading them while a neighbour runs would race, and
+  /// the numbers would be meaningless anyway). Set by the service layer
+  /// when several queries share one device (slots_per_device > 1), where a
+  /// mid-run reset would clobber a concurrent query's accounting.
   bool reset_device_state = true;
 };
 
@@ -106,7 +109,9 @@ struct QueryStats {
   /// One entry per plugged device, indexed by DeviceId. Only the devices
   /// this query's graph actually used carry timing/counter data; the rest
   /// hold just their name (reading another device's live counters would
-  /// race with concurrently-running queries).
+  /// race with concurrently-running queries). With
+  /// ExecutionOptions::reset_device_state == false (shared device leases)
+  /// every entry is name-only and `elapsed_us` stays 0.
   std::vector<DeviceRunStats> devices;
 };
 

@@ -58,6 +58,17 @@ class ScanBufferCache {
 
   /// Drops the entry behind a `cached` lease (placement failed).
   virtual void Invalidate(uint64_t token) = 0;
+
+  /// Frees unpinned entries on `device` until at least `bytes` of device
+  /// memory are released (best effort; LRU-first). The hub calls this when
+  /// a device allocation fails, before surfacing OutOfMemory to the query —
+  /// cache residency must never turn an admitted query into an OOM failure.
+  /// Returns true if anything was evicted (the caller retries once).
+  virtual bool EvictUnpinned(DeviceId device, size_t bytes) {
+    (void)device;
+    (void)bytes;
+    return false;
+  }
 };
 
 }  // namespace adamant

@@ -7,10 +7,21 @@
 
 namespace adamant {
 
+Result<BufferId> DataTransferHub::PrepareDeviceMemory(SimulatedDevice* dev,
+                                                      DeviceId device,
+                                                      size_t bytes) {
+  Result<BufferId> buf = dev->PrepareMemory(bytes);
+  if (!buf.ok() && buf.status().IsOutOfMemory() && scan_cache_ != nullptr &&
+      scan_cache_->EvictUnpinned(device, bytes)) {
+    buf = dev->PrepareMemory(bytes);
+  }
+  return buf;
+}
+
 Result<BufferId> DataTransferHub::LoadData(DeviceId device, const void* src,
                                            size_t bytes) {
   ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
-  ADAMANT_ASSIGN_OR_RETURN(BufferId id, dev->PrepareMemory(bytes));
+  ADAMANT_ASSIGN_OR_RETURN(BufferId id, PrepareDeviceMemory(dev, device, bytes));
   ChargeAllocate(device, bytes);
   Status st = dev->PlaceData(id, src, bytes, 0);
   if (!st.ok()) {
@@ -52,7 +63,8 @@ Result<ScanBufferCache::Lease> DataTransferHub::LoadColumnChunk(
   }
 
   ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
-  ADAMANT_ASSIGN_OR_RETURN(BufferId buf, dev->PrepareMemory(bytes));
+  ADAMANT_ASSIGN_OR_RETURN(BufferId buf,
+                           PrepareDeviceMemory(dev, device, bytes));
   ChargeAllocate(device, bytes);
   Status st = PlaceChunk(device, buf, src, bytes);
   if (!st.ok()) {
@@ -87,7 +99,8 @@ Result<BufferId> DataTransferHub::Router(DeviceId src_device, BufferId src,
   std::vector<uint8_t> scratch(bytes);
   ADAMANT_RETURN_NOT_OK(from->RetrieveData(src, scratch.data(), bytes, 0));
   bytes_d2h_ += bytes;
-  ADAMANT_ASSIGN_OR_RETURN(BufferId dst, to->PrepareMemory(bytes));
+  ADAMANT_ASSIGN_OR_RETURN(BufferId dst,
+                           PrepareDeviceMemory(to, dst_device, bytes));
   ChargeAllocate(dst_device, bytes);
   Status st = to->PlaceData(dst, scratch.data(), bytes, 0);
   if (!st.ok()) {
@@ -117,7 +130,8 @@ Result<BufferId> DataTransferHub::EnsureFormat(DeviceId device, BufferId id,
       bytes_d2h_ += bytes;
       ADAMANT_RETURN_NOT_OK(dev->DeleteMemory(id));
       ChargeFree(device, bytes);
-      ADAMANT_ASSIGN_OR_RETURN(BufferId fresh, dev->PrepareMemory(bytes));
+      ADAMANT_ASSIGN_OR_RETURN(BufferId fresh,
+                               PrepareDeviceMemory(dev, device, bytes));
       ChargeAllocate(device, bytes);
       ADAMANT_RETURN_NOT_OK(dev->PlaceData(fresh, scratch.data(), bytes, 0));
       bytes_h2d_ += bytes;
@@ -137,7 +151,7 @@ Result<BufferId> DataTransferHub::PrepareOutputBuffer(DeviceId device,
   if (pinned) {
     ADAMANT_ASSIGN_OR_RETURN(id, dev->AddPinnedMemory(bytes));
   } else {
-    ADAMANT_ASSIGN_OR_RETURN(id, dev->PrepareMemory(bytes));
+    ADAMANT_ASSIGN_OR_RETURN(id, PrepareDeviceMemory(dev, device, bytes));
     ChargeAllocate(device, bytes);
   }
   if (semantic == DataSemantic::kHashTable) {

@@ -83,6 +83,12 @@ class DataTransferHub {
   const DataContainer& transforms() const { return transforms_; }
 
  private:
+  /// PrepareMemory with a second chance: when the device arena is full and
+  /// a scan cache is attached, unpinned cached chunks are evicted and the
+  /// allocation retried once, so cache residency cannot OOM-fail a query.
+  Result<BufferId> PrepareDeviceMemory(SimulatedDevice* dev, DeviceId device,
+                                       size_t bytes);
+
   void ChargeAllocate(DeviceId device, size_t bytes) {
     if (memory_listener_ != nullptr) memory_listener_->OnAllocate(device, bytes);
   }

@@ -109,6 +109,28 @@ bool DeviceColumnCache::EvictFor(DeviceId device, size_t need) {
   return true;
 }
 
+bool DeviceColumnCache::EvictUnpinned(DeviceId device, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The arena books nominal bytes, so the freed/needed comparison happens
+  // in nominal space too.
+  const size_t need = Nominal(bytes);
+  size_t freed = 0;
+  for (auto it = lru_.begin(); it != lru_.end() && freed < need;) {
+    if (std::get<3>(*it) != device) {
+      ++it;
+      continue;
+    }
+    auto entry_it = entries_.find(*it);
+    FreeEntryBuffer(device, entry_it->second);
+    resident_[static_cast<size_t>(device)] -= entry_it->second.nominal_bytes;
+    freed += entry_it->second.nominal_bytes;
+    entries_.erase(entry_it);
+    it = lru_.erase(it);
+    ++stats_.evictions;
+  }
+  return freed > 0;
+}
+
 void DeviceColumnCache::FreeEntryBuffer(DeviceId device, const Entry& entry) {
   auto dev = manager_->GetDevice(device);
   if (!dev.ok()) return;

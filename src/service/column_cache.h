@@ -51,6 +51,12 @@ class DeviceColumnCache : public ScanBufferCache {
   void Release(uint64_t token) override;
   void Invalidate(uint64_t token) override;
 
+  /// Sheds unpinned entries on `device` (LRU-first) until at least `bytes`
+  /// of device memory are freed; called by the transfer hub when a query's
+  /// own allocation hits arena OOM, so cache residency yields to query
+  /// working sets instead of failing an admitted query.
+  bool EvictUnpinned(DeviceId device, size_t bytes) override;
+
   /// Drops every unpinned entry (device buffers freed). Pinned entries
   /// survive; their bytes stay accounted.
   void Clear();

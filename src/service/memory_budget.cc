@@ -42,15 +42,17 @@ size_t MemoryBudget::live_high_water() const {
   return live_high_water_;
 }
 
-MemoryLedger::MemoryLedger(DeviceManager* manager, size_t budget_bytes)
+MemoryLedger::MemoryLedger(DeviceManager* manager, size_t budget_bytes,
+                           size_t reserved_bytes)
     : manager_(manager) {
   budgets_.reserve(manager->num_devices());
   for (size_t i = 0; i < manager->num_devices(); ++i) {
     size_t cap = budget_bytes;
     if (cap == 0) {
-      cap = manager->device(static_cast<DeviceId>(i))
-                ->device_arena()
-                .capacity();
+      const size_t arena = manager->device(static_cast<DeviceId>(i))
+                               ->device_arena()
+                               .capacity();
+      cap = arena - std::min(arena, reserved_bytes);
     }
     budgets_.emplace_back(cap);
   }

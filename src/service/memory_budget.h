@@ -59,8 +59,13 @@ class MemoryBudget {
 /// EstimateDeviceMemoryBytes speak the same unit as the device arenas.
 class MemoryLedger : public MemoryChargeListener {
  public:
-  /// `budget_bytes` of 0 means "the device arena's capacity".
-  MemoryLedger(DeviceManager* manager, size_t budget_bytes);
+  /// `budget_bytes` of 0 means "the device arena's capacity minus
+  /// `reserved_bytes`" — the service passes the column-cache budget as
+  /// `reserved_bytes` so admitted queries and cache residency cannot
+  /// jointly overcommit the arena. An explicit `budget_bytes` is used
+  /// verbatim on every device.
+  MemoryLedger(DeviceManager* manager, size_t budget_bytes,
+               size_t reserved_bytes = 0);
 
   MemoryBudget& budget(DeviceId device) {
     return budgets_[static_cast<size_t>(device)];

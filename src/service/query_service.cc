@@ -36,9 +36,9 @@ QueryService::QueryService(DeviceManager* manager, ServiceConfig config)
       slots_(manager->num_devices(), std::max<size_t>(config.slots_per_device, 1)),
       completed_by_device_(manager->num_devices(), 0),
       busy_us_by_device_(manager->num_devices(), 0) {
-  ledger_ = std::make_unique<MemoryLedger>(manager, config_.query_budget_bytes);
+  size_t cache_budget = 0;
   if (config_.enable_cache) {
-    size_t cache_budget = config_.cache_budget_bytes;
+    cache_budget = config_.cache_budget_bytes;
     if (cache_budget == 0) {
       size_t min_capacity = std::numeric_limits<size_t>::max();
       for (size_t i = 0; i < manager->num_devices(); ++i) {
@@ -48,6 +48,15 @@ QueryService::QueryService(DeviceManager* manager, ServiceConfig config)
       }
       cache_budget = min_capacity / 4;
     }
+  }
+  // The cache and query working sets compete for the same arenas, so the
+  // default per-device admission budget leaves the cache its share:
+  // capacity minus the cache budget (an explicit query_budget_bytes
+  // overrides). Otherwise an admitted query could still OOM mid-run against
+  // cache-resident bytes — the failure mode budgets exist to prevent.
+  ledger_ = std::make_unique<MemoryLedger>(manager, config_.query_budget_bytes,
+                                           cache_budget);
+  if (config_.enable_cache) {
     cache_ = std::make_unique<DeviceColumnCache>(manager, cache_budget);
   }
   const size_t n = std::max<size_t>(config_.workers, 1);
@@ -147,12 +156,25 @@ void QueryService::WorkerLoop() {
         // priority/FIFO order, placed on its least-loaded eligible device,
         // with the device budget reserved. A query blocked only by budget
         // stays queued (budget_deferrals) until a completion frees bytes.
-        query = queue_.PopFirst([&](const QueuedQuery& candidate) {
-          const DeviceId best =
-              slots_.PickLeastLoaded(candidate.spec.eligible_devices);
-          if (best < 0) return false;
-          if (!ledger_->budget(best).TryReserve(candidate.estimate_bytes)) {
-            ++budget_deferrals_;
+        query = queue_.PopFirst([&](QueuedQuery& candidate) {
+          // Try free-slot devices in least-loaded order and take the first
+          // whose budget also covers the estimate: a query that fits only
+          // the larger of two budgets must not be pinned forever to the
+          // smaller device by a slot-count tie-break.
+          bool had_free_slot = false;
+          const DeviceId best = slots_.PickLeastLoaded(
+              candidate.spec.eligible_devices,
+              [&](DeviceId d) {
+                return ledger_->budget(d).TryReserve(candidate.estimate_bytes);
+              },
+              &had_free_slot);
+          if (best < 0) {
+            // Blocked by budget (not slots): count the deferral once per
+            // release epoch, not once per queue scan.
+            if (had_free_slot && candidate.deferral_epoch != release_epoch_) {
+              candidate.deferral_epoch = release_epoch_;
+              ++budget_deferrals_;
+            }
             return false;
           }
           device = best;
@@ -178,6 +200,7 @@ void QueryService::WorkerLoop() {
       std::lock_guard<std::mutex> lock(mu_);
       slots_.Release(device);
       ledger_->budget(device).Release(query->estimate_bytes);
+      ++release_epoch_;  // budget state changed: deferrals may count again
       --active_;
       if (ok) {
         ++completed_;

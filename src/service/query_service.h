@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -28,7 +29,8 @@ struct ServiceConfig {
   /// Admission queue bound; Submit rejects beyond it.
   size_t max_queue = 256;
   /// Per-device admission budget in nominal bytes; 0 = the device arena's
-  /// capacity.
+  /// capacity minus the column-cache budget, so cache residency and query
+  /// working sets cannot jointly overcommit the arena.
   size_t query_budget_bytes = 0;
   /// Per-device column-cache budget in nominal bytes; 0 = a quarter of the
   /// smallest device arena.
@@ -43,8 +45,11 @@ struct ServiceStats {
   size_t completed = 0;
   size_t failed = 0;
   size_t rejected = 0;  // queue full or estimate beyond every budget
-  /// Times a query with a free device slot had to stay queued because the
-  /// device's memory budget could not cover its footprint estimate yet.
+  /// Times a query with a free device slot had to stay queued because no
+  /// eligible device's memory budget could cover its footprint estimate
+  /// yet. Counted at most once per query per release epoch (a completion
+  /// freeing budget starts a new epoch), so the counter tracks distinct
+  /// deferral events rather than queue-scan frequency.
   size_t budget_deferrals = 0;
   size_t queued = 0;  // snapshot
   size_t active = 0;  // snapshot
@@ -121,6 +126,9 @@ class QueryService {
   DeviceSlotTable slots_;
   bool stopping_ = false;
   size_t active_ = 0;
+  /// Bumped (under mu_) whenever a completion releases slot + budget;
+  /// budget deferrals count at most once per query per epoch.
+  uint64_t release_epoch_ = 1;
 
   // Counters under mu_.
   size_t submitted_ = 0;

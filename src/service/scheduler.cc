@@ -1,5 +1,7 @@
 #include "service/scheduler.h"
 
+#include <algorithm>
+
 namespace adamant {
 
 const Result<QueryExecution>& QueryTicket::Wait() {
@@ -28,7 +30,7 @@ void AdmissionQueue::Push(std::shared_ptr<QueuedQuery> query) {
 }
 
 std::shared_ptr<QueuedQuery> AdmissionQueue::PopFirst(
-    const std::function<bool(const QueuedQuery&)>& admit) {
+    const std::function<bool(QueuedQuery&)>& admit) {
   for (auto* level : {&high_, &normal_}) {
     for (auto it = level->begin(); it != level->end(); ++it) {
       if (admit(**it)) {
@@ -43,14 +45,15 @@ std::shared_ptr<QueuedQuery> AdmissionQueue::PopFirst(
 
 DeviceId DeviceSlotTable::PickLeastLoaded(
     const std::vector<DeviceId>& eligible) const {
-  DeviceId best = -1;
-  size_t best_active = 0;
+  return PickLeastLoaded(eligible, [](DeviceId) { return true; });
+}
+
+DeviceId DeviceSlotTable::PickLeastLoaded(
+    const std::vector<DeviceId>& eligible,
+    const std::function<bool(DeviceId)>& fits, bool* had_free_slot) const {
+  std::vector<DeviceId> candidates;
   auto consider = [&](DeviceId device) {
-    if (!HasFree(device)) return;
-    if (best < 0 || active(device) < best_active) {
-      best = device;
-      best_active = active(device);
-    }
+    if (HasFree(device)) candidates.push_back(device);
   };
   if (eligible.empty()) {
     for (size_t i = 0; i < active_.size(); ++i) {
@@ -59,7 +62,15 @@ DeviceId DeviceSlotTable::PickLeastLoaded(
   } else {
     for (DeviceId device : eligible) consider(device);
   }
-  return best;
+  if (had_free_slot != nullptr) *had_free_slot = !candidates.empty();
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [this](DeviceId a, DeviceId b) {
+                     return active(a) < active(b);
+                   });
+  for (DeviceId device : candidates) {
+    if (fits(device)) return device;
+  }
+  return -1;
 }
 
 }  // namespace adamant

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -68,6 +69,10 @@ struct QueuedQuery {
   std::shared_ptr<QueryTicket> ticket;
   size_t estimate_bytes = 0;  // nominal, from EstimateDeviceMemoryBytes
   std::chrono::steady_clock::time_point submit_time;
+  /// Release epoch (see QueryService) at which this query last counted a
+  /// budget deferral, so a deferred query counts once per state change —
+  /// not once per queue scan.
+  uint64_t deferral_epoch = 0;
 };
 
 /// Bounded two-level FIFO of pending queries. Not internally synchronized —
@@ -86,9 +91,10 @@ class AdmissionQueue {
 
   /// Removes and returns the first query (priority order, FIFO within a
   /// level) for which `admit` returns true; nullptr when none qualifies.
-  /// Skipped queries keep their position.
+  /// Skipped queries keep their position (`admit` may update their
+  /// bookkeeping fields, e.g. deferral_epoch).
   std::shared_ptr<QueuedQuery> PopFirst(
-      const std::function<bool(const QueuedQuery&)>& admit);
+      const std::function<bool(QueuedQuery&)>& admit);
 
  private:
   size_t max_size_;
@@ -118,6 +124,17 @@ class DeviceSlotTable {
   /// Least-loaded device with a free slot among `eligible` (empty = all);
   /// ties break to the lowest id. Returns -1 when every candidate is full.
   DeviceId PickLeastLoaded(const std::vector<DeviceId>& eligible) const;
+
+  /// Like PickLeastLoaded, but candidates with a free slot are tried in
+  /// ascending-load order (ties keep eligible-list order; ascending id when
+  /// empty) and the first for which `fits` returns true wins — so e.g.
+  /// budget headroom, not just slot counts, decides placement. Returns -1
+  /// when no candidate passes; `had_free_slot` (optional) reports whether
+  /// at least one device had a free slot, distinguishing "all slots busy"
+  /// from "slots free but every candidate rejected".
+  DeviceId PickLeastLoaded(const std::vector<DeviceId>& eligible,
+                           const std::function<bool(DeviceId)>& fits,
+                           bool* had_free_slot = nullptr) const;
 
  private:
   size_t slots_per_device_;

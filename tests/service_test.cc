@@ -129,6 +129,32 @@ TEST(DeviceSlotTableTest, LeastLoadedPlacement) {
   EXPECT_EQ(slots.PickLeastLoaded({1}), 1);
 }
 
+TEST(DeviceSlotTableTest, PredicateFallsThroughToNextLeastLoaded) {
+  DeviceSlotTable slots(3, 1);
+  // Device 0 is least loaded, but the predicate (no budget headroom, say)
+  // rejects it: placement must fall through to the next candidate instead
+  // of giving up.
+  bool had_free_slot = false;
+  EXPECT_EQ(slots.PickLeastLoaded(
+                {}, [](DeviceId device) { return device != 0; },
+                &had_free_slot),
+            1);
+  EXPECT_TRUE(had_free_slot);
+  // Every candidate rejected: -1, but free slots were seen (deferral).
+  EXPECT_EQ(slots.PickLeastLoaded({}, [](DeviceId) { return false; },
+                                  &had_free_slot),
+            -1);
+  EXPECT_TRUE(had_free_slot);
+  // Every device full: -1 with no free slot (not a budget deferral).
+  slots.Acquire(0);
+  slots.Acquire(1);
+  slots.Acquire(2);
+  EXPECT_EQ(slots.PickLeastLoaded({}, [](DeviceId) { return true; },
+                                  &had_free_slot),
+            -1);
+  EXPECT_FALSE(had_free_slot);
+}
+
 // --- The seeded mixed workload matches serial execution -------------------
 
 TEST(QueryServiceTest, SeededMixedWorkloadMatchesSerial) {
@@ -245,6 +271,49 @@ TEST(QueryServiceTest, BudgetExceedingQueryQueuesInsteadOfFailing) {
   // budget even though four slots were open.
   EXPECT_LE(service.ledger().budget(0).live_high_water(),
             config.query_budget_bytes);
+  // Deferrals count distinct blocked-query/epoch events, not queue scans:
+  // with 6 queries dispatching one at a time, at most sum(1..5) + the
+  // initial epoch's blocked queries can be counted.
+  EXPECT_LE(stats.budget_deferrals, 21u);
+}
+
+TEST(QueryServiceTest, PlacesQueryOnDeviceWithBudgetHeadroom) {
+  const auto& fixture = ServiceFixture::Get();
+  DeviceManager manager;
+  auto gpu = manager.AddDriver(sim::DriverKind::kCudaGpu);    // 11 GiB arena
+  auto cpu = manager.AddDriver(sim::DriverKind::kOpenMpCpu);  // 64 GiB arena
+  ASSERT_TRUE(gpu.ok() && cpu.ok());
+  ASSERT_TRUE(BindStandardKernels(manager.device(*gpu)).ok());
+  ASSERT_TRUE(BindStandardKernels(manager.device(*cpu)).ok());
+
+  auto probe = plan::BuildQ6(*fixture.catalog, {}, 0);
+  ASSERT_TRUE(probe.ok());
+  auto estimate =
+      EstimateDeviceMemoryBytes(*probe->graph, {}, manager.data_scale());
+  ASSERT_TRUE(estimate.ok());
+  ASSERT_GT(*estimate, 1u);
+
+  // Default budgets are arena capacity minus the cache budget. Size the
+  // cache so device 0 — the tie-break winner when everything is idle —
+  // ends up with less headroom than the query needs while device 1 keeps
+  // plenty: the scheduler must fall through to device 1 rather than park
+  // the query on device 0 forever (it would never dispatch).
+  const size_t gpu_arena = manager.device(0)->device_arena().capacity();
+  ASSERT_GT(gpu_arena, *estimate);
+  ServiceConfig config;
+  config.workers = 2;
+  config.cache_budget_bytes = gpu_arena - *estimate / 2;
+  QueryService service(&manager, config);
+
+  auto ticket = service.Submit(SpecFor(fixture.catalog.get(), 2));
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  ASSERT_TRUE((*ticket)->Wait().ok())
+      << (*ticket)->Wait().status().ToString();
+  EXPECT_EQ((*ticket)->placed_device(), 1);
+  service.Drain();
+  ServiceStats stats = service.GetStats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
 }
 
 TEST(QueryServiceTest, RejectsQueryLargerThanEveryBudget) {
@@ -344,6 +413,38 @@ TEST(ColumnCacheTest, EvictionSkipsPinnedEntries) {
   ASSERT_TRUE(lease_b3.ok());
   EXPECT_TRUE(lease_b3->hit);
   cache.Release(lease_b3->token);
+}
+
+TEST(ColumnCacheTest, HubEvictsUnpinnedEntriesBeforeOom) {
+  DeviceManager manager;
+  auto device = manager.AddDriver(sim::DriverKind::kCudaGpu);
+  ASSERT_TRUE(device.ok());
+
+  // Scale so one 4 KiB chunk charges ~60% of the device arena: the cached
+  // chunk and a second allocation cannot both be resident.
+  const size_t capacity = manager.device(0)->device_arena().capacity();
+  const size_t chunk = 4096;
+  manager.SetDataScale(static_cast<double>(capacity) * 0.6 /
+                       static_cast<double>(chunk));
+
+  auto column = std::make_shared<Column>("c", ElementType::kInt32);
+  column->Resize(chunk / sizeof(int32_t));
+  DeviceColumnCache cache(&manager, capacity);  // arena, not cache, binds
+  DataTransferHub hub(&manager, DataContainer::WithDefaultTransforms());
+  hub.set_scan_cache(&cache);
+
+  auto lease = cache.Acquire(0, column, 0, chunk / sizeof(int32_t), chunk);
+  ASSERT_TRUE(lease.ok());
+  ASSERT_TRUE(lease->cached);
+  cache.Release(lease->token);  // unpinned but still resident
+
+  // A query allocation that no longer fits next to the cached chunk must
+  // evict it and succeed instead of surfacing the arena's OutOfMemory.
+  std::vector<uint8_t> src(chunk, 0);
+  auto buf = hub.LoadData(0, src.data(), chunk);
+  ASSERT_TRUE(buf.ok()) << buf.status().ToString();
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+  EXPECT_EQ(cache.GetStats().entries, 0u);
 }
 
 TEST(ColumnCacheTest, InvalidateDropsEntry) {
