@@ -23,6 +23,7 @@
 #include "device/device.h"
 #include "device/device_manager.h"
 #include "device/drivers.h"
+#include "device/fault_injector.h"
 #include "device/sim_device.h"
 #include "plan/logical_plan.h"
 #include "plan/lowering.h"
@@ -35,6 +36,7 @@
 #include "runtime/runtime_hooks.h"
 #include "runtime/transfer_hub.h"
 #include "service/column_cache.h"
+#include "service/device_health.h"
 #include "service/memory_budget.h"
 #include "service/query_service.h"
 #include "service/scheduler.h"

@@ -29,6 +29,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Execution error";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeviceUnavailable:
+      return "Device unavailable";
   }
   return "Unknown";
 }
@@ -64,12 +68,24 @@ std::string Status::ToString() const {
     out += ": ";
     out += message();
   }
+  if (state_->device >= 0) {
+    out += " [device " + std::to_string(state_->device) + "]";
+  }
   return out;
 }
 
 Status Status::WithContext(const std::string& context) const {
   if (ok()) return *this;
-  return Status(code(), context + ": " + message());
+  Status out(code(), context + ": " + message());
+  out.state_->device = state_->device;
+  return out;
+}
+
+Status Status::WithDevice(int device) const {
+  if (ok() || state_->device >= 0) return *this;
+  Status out(*this);
+  out.state_->device = device;
+  return out;
 }
 
 }  // namespace adamant

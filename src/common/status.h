@@ -21,6 +21,13 @@ enum class StatusCode : int {
   kIOError = 6,
   kExecutionError = 7,
   kInternal = 8,
+  /// A service-level resource is (temporarily) not accepting work, e.g.
+  /// Submit after Stop. Transient.
+  kUnavailable = 9,
+  /// A device interface call failed in a way that does not condemn the
+  /// query: the same query may succeed on a sibling device or on a later
+  /// attempt (transfer hiccup, launch failure, driver reset). Transient.
+  kDeviceUnavailable = 10,
 };
 
 /// Returns a human-readable name for a status code ("OK", "Out of memory"...).
@@ -64,6 +71,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeviceUnavailable(std::string msg) {
+    return Status(StatusCode::kDeviceUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -77,12 +90,33 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsExecutionError() const { return code() == StatusCode::kExecutionError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeviceUnavailable() const {
+    return code() == StatusCode::kDeviceUnavailable;
+  }
 
-  /// "<code name>: <message>" or "OK".
+  /// Transient/permanent classification for retry policies: a transient
+  /// error may clear on a later attempt or on a different device; a
+  /// permanent one (bad plan, unsupported feature, internal bug) will fail
+  /// identically everywhere, so retrying it only burns capacity.
+  bool IsTransient() const {
+    return IsUnavailable() || IsDeviceUnavailable();
+  }
+
+  /// "<code name>: <message>" or "OK"; appends " [device N]" when tagged.
   std::string ToString() const;
 
-  /// Prefixes the message with additional context, keeping the code.
+  /// Prefixes the message with additional context, keeping the code and the
+  /// device tag.
   Status WithContext(const std::string& context) const;
+
+  /// Tags the failing device (a DeviceManager DeviceId) so upper layers —
+  /// retry, quarantine — know *which* device to blame without parsing
+  /// messages. No-op on OK; an existing tag is preserved (the first tagger,
+  /// closest to the failing call, wins).
+  Status WithDevice(int device) const;
+  /// The tagged failing device, or -1 when untagged.
+  int device_id() const { return ok() ? -1 : state_->device; }
 
   bool operator==(const Status& other) const {
     return code() == other.code() && message() == other.message();
@@ -92,6 +126,7 @@ class Status {
   struct State {
     StatusCode code;
     std::string msg;
+    int device = -1;  // failing device, -1 = untagged
   };
   // nullptr means OK.
   std::unique_ptr<State> state_;

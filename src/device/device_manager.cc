@@ -33,6 +33,15 @@ Result<DeviceId> DeviceManager::AddDriver(sim::DriverKind kind,
   return AddDevice(std::move(device));
 }
 
+Result<DeviceId> DeviceManager::AddDriver(sim::DriverKind kind,
+                                          const std::string& name,
+                                          FaultPlan plan) {
+  std::unique_ptr<FaultInjectingDevice> device =
+      MakeFaultInjectingDriver(kind, setup_, ctx_, std::move(plan));
+  device->set_name(name);
+  return AddDevice(std::move(device));
+}
+
 Result<SimulatedDevice*> DeviceManager::GetDevice(DeviceId id) const {
   if (id < 0 || static_cast<size_t>(id) >= devices_.size()) {
     return Status::NotFound("device id " + std::to_string(id));

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "device/fault_injector.h"
 #include "device/sim_context.h"
 #include "device/sim_device.h"
 #include "sim/presets.h"
@@ -36,6 +37,13 @@ class DeviceManager {
   /// AddDriver with an explicit device name, for plugging several instances
   /// of the same driver (e.g. a serving pool of identical GPUs).
   Result<DeviceId> AddDriver(sim::DriverKind kind, const std::string& name);
+
+  /// AddDriver with a fault-injection plan layered on (see
+  /// device/fault_injector.h): the plugged device fails or stalls chosen
+  /// interface calls per the seeded plan. Everything above the device layer
+  /// runs unmodified — that is the point.
+  Result<DeviceId> AddDriver(sim::DriverKind kind, const std::string& name,
+                             FaultPlan plan);
 
   Result<SimulatedDevice*> GetDevice(DeviceId id) const;
   Result<DeviceId> FindByName(const std::string& name) const;

@@ -4,30 +4,35 @@
 
 namespace adamant {
 
-std::unique_ptr<SimulatedDevice> MakeDriver(sim::DriverKind kind,
-                                            sim::HardwareSetup setup,
-                                            std::shared_ptr<SimContext> ctx) {
-  sim::DevicePerfModel model = sim::MakePerfModel(kind, setup);
-  SdkFormat format = SdkFormat::kRaw;
-  bool runtime_compile = false;
+DriverProps MakeDriverProps(sim::DriverKind kind, sim::HardwareSetup setup) {
+  DriverProps props;
+  props.model = sim::MakePerfModel(kind, setup);
   switch (kind) {
     case sim::DriverKind::kOpenClGpu:
     case sim::DriverKind::kOpenClCpu:
-      format = SdkFormat::kOpenClBuffer;
-      runtime_compile = true;
+      props.format = SdkFormat::kOpenClBuffer;
+      props.runtime_compile = true;
       break;
     case sim::DriverKind::kCudaGpu:
-      format = SdkFormat::kCudaDevPtr;
-      runtime_compile = false;
+      props.format = SdkFormat::kCudaDevPtr;
+      props.runtime_compile = false;
       break;
     case sim::DriverKind::kOpenMpCpu:
-      format = SdkFormat::kRaw;
-      runtime_compile = false;
+      props.format = SdkFormat::kRaw;
+      props.runtime_compile = false;
       break;
   }
+  return props;
+}
+
+std::unique_ptr<SimulatedDevice> MakeDriver(sim::DriverKind kind,
+                                            sim::HardwareSetup setup,
+                                            std::shared_ptr<SimContext> ctx) {
+  DriverProps props = MakeDriverProps(kind, setup);
   return std::make_unique<SimulatedDevice>(std::string(DriverKindName(kind)),
-                                           std::move(model), format,
-                                           runtime_compile, std::move(ctx));
+                                           std::move(props.model),
+                                           props.format, props.runtime_compile,
+                                           std::move(ctx));
 }
 
 }  // namespace adamant

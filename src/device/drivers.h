@@ -9,12 +9,21 @@
 
 namespace adamant {
 
-/// Builds one of the four paper drivers (OpenCL-GPU, CUDA-GPU, OpenCL-CPU,
-/// OpenMP-CPU) on the given hardware setup. Properties per driver:
+/// Static properties of one of the four paper drivers (OpenCL-GPU,
+/// CUDA-GPU, OpenCL-CPU, OpenMP-CPU):
 ///   * native SDK format: cl_mem for OpenCL, CUdeviceptr for CUDA, raw
 ///     pointers for OpenMP;
 ///   * runtime compilation: OpenCL drivers must prepare_kernel() before
 ///     execute(); CUDA/OpenMP ship precompiled kernels.
+struct DriverProps {
+  sim::DevicePerfModel model;
+  SdkFormat format = SdkFormat::kRaw;
+  bool runtime_compile = false;
+};
+
+DriverProps MakeDriverProps(sim::DriverKind kind, sim::HardwareSetup setup);
+
+/// Builds one of the four paper drivers on the given hardware setup.
 std::unique_ptr<SimulatedDevice> MakeDriver(sim::DriverKind kind,
                                             sim::HardwareSetup setup,
                                             std::shared_ptr<SimContext> ctx);

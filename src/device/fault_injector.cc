@@ -1,0 +1,205 @@
+#include "device/fault_injector.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace adamant {
+
+const char* InterfaceCallName(InterfaceCall call) {
+  switch (call) {
+    case InterfaceCall::kInitialize:
+      return "initialize";
+    case InterfaceCall::kPrepareMemory:
+      return "prepare_memory";
+    case InterfaceCall::kAddPinnedMemory:
+      return "add_pinned_memory";
+    case InterfaceCall::kPlaceData:
+      return "place_data";
+    case InterfaceCall::kRetrieveData:
+      return "retrieve_data";
+    case InterfaceCall::kTransformMemory:
+      return "transform_memory";
+    case InterfaceCall::kDeleteMemory:
+      return "delete_memory";
+    case InterfaceCall::kPrepareKernel:
+      return "prepare_kernel";
+    case InterfaceCall::kCreateChunk:
+      return "create_chunk";
+    case InterfaceCall::kExecute:
+      return "execute";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::TransientRate(double probability, uint64_t seed) {
+  return TransientRate(probability, seed,
+                       {InterfaceCall::kPrepareMemory, InterfaceCall::kPlaceData,
+                        InterfaceCall::kRetrieveData, InterfaceCall::kExecute});
+}
+
+FaultPlan FaultPlan::TransientRate(double probability, uint64_t seed,
+                                   std::vector<InterfaceCall> calls) {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (InterfaceCall call : calls) {
+    FaultSpec spec;
+    spec.call = call;
+    spec.probability = probability;
+    plan.specs.push_back(spec);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::FailNth(InterfaceCall call, size_t nth) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.call = call;
+  spec.nth_call = nth;
+  plan.specs.push_back(spec);
+  return plan;
+}
+
+FaultPlan FaultPlan::Sticky(InterfaceCall call, size_t from_nth) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.call = call;
+  spec.nth_call = from_nth;
+  spec.sticky = true;
+  plan.specs.push_back(spec);
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)),
+      rng_(plan_.seed),
+      call_counts_(kNumInterfaceCalls, 0),
+      sticky_tripped_(plan_.specs.size(), false) {}
+
+FaultInjector::Decision FaultInjector::OnCall(InterfaceCall call,
+                                              const std::string& device_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t count = ++call_counts_[static_cast<size_t>(call)];
+  Decision decision;
+  for (size_t i = 0; i < plan_.specs.size(); ++i) {
+    const FaultSpec& spec = plan_.specs[i];
+    if (spec.call != call) continue;
+    bool triggered = sticky_tripped_[i];
+    if (!triggered && spec.nth_call != 0) triggered = count == spec.nth_call;
+    if (!triggered && spec.probability > 0) {
+      // Drawn on every matching call so the consumed RNG sequence — and
+      // hence every later decision — is a pure function of (seed, call
+      // order), independent of earlier triggers.
+      std::uniform_real_distribution<double> u01(0.0, 1.0);
+      triggered = u01(rng_) < spec.probability;
+    }
+    if (!triggered) continue;
+    if (spec.sticky) sticky_tripped_[i] = true;
+    decision.latency_us = std::max(decision.latency_us, spec.latency_spike_us);
+    if (spec.code != StatusCode::kOk && decision.status.ok()) {
+      ++injected_;
+      decision.status =
+          Status(spec.code, std::string("injected ") +
+                                InterfaceCallName(call) + " fault on " +
+                                device_name + " (call #" +
+                                std::to_string(count) + ")");
+    }
+  }
+  return decision;
+}
+
+void FaultInjector::ClearSticky() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sticky_tripped_.assign(sticky_tripped_.size(), false);
+}
+
+size_t FaultInjector::injected_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+size_t FaultInjector::calls_seen(InterfaceCall call) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return call_counts_[static_cast<size_t>(call)];
+}
+
+FaultInjectingDevice::FaultInjectingDevice(std::string name,
+                                           sim::DevicePerfModel model,
+                                           SdkFormat native_format,
+                                           bool requires_compilation,
+                                           std::shared_ptr<SimContext> ctx,
+                                           FaultPlan plan)
+    : SimulatedDevice(std::move(name), std::move(model), native_format,
+                      requires_compilation, std::move(ctx)),
+      injector_(std::move(plan)) {}
+
+Status FaultInjectingDevice::Inject(InterfaceCall call) {
+  FaultInjector::Decision decision = injector_.OnCall(call, name());
+  if (decision.latency_us > 0) InjectDelay(decision.latency_us);
+  return decision.status;
+}
+
+Status FaultInjectingDevice::Initialize() {
+  ADAMANT_RETURN_NOT_OK(Inject(InterfaceCall::kInitialize));
+  return SimulatedDevice::Initialize();
+}
+
+Result<BufferId> FaultInjectingDevice::PrepareMemory(size_t bytes) {
+  ADAMANT_RETURN_NOT_OK(Inject(InterfaceCall::kPrepareMemory));
+  return SimulatedDevice::PrepareMemory(bytes);
+}
+
+Result<BufferId> FaultInjectingDevice::AddPinnedMemory(size_t bytes) {
+  ADAMANT_RETURN_NOT_OK(Inject(InterfaceCall::kAddPinnedMemory));
+  return SimulatedDevice::AddPinnedMemory(bytes);
+}
+
+Status FaultInjectingDevice::PlaceData(BufferId dst, const void* src,
+                                       size_t bytes, size_t dst_offset) {
+  ADAMANT_RETURN_NOT_OK(Inject(InterfaceCall::kPlaceData));
+  return SimulatedDevice::PlaceData(dst, src, bytes, dst_offset);
+}
+
+Status FaultInjectingDevice::RetrieveData(BufferId src, void* dst,
+                                          size_t bytes, size_t src_offset) {
+  ADAMANT_RETURN_NOT_OK(Inject(InterfaceCall::kRetrieveData));
+  return SimulatedDevice::RetrieveData(src, dst, bytes, src_offset);
+}
+
+Status FaultInjectingDevice::TransformMemory(BufferId id, SdkFormat target) {
+  ADAMANT_RETURN_NOT_OK(Inject(InterfaceCall::kTransformMemory));
+  return SimulatedDevice::TransformMemory(id, target);
+}
+
+Status FaultInjectingDevice::DeleteMemory(BufferId id) {
+  ADAMANT_RETURN_NOT_OK(Inject(InterfaceCall::kDeleteMemory));
+  return SimulatedDevice::DeleteMemory(id);
+}
+
+Status FaultInjectingDevice::PrepareKernel(const std::string& name,
+                                           const KernelSource& source) {
+  ADAMANT_RETURN_NOT_OK(Inject(InterfaceCall::kPrepareKernel));
+  return SimulatedDevice::PrepareKernel(name, source);
+}
+
+Result<BufferId> FaultInjectingDevice::CreateChunk(BufferId parent,
+                                                   size_t bytes,
+                                                   size_t offset) {
+  ADAMANT_RETURN_NOT_OK(Inject(InterfaceCall::kCreateChunk));
+  return SimulatedDevice::CreateChunk(parent, bytes, offset);
+}
+
+Status FaultInjectingDevice::Execute(const KernelLaunch& launch) {
+  ADAMANT_RETURN_NOT_OK(Inject(InterfaceCall::kExecute));
+  return SimulatedDevice::Execute(launch);
+}
+
+std::unique_ptr<FaultInjectingDevice> MakeFaultInjectingDriver(
+    sim::DriverKind kind, sim::HardwareSetup setup,
+    std::shared_ptr<SimContext> ctx, FaultPlan plan) {
+  DriverProps props = MakeDriverProps(kind, setup);
+  return std::make_unique<FaultInjectingDevice>(
+      std::string(DriverKindName(kind)), std::move(props.model), props.format,
+      props.runtime_compile, std::move(ctx), std::move(plan));
+}
+
+}  // namespace adamant

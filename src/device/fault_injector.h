@@ -1,0 +1,160 @@
+#ifndef ADAMANT_DEVICE_FAULT_INJECTOR_H_
+#define ADAMANT_DEVICE_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "device/drivers.h"
+#include "device/sim_device.h"
+#include "sim/presets.h"
+
+namespace adamant {
+
+/// The ten pluggable interface functions a FaultPlan can target. Mirrors
+/// the Device interface (device.h) one-to-one.
+enum class InterfaceCall : int {
+  kInitialize = 0,
+  kPrepareMemory,
+  kAddPinnedMemory,
+  kPlaceData,
+  kRetrieveData,
+  kTransformMemory,
+  kDeleteMemory,
+  kPrepareKernel,
+  kCreateChunk,
+  kExecute,
+};
+constexpr size_t kNumInterfaceCalls = 10;
+
+const char* InterfaceCallName(InterfaceCall call);
+
+/// One fault rule: which interface call to target and when/how it fires.
+/// Probability and nth-call triggers compose (either firing injects);
+/// `sticky` makes the call site fail on every call from the trigger on,
+/// modeling a device that is gone rather than hiccuping.
+struct FaultSpec {
+  InterfaceCall call = InterfaceCall::kExecute;
+  /// Per-call injection probability in [0, 1], drawn from the plan's seeded
+  /// RNG — deterministic for a fixed seed and call order.
+  double probability = 0;
+  /// Fires exactly on the nth call of this call site (1-based); 0 = off.
+  size_t nth_call = 0;
+  /// Once triggered, every later call of this site fails too.
+  bool sticky = false;
+  /// Extra simulated latency booked when the rule triggers; with
+  /// `code == kOk` the rule is a pure latency spike (slow, not broken).
+  sim::SimTime latency_spike_us = 0;
+  /// Status code of the injected failure. kDeviceUnavailable (transient) by
+  /// default; use a permanent code to model non-retryable faults.
+  StatusCode code = StatusCode::kDeviceUnavailable;
+};
+
+/// A seeded, deterministic set of fault rules for one device. Convenience
+/// factories cover the common shapes; specs can also be built by hand.
+struct FaultPlan {
+  uint64_t seed = 0;
+  std::vector<FaultSpec> specs;
+
+  bool empty() const { return specs.empty(); }
+
+  /// Transient faults at `probability` per call on the data-path calls
+  /// (PrepareMemory, PlaceData, RetrieveData, Execute).
+  static FaultPlan TransientRate(double probability, uint64_t seed);
+  /// Transient faults at `probability` per call on the given calls.
+  static FaultPlan TransientRate(double probability, uint64_t seed,
+                                 std::vector<InterfaceCall> calls);
+  /// Fails exactly the nth call (1-based) of `call`, transiently.
+  static FaultPlan FailNth(InterfaceCall call, size_t nth);
+  /// From the nth call (1-based) of `call` on, every call fails — a sticky
+  /// device-is-gone fault. The injected status is still transient-class
+  /// (kDeviceUnavailable): the *query* can succeed elsewhere even though
+  /// this device cannot; quarantine is what retires the device.
+  static FaultPlan Sticky(InterfaceCall call, size_t from_nth = 1);
+};
+
+/// Deterministic, thread-safe fault decision engine: counts calls per
+/// interface-call site, draws probability triggers from one seeded RNG, and
+/// tracks sticky state. Shared RNG means decisions depend on call order —
+/// deterministic exactly when the call order is (single worker / serial).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  struct Decision {
+    Status status;                  // OK = no fault
+    sim::SimTime latency_us = 0;    // extra latency to book (may be > 0
+                                    // even when status is OK)
+  };
+
+  /// Decision for the next call of `call` on device `device_name`.
+  Decision OnCall(InterfaceCall call, const std::string& device_name);
+
+  /// Clears sticky trigger state (the "driver reset" a probe models after
+  /// quarantine cooldown). Call counters and RNG keep advancing.
+  void ClearSticky();
+
+  size_t injected_faults() const;
+  size_t calls_seen(InterfaceCall call) const;
+
+ private:
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::mt19937_64 rng_;
+  std::vector<size_t> call_counts_;   // per InterfaceCall
+  std::vector<bool> sticky_tripped_;  // per spec index
+  size_t injected_ = 0;
+};
+
+/// Decorator device (the tentpole of the robustness story): behaves exactly
+/// like the wrapped SimulatedDevice except that interface calls consult a
+/// FaultInjector first and fail — or stall — per the plan. Subclasses
+/// SimulatedDevice (rather than wrapping a Device*) because the runtime
+/// reaches simulation-control accessors that are not part of the ten
+/// pluggable functions; only the ten virtuals are intercepted, so every
+/// execution model exercises the fault path unmodified.
+class FaultInjectingDevice : public SimulatedDevice {
+ public:
+  FaultInjectingDevice(std::string name, sim::DevicePerfModel model,
+                       SdkFormat native_format, bool requires_compilation,
+                       std::shared_ptr<SimContext> ctx, FaultPlan plan);
+
+  Status Initialize() override;
+  Result<BufferId> PrepareMemory(size_t bytes) override;
+  Result<BufferId> AddPinnedMemory(size_t bytes) override;
+  Status PlaceData(BufferId dst, const void* src, size_t bytes,
+                   size_t dst_offset) override;
+  Status RetrieveData(BufferId src, void* dst, size_t bytes,
+                      size_t src_offset) override;
+  Status TransformMemory(BufferId id, SdkFormat target) override;
+  Status DeleteMemory(BufferId id) override;
+  Status PrepareKernel(const std::string& name,
+                       const KernelSource& source) override;
+  Result<BufferId> CreateChunk(BufferId parent, size_t bytes,
+                               size_t offset) override;
+  Status Execute(const KernelLaunch& launch) override;
+
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  /// Books the decision's latency and returns its status.
+  Status Inject(InterfaceCall call);
+
+  FaultInjector injector_;
+};
+
+/// MakeDriver + fault plan: one of the four paper drivers with the
+/// injector layered on. Returns the concrete type so callers (tests, the
+/// CLI) can keep a handle to the injector before plugging the device into a
+/// DeviceManager.
+std::unique_ptr<FaultInjectingDevice> MakeFaultInjectingDriver(
+    sim::DriverKind kind, sim::HardwareSetup setup,
+    std::shared_ptr<SimContext> ctx, FaultPlan plan);
+
+}  // namespace adamant
+
+#endif  // ADAMANT_DEVICE_FAULT_INJECTOR_H_

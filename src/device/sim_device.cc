@@ -346,6 +346,13 @@ SimTime SimulatedDevice::Synchronize() {
   return host_time_;
 }
 
+void SimulatedDevice::InjectDelay(SimTime delay_us) {
+  if (delay_us == 0) return;
+  std::lock_guard<std::mutex> lock(call_mu_);
+  auto entry = compute_tl_.Schedule(host_time_, delay_us, "fault.delay");
+  host_time_ = std::max(host_time_, entry.end);
+}
+
 SimTime SimulatedDevice::MaxCompletion() const {
   std::lock_guard<std::mutex> lock(call_mu_);
   return MaxCompletionLocked();

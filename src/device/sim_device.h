@@ -102,6 +102,12 @@ class SimulatedDevice : public Device {
   /// Blocks the host until all engines drain; returns the new host time.
   sim::SimTime Synchronize();
 
+  /// Books `delay_us` of extra busy time on the compute engine and advances
+  /// the host cursor past it, under the call mutex. Used by the fault
+  /// injector to model latency spikes (a stalled DMA, a driver hiccup)
+  /// without touching the interface functions themselves.
+  void InjectDelay(sim::SimTime delay_us);
+
   /// Latest completion across host, transfer and compute.
   sim::SimTime MaxCompletion() const;
 

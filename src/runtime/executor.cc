@@ -760,7 +760,7 @@ class RunContext {
     }
 
     ADAMANT_RETURN_NOT_OK(
-        dev->Execute(launch).WithContext(node.label));
+        dev->Execute(launch).WithContext(node.label).WithDevice(node.device));
 
     // Publish outputs on the outgoing edges.
     for (int edge_id : graph_->OutEdges(node_id)) {
@@ -810,7 +810,8 @@ class RunContext {
     part.base_row = base_row;
     if (out0.count != kInvalidBuffer) {
       ADAMANT_RETURN_NOT_OK(
-          dev->RetrieveData(out0.count, &part.count, sizeof(int64_t), 0));
+          dev->RetrieveData(out0.count, &part.count, sizeof(int64_t), 0)
+              .WithDevice(node.device));
     } else {
       part.count = static_cast<int64_t>(n);
     }
@@ -823,13 +824,15 @@ class RunContext {
     part.data.resize(bytes);
     if (bytes > 0) {
       ADAMANT_RETURN_NOT_OK(dev->RetrieveData(out0.data, part.data.data(),
-                                              bytes, 0));
+                                              bytes, 0)
+                                .WithDevice(node.device));
     }
     if (out1 != nullptr) {
       part.data2.resize(static_cast<size_t>(part.count) * sizeof(int32_t));
       if (!part.data2.empty()) {
         ADAMANT_RETURN_NOT_OK(dev->RetrieveData(out1->data, part.data2.data(),
-                                                part.data2.size(), 0));
+                                                part.data2.size(), 0)
+                                  .WithDevice(node.device));
       }
     }
     output.parts.push_back(std::move(part));
@@ -849,12 +852,16 @@ class RunContext {
     output.num_slots = persist.num_slots;
     output.bytes.resize(persist.bytes);
     return dev->RetrieveData(persist.buffer, output.bytes.data(),
-                             persist.bytes, 0);
+                             persist.bytes, 0)
+        .WithDevice(persist.device);
   }
 
   void FreeAll(std::vector<std::pair<DeviceId, BufferId>>* allocs) {
+    // Unwind contract: every buffer is best-effort deleted and its ledger
+    // charge credited even when the device refuses the delete — after Run()
+    // returns, the query holds no charges, whatever faults occurred.
     for (auto it = allocs->rbegin(); it != allocs->rend(); ++it) {
-      Status st = hub_.FreeBuffer(it->first, it->second);
+      Status st = hub_.FreeBufferBestEffort(it->first, it->second);
       if (!st.ok()) {
         ADAMANT_LOG(Warning) << "delete_memory failed: " << st.ToString();
       }

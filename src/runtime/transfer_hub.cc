@@ -15,7 +15,7 @@ Result<BufferId> DataTransferHub::PrepareDeviceMemory(SimulatedDevice* dev,
       scan_cache_->EvictUnpinned(device, bytes)) {
     buf = dev->PrepareMemory(bytes);
   }
-  return buf;
+  return TagResult(std::move(buf), device);
 }
 
 Result<BufferId> DataTransferHub::LoadData(DeviceId device, const void* src,
@@ -27,7 +27,7 @@ Result<BufferId> DataTransferHub::LoadData(DeviceId device, const void* src,
   if (!st.ok()) {
     (void)dev->DeleteMemory(id);
     ChargeFree(device, bytes);
-    return st;
+    return st.WithDevice(device);
   }
   bytes_h2d_ += bytes;
   return id;
@@ -81,7 +81,8 @@ Status DataTransferHub::PlaceChunk(DeviceId device, BufferId dst,
                                    const void* src, size_t bytes,
                                    size_t dst_offset) {
   ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
-  ADAMANT_RETURN_NOT_OK(dev->PlaceData(dst, src, bytes, dst_offset));
+  ADAMANT_RETURN_NOT_OK(
+      dev->PlaceData(dst, src, bytes, dst_offset).WithDevice(device));
   bytes_h2d_ += bytes;
   return Status::OK();
 }
@@ -97,7 +98,8 @@ Result<BufferId> DataTransferHub::Router(DeviceId src_device, BufferId src,
                            manager_->GetDevice(dst_device));
   // The host is the only interconnect between plugged devices.
   std::vector<uint8_t> scratch(bytes);
-  ADAMANT_RETURN_NOT_OK(from->RetrieveData(src, scratch.data(), bytes, 0));
+  ADAMANT_RETURN_NOT_OK(
+      from->RetrieveData(src, scratch.data(), bytes, 0).WithDevice(src_device));
   bytes_d2h_ += bytes;
   ADAMANT_ASSIGN_OR_RETURN(BufferId dst,
                            PrepareDeviceMemory(to, dst_device, bytes));
@@ -106,7 +108,7 @@ Result<BufferId> DataTransferHub::Router(DeviceId src_device, BufferId src,
   if (!st.ok()) {
     (void)to->DeleteMemory(dst);
     ChargeFree(dst_device, bytes);
-    return st;
+    return st.WithDevice(dst_device);
   }
   bytes_h2d_ += bytes;
   return dst;
@@ -121,21 +123,32 @@ Result<BufferId> DataTransferHub::EnsureFormat(DeviceId device, BufferId id,
     case DataContainer::Route::kNone:
       return id;
     case DataContainer::Route::kTransform:
-      ADAMANT_RETURN_NOT_OK(dev->TransformMemory(id, target));
+      ADAMANT_RETURN_NOT_OK(dev->TransformMemory(id, target).WithDevice(device));
       return id;
     case DataContainer::Route::kHostRoundTrip: {
       // The naive path of Fig. 4: through the host, transform there, back.
       std::vector<uint8_t> scratch(bytes);
-      ADAMANT_RETURN_NOT_OK(dev->RetrieveData(id, scratch.data(), bytes, 0));
+      ADAMANT_RETURN_NOT_OK(
+          dev->RetrieveData(id, scratch.data(), bytes, 0).WithDevice(device));
       bytes_d2h_ += bytes;
-      ADAMANT_RETURN_NOT_OK(dev->DeleteMemory(id));
+      ADAMANT_RETURN_NOT_OK(dev->DeleteMemory(id).WithDevice(device));
       ChargeFree(device, bytes);
       ADAMANT_ASSIGN_OR_RETURN(BufferId fresh,
                                PrepareDeviceMemory(dev, device, bytes));
       ChargeAllocate(device, bytes);
-      ADAMANT_RETURN_NOT_OK(dev->PlaceData(fresh, scratch.data(), bytes, 0));
-      bytes_h2d_ += bytes;
-      ADAMANT_RETURN_NOT_OK(dev->TransformMemory(fresh, target));
+      // `fresh` belongs to this call until it is returned: a failed place or
+      // transform must give it (and its charge) back, or the buffer — which
+      // the caller never learns about — leaks for the rest of the query.
+      Status st = dev->PlaceData(fresh, scratch.data(), bytes, 0);
+      if (st.ok()) {
+        bytes_h2d_ += bytes;
+        st = dev->TransformMemory(fresh, target);
+      }
+      if (!st.ok()) {
+        (void)dev->DeleteMemory(fresh);
+        ChargeFree(device, bytes);
+        return st.WithDevice(device);
+      }
       return fresh;
     }
   }
@@ -149,7 +162,8 @@ Result<BufferId> DataTransferHub::PrepareOutputBuffer(DeviceId device,
   ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
   BufferId id;
   if (pinned) {
-    ADAMANT_ASSIGN_OR_RETURN(id, dev->AddPinnedMemory(bytes));
+    ADAMANT_ASSIGN_OR_RETURN(id,
+                             TagResult(dev->AddPinnedMemory(bytes), device));
   } else {
     ADAMANT_ASSIGN_OR_RETURN(id, PrepareDeviceMemory(dev, device, bytes));
     ChargeAllocate(device, bytes);
@@ -166,7 +180,7 @@ Result<BufferId> DataTransferHub::PrepareOutputBuffer(DeviceId device,
     if (!st.ok()) {
       (void)dev->DeleteMemory(id);
       if (!pinned) ChargeFree(device, bytes);
-      return st;
+      return st.WithDevice(device);
     }
   }
   return id;
@@ -176,9 +190,19 @@ Status DataTransferHub::FreeBuffer(DeviceId device, BufferId id) {
   ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
   ADAMANT_ASSIGN_OR_RETURN(size_t bytes, dev->BufferBytes(id));
   ADAMANT_ASSIGN_OR_RETURN(MemoryKind kind, dev->BufferMemoryKind(id));
-  ADAMANT_RETURN_NOT_OK(dev->DeleteMemory(id));
+  ADAMANT_RETURN_NOT_OK(dev->DeleteMemory(id).WithDevice(device));
   if (kind == MemoryKind::kDevice) ChargeFree(device, bytes);
   return Status::OK();
+}
+
+Status DataTransferHub::FreeBufferBestEffort(DeviceId device, BufferId id) {
+  ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
+  ADAMANT_ASSIGN_OR_RETURN(size_t bytes, dev->BufferBytes(id));
+  ADAMANT_ASSIGN_OR_RETURN(MemoryKind kind, dev->BufferMemoryKind(id));
+  Status st = dev->DeleteMemory(id);
+  if (!st.ok() && st.IsTransient()) st = dev->DeleteMemory(id);
+  if (kind == MemoryKind::kDevice) ChargeFree(device, bytes);
+  return st.WithDevice(device);
 }
 
 }  // namespace adamant

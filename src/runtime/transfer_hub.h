@@ -74,6 +74,14 @@ class DataTransferHub {
   /// through this hub and credits the memory listener.
   Status FreeBuffer(DeviceId device, BufferId id);
 
+  /// FreeBuffer for unwind paths: a failed delete_memory is retried once
+  /// (transient faults clear), and the memory listener is credited even
+  /// when the delete ultimately fails — the query's accounting must drain
+  /// to zero regardless; a buffer the device refuses to release is the
+  /// device's leak, reported in the returned status, not a phantom charge
+  /// pinned on the next query's budget.
+  Status FreeBufferBestEffort(DeviceId device, BufferId id);
+
   size_t bytes_host_to_device() const { return bytes_h2d_; }
   size_t bytes_device_to_host() const { return bytes_d2h_; }
   /// Transfer bytes avoided by scan-cache hits, and the hit/miss counts.
@@ -88,6 +96,15 @@ class DataTransferHub {
   /// allocation retried once, so cache residency cannot OOM-fail a query.
   Result<BufferId> PrepareDeviceMemory(SimulatedDevice* dev, DeviceId device,
                                        size_t bytes);
+
+  /// Every error leaving the hub is tagged with the device whose interface
+  /// call failed (Status::WithDevice), so retry and quarantine upstairs
+  /// know whom to blame without parsing messages.
+  template <typename T>
+  static Result<T> TagResult(Result<T> result, DeviceId device) {
+    if (result.ok()) return result;
+    return std::move(result).status().WithDevice(device);
+  }
 
   void ChargeAllocate(DeviceId device, size_t bytes) {
     if (memory_listener_ != nullptr) memory_listener_->OnAllocate(device, bytes);

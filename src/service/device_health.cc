@@ -1,0 +1,70 @@
+#include "service/device_health.h"
+
+#include <algorithm>
+
+namespace adamant {
+
+DeviceHealth::DeviceHealth(size_t num_devices, DeviceHealthConfig config)
+    : config_(config), entries_(num_devices) {}
+
+bool DeviceHealth::Placeable(
+    DeviceId device, std::chrono::steady_clock::time_point now) const {
+  const Entry& entry = entries_[static_cast<size_t>(device)];
+  if (!entry.quarantined) return true;
+  if (entry.probe_in_flight) return false;
+  return now >= entry.cooldown_until;
+}
+
+bool DeviceHealth::OnPlaced(DeviceId device) {
+  Entry& entry = entries_[static_cast<size_t>(device)];
+  if (!entry.quarantined) return false;
+  entry.probe_in_flight = true;
+  return true;
+}
+
+bool DeviceHealth::OnSuccess(DeviceId device) {
+  Entry& entry = entries_[static_cast<size_t>(device)];
+  entry.consecutive_failures = 0;
+  if (!entry.quarantined) return false;
+  entry.quarantined = false;
+  entry.probe_in_flight = false;
+  entry.cooldown_ms = 0;
+  return true;
+}
+
+bool DeviceHealth::OnFailure(DeviceId device,
+                             std::chrono::steady_clock::time_point now) {
+  Entry& entry = entries_[static_cast<size_t>(device)];
+  ++entry.consecutive_failures;
+  if (config_.quarantine_threshold == 0) return false;
+  if (entry.quarantined) {
+    // A probe failed: re-arm with a longer cooldown.
+    entry.probe_in_flight = false;
+    entry.cooldown_ms = std::min(entry.cooldown_ms * config_.cooldown_multiplier,
+                                 config_.cooldown_max_ms);
+    entry.cooldown_until =
+        now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(entry.cooldown_ms));
+    return true;
+  }
+  if (entry.consecutive_failures < config_.quarantine_threshold) return false;
+  entry.quarantined = true;
+  entry.probe_in_flight = false;
+  entry.cooldown_ms = config_.probe_cooldown_ms;
+  entry.cooldown_until =
+      now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(entry.cooldown_ms));
+  return true;
+}
+
+std::chrono::steady_clock::time_point DeviceHealth::NextProbeTime() const {
+  auto earliest = std::chrono::steady_clock::time_point::max();
+  for (const Entry& entry : entries_) {
+    if (entry.quarantined && !entry.probe_in_flight) {
+      earliest = std::min(earliest, entry.cooldown_until);
+    }
+  }
+  return earliest;
+}
+
+}  // namespace adamant

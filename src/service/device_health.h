@@ -1,0 +1,84 @@
+#ifndef ADAMANT_SERVICE_DEVICE_HEALTH_H_
+#define ADAMANT_SERVICE_DEVICE_HEALTH_H_
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "device/device_manager.h"
+
+namespace adamant {
+
+/// Quarantine policy knobs (ServiceConfig::health).
+struct DeviceHealthConfig {
+  /// Consecutive device-attributed failures before the device is
+  /// quarantined. 0 disables quarantine entirely.
+  size_t quarantine_threshold = 3;
+  /// Cooldown before the first probe is allowed onto a quarantined device.
+  double probe_cooldown_ms = 50.0;
+  /// Each failed probe multiplies the cooldown (exponential back-off on the
+  /// device itself, independent of per-query retry back-off).
+  double cooldown_multiplier = 2.0;
+  double cooldown_max_ms = 2000.0;
+};
+
+/// Per-device circuit breaker: tracks consecutive device-attributed
+/// failures, quarantines a device after `quarantine_threshold` of them, and
+/// re-admits it through single probe queries once its cooldown elapses.
+///
+/// Not internally synchronized — QueryService guards it under its own mutex
+/// together with the slot table, so "is this device placeable" is part of
+/// the same atomic placement decision as slots and budgets.
+class DeviceHealth {
+ public:
+  DeviceHealth(size_t num_devices, DeviceHealthConfig config);
+
+  /// Whether the scheduler may place a query on `device` right now: healthy,
+  /// or quarantined with an elapsed cooldown and no probe already in flight.
+  bool Placeable(DeviceId device,
+                 std::chrono::steady_clock::time_point now) const;
+
+  bool quarantined(DeviceId device) const {
+    return entries_[static_cast<size_t>(device)].quarantined;
+  }
+  size_t consecutive_failures(DeviceId device) const {
+    return entries_[static_cast<size_t>(device)].consecutive_failures;
+  }
+
+  /// The scheduler placed a query on `device`. On a quarantined device this
+  /// claims the probe slot: no second query lands there until the probe
+  /// reports back. Returns true when the placement is a probe.
+  bool OnPlaced(DeviceId device);
+
+  /// A query completed on `device` without a device-attributed failure.
+  /// Returns true when this re-admitted a quarantined device (probe passed).
+  bool OnSuccess(DeviceId device);
+
+  /// A device-attributed failure on `device`. Returns true when this call
+  /// quarantined the device (threshold reached, or a probe failed and the
+  /// quarantine re-armed with a longer cooldown).
+  bool OnFailure(DeviceId device, std::chrono::steady_clock::time_point now);
+
+  /// Earliest future probe time across quarantined devices with no probe in
+  /// flight, so a worker waiting for work can wake exactly when a probe
+  /// becomes due. Returns time_point::max() when nothing is pending.
+  std::chrono::steady_clock::time_point NextProbeTime() const;
+
+  size_t num_devices() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    size_t consecutive_failures = 0;
+    bool quarantined = false;
+    bool probe_in_flight = false;
+    std::chrono::steady_clock::time_point cooldown_until{};
+    double cooldown_ms = 0;
+  };
+
+  DeviceHealthConfig config_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_SERVICE_DEVICE_HEALTH_H_

@@ -34,6 +34,8 @@ QueryService::QueryService(DeviceManager* manager, ServiceConfig config)
       start_time_(std::chrono::steady_clock::now()),
       queue_(config.max_queue),
       slots_(manager->num_devices(), std::max<size_t>(config.slots_per_device, 1)),
+      health_(manager->num_devices(), config.health),
+      jitter_rng_(config.retry.jitter_seed),
       completed_by_device_(manager->num_devices(), 0),
       busy_us_by_device_(manager->num_devices(), 0) {
   size_t cache_budget = 0;
@@ -129,7 +131,9 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(QuerySpec spec) {
     }
     if (stopping_) {
       ++rejected_;
-      return Status::ExecutionError("service is stopping");
+      // Typed and transient: a client in front of several service replicas
+      // can tell "try another replica" from a permanent plan error.
+      return Status::Unavailable("service is stopping; submission rejected");
     }
     if (queue_.full()) {
       ++rejected_;
@@ -144,7 +148,21 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(QuerySpec spec) {
   }
 }
 
+double QueryService::BackoffMs(size_t attempt) {
+  const RetryPolicy& retry = config_.retry;
+  double delay = retry.backoff_base_ms;
+  for (size_t i = 1; i < attempt; ++i) delay *= retry.backoff_multiplier;
+  delay = std::min(delay, retry.backoff_max_ms);
+  if (retry.jitter_fraction > 0) {
+    std::uniform_real_distribution<double> factor(
+        1.0 - retry.jitter_fraction, 1.0 + retry.jitter_fraction);
+    delay *= factor(jitter_rng_);
+  }
+  return delay;
+}
+
 void QueryService::WorkerLoop() {
+  std::vector<DeviceId> candidates;
   for (;;) {
     std::shared_ptr<QueuedQuery> query;
     DeviceId device = -1;
@@ -152,18 +170,55 @@ void QueryService::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       for (;;) {
         if (stopping_ && queue_.empty()) return;
+        const auto now = std::chrono::steady_clock::now();
+        // Earliest deadline at which a currently-skipped query (backoff) or
+        // a quarantined device (probe cooldown) becomes dispatchable; when
+        // nothing is dispatchable now, the wait below wakes at it instead
+        // of sleeping forever with work pending.
+        auto wake = std::chrono::steady_clock::time_point::max();
         // Pick-query-and-device atomically: first admissible query in
         // priority/FIFO order, placed on its least-loaded eligible device,
         // with the device budget reserved. A query blocked only by budget
         // stays queued (budget_deferrals) until a completion frees bytes.
         query = queue_.PopFirst([&](QueuedQuery& candidate) {
+          if (candidate.not_before > now) {  // retry still backing off
+            wake = std::min(wake, candidate.not_before);
+            return false;
+          }
+          // Candidate devices: eligible ∩ placeable (health) ∖ excluded
+          // (prior failed attempts). When the exclusions would cover every
+          // placeable device they are dropped — a retry that has tried
+          // everyone must be allowed back rather than starve.
+          candidates.clear();
+          auto placeable = [&](DeviceId d) {
+            if (!health_.Placeable(d, now)) return false;
+            candidates.push_back(d);
+            return true;
+          };
+          if (candidate.spec.eligible_devices.empty()) {
+            for (size_t i = 0; i < slots_.num_devices(); ++i) {
+              placeable(static_cast<DeviceId>(i));
+            }
+          } else {
+            for (DeviceId d : candidate.spec.eligible_devices) placeable(d);
+          }
+          if (candidates.empty()) return false;  // all quarantined: wait
+          std::vector<DeviceId> allowed;
+          for (DeviceId d : candidates) {
+            if (std::find(candidate.excluded_devices.begin(),
+                          candidate.excluded_devices.end(),
+                          d) == candidate.excluded_devices.end()) {
+              allowed.push_back(d);
+            }
+          }
+          if (allowed.empty()) allowed = candidates;
           // Try free-slot devices in least-loaded order and take the first
           // whose budget also covers the estimate: a query that fits only
           // the larger of two budgets must not be pinned forever to the
           // smaller device by a slot-count tie-break.
           bool had_free_slot = false;
           const DeviceId best = slots_.PickLeastLoaded(
-              candidate.spec.eligible_devices,
+              allowed,
               [&](DeviceId d) {
                 return ledger_->budget(d).TryReserve(candidate.estimate_bytes);
               },
@@ -181,9 +236,17 @@ void QueryService::WorkerLoop() {
           return true;
         });
         if (query != nullptr) break;
-        dispatch_cv_.wait(lock);
+        wake = std::min(wake, health_.NextProbeTime());
+        if (wake == std::chrono::steady_clock::time_point::max()) {
+          dispatch_cv_.wait(lock);
+        } else {
+          dispatch_cv_.wait_until(lock, wake);
+        }
       }
       slots_.Acquire(device);
+      if (health_.OnPlaced(device)) ++probes_;
+      ++query->attempt;
+      if (query->attempt > 1) ++retries_;
       ++active_;
     }
 
@@ -191,10 +254,9 @@ void QueryService::WorkerLoop() {
     Result<QueryExecution> result = RunOne(*query, device);
     const auto end = std::chrono::steady_clock::now();
     const bool ok = result.ok();
-
-    query->ticket->placed_device_ = device;
-    query->ticket->queue_wait_ms_ = ElapsedMs(query->submit_time, start);
-    query->ticket->run_ms_ = ElapsedMs(start, end);
+    const bool device_fault = !ok && result.status().device_id() >= 0;
+    const double attempt_ms = ElapsedMs(start, end);
+    bool requeued = false;
 
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -202,20 +264,50 @@ void QueryService::WorkerLoop() {
       ledger_->budget(device).Release(query->estimate_bytes);
       ++release_epoch_;  // budget state changed: deferrals may count again
       --active_;
+      busy_us_by_device_[static_cast<size_t>(device)] += attempt_ms * 1000.0;
       if (ok) {
-        ++completed_;
-        ++completed_by_device_[static_cast<size_t>(device)];
-      } else {
-        ++failed_;
+        health_.OnSuccess(device);  // probe passed ⇒ device re-admitted
+      } else if (device_fault) {
+        // The executor unwound a device-attributed failure; the device's
+        // health record takes the blame, not the query's ticket (yet).
+        ++fault_unwinds_;
+        if (health_.OnFailure(device, end)) ++quarantines_;
       }
-      queue_wait_ms_.push_back(query->ticket->queue_wait_ms_);
-      run_ms_.push_back(query->ticket->run_ms_);
-      busy_us_by_device_[static_cast<size_t>(device)] +=
-          query->ticket->run_ms_ * 1000.0;
+      const bool retryable =
+          !ok && (result.status().IsTransient() || !config_.retry.transient_only);
+      if (retryable && query->attempt < config_.retry.max_attempts) {
+        // Requeue with the failing device excluded and a backoff deadline.
+        // The admission bound does not apply: a requeue re-enters work that
+        // was already admitted, it does not add any.
+        ++requeues_;
+        if (device_fault) query->excluded_devices.push_back(device);
+        query->not_before =
+            end + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          BackoffMs(query->attempt)));
+        query->deferral_epoch = 0;
+        queue_.Push(query);
+        requeued = true;
+      } else {
+        if (ok) {
+          ++completed_;
+          ++completed_by_device_[static_cast<size_t>(device)];
+        } else {
+          ++failed_;
+        }
+        query->ticket->placed_device_ = device;
+        query->ticket->queue_wait_ms_ = ElapsedMs(query->submit_time, start);
+        query->ticket->run_ms_ = attempt_ms;
+        query->ticket->attempts_ = query->attempt;
+        queue_wait_ms_.push_back(query->ticket->queue_wait_ms_);
+        run_ms_.push_back(query->ticket->run_ms_);
+      }
     }
-    // A finished query freed a slot and budget bytes: every waiting worker
-    // re-evaluates the queue (a deferred query may fit now).
+    // A finished attempt freed a slot and budget bytes: every waiting
+    // worker re-evaluates the queue (a deferred query may fit now).
     dispatch_cv_.notify_all();
+    if (requeued) continue;
     idle_cv_.notify_all();
     query->ticket->Complete(std::move(result));
   }
@@ -267,6 +359,11 @@ ServiceStats QueryService::GetStats() const {
     stats.failed = failed_;
     stats.rejected = rejected_;
     stats.budget_deferrals = budget_deferrals_;
+    stats.retries = retries_;
+    stats.requeues = requeues_;
+    stats.quarantines = quarantines_;
+    stats.fault_unwinds = fault_unwinds_;
+    stats.probes = probes_;
     stats.queued = queue_.size();
     stats.active = active_;
     stats.wall_seconds =
@@ -288,6 +385,9 @@ ServiceStats QueryService::GetStats() const {
       entry.budget_capacity = budget.capacity();
       entry.budget_reserved = budget.reserved();
       entry.live_high_water = budget.live_high_water();
+      entry.quarantined = health_.quarantined(static_cast<DeviceId>(i));
+      entry.consecutive_failures =
+          health_.consecutive_failures(static_cast<DeviceId>(i));
     }
   }
   if (cache_ != nullptr) stats.cache = cache_->GetStats();
@@ -301,6 +401,9 @@ std::string ServiceStats::ToJson() const {
       << ",\"completed\":" << completed << ",\"failed\":" << failed
       << ",\"rejected\":" << rejected
       << ",\"budget_deferrals\":" << budget_deferrals
+      << ",\"retries\":" << retries << ",\"requeues\":" << requeues
+      << ",\"quarantines\":" << quarantines
+      << ",\"fault_unwinds\":" << fault_unwinds << ",\"probes\":" << probes
       << ",\"queued\":" << queued << ",\"active\":" << active
       << ",\"wall_seconds\":" << wall_seconds
       << ",\"queue_wait_p50_ms\":" << queue_wait_p50_ms
@@ -315,7 +418,9 @@ std::string ServiceStats::ToJson() const {
         << ",\"busy_fraction\":" << entry.busy_fraction
         << ",\"budget_capacity\":" << entry.budget_capacity
         << ",\"budget_reserved\":" << entry.budget_reserved
-        << ",\"live_high_water\":" << entry.live_high_water << "}";
+        << ",\"live_high_water\":" << entry.live_high_water
+        << ",\"quarantined\":" << (entry.quarantined ? "true" : "false")
+        << ",\"consecutive_failures\":" << entry.consecutive_failures << "}";
   }
   out << "]";
   out << ",\"cache\":{\"hits\":" << cache.hits

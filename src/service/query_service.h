@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,10 +15,33 @@
 #include "common/result.h"
 #include "device/device_manager.h"
 #include "service/column_cache.h"
+#include "service/device_health.h"
 #include "service/memory_budget.h"
 #include "service/scheduler.h"
 
 namespace adamant {
+
+/// Retry policy for transient query failures (Status::IsTransient(), i.e.
+/// a device interface call failed but the query may succeed elsewhere or
+/// later). A failed attempt is requeued with the failing device excluded
+/// and an exponential-backoff deadline; exclusions are cleared when they
+/// would cover every eligible device, so a retry can return to a recovered
+/// device rather than starve.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retry.
+  size_t max_attempts = 3;
+  double backoff_base_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_ms = 100.0;
+  /// Backoff is multiplied by a factor drawn uniformly from
+  /// [1 - jitter_fraction, 1 + jitter_fraction] with a seeded RNG, so
+  /// same-seed runs back off identically.
+  double jitter_fraction = 0.5;
+  uint64_t jitter_seed = 42;
+  /// Retry only transient failures (permanent plan/validation errors fail
+  /// the ticket immediately). Turning this off retries everything.
+  bool transient_only = true;
+};
 
 struct ServiceConfig {
   /// Worker threads draining the admission queue.
@@ -36,6 +60,10 @@ struct ServiceConfig {
   /// smallest device arena.
   size_t cache_budget_bytes = 0;
   bool enable_cache = true;
+  /// Transient-failure retry (see RetryPolicy).
+  RetryPolicy retry;
+  /// Device quarantine thresholds (see DeviceHealthConfig).
+  DeviceHealthConfig health;
 };
 
 /// Aggregate service counters, exported as JSON by run_tpch --serve.
@@ -51,6 +79,13 @@ struct ServiceStats {
   /// freeing budget starts a new epoch), so the counter tracks distinct
   /// deferral events rather than queue-scan frequency.
   size_t budget_deferrals = 0;
+  /// Fault-handling counters (docs/serving.md "Fault handling").
+  size_t retries = 0;       // dispatches beyond a query's first attempt
+  size_t requeues = 0;      // transient failures put back on the queue
+  size_t quarantines = 0;   // devices quarantined (incl. failed probes)
+  size_t fault_unwinds = 0; // device-attributed failures unwound by the
+                            // executor (transient or not)
+  size_t probes = 0;        // placements onto a quarantined device
   size_t queued = 0;  // snapshot
   size_t active = 0;  // snapshot
   double wall_seconds = 0;
@@ -68,6 +103,8 @@ struct ServiceStats {
     size_t budget_capacity = 0;
     size_t budget_reserved = 0;
     size_t live_high_water = 0;
+    bool quarantined = false;
+    size_t consecutive_failures = 0;
   };
   std::vector<DeviceEntry> devices;
 
@@ -95,7 +132,8 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Enqueues a query. Fails with OutOfMemory when the queue is full or the
-  /// query's footprint estimate exceeds every eligible device's budget.
+  /// query's footprint estimate exceeds every eligible device's budget, and
+  /// with Unavailable once Stop() has begun.
   Result<std::shared_ptr<QueryTicket>> Submit(QuerySpec spec);
 
   /// Blocks until the queue is empty and no query is running.
@@ -112,6 +150,9 @@ class QueryService {
  private:
   void WorkerLoop();
   Result<QueryExecution> RunOne(const QueuedQuery& query, DeviceId device);
+  /// Backoff delay before retry attempt `attempt` (1-based count of
+  /// failures so far), with seeded jitter. Caller holds mu_.
+  double BackoffMs(size_t attempt);
 
   DeviceManager* manager_;
   ServiceConfig config_;
@@ -124,6 +165,8 @@ class QueryService {
   std::condition_variable idle_cv_;      // a query finished
   AdmissionQueue queue_;
   DeviceSlotTable slots_;
+  DeviceHealth health_;
+  std::mt19937_64 jitter_rng_;
   bool stopping_ = false;
   size_t active_ = 0;
   /// Bumped (under mu_) whenever a completion releases slot + budget;
@@ -137,6 +180,11 @@ class QueryService {
   size_t failed_ = 0;
   size_t rejected_ = 0;
   size_t budget_deferrals_ = 0;
+  size_t retries_ = 0;
+  size_t requeues_ = 0;
+  size_t quarantines_ = 0;
+  size_t fault_unwinds_ = 0;
+  size_t probes_ = 0;
   std::vector<double> queue_wait_ms_;
   std::vector<double> run_ms_;
   std::vector<size_t> completed_by_device_;

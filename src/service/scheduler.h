@@ -46,9 +46,12 @@ class QueryTicket {
 
   const std::string& name() const { return name_; }
   /// Device the scheduler placed the query on (-1 if it never dispatched).
+  /// After retries, the device of the final attempt.
   DeviceId placed_device() const { return placed_device_; }
   double queue_wait_ms() const { return queue_wait_ms_; }
   double run_ms() const { return run_ms_; }
+  /// Dispatch attempts this query took (1 = no retry). Valid after Wait().
+  size_t attempts() const { return attempts_; }
 
  private:
   friend class QueryService;
@@ -61,6 +64,7 @@ class QueryTicket {
   DeviceId placed_device_ = -1;
   double queue_wait_ms_ = 0;
   double run_ms_ = 0;
+  size_t attempts_ = 0;
 };
 
 /// A queued query: spec + ticket + the admission-control footprint estimate.
@@ -73,6 +77,13 @@ struct QueuedQuery {
   /// budget deferral, so a deferred query counts once per state change —
   /// not once per queue scan.
   uint64_t deferral_epoch = 0;
+  /// Retry bookkeeping (see QueryService's RetryPolicy). `attempt` counts
+  /// dispatches so far; after a transient failure the query is requeued
+  /// with the failing device appended to `excluded_devices` and a backoff
+  /// deadline in `not_before`.
+  size_t attempt = 0;
+  std::vector<DeviceId> excluded_devices;
+  std::chrono::steady_clock::time_point not_before{};
 };
 
 /// Bounded two-level FIFO of pending queries. Not internally synchronized —

@@ -30,11 +30,26 @@
 //   --seed=N          workload RNG seed (default 7)
 //   --devices=N       instances of --driver to plug (default 2)
 //   --no-cache        disable the cross-query device column cache
+//
+// Fault injection (serve mode; see docs/serving.md "Fault handling"):
+//
+//   run_tpch --serve --queries=200 --fault-rate=0.007 --fault-seed=13
+//
+//   --fault-rate=P    per-call transient fault probability on each serving
+//                     device's data-path interface calls (default 0 = off)
+//   --fault-seed=N    fault RNG seed; device i uses N + i (default 13)
+//   --sticky-device=I device I dies on its first Execute and stays dead
+//                     until quarantined (default -1 = none)
+//   --sequential      submit one query at a time (wait for each before the
+//                     next): fixes the device call order so two same-seed
+//                     runs report identical failure counters
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <random>
 #include <string>
 #include <vector>
@@ -63,6 +78,10 @@ struct Options {
   unsigned seed = 7;
   size_t devices = 2;
   bool no_cache = false;
+  double fault_rate = 0;
+  uint64_t fault_seed = 13;
+  int sticky_device = -1;
+  bool sequential = false;
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
@@ -103,6 +122,14 @@ Result<Options> ParseArgs(int argc, char** argv) {
       options.seed = static_cast<unsigned>(std::stoul(value));
     } else if (ParseFlag(arg, "devices", &value)) {
       options.devices = std::stoul(value);
+    } else if (ParseFlag(arg, "fault-rate", &value)) {
+      options.fault_rate = std::stod(value);
+    } else if (ParseFlag(arg, "fault-seed", &value)) {
+      options.fault_seed = std::stoull(value);
+    } else if (ParseFlag(arg, "sticky-device", &value)) {
+      options.sticky_device = std::stoi(value);
+    } else if (arg == "--sequential") {
+      options.sequential = true;
     } else if (arg == "--serve") {
       options.serve = true;
     } else if (arg == "--no-cache") {
@@ -358,15 +385,29 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
                            DriverFromName(options.driver));
   ADAMANT_ASSIGN_OR_RETURN(ExecutionModelKind model,
                            ModelFromName(options.model));
-  DeviceManager manager(options.setup == 2 ? sim::HardwareSetup::kSetup2
-                                           : sim::HardwareSetup::kSetup1);
+  const sim::HardwareSetup setup = options.setup == 2
+                                       ? sim::HardwareSetup::kSetup2
+                                       : sim::HardwareSetup::kSetup1;
+  const bool faults = options.fault_rate > 0 || options.sticky_device >= 0;
+  DeviceManager manager(setup);
   manager.SetDataScale(options.nominal_sf / options.sf);
   const size_t num_devices = std::max<size_t>(options.devices, 1);
   for (size_t i = 0; i < num_devices; ++i) {
-    ADAMANT_ASSIGN_OR_RETURN(
-        DeviceId device,
-        manager.AddDriver(kind,
-                          options.driver + "." + std::to_string(i)));
+    const std::string name = options.driver + "." + std::to_string(i);
+    DeviceId device;
+    if (faults) {
+      FaultPlan plan = FaultPlan::TransientRate(
+          options.fault_rate, options.fault_seed + i);
+      if (static_cast<int>(i) == options.sticky_device) {
+        FaultPlan sticky = FaultPlan::Sticky(InterfaceCall::kExecute);
+        plan.specs.insert(plan.specs.end(), sticky.specs.begin(),
+                          sticky.specs.end());
+      }
+      ADAMANT_ASSIGN_OR_RETURN(device,
+                               manager.AddDriver(kind, name, std::move(plan)));
+    } else {
+      ADAMANT_ASSIGN_OR_RETURN(device, manager.AddDriver(kind, name));
+    }
     ADAMANT_RETURN_NOT_OK(BindStandardKernels(manager.device(device)));
   }
 
@@ -379,16 +420,39 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
               num_devices, options.driver.c_str(), options.clients,
               options.serve_queries, options.seed,
               options.no_cache ? "off" : "on");
+  if (faults) {
+    std::printf("serve: fault rate %g (seed %llu), sticky device %d, %s "
+                "submission\n",
+                options.fault_rate,
+                static_cast<unsigned long long>(options.fault_seed),
+                options.sticky_device,
+                options.sequential ? "sequential" : "concurrent");
+  }
 
   // Serial references first: the service's results must match these
-  // bit-for-bit.
+  // bit-for-bit. With faults enabled the references come from a separate
+  // clean manager — the baseline must be what a fault-free run produces.
+  std::unique_ptr<DeviceManager> clean;
+  DeviceManager* ref_manager = &manager;
+  if (faults) {
+    clean = std::make_unique<DeviceManager>(setup);
+    clean->SetDataScale(options.nominal_sf / options.sf);
+    ADAMANT_ASSIGN_OR_RETURN(DeviceId device, clean->AddDriver(kind));
+    ADAMANT_RETURN_NOT_OK(BindStandardKernels(clean->device(device)));
+    ref_manager = clean.get();
+  }
   ADAMANT_ASSIGN_OR_RETURN(ServeReference ref,
-                           BuildServeReference(*catalog, &manager,
+                           BuildServeReference(*catalog, ref_manager,
                                                exec_options));
 
   ServiceConfig config;
   config.workers = std::max<size_t>(options.clients, 1);
   config.enable_cache = !options.no_cache;
+  if (faults) {
+    // ~10% per-attempt fault rate wants more headroom than the default 3
+    // attempts before a ticket is allowed to fail.
+    config.retry.max_attempts = 8;
+  }
   QueryService service(&manager, config);
 
   // Seeded workload: an even Q3/Q4/Q6 mix.
@@ -430,14 +494,26 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
     }
     ADAMANT_ASSIGN_OR_RETURN(std::shared_ptr<QueryTicket> ticket,
                              service.Submit(std::move(spec)));
+    // Sequential mode serializes the device call order: every attempt of
+    // query i happens before any call of query i+1, which makes the fault
+    // injectors' seeded decisions — and hence the failure counters —
+    // reproducible across runs.
+    if (options.sequential) ticket->Wait();
     kinds.push_back(kind_ix);
     tickets.push_back(std::move(ticket));
   }
 
   size_t mismatches = 0;
+  size_t fault_failures = 0;
   for (size_t i = 0; i < tickets.size(); ++i) {
     const Result<QueryExecution>& result = tickets[i]->Wait();
     if (!result.ok()) {
+      // With fault injection on, a ticket that exhausted its retries is an
+      // expected outcome to report, not a reason to abort the workload.
+      if (faults) {
+        ++fault_failures;
+        continue;
+      }
       return result.status().WithContext("served query " + std::to_string(i));
     }
     bool match = false;
@@ -460,7 +536,13 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
 
   ServiceStats stats = service.GetStats();
   std::printf("serve: %zu/%zu results match serial runs\n",
-              tickets.size() - mismatches, tickets.size());
+              tickets.size() - mismatches - fault_failures, tickets.size());
+  if (faults) {
+    std::printf("serve: %zu queries failed after retries; %zu fault unwinds, "
+                "%zu retries, %zu quarantines\n",
+                fault_failures, stats.fault_unwinds, stats.retries,
+                stats.quarantines);
+  }
   std::printf("%s\n", stats.ToJson().c_str());
   service.Stop();
   if (mismatches > 0) {
