@@ -1,5 +1,8 @@
 #include "plan/placement_optimizer.h"
 
+#include <algorithm>
+#include <map>
+
 namespace adamant::plan {
 
 namespace {
@@ -66,10 +69,67 @@ Result<PlacementSearchResult> SearchPlacements(
       }
     }
   }
+  // One extra candidate beyond the D^3 single-device grid: if the manager
+  // holds two or more identical devices, try splitting the chunk range
+  // across all of them (the device-parallel model). The driver retargets
+  // every node itself, so the policy only decides what a partition looks
+  // like; use the homogeneous all-on-first-set-member placement.
+  ADAMANT_ASSIGN_OR_RETURN(std::vector<DeviceId> set,
+                           ChooseDeviceSet(manager, 0));
+  if (set.size() >= 2) {
+    std::string name = "device-parallel{";
+    for (size_t i = 0; i < set.size(); ++i) {
+      if (i > 0) name += ",";
+      name += manager->device(set[i])->name();
+    }
+    name += "}";
+    PlacementPolicy policy = MakeCandidate(set[0], set[0], set[0]);
+    ADAMANT_ASSIGN_OR_RETURN(PlanBundle bundle,
+                             LowerPlan(root, catalog, policy));
+    ExecutionOptions parallel = options;
+    parallel.model = ExecutionModelKind::kDeviceParallel;
+    parallel.device_set = set;
+    QueryExecutor executor(manager);
+    auto exec = executor.Run(bundle.graph.get(), parallel);
+    if (!exec.ok()) {
+      // Graphs with global breakers (PREFIX_SUM, SORT_AGG) reject the
+      // model; record and fall back to the grid winner.
+      result.evaluated.emplace_back(
+          name + " (" + exec.status().ToString() + ")", -1.0);
+    } else {
+      result.evaluated.emplace_back(name, exec->stats.elapsed_us);
+      if (!have_best || exec->stats.elapsed_us < result.best_elapsed_us) {
+        have_best = true;
+        result.best = policy;
+        result.best_name = name;
+        result.best_elapsed_us = exec->stats.elapsed_us;
+      }
+    }
+  }
+
   if (!have_best) {
     return Status::ExecutionError("every placement candidate failed");
   }
   return result;
+}
+
+Result<std::vector<DeviceId>> ChooseDeviceSet(DeviceManager* manager,
+                                              size_t max_devices) {
+  if (manager == nullptr || manager->num_devices() == 0) {
+    return Status::InvalidArgument("no devices plugged");
+  }
+  std::map<std::string, std::vector<DeviceId>> groups;
+  for (size_t i = 0; i < manager->num_devices(); ++i) {
+    const auto id = static_cast<DeviceId>(i);
+    groups[manager->device(id)->perf_model().name].push_back(id);
+  }
+  const std::vector<DeviceId>* best = nullptr;
+  for (const auto& [model_name, ids] : groups) {
+    if (best == nullptr || ids.size() > best->size()) best = &ids;
+  }
+  std::vector<DeviceId> set = *best;  // already sorted: ids ascend per group
+  if (max_devices > 0 && set.size() > max_devices) set.resize(max_devices);
+  return set;
 }
 
 }  // namespace adamant::plan

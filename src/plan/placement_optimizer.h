@@ -36,6 +36,15 @@ Result<PlacementSearchResult> SearchPlacements(const LogicalNode& root,
                                                DeviceManager* manager,
                                                const ExecutionOptions& options);
 
+/// Pick a device set for the device-parallel execution model: the largest
+/// group of plugged devices sharing one performance model (identical
+/// hardware — a chunk split across unlike devices is dominated by the
+/// slowest partition), truncated to max_devices (0 = no limit). Returns the
+/// ids sorted ascending; a single-element set means device-parallel
+/// degenerates to chunked and is not worth dispatching.
+Result<std::vector<DeviceId>> ChooseDeviceSet(DeviceManager* manager,
+                                              size_t max_devices);
+
 }  // namespace adamant::plan
 
 #endif  // ADAMANT_PLAN_PLACEMENT_OPTIMIZER_H_

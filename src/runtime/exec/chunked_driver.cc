@@ -1,0 +1,24 @@
+#include "runtime/exec/drivers.h"
+
+namespace adamant::exec {
+
+Status ChunkedDriver::RunPipelineRange(RunContext& ctx,
+                                       const Pipeline& pipeline,
+                                       size_t chunk_begin, size_t chunk_end) {
+  const size_t cap = ctx.ChunkCapacity(pipeline);
+  const ChunkSource chunks(pipeline.input_rows, cap);
+  ADAMANT_RETURN_NOT_OK(ctx.BeginPipeline(pipeline, chunks.total()));
+  return ctx.RunChunks(pipeline, chunk_begin,
+                       std::min(chunk_end, chunks.total()), cap);
+}
+
+Status ChunkedDriver::Execute(RunContext& ctx) {
+  ADAMANT_RETURN_NOT_OK(ctx.Prepare());
+  for (const Pipeline& pipeline : ctx.pipelines()) {
+    ADAMANT_RETURN_NOT_OK(
+        RunPipelineRange(ctx, pipeline, 0, static_cast<size_t>(-1)));
+  }
+  return ctx.CompleteRun();
+}
+
+}  // namespace adamant::exec

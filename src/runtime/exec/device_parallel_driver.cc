@@ -1,0 +1,327 @@
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/exec/drivers.h"
+#include "task/hash_table.h"
+#include "task/merge.h"
+
+namespace adamant::exec {
+
+namespace {
+
+/// One partition device's private execution state: a clone of the query
+/// graph retargeted to the device, and a chunked-model RunContext over it.
+/// Keeping the contexts fully disjoint (own graph, own bindings, own hub,
+/// own persists) is what makes the partition threads race-free — the only
+/// shared mutable state is the scan cache and memory ledger, which lock
+/// internally, and each SimulatedDevice, which only its own thread touches.
+struct SubRun {
+  DeviceId device = 0;
+  std::unique_ptr<PrimitiveGraph> graph;
+  std::unique_ptr<RunContext> ctx;
+  size_t chunks_run = 0;
+};
+
+/// Contiguous split of [0, total) chunks across n partitions; earlier
+/// partitions take the remainder. Contiguity keeps each device's scan
+/// window a single dense row range (sequential host reads, cache-friendly).
+std::vector<std::pair<size_t, size_t>> SplitChunks(size_t total, size_t n) {
+  std::vector<std::pair<size_t, size_t>> ranges(n);
+  size_t begin = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t count = total / n + (i < total % n ? 1 : 0);
+    ranges[i] = {begin, begin + count};
+    begin += count;
+  }
+  return ranges;
+}
+
+/// Advances every device past the slowest partition: a zero-duration entry
+/// at the joint completion time on all three resource timelines models the
+/// cross-device synchronization the host performs before merging.
+Status ScheduleBarrier(DeviceManager* manager,
+                       const std::vector<DeviceId>& devices) {
+  sim::SimTime barrier = 0;
+  for (DeviceId id : devices) {
+    ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager->GetDevice(id));
+    barrier = std::max(barrier, dev->MaxCompletion());
+  }
+  for (DeviceId id : devices) {
+    ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager->GetDevice(id));
+    dev->transfer_timeline().Schedule(barrier, 0, "dp-barrier");
+    dev->d2h_timeline().Schedule(barrier, 0, "dp-barrier");
+    dev->compute_timeline().Schedule(barrier, 0, "dp-barrier");
+  }
+  return Status::OK();
+}
+
+/// Merges one breaker's per-partition containers and redistributes the
+/// result. `contributors` are sub-run indices that executed at least one
+/// chunk of the pipeline (a device with an empty range never ran the
+/// breaker kernel, so its persist holds no identity to merge).
+Status MergeBreaker(RunContext& parent, std::vector<SubRun>& subs,
+                    const GraphNode& node,
+                    const std::vector<size_t>& contributors,
+                    double* merge_host_ms) {
+  if (!parent.graph()->IsTerminal(node.id) && subs.size() == 1) {
+    // Single-partition run: the device already holds the only container
+    // and its own next pipeline reads it in place — reading it back to the
+    // host would be a pure D2H waste (a full hash table per pipeline).
+    // With several partitions the round-trip is required even for a sole
+    // contributor: the other devices may own chunks of later pipelines.
+    return Status::OK();
+  }
+  std::vector<std::vector<uint8_t>> partials;
+  partials.reserve(contributors.size());
+  for (size_t i : contributors) {
+    ADAMANT_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                             subs[i].ctx->ReadPersistBytes(node.id));
+    partials.push_back(std::move(bytes));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<uint8_t> merged = std::move(partials[0]);
+  for (size_t i = 1; i < partials.size(); ++i) {
+    if (partials[i].size() != merged.size()) {
+      return Status::Internal(node.label +
+                              ": partition containers differ in size");
+    }
+    switch (node.kind) {
+      case PrimitiveKind::kAggBlock: {
+        int64_t acc, part;
+        std::memcpy(&acc, merged.data(), sizeof(acc));
+        std::memcpy(&part, partials[i].data(), sizeof(part));
+        acc = MergeAggPartials(node.config.agg_op, acc, part);
+        std::memcpy(merged.data(), &acc, sizeof(acc));
+        break;
+      }
+      case PrimitiveKind::kHashAgg:
+        ADAMANT_RETURN_NOT_OK(
+            MergeAggTables(node.config.agg_op, partials[i].data(),
+                           merged.size() / sizeof(HashTableLayout::AggSlot),
+                           merged.data())
+                .WithContext(node.label));
+        break;
+      case PrimitiveKind::kHashBuild:
+        ADAMANT_RETURN_NOT_OK(
+            MergeBuildTables(partials[i].data(),
+                             merged.size() /
+                                 sizeof(HashTableLayout::BuildSlot),
+                             merged.data())
+                .WithContext(node.label));
+        break;
+      default:
+        return Status::NotSupported(node.label +
+                                    ": breaker kind has no partition merge");
+    }
+  }
+  *merge_host_ms +=
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (parent.graph()->IsTerminal(node.id)) {
+    // Terminal breaker: the merged container IS the query result; stash it
+    // on the parent execution exactly as RetrieveBreaker would have.
+    const Persist* persist = subs[contributors[0]].ctx->FindPersist(node.id);
+    QueryExecution::NodeOutput& output =
+        parent.exec().mutable_outputs()[node.id];
+    output.kind = node.kind;
+    output.num_slots = persist != nullptr ? persist->num_slots : 0;
+    output.bytes = std::move(merged);
+    return Status::OK();
+  }
+
+  // Interior breaker: every partition device consumes the merged container
+  // in the next pipeline, so push it back out — except a sole contributor,
+  // whose device already holds exactly these bytes.
+  for (size_t i = 0; i < subs.size(); ++i) {
+    if (contributors.size() == 1 && i == contributors[0]) continue;
+    ADAMANT_RETURN_NOT_OK(
+        subs[i].ctx->PlacePersistBytes(node.id, merged.data(), merged.size())
+            .WithContext(node.label));
+  }
+  return Status::OK();
+}
+
+Status RunPartitioned(RunContext& ctx, std::vector<SubRun>& subs,
+                      const std::vector<DeviceId>& devices,
+                      double* merge_host_ms) {
+  const std::vector<Pipeline>& pipelines = ctx.pipelines();
+  for (size_t pi = 0; pi < pipelines.size(); ++pi) {
+    const Pipeline& pipeline = pipelines[pi];
+    const size_t cap = ctx.ChunkCapacity(pipeline);
+    const ChunkSource chunks(pipeline.input_rows, cap);
+    const auto ranges = SplitChunks(chunks.total(), subs.size());
+
+    // Every partition runs its disjoint chunk sub-range concurrently; a
+    // device with an empty range still runs BeginPipeline so its persists
+    // exist to receive merged containers.
+    std::vector<Status> statuses(subs.size());
+    std::vector<std::thread> threads;
+    threads.reserve(subs.size());
+    for (size_t i = 0; i < subs.size(); ++i) {
+      RunContext* sub = subs[i].ctx.get();
+      const Pipeline* sub_pipeline = &sub->pipelines()[pi];
+      const auto range = ranges[i];
+      Status* status = &statuses[i];
+      threads.emplace_back([sub, sub_pipeline, range, status] {
+        *status = ChunkedDriver::RunPipelineRange(*sub, *sub_pipeline,
+                                                  range.first, range.second);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const Status& st : statuses) {
+      ADAMANT_RETURN_NOT_OK(st);
+    }
+    for (size_t i = 0; i < subs.size(); ++i) {
+      subs[i].chunks_run += ranges[i].second - ranges[i].first;
+    }
+
+    // Host-side synchronization point before the merge.
+    ADAMANT_RETURN_NOT_OK(ScheduleBarrier(ctx.manager(), devices));
+
+    std::vector<size_t> contributors;
+    for (size_t i = 0; i < subs.size(); ++i) {
+      if (ranges[i].second > ranges[i].first) contributors.push_back(i);
+    }
+    for (int node_id : pipeline.nodes) {
+      const GraphNode& node = ctx.graph()->node(node_id);
+      if (!GetSignature(node.kind).pipeline_breaker) continue;
+      ADAMANT_RETURN_NOT_OK(
+          MergeBreaker(ctx, subs, node, contributors, merge_host_ms));
+    }
+    for (SubRun& sub : subs) {
+      ADAMANT_RETURN_NOT_OK(
+          sub.ctx->BindPersistOutputs(sub.ctx->pipelines()[pi]));
+    }
+  }
+
+  // Streaming terminal outputs: collect every partition's chunk parts and
+  // restore global order by base row (partitions are contiguous ranges, so
+  // this is a concatenation-and-sort, not an interleave).
+  for (SubRun& sub : subs) {
+    for (auto& [node_id, out] : sub.ctx->exec().mutable_outputs()) {
+      if (out.parts.empty()) continue;
+      QueryExecution::NodeOutput& merged =
+          ctx.exec().mutable_outputs()[node_id];
+      merged.kind = out.kind;
+      merged.elem_type = out.elem_type;
+      for (QueryExecution::ChunkPart& part : out.parts) {
+        merged.parts.push_back(std::move(part));
+      }
+      out.parts.clear();
+    }
+  }
+  for (auto& [node_id, out] : ctx.exec().mutable_outputs()) {
+    (void)node_id;
+    std::sort(out.parts.begin(), out.parts.end(),
+              [](const QueryExecution::ChunkPart& a,
+                 const QueryExecution::ChunkPart& b) {
+                return a.base_row < b.base_row;
+              });
+  }
+
+  for (DeviceId id : devices) {
+    ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev,
+                             ctx.manager()->GetDevice(id));
+    dev->Synchronize();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DeviceParallelDriver::Execute(RunContext& ctx) {
+  // Resolve the partition device set: the options' set, or every plugged
+  // device when unspecified.
+  std::vector<DeviceId> devices = ctx.options().device_set;
+  if (devices.empty()) {
+    for (size_t i = 0; i < ctx.manager()->num_devices(); ++i) {
+      devices.push_back(static_cast<DeviceId>(i));
+    }
+  }
+  std::sort(devices.begin(), devices.end());
+  devices.erase(std::unique(devices.begin(), devices.end()), devices.end());
+  if (devices.empty()) {
+    return Status::InvalidArgument(
+        "device-parallel execution needs at least one device");
+  }
+  for (DeviceId id : devices) {
+    ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev,
+                             ctx.manager()->GetDevice(id));
+    (void)dev;
+  }
+  for (const GraphNode& node : ctx.graph()->nodes()) {
+    if (node.kind == PrimitiveKind::kPrefixSum ||
+        node.kind == PrimitiveKind::kSortAgg) {
+      return Status::NotSupported(
+          node.label +
+          ": global breakers (PREFIX_SUM / SORT_AGG) have no partition "
+          "merge; use a single-device model");
+    }
+  }
+
+  ADAMANT_RETURN_NOT_OK(ctx.Prepare(devices));
+
+  // One private graph clone + chunked RunContext per partition device. The
+  // clone keeps the plan identical while retargeting every node, so each
+  // sub-run is an ordinary single-device chunked execution.
+  std::vector<SubRun> subs;
+  subs.reserve(devices.size());
+  Status st;
+  for (DeviceId id : devices) {
+    SubRun sub;
+    sub.device = id;
+    sub.graph = std::make_unique<PrimitiveGraph>(*ctx.graph());
+    for (const GraphNode& node : ctx.graph()->nodes()) {
+      sub.graph->mutable_node(node.id).device = id;
+    }
+    ExecutionOptions sub_options = ctx.options();
+    sub_options.model = ExecutionModelKind::kChunked;
+    sub_options.device_set.clear();
+    // The parent already reset/snapshots device state for the whole set.
+    sub_options.reset_device_state = false;
+    sub.ctx = std::make_unique<RunContext>(ctx.manager(), sub.graph.get(),
+                                           sub_options);
+    st = sub.ctx->Prepare();
+    subs.push_back(std::move(sub));
+    if (!st.ok()) break;
+  }
+
+  double merge_host_ms = 0;
+  if (st.ok()) {
+    st = RunPartitioned(ctx, subs, devices, &merge_host_ms);
+  }
+
+  // Fold partition accounting into the parent before its FinalizeStats
+  // (which adds, rather than assigns, exactly for this composition).
+  if (st.ok()) {
+    QueryStats& stats = ctx.exec().stats;
+    stats.merge_host_ms += merge_host_ms;
+    for (const SubRun& sub : subs) {
+      const QueryStats& sub_stats = sub.ctx->exec().stats;
+      stats.chunks += sub_stats.chunks;
+      stats.chunks_by_device[static_cast<int>(sub.device)] += sub.chunks_run;
+      stats.bytes_h2d += sub.ctx->hub().bytes_host_to_device();
+      stats.bytes_d2h += sub.ctx->hub().bytes_device_to_host();
+      stats.scan_cache_hits += sub.ctx->hub().scan_cache_hits();
+      stats.scan_cache_misses += sub.ctx->hub().scan_cache_misses();
+      stats.bytes_h2d_saved += sub.ctx->hub().bytes_h2d_saved();
+    }
+  }
+
+  // Partition cleanup on every path; the parent context's own ReleaseAll
+  // runs in QueryExecutor::Run.
+  for (SubRun& sub : subs) {
+    if (sub.ctx != nullptr) sub.ctx->ReleaseAll();
+  }
+  return st;
+}
+
+}  // namespace adamant::exec

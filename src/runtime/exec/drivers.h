@@ -1,0 +1,66 @@
+#ifndef ADAMANT_RUNTIME_EXEC_DRIVERS_H_
+#define ADAMANT_RUNTIME_EXEC_DRIVERS_H_
+
+#include <cstddef>
+
+#include "runtime/exec/model_driver.h"
+
+namespace adamant::exec {
+
+/// Section IV-A: full inputs resident in device memory, one primitive at a
+/// time (chunk capacity = the whole input; one chunk per pipeline).
+class OaatDriver : public ModelDriver {
+ public:
+  const char* name() const override { return "operator-at-a-time"; }
+  Status Execute(RunContext& ctx) override;
+};
+
+/// Algorithm 1: per chunk, run the whole pipeline synchronously.
+class ChunkedDriver : public ModelDriver {
+ public:
+  const char* name() const override { return "chunked"; }
+  Status Execute(RunContext& ctx) override;
+
+  /// One pipeline over the global chunk sub-range [begin, end) (clamped to
+  /// the pipeline's total). Exposed so the device-parallel driver can hand
+  /// each partition device a disjoint range of the same pipeline.
+  static Status RunPipelineRange(RunContext& ctx, const Pipeline& pipeline,
+                                 size_t chunk_begin, size_t chunk_end);
+};
+
+/// Algorithm 2: a transfer thread streams chunks ahead of execution; with
+/// pipeline_depth > 0 a staging ring bounds the lookahead.
+class PipelinedDriver : public ModelDriver {
+ public:
+  const char* name() const override { return "pipelined"; }
+  Status Execute(RunContext& ctx) override;
+};
+
+/// Algorithm 3 (both variants): stage pinned double buffers and all
+/// intermediate outputs up front, then copy/compute (overlapped when the
+/// options name the pipelined variant), then delete.
+class FourPhaseDriver : public ModelDriver {
+ public:
+  explicit FourPhaseDriver(bool overlapped) : overlapped_(overlapped) {}
+  const char* name() const override {
+    return overlapped_ ? "4-phase-pipelined" : "4-phase";
+  }
+  Status Execute(RunContext& ctx) override;
+
+ private:
+  bool overlapped_;
+};
+
+/// Intra-query device parallelism: partitions each pipeline's chunk range
+/// across ExecutionOptions::device_set, runs the chunked model per device
+/// concurrently (one cloned graph + RunContext per device), and merges
+/// pipeline-breaker outputs at the task layer between pipelines.
+class DeviceParallelDriver : public ModelDriver {
+ public:
+  const char* name() const override { return "device-parallel"; }
+  Status Execute(RunContext& ctx) override;
+};
+
+}  // namespace adamant::exec
+
+#endif  // ADAMANT_RUNTIME_EXEC_DRIVERS_H_

@@ -1,0 +1,22 @@
+#include "runtime/exec/drivers.h"
+
+namespace adamant::exec {
+
+Status FourPhaseDriver::Execute(RunContext& ctx) {
+  ADAMANT_RETURN_NOT_OK(ctx.Prepare());
+  for (const Pipeline& pipeline : ctx.pipelines()) {
+    const size_t cap = ctx.ChunkCapacity(pipeline);
+    const ChunkSource chunks(pipeline.input_rows, cap);
+    ADAMANT_RETURN_NOT_OK(ctx.BeginPipeline(pipeline, chunks.total()));
+    // Stage phase (Algorithm 3): dual pinned input buffers per scan column
+    // plus all intermediate buffers, allocated once for the pipeline.
+    ADAMANT_RETURN_NOT_OK(ctx.StageAllocations(pipeline, cap));
+    ADAMANT_RETURN_NOT_OK(ctx.RunChunks(pipeline, 0, chunks.total(), cap));
+    if (overlapped_) {
+      ADAMANT_RETURN_NOT_OK(ctx.SyncPipelineDevices(pipeline));
+    }
+  }
+  return ctx.CompleteRun();
+}
+
+}  // namespace adamant::exec

@@ -1,0 +1,27 @@
+#include "runtime/exec/model_driver.h"
+
+#include "runtime/exec/drivers.h"
+
+namespace adamant::exec {
+
+Result<std::unique_ptr<ModelDriver>> MakeModelDriver(ExecutionModelKind kind) {
+  switch (kind) {
+    case ExecutionModelKind::kOperatorAtATime:
+      return std::unique_ptr<ModelDriver>(new OaatDriver());
+    case ExecutionModelKind::kChunked:
+      return std::unique_ptr<ModelDriver>(new ChunkedDriver());
+    case ExecutionModelKind::kPipelined:
+      return std::unique_ptr<ModelDriver>(new PipelinedDriver());
+    case ExecutionModelKind::kFourPhaseChunked:
+      return std::unique_ptr<ModelDriver>(
+          new FourPhaseDriver(/*overlapped=*/false));
+    case ExecutionModelKind::kFourPhasePipelined:
+      return std::unique_ptr<ModelDriver>(
+          new FourPhaseDriver(/*overlapped=*/true));
+    case ExecutionModelKind::kDeviceParallel:
+      return std::unique_ptr<ModelDriver>(new DeviceParallelDriver());
+  }
+  return Status::NotSupported("unknown execution model");
+}
+
+}  // namespace adamant::exec

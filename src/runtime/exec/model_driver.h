@@ -1,0 +1,42 @@
+#ifndef ADAMANT_RUNTIME_EXEC_MODEL_DRIVER_H_
+#define ADAMANT_RUNTIME_EXEC_MODEL_DRIVER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "runtime/exec/run_context.h"
+
+namespace adamant::exec {
+
+/// One execution model of Section IV (or an extension), expressed as a
+/// strategy over the RunContext phase operations. A driver owns the
+/// *control flow* of a query run — how pipelines are staged, how the chunk
+/// range is iterated, where synchronization points sit — while the
+/// RunContext owns the *mechanics* (placement, kernel launches, bindings,
+/// persist allocation, result retrieval).
+///
+/// Contract: Execute() is called exactly once per RunContext. It must call
+/// ctx.Prepare() before any other phase operation and leave all device
+/// allocations registered with the context; QueryExecutor::Run calls
+/// ctx.ReleaseAll() on every path (success or error) and finalizes stats.
+/// Drivers are stateless across runs — a new instance per query is cheap
+/// and the factory below returns one.
+class ModelDriver {
+ public:
+  virtual ~ModelDriver() = default;
+
+  /// Stable model name (matches ExecutionModelName for built-in models).
+  virtual const char* name() const = 0;
+
+  /// Runs the whole query: every pipeline, chunk iteration, result
+  /// delivery. Returns the first error; cleanup is the caller's job.
+  virtual Status Execute(RunContext& ctx) = 0;
+};
+
+/// Driver factory: the single registry mapping ExecutionModelKind to its
+/// driver. Adding an execution model = writing a driver and one case here.
+Result<std::unique_ptr<ModelDriver>> MakeModelDriver(ExecutionModelKind kind);
+
+}  // namespace adamant::exec
+
+#endif  // ADAMANT_RUNTIME_EXEC_MODEL_DRIVER_H_

@@ -1,0 +1,18 @@
+#include "runtime/exec/drivers.h"
+
+namespace adamant::exec {
+
+Status OaatDriver::Execute(RunContext& ctx) {
+  ADAMANT_RETURN_NOT_OK(ctx.Prepare());
+  for (const Pipeline& pipeline : ctx.pipelines()) {
+    // Chunk capacity is the whole pipeline input, so each pipeline is one
+    // chunk and every primitive sees its full operand resident on-device.
+    const size_t cap = ctx.ChunkCapacity(pipeline);
+    const ChunkSource chunks(pipeline.input_rows, cap);
+    ADAMANT_RETURN_NOT_OK(ctx.BeginPipeline(pipeline, chunks.total()));
+    ADAMANT_RETURN_NOT_OK(ctx.RunChunks(pipeline, 0, chunks.total(), cap));
+  }
+  return ctx.CompleteRun();
+}
+
+}  // namespace adamant::exec

@@ -1,0 +1,21 @@
+#include "runtime/exec/drivers.h"
+
+namespace adamant::exec {
+
+Status PipelinedDriver::Execute(RunContext& ctx) {
+  ADAMANT_RETURN_NOT_OK(ctx.Prepare());
+  for (const Pipeline& pipeline : ctx.pipelines()) {
+    const size_t cap = ctx.ChunkCapacity(pipeline);
+    const ChunkSource chunks(pipeline.input_rows, cap);
+    ADAMANT_RETURN_NOT_OK(ctx.BeginPipeline(pipeline, chunks.total()));
+    if (ctx.options().pipeline_depth > 0) {
+      ADAMANT_RETURN_NOT_OK(ctx.AllocateRing(pipeline, cap));
+    }
+    ADAMANT_RETURN_NOT_OK(ctx.RunChunks(pipeline, 0, chunks.total(), cap));
+    // Threads synchronize at each pipeline breaker (Algorithm 2).
+    ADAMANT_RETURN_NOT_OK(ctx.SyncPipelineDevices(pipeline));
+  }
+  return ctx.CompleteRun();
+}
+
+}  // namespace adamant::exec

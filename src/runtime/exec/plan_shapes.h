@@ -1,0 +1,47 @@
+#ifndef ADAMANT_RUNTIME_EXEC_PLAN_SHAPES_H_
+#define ADAMANT_RUNTIME_EXEC_PLAN_SHAPES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "runtime/executor.h"
+#include "runtime/primitive_graph.h"
+
+namespace adamant::exec {
+
+/// Output-size estimate for variable-cardinality outputs, with slack so a
+/// mildly-off selectivity does not overflow the buffer.
+size_t EstimateElems(size_t input_capacity, double selectivity);
+
+/// Sizes every output of `node` given its primary input element capacity;
+/// used by the stage phase, per-chunk allocation, and the admission-control
+/// footprint estimator.
+struct OutputPlanEntry {
+  int slot;
+  size_t bytes;
+  DataSemantic semantic;
+};
+std::vector<OutputPlanEntry> PlanNodeOutputs(const GraphNode& node,
+                                             size_t in_capacity);
+
+/// Sizing of a pipeline breaker's device-resident persist (shared by
+/// RunContext::AllocatePersist and the footprint estimator). Fills bytes/
+/// num_slots/capacity; device and buffer are the caller's business.
+struct PersistShape {
+  size_t bytes = 0;
+  size_t num_slots = 0;
+  size_t capacity = 0;
+};
+Result<PersistShape> PlanPersist(const GraphNode& node, size_t input_rows);
+
+/// Chunk capacity (elements) the execution model uses for a pipeline:
+/// the whole input for operator-at-a-time, otherwise the configured chunk
+/// size scaled down to actual elements.
+size_t PipelineChunkCapacity(const Pipeline& pipeline,
+                             const ExecutionOptions& options, bool oaat,
+                             double scale);
+
+}  // namespace adamant::exec
+
+#endif  // ADAMANT_RUNTIME_EXEC_PLAN_SHAPES_H_

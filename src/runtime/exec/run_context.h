@@ -1,0 +1,204 @@
+#ifndef ADAMANT_RUNTIME_EXEC_RUN_CONTEXT_H_
+#define ADAMANT_RUNTIME_EXEC_RUN_CONTEXT_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/result.h"
+#include "device/device_manager.h"
+#include "runtime/executor.h"
+#include "runtime/primitive_graph.h"
+#include "runtime/transfer_hub.h"
+
+namespace adamant::exec {
+
+/// A value produced on a device, visible to downstream primitives.
+struct Binding {
+  BufferId data = kInvalidBuffer;
+  BufferId count = kInvalidBuffer;  // device-resident int64[1], or invalid
+  size_t capacity = 0;              // elements
+  ElementType elem_type = ElementType::kInt32;
+  DeviceId device = 0;
+  size_t num_slots = 0;  // hash tables
+};
+
+/// Persisted pipeline-breaker output (hash table / accumulator), resident in
+/// device memory across chunks and pipelines.
+struct Persist {
+  BufferId buffer = kInvalidBuffer;
+  size_t bytes = 0;
+  DeviceId device = 0;
+  size_t num_slots = 0;
+  size_t capacity = 0;  // elements, for array-shaped persists
+  bool initialized = false;  // accumulator identity written (agg_block)
+};
+
+/// The chunk range of one pipeline: global chunk indices map to (base_row,
+/// rows) windows over the pipeline's input. An empty input still yields one
+/// empty chunk, so breaker kernels run once and write their identity.
+/// Drivers iterate a contiguous sub-range of [0, total()); the device-
+/// parallel model hands each device a disjoint sub-range.
+class ChunkSource {
+ public:
+  ChunkSource(size_t input_rows, size_t chunk_capacity)
+      : rows_(input_rows), cap_(chunk_capacity) {}
+
+  size_t total() const {
+    return cap_ == 0 ? 1 : bit_util::CeilDiv(rows_, cap_);
+  }
+  size_t base(size_t chunk) const { return chunk * cap_; }
+  size_t rows(size_t chunk) const {
+    const size_t b = base(chunk);
+    return b >= rows_ ? 0 : std::min(cap_, rows_ - b);
+  }
+
+ private:
+  size_t rows_;
+  size_t cap_;
+};
+
+/// Per-run execution state shared by every ModelDriver: pipelines, edge
+/// bindings, breaker persists, staging plans, allocation ledgers, and the
+/// data transfer hub. A driver composes the public phase operations
+/// (Prepare / BeginPipeline / staging / RunChunks / CompleteRun) into its
+/// execution model; QueryExecutor::Run owns cleanup (ReleaseAll) and stats
+/// finalization.
+class RunContext {
+ public:
+  RunContext(DeviceManager* manager, PrimitiveGraph* graph,
+             const ExecutionOptions& options);
+
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  /// Validates the graph, splits pipelines, resets chunk progress, and
+  /// readies the run's devices (state reset when the options ask for it,
+  /// async mode per the model). `device_override` names the devices the run
+  /// will touch when they cannot be derived from the graph's node
+  /// annotations — the device-parallel driver passes its device set so all
+  /// partition devices are reset and snapshotted.
+  Status Prepare(const std::vector<DeviceId>& device_override = {});
+
+  // --- Driver-facing phase operations ---
+
+  /// Chunk capacity (elements) for one pipeline under this run's model.
+  size_t ChunkCapacity(const Pipeline& pipeline) const;
+
+  /// Per-pipeline setup: model restriction checks (a global breaker cannot
+  /// run chunked), breaker persist allocation, staging-state reset.
+  Status BeginPipeline(const Pipeline& pipeline, size_t total_chunks);
+
+  /// Stage phase (Algorithm 3): dual pinned input buffers per scan column
+  /// plus all intermediate buffers, allocated once for the pipeline.
+  Status StageAllocations(const Pipeline& pipeline, size_t cap);
+
+  /// Bounded transfer lookahead (Algorithm 2 with a staging ring): the WAR
+  /// hazard on a ring slot keeps the transfer thread at most
+  /// `pipeline_depth` chunks ahead of execution.
+  Status AllocateRing(const Pipeline& pipeline, size_t cap);
+
+  /// Copy/compute loop over global chunk indices [chunk_begin, chunk_end):
+  /// place scan chunks, execute every node, advance progress, release
+  /// per-chunk allocations. `chunk_end` is clamped to the pipeline's total.
+  Status RunChunks(const Pipeline& pipeline, size_t chunk_begin,
+                   size_t chunk_end, size_t cap);
+
+  /// Synchronizes the devices of one pipeline's nodes (the async models'
+  /// barrier at each pipeline breaker, Algorithm 2).
+  Status SyncPipelineDevices(const Pipeline& pipeline);
+
+  /// Result delivery: terminal breaker outputs back to the host, then a
+  /// final synchronize of every used device.
+  Status CompleteRun();
+
+  // --- Device-parallel support (partition merge at the task layer) ---
+
+  /// The persist backing a breaker node, or nullptr if none was allocated.
+  const Persist* FindPersist(int node_id) const;
+  /// Reads a breaker's device-resident persist back to the host.
+  Result<std::vector<uint8_t>> ReadPersistBytes(int node_id);
+  /// Overwrites a breaker's persist with merged host bytes and marks it
+  /// initialized, so later pipelines on this context consume merged state.
+  Status PlacePersistBytes(int node_id, const void* data, size_t bytes);
+  /// Publishes every breaker persist of `pipeline` on its outgoing edges —
+  /// what ExecuteNode does implicitly, made explicit for devices that ran
+  /// zero chunks of the producing pipeline but consume the merged result.
+  Status BindPersistOutputs(const Pipeline& pipeline);
+
+  // --- Cleanup and accounting (QueryExecutor::Run's business) ---
+
+  /// Delete phase / error cleanup: scan leases, per-chunk and per-run
+  /// allocations, async mode off. Safe to call on every path.
+  void ReleaseAll();
+
+  /// Folds hub counters and per-device timeline/footprint snapshots into
+  /// the execution's QueryStats. Counters are added, not assigned, so a
+  /// composite driver may pre-accumulate sub-run statistics.
+  void FinalizeStats();
+
+  // --- Accessors ---
+
+  const std::vector<Pipeline>& pipelines() const { return pipelines_; }
+  const ExecutionOptions& options() const { return options_; }
+  PrimitiveGraph* graph() { return graph_; }
+  DeviceManager* manager() { return manager_; }
+  const DataTransferHub& hub() const { return hub_; }
+  bool async_mode() const { return async_; }
+  QueryExecution& exec() { return exec_; }
+  Result<QueryExecution> TakeExecution() { return std::move(exec_); }
+
+ private:
+  Status PlaceScanChunk(int edge_id, size_t chunk, size_t base_row, size_t n);
+  Result<Binding> InputBinding(const GraphEdge& edge, DeviceId device);
+  size_t BindingBytes(const GraphEdge& edge, const Binding& binding) const;
+  Result<BufferId> OutputBuffer(const GraphNode& node, int slot, size_t bytes,
+                                DataSemantic semantic);
+  size_t StagedInputCapacity(const GraphNode& node, size_t cap,
+                             std::map<std::pair<int, int>, size_t>* caps) const;
+  static int PrimaryInputSlot(const GraphNode& node);
+  Status ExecuteNode(int node_id, size_t chunk, size_t base_row, size_t n);
+  Status AllocatePersist(const GraphNode& node, size_t input_rows);
+  Status RetrieveStreaming(const GraphNode& node, SimulatedDevice* dev,
+                           const Binding& out0, const Binding* out1,
+                           size_t base_row, size_t n);
+  Status RetrieveBreaker(const GraphNode& node);
+  void FreeAll(std::vector<std::pair<DeviceId, BufferId>>* allocs);
+  void ReleaseScanLeases();
+
+  DeviceManager* manager_;
+  PrimitiveGraph* graph_;
+  ExecutionOptions options_;
+  const bool oaat_;
+  const bool staged_;
+  const bool async_;
+  DataTransferHub hub_;
+
+  std::vector<Pipeline> pipelines_;
+  std::map<int, Binding> edge_bindings_;
+  std::map<int, Persist> persists_;
+  std::map<std::pair<int, DeviceId>, BufferId> moved_persists_;
+  std::map<int, std::array<BufferId, 2>> staged_scan_bufs_;
+  std::map<int, std::vector<BufferId>> ring_bufs_;
+  std::map<std::pair<const Column*, DeviceId>, Binding> chunk_scan_cache_;
+  std::map<std::pair<int, int>, BufferId> staged_outputs_;
+  std::vector<std::pair<DeviceId, BufferId>> per_chunk_allocs_;
+  /// Pipeline-scoped transients (ring slots, staged scan buffers, staged
+  /// intermediate outputs): freed when the next pipeline begins, so the
+  /// per-device peak is persists + the worst single pipeline — the bound
+  /// EstimateDeviceMemoryBytes computes.
+  std::vector<std::pair<DeviceId, BufferId>> pipeline_allocs_;
+  std::vector<std::pair<DeviceId, BufferId>> run_allocs_;
+  std::vector<uint64_t> chunk_lease_tokens_;
+  std::vector<DeviceId> used_devices_;
+  QueryExecution exec_;
+};
+
+}  // namespace adamant::exec
+
+#endif  // ADAMANT_RUNTIME_EXEC_RUN_CONTEXT_H_

@@ -1,14 +1,12 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
-#include <array>
-#include <cmath>
 #include <cstring>
+#include <memory>
+#include <utility>
 
-#include "common/bit_util.h"
-#include "common/logging.h"
+#include "runtime/exec/model_driver.h"
 #include "task/hash_table.h"
-#include "task/kernels.h"
 
 namespace adamant {
 
@@ -24,926 +22,11 @@ const char* ExecutionModelName(ExecutionModelKind kind) {
       return "4-phase";
     case ExecutionModelKind::kFourPhasePipelined:
       return "4-phase-pipelined";
+    case ExecutionModelKind::kDeviceParallel:
+      return "device-parallel";
   }
   return "?";
 }
-
-namespace {
-
-/// A value produced on a device, visible to downstream primitives.
-struct Binding {
-  BufferId data = kInvalidBuffer;
-  BufferId count = kInvalidBuffer;  // device-resident int64[1], or invalid
-  size_t capacity = 0;              // elements
-  ElementType elem_type = ElementType::kInt32;
-  DeviceId device = 0;
-  size_t num_slots = 0;  // hash tables
-};
-
-/// Persisted pipeline-breaker output (hash table / accumulator), resident in
-/// device memory across chunks and pipelines.
-struct Persist {
-  BufferId buffer = kInvalidBuffer;
-  size_t bytes = 0;
-  DeviceId device = 0;
-  size_t num_slots = 0;
-  size_t capacity = 0;  // elements, for array-shaped persists
-  bool initialized = false;  // accumulator identity written (agg_block)
-};
-
-size_t EstimateElems(size_t input_capacity, double selectivity) {
-  double est = static_cast<double>(input_capacity) * selectivity;
-  return static_cast<size_t>(est) + 64;
-}
-
-/// Sizes every output of `node` given its primary input element capacity;
-/// used by the stage phase, per-chunk allocation, and the admission-control
-/// footprint estimator.
-struct OutputPlanEntry {
-  int slot;
-  size_t bytes;
-  DataSemantic semantic;
-};
-std::vector<OutputPlanEntry> PlanNodeOutputs(const GraphNode& node,
-                                             size_t in_capacity) {
-  const double sel = node.config.selectivity;
-  switch (node.kind) {
-    case PrimitiveKind::kMap:
-      return {{0, in_capacity * ElementSize(node.config.out_type),
-               DataSemantic::kNumeric}};
-    case PrimitiveKind::kFilterBitmap:
-      if (node.config.combine_and) return {};  // writes into input bitmap
-      return {{0, bit_util::BytesForBits(in_capacity),
-               DataSemantic::kBitmap}};
-    case PrimitiveKind::kFilterPosition:
-      return {{0, EstimateElems(in_capacity, sel) * sizeof(int32_t),
-               DataSemantic::kPosition},
-              {2, sizeof(int64_t), DataSemantic::kNumeric}};
-    case PrimitiveKind::kMaterialize:
-      return {{0, EstimateElems(in_capacity, sel) * 8,
-               DataSemantic::kNumeric},
-              {2, sizeof(int64_t), DataSemantic::kNumeric}};
-    case PrimitiveKind::kMaterializePosition:
-      return {{0, in_capacity * 8, DataSemantic::kNumeric}};
-    case PrimitiveKind::kHashProbe:
-      return {{0, EstimateElems(in_capacity, sel) * sizeof(int32_t),
-               DataSemantic::kPosition},
-              {1, EstimateElems(in_capacity, sel) * sizeof(int32_t),
-               DataSemantic::kNumeric},
-              {2, sizeof(int64_t), DataSemantic::kNumeric}};
-    // Breakers write into their persists; no per-chunk outputs.
-    case PrimitiveKind::kAggBlock:
-    case PrimitiveKind::kHashBuild:
-    case PrimitiveKind::kHashAgg:
-    case PrimitiveKind::kSortAgg:
-    case PrimitiveKind::kPrefixSum:
-      return {};
-  }
-  return {};
-}
-
-/// Sizing of a pipeline breaker's device-resident persist (shared by
-/// AllocatePersist and the footprint estimator). Fills bytes/num_slots/
-/// capacity; device and buffer are the caller's business.
-struct PersistShape {
-  size_t bytes = 0;
-  size_t num_slots = 0;
-  size_t capacity = 0;
-};
-Result<PersistShape> PlanPersist(const GraphNode& node, size_t input_rows) {
-  PersistShape shape;
-  switch (node.kind) {
-    case PrimitiveKind::kAggBlock:
-      shape.bytes = sizeof(int64_t);
-      break;
-    case PrimitiveKind::kHashBuild: {
-      if (node.config.expected_build_rows <= 0) {
-        return Status::InvalidArgument(
-            node.label + ": expected_build_rows must be set for HASH_BUILD");
-      }
-      shape.num_slots = HashTableLayout::SlotsFor(
-          static_cast<size_t>(node.config.expected_build_rows));
-      shape.bytes = HashTableLayout::BuildTableBytes(shape.num_slots);
-      break;
-    }
-    case PrimitiveKind::kHashAgg: {
-      if (node.config.expected_build_rows <= 0) {
-        return Status::InvalidArgument(
-            node.label + ": expected_build_rows must be set for HASH_AGG");
-      }
-      shape.num_slots = HashTableLayout::SlotsFor(
-          static_cast<size_t>(node.config.expected_build_rows));
-      shape.bytes = HashTableLayout::AggTableBytes(shape.num_slots);
-      break;
-    }
-    case PrimitiveKind::kSortAgg:
-      if (node.config.num_groups == 0) {
-        return Status::InvalidArgument(node.label + ": num_groups must be set");
-      }
-      shape.bytes = node.config.num_groups * sizeof(int64_t);
-      shape.capacity = node.config.num_groups;
-      break;
-    case PrimitiveKind::kPrefixSum:
-      shape.bytes = input_rows * sizeof(int32_t);
-      shape.capacity = input_rows;
-      break;
-    default:
-      return Status::Internal(node.label + " is not a pipeline breaker");
-  }
-  return shape;
-}
-
-/// Chunk capacity (elements) the execution model uses for a pipeline.
-size_t PipelineChunkCapacity(const Pipeline& pipeline,
-                             const ExecutionOptions& options, bool oaat,
-                             double scale) {
-  size_t cap = pipeline.input_rows;
-  if (!oaat) {
-    auto actual =
-        static_cast<size_t>(static_cast<double>(options.chunk_elems) / scale);
-    cap = std::min(pipeline.input_rows, std::max<size_t>(actual, 1));
-  }
-  return cap;
-}
-
-class RunContext {
- public:
-  RunContext(DeviceManager* manager, PrimitiveGraph* graph,
-             const ExecutionOptions& options)
-      : manager_(manager),
-        graph_(graph),
-        options_(options),
-        oaat_(options.model == ExecutionModelKind::kOperatorAtATime),
-        staged_(options.model == ExecutionModelKind::kFourPhaseChunked ||
-                options.model == ExecutionModelKind::kFourPhasePipelined),
-        async_(options.model == ExecutionModelKind::kPipelined ||
-               options.model == ExecutionModelKind::kFourPhasePipelined),
-        hub_(manager, options.use_transform
-                          ? DataContainer::WithDefaultTransforms()
-                          : DataContainer::WithoutTransforms()) {
-    hub_.set_scan_cache(options.scan_cache);
-    hub_.set_memory_listener(options.memory_listener);
-  }
-
-  Result<QueryExecution> Run() {
-    Status st = RunImpl();
-    // Delete phase / error cleanup: give every allocation back.
-    ReleaseScanLeases();
-    FreeAll(&per_chunk_allocs_);
-    FreeAll(&run_allocs_);
-    // Re-entrancy: only reset the devices this graph touched; another
-    // query's devices are none of our business.
-    for (DeviceId id : used_devices_) {
-      auto dev = manager_->GetDevice(id);
-      if (dev.ok()) (*dev)->SetAsyncMode(false);
-    }
-    if (!st.ok()) return st;
-    FinalizeStats();
-    return std::move(exec_);
-  }
-
- private:
-  Status RunImpl() {
-    ADAMANT_RETURN_NOT_OK(graph_->Validate());
-    ADAMANT_ASSIGN_OR_RETURN(pipelines_, graph_->SplitPipelines());
-    graph_->ResetProgress();
-
-    for (const GraphNode& node : graph_->nodes()) {
-      if (std::find(used_devices_.begin(), used_devices_.end(), node.device) ==
-          used_devices_.end()) {
-        used_devices_.push_back(node.device);
-      }
-    }
-    std::sort(used_devices_.begin(), used_devices_.end());
-
-    for (DeviceId id : used_devices_) {
-      ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(id));
-      if (options_.reset_device_state) {
-        dev->ResetTimelines();
-        dev->ResetStats();
-        dev->device_arena().ResetHighWater();
-        dev->pinned_arena().ResetHighWater();
-      }
-      dev->SetAsyncMode(async_);
-    }
-
-    for (const Pipeline& pipeline : pipelines_) {
-      ADAMANT_RETURN_NOT_OK(RunPipeline(pipeline));
-    }
-
-    // Result delivery: terminal breaker outputs come back to the host.
-    for (const GraphNode& node : graph_->nodes()) {
-      if (!GetSignature(node.kind).pipeline_breaker) continue;
-      if (!graph_->IsTerminal(node.id)) continue;
-      ADAMANT_RETURN_NOT_OK(RetrieveBreaker(node));
-    }
-    for (DeviceId id : used_devices_) {
-      ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(id));
-      dev->Synchronize();
-    }
-    return Status::OK();
-  }
-
-  Status RunPipeline(const Pipeline& pipeline) {
-    const size_t cap = PipelineChunkCapacity(pipeline, options_, oaat_,
-                                             manager_->data_scale());
-    const size_t chunks =
-        cap == 0 ? 1 : bit_util::CeilDiv(pipeline.input_rows, cap);
-
-    // Allocate this pipeline's breaker outputs (device-resident across
-    // chunks) and check model restrictions.
-    for (int node_id : pipeline.nodes) {
-      const GraphNode& node = graph_->node(node_id);
-      if (node.kind == PrimitiveKind::kPrefixSum && chunks > 1) {
-        return Status::NotSupported(
-            "PREFIX_SUM is a global breaker and cannot run chunked; use "
-            "operator-at-a-time");
-      }
-      if (GetSignature(node.kind).pipeline_breaker) {
-        ADAMANT_RETURN_NOT_OK(AllocatePersist(node, pipeline.input_rows));
-      }
-    }
-
-    // Stage phase (Algorithm 3): dual pinned input buffers per scan edge
-    // plus all intermediate buffers, allocated once.
-    staged_scan_bufs_.clear();
-    staged_outputs_.clear();
-    ring_bufs_.clear();
-    if (staged_) {
-      ADAMANT_RETURN_NOT_OK(StageAllocations(pipeline, cap));
-    } else if (async_ && options_.pipeline_depth > 0) {
-      // Bounded transfer lookahead (Algorithm 2 with a staging ring): the
-      // WAR hazard on a ring slot keeps the transfer thread at most
-      // `pipeline_depth` chunks ahead of execution.
-      ADAMANT_RETURN_NOT_OK(AllocateRing(pipeline, cap));
-    }
-
-    // Copy/compute loop (Algorithms 1-3).
-    for (size_t c = 0; c < chunks; ++c) {
-      const size_t base_row = c * cap;
-      const size_t n = std::min(cap, pipeline.input_rows - base_row);
-
-      chunk_scan_cache_.clear();
-      for (int edge_id : pipeline.scan_edges) {
-        ADAMANT_RETURN_NOT_OK(PlaceScanChunk(edge_id, c, base_row, n));
-      }
-      for (int node_id : pipeline.nodes) {
-        ADAMANT_RETURN_NOT_OK(ExecuteNode(node_id, c, base_row, n));
-      }
-      for (int edge_id : pipeline.scan_edges) {
-        graph_->edge(edge_id).processed_until += n;
-      }
-      FreeAll(&per_chunk_allocs_);
-      ReleaseScanLeases();
-      ++exec_.stats.chunks;
-    }
-
-    // Threads synchronize at each pipeline breaker (Algorithm 2).
-    if (async_) {
-      for (int node_id : pipeline.nodes) {
-        ADAMANT_ASSIGN_OR_RETURN(
-            SimulatedDevice * dev,
-            manager_->GetDevice(graph_->node(node_id).device));
-        dev->Synchronize();
-      }
-    }
-    return Status::OK();
-  }
-
-  Status PlaceScanChunk(int edge_id, size_t chunk, size_t base_row, size_t n) {
-    GraphEdge& edge = graph_->edge(edge_id);
-    const GraphNode& consumer = graph_->node(edge.to_node);
-    const size_t elem = ElementSize(edge.elem_type);
-
-    // A column consumed by several primitives of one pipeline is placed on
-    // the device once per chunk and the buffer shared.
-    auto cached = chunk_scan_cache_.find(
-        std::make_pair(edge.column.get(), consumer.device));
-    if (cached != chunk_scan_cache_.end()) {
-      edge_bindings_[edge_id] = cached->second;
-      edge.fetched_until += n;
-      return Status::OK();
-    }
-
-    BufferId buf;
-    if (staged_) {
-      buf = staged_scan_bufs_.at(edge_id)[chunk % 2];
-      ADAMANT_RETURN_NOT_OK(
-          hub_.PlaceChunk(consumer.device, buf,
-                          edge.column->raw_data() + base_row * elem, n * elem));
-    } else if (auto ring = ring_bufs_.find(edge_id); ring != ring_bufs_.end()) {
-      buf = ring->second[chunk % ring->second.size()];
-      ADAMANT_RETURN_NOT_OK(
-          hub_.PlaceChunk(consumer.device, buf,
-                          edge.column->raw_data() + base_row * elem, n * elem));
-    } else {
-      // Transient per-chunk path: goes through the hub's scan-cache-aware
-      // load. A hit reuses a device-resident chunk from an earlier query
-      // (no transfer); a cached miss fills a cache-owned buffer we lease
-      // until the chunk is consumed; otherwise we own a transient buffer.
-      ADAMANT_ASSIGN_OR_RETURN(
-          ScanBufferCache::Lease lease,
-          hub_.LoadColumnChunk(consumer.device, edge.column, base_row, n,
-                               elem));
-      buf = lease.buffer;
-      if (lease.cached) {
-        chunk_lease_tokens_.push_back(lease.token);
-      } else {
-        per_chunk_allocs_.emplace_back(consumer.device, buf);
-      }
-    }
-    edge.fetched_until += n;
-
-    Binding binding;
-    binding.data = buf;
-    binding.capacity = n;
-    binding.elem_type = edge.elem_type;
-    binding.device = consumer.device;
-    edge_bindings_[edge_id] = binding;
-    chunk_scan_cache_[std::make_pair(edge.column.get(), consumer.device)] =
-        binding;
-    return Status::OK();
-  }
-
-  // -------------------------------------------------------------------------
-  // Node execution.
-  // -------------------------------------------------------------------------
-
-  Result<Binding> InputBinding(const GraphEdge& edge, DeviceId device) {
-    auto it = edge_bindings_.find(edge.id);
-    if (it == edge_bindings_.end()) {
-      return Status::Internal("no binding for data edge " +
-                              std::to_string(edge.id));
-    }
-    Binding binding = it->second;
-    if (binding.device == device) return binding;
-
-    // Cross-device edge: route through the host. Persisted breaker outputs
-    // move once per query; streaming chunks move every chunk.
-    const bool from_breaker =
-        !edge.is_scan() &&
-        GetSignature(graph_->node(edge.from_node).kind).pipeline_breaker;
-    const size_t bytes = BindingBytes(edge, binding);
-    if (from_breaker) {
-      auto key = std::make_pair(edge.from_node, device);
-      auto moved = moved_persists_.find(key);
-      if (moved != moved_persists_.end()) {
-        binding.data = moved->second;
-        binding.device = device;
-        return binding;
-      }
-      ADAMANT_ASSIGN_OR_RETURN(
-          BufferId routed, hub_.Router(binding.device, binding.data, device, bytes));
-      run_allocs_.emplace_back(device, routed);
-      moved_persists_[key] = routed;
-      binding.data = routed;
-      binding.device = device;
-      return binding;
-    }
-
-    ADAMANT_ASSIGN_OR_RETURN(
-        BufferId routed, hub_.Router(binding.device, binding.data, device, bytes));
-    per_chunk_allocs_.emplace_back(device, routed);
-    if (binding.count != kInvalidBuffer) {
-      ADAMANT_ASSIGN_OR_RETURN(BufferId routed_count,
-                               hub_.Router(binding.device, binding.count,
-                                           device, sizeof(int64_t)));
-      per_chunk_allocs_.emplace_back(device, routed_count);
-      binding.count = routed_count;
-    }
-    binding.data = routed;
-    binding.device = device;
-    return binding;
-  }
-
-  size_t BindingBytes(const GraphEdge& edge, const Binding& binding) const {
-    if (edge.semantic == DataSemantic::kBitmap) {
-      return bit_util::BytesForBits(binding.capacity);
-    }
-    if (edge.semantic == DataSemantic::kHashTable) {
-      auto it = persists_.find(edge.from_node);
-      return it != persists_.end() ? it->second.bytes : binding.capacity;
-    }
-    return binding.capacity * ElementSize(binding.elem_type);
-  }
-
-  /// Allocates (or fetches staged) output buffer of `bytes` for `node`.
-  Result<BufferId> OutputBuffer(const GraphNode& node, int slot, size_t bytes,
-                                DataSemantic semantic) {
-    if (staged_) {
-      auto it = staged_outputs_.find({node.id, slot});
-      if (it == staged_outputs_.end()) {
-        return Status::Internal(node.label + ": output slot " +
-                                std::to_string(slot) + " was not staged");
-      }
-      return it->second;
-    }
-    ADAMANT_ASSIGN_OR_RETURN(
-        BufferId buf,
-        hub_.PrepareOutputBuffer(node.device, semantic, bytes, false));
-    per_chunk_allocs_.emplace_back(node.device, buf);
-    return buf;
-  }
-
-  /// Capacity (elements) of a node's primary input within a chunk of `cap`.
-  /// Used by the stage phase, before bindings exist.
-  size_t StagedInputCapacity(const GraphNode& node, size_t cap,
-                             std::map<std::pair<int, int>, size_t>* caps) const {
-    size_t in_cap = cap;
-    for (int edge_id : graph_->InEdges(node.id)) {
-      const GraphEdge& edge = graph_->edges()[static_cast<size_t>(edge_id)];
-      if (edge.to_slot != PrimaryInputSlot(node)) continue;
-      if (edge.is_scan()) return cap;
-      auto it = caps->find({edge.from_node, edge.from_slot});
-      if (it != caps->end()) return it->second;
-    }
-    return in_cap;
-  }
-
-  static int PrimaryInputSlot(const GraphNode& node) {
-    // The input whose cardinality drives the node's output sizing: slot 1
-    // (positions) for gathers, slot 0 otherwise.
-    return node.kind == PrimitiveKind::kMaterializePosition ? 1 : 0;
-  }
-
-  Status AllocateRing(const Pipeline& pipeline, size_t cap) {
-    std::map<std::pair<const Column*, DeviceId>, std::vector<BufferId>>
-        ring_by_column;
-    for (int edge_id : pipeline.scan_edges) {
-      const GraphEdge& edge = graph_->edges()[static_cast<size_t>(edge_id)];
-      const GraphNode& consumer = graph_->node(edge.to_node);
-      auto key = std::make_pair(edge.column.get(), consumer.device);
-      auto it = ring_by_column.find(key);
-      if (it == ring_by_column.end()) {
-        std::vector<BufferId> slots(options_.pipeline_depth);
-        for (BufferId& slot : slots) {
-          ADAMANT_ASSIGN_OR_RETURN(
-              slot, hub_.PrepareOutputBuffer(
-                        consumer.device, DataSemantic::kNumeric,
-                        cap * ElementSize(edge.elem_type), /*pinned=*/false));
-          run_allocs_.emplace_back(consumer.device, slot);
-        }
-        it = ring_by_column.emplace(key, std::move(slots)).first;
-      }
-      ring_bufs_[edge_id] = it->second;
-    }
-    return Status::OK();
-  }
-
-  Status StageAllocations(const Pipeline& pipeline, size_t cap) {
-    // Dual pinned buffers per distinct scan column (Fig. 8's two identical
-    // spaces); edges sharing a column share the staging pair.
-    std::map<std::pair<const Column*, DeviceId>, std::array<BufferId, 2>>
-        staged_by_column;
-    for (int edge_id : pipeline.scan_edges) {
-      const GraphEdge& edge = graph_->edges()[static_cast<size_t>(edge_id)];
-      const GraphNode& consumer = graph_->node(edge.to_node);
-      auto key = std::make_pair(edge.column.get(), consumer.device);
-      auto it = staged_by_column.find(key);
-      if (it == staged_by_column.end()) {
-        const size_t bytes = cap * ElementSize(edge.elem_type);
-        std::array<BufferId, 2> bufs{};
-        for (int slot = 0; slot < 2; ++slot) {
-          ADAMANT_ASSIGN_OR_RETURN(
-              bufs[static_cast<size_t>(slot)],
-              hub_.PrepareOutputBuffer(consumer.device, DataSemantic::kNumeric,
-                                       bytes, /*pinned=*/true));
-          run_allocs_.emplace_back(consumer.device,
-                                   bufs[static_cast<size_t>(slot)]);
-        }
-        it = staged_by_column.emplace(key, bufs).first;
-      }
-      staged_scan_bufs_[edge_id] = it->second;
-    }
-
-    // Intermediate result buffers, staged once and reused across chunks
-    // ("utilizing the dedicated device memory to store intermediate
-    // results").
-    std::map<std::pair<int, int>, size_t> caps;  // (node, slot) -> elements
-    for (int node_id : pipeline.nodes) {
-      const GraphNode& node = graph_->node(node_id);
-      const size_t in_cap = StagedInputCapacity(node, cap, &caps);
-      for (const OutputPlanEntry& out : PlanNodeOutputs(node, in_cap)) {
-        ADAMANT_ASSIGN_OR_RETURN(
-            BufferId buf,
-            hub_.PrepareOutputBuffer(node.device, out.semantic, out.bytes,
-                                     /*pinned=*/false));
-        run_allocs_.emplace_back(node.device, buf);
-        staged_outputs_[{node_id, out.slot}] = buf;
-      }
-      // Record this node's output capacity for downstream sizing.
-      const size_t out_cap =
-          node.kind == PrimitiveKind::kFilterPosition ||
-                  node.kind == PrimitiveKind::kMaterialize ||
-                  node.kind == PrimitiveKind::kHashProbe
-              ? EstimateElems(in_cap, node.config.selectivity)
-              : in_cap;
-      caps[{node_id, 0}] = out_cap;
-      caps[{node_id, 1}] = out_cap;
-    }
-    return Status::OK();
-  }
-
-  Status ExecuteNode(int node_id, size_t chunk, size_t base_row, size_t n) {
-    const GraphNode& node = graph_->node(node_id);
-    ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev,
-                             manager_->GetDevice(node.device));
-
-    // Resolve inputs by slot.
-    std::array<Binding, 2> in{};
-    std::array<bool, 2> has_in{false, false};
-    for (int edge_id : graph_->InEdges(node_id)) {
-      const GraphEdge& edge = graph_->edges()[static_cast<size_t>(edge_id)];
-      const auto slot = static_cast<size_t>(edge.to_slot);
-      ADAMANT_ASSIGN_OR_RETURN(in[slot], InputBinding(edge, node.device));
-      has_in[slot] = true;
-    }
-
-    KernelLaunch launch;
-    Binding out0, out1;
-    bool has_out1 = false;
-
-    switch (node.kind) {
-      case PrimitiveKind::kMap: {
-        const Binding& a = in[0];
-        if (a.elem_type != node.config.in_type) {
-          return Status::InvalidArgument(node.label + ": input is " +
-                                         ElementTypeName(a.elem_type) +
-                                         ", config says " +
-                                         ElementTypeName(node.config.in_type));
-        }
-        ADAMANT_ASSIGN_OR_RETURN(
-            out0.data, OutputBuffer(node, 0,
-                                    a.capacity * ElementSize(node.config.out_type),
-                                    DataSemantic::kNumeric));
-        out0.count = a.count;
-        out0.capacity = a.capacity;
-        out0.elem_type = node.config.out_type;
-        out0.device = node.device;
-        launch = kernels::MakeMap(a.data, has_in[1] ? in[1].data : kInvalidBuffer,
-                                  out0.data, node.config.map_op,
-                                  node.config.in_type, node.config.out_type,
-                                  node.config.imm, a.capacity, a.count);
-        break;
-      }
-      case PrimitiveKind::kFilterBitmap: {
-        const Binding& a = in[0];
-        BufferId bitmap;
-        if (node.config.combine_and) {
-          if (!has_in[1]) {
-            return Status::InvalidArgument(node.label +
-                                           ": combine filter needs a bitmap");
-          }
-          bitmap = in[1].data;
-        } else {
-          ADAMANT_ASSIGN_OR_RETURN(
-              bitmap, OutputBuffer(node, 0, bit_util::BytesForBits(a.capacity),
-                                   DataSemantic::kBitmap));
-        }
-        out0.data = bitmap;
-        out0.count = a.count;
-        out0.capacity = a.capacity;
-        out0.device = node.device;
-        launch = kernels::MakeFilterBitmap(
-            a.data, bitmap, node.config.cmp_op, a.elem_type, node.config.lo,
-            node.config.hi, node.config.combine_and, a.capacity, a.count);
-        break;
-      }
-      case PrimitiveKind::kFilterPosition: {
-        const Binding& a = in[0];
-        const size_t est = EstimateElems(a.capacity, node.config.selectivity);
-        ADAMANT_ASSIGN_OR_RETURN(
-            out0.data, OutputBuffer(node, 0, est * sizeof(int32_t),
-                                    DataSemantic::kPosition));
-        ADAMANT_ASSIGN_OR_RETURN(
-            out0.count,
-            OutputBuffer(node, 2, sizeof(int64_t), DataSemantic::kNumeric));
-        out0.capacity = est;
-        out0.elem_type = ElementType::kInt32;
-        out0.device = node.device;
-        launch = kernels::MakeFilterPosition(
-            a.data, out0.data, out0.count, node.config.cmp_op, a.elem_type,
-            node.config.lo, node.config.hi, a.capacity, a.count);
-        break;
-      }
-      case PrimitiveKind::kMaterialize: {
-        const Binding& a = in[0];
-        const size_t est = EstimateElems(a.capacity, node.config.selectivity);
-        ADAMANT_ASSIGN_OR_RETURN(
-            out0.data, OutputBuffer(node, 0, est * 8, DataSemantic::kNumeric));
-        ADAMANT_ASSIGN_OR_RETURN(
-            out0.count,
-            OutputBuffer(node, 2, sizeof(int64_t), DataSemantic::kNumeric));
-        out0.capacity = est;
-        out0.elem_type = a.elem_type;
-        out0.device = node.device;
-        launch = kernels::MakeMaterialize(a.data, in[1].data, out0.data,
-                                          out0.count, a.elem_type, a.capacity,
-                                          a.count);
-        break;
-      }
-      case PrimitiveKind::kMaterializePosition: {
-        const Binding& values = in[0];
-        const Binding& positions = in[1];
-        ADAMANT_ASSIGN_OR_RETURN(
-            out0.data, OutputBuffer(node, 0, positions.capacity * 8,
-                                    DataSemantic::kNumeric));
-        out0.count = positions.count;
-        out0.capacity = positions.capacity;
-        out0.elem_type = values.elem_type;
-        out0.device = node.device;
-        launch = kernels::MakeMaterializePosition(
-            values.data, positions.data, out0.data, values.elem_type,
-            positions.capacity, positions.count);
-        break;
-      }
-      case PrimitiveKind::kPrefixSum: {
-        const Binding& a = in[0];
-        Persist& persist = persists_.at(node_id);
-        out0.data = persist.buffer;
-        out0.count = a.count;
-        out0.capacity = persist.capacity;
-        out0.elem_type = ElementType::kInt32;
-        out0.device = node.device;
-        launch = kernels::MakePrefixSum(a.data, persist.buffer,
-                                        node.config.exclusive, a.capacity,
-                                        a.count);
-        break;
-      }
-      case PrimitiveKind::kAggBlock: {
-        const Binding& a = in[0];
-        Persist& persist = persists_.at(node_id);
-        const bool init = !persist.initialized;
-        persist.initialized = true;
-        out0.data = persist.buffer;
-        out0.capacity = 1;
-        out0.elem_type = ElementType::kInt64;
-        out0.device = node.device;
-        launch = kernels::MakeAggBlock(a.data, persist.buffer,
-                                       node.config.agg_op, a.elem_type, init,
-                                       a.capacity, a.count);
-        break;
-      }
-      case PrimitiveKind::kHashBuild: {
-        const Binding& keys = in[0];
-        Persist& persist = persists_.at(node_id);
-        out0.data = persist.buffer;
-        out0.num_slots = persist.num_slots;
-        out0.device = node.device;
-        launch = kernels::MakeHashBuild(
-            keys.data, has_in[1] ? in[1].data : kInvalidBuffer, persist.buffer,
-            persist.num_slots, static_cast<int64_t>(base_row), keys.capacity,
-            keys.count);
-        break;
-      }
-      case PrimitiveKind::kHashProbe: {
-        const Binding& keys = in[0];
-        const Binding& table = in[1];
-        if (table.num_slots == 0) {
-          return Status::Internal(node.label + ": probe table has no slots");
-        }
-        const size_t est = EstimateElems(keys.capacity, node.config.selectivity);
-        ADAMANT_ASSIGN_OR_RETURN(
-            out0.data, OutputBuffer(node, 0, est * sizeof(int32_t),
-                                    DataSemantic::kPosition));
-        ADAMANT_ASSIGN_OR_RETURN(
-            out1.data, OutputBuffer(node, 1, est * sizeof(int32_t),
-                                    DataSemantic::kNumeric));
-        ADAMANT_ASSIGN_OR_RETURN(
-            out0.count,
-            OutputBuffer(node, 2, sizeof(int64_t), DataSemantic::kNumeric));
-        out0.capacity = est;
-        out0.elem_type = ElementType::kInt32;
-        out0.device = node.device;
-        out1.count = out0.count;
-        out1.capacity = est;
-        out1.elem_type = ElementType::kInt32;
-        out1.device = node.device;
-        has_out1 = true;
-        launch = kernels::MakeHashProbe(keys.data, table.data, out0.data,
-                                        out1.data, out0.count,
-                                        table.num_slots, node.config.probe_mode,
-                                        /*pos_base=*/0, keys.capacity,
-                                        keys.count);
-        break;
-      }
-      case PrimitiveKind::kHashAgg: {
-        const Binding& keys = in[0];
-        Persist& persist = persists_.at(node_id);
-        out0.data = persist.buffer;
-        out0.num_slots = persist.num_slots;
-        out0.device = node.device;
-        launch = kernels::MakeHashAgg(
-            keys.data, has_in[1] ? in[1].data : kInvalidBuffer, persist.buffer,
-            persist.num_slots, node.config.agg_op,
-            has_in[1] ? in[1].elem_type : ElementType::kInt64, keys.capacity,
-            node.config.expected_build_rows,
-            node.config.build_rows_scale_with_data, keys.count);
-        break;
-      }
-      case PrimitiveKind::kSortAgg: {
-        const Binding& values = in[0];
-        const Binding& pxsum = in[1];
-        Persist& persist = persists_.at(node_id);
-        const bool init = !persist.initialized;
-        persist.initialized = true;
-        out0.data = persist.buffer;
-        out0.capacity = node.config.num_groups;
-        out0.elem_type = ElementType::kInt64;
-        out0.device = node.device;
-        launch = kernels::MakeSortAgg(values.data, pxsum.data, persist.buffer,
-                                      node.config.agg_op, values.elem_type,
-                                      node.config.num_groups, init,
-                                      values.capacity, values.count);
-        break;
-      }
-    }
-
-    ADAMANT_RETURN_NOT_OK(
-        dev->Execute(launch).WithContext(node.label).WithDevice(node.device));
-
-    // Publish outputs on the outgoing edges.
-    for (int edge_id : graph_->OutEdges(node_id)) {
-      const GraphEdge& edge = graph_->edges()[static_cast<size_t>(edge_id)];
-      edge_bindings_[edge_id] = edge.from_slot == 1 && has_out1 ? out1 : out0;
-    }
-
-    // Terminal streaming outputs (non-breaker leaves) come back per chunk.
-    if (graph_->IsTerminal(node_id) &&
-        !GetSignature(node.kind).pipeline_breaker) {
-      ADAMANT_RETURN_NOT_OK(
-          RetrieveStreaming(node, dev, out0, has_out1 ? &out1 : nullptr,
-                            base_row, n));
-    }
-    (void)chunk;
-    return Status::OK();
-  }
-
-  Status AllocatePersist(const GraphNode& node, size_t input_rows) {
-    if (persists_.count(node.id) > 0) return Status::OK();
-    ADAMANT_ASSIGN_OR_RETURN(PersistShape shape, PlanPersist(node, input_rows));
-    Persist persist;
-    persist.device = node.device;
-    persist.bytes = shape.bytes;
-    persist.num_slots = shape.num_slots;
-    persist.capacity = shape.capacity;
-    const DataSemantic semantic = node.kind == PrimitiveKind::kHashBuild ||
-                                          node.kind == PrimitiveKind::kHashAgg
-                                      ? DataSemantic::kHashTable
-                                      : DataSemantic::kNumeric;
-    ADAMANT_ASSIGN_OR_RETURN(
-        persist.buffer,
-        hub_.PrepareOutputBuffer(node.device, semantic, persist.bytes, false));
-    run_allocs_.emplace_back(node.device, persist.buffer);
-    persists_[node.id] = persist;
-    return Status::OK();
-  }
-
-  Status RetrieveStreaming(const GraphNode& node, SimulatedDevice* dev,
-                           const Binding& out0, const Binding* out1,
-                           size_t base_row, size_t n) {
-    QueryExecution::NodeOutput& output = exec_.mutable_outputs()[node.id];
-    output.kind = node.kind;
-    output.elem_type = out0.elem_type;
-
-    QueryExecution::ChunkPart part;
-    part.base_row = base_row;
-    if (out0.count != kInvalidBuffer) {
-      ADAMANT_RETURN_NOT_OK(
-          dev->RetrieveData(out0.count, &part.count, sizeof(int64_t), 0)
-              .WithDevice(node.device));
-    } else {
-      part.count = static_cast<int64_t>(n);
-    }
-    size_t bytes;
-    if (node.kind == PrimitiveKind::kFilterBitmap) {
-      bytes = bit_util::BytesForBits(n);
-    } else {
-      bytes = static_cast<size_t>(part.count) * ElementSize(out0.elem_type);
-    }
-    part.data.resize(bytes);
-    if (bytes > 0) {
-      ADAMANT_RETURN_NOT_OK(dev->RetrieveData(out0.data, part.data.data(),
-                                              bytes, 0)
-                                .WithDevice(node.device));
-    }
-    if (out1 != nullptr) {
-      part.data2.resize(static_cast<size_t>(part.count) * sizeof(int32_t));
-      if (!part.data2.empty()) {
-        ADAMANT_RETURN_NOT_OK(dev->RetrieveData(out1->data, part.data2.data(),
-                                                part.data2.size(), 0)
-                                  .WithDevice(node.device));
-      }
-    }
-    output.parts.push_back(std::move(part));
-    return Status::OK();
-  }
-
-  Status RetrieveBreaker(const GraphNode& node) {
-    auto it = persists_.find(node.id);
-    if (it == persists_.end()) {
-      return Status::Internal(node.label + ": breaker has no persist");
-    }
-    const Persist& persist = it->second;
-    ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev,
-                             manager_->GetDevice(persist.device));
-    QueryExecution::NodeOutput& output = exec_.mutable_outputs()[node.id];
-    output.kind = node.kind;
-    output.num_slots = persist.num_slots;
-    output.bytes.resize(persist.bytes);
-    return dev->RetrieveData(persist.buffer, output.bytes.data(),
-                             persist.bytes, 0)
-        .WithDevice(persist.device);
-  }
-
-  void FreeAll(std::vector<std::pair<DeviceId, BufferId>>* allocs) {
-    // Unwind contract: every buffer is best-effort deleted and its ledger
-    // charge credited even when the device refuses the delete — after Run()
-    // returns, the query holds no charges, whatever faults occurred.
-    for (auto it = allocs->rbegin(); it != allocs->rend(); ++it) {
-      Status st = hub_.FreeBufferBestEffort(it->first, it->second);
-      if (!st.ok()) {
-        ADAMANT_LOG(Warning) << "delete_memory failed: " << st.ToString();
-      }
-    }
-    allocs->clear();
-  }
-
-  /// Unpins every cache-owned scan chunk leased during the current chunk.
-  void ReleaseScanLeases() {
-    ScanBufferCache* cache = hub_.scan_cache();
-    if (cache != nullptr) {
-      for (uint64_t token : chunk_lease_tokens_) cache->Release(token);
-    }
-    chunk_lease_tokens_.clear();
-  }
-
-  void FinalizeStats() {
-    QueryStats& stats = exec_.stats;
-    stats.bytes_h2d = hub_.bytes_host_to_device();
-    stats.bytes_d2h = hub_.bytes_device_to_host();
-    stats.scan_cache_hits = hub_.scan_cache_hits();
-    stats.scan_cache_misses = hub_.scan_cache_misses();
-    stats.bytes_h2d_saved = hub_.bytes_h2d_saved();
-    // One slot per plugged device so DeviceId indexes stay valid, but only
-    // the devices this query used are read — touching another device's live
-    // counters would race with concurrently-running queries.
-    stats.devices.resize(manager_->num_devices());
-    for (size_t i = 0; i < manager_->num_devices(); ++i) {
-      stats.devices[i].name =
-          manager_->device(static_cast<DeviceId>(i))->name();
-    }
-    // The timeline/counter/high-water accessors are unsynchronized and only
-    // meaningful under an exclusive device lease; when the service shares a
-    // device across queries (reset_device_state == false) a neighbour
-    // mutates them under the device's call mutex mid-read, so skip the
-    // snapshot entirely — entries keep just their names.
-    if (!options_.reset_device_state) return;
-    for (DeviceId id : used_devices_) {
-      SimulatedDevice* dev = manager_->device(id);
-      DeviceRunStats& ds = stats.devices[static_cast<size_t>(id)];
-      ds.h2d_busy_us = dev->transfer_timeline().busy_time();
-      ds.d2h_busy_us = dev->d2h_timeline().busy_time();
-      ds.compute_busy_us = dev->compute_timeline().busy_time();
-      ds.kernel_body_us = dev->kernel_body_time();
-      ds.kernel_body_by_name = dev->kernel_body_by_name();
-      ds.transfer_wire_us = dev->transfer_wire_time();
-      ds.execute_calls = dev->stats().execute;
-      ds.place_calls = dev->stats().place_data;
-      ds.retrieve_calls = dev->stats().retrieve_data;
-      ds.prepare_calls = dev->stats().prepare_memory;
-      ds.device_mem_high_water = dev->device_arena().high_water();
-      ds.pinned_mem_high_water = dev->pinned_arena().high_water();
-      stats.kernel_body_us += ds.kernel_body_us;
-      stats.transfer_wire_us += ds.transfer_wire_us;
-      stats.elapsed_us = std::max(stats.elapsed_us, dev->MaxCompletion());
-    }
-  }
-
-  DeviceManager* manager_;
-  PrimitiveGraph* graph_;
-  ExecutionOptions options_;
-  const bool oaat_;
-  const bool staged_;
-  const bool async_;
-  DataTransferHub hub_;
-
-  std::vector<Pipeline> pipelines_;
-  std::map<int, Binding> edge_bindings_;
-  std::map<int, Persist> persists_;
-  std::map<std::pair<int, DeviceId>, BufferId> moved_persists_;
-  std::map<int, std::array<BufferId, 2>> staged_scan_bufs_;
-  std::map<int, std::vector<BufferId>> ring_bufs_;
-  std::map<std::pair<const Column*, DeviceId>, Binding> chunk_scan_cache_;
-  std::map<std::pair<int, int>, BufferId> staged_outputs_;
-  std::vector<std::pair<DeviceId, BufferId>> per_chunk_allocs_;
-  std::vector<std::pair<DeviceId, BufferId>> run_allocs_;
-  std::vector<uint64_t> chunk_lease_tokens_;
-  std::vector<DeviceId> used_devices_;
-  QueryExecution exec_;
-};
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // QueryExecution result accessors.
@@ -1021,81 +104,26 @@ Result<std::vector<int64_t>> QueryExecution::SortAggValues(int node_id) const {
   return values;
 }
 
+// ---------------------------------------------------------------------------
+// Executor: setup + driver dispatch + cleanup + stats finalization. All
+// per-model control flow lives in the drivers under src/runtime/exec/.
+// ---------------------------------------------------------------------------
+
 Result<QueryExecution> QueryExecutor::Run(PrimitiveGraph* graph,
                                           const ExecutionOptions& options) {
   if (graph == nullptr) return Status::InvalidArgument("null graph");
   if (manager_ == nullptr || manager_->num_devices() == 0) {
     return Status::InvalidArgument("no devices plugged");
   }
-  RunContext context(manager_, graph, options);
-  return context.Run();
-}
-
-Result<size_t> EstimateDeviceMemoryBytes(const PrimitiveGraph& graph,
-                                         const ExecutionOptions& options,
-                                         double data_scale) {
-  ADAMANT_RETURN_NOT_OK(graph.Validate());
-  ADAMANT_ASSIGN_OR_RETURN(std::vector<Pipeline> pipelines,
-                           graph.SplitPipelines());
-  const bool oaat = options.model == ExecutionModelKind::kOperatorAtATime;
-  const bool staged = options.model == ExecutionModelKind::kFourPhaseChunked ||
-                      options.model == ExecutionModelKind::kFourPhasePipelined;
-  const bool async = options.model == ExecutionModelKind::kPipelined ||
-                     options.model == ExecutionModelKind::kFourPhasePipelined;
-
-  // Persists survive until the end of the run; transients peak within one
-  // pipeline. Peak per device = all persists + the worst pipeline.
-  std::map<DeviceId, size_t> persist_bytes;
-  std::map<DeviceId, size_t> worst_pipeline;
-  for (const Pipeline& pipeline : pipelines) {
-    const size_t cap = PipelineChunkCapacity(pipeline, options, oaat,
-                                             data_scale);
-    std::map<DeviceId, size_t> transient;
-
-    // Scan staging. The 4-phase models stage scan chunks in *pinned host*
-    // buffers (not charged against device memory); the ring holds
-    // pipeline_depth device-resident slots; otherwise one transient device
-    // buffer per distinct (column, device) per chunk.
-    if (!staged) {
-      const size_t copies =
-          async && options.pipeline_depth > 0 ? options.pipeline_depth : 1;
-      std::map<std::pair<const Column*, DeviceId>, size_t> scans;
-      for (int edge_id : pipeline.scan_edges) {
-        const GraphEdge& edge = graph.edges()[static_cast<size_t>(edge_id)];
-        const GraphNode& consumer = graph.node(edge.to_node);
-        scans[{edge.column.get(), consumer.device}] =
-            cap * ElementSize(edge.elem_type) * copies;
-      }
-      for (const auto& [key, bytes] : scans) transient[key.second] += bytes;
-    }
-
-    for (int node_id : pipeline.nodes) {
-      const GraphNode& node = graph.node(node_id);
-      // Conservative: size every node's outputs off the full chunk capacity
-      // (downstream capacities only shrink through selectivity).
-      for (const OutputPlanEntry& out : PlanNodeOutputs(node, cap)) {
-        transient[node.device] += out.bytes;
-      }
-      if (GetSignature(node.kind).pipeline_breaker) {
-        ADAMANT_ASSIGN_OR_RETURN(PersistShape shape,
-                                 PlanPersist(node, pipeline.input_rows));
-        persist_bytes[node.device] += shape.bytes;
-      }
-    }
-    for (const auto& [device, bytes] : transient) {
-      worst_pipeline[device] = std::max(worst_pipeline[device], bytes);
-    }
-  }
-
-  size_t peak_actual = 0;
-  for (const auto& [device, bytes] : persist_bytes) {
-    peak_actual = std::max(peak_actual, bytes + worst_pipeline[device]);
-  }
-  for (const auto& [device, bytes] : worst_pipeline) {
-    peak_actual = std::max(peak_actual, bytes + persist_bytes[device]);
-  }
-  // Buffers charge arenas at nominal size (actual bytes × data scale).
-  return static_cast<size_t>(static_cast<double>(peak_actual) * data_scale);
+  ADAMANT_ASSIGN_OR_RETURN(std::unique_ptr<exec::ModelDriver> driver,
+                           exec::MakeModelDriver(options.model));
+  exec::RunContext context(manager_, graph, options);
+  Status st = driver->Execute(context);
+  // Delete phase / error cleanup: give every allocation back.
+  context.ReleaseAll();
+  if (!st.ok()) return st;
+  context.FinalizeStats();
+  return context.TakeExecution();
 }
 
 }  // namespace adamant

@@ -34,6 +34,13 @@ enum class ExecutionModelKind {
   kFourPhaseChunked,
   /// Algorithm 3 with copy-compute overlap.
   kFourPhasePipelined,
+  /// Intra-query device parallelism: the chunk range of each pipeline is
+  /// partitioned across a *set* of devices (ExecutionOptions::device_set),
+  /// each running the chunked model over its partition concurrently;
+  /// pipeline-breaker outputs are merged at the task layer (partial-sum /
+  /// hash-table union) and streaming terminal parts are ordered by
+  /// base_row, so results are bit-identical to a single-device run.
+  kDeviceParallel,
 };
 
 const char* ExecutionModelName(ExecutionModelKind kind);
@@ -54,6 +61,10 @@ struct ExecutionOptions {
   /// degenerates to chunked-like serialization, N = 2 is classic double
   /// buffering).
   size_t pipeline_depth = 0;
+  /// Device-parallel model only: the devices the chunk range is split
+  /// across. Empty = every plugged device. Other models ignore it (their
+  /// placement comes from the graph's node annotations).
+  std::vector<DeviceId> device_set;
 
   // --- Service-layer hooks (see src/service/). All default to off; a bare
   //     QueryExecutor::Run behaves exactly as in the single-query engine. ---
@@ -100,6 +111,11 @@ struct QueryStats {
   sim::SimTime kernel_body_us = 0;
   sim::SimTime transfer_wire_us = 0;
   size_t chunks = 0;
+  /// Device-parallel model: chunks executed per device (the split the
+  /// driver chose), and host-side wall-clock spent merging partition
+  /// breaker outputs. Empty / 0 for single-device models.
+  std::map<int, size_t> chunks_by_device;
+  double merge_host_ms = 0;
   size_t bytes_h2d = 0;
   size_t bytes_d2h = 0;
   /// Scan-cache effect on this run (0 when no cache is attached).
@@ -163,7 +179,11 @@ class QueryExecution {
 /// scan staging, per-chunk intermediate outputs, and pipeline-breaker
 /// persists. The service layer's admission control compares this against a
 /// device's MemoryBudget before dispatching, so a query that would OOM
-/// mid-run queues instead.
+/// mid-run queues instead. Under kDeviceParallel the estimate is *per
+/// device* of the split: every partition device holds the full breaker
+/// persists (its own copy of each table) plus the same per-chunk
+/// transients, so the single-device bound applies to each device and the
+/// scheduler must reserve it on every leased device.
 Result<size_t> EstimateDeviceMemoryBytes(const PrimitiveGraph& graph,
                                          const ExecutionOptions& options,
                                          double data_scale);

@@ -127,6 +127,9 @@ class PrimitiveGraph {
   const std::vector<GraphNode>& nodes() const { return nodes_; }
   const std::vector<GraphEdge>& edges() const { return edges_; }
   const GraphNode& node(int id) const { return nodes_.at(static_cast<size_t>(id)); }
+  /// Mutable node access for post-lowering placement rewrites (the
+  /// device-parallel driver retargets a cloned graph to one device).
+  GraphNode& mutable_node(int id) { return nodes_.at(static_cast<size_t>(id)); }
   GraphEdge& edge(int id) { return edges_.at(static_cast<size_t>(id)); }
 
   /// Edge ids entering `node`, ordered by input slot.

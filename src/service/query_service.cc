@@ -82,6 +82,23 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(QuerySpec spec) {
                                      " is not plugged");
     }
   }
+  const size_t want = std::max<size_t>(spec.parallel_devices, 1);
+  if (want > 1) {
+    if (spec.options.model != ExecutionModelKind::kDeviceParallel) {
+      return Status::InvalidArgument(
+          spec.name + ": parallel_devices > 1 requires the device-parallel "
+          "execution model");
+    }
+    const size_t pool = spec.eligible_devices.empty()
+                            ? manager_->num_devices()
+                            : spec.eligible_devices.size();
+    if (want > pool) {
+      return Status::InvalidArgument(
+          spec.name + ": parallel_devices (" + std::to_string(want) +
+          ") exceeds the eligible device pool (" + std::to_string(pool) +
+          ")");
+    }
+  }
 
   // Footprint estimate for admission control: the plan's shape (and hence
   // its memory footprint) is device-independent, so estimate on the first
@@ -165,7 +182,7 @@ void QueryService::WorkerLoop() {
   std::vector<DeviceId> candidates;
   for (;;) {
     std::shared_ptr<QueuedQuery> query;
-    DeviceId device = -1;
+    std::vector<DeviceId> placed;
     {
       std::unique_lock<std::mutex> lock(mu_);
       for (;;) {
@@ -211,19 +228,16 @@ void QueryService::WorkerLoop() {
               allowed.push_back(d);
             }
           }
-          if (allowed.empty()) allowed = candidates;
-          // Try free-slot devices in least-loaded order and take the first
-          // whose budget also covers the estimate: a query that fits only
-          // the larger of two budgets must not be pinned forever to the
-          // smaller device by a slot-count tie-break.
-          bool had_free_slot = false;
-          const DeviceId best = slots_.PickLeastLoaded(
-              allowed,
-              [&](DeviceId d) {
-                return ledger_->budget(d).TryReserve(candidate.estimate_bytes);
-              },
-              &had_free_slot);
-          if (best < 0) {
+          const size_t want =
+              std::max<size_t>(candidate.spec.parallel_devices, 1);
+          // Exclusions that leave fewer devices than the lease needs are
+          // dropped (for want == 1 that is the empty case): a retry that
+          // has tried everyone must be allowed back rather than starve.
+          if (allowed.size() < want) allowed = candidates;
+          auto fits = [&](DeviceId d) {
+            return ledger_->budget(d).TryReserve(candidate.estimate_bytes);
+          };
+          auto defer = [&](bool had_free_slot) {
             // Blocked by budget (not slots): count the deferral once per
             // release epoch, not once per queue scan.
             if (had_free_slot && candidate.deferral_epoch != release_epoch_) {
@@ -231,8 +245,33 @@ void QueryService::WorkerLoop() {
               ++budget_deferrals_;
             }
             return false;
+          };
+          bool had_free_slot = false;
+          if (want == 1) {
+            // Try free-slot devices in least-loaded order and take the
+            // first whose budget also covers the estimate: a query that
+            // fits only the larger of two budgets must not be pinned
+            // forever to the smaller device by a slot-count tie-break.
+            const DeviceId best =
+                slots_.PickLeastLoaded(allowed, fits, &had_free_slot);
+            if (best < 0) return defer(had_free_slot);
+            placed.assign(1, best);
+            return true;
           }
-          device = best;
+          // Multi-device lease: slot + per-device budget on `want` devices
+          // at once, or nothing — a partial lease releases its
+          // reservations and the query stays queued. The estimate is a
+          // per-device bound (each partition holds every persist plus its
+          // own transients), so the full amount is reserved on each.
+          std::vector<DeviceId> set =
+              slots_.PickLeastLoadedSet(allowed, want, fits, &had_free_slot);
+          if (set.size() < want) {
+            for (DeviceId d : set) {
+              ledger_->budget(d).Release(candidate.estimate_bytes);
+            }
+            return defer(had_free_slot);
+          }
+          placed = std::move(set);
           return true;
         });
         if (query != nullptr) break;
@@ -243,35 +282,50 @@ void QueryService::WorkerLoop() {
           dispatch_cv_.wait_until(lock, wake);
         }
       }
-      slots_.Acquire(device);
-      if (health_.OnPlaced(device)) ++probes_;
+      for (DeviceId d : placed) {
+        slots_.Acquire(d);
+        if (health_.OnPlaced(d)) ++probes_;
+      }
       ++query->attempt;
       if (query->attempt > 1) ++retries_;
       ++active_;
     }
 
+    const DeviceId primary = placed.front();
     const auto start = std::chrono::steady_clock::now();
-    Result<QueryExecution> result = RunOne(*query, device);
+    Result<QueryExecution> result = RunOne(*query, placed);
     const auto end = std::chrono::steady_clock::now();
     const bool ok = result.ok();
     const bool device_fault = !ok && result.status().device_id() >= 0;
+    // Blame the device the status names when it is part of this lease (a
+    // multi-device run fails with the faulting partition's id); otherwise
+    // the primary.
+    const DeviceId fault_device =
+        device_fault && std::find(placed.begin(), placed.end(),
+                                  result.status().device_id()) != placed.end()
+            ? result.status().device_id()
+            : primary;
     const double attempt_ms = ElapsedMs(start, end);
     bool requeued = false;
 
     {
       std::lock_guard<std::mutex> lock(mu_);
-      slots_.Release(device);
-      ledger_->budget(device).Release(query->estimate_bytes);
+      for (DeviceId d : placed) {
+        slots_.Release(d);
+        ledger_->budget(d).Release(query->estimate_bytes);
+        busy_us_by_device_[static_cast<size_t>(d)] += attempt_ms * 1000.0;
+      }
       ++release_epoch_;  // budget state changed: deferrals may count again
       --active_;
-      busy_us_by_device_[static_cast<size_t>(device)] += attempt_ms * 1000.0;
       if (ok) {
-        health_.OnSuccess(device);  // probe passed ⇒ device re-admitted
+        for (DeviceId d : placed) {
+          health_.OnSuccess(d);  // probe passed ⇒ device re-admitted
+        }
       } else if (device_fault) {
         // The executor unwound a device-attributed failure; the device's
         // health record takes the blame, not the query's ticket (yet).
         ++fault_unwinds_;
-        if (health_.OnFailure(device, end)) ++quarantines_;
+        if (health_.OnFailure(fault_device, end)) ++quarantines_;
       }
       const bool retryable =
           !ok && (result.status().IsTransient() || !config_.retry.transient_only);
@@ -280,7 +334,7 @@ void QueryService::WorkerLoop() {
         // The admission bound does not apply: a requeue re-enters work that
         // was already admitted, it does not add any.
         ++requeues_;
-        if (device_fault) query->excluded_devices.push_back(device);
+        if (device_fault) query->excluded_devices.push_back(fault_device);
         query->not_before =
             end + std::chrono::duration_cast<
                       std::chrono::steady_clock::duration>(
@@ -292,11 +346,12 @@ void QueryService::WorkerLoop() {
       } else {
         if (ok) {
           ++completed_;
-          ++completed_by_device_[static_cast<size_t>(device)];
+          ++completed_by_device_[static_cast<size_t>(primary)];
         } else {
           ++failed_;
         }
-        query->ticket->placed_device_ = device;
+        query->ticket->placed_device_ = primary;
+        query->ticket->placed_devices_ = placed;
         query->ticket->queue_wait_ms_ = ElapsedMs(query->submit_time, start);
         query->ticket->run_ms_ = attempt_ms;
         query->ticket->attempts_ = query->attempt;
@@ -313,10 +368,10 @@ void QueryService::WorkerLoop() {
   }
 }
 
-Result<QueryExecution> QueryService::RunOne(const QueuedQuery& query,
-                                            DeviceId device) {
+Result<QueryExecution> QueryService::RunOne(
+    const QueuedQuery& query, const std::vector<DeviceId>& devices) {
   ADAMANT_ASSIGN_OR_RETURN(std::unique_ptr<PrimitiveGraph> graph,
-                           query.spec.make_graph(device));
+                           query.spec.make_graph(devices.front()));
   if (graph == nullptr) {
     return Status::InvalidArgument(query.spec.name +
                                    ": make_graph returned null");
@@ -324,6 +379,12 @@ Result<QueryExecution> QueryService::RunOne(const QueuedQuery& query,
   ExecutionOptions options = query.spec.options;
   options.scan_cache = cache_.get();
   options.memory_listener = ledger_.get();
+  if (options.model == ExecutionModelKind::kDeviceParallel) {
+    // The scheduler, not the submitter, decides which devices the chunk
+    // range splits across — whatever device_set the spec carried is
+    // replaced by the leased set.
+    options.device_set = devices;
+  }
   // With exclusive device leases each run may reset its device's clocks and
   // counters; with shared devices that would clobber a neighbour mid-run.
   options.reset_device_state = config_.slots_per_device <= 1;

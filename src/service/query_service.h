@@ -149,7 +149,10 @@ class QueryService {
 
  private:
   void WorkerLoop();
-  Result<QueryExecution> RunOne(const QueuedQuery& query, DeviceId device);
+  /// Runs one attempt on the leased device set (a single element for
+  /// classic leases; the device-parallel split set otherwise).
+  Result<QueryExecution> RunOne(const QueuedQuery& query,
+                                const std::vector<DeviceId>& devices);
   /// Backoff delay before retry attempt `attempt` (1-based count of
   /// failures so far), with seeded jitter. Caller holds mu_.
   double BackoffMs(size_t attempt);

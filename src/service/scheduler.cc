@@ -73,4 +73,32 @@ DeviceId DeviceSlotTable::PickLeastLoaded(
   return -1;
 }
 
+std::vector<DeviceId> DeviceSlotTable::PickLeastLoadedSet(
+    const std::vector<DeviceId>& eligible, size_t count,
+    const std::function<bool(DeviceId)>& fits, bool* had_free_slot) const {
+  std::vector<DeviceId> candidates;
+  auto consider = [&](DeviceId device) {
+    if (HasFree(device)) candidates.push_back(device);
+  };
+  if (eligible.empty()) {
+    for (size_t i = 0; i < active_.size(); ++i) {
+      consider(static_cast<DeviceId>(i));
+    }
+  } else {
+    for (DeviceId device : eligible) consider(device);
+  }
+  if (had_free_slot != nullptr) *had_free_slot = candidates.size() >= count;
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [this](DeviceId a, DeviceId b) {
+                     return active(a) < active(b);
+                   });
+  std::vector<DeviceId> set;
+  for (DeviceId device : candidates) {
+    if (set.size() == count) break;
+    if (fits(device)) set.push_back(device);
+  }
+  std::sort(set.begin(), set.end());
+  return set;
+}
+
 }  // namespace adamant

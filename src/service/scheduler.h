@@ -33,6 +33,13 @@ struct QuerySpec {
   ExecutionOptions options;
   QueryPriority priority = QueryPriority::kNormal;
   std::vector<DeviceId> eligible_devices;
+  /// Devices to lease together for one run. 1 (default) is the classic
+  /// single-device lease. >1 requires options.model == kDeviceParallel: the
+  /// scheduler atomically leases that many devices (a slot AND the query's
+  /// footprint estimate reserved on each — the estimate is a per-device
+  /// bound under the chunk split) and the run splits its chunk range across
+  /// them. The query stays queued until that many devices qualify at once.
+  size_t parallel_devices = 1;
 };
 
 /// Handle returned by QueryService::Submit. Wait() blocks until the query
@@ -46,8 +53,15 @@ class QueryTicket {
 
   const std::string& name() const { return name_; }
   /// Device the scheduler placed the query on (-1 if it never dispatched).
-  /// After retries, the device of the final attempt.
+  /// After retries, the device of the final attempt. For a multi-device
+  /// lease (QuerySpec::parallel_devices > 1) this is the primary device;
+  /// placed_devices() has the full set.
   DeviceId placed_device() const { return placed_device_; }
+  /// Every device leased for the final attempt (empty if it never
+  /// dispatched; a single element for classic single-device leases).
+  const std::vector<DeviceId>& placed_devices() const {
+    return placed_devices_;
+  }
   double queue_wait_ms() const { return queue_wait_ms_; }
   double run_ms() const { return run_ms_; }
   /// Dispatch attempts this query took (1 = no retry). Valid after Wait().
@@ -62,6 +76,7 @@ class QueryTicket {
   std::optional<Result<QueryExecution>> result_;
   std::string name_;
   DeviceId placed_device_ = -1;
+  std::vector<DeviceId> placed_devices_;
   double queue_wait_ms_ = 0;
   double run_ms_ = 0;
   size_t attempts_ = 0;
@@ -146,6 +161,16 @@ class DeviceSlotTable {
   DeviceId PickLeastLoaded(const std::vector<DeviceId>& eligible,
                            const std::function<bool(DeviceId)>& fits,
                            bool* had_free_slot = nullptr) const;
+
+  /// Multi-device variant for device-parallel leases: free-slot candidates
+  /// are tried in ascending-load order and each one `fits` accepts joins
+  /// the set, stopping at `count`. Returns the accepted devices sorted by
+  /// id — possibly fewer than `count`, in which case the caller must undo
+  /// whatever reservations its `fits` callback made for the partial set.
+  std::vector<DeviceId> PickLeastLoadedSet(
+      const std::vector<DeviceId>& eligible, size_t count,
+      const std::function<bool(DeviceId)>& fits,
+      bool* had_free_slot = nullptr) const;
 
  private:
   size_t slots_per_device_;

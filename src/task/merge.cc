@@ -1,0 +1,72 @@
+#include "task/merge.h"
+
+#include <algorithm>
+
+#include "task/hash_table.h"
+
+namespace adamant {
+
+int64_t MergeAggPartials(AggOp op, int64_t a, int64_t b) {
+  switch (op) {
+    case AggOp::kSum:
+    case AggOp::kCount:
+      return a + b;
+    case AggOp::kMin:
+      return std::min(a, b);
+    case AggOp::kMax:
+      return std::max(a, b);
+  }
+  return a;
+}
+
+Status MergeAggTables(AggOp op, const uint8_t* partial, size_t num_slots,
+                      uint8_t* dst) {
+  using AggSlot = HashTableLayout::AggSlot;
+  const auto* src = reinterpret_cast<const AggSlot*>(partial);
+  auto* out = reinterpret_cast<AggSlot*>(dst);
+  const size_t mask = num_slots - 1;
+  for (size_t i = 0; i < num_slots; ++i) {
+    if (src[i].key == HashTableLayout::kEmptyKey) continue;
+    size_t slot = HashTableLayout::Hash(src[i].key) & mask;
+    for (size_t probe = 0;; ++probe) {
+      if (probe >= num_slots) {
+        return Status::Internal("HASH_AGG merge: destination table full");
+      }
+      if (out[slot].key == HashTableLayout::kEmptyKey) {
+        out[slot] = src[i];
+        break;
+      }
+      if (out[slot].key == src[i].key) {
+        out[slot].value = MergeAggPartials(op, out[slot].value, src[i].value);
+        break;
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
+  return Status::OK();
+}
+
+Status MergeBuildTables(const uint8_t* partial, size_t num_slots,
+                        uint8_t* dst) {
+  using BuildSlot = HashTableLayout::BuildSlot;
+  const auto* src = reinterpret_cast<const BuildSlot*>(partial);
+  auto* out = reinterpret_cast<BuildSlot*>(dst);
+  const size_t mask = num_slots - 1;
+  for (size_t i = 0; i < num_slots; ++i) {
+    if (src[i].key == HashTableLayout::kEmptyKey) continue;
+    size_t slot = HashTableLayout::Hash(src[i].key) & mask;
+    for (size_t probe = 0;; ++probe) {
+      if (probe >= num_slots) {
+        return Status::Internal("HASH_BUILD merge: destination table full");
+      }
+      if (out[slot].key == HashTableLayout::kEmptyKey) {
+        out[slot] = src[i];
+        break;
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace adamant

@@ -191,6 +191,8 @@ INSTANTIATE_TEST_SUITE_P(
                    return "fourphase";
                  case ExecutionModelKind::kFourPhasePipelined:
                    return "fourphasepipe";
+                 case ExecutionModelKind::kDeviceParallel:
+                   return "deviceparallel";
                }
                return "unknown";
              }(std::get<1>(info.param));

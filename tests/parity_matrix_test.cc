@@ -1,0 +1,185 @@
+// Cross-model parity matrix: Q3/Q4/Q6 must produce bit-identical extracted
+// results under every execution model — including device-parallel split
+// across two simulated devices — and the admission-control footprint
+// estimate must upper-bound the observed device memory high water for each
+// model (the invariant the service layer's budgets rely on).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adamant/adamant.h"
+
+namespace adamant {
+namespace {
+
+struct MatrixFixture {
+  std::shared_ptr<Catalog> catalog;
+
+  static const MatrixFixture& Get() {
+    static const MatrixFixture* const kFixture = [] {
+      auto* fixture = new MatrixFixture();
+      tpch::TpchConfig config;
+      config.scale_factor = 0.002;
+      auto catalog = tpch::Generate(config);
+      ADAMANT_CHECK(catalog.ok()) << catalog.status().ToString();
+      fixture->catalog = *catalog;
+      return fixture;
+    }();
+    return *kFixture;
+  }
+};
+
+const ExecutionModelKind kAllModels[] = {
+    ExecutionModelKind::kOperatorAtATime,
+    ExecutionModelKind::kChunked,
+    ExecutionModelKind::kPipelined,
+    ExecutionModelKind::kFourPhaseChunked,
+    ExecutionModelKind::kFourPhasePipelined,
+    ExecutionModelKind::kDeviceParallel,
+};
+
+// Two identical simulated GPUs: models run on device 0; device-parallel
+// splits across both.
+std::unique_ptr<DeviceManager> TwoGpuManager() {
+  auto manager = std::make_unique<DeviceManager>();
+  for (int i = 0; i < 2; ++i) {
+    auto device = manager->AddDriver(sim::DriverKind::kCudaGpu,
+                                     "cuda_gpu." + std::to_string(i));
+    ADAMANT_CHECK(device.ok()) << device.status().ToString();
+    ADAMANT_CHECK(BindStandardKernels(manager->device(*device)).ok());
+  }
+  return manager;
+}
+
+ExecutionOptions OptionsFor(ExecutionModelKind model) {
+  ExecutionOptions options;
+  options.model = model;
+  options.chunk_elems = 1024;  // several chunks even at SF 0.002
+  if (model == ExecutionModelKind::kDeviceParallel) {
+    options.device_set = {0, 1};
+  }
+  if (model == ExecutionModelKind::kPipelined ||
+      model == ExecutionModelKind::kFourPhasePipelined) {
+    options.pipeline_depth = 2;
+  }
+  return options;
+}
+
+Result<QueryExecution> RunModel(DeviceManager* manager,
+                                const plan::PlanBundle& bundle,
+                                ExecutionModelKind model) {
+  QueryExecutor executor(manager);
+  return executor.Run(bundle.graph.get(), OptionsFor(model));
+}
+
+TEST(ParityMatrixTest, Q6AllModelsBitIdentical) {
+  const auto& fixture = MatrixFixture::Get();
+  auto manager = TwoGpuManager();
+  auto bundle = plan::BuildQ6(*fixture.catalog, {}, 0);
+  ASSERT_TRUE(bundle.ok());
+  auto want = tpch::Q6Reference(*fixture.catalog, {});
+  ASSERT_TRUE(want.ok());
+  for (ExecutionModelKind model : kAllModels) {
+    auto exec = RunModel(manager.get(), *bundle, model);
+    ASSERT_TRUE(exec.ok()) << ExecutionModelName(model) << ": "
+                           << exec.status().ToString();
+    auto revenue = plan::ExtractQ6(*bundle, *exec);
+    ASSERT_TRUE(revenue.ok()) << ExecutionModelName(model);
+    EXPECT_EQ(*revenue, *want) << ExecutionModelName(model);
+  }
+}
+
+TEST(ParityMatrixTest, Q3AllModelsBitIdentical) {
+  const auto& fixture = MatrixFixture::Get();
+  auto manager = TwoGpuManager();
+  auto bundle = plan::BuildQ3(*fixture.catalog, {}, 0);
+  ASSERT_TRUE(bundle.ok());
+  auto want = tpch::Q3Reference(*fixture.catalog, {});
+  ASSERT_TRUE(want.ok());
+  for (ExecutionModelKind model : kAllModels) {
+    auto exec = RunModel(manager.get(), *bundle, model);
+    ASSERT_TRUE(exec.ok()) << ExecutionModelName(model) << ": "
+                           << exec.status().ToString();
+    auto rows = plan::ExtractQ3(*bundle, *exec, *fixture.catalog, {});
+    ASSERT_TRUE(rows.ok()) << ExecutionModelName(model);
+    EXPECT_EQ(*rows, *want) << ExecutionModelName(model);
+  }
+}
+
+TEST(ParityMatrixTest, Q4AllModelsBitIdentical) {
+  const auto& fixture = MatrixFixture::Get();
+  auto manager = TwoGpuManager();
+  auto bundle = plan::BuildQ4(*fixture.catalog, {}, 0);
+  ASSERT_TRUE(bundle.ok());
+  auto want = tpch::Q4Reference(*fixture.catalog, {});
+  ASSERT_TRUE(want.ok());
+  for (ExecutionModelKind model : kAllModels) {
+    auto exec = RunModel(manager.get(), *bundle, model);
+    ASSERT_TRUE(exec.ok()) << ExecutionModelName(model) << ": "
+                           << exec.status().ToString();
+    auto rows = plan::ExtractQ4(*bundle, *exec);
+    ASSERT_TRUE(rows.ok()) << ExecutionModelName(model);
+    EXPECT_EQ(*rows, *want) << ExecutionModelName(model);
+  }
+}
+
+TEST(ParityMatrixTest, DeviceParallelSplitsAcrossBothDevices) {
+  const auto& fixture = MatrixFixture::Get();
+  auto manager = TwoGpuManager();
+  auto bundle = plan::BuildQ6(*fixture.catalog, {}, 0);
+  ASSERT_TRUE(bundle.ok());
+  auto exec =
+      RunModel(manager.get(), *bundle, ExecutionModelKind::kDeviceParallel);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  ASSERT_EQ(exec->stats.chunks_by_device.size(), 2u);
+  size_t split = 0;
+  for (const auto& [device, chunks] : exec->stats.chunks_by_device) {
+    EXPECT_GT(chunks, 0u) << "device " << device << " got no chunks";
+    split += chunks;
+  }
+  EXPECT_EQ(split, exec->stats.chunks);
+}
+
+// --- Footprint estimate upper-bounds observed high water -------------------
+
+TEST(ParityMatrixTest, EstimateUpperBoundsHighWaterForAllModels) {
+  const auto& fixture = MatrixFixture::Get();
+  struct Case {
+    const char* name;
+    std::function<Result<plan::PlanBundle>(DeviceId)> build;
+  };
+  const Catalog& catalog = *fixture.catalog;
+  const Case kCases[] = {
+      {"Q3", [&](DeviceId d) { return plan::BuildQ3(catalog, {}, d); }},
+      {"Q4", [&](DeviceId d) { return plan::BuildQ4(catalog, {}, d); }},
+      {"Q6", [&](DeviceId d) { return plan::BuildQ6(catalog, {}, d); }}};
+  for (const Case& c : kCases) {
+    for (ExecutionModelKind model : kAllModels) {
+      // Fresh manager per run so high-water marks are not inherited.
+      auto manager = TwoGpuManager();
+      auto bundle = c.build(0);
+      ASSERT_TRUE(bundle.ok());
+      const ExecutionOptions options = OptionsFor(model);
+      auto estimate = EstimateDeviceMemoryBytes(*bundle->graph, options,
+                                                manager->data_scale());
+      ASSERT_TRUE(estimate.ok()) << c.name << "/" << ExecutionModelName(model);
+      QueryExecutor executor(manager.get());
+      auto exec = executor.Run(bundle->graph.get(), options);
+      ASSERT_TRUE(exec.ok()) << c.name << "/" << ExecutionModelName(model)
+                             << ": " << exec.status().ToString();
+      for (const DeviceRunStats& device : exec->stats.devices) {
+        EXPECT_GE(*estimate, device.device_mem_high_water)
+            << c.name << "/" << ExecutionModelName(model) << " on "
+            << device.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adamant

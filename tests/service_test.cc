@@ -372,6 +372,85 @@ TEST(QueryServiceTest, SecondRunHitsColumnCache) {
   EXPECT_GT(second_result->stats.bytes_h2d_saved, 0u);
 }
 
+// --- Multi-device leases (device-parallel model) ---------------------------
+
+TEST(QueryServiceTest, MultiDeviceLeaseRunsDeviceParallel) {
+  const auto& fixture = ServiceFixture::Get();
+  DeviceManager manager;
+  for (int i = 0; i < 2; ++i) {
+    auto device = manager.AddDriver(sim::DriverKind::kCudaGpu,
+                                    "gpu." + std::to_string(i));
+    ASSERT_TRUE(device.ok());
+    ASSERT_TRUE(BindStandardKernels(manager.device(*device)).ok());
+  }
+
+  // Serial reference.
+  QueryExecutor executor(&manager);
+  auto bundle = plan::BuildQ6(*fixture.catalog, {}, 0);
+  ASSERT_TRUE(bundle.ok());
+  auto ref_exec = executor.Run(bundle->graph.get(), {});
+  ASSERT_TRUE(ref_exec.ok());
+  auto ref = plan::ExtractQ6(*bundle, *ref_exec);
+  ASSERT_TRUE(ref.ok());
+
+  ServiceConfig config;
+  config.workers = 2;
+  QueryService service(&manager, config);
+
+  QuerySpec spec = SpecFor(fixture.catalog.get(), 2);
+  spec.options.model = ExecutionModelKind::kDeviceParallel;
+  spec.options.chunk_elems = 2048;  // several chunks so both devices split
+  spec.parallel_devices = 2;
+  auto ticket = service.Submit(spec);
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  const Result<QueryExecution>& result = (*ticket)->Wait();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Same answer as the serial run, and the lease covered both devices.
+  auto got = plan::ExtractQ6(*bundle, *result);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, *ref);
+  EXPECT_EQ((*ticket)->placed_devices().size(), 2u);
+  size_t split_chunks = 0;
+  for (const auto& [device, chunks] : result->stats.chunks_by_device) {
+    split_chunks += chunks;
+  }
+  EXPECT_EQ(split_chunks, result->stats.chunks);
+  EXPECT_EQ(result->stats.chunks_by_device.size(), 2u);
+
+  service.Drain();
+  ServiceStats stats = service.GetStats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  // Both leases released their budget reservations.
+  for (const auto& entry : stats.devices) {
+    EXPECT_EQ(entry.budget_reserved, 0u);
+  }
+}
+
+TEST(QueryServiceTest, MultiDeviceLeaseValidatesSpec) {
+  const auto& fixture = ServiceFixture::Get();
+  DeviceManager manager;
+  for (int i = 0; i < 2; ++i) {
+    auto device = manager.AddDriver(sim::DriverKind::kCudaGpu,
+                                    "gpu." + std::to_string(i));
+    ASSERT_TRUE(device.ok());
+    ASSERT_TRUE(BindStandardKernels(manager.device(*device)).ok());
+  }
+  QueryService service(&manager, {});
+
+  // parallel_devices > 1 without the device-parallel model is a spec error.
+  QuerySpec wrong_model = SpecFor(fixture.catalog.get(), 2);
+  wrong_model.parallel_devices = 2;
+  EXPECT_TRUE(service.Submit(wrong_model).status().IsInvalidArgument());
+
+  // More devices than the eligible pool can never dispatch.
+  QuerySpec too_many = SpecFor(fixture.catalog.get(), 2);
+  too_many.options.model = ExecutionModelKind::kDeviceParallel;
+  too_many.parallel_devices = 3;
+  EXPECT_TRUE(service.Submit(too_many).status().IsInvalidArgument());
+}
+
 TEST(ColumnCacheTest, EvictionSkipsPinnedEntries) {
   DeviceManager manager;
   auto device = manager.AddDriver(sim::DriverKind::kCudaGpu);

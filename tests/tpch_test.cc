@@ -313,7 +313,9 @@ TEST(Reference, Q5NationsBelongToRegion) {
                            [&](const char* n) { return row.nation == n; }),
               std::end(kAsia))
         << row.nation;
-    if (i > 0) EXPECT_GE((*rows)[i - 1].revenue, row.revenue);
+    if (i > 0) {
+      EXPECT_GE((*rows)[i - 1].revenue, row.revenue);
+    }
   }
 }
 

@@ -13,10 +13,16 @@
 //   --driver=NAME     cuda_gpu | opencl_gpu | opencl_cpu | openmp_cpu
 //   --setup=1|2       hardware setup (Table II)
 //   --model=NAME      oaat | chunked | pipelined | 4phase | 4phase-pipelined
+//                     | device-parallel
 //   --chunk=N|auto    chunk size in nominal elements (default 2^25)
 //   --verify          compare results against the scalar reference
 //   --trace=PATH      write a chrome://tracing JSON of the run
 //   --explain         print the logical plan (where available) and exit
+//   --devices=LIST    (single-query mode) comma-separated device ids, e.g.
+//                     --devices=0,1: plugs that many instances of --driver
+//                     and runs the query device-parallel across them,
+//                     reporting the per-device chunk split and host merge
+//                     time as a JSON line. A bare count N means 0..N-1.
 //
 // Serve mode (the service layer of src/service/): replays a seeded mixed
 // Q3/Q4/Q6 workload through the QueryService scheduler, verifies every
@@ -44,6 +50,7 @@
 //                     next): fixes the device call order so two same-seed
 //                     runs report identical failure counters
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -77,6 +84,9 @@ struct Options {
   size_t serve_queries = 50;
   unsigned seed = 7;
   size_t devices = 2;
+  /// Single-query mode: parsed --devices list (kDeviceParallel partition
+  /// set). Empty = the flag was absent or serve mode owns it.
+  std::vector<DeviceId> device_set;
   bool no_cache = false;
   double fault_rate = 0;
   uint64_t fault_seed = 13;
@@ -121,7 +131,30 @@ Result<Options> ParseArgs(int argc, char** argv) {
     } else if (ParseFlag(arg, "seed", &value)) {
       options.seed = static_cast<unsigned>(std::stoul(value));
     } else if (ParseFlag(arg, "devices", &value)) {
-      options.devices = std::stoul(value);
+      // Comma-separated ids select a device-parallel partition set; a bare
+      // count keeps the serve-mode meaning (N instances) and, in
+      // single-query mode, expands to ids 0..N-1.
+      if (value.find(',') != std::string::npos) {
+        size_t pos = 0;
+        while (pos < value.size()) {
+          const size_t comma = value.find(',', pos);
+          const std::string tok =
+              value.substr(pos, comma == std::string::npos ? std::string::npos
+                                                           : comma - pos);
+          if (!tok.empty()) {
+            options.device_set.push_back(
+                static_cast<DeviceId>(std::stoi(tok)));
+          }
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
+        options.devices = options.device_set.size();
+      } else {
+        options.devices = std::stoul(value);
+        for (size_t d = 0; d < options.devices; ++d) {
+          options.device_set.push_back(static_cast<DeviceId>(d));
+        }
+      }
     } else if (ParseFlag(arg, "fault-rate", &value)) {
       options.fault_rate = std::stod(value);
     } else if (ParseFlag(arg, "fault-seed", &value)) {
@@ -169,6 +202,7 @@ Result<ExecutionModelKind> ModelFromName(const std::string& name) {
       {"pipelined", ExecutionModelKind::kPipelined},
       {"4phase", ExecutionModelKind::kFourPhaseChunked},
       {"4phase-pipelined", ExecutionModelKind::kFourPhasePipelined},
+      {"device-parallel", ExecutionModelKind::kDeviceParallel},
   };
   auto it = kModels.find(name);
   if (it == kModels.end()) {
@@ -231,6 +265,10 @@ Status RunQuery(const std::string& query, const Catalog& catalog,
 
   ExecutionOptions exec_options;
   exec_options.model = model;
+  if (!options.device_set.empty()) {
+    exec_options.model = ExecutionModelKind::kDeviceParallel;
+    exec_options.device_set = options.device_set;
+  }
   if (options.chunk == "auto") {
     ADAMANT_ASSIGN_OR_RETURN(
         exec_options.chunk_elems,
@@ -245,8 +283,24 @@ Status RunQuery(const std::string& query, const Catalog& catalog,
 
   std::printf("Q%-3s on %s (%s, chunk %zu):\n", query.c_str(),
               manager->device(device)->name().c_str(),
-              ExecutionModelName(model), exec_options.chunk_elems);
+              ExecutionModelName(exec_options.model), exec_options.chunk_elems);
   PrintStats(exec, device);
+  if (exec_options.model == ExecutionModelKind::kDeviceParallel) {
+    // Machine-readable split report: which device ran how many chunks, and
+    // the host time spent merging partition breaker containers.
+    std::string chunks_json;
+    for (const auto& [dev_id, count] : exec.stats.chunks_by_device) {
+      if (!chunks_json.empty()) chunks_json += ",";
+      chunks_json += "\"" + std::to_string(dev_id) +
+                     "\":" + std::to_string(count);
+    }
+    std::printf("    {\"query\":\"%s\",\"model\":\"device-parallel\","
+                "\"devices\":%zu,\"chunks_by_device\":{%s},"
+                "\"merge_host_ms\":%.4f,\"elapsed_ms\":%.3f}\n",
+                query.c_str(), options.device_set.size(),
+                chunks_json.c_str(), exec.stats.merge_host_ms,
+                sim::MsFromUs(exec.stats.elapsed_us));
+  }
 
   // Results + optional verification.
   auto verdict = [&](bool match) {
@@ -577,6 +631,18 @@ Status Run(const Options& options) {
   manager.SetDataScale(options.nominal_sf / options.sf);
   ADAMANT_ASSIGN_OR_RETURN(DeviceId device, manager.AddDriver(kind));
   ADAMANT_RETURN_NOT_OK(BindStandardKernels(manager.device(device)));
+  if (!options.device_set.empty()) {
+    // Device-parallel run: plug enough instances of the chosen driver to
+    // cover every id in --devices (device 0 is already plugged above).
+    const DeviceId max_id = *std::max_element(options.device_set.begin(),
+                                              options.device_set.end());
+    for (DeviceId id = 1; id <= max_id; ++id) {
+      ADAMANT_ASSIGN_OR_RETURN(
+          DeviceId added,
+          manager.AddDriver(kind, options.driver + "." + std::to_string(id)));
+      ADAMANT_RETURN_NOT_OK(BindStandardKernels(manager.device(added)));
+    }
+  }
   if (!options.trace_path.empty()) {
     manager.device(device)->transfer_timeline().set_tracing(true);
     manager.device(device)->d2h_timeline().set_tracing(true);
