@@ -14,6 +14,8 @@
 ///              budgets, cross-query device column cache
 ///   sim/     — calibrated co-processor performance models (substitution
 ///              for physical GPUs; see DESIGN.md §2)
+///   obs/     — observability: query tracing, metrics registry, per-query
+///              phase profiles (see docs/observability.md)
 
 #include "baseline/heavydb_model.h"
 #include "common/date.h"
@@ -25,6 +27,11 @@
 #include "device/drivers.h"
 #include "device/fault_injector.h"
 #include "device/sim_device.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "obs/trace_check.h"
 #include "plan/logical_plan.h"
 #include "plan/lowering.h"
 #include "plan/placement_optimizer.h"

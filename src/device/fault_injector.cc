@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace adamant {
 
 const char* InterfaceCallName(InterfaceCall call) {
@@ -134,7 +137,36 @@ FaultInjectingDevice::FaultInjectingDevice(std::string name,
 
 Status FaultInjectingDevice::Inject(InterfaceCall call) {
   FaultInjector::Decision decision = injector_.OnCall(call, name());
-  if (decision.latency_us > 0) InjectDelay(decision.latency_us);
+  // Injected events carry a distinct name ("fault:..." / "fault_latency:...")
+  // and the device's name in args, so they are distinguishable from organic
+  // failures when reading a trace or scraping metrics.
+  if (decision.latency_us > 0) {
+    static obs::Counter* spikes = obs::GlobalMetrics().GetCounter(
+        "adamant_fault_latency_spikes_total");
+    spikes->Increment();
+    obs::GlobalMetrics()
+        .GetCounter("adamant_fault_latency_spikes_total", "device", name())
+        ->Increment();
+    obs::TraceSpan spike_span;
+    if (obs::TracingEnabled()) {
+      spike_span.Start(obs::kHostTrack,
+                       std::string("fault_latency:") + InterfaceCallName(call));
+      spike_span.set_args("{\"device\":\"" + name() + "\",\"latency_us\":" +
+                          std::to_string(decision.latency_us) + "}");
+    }
+    InjectDelay(decision.latency_us);
+  }
+  if (!decision.status.ok()) {
+    static obs::Counter* faults =
+        obs::GlobalMetrics().GetCounter("adamant_faults_injected_total");
+    faults->Increment();
+    obs::GlobalMetrics()
+        .GetCounter("adamant_faults_injected_total", "device", name())
+        ->Increment();
+    obs::TraceInstant(obs::kHostTrack,
+                      std::string("fault:") + InterfaceCallName(call),
+                      "{\"device\":\"" + name() + "\"}");
+  }
   return decision.status;
 }
 

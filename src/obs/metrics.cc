@@ -1,0 +1,256 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace adamant::obs {
+
+namespace {
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatValue(double value) {
+  if (value == std::floor(value) && std::abs(value) < 9e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string SeriesKey(const std::string& name, const std::string& label_key,
+                      const std::string& label_value) {
+  if (label_key.empty()) return name;
+  return name + "{" + label_key + "=\"" + label_value + "\"}";
+}
+
+}  // namespace
+
+void Counter::Add(double delta) { AtomicAddDouble(&value_, delta); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, value);
+  bool seen = has_data_.load(std::memory_order_relaxed);
+  if (!seen) {
+    // First observer seeds min/max; losers of this race fall through to the
+    // CAS min/max below, which handle the value correctly either way.
+    double expected = 0.0;
+    if (min_.compare_exchange_strong(expected, value,
+                                     std::memory_order_relaxed)) {
+      max_.store(value, std::memory_order_relaxed);
+    }
+    has_data_.store(true, std::memory_order_release);
+  }
+  AtomicMinDouble(&min_, value);
+  AtomicMaxDouble(&max_, value);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Min() const {
+  return has_data_.load(std::memory_order_acquire)
+             ? min_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::Max() const {
+  return has_data_.load(std::memory_order_acquire)
+             ? max_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t count = Count();
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count - 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(seen + in_bucket)) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = i < bounds_.size() ? bounds_[i] : Max();
+      const double within =
+          in_bucket == 1
+              ? 0.5
+              : (rank - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket - 1);
+      const double estimate = lo + (hi - lo) * within;
+      return std::min(Max(), std::max(Min(), estimate));
+    }
+    seen += in_bucket;
+  }
+  return Max();
+}
+
+std::vector<double> LatencyBucketsMs() {
+  return {0.01, 0.02, 0.05, 0.1,  0.2,  0.5,   1.0,   2.0,    5.0,    10.0,
+          20.0, 50.0, 100., 200., 500., 1000., 2000., 5000., 10000., 30000.,
+          100000.};
+}
+
+std::vector<double> ByteBuckets() {
+  std::vector<double> bounds;
+  for (double b = 1024.0; b <= 4.0 * 1024 * 1024 * 1024; b *= 4.0) {
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& label_key,
+                                     const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = families_[name];
+  family.type = "counter";
+  auto& slot = family.counters[{label_key, label_value}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& label_key,
+                                 const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = families_[name];
+  family.type = "gauge";
+  auto& slot = family.gauges[{label_key, label_value}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds,
+                                         const std::string& label_key,
+                                         const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = families_[name];
+  family.type = "histogram";
+  auto& slot = family.histograms[{label_key, label_value}];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, family] : families_) {
+    out << "# TYPE " << name << " " << family.type << "\n";
+    auto label_text = [](const std::pair<std::string, std::string>& label,
+                         const std::string& extra_key = "",
+                         const std::string& extra_value = "") {
+      std::string text;
+      if (!label.first.empty()) {
+        text = label.first + "=\"" + label.second + "\"";
+      }
+      if (!extra_key.empty()) {
+        if (!text.empty()) text += ",";
+        text += extra_key + "=\"" + extra_value + "\"";
+      }
+      if (text.empty()) return std::string();
+      return "{" + text + "}";
+    };
+    for (const auto& [label, counter] : family.counters) {
+      out << name << label_text(label) << " " << FormatValue(counter->Value())
+          << "\n";
+    }
+    for (const auto& [label, gauge] : family.gauges) {
+      out << name << label_text(label) << " " << FormatValue(gauge->Value())
+          << "\n";
+    }
+    for (const auto& [label, histogram] : family.histograms) {
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < histogram->NumBuckets(); ++i) {
+        cumulative += histogram->BucketCount(i);
+        const std::string le = i < histogram->bounds().size()
+                                   ? FormatValue(histogram->bounds()[i])
+                                   : "+Inf";
+        out << name << "_bucket" << label_text(label, "le", le) << " "
+            << cumulative << "\n";
+      }
+      out << name << "_sum" << label_text(label) << " "
+          << FormatValue(histogram->Sum()) << "\n";
+      out << name << "_count" << label_text(label) << " " << histogram->Count()
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  auto emit_key = [&](const std::string& key) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"";
+    for (char c : key) {  // series keys embed label quotes — escape for JSON
+      if (c == '"' || c == '\\') out << '\\';
+      out << c;
+    }
+    out << "\":";
+  };
+  for (const auto& [name, family] : families_) {
+    for (const auto& [label, counter] : family.counters) {
+      emit_key(SeriesKey(name, label.first, label.second));
+      out << FormatValue(counter->Value());
+    }
+    for (const auto& [label, gauge] : family.gauges) {
+      emit_key(SeriesKey(name, label.first, label.second));
+      out << FormatValue(gauge->Value());
+    }
+    for (const auto& [label, histogram] : family.histograms) {
+      emit_key(SeriesKey(name, label.first, label.second));
+      out << "{\"count\":" << histogram->Count()
+          << ",\"sum\":" << FormatValue(histogram->Sum())
+          << ",\"p50\":" << FormatValue(histogram->Quantile(0.5))
+          << ",\"p95\":" << FormatValue(histogram->Quantile(0.95)) << "}";
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+}  // namespace adamant::obs

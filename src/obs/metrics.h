@@ -1,0 +1,125 @@
+#ifndef ADAMANT_OBS_METRICS_H_
+#define ADAMANT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adamant::obs {
+
+/// Monotonic counter. Backed by an atomic double (CAS add) so fractional
+/// quantities (milliseconds, fractions of bytes saved) work; integer adds
+/// stay exact up to 2^53, far beyond any counter in this codebase.
+class Counter {
+ public:
+  void Add(double delta);
+  void Increment() { Add(1.0); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+/// plus an implicit overflow bucket. Observations are lock-free (atomic
+/// bucket counts + CAS-updated sum/min/max), so hot paths can record
+/// without coordination.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t Count() const;
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Min() const;
+  double Max() const;
+
+  /// Quantile estimate (q in [0,1]): finds the bucket holding rank
+  /// q*(count-1) and interpolates linearly inside it, clamped to the
+  /// observed [min, max] so estimates never fall outside real data.
+  /// Returns 0 when empty.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  size_t NumBuckets() const { return buckets_.size(); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> has_data_{false};
+};
+
+/// Default bucket layout for latency histograms, in milliseconds. Spans
+/// 10us-class kernel launches through 100s-class soaks at ~2-2.5x steps.
+std::vector<double> LatencyBucketsMs();
+
+/// Default bucket layout for byte-count histograms (1KiB .. 4GiB).
+std::vector<double> ByteBuckets();
+
+/// Named metric registry. Instruments are created on first use and live as
+/// long as the registry (pointers remain stable), keyed by
+/// `name{label_key="label_value"}` in Prometheus style. Lookup takes the
+/// registry mutex; hot paths should cache the returned pointer.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name, const std::string& label_key = "",
+                      const std::string& label_value = "");
+  Gauge* GetGauge(const std::string& name, const std::string& label_key = "",
+                  const std::string& label_value = "");
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
+                          const std::string& label_key = "",
+                          const std::string& label_value = "");
+
+  /// Prometheus text exposition format (one `# TYPE` line per metric
+  /// family; histograms expose _bucket/_sum/_count series).
+  std::string ToPrometheusText() const;
+
+  /// JSON object {"metric{label}":value,...}; histograms expose
+  /// count/sum/p50/p95.
+  std::string ToJson() const;
+
+ private:
+  struct Family {
+    std::string type;  // "counter" | "gauge" | "histogram"
+    // Keyed by label pair ("","") for unlabeled.
+    std::map<std::pair<std::string, std::string>, std::unique_ptr<Counter>>
+        counters;
+    std::map<std::pair<std::string, std::string>, std::unique_ptr<Gauge>> gauges;
+    std::map<std::pair<std::string, std::string>, std::unique_ptr<Histogram>>
+        histograms;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+/// Process-wide registry for ownerless instrumentation (transfer-hub byte
+/// totals, kernel launches, fault injections). Service-layer metrics live
+/// in each QueryService's own registry so concurrent services in one
+/// process (as in tests) stay independent.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace adamant::obs
+
+#endif  // ADAMANT_OBS_METRICS_H_

@@ -1,0 +1,56 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/chrome_trace.h"
+
+namespace adamant::obs {
+
+namespace {
+
+std::string Ms(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string QueryProfile::ToJson() const {
+  std::ostringstream out;
+  out << "{\"queue_wait_ms\":" << Ms(queue_wait_ms)
+      << ",\"run_ms\":" << Ms(run_ms)
+      << ",\"merge_host_ms\":" << Ms(merge_host_ms) << ",\"pipelines\":[";
+  for (size_t i = 0; i < pipelines.size(); ++i) {
+    const PipelineProfile& pipeline = pipelines[i];
+    if (i) out << ",";
+    out << "{\"index\":" << pipeline.index
+        << ",\"wall_ms\":" << Ms(pipeline.wall_ms)
+        << ",\"chunks\":" << pipeline.chunks << ",\"devices\":[";
+    for (size_t j = 0; j < pipeline.devices.size(); ++j) {
+      const PipelineDeviceSlice& slice = pipeline.devices[j];
+      if (j) out << ",";
+      out << "{\"device\":" << slice.device
+          << ",\"transfer_ms\":" << Ms(slice.transfer_ms)
+          << ",\"d2h_ms\":" << Ms(slice.d2h_ms)
+          << ",\"compute_ms\":" << Ms(slice.compute_ms) << "}";
+    }
+    out << "]}";
+  }
+  out << "],\"devices\":[";
+  for (size_t i = 0; i < devices.size(); ++i) {
+    const DeviceProfile& device = devices[i];
+    if (i) out << ",";
+    out << "{\"name\":\"" << JsonEscape(device.name)
+        << "\",\"transfer_ms\":" << Ms(device.transfer_ms)
+        << ",\"d2h_ms\":" << Ms(device.d2h_ms)
+        << ",\"compute_ms\":" << Ms(device.compute_ms)
+        << ",\"kernel_body_ms\":" << Ms(device.kernel_body_ms)
+        << ",\"kernel_launches\":" << device.kernel_launches << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace adamant::obs

@@ -1,0 +1,56 @@
+#ifndef ADAMANT_OBS_PROFILE_H_
+#define ADAMANT_OBS_PROFILE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace adamant::obs {
+
+/// One device's share of one pipeline: time this device spent moving data
+/// in (H2D), moving results out (D2H), and computing, while the pipeline
+/// was running. Milliseconds throughout.
+struct PipelineDeviceSlice {
+  int device = 0;
+  double transfer_ms = 0;  // H2D
+  double d2h_ms = 0;
+  double compute_ms = 0;
+};
+
+/// Per-pipeline breakdown within a query run.
+struct PipelineProfile {
+  int index = 0;
+  double wall_ms = 0;
+  size_t chunks = 0;
+  std::vector<PipelineDeviceSlice> devices;
+};
+
+/// Whole-run totals for one device across all pipelines.
+struct DeviceProfile {
+  std::string name;
+  double transfer_ms = 0;  // H2D
+  double d2h_ms = 0;
+  double compute_ms = 0;
+  double kernel_body_ms = 0;
+  size_t kernel_launches = 0;
+};
+
+/// The paper's Fig. 10/11-style phase breakdown for one live query:
+/// where did the time go — queue wait, device transfer vs compute per
+/// pipeline and per device, host-side merges. Filled by the executor when
+/// ExecutionOptions::collect_profile is set; queue_wait_ms is stamped by
+/// the service layer. All times are milliseconds.
+struct QueryProfile {
+  bool collected = false;
+  double queue_wait_ms = 0;
+  double run_ms = 0;
+  double merge_host_ms = 0;
+  std::vector<PipelineProfile> pipelines;
+  std::vector<DeviceProfile> devices;
+
+  std::string ToJson() const;
+};
+
+}  // namespace adamant::obs
+
+#endif  // ADAMANT_OBS_PROFILE_H_

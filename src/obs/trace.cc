@@ -1,0 +1,152 @@
+#include "obs/trace.h"
+
+#include "obs/chrome_trace.h"
+
+namespace adamant::obs {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // leaked: process-wide
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
+  // The thread_local shared_ptr keeps the buffer alive for this thread; the
+  // registry keeps it alive after the thread exits so joined partition
+  // threads' events still export. One registration per (thread, recorder).
+  thread_local std::shared_ptr<ThreadBuffer> local;
+  thread_local TraceRecorder* owner = nullptr;
+  if (owner != this) {
+    local = std::make_shared<ThreadBuffer>();
+    owner = this;
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers_.push_back(local);
+  }
+  return local.get();
+}
+
+void TraceRecorder::Enable() {
+  Clear();
+  epoch_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count(),
+                  std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    if (track_names_.find(kHostTrack) == track_names_.end()) {
+      track_names_[kHostTrack] = "host";
+    }
+    if (track_names_.find(kServiceTrack) == track_names_.end()) {
+      track_names_[kServiceTrack] = "service";
+    }
+  }
+  g_tracing_enabled.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Disable() {
+  g_tracing_enabled.store(false, std::memory_order_release);
+}
+
+uint64_t TraceRecorder::NowUs() const {
+  const int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now().time_since_epoch())
+                             .count();
+  const int64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  const int64_t delta = now_ns - epoch;
+  return delta > 0 ? static_cast<uint64_t>(delta) / 1000 : 0;
+}
+
+void TraceRecorder::SetTrackName(int track, const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  track_names_[track] = name;
+}
+
+void TraceRecorder::Append(Event event) {
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >= kMaxEventsPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer->events.push_back(std::move(event));
+}
+
+void TraceRecorder::RecordComplete(int track, uint64_t start_us,
+                                   uint64_t dur_us, std::string name,
+                                   std::string args_json) {
+  if (!TracingEnabled()) return;
+  Event event;
+  event.track = track;
+  event.ts = start_us;
+  event.dur = dur_us;
+  event.name = std::move(name);
+  event.args = std::move(args_json);
+  Append(std::move(event));
+}
+
+void TraceRecorder::RecordInstant(int track, std::string name,
+                                  std::string args_json) {
+  if (!TracingEnabled()) return;
+  Event event;
+  event.track = track;
+  event.instant = true;
+  event.ts = NowUs();
+  event.name = std::move(name);
+  event.args = std::move(args_json);
+  Append(std::move(event));
+}
+
+std::string TraceRecorder::ExportChromeJson() {
+  ChromeTraceBuilder builder;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& [track, name] : track_names_) {
+    builder.SetTrackName(track, name);
+  }
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    for (const Event& event : buffer->events) {
+      if (event.instant) {
+        builder.AddInstant(event.track, static_cast<double>(event.ts),
+                           event.name, event.args);
+      } else {
+        builder.AddComplete(event.track, static_cast<double>(event.ts),
+                            static_cast<double>(event.dur), event.name,
+                            event.args);
+      }
+    }
+  }
+  return builder.ToJson();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+size_t TraceRecorder::TotalEvents() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+void TraceSpan::End() {
+  if (!active_) return;
+  active_ = false;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  const uint64_t end = recorder.NowUs();
+  recorder.RecordComplete(track_, start_, end > start_ ? end - start_ : 0,
+                          std::move(name_), std::move(args_));
+  name_.clear();
+  args_.clear();
+}
+
+}  // namespace adamant::obs

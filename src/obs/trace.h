@@ -1,0 +1,147 @@
+#ifndef ADAMANT_OBS_TRACE_H_
+#define ADAMANT_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adamant::obs {
+
+/// Track ids: device events record on the DeviceId itself (0..N-1); the
+/// reserved tracks below hold host-side and service-layer events. Keeping
+/// them far above any plausible device count means a plugged device can
+/// never collide with a reserved track.
+inline constexpr int kHostTrack = 900;
+inline constexpr int kServiceTrack = 901;
+
+/// The disabled-path guard: one relaxed atomic load and a branch, inlinable
+/// at every instrumentation site. All Record*/TraceSpan entry points check
+/// it again internally, so an unguarded call is correct — just one function
+/// call slower.
+extern std::atomic<bool> g_tracing_enabled;
+inline bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Process-wide trace recorder: wall-clock (steady_clock) spans and instant
+/// events on per-thread buffers, exported as Chrome Trace Event JSON via
+/// the shared ChromeTraceBuilder.
+///
+/// Thread safety: each thread appends to its own buffer under that buffer's
+/// mutex (uncontended in steady state — only export takes it from another
+/// thread), so recording scales across the device-parallel partition
+/// threads and the service workers without a global lock. Buffers outlive
+/// their threads (the registry holds shared ownership), so spans recorded
+/// by a joined partition thread still export.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Clears prior events, restarts the time epoch, and turns recording on.
+  void Enable();
+  void Disable();
+  bool enabled() const { return TracingEnabled(); }
+
+  /// Microseconds since Enable().
+  uint64_t NowUs() const;
+
+  /// Names a track in the exported trace (e.g. a device's name). Safe to
+  /// call whether or not recording is enabled.
+  void SetTrackName(int track, const std::string& name);
+
+  void RecordComplete(int track, uint64_t start_us, uint64_t dur_us,
+                      std::string name, std::string args_json = std::string());
+  void RecordInstant(int track, std::string name,
+                     std::string args_json = std::string());
+
+  /// Chrome Trace Event JSON of everything recorded since Enable().
+  std::string ExportChromeJson();
+
+  /// Drops all recorded events (Enable() also clears).
+  void Clear();
+
+  size_t TotalEvents();
+  size_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-thread buffer bound: long soaks stop recording (and count drops)
+  /// rather than exhaust memory, mirroring ResourceTimeline::kMaxTraceEntries.
+  static constexpr size_t kMaxEventsPerThread = size_t{1} << 18;
+
+ private:
+  struct Event {
+    int track = 0;
+    bool instant = false;
+    uint64_t ts = 0;
+    uint64_t dur = 0;
+    std::string name;
+    std::string args;
+  };
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<Event> events;
+  };
+
+  TraceRecorder() = default;
+  ThreadBuffer* LocalBuffer();
+  void Append(Event event);
+
+  std::atomic<int64_t> epoch_ns_{0};
+  std::atomic<size_t> dropped_{0};
+  std::mutex registry_mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::map<int, std::string> track_names_;
+};
+
+/// RAII span: declare unconditionally, Start() behind the TracingEnabled()
+/// guard, and the destructor records the complete event:
+///
+///   obs::TraceSpan span;
+///   if (obs::TracingEnabled()) span.Start(device, "h2d");
+///   ... work ...
+///   // span closes here (or call End() explicitly / set_args first)
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { End(); }
+
+  void Start(int track, std::string name) {
+    track_ = track;
+    name_ = std::move(name);
+    start_ = TraceRecorder::Global().NowUs();
+    active_ = true;
+  }
+
+  /// Attaches args (a complete JSON object) to the event recorded at End().
+  void set_args(std::string args_json) { args_ = std::move(args_json); }
+
+  void End();
+
+ private:
+  bool active_ = false;
+  int track_ = 0;
+  uint64_t start_ = 0;
+  std::string name_;
+  std::string args_;
+};
+
+/// Instant-event shorthand, guarded internally.
+inline void TraceInstant(int track, std::string name,
+                         std::string args_json = std::string()) {
+  if (!TracingEnabled()) return;
+  TraceRecorder::Global().RecordInstant(track, std::move(name),
+                                        std::move(args_json));
+}
+
+}  // namespace adamant::obs
+
+#endif  // ADAMANT_OBS_TRACE_H_

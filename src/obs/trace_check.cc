@@ -1,0 +1,390 @@
+#include "obs/trace_check.h"
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+namespace adamant::obs {
+
+namespace {
+
+/// Minimal recursive-descent JSON parser — just enough structure to walk a
+/// Chrome trace (objects, arrays, strings, numbers, literals). No external
+/// dependency; the repo has no JSON library and must not grow one.
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string text;
+  std::vector<std::unique_ptr<JsonValue>> items;
+  std::vector<std::pair<std::string, std::unique_ptr<JsonValue>>> fields;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return v.get();
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::unique_ptr<JsonValue> Parse(std::string* error) {
+    auto value = ParseValue();
+    if (!value) {
+      *error = error_.empty() ? "parse error" : error_;
+      return nullptr;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      *error = "trailing data at offset " + std::to_string(pos_);
+      return nullptr;
+    }
+    return value;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  std::unique_ptr<JsonValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return nullptr;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber();
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      auto value = std::make_unique<JsonValue>();
+      value->kind = JsonValue::kBool;
+      value->boolean = true;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      auto value = std::make_unique<JsonValue>();
+      value->kind = JsonValue::kBool;
+      return value;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return std::make_unique<JsonValue>();
+    }
+    Fail("unexpected character");
+    return nullptr;
+  }
+
+  std::unique_ptr<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::kObject;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      SkipWs();
+      auto key = ParseString();
+      if (!key) return nullptr;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        Fail("expected ':'");
+        return nullptr;
+      }
+      ++pos_;
+      auto item = ParseValue();
+      if (!item) return nullptr;
+      value->fields.emplace_back(key->text, std::move(item));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        Fail("unterminated object");
+        return nullptr;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return value;
+      }
+      Fail("expected ',' or '}'");
+      return nullptr;
+    }
+  }
+
+  std::unique_ptr<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::kArray;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      auto item = ParseValue();
+      if (!item) return nullptr;
+      value->items.push_back(std::move(item));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        Fail("unterminated array");
+        return nullptr;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return value;
+      }
+      Fail("expected ',' or ']'");
+      return nullptr;
+    }
+  }
+
+  std::unique_ptr<JsonValue> ParseString() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      Fail("expected string");
+      return nullptr;
+    }
+    ++pos_;
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return value;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) break;
+        const char esc = text_[pos_ + 1];
+        switch (esc) {
+          case 'n':
+            value->text.push_back('\n');
+            break;
+          case 't':
+            value->text.push_back('\t');
+            break;
+          case 'r':
+            value->text.push_back('\r');
+            break;
+          case 'u':
+            // Keep the raw escape; validation never compares unicode.
+            value->text.append("\\u");
+            if (pos_ + 5 < text_.size()) {
+              value->text.append(text_.substr(pos_ + 2, 4));
+              pos_ += 4;
+            }
+            break;
+          default:
+            value->text.push_back(esc);
+        }
+        pos_ += 2;
+        continue;
+      }
+      value->text.push_back(c);
+      ++pos_;
+    }
+    Fail("unterminated string");
+    return nullptr;
+  }
+
+  std::unique_ptr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::kNumber;
+    try {
+      value->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      Fail("bad number");
+      return nullptr;
+    }
+    return value;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+bool StartsWith(const std::string& text, const char* prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+std::string TraceCheckResult::Summary() const {
+  std::ostringstream out;
+  out << (ok ? "OK" : "FAIL") << ": " << event_count << " events on "
+      << track_count << " tracks";
+  for (const auto& error : errors) out << "\n  error: " << error;
+  return out.str();
+}
+
+TraceCheckResult ValidateChromeTrace(const std::string& json) {
+  TraceCheckResult result;
+  std::string parse_error;
+  JsonParser parser(json);
+  auto root = parser.Parse(&parse_error);
+  if (!root) {
+    result.errors.push_back("invalid JSON: " + parse_error);
+    return result;
+  }
+  if (root->kind != JsonValue::kObject) {
+    result.errors.push_back("top level is not an object");
+    return result;
+  }
+  const JsonValue* events = root->Find("traceEvents");
+  if (!events || events->kind != JsonValue::kArray) {
+    result.errors.push_back("missing traceEvents array");
+    return result;
+  }
+
+  struct Span {
+    double start = 0;
+    double end = 0;
+    std::string name;
+  };
+  struct TrackState {
+    double last_ts = 0;
+    bool has_ts = false;
+    std::vector<std::string> open_begins;      // B/E stack
+    std::vector<Span> pipeline_spans;          // "pipeline..." complete spans
+    std::vector<Span> chunk_spans;             // "chunk..." complete spans
+  };
+  std::map<std::pair<double, double>, TrackState> tracks;
+
+  auto err = [&result](const std::string& message) {
+    if (result.errors.size() < 16) result.errors.push_back(message);
+  };
+
+  for (size_t i = 0; i < events->items.size(); ++i) {
+    const JsonValue& event = *events->items[i];
+    if (event.kind != JsonValue::kObject) {
+      err("event " + std::to_string(i) + " is not an object");
+      continue;
+    }
+    const JsonValue* ph = event.Find("ph");
+    const JsonValue* pid = event.Find("pid");
+    const JsonValue* tid = event.Find("tid");
+    if (!ph || ph->kind != JsonValue::kString || !pid || !tid) {
+      err("event " + std::to_string(i) + " missing ph/pid/tid");
+      continue;
+    }
+    const std::string& phase = ph->text;
+    if (phase == "M") continue;  // metadata carries no timestamp
+    ++result.event_count;
+
+    TrackState& track = tracks[{pid->number, tid->number}];
+    const JsonValue* ts = event.Find("ts");
+    if (!ts || ts->kind != JsonValue::kNumber) {
+      err("event " + std::to_string(i) + " missing numeric ts");
+      continue;
+    }
+    if (track.has_ts && ts->number < track.last_ts) {
+      err("event " + std::to_string(i) + " ts " + std::to_string(ts->number) +
+          " goes backwards on its track (prev " +
+          std::to_string(track.last_ts) + ")");
+    }
+    track.last_ts = ts->number;
+    track.has_ts = true;
+
+    const JsonValue* name = event.Find("name");
+    const std::string event_name =
+        name && name->kind == JsonValue::kString ? name->text : "";
+    result.event_names.push_back(event_name);
+
+    if (phase == "X") {
+      const JsonValue* dur = event.Find("dur");
+      if (!dur || dur->kind != JsonValue::kNumber) {
+        err("complete event " + std::to_string(i) + " missing numeric dur");
+        continue;
+      }
+      if (dur->number < 0) {
+        err("complete event " + std::to_string(i) + " has negative dur");
+        continue;
+      }
+      Span span{ts->number, ts->number + dur->number, event_name};
+      if (StartsWith(event_name, "pipeline")) {
+        track.pipeline_spans.push_back(span);
+      } else if (StartsWith(event_name, "chunk")) {
+        track.chunk_spans.push_back(span);
+      }
+    } else if (phase == "B") {
+      track.open_begins.push_back(event_name);
+    } else if (phase == "E") {
+      if (track.open_begins.empty()) {
+        err("E without matching B at event " + std::to_string(i));
+      } else {
+        if (!event_name.empty() && track.open_begins.back() != event_name) {
+          err("E name '" + event_name + "' does not match open B '" +
+              track.open_begins.back() + "'");
+        }
+        track.open_begins.pop_back();
+      }
+    } else if (phase != "i" && phase != "I" && phase != "C") {
+      err("unsupported phase '" + phase + "' at event " + std::to_string(i));
+    }
+  }
+
+  for (const auto& [key, track] : tracks) {
+    if (!track.open_begins.empty()) {
+      err(std::to_string(track.open_begins.size()) +
+          " unbalanced B event(s) on track " + std::to_string(key.second));
+    }
+    for (const Span& chunk : track.chunk_spans) {
+      bool nested = false;
+      for (const Span& pipeline : track.pipeline_spans) {
+        if (pipeline.start <= chunk.start && chunk.end <= pipeline.end) {
+          nested = true;
+          break;
+        }
+      }
+      if (!nested) {
+        err("chunk span '" + chunk.name + "' [" + std::to_string(chunk.start) +
+            "," + std::to_string(chunk.end) +
+            "] not nested in any pipeline span on track " +
+            std::to_string(key.second));
+      }
+    }
+  }
+
+  result.track_count = tracks.size();
+  result.ok = result.errors.empty();
+  return result;
+}
+
+}  // namespace adamant::obs

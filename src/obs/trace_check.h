@@ -1,0 +1,35 @@
+#ifndef ADAMANT_OBS_TRACE_CHECK_H_
+#define ADAMANT_OBS_TRACE_CHECK_H_
+
+#include <string>
+#include <vector>
+
+namespace adamant::obs {
+
+/// Result of validating a Chrome Trace Event JSON document.
+struct TraceCheckResult {
+  bool ok = false;
+  size_t event_count = 0;   // non-metadata events
+  size_t track_count = 0;   // distinct (pid, tid) pairs with events
+  std::vector<std::string> errors;
+  /// Every non-metadata event's name in file order (duplicates kept), so
+  /// callers (check_trace --require=...) can assert specific spans exist.
+  std::vector<std::string> event_names;
+
+  std::string Summary() const;
+};
+
+/// Structural validation of a Chrome trace:
+///  - the document parses as JSON with a `traceEvents` array;
+///  - every event has ph/pid/tid, "X" events have numeric ts and dur >= 0,
+///    "B"/"E" pairs balance per track (LIFO) with matching names;
+///  - timestamps are non-decreasing per track in file order (what Perfetto
+///    requires for clean rendering);
+///  - every span named `chunk...` is contained within some span named
+///    `pipeline...` on the same track (nesting invariant of the executor's
+///    instrumentation).
+TraceCheckResult ValidateChromeTrace(const std::string& json);
+
+}  // namespace adamant::obs
+
+#endif  // ADAMANT_OBS_TRACE_CHECK_H_

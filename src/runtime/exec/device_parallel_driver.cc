@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "runtime/exec/drivers.h"
 #include "task/hash_table.h"
 #include "task/merge.h"
@@ -153,11 +154,40 @@ Status RunPartitioned(RunContext& ctx, std::vector<SubRun>& subs,
                       const std::vector<DeviceId>& devices,
                       double* merge_host_ms) {
   const std::vector<Pipeline>& pipelines = ctx.pipelines();
+  // Per-pipeline device slices for the profile: the sub-contexts run with
+  // reset_device_state=false (the parent owns the snapshot), so the parent
+  // thread samples each device's busy time at the pipeline boundaries —
+  // safe here because the partition threads are joined at both sample
+  // points and the lease is exclusive (parent reset_device_state).
+  const bool profile = ctx.options().collect_profile &&
+                       ctx.options().reset_device_state;
+  struct Busy {
+    sim::SimTime h2d = 0;
+    sim::SimTime d2h = 0;
+    sim::SimTime compute = 0;
+  };
+  auto sample_busy = [&ctx, &devices]() {
+    std::vector<Busy> samples;
+    for (DeviceId id : devices) {
+      Busy busy;
+      auto dev = ctx.manager()->GetDevice(id);
+      if (dev.ok()) {
+        busy.h2d = (*dev)->transfer_timeline().busy_time();
+        busy.d2h = (*dev)->d2h_timeline().busy_time();
+        busy.compute = (*dev)->compute_timeline().busy_time();
+      }
+      samples.push_back(busy);
+    }
+    return samples;
+  };
   for (size_t pi = 0; pi < pipelines.size(); ++pi) {
     const Pipeline& pipeline = pipelines[pi];
     const size_t cap = ctx.ChunkCapacity(pipeline);
     const ChunkSource chunks(pipeline.input_rows, cap);
     const auto ranges = SplitChunks(chunks.total(), subs.size());
+    const auto pipeline_t0 = std::chrono::steady_clock::now();
+    const std::vector<Busy> busy_before = profile ? sample_busy()
+                                                  : std::vector<Busy>{};
 
     // Every partition runs its disjoint chunk sub-range concurrently; a
     // device with an empty range still runs BeginPipeline so its persists
@@ -193,12 +223,40 @@ Status RunPartitioned(RunContext& ctx, std::vector<SubRun>& subs,
     for (int node_id : pipeline.nodes) {
       const GraphNode& node = ctx.graph()->node(node_id);
       if (!GetSignature(node.kind).pipeline_breaker) continue;
+      obs::TraceSpan merge_span;
+      if (obs::TracingEnabled()) {
+        merge_span.Start(obs::kHostTrack, "merge:" + node.label);
+      }
       ADAMANT_RETURN_NOT_OK(
           MergeBreaker(ctx, subs, node, contributors, merge_host_ms));
     }
     for (SubRun& sub : subs) {
       ADAMANT_RETURN_NOT_OK(
           sub.ctx->BindPersistOutputs(sub.ctx->pipelines()[pi]));
+    }
+    if (profile) {
+      const std::vector<Busy> busy_after = sample_busy();
+      obs::PipelineProfile pp;
+      pp.index = static_cast<int>(pi);
+      pp.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - pipeline_t0)
+                       .count();
+      pp.chunks = chunks.total();
+      for (size_t i = 0; i < devices.size(); ++i) {
+        obs::PipelineDeviceSlice slice;
+        slice.device = static_cast<int>(devices[i]);
+        slice.transfer_ms =
+            static_cast<double>(busy_after[i].h2d - busy_before[i].h2d) /
+            1000.0;
+        slice.d2h_ms =
+            static_cast<double>(busy_after[i].d2h - busy_before[i].d2h) /
+            1000.0;
+        slice.compute_ms = static_cast<double>(busy_after[i].compute -
+                                               busy_before[i].compute) /
+                           1000.0;
+        pp.devices.push_back(slice);
+      }
+      ctx.exec().stats.profile.pipelines.push_back(std::move(pp));
     }
   }
 
@@ -285,8 +343,11 @@ Status DeviceParallelDriver::Execute(RunContext& ctx) {
     ExecutionOptions sub_options = ctx.options();
     sub_options.model = ExecutionModelKind::kChunked;
     sub_options.device_set.clear();
-    // The parent already reset/snapshots device state for the whole set.
+    // The parent already reset/snapshots device state for the whole set,
+    // and collects the per-pipeline profile itself (around the partition
+    // threads' join points).
     sub_options.reset_device_state = false;
+    sub_options.collect_profile = false;
     sub.ctx = std::make_unique<RunContext>(ctx.manager(), sub.graph.get(),
                                            sub_options);
     st = sub.ctx->Prepare();

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "runtime/exec/plan_shapes.h"
 #include "task/kernels.h"
 
@@ -24,6 +25,7 @@ RunContext::RunContext(DeviceManager* manager, PrimitiveGraph* graph,
                         : DataContainer::WithoutTransforms()) {
   hub_.set_scan_cache(options.scan_cache);
   hub_.set_memory_listener(options.memory_listener);
+  run_start_ = std::chrono::steady_clock::now();
 }
 
 Status RunContext::Prepare(const std::vector<DeviceId>& device_override) {
@@ -64,8 +66,53 @@ size_t RunContext::ChunkCapacity(const Pipeline& pipeline) const {
                                manager_->data_scale());
 }
 
+int RunContext::PipelineTrack(const Pipeline& pipeline) const {
+  if (pipeline.nodes.empty()) return obs::kHostTrack;
+  return static_cast<int>(graph_->node(pipeline.nodes.front()).device);
+}
+
+void RunContext::ClosePipeline() {
+  pipeline_span_.End();
+  if (cur_pipeline_index_ < 0) return;
+  const int index = cur_pipeline_index_;
+  cur_pipeline_index_ = -1;
+  if (!options_.collect_profile) return;
+  obs::PipelineProfile profile;
+  profile.index = index;
+  profile.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - pipeline_start_)
+          .count();
+  profile.chunks = exec_.stats.chunks - pipeline_chunk_start_;
+  // Per-device busy deltas need the devices' unsynchronized timeline
+  // accessors — exclusive-lease runs only (see FinalizeStats).
+  if (options_.reset_device_state) {
+    for (const auto& [id, snapshot] : pipeline_busy_snapshot_) {
+      auto dev = manager_->GetDevice(id);
+      if (!dev.ok()) continue;
+      obs::PipelineDeviceSlice slice;
+      slice.device = static_cast<int>(id);
+      slice.transfer_ms =
+          static_cast<double>((*dev)->transfer_timeline().busy_time() -
+                              snapshot.h2d) /
+          1000.0;
+      slice.d2h_ms = static_cast<double>((*dev)->d2h_timeline().busy_time() -
+                                         snapshot.d2h) /
+                     1000.0;
+      slice.compute_ms =
+          static_cast<double>((*dev)->compute_timeline().busy_time() -
+                              snapshot.compute) /
+          1000.0;
+      profile.devices.push_back(slice);
+    }
+  }
+  pipeline_busy_snapshot_.clear();
+  exec_.stats.profile.pipelines.push_back(std::move(profile));
+}
+
 Status RunContext::BeginPipeline(const Pipeline& pipeline,
                                  size_t total_chunks) {
+  ClosePipeline();
   for (int node_id : pipeline.nodes) {
     const GraphNode& node = graph_->node(node_id);
     if (node.kind == PrimitiveKind::kPrefixSum && total_chunks > 1) {
@@ -84,6 +131,38 @@ Status RunContext::BeginPipeline(const Pipeline& pipeline,
   staged_scan_bufs_.clear();
   staged_outputs_.clear();
   ring_bufs_.clear();
+
+  // Every driver calls BeginPipeline exactly once per pipeline, so the span
+  // opened here covers the pipeline's staging + chunk loop; it closes at the
+  // next BeginPipeline / ReleaseAll / FinalizeStats.
+  int index = static_cast<int>(exec_.stats.profile.pipelines.size());
+  if (!pipelines_.empty() && &pipeline >= pipelines_.data() &&
+      &pipeline < pipelines_.data() + pipelines_.size()) {
+    index = static_cast<int>(&pipeline - pipelines_.data());
+  }
+  if (obs::TracingEnabled()) {
+    pipeline_span_.Start(PipelineTrack(pipeline),
+                         "pipeline:" + std::to_string(index));
+    pipeline_span_.set_args("{\"chunks\":" + std::to_string(total_chunks) +
+                            "}");
+  }
+  cur_pipeline_index_ = index;
+  if (options_.collect_profile) {
+    pipeline_start_ = std::chrono::steady_clock::now();
+    pipeline_chunk_start_ = exec_.stats.chunks;
+    pipeline_busy_snapshot_.clear();
+    if (options_.reset_device_state) {
+      for (DeviceId id : used_devices_) {
+        auto dev = manager_->GetDevice(id);
+        if (!dev.ok()) continue;
+        BusySnapshot snapshot;
+        snapshot.h2d = (*dev)->transfer_timeline().busy_time();
+        snapshot.d2h = (*dev)->d2h_timeline().busy_time();
+        snapshot.compute = (*dev)->compute_timeline().busy_time();
+        pipeline_busy_snapshot_[id] = snapshot;
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -91,10 +170,16 @@ Status RunContext::RunChunks(const Pipeline& pipeline, size_t chunk_begin,
                              size_t chunk_end, size_t cap) {
   const ChunkSource chunks(pipeline.input_rows, cap);
   chunk_end = std::min(chunk_end, chunks.total());
+  const int track = PipelineTrack(pipeline);
   for (size_t c = chunk_begin; c < chunk_end; ++c) {
     const size_t base_row = chunks.base(c);
     const size_t n = chunks.rows(c);
 
+    obs::TraceSpan chunk_span;
+    if (obs::TracingEnabled()) {
+      chunk_span.Start(track, "chunk:" + std::to_string(c));
+      chunk_span.set_args("{\"rows\":" + std::to_string(n) + "}");
+    }
     chunk_scan_cache_.clear();
     for (int edge_id : pipeline.scan_edges) {
       ADAMANT_RETURN_NOT_OK(PlaceScanChunk(edge_id, c, base_row, n));
@@ -588,8 +673,17 @@ Status RunContext::ExecuteNode(int node_id, size_t chunk, size_t base_row,
     }
   }
 
-  ADAMANT_RETURN_NOT_OK(
-      dev->Execute(launch).WithContext(node.label).WithDevice(node.device));
+  {
+    static obs::Counter* launches =
+        obs::GlobalMetrics().GetCounter("adamant_kernel_launches_total");
+    launches->Increment();
+    obs::TraceSpan kernel_span;
+    if (obs::TracingEnabled()) {
+      kernel_span.Start(static_cast<int>(node.device), "kernel:" + node.label);
+    }
+    ADAMANT_RETURN_NOT_OK(
+        dev->Execute(launch).WithContext(node.label).WithDevice(node.device));
+  }
 
   // Publish outputs on the outgoing edges.
   for (int edge_id : graph_->OutEdges(node_id)) {
@@ -636,6 +730,10 @@ Status RunContext::RetrieveStreaming(const GraphNode& node,
   output.kind = node.kind;
   output.elem_type = out0.elem_type;
 
+  obs::TraceSpan d2h_span;
+  if (obs::TracingEnabled()) {
+    d2h_span.Start(static_cast<int>(node.device), "d2h:" + node.label);
+  }
   QueryExecution::ChunkPart part;
   part.base_row = base_row;
   if (out0.count != kInvalidBuffer) {
@@ -681,6 +779,11 @@ Status RunContext::RetrieveBreaker(const GraphNode& node) {
   output.kind = node.kind;
   output.num_slots = persist.num_slots;
   output.bytes.resize(persist.bytes);
+  obs::TraceSpan d2h_span;
+  if (obs::TracingEnabled()) {
+    d2h_span.Start(static_cast<int>(persist.device), "d2h:" + node.label);
+    d2h_span.set_args("{\"bytes\":" + std::to_string(persist.bytes) + "}");
+  }
   return dev->RetrieveData(persist.buffer, output.bytes.data(),
                            persist.bytes, 0)
       .WithDevice(persist.device);
@@ -791,6 +894,7 @@ void RunContext::ReleaseScanLeases() {
 }
 
 void RunContext::ReleaseAll() {
+  ClosePipeline();
   ReleaseScanLeases();
   FreeAll(&per_chunk_allocs_);
   FreeAll(&pipeline_allocs_);
@@ -804,7 +908,15 @@ void RunContext::ReleaseAll() {
 }
 
 void RunContext::FinalizeStats() {
+  ClosePipeline();
   QueryStats& stats = exec_.stats;
+  if (options_.collect_profile) {
+    stats.profile.collected = true;
+    stats.profile.run_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - run_start_)
+                               .count();
+    stats.profile.merge_host_ms = stats.merge_host_ms;
+  }
   stats.bytes_h2d += hub_.bytes_host_to_device();
   stats.bytes_d2h += hub_.bytes_device_to_host();
   stats.scan_cache_hits += hub_.scan_cache_hits();
@@ -842,6 +954,16 @@ void RunContext::FinalizeStats() {
     stats.kernel_body_us += ds.kernel_body_us;
     stats.transfer_wire_us += ds.transfer_wire_us;
     stats.elapsed_us = std::max(stats.elapsed_us, dev->MaxCompletion());
+    if (options_.collect_profile) {
+      obs::DeviceProfile dp;
+      dp.name = ds.name;
+      dp.transfer_ms = static_cast<double>(ds.h2d_busy_us) / 1000.0;
+      dp.d2h_ms = static_cast<double>(ds.d2h_busy_us) / 1000.0;
+      dp.compute_ms = static_cast<double>(ds.compute_busy_us) / 1000.0;
+      dp.kernel_body_ms = static_cast<double>(ds.kernel_body_us) / 1000.0;
+      dp.kernel_launches = ds.execute_calls;
+      stats.profile.devices.push_back(std::move(dp));
+    }
   }
 }
 

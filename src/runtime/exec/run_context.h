@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -12,6 +13,7 @@
 #include "common/bit_util.h"
 #include "common/result.h"
 #include "device/device_manager.h"
+#include "obs/trace.h"
 #include "runtime/executor.h"
 #include "runtime/primitive_graph.h"
 #include "runtime/transfer_hub.h"
@@ -171,6 +173,14 @@ class RunContext {
   void FreeAll(std::vector<std::pair<DeviceId, BufferId>>* allocs);
   void ReleaseScanLeases();
 
+  /// The track a pipeline's events record on: its first node's device.
+  int PipelineTrack(const Pipeline& pipeline) const;
+  /// Closes the open pipeline trace span and, when profiling, folds the
+  /// pipeline's wall time / chunk count / per-device busy deltas into the
+  /// profile. Called from BeginPipeline (previous pipeline), ReleaseAll,
+  /// and FinalizeStats; idempotent.
+  void ClosePipeline();
+
   DeviceManager* manager_;
   PrimitiveGraph* graph_;
   ExecutionOptions options_;
@@ -197,6 +207,19 @@ class RunContext {
   std::vector<uint64_t> chunk_lease_tokens_;
   std::vector<DeviceId> used_devices_;
   QueryExecution exec_;
+
+  // --- Observability (obs/): pipeline trace span + profile collection ---
+  obs::TraceSpan pipeline_span_;
+  int cur_pipeline_index_ = -1;
+  size_t pipeline_chunk_start_ = 0;
+  std::chrono::steady_clock::time_point run_start_;
+  std::chrono::steady_clock::time_point pipeline_start_;
+  struct BusySnapshot {
+    sim::SimTime h2d = 0;
+    sim::SimTime d2h = 0;
+    sim::SimTime compute = 0;
+  };
+  std::map<DeviceId, BusySnapshot> pipeline_busy_snapshot_;
 };
 
 }  // namespace adamant::exec

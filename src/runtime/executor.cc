@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.h"
 #include "runtime/exec/model_driver.h"
 #include "task/hash_table.h"
 
@@ -117,6 +118,11 @@ Result<QueryExecution> QueryExecutor::Run(PrimitiveGraph* graph,
   }
   ADAMANT_ASSIGN_OR_RETURN(std::unique_ptr<exec::ModelDriver> driver,
                            exec::MakeModelDriver(options.model));
+  obs::TraceSpan query_span;
+  if (obs::TracingEnabled()) {
+    query_span.Start(obs::kHostTrack,
+                     std::string("query:") + ExecutionModelName(options.model));
+  }
   exec::RunContext context(manager_, graph, options);
   Status st = driver->Execute(context);
   // Delete phase / error cleanup: give every allocation back.

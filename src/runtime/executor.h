@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "device/device_manager.h"
+#include "obs/profile.h"
 #include "runtime/primitive_graph.h"
 #include "runtime/runtime_hooks.h"
 #include "runtime/transfer_hub.h"
@@ -83,6 +84,12 @@ struct ExecutionOptions {
   /// when several queries share one device (slots_per_device > 1), where a
   /// mid-run reset would clobber a concurrent query's accounting.
   bool reset_device_state = true;
+  /// Fill QueryStats::profile with the per-pipeline / per-device phase
+  /// breakdown (obs::QueryProfile). Per-pipeline device slices need the
+  /// devices' timeline accessors, so they are only collected when
+  /// reset_device_state is also true (exclusive device use); wall-clock
+  /// pipeline timings and run_ms are collected regardless.
+  bool collect_profile = false;
 };
 
 /// Per-device timing/footprint snapshot for one query execution.
@@ -129,6 +136,9 @@ struct QueryStats {
   /// ExecutionOptions::reset_device_state == false (shared device leases)
   /// every entry is name-only and `elapsed_us` stays 0.
   std::vector<DeviceRunStats> devices;
+  /// Phase breakdown (ExecutionOptions::collect_profile); queue_wait_ms is
+  /// stamped by the service layer, everything else by the executor.
+  obs::QueryProfile profile;
 };
 
 /// Results + statistics of one query run. Terminal pipeline-breaker outputs

@@ -2,10 +2,43 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "task/hash_table.h"
 #include "task/kernels.h"
 
 namespace adamant {
+
+namespace {
+
+// Process-wide transfer/cache counters (the hub has no service attached to
+// own per-instance metrics). Pointers are stable for the process lifetime.
+obs::Counter* H2DBytesCounter() {
+  static obs::Counter* counter =
+      obs::GlobalMetrics().GetCounter("adamant_bytes_h2d_total");
+  return counter;
+}
+obs::Counter* D2HBytesCounter() {
+  static obs::Counter* counter =
+      obs::GlobalMetrics().GetCounter("adamant_bytes_d2h_total");
+  return counter;
+}
+obs::Counter* CacheHitCounter() {
+  static obs::Counter* counter =
+      obs::GlobalMetrics().GetCounter("adamant_scan_cache_hits_total");
+  return counter;
+}
+obs::Counter* CacheMissCounter() {
+  static obs::Counter* counter =
+      obs::GlobalMetrics().GetCounter("adamant_scan_cache_misses_total");
+  return counter;
+}
+
+std::string BytesArgs(size_t bytes) {
+  return "{\"bytes\":" + std::to_string(bytes) + "}";
+}
+
+}  // namespace
 
 Result<BufferId> DataTransferHub::PrepareDeviceMemory(SimulatedDevice* dev,
                                                       DeviceId device,
@@ -23,6 +56,11 @@ Result<BufferId> DataTransferHub::LoadData(DeviceId device, const void* src,
   ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
   ADAMANT_ASSIGN_OR_RETURN(BufferId id, PrepareDeviceMemory(dev, device, bytes));
   ChargeAllocate(device, bytes);
+  obs::TraceSpan span;
+  if (obs::TracingEnabled()) {
+    span.Start(static_cast<int>(device), "h2d");
+    span.set_args(BytesArgs(bytes));
+  }
   Status st = dev->PlaceData(id, src, bytes, 0);
   if (!st.ok()) {
     (void)dev->DeleteMemory(id);
@@ -30,6 +68,7 @@ Result<BufferId> DataTransferHub::LoadData(DeviceId device, const void* src,
     return st.WithDevice(device);
   }
   bytes_h2d_ += bytes;
+  H2DBytesCounter()->Add(static_cast<double>(bytes));
   return id;
 }
 
@@ -47,9 +86,13 @@ Result<ScanBufferCache::Lease> DataTransferHub::LoadColumnChunk(
       if (lease.hit) {
         ++scan_cache_hits_;
         bytes_h2d_saved_ += bytes;
+        CacheHitCounter()->Increment();
+        obs::TraceInstant(static_cast<int>(device), "scan_cache_hit",
+                          BytesArgs(bytes));
         return lease;
       }
       ++scan_cache_misses_;
+      CacheMissCounter()->Increment();
       Status st = PlaceChunk(device, lease.buffer, src, bytes);
       if (!st.ok()) {
         scan_cache_->Invalidate(lease.token);
@@ -60,6 +103,7 @@ Result<ScanBufferCache::Lease> DataTransferHub::LoadColumnChunk(
     // The cache declined (budget pressure); fall through to a transient
     // buffer, still counted as a miss for hit-rate purposes.
     ++scan_cache_misses_;
+    CacheMissCounter()->Increment();
   }
 
   ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
@@ -81,9 +125,15 @@ Status DataTransferHub::PlaceChunk(DeviceId device, BufferId dst,
                                    const void* src, size_t bytes,
                                    size_t dst_offset) {
   ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
+  obs::TraceSpan span;
+  if (obs::TracingEnabled()) {
+    span.Start(static_cast<int>(device), "h2d");
+    span.set_args(BytesArgs(bytes));
+  }
   ADAMANT_RETURN_NOT_OK(
       dev->PlaceData(dst, src, bytes, dst_offset).WithDevice(device));
   bytes_h2d_ += bytes;
+  H2DBytesCounter()->Add(static_cast<double>(bytes));
   return Status::OK();
 }
 
@@ -98,12 +148,25 @@ Result<BufferId> DataTransferHub::Router(DeviceId src_device, BufferId src,
                            manager_->GetDevice(dst_device));
   // The host is the only interconnect between plugged devices.
   std::vector<uint8_t> scratch(bytes);
-  ADAMANT_RETURN_NOT_OK(
-      from->RetrieveData(src, scratch.data(), bytes, 0).WithDevice(src_device));
+  {
+    obs::TraceSpan d2h_span;
+    if (obs::TracingEnabled()) {
+      d2h_span.Start(static_cast<int>(src_device), "d2h:route");
+      d2h_span.set_args(BytesArgs(bytes));
+    }
+    ADAMANT_RETURN_NOT_OK(from->RetrieveData(src, scratch.data(), bytes, 0)
+                              .WithDevice(src_device));
+  }
   bytes_d2h_ += bytes;
+  D2HBytesCounter()->Add(static_cast<double>(bytes));
   ADAMANT_ASSIGN_OR_RETURN(BufferId dst,
                            PrepareDeviceMemory(to, dst_device, bytes));
   ChargeAllocate(dst_device, bytes);
+  obs::TraceSpan h2d_span;
+  if (obs::TracingEnabled()) {
+    h2d_span.Start(static_cast<int>(dst_device), "h2d:route");
+    h2d_span.set_args(BytesArgs(bytes));
+  }
   Status st = to->PlaceData(dst, scratch.data(), bytes, 0);
   if (!st.ok()) {
     (void)to->DeleteMemory(dst);
@@ -111,6 +174,7 @@ Result<BufferId> DataTransferHub::Router(DeviceId src_device, BufferId src,
     return st.WithDevice(dst_device);
   }
   bytes_h2d_ += bytes;
+  H2DBytesCounter()->Add(static_cast<double>(bytes));
   return dst;
 }
 
@@ -128,9 +192,17 @@ Result<BufferId> DataTransferHub::EnsureFormat(DeviceId device, BufferId id,
     case DataContainer::Route::kHostRoundTrip: {
       // The naive path of Fig. 4: through the host, transform there, back.
       std::vector<uint8_t> scratch(bytes);
-      ADAMANT_RETURN_NOT_OK(
-          dev->RetrieveData(id, scratch.data(), bytes, 0).WithDevice(device));
+      {
+        obs::TraceSpan d2h_span;
+        if (obs::TracingEnabled()) {
+          d2h_span.Start(static_cast<int>(device), "d2h:transform");
+          d2h_span.set_args(BytesArgs(bytes));
+        }
+        ADAMANT_RETURN_NOT_OK(
+            dev->RetrieveData(id, scratch.data(), bytes, 0).WithDevice(device));
+      }
       bytes_d2h_ += bytes;
+      D2HBytesCounter()->Add(static_cast<double>(bytes));
       ADAMANT_RETURN_NOT_OK(dev->DeleteMemory(id).WithDevice(device));
       ChargeFree(device, bytes);
       ADAMANT_ASSIGN_OR_RETURN(BufferId fresh,
@@ -142,6 +214,7 @@ Result<BufferId> DataTransferHub::EnsureFormat(DeviceId device, BufferId id,
       Status st = dev->PlaceData(fresh, scratch.data(), bytes, 0);
       if (st.ok()) {
         bytes_h2d_ += bytes;
+        H2DBytesCounter()->Add(static_cast<double>(bytes));
         st = dev->TransformMemory(fresh, target);
       }
       if (!st.ok()) {

@@ -5,21 +5,13 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/chrome_trace.h"
+#include "obs/trace.h"
 #include "runtime/executor.h"
 
 namespace adamant {
 
 namespace {
-
-double PercentileMs(std::vector<double> values, double p) {
-  if (values.empty()) return 0;
-  std::sort(values.begin(), values.end());
-  const double rank = p * static_cast<double>(values.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, values.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return values[lo] + (values[hi] - values[lo]) * frac;
-}
 
 double ElapsedMs(std::chrono::steady_clock::time_point from,
                  std::chrono::steady_clock::time_point to) {
@@ -35,9 +27,34 @@ QueryService::QueryService(DeviceManager* manager, ServiceConfig config)
       queue_(config.max_queue),
       slots_(manager->num_devices(), std::max<size_t>(config.slots_per_device, 1)),
       health_(manager->num_devices(), config.health),
-      jitter_rng_(config.retry.jitter_seed),
-      completed_by_device_(manager->num_devices(), 0),
-      busy_us_by_device_(manager->num_devices(), 0) {
+      jitter_rng_(config.retry.jitter_seed) {
+  // All counters live in the per-service registry; the pointers below are
+  // stable for the service's lifetime and are incremented under mu_, so the
+  // exact-count semantics of the old plain members are preserved.
+  submitted_ = metrics_.GetCounter("adamant_service_submitted_total");
+  admitted_ = metrics_.GetCounter("adamant_service_admitted_total");
+  completed_ = metrics_.GetCounter("adamant_service_completed_total");
+  failed_ = metrics_.GetCounter("adamant_service_failed_total");
+  rejected_ = metrics_.GetCounter("adamant_service_rejected_total");
+  budget_deferrals_ =
+      metrics_.GetCounter("adamant_service_budget_deferrals_total");
+  retries_ = metrics_.GetCounter("adamant_service_retries_total");
+  requeues_ = metrics_.GetCounter("adamant_service_requeues_total");
+  quarantines_ = metrics_.GetCounter("adamant_service_quarantines_total");
+  fault_unwinds_ = metrics_.GetCounter("adamant_service_fault_unwinds_total");
+  probes_ = metrics_.GetCounter("adamant_service_probes_total");
+  queue_wait_hist_ = metrics_.GetHistogram("adamant_service_queue_wait_ms",
+                                           obs::LatencyBucketsMs());
+  run_hist_ =
+      metrics_.GetHistogram("adamant_service_run_ms", obs::LatencyBucketsMs());
+  for (size_t i = 0; i < manager->num_devices(); ++i) {
+    const std::string& name = manager->device(static_cast<DeviceId>(i))->name();
+    completed_by_device_.push_back(metrics_.GetCounter(
+        "adamant_service_device_completed_total", "device", name));
+    busy_ms_by_device_.push_back(
+        metrics_.GetCounter("adamant_service_device_busy_ms_total", "device",
+                            name));
+  }
   size_t cache_budget = 0;
   if (config_.enable_cache) {
     cache_budget = config_.cache_budget_bytes;
@@ -138,26 +155,40 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(QuerySpec spec) {
 
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++submitted_;
+    submitted_->Increment();
+    auto reject_event = [&](const char* reason) {
+      rejected_->Increment();
+      if (obs::TracingEnabled()) {
+        obs::TraceInstant(obs::kServiceTrack, "reject",
+                          "{\"query\":\"" + obs::JsonEscape(query->spec.name) +
+                              "\",\"reason\":\"" + reason + "\"}");
+      }
+    };
     if (estimate > max_budget) {
-      ++rejected_;
+      reject_event("estimate_over_budget");
       return Status::OutOfMemory(
           query->spec.name + ": footprint estimate (" +
           std::to_string(estimate) + " B) exceeds every eligible device's " +
           "memory budget (" + std::to_string(max_budget) + " B)");
     }
     if (stopping_) {
-      ++rejected_;
+      reject_event("stopping");
       // Typed and transient: a client in front of several service replicas
       // can tell "try another replica" from a permanent plan error.
       return Status::Unavailable("service is stopping; submission rejected");
     }
     if (queue_.full()) {
-      ++rejected_;
+      reject_event("queue_full");
       return Status::OutOfMemory("admission queue is full (" +
                                  std::to_string(config_.max_queue) + ")");
     }
-    ++admitted_;
+    admitted_->Increment();
+    if (obs::TracingEnabled()) {
+      obs::TraceInstant(obs::kServiceTrack, "admit",
+                        "{\"query\":\"" + obs::JsonEscape(query->spec.name) +
+                            "\",\"estimate_bytes\":" +
+                            std::to_string(estimate) + "}");
+    }
     std::shared_ptr<QueryTicket> ticket = query->ticket;
     queue_.Push(std::move(query));
     dispatch_cv_.notify_one();
@@ -242,7 +273,7 @@ void QueryService::WorkerLoop() {
             // release epoch, not once per queue scan.
             if (had_free_slot && candidate.deferral_epoch != release_epoch_) {
               candidate.deferral_epoch = release_epoch_;
-              ++budget_deferrals_;
+              budget_deferrals_->Increment();
             }
             return false;
           };
@@ -284,10 +315,23 @@ void QueryService::WorkerLoop() {
       }
       for (DeviceId d : placed) {
         slots_.Acquire(d);
-        if (health_.OnPlaced(d)) ++probes_;
+        if (health_.OnPlaced(d)) {
+          probes_->Increment();
+          if (obs::TracingEnabled()) {
+            obs::TraceInstant(obs::kServiceTrack, "probe",
+                              "{\"device\":" + std::to_string(d) + "}");
+          }
+        }
+        if (obs::TracingEnabled()) {
+          obs::TraceInstant(
+              obs::kServiceTrack, "place",
+              "{\"query\":\"" + obs::JsonEscape(query->spec.name) +
+                  "\",\"device\":" + std::to_string(d) +
+                  ",\"attempt\":" + std::to_string(query->attempt + 1) + "}");
+        }
       }
       ++query->attempt;
-      if (query->attempt > 1) ++retries_;
+      if (query->attempt > 1) retries_->Increment();
       ++active_;
     }
 
@@ -313,7 +357,7 @@ void QueryService::WorkerLoop() {
       for (DeviceId d : placed) {
         slots_.Release(d);
         ledger_->budget(d).Release(query->estimate_bytes);
-        busy_us_by_device_[static_cast<size_t>(d)] += attempt_ms * 1000.0;
+        busy_ms_by_device_[static_cast<size_t>(d)]->Add(attempt_ms);
       }
       ++release_epoch_;  // budget state changed: deferrals may count again
       --active_;
@@ -324,8 +368,15 @@ void QueryService::WorkerLoop() {
       } else if (device_fault) {
         // The executor unwound a device-attributed failure; the device's
         // health record takes the blame, not the query's ticket (yet).
-        ++fault_unwinds_;
-        if (health_.OnFailure(fault_device, end)) ++quarantines_;
+        fault_unwinds_->Increment();
+        if (health_.OnFailure(fault_device, end)) {
+          quarantines_->Increment();
+          if (obs::TracingEnabled()) {
+            obs::TraceInstant(obs::kServiceTrack, "quarantine",
+                              "{\"device\":" + std::to_string(fault_device) +
+                                  "}");
+          }
+        }
       }
       const bool retryable =
           !ok && (result.status().IsTransient() || !config_.retry.transient_only);
@@ -333,7 +384,14 @@ void QueryService::WorkerLoop() {
         // Requeue with the failing device excluded and a backoff deadline.
         // The admission bound does not apply: a requeue re-enters work that
         // was already admitted, it does not add any.
-        ++requeues_;
+        requeues_->Increment();
+        if (obs::TracingEnabled()) {
+          obs::TraceInstant(obs::kServiceTrack, "requeue",
+                            "{\"query\":\"" +
+                                obs::JsonEscape(query->spec.name) +
+                                "\",\"attempt\":" +
+                                std::to_string(query->attempt) + "}");
+        }
         if (device_fault) query->excluded_devices.push_back(fault_device);
         query->not_before =
             end + std::chrono::duration_cast<
@@ -345,18 +403,24 @@ void QueryService::WorkerLoop() {
         requeued = true;
       } else {
         if (ok) {
-          ++completed_;
-          ++completed_by_device_[static_cast<size_t>(primary)];
+          completed_->Increment();
+          completed_by_device_[static_cast<size_t>(primary)]->Increment();
         } else {
-          ++failed_;
+          failed_->Increment();
         }
         query->ticket->placed_device_ = primary;
         query->ticket->placed_devices_ = placed;
         query->ticket->queue_wait_ms_ = ElapsedMs(query->submit_time, start);
         query->ticket->run_ms_ = attempt_ms;
         query->ticket->attempts_ = query->attempt;
-        queue_wait_ms_.push_back(query->ticket->queue_wait_ms_);
-        run_ms_.push_back(query->ticket->run_ms_);
+        queue_wait_hist_->Observe(query->ticket->queue_wait_ms_);
+        run_hist_->Observe(query->ticket->run_ms_);
+        if (ok) {
+          // The runtime filled the rest of the profile; the queue wait is
+          // only knowable here, at the service layer.
+          (*result).stats.profile.queue_wait_ms =
+              query->ticket->queue_wait_ms_;
+        }
       }
     }
     // A finished attempt freed a slot and budget bytes: every waiting
@@ -388,6 +452,9 @@ Result<QueryExecution> QueryService::RunOne(
   // With exclusive device leases each run may reset its device's clocks and
   // counters; with shared devices that would clobber a neighbour mid-run.
   options.reset_device_state = config_.slots_per_device <= 1;
+  // Every served query carries its phase profile on the ticket; collection
+  // is a handful of clock reads per pipeline, so it is always on here.
+  options.collect_profile = true;
   QueryExecutor executor(manager_);
   return executor.Run(graph.get(), options);
 }
@@ -414,33 +481,39 @@ ServiceStats QueryService::GetStats() const {
   ServiceStats stats;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stats.submitted = submitted_;
-    stats.admitted = admitted_;
-    stats.completed = completed_;
-    stats.failed = failed_;
-    stats.rejected = rejected_;
-    stats.budget_deferrals = budget_deferrals_;
-    stats.retries = retries_;
-    stats.requeues = requeues_;
-    stats.quarantines = quarantines_;
-    stats.fault_unwinds = fault_unwinds_;
-    stats.probes = probes_;
+    // Every exported value is read back from the metrics registry — the
+    // same instruments the Prometheus/JSON expositions serialize — so the
+    // two views cannot drift. Counters are integral by construction.
+    auto count = [](const obs::Counter* c) {
+      return static_cast<size_t>(c->Value());
+    };
+    stats.submitted = count(submitted_);
+    stats.admitted = count(admitted_);
+    stats.completed = count(completed_);
+    stats.failed = count(failed_);
+    stats.rejected = count(rejected_);
+    stats.budget_deferrals = count(budget_deferrals_);
+    stats.retries = count(retries_);
+    stats.requeues = count(requeues_);
+    stats.quarantines = count(quarantines_);
+    stats.fault_unwinds = count(fault_unwinds_);
+    stats.probes = count(probes_);
     stats.queued = queue_.size();
     stats.active = active_;
     stats.wall_seconds =
         ElapsedMs(start_time_, std::chrono::steady_clock::now()) / 1000.0;
-    stats.queue_wait_p50_ms = PercentileMs(queue_wait_ms_, 0.50);
-    stats.queue_wait_p95_ms = PercentileMs(queue_wait_ms_, 0.95);
-    stats.run_p50_ms = PercentileMs(run_ms_, 0.50);
-    stats.run_p95_ms = PercentileMs(run_ms_, 0.95);
-    const double wall_us = stats.wall_seconds * 1e6;
+    stats.queue_wait_p50_ms = queue_wait_hist_->Quantile(0.50);
+    stats.queue_wait_p95_ms = queue_wait_hist_->Quantile(0.95);
+    stats.run_p50_ms = run_hist_->Quantile(0.50);
+    stats.run_p95_ms = run_hist_->Quantile(0.95);
+    const double wall_ms = stats.wall_seconds * 1e3;
     stats.devices.resize(manager_->num_devices());
     for (size_t i = 0; i < manager_->num_devices(); ++i) {
       ServiceStats::DeviceEntry& entry = stats.devices[i];
       entry.name = manager_->device(static_cast<DeviceId>(i))->name();
-      entry.completed = completed_by_device_[i];
+      entry.completed = count(completed_by_device_[i]);
       entry.busy_fraction =
-          wall_us > 0 ? busy_us_by_device_[i] / wall_us : 0;
+          wall_ms > 0 ? busy_ms_by_device_[i]->Value() / wall_ms : 0;
       const MemoryBudget& budget =
           ledger_->budget(static_cast<DeviceId>(i));
       entry.budget_capacity = budget.capacity();

@@ -14,6 +14,7 @@
 
 #include "common/result.h"
 #include "device/device_manager.h"
+#include "obs/metrics.h"
 #include "service/column_cache.h"
 #include "service/device_health.h"
 #include "service/memory_budget.h"
@@ -142,7 +143,14 @@ class QueryService {
   /// Drains, then stops the workers. Idempotent; the destructor calls it.
   void Stop();
 
+  /// Snapshot of the service counters. Every value is derived from the
+  /// service's MetricsRegistry (the single source of truth also exposed by
+  /// metrics()); the p50/p95 fields are histogram quantile estimates.
   ServiceStats GetStats() const;
+
+  /// The service's metric registry: counters/histograms behind GetStats,
+  /// exposable as Prometheus text (metrics().ToPrometheusText()) or JSON.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   DeviceColumnCache* cache() { return cache_.get(); }
   MemoryLedger& ledger() { return *ledger_; }
@@ -176,22 +184,27 @@ class QueryService {
   /// budget deferrals count at most once per query per epoch.
   uint64_t release_epoch_ = 1;
 
-  // Counters under mu_.
-  size_t submitted_ = 0;
-  size_t admitted_ = 0;
-  size_t completed_ = 0;
-  size_t failed_ = 0;
-  size_t rejected_ = 0;
-  size_t budget_deferrals_ = 0;
-  size_t retries_ = 0;
-  size_t requeues_ = 0;
-  size_t quarantines_ = 0;
-  size_t fault_unwinds_ = 0;
-  size_t probes_ = 0;
-  std::vector<double> queue_wait_ms_;
-  std::vector<double> run_ms_;
-  std::vector<size_t> completed_by_device_;
-  std::vector<double> busy_us_by_device_;
+  // Service metrics: one registry per service instance so concurrent
+  // services in one process stay independent. The instrument pointers are
+  // stable (registry-owned); counters are still incremented under mu_, so
+  // every count stays exactly what the old size_t members recorded —
+  // GetStats and the Prometheus/JSON expositions read one source of truth.
+  obs::MetricsRegistry metrics_;
+  obs::Counter* submitted_;
+  obs::Counter* admitted_;
+  obs::Counter* completed_;
+  obs::Counter* failed_;
+  obs::Counter* rejected_;
+  obs::Counter* budget_deferrals_;
+  obs::Counter* retries_;
+  obs::Counter* requeues_;
+  obs::Counter* quarantines_;
+  obs::Counter* fault_unwinds_;
+  obs::Counter* probes_;
+  obs::Histogram* queue_wait_hist_;
+  obs::Histogram* run_hist_;
+  std::vector<obs::Counter*> completed_by_device_;
+  std::vector<obs::Counter*> busy_ms_by_device_;
 
   std::vector<std::thread> workers_;
 };

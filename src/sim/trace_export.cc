@@ -1,45 +1,27 @@
 #include "sim/trace_export.h"
 
-#include <sstream>
+#include "obs/chrome_trace.h"
 
 namespace adamant::sim {
 
-namespace {
-void AppendEscaped(const std::string& text, std::ostringstream* out) {
-  for (char c : text) {
-    if (c == '"' || c == '\\') {
-      *out << '\\';
-    }
-    *out << c;
-  }
-}
-}  // namespace
-
+// Thin wrapper over the shared serializer (obs::ChromeTraceBuilder) so
+// simulated and live traces render identically. Null timelines keep their
+// slot's tid reserved but emit nothing, matching the historical layout.
 std::string ToChromeTrace(
     const std::vector<const ResourceTimeline*>& timelines) {
-  std::ostringstream out;
-  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  bool first = true;
+  obs::ChromeTraceBuilder builder;
   for (size_t tid = 0; tid < timelines.size(); ++tid) {
     const ResourceTimeline* timeline = timelines[tid];
     if (timeline == nullptr) continue;
-    // Thread-name metadata event.
-    if (!first) out << ",";
-    first = false;
-    out << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
-        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
-    AppendEscaped(timeline->name(), &out);
-    out << "\"}}";
+    builder.SetTrackName(static_cast<int>(tid), timeline->name());
     for (const TimelineEntry& entry : timeline->trace()) {
-      out << ",{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid << ",\"ts\":"
-          << entry.start << ",\"dur\":" << (entry.end - entry.start)
-          << ",\"name\":\"";
-      AppendEscaped(entry.label.empty() ? "op" : entry.label, &out);
-      out << "\"}";
+      builder.AddComplete(static_cast<int>(tid),
+                          static_cast<double>(entry.start),
+                          static_cast<double>(entry.end - entry.start),
+                          entry.label);
     }
   }
-  out << "]}";
-  return out.str();
+  return builder.ToJson();
 }
 
 }  // namespace adamant::sim

@@ -547,5 +547,96 @@ TEST(ServiceFaultTest, SameSeedSameCountersSequential) {
   EXPECT_GT(a.fault_unwinds, 0u);  // the comparison must compare something
 }
 
+// --- Observability of injected faults --------------------------------------
+
+TEST(FaultObservabilityTest, InjectedFailureEmitsTraceEventAndMetric) {
+  const auto& fixture = FaultFixture::Get();
+  obs::Counter* injected =
+      obs::GlobalMetrics().GetCounter("adamant_faults_injected_total");
+  const double injected_before = injected->Value();
+
+  DeviceManager manager;
+  auto device = manager.AddDriver(
+      sim::DriverKind::kCudaGpu, "gpu.flaky",
+      FaultPlan::FailNth(InterfaceCall::kExecute, 1));
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(BindStandardKernels(manager.device(*device)).ok());
+
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Enable();
+  {
+    ServiceConfig config;
+    config.workers = 1;
+    QueryService service(&manager, config);
+    auto ticket = service.Submit(SpecFor(fixture.catalog.get(), 2));
+    ASSERT_TRUE(ticket.ok());
+    ASSERT_TRUE((*ticket)->Wait().ok());  // retried past the injected fault
+    service.Drain();
+  }
+  const std::string json = recorder.ExportChromeJson();
+  recorder.Disable();
+
+  // The global counter moved by exactly the injected failure, and both the
+  // unlabeled and the per-device series see it.
+  EXPECT_EQ(injected->Value(), injected_before + 1);
+  EXPECT_GE(obs::GlobalMetrics()
+                .GetCounter("adamant_faults_injected_total", "device",
+                            "gpu.flaky")
+                ->Value(),
+            1.0);
+
+  // The trace names the injected fault distinctly — "fault:execute", with
+  // the device in args — so it cannot be mistaken for an organic failure,
+  // and the service's reaction (requeue) is on the same timeline.
+  EXPECT_NE(json.find("\"name\":\"fault:execute\""), std::string::npos);
+  EXPECT_NE(json.find("gpu.flaky"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"requeue\""), std::string::npos);
+  // No latency spike was configured, so none may be reported.
+  EXPECT_EQ(json.find("fault_latency:"), std::string::npos);
+
+  obs::TraceCheckResult check = obs::ValidateChromeTrace(json);
+  EXPECT_TRUE(check.ok) << check.Summary();
+}
+
+TEST(FaultObservabilityTest, LatencySpikeDistinguishableFromFailure) {
+  obs::Counter* spikes =
+      obs::GlobalMetrics().GetCounter("adamant_fault_latency_spikes_total");
+  obs::Counter* injected =
+      obs::GlobalMetrics().GetCounter("adamant_faults_injected_total");
+  const double spikes_before = spikes->Value();
+  const double injected_before = injected->Value();
+
+  DeviceManager manager;
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.call = InterfaceCall::kPlaceData;
+  spec.nth_call = 1;
+  spec.latency_spike_us = 200;
+  spec.code = StatusCode::kOk;  // a pure slowdown, not a failure
+  plan.specs.push_back(spec);
+  auto device = manager.AddDriver(sim::DriverKind::kCudaGpu, "gpu.slow",
+                                  std::move(plan));
+  ASSERT_TRUE(device.ok());
+  SimulatedDevice* dev = manager.device(*device);  // AddDriver initialized it
+
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Enable();
+  auto buf = dev->PrepareMemory(64);
+  ASSERT_TRUE(buf.ok());
+  std::vector<uint8_t> data(64, 0);
+  ASSERT_TRUE(dev->PlaceData(*buf, data.data(), data.size(), 0).ok());
+  const std::string json = recorder.ExportChromeJson();
+  recorder.Disable();
+
+  // A spike is a span (it has duration), named "fault_latency:..." — never
+  // "fault:..." — and bumps only the spike counter.
+  EXPECT_EQ(spikes->Value(), spikes_before + 1);
+  EXPECT_EQ(injected->Value(), injected_before);
+  EXPECT_NE(json.find("\"name\":\"fault_latency:place_data\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"latency_us\":200"), std::string::npos);
+  EXPECT_EQ(json.find("\"name\":\"fault:place_data\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace adamant

@@ -1,0 +1,84 @@
+// check_trace — lint a Chrome Trace Event JSON file (as written by
+// run_tpch --trace or obs::TraceRecorder::ExportChromeJson).
+//
+//   check_trace trace.json [--require=SUBSTR ...]
+//
+// Validates the structural invariants every ADAMANT trace must hold (see
+// obs/trace_check.h): parseable JSON, a traceEvents array, per-track
+// non-decreasing timestamps, balanced B/E pairs, non-negative durations,
+// and chunk spans nested inside pipeline spans. Each --require=SUBSTR
+// additionally asserts that some event name contains SUBSTR — CI uses this
+// to prove a trace actually carries kernel/transfer/service events rather
+// than being merely well-formed.
+//
+// Exit status: 0 valid, 1 invalid or a requirement missing, 2 usage error.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_check.h"
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--require=";
+    if (arg.rfind(prefix, 0) == 0) {
+      required.push_back(arg.substr(prefix.size()));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "more than one input file\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: check_trace TRACE.json [--require=SUBSTR ...]\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  const adamant::obs::TraceCheckResult result =
+      adamant::obs::ValidateChromeTrace(json);
+  for (const std::string& error : result.errors) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+  }
+
+  bool requirements_ok = true;
+  for (const std::string& want : required) {
+    bool found = false;
+    for (const std::string& name : result.event_names) {
+      if (name.find(want) != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "error: no event name contains '%s'\n",
+                   want.c_str());
+      requirements_ok = false;
+    }
+  }
+
+  std::printf("%s: %zu events, %zu tracks, %s%s\n", path.c_str(),
+              result.event_count, result.track_count,
+              result.ok ? "valid" : "INVALID",
+              requirements_ok ? "" : " (missing required events)");
+  return result.ok && requirements_ok ? 0 : 1;
+}

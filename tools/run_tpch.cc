@@ -16,7 +16,17 @@
 //                     | device-parallel
 //   --chunk=N|auto    chunk size in nominal elements (default 2^25)
 //   --verify          compare results against the scalar reference
-//   --trace=PATH      write a chrome://tracing JSON of the run
+//   --trace=PATH      write a chrome://tracing JSON of the real run: the
+//                     query is routed through a one-off QueryService so the
+//                     trace carries service admission/placement events plus
+//                     per-device pipeline/chunk/kernel/transfer spans
+//                     (docs/observability.md; validate with check_trace)
+//   --sim-trace=PATH  write the simulated-hardware timeline trace instead
+//                     (device clock, not wall clock)
+//   --profile         print the per-query phase profile as a JSON line
+//                     (time in transfer/compute/merge per device/pipeline)
+//   --metrics=PATH    after the run, dump the metrics registries to PATH as
+//                     Prometheus text (or JSON when PATH ends in .json)
 //   --explain         print the logical plan (where available) and exit
 //   --devices=LIST    (single-query mode) comma-separated device ids, e.g.
 //                     --devices=0,1: plugs that many instances of --driver
@@ -78,6 +88,9 @@ struct Options {
   std::string chunk = "33554432";  // 2^25
   bool verify = false;
   std::string trace_path;
+  std::string sim_trace_path;
+  bool profile = false;
+  std::string metrics_path;
   bool explain = false;
   bool serve = false;
   size_t clients = 4;
@@ -124,6 +137,12 @@ Result<Options> ParseArgs(int argc, char** argv) {
       options.chunk = value;
     } else if (ParseFlag(arg, "trace", &value)) {
       options.trace_path = value;
+    } else if (ParseFlag(arg, "sim-trace", &value)) {
+      options.sim_trace_path = value;
+    } else if (ParseFlag(arg, "metrics", &value)) {
+      options.metrics_path = value;
+    } else if (arg == "--profile") {
+      options.profile = true;
     } else if (ParseFlag(arg, "clients", &value)) {
       options.clients = std::stoul(value);
     } else if (ParseFlag(arg, "queries", &value)) {
@@ -227,32 +246,54 @@ void PrintStats(const QueryExecution& exec, DeviceId device) {
   std::printf("\n");
 }
 
+// Dumps the process-wide registry (transfer/cache/kernel/fault counters)
+// plus, when a service ran, its per-service registry. Prometheus text
+// exposition by default; a .json suffix selects JSON.
+Status DumpMetrics(const std::string& path, const QueryService* service) {
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  std::string text;
+  if (json) {
+    text = "{\"global\":" + obs::GlobalMetrics().ToJson();
+    if (service != nullptr) {
+      text += ",\"service\":" + service->metrics().ToJson();
+    }
+    text += "}";
+  } else {
+    text = obs::GlobalMetrics().ToPrometheusText();
+    if (service != nullptr) text += service->metrics().ToPrometheusText();
+  }
+  std::ofstream out(path);
+  out << text;
+  if (!out.good()) {
+    return Status::IOError("cannot write metrics to " + path);
+  }
+  std::printf("metrics written to %s (%s)\n", path.c_str(),
+              json ? "JSON" : "Prometheus text");
+  return Status::OK();
+}
+
+Result<plan::PlanBundle> BuildBundle(const std::string& query,
+                                     const Catalog& catalog, DeviceId device) {
+  if (query == "1") return plan::BuildQ1(catalog, {}, device);
+  if (query == "3") return plan::BuildQ3(catalog, {}, device);
+  if (query == "4") return plan::BuildQ4(catalog, {}, device);
+  if (query == "5") return plan::BuildQ5(catalog, {}, device);
+  if (query == "6") return plan::BuildQ6(catalog, {}, device);
+  if (query == "10") return plan::BuildQ10(catalog, {}, device);
+  if (query == "12") return plan::BuildQ12(catalog, {}, device);
+  if (query == "14") return plan::BuildQ14(catalog, {}, device);
+  return Status::InvalidArgument("unknown query '" + query + "'");
+}
+
 Status RunQuery(const std::string& query, const Catalog& catalog,
                 DeviceManager* manager, DeviceId device,
-                const Options& options) {
+                const Options& options, QueryService* service) {
   ADAMANT_ASSIGN_OR_RETURN(ExecutionModelKind model,
                            ModelFromName(options.model));
 
-  plan::PlanBundle bundle;
-  if (query == "1") {
-    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ1(catalog, {}, device));
-  } else if (query == "3") {
-    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ3(catalog, {}, device));
-  } else if (query == "4") {
-    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ4(catalog, {}, device));
-  } else if (query == "5") {
-    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ5(catalog, {}, device));
-  } else if (query == "6") {
-    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ6(catalog, {}, device));
-  } else if (query == "10") {
-    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ10(catalog, {}, device));
-  } else if (query == "12") {
-    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ12(catalog, {}, device));
-  } else if (query == "14") {
-    ADAMANT_ASSIGN_OR_RETURN(bundle, plan::BuildQ14(catalog, {}, device));
-  } else {
-    return Status::InvalidArgument("unknown query '" + query + "'");
-  }
+  ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle bundle,
+                           BuildBundle(query, catalog, device));
 
   if (options.explain) {
     std::printf("Q%s primitive graph:\n", query.c_str());
@@ -277,14 +318,46 @@ Status RunQuery(const std::string& query, const Catalog& catalog,
     exec_options.chunk_elems = std::stoull(options.chunk);
   }
 
-  QueryExecutor executor(manager);
-  ADAMANT_ASSIGN_OR_RETURN(QueryExecution exec,
-                           executor.Run(bundle.graph.get(), exec_options));
+  exec_options.collect_profile = options.profile;
+
+  // With a service attached (--trace), the query goes through Submit so the
+  // trace carries the admission/placement instants alongside the runtime
+  // spans; node ids are deterministic per builder, so the local bundle still
+  // extracts the serviced execution's results.
+  Result<QueryExecution> direct = Status::Internal("query did not run");
+  std::shared_ptr<QueryTicket> ticket;
+  if (service != nullptr) {
+    QuerySpec spec;
+    spec.name = "Q" + query;
+    spec.options = exec_options;
+    if (exec_options.model == ExecutionModelKind::kDeviceParallel) {
+      spec.parallel_devices = exec_options.device_set.size();
+    }
+    const Catalog* cat = &catalog;
+    const std::string q = query;
+    spec.make_graph =
+        [cat, q](DeviceId dev) -> Result<std::unique_ptr<PrimitiveGraph>> {
+      ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle b, BuildBundle(q, *cat, dev));
+      return std::move(b.graph);
+    };
+    ADAMANT_ASSIGN_OR_RETURN(ticket, service->Submit(std::move(spec)));
+    ADAMANT_RETURN_NOT_OK(ticket->Wait().status());
+  } else {
+    QueryExecutor executor(manager);
+    direct = executor.Run(bundle.graph.get(), exec_options);
+    ADAMANT_RETURN_NOT_OK(direct.status());
+  }
+  const QueryExecution& exec = service != nullptr ? *ticket->Wait() : *direct;
+  const DeviceId report_device =
+      service != nullptr ? ticket->placed_device() : device;
 
   std::printf("Q%-3s on %s (%s, chunk %zu):\n", query.c_str(),
-              manager->device(device)->name().c_str(),
+              manager->device(report_device)->name().c_str(),
               ExecutionModelName(exec_options.model), exec_options.chunk_elems);
-  PrintStats(exec, device);
+  PrintStats(exec, report_device);
+  if (options.profile) {
+    std::printf("    profile: %s\n", exec.stats.profile.ToJson().c_str());
+  }
   if (exec_options.model == ExecutionModelKind::kDeviceParallel) {
     // Machine-readable split report: which device ran how many chunks, and
     // the host time spent merging partition breaker containers.
@@ -507,6 +580,16 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
     // attempts before a ticket is allowed to fail.
     config.retry.max_attempts = 8;
   }
+  if (!options.trace_path.empty()) {
+    // Enabled before the service exists so worker threads never observe a
+    // half-initialized recorder; the reference runs above stay untraced.
+    obs::TraceRecorder::Global().Enable();
+    for (size_t i = 0; i < manager.num_devices(); ++i) {
+      obs::TraceRecorder::Global().SetTrackName(
+          static_cast<int>(i),
+          manager.device(static_cast<DeviceId>(i))->name());
+    }
+  }
   QueryService service(&manager, config);
 
   // Seeded workload: an even Q3/Q4/Q6 mix.
@@ -598,7 +681,20 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
                 stats.quarantines);
   }
   std::printf("%s\n", stats.ToJson().c_str());
+  if (!options.trace_path.empty()) {
+    std::ofstream out(options.trace_path);
+    out << obs::TraceRecorder::Global().ExportChromeJson();
+    if (!out.good()) {
+      return Status::IOError("cannot write trace to " + options.trace_path);
+    }
+    std::printf("trace written to %s (open in chrome://tracing or Perfetto)\n",
+                options.trace_path.c_str());
+  }
+  if (!options.metrics_path.empty()) {
+    ADAMANT_RETURN_NOT_OK(DumpMetrics(options.metrics_path, &service));
+  }
   service.Stop();
+  if (!options.trace_path.empty()) obs::TraceRecorder::Global().Disable();
   if (mismatches > 0) {
     return Status::ExecutionError(std::to_string(mismatches) +
                                   " served queries diverged from the serial "
@@ -643,10 +739,27 @@ Status Run(const Options& options) {
       ADAMANT_RETURN_NOT_OK(BindStandardKernels(manager.device(added)));
     }
   }
-  if (!options.trace_path.empty()) {
+  if (!options.sim_trace_path.empty()) {
     manager.device(device)->transfer_timeline().set_tracing(true);
     manager.device(device)->d2h_timeline().set_tracing(true);
     manager.device(device)->compute_timeline().set_tracing(true);
+  }
+
+  // Wall-clock tracing routes the queries through a one-off single-worker
+  // QueryService: the exported trace then carries the service admission and
+  // placement instants in addition to the runtime's spans, which is what a
+  // trace of a served query would show.
+  std::unique_ptr<QueryService> service;
+  if (!options.trace_path.empty()) {
+    obs::TraceRecorder::Global().Enable();
+    for (size_t i = 0; i < manager.num_devices(); ++i) {
+      obs::TraceRecorder::Global().SetTrackName(
+          static_cast<int>(i),
+          manager.device(static_cast<DeviceId>(i))->name());
+    }
+    ServiceConfig config;
+    config.workers = 1;
+    service = std::make_unique<QueryService>(&manager, config);
   }
 
   // Queries.
@@ -665,21 +778,41 @@ Status Run(const Options& options) {
       std::printf("Q5 skipped (no region table)\n");
       continue;
     }
-    ADAMANT_RETURN_NOT_OK(RunQuery(query, *catalog, &manager, device, options));
+    ADAMANT_RETURN_NOT_OK(RunQuery(query, *catalog, &manager, device, options,
+                                   service.get()));
   }
 
-  if (!options.trace_path.empty()) {
+  if (service != nullptr) {
+    service->Drain();
+    std::ofstream out(options.trace_path);
+    out << obs::TraceRecorder::Global().ExportChromeJson();
+    if (!out.good()) {
+      return Status::IOError("cannot write trace to " + options.trace_path);
+    }
+    std::printf("trace written to %s (open in chrome://tracing or Perfetto)\n",
+                options.trace_path.c_str());
+  }
+  if (!options.metrics_path.empty()) {
+    ADAMANT_RETURN_NOT_OK(DumpMetrics(options.metrics_path, service.get()));
+  }
+  if (service != nullptr) {
+    service->Stop();
+    obs::TraceRecorder::Global().Disable();
+  }
+
+  if (!options.sim_trace_path.empty()) {
     SimulatedDevice* dev = manager.device(device);
     std::string json = sim::ToChromeTrace({&dev->transfer_timeline(),
                                            &dev->d2h_timeline(),
                                            &dev->compute_timeline()});
-    std::ofstream out(options.trace_path);
+    std::ofstream out(options.sim_trace_path);
     out << json;
     if (!out.good()) {
-      return Status::IOError("cannot write trace to " + options.trace_path);
+      return Status::IOError("cannot write trace to " +
+                             options.sim_trace_path);
     }
-    std::printf("trace written to %s (open in chrome://tracing)\n",
-                options.trace_path.c_str());
+    std::printf("simulated-timeline trace written to %s\n",
+                options.sim_trace_path.c_str());
   }
   return Status::OK();
 }
