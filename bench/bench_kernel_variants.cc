@@ -1,0 +1,356 @@
+// Parallel kernel variants: per-primitive scalar vs worker-pool comparison
+// on a parallel-native CPU device (openmp_cpu). Each primitive with a
+// registered parallel variant runs twice at a large chunk size — once forced
+// scalar, once forced parallel with kDefaultKernelThreads — and the bench
+// reports the *simulated* kernel body time of each (the calibrated CPU rate
+// is the parallel-native rate, so forcing scalar is charged S(threads)/S(1)
+// slower; see sim/perf_model.h) plus informational host wall-clock (this
+// container may have a single core, so wall-clock parallel gains are not
+// gated). A second pass at a tiny size proves the auto-fallback: below the
+// tile threshold the parallel variant must run the scalar path, so its
+// simulated time may not exceed scalar by more than 5%.
+//
+// Gates (exit non-zero on failure):
+//   * map, filter_bitmap, agg_block simulated speedup >= 2.0x at the large
+//     size (the ISSUE acceptance bar; the model predicts ~3.08x at 4
+//     threads);
+//   * every variant's forced-parallel run at the large size actually took
+//     the parallel dispatch path (device parallel_launches counter);
+//   * at the small size no parallel variant is > 5% slower than scalar.
+//
+// Results land in BENCH_kernels.json.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/bit_util.h"
+#include "common/random.h"
+#include "task/hash_table.h"
+#include "task/kernel_registry.h"
+
+namespace adamant::bench {
+namespace {
+
+// Actual tuples executed on the host; the device charges kNominalElems
+// through data_scale. 2^22 actual keeps the scalar host passes quick while
+// 2^25 nominal matches the chunk size the SF>=10 queries run at.
+constexpr size_t kLargeElems = size_t{1} << 22;
+constexpr size_t kNominalElems = size_t{1} << 25;
+// Small enough that NumTiles < 2 (auto-fallback) and the nominal size sits
+// below sim::kParallelSpeedupMinTuples, so both variants charge S = 1.
+constexpr size_t kSmallElems = 4096;
+
+struct Measure {
+  double sim_body_us = 0;
+  double wall_ms = 0;
+  bool parallel_dispatch = false;  // did the device take the parallel path?
+};
+
+struct Sample {
+  std::string kernel;
+  size_t nominal_elems = 0;
+  Measure scalar;
+  Measure parallel;
+  double sim_speedup = 0;  // scalar.sim_body_us / parallel.sim_body_us
+};
+
+/// Runs `make_launch(dev)` once with the requested variant forced, timing
+/// only that Execute: simulated body time by kernel_body_time() delta (setup
+/// kernels run before make_launch returns, so they stay outside the delta)
+/// and host wall-clock around the call.
+template <typename MakeLaunch>
+Measure RunOnce(SimulatedDevice* dev, KernelVariantRequest variant,
+                const MakeLaunch& make_launch) {
+  KernelLaunch launch = make_launch(dev);
+  launch.variant = variant;
+  launch.num_threads = kDefaultKernelThreads;
+  const double body0 = dev->kernel_body_time();
+  const size_t par0 = dev->parallel_launches();
+  const auto wall0 = std::chrono::steady_clock::now();
+  ADAMANT_CHECK(dev->Execute(launch).ok())
+      << launch.kernel_name << " failed";
+  const auto wall1 = std::chrono::steady_clock::now();
+  Measure m;
+  m.sim_body_us = dev->kernel_body_time() - body0;
+  m.wall_ms =
+      std::chrono::duration<double, std::milli>(wall1 - wall0).count();
+  m.parallel_dispatch = dev->parallel_launches() > par0;
+  return m;
+}
+
+std::vector<int32_t> RandomKeys(size_t n, int32_t max_key) {
+  Rng rng(20260805);
+  std::vector<int32_t> keys(n);
+  for (auto& key : keys) {
+    key = static_cast<int32_t>(rng.Uniform(1, max_key));
+  }
+  return keys;
+}
+
+class VariantBench {
+ public:
+  explicit VariantBench(size_t actual, size_t nominal) : actual_(actual) {
+    manager_ = std::make_unique<DeviceManager>(sim::HardwareSetup::kSetup1);
+    manager_->SetDataScale(static_cast<double>(nominal) /
+                           static_cast<double>(actual));
+    auto id = manager_->AddDriver(sim::DriverKind::kOpenMpCpu);
+    ADAMANT_CHECK(id.ok()) << id.status().ToString();
+    ADAMANT_CHECK(BindStandardKernels(manager_->device(*id)).ok());
+    dev_ = manager_->device(*id);
+    ADAMANT_CHECK(dev_->default_kernel_variant() == KernelVariant::kParallel)
+        << "openmp_cpu must be parallel-native";
+    keys_ = RandomKeys(actual, 1 << 30);
+  }
+
+  SimulatedDevice* dev() const { return dev_; }
+  size_t n() const { return actual_; }
+
+  BufferId Push(const void* data, size_t bytes) {
+    auto buf = dev_->PrepareMemory(bytes);
+    ADAMANT_CHECK(buf.ok()) << buf.status().ToString();
+    ADAMANT_CHECK(dev_->PlaceData(*buf, data, bytes, 0).ok());
+    track_.push_back(*buf);
+    return *buf;
+  }
+  BufferId PushKeys() { return Push(keys_.data(), actual_ * 4); }
+  BufferId Alloc(size_t bytes) {
+    auto buf = dev_->PrepareMemory(bytes);
+    ADAMANT_CHECK(buf.ok()) << buf.status().ToString();
+    track_.push_back(*buf);
+    return *buf;
+  }
+
+  /// Frees every buffer allocated since the last Release (between variant
+  /// runs, so the two runs see identical fresh inputs).
+  void Release() {
+    for (BufferId id : track_) {
+      ADAMANT_CHECK(dev_->DeleteMemory(id).ok());
+    }
+    track_.clear();
+  }
+
+  /// Builds a filled (sentinel-initialized) hash table over the key set.
+  BufferId BuildTable(size_t slots, bool insert) {
+    BufferId table = Alloc(HashTableLayout::BuildTableBytes(slots));
+    ADAMANT_CHECK(
+        dev_->Execute(kernels::MakeFill(table, HashTableLayout::kEmptyKey,
+                                        HashTableLayout::BuildTableBytes(slots) /
+                                            4))
+            .ok());
+    if (insert) {
+      BufferId keys = PushKeys();
+      ADAMANT_CHECK(dev_->Execute(kernels::MakeHashBuild(
+                                      keys, kInvalidBuffer, table, slots, 0,
+                                      actual_))
+                        .ok());
+    }
+    return table;
+  }
+
+ private:
+  size_t actual_;
+  std::unique_ptr<DeviceManager> manager_;
+  SimulatedDevice* dev_ = nullptr;
+  std::vector<int32_t> keys_;
+  std::vector<BufferId> track_;
+};
+
+using LaunchFactory = std::function<KernelLaunch(VariantBench&)>;
+
+struct KernelCase {
+  const char* name;
+  LaunchFactory make;
+};
+
+std::vector<KernelCase> AllCases() {
+  return {
+      {"map",
+       [](VariantBench& b) {
+         return kernels::MakeMap(b.PushKeys(), kInvalidBuffer,
+                                 b.Alloc(b.n() * 4), MapOp::kAddScalar,
+                                 ElementType::kInt32, ElementType::kInt32, 7,
+                                 b.n());
+       }},
+      {"filter_bitmap",
+       [](VariantBench& b) {
+         return kernels::MakeFilterBitmap(
+             b.PushKeys(), b.Alloc(bit_util::BytesForBits(b.n())), CmpOp::kLt,
+             ElementType::kInt32, 1 << 29, 0, false, b.n());
+       }},
+      {"filter_position",
+       [](VariantBench& b) {
+         return kernels::MakeFilterPosition(
+             b.PushKeys(), b.Alloc(b.n() * 4), b.Alloc(8), CmpOp::kLt,
+             ElementType::kInt32, 1 << 29, 0, b.n());
+       }},
+      {"materialize",
+       [](VariantBench& b) {
+         BufferId in = b.PushKeys();
+         BufferId bitmap = b.Alloc(bit_util::BytesForBits(b.n()));
+         ADAMANT_CHECK(b.dev()
+                           ->Execute(kernels::MakeFilterBitmap(
+                               in, bitmap, CmpOp::kLt, ElementType::kInt32,
+                               1 << 29, 0, false, b.n()))
+                           .ok());
+         return kernels::MakeMaterialize(in, bitmap, b.Alloc(b.n() * 4),
+                                         b.Alloc(8), ElementType::kInt32,
+                                         b.n());
+       }},
+      {"materialize_position",
+       [](VariantBench& b) {
+         BufferId in = b.PushKeys();
+         std::vector<int32_t> positions(b.n());
+         for (size_t i = 0; i < b.n(); ++i) {
+           positions[i] = static_cast<int32_t>(b.n() - 1 - i);
+         }
+         BufferId pos = b.Push(positions.data(), b.n() * 4);
+         return kernels::MakeMaterializePosition(in, pos, b.Alloc(b.n() * 4),
+                                                 ElementType::kInt32, b.n());
+       }},
+      {"prefix_sum",
+       [](VariantBench& b) {
+         return kernels::MakePrefixSum(b.PushKeys(), b.Alloc(b.n() * 4), true,
+                                       b.n());
+       }},
+      {"agg_block",
+       [](VariantBench& b) {
+         return kernels::MakeAggBlock(b.PushKeys(), b.Alloc(8), AggOp::kSum,
+                                      ElementType::kInt32, true, b.n());
+       }},
+      {"hash_build",
+       [](VariantBench& b) {
+         const size_t slots = HashTableLayout::SlotsFor(b.n());
+         BufferId table = b.BuildTable(slots, /*insert=*/false);
+         return kernels::MakeHashBuild(b.PushKeys(), kInvalidBuffer, table,
+                                       slots, 0, b.n());
+       }},
+      {"hash_probe",
+       [](VariantBench& b) {
+         const size_t slots = HashTableLayout::SlotsFor(b.n());
+         BufferId table = b.BuildTable(slots, /*insert=*/true);
+         return kernels::MakeHashProbe(b.PushKeys(), table,
+                                       b.Alloc(b.n() * 4), b.Alloc(b.n() * 4),
+                                       b.Alloc(8), slots, ProbeMode::kSemi, 0,
+                                       b.n());
+       }},
+  };
+}
+
+Sample RunCase(const KernelCase& kc, size_t actual, size_t nominal) {
+  Sample sample;
+  sample.kernel = kc.name;
+  sample.nominal_elems = nominal;
+  {
+    VariantBench bench(actual, nominal);
+    sample.scalar = RunOnce(bench.dev(), KernelVariantRequest::kScalar,
+                            [&](SimulatedDevice*) { return kc.make(bench); });
+    bench.Release();
+  }
+  {
+    VariantBench bench(actual, nominal);
+    sample.parallel =
+        RunOnce(bench.dev(), KernelVariantRequest::kParallel,
+                [&](SimulatedDevice*) { return kc.make(bench); });
+    bench.Release();
+  }
+  sample.sim_speedup = sample.parallel.sim_body_us > 0
+                           ? sample.scalar.sim_body_us /
+                                 sample.parallel.sim_body_us
+                           : 0;
+  return sample;
+}
+
+void WriteJson(const std::vector<Sample>& large,
+               const std::vector<Sample>& small, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  ADAMANT_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "{\n  \"bench\": \"kernel_variants\",\n");
+  std::fprintf(f, "  \"threads\": %d,\n  \"tile_elems\": %zu,\n",
+               kDefaultKernelThreads, kernels::ParallelTileElems());
+  auto emit = [&](const char* key, const std::vector<Sample>& samples) {
+    std::fprintf(f, "  \"%s\": [\n", key);
+    for (size_t i = 0; i < samples.size(); ++i) {
+      const Sample& s = samples[i];
+      std::fprintf(
+          f,
+          "    {\"kernel\": \"%s\", \"nominal_elems\": %zu, "
+          "\"scalar_sim_us\": %.3f, \"parallel_sim_us\": %.3f, "
+          "\"sim_speedup\": %.3f, \"scalar_wall_ms\": %.3f, "
+          "\"parallel_wall_ms\": %.3f, \"parallel_dispatch\": %s}%s\n",
+          s.kernel.c_str(), s.nominal_elems, s.scalar.sim_body_us,
+          s.parallel.sim_body_us, s.sim_speedup, s.scalar.wall_ms,
+          s.parallel.wall_ms, s.parallel.parallel_dispatch ? "true" : "false",
+          i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]%s\n", key == std::string("small") ? "" : ",");
+  };
+  emit("large", large);
+  emit("small", small);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace adamant::bench
+
+int main() {
+  using namespace adamant;
+  using namespace adamant::bench;
+
+  std::vector<Sample> large, small;
+  std::printf("%-22s %14s %16s %18s %10s %9s\n", "kernel", "nominal",
+              "scalar_sim_us", "parallel_sim_us", "speedup", "par_disp");
+  for (const KernelCase& kc : AllCases()) {
+    Sample s = RunCase(kc, kLargeElems, kNominalElems);
+    std::printf("%-22s %14zu %16.1f %18.1f %9.2fx %9s\n", s.kernel.c_str(),
+                s.nominal_elems, s.scalar.sim_body_us,
+                s.parallel.sim_body_us, s.sim_speedup,
+                s.parallel.parallel_dispatch ? "yes" : "no");
+    large.push_back(s);
+  }
+  for (const KernelCase& kc : AllCases()) {
+    Sample s = RunCase(kc, kSmallElems, kSmallElems);
+    std::printf("%-22s %14zu %16.3f %18.3f %9.2fx %9s\n", s.kernel.c_str(),
+                s.nominal_elems, s.scalar.sim_body_us,
+                s.parallel.sim_body_us, s.sim_speedup,
+                s.parallel.parallel_dispatch ? "yes" : "no");
+    small.push_back(s);
+  }
+  WriteJson(large, small, "BENCH_kernels.json");
+
+  bool ok = true;
+  // Acceptance bar: >= 2x simulated speedup on the headline primitives at
+  // the SF>=10 chunk size (model predicts ~3.08x at 4 threads).
+  for (const Sample& s : large) {
+    const bool headline = s.kernel == "map" || s.kernel == "filter_bitmap" ||
+                          s.kernel == "agg_block";
+    if (headline && s.sim_speedup < 2.0) {
+      std::printf("FAIL: %s large sim speedup %.2fx < 2.0x\n",
+                  s.kernel.c_str(), s.sim_speedup);
+      ok = false;
+    }
+    if (!s.parallel.parallel_dispatch) {
+      std::printf("FAIL: %s large forced-parallel run did not take the "
+                  "parallel dispatch path\n",
+                  s.kernel.c_str());
+      ok = false;
+    }
+  }
+  // Auto-fallback bar: at small sizes the parallel variant must not cost
+  // more than 5% over scalar (it falls back to the scalar path entirely).
+  for (const Sample& s : small) {
+    if (s.parallel.sim_body_us > s.scalar.sim_body_us * 1.05) {
+      std::printf("FAIL: %s small parallel sim %.3fus > 1.05 * scalar "
+                  "%.3fus\n",
+                  s.kernel.c_str(), s.parallel.sim_body_us,
+                  s.scalar.sim_body_us);
+      ok = false;
+    }
+  }
+  if (ok) std::printf("OK: all kernel-variant gates passed\n");
+  return ok ? 0 : 1;
+}

@@ -54,25 +54,39 @@ struct Sample {
   double merge_host_ms = 0;
   size_t chunks = 0;
   std::string chunk_split;  // "per-device counts, e.g. \"8+8\""
+  /// Whether SearchPlacements' merge-cost gate would admit this point
+  /// (always true for non-device-parallel models). Rejected points are
+  /// still simulated here so the regression they predict stays visible.
+  bool admitted = true;
+  double merge_pred_ms = 0;    // predicted interior-merge round-trip cost
+  double savings_pred_ms = 0;  // predicted compute saving of the split
 };
 
-Sample RunPoint(int query, ExecutionModelKind model, int devices) {
+Sample RunPoint(int query, ExecutionModelKind model, int devices,
+                double baseline_elapsed_us = 0) {
   const Catalog& catalog = SharedCatalog();
   auto manager = MakeManager(devices);
   plan::PlanBundle bundle = BuildQuery(query, catalog, 0);
   ExecutionOptions options;
   options.model = model;
   options.chunk_elems = kChunkElems;
+  Sample sample;
   if (model == ExecutionModelKind::kDeviceParallel) {
     for (int i = 0; i < devices; ++i) {
       options.device_set.push_back(static_cast<DeviceId>(i));
     }
+    auto merge = plan::EstimateDeviceParallelMerge(
+        *bundle.graph, manager.get(), options.device_set,
+        baseline_elapsed_us);
+    ADAMANT_CHECK(merge.ok()) << merge.status().ToString();
+    sample.admitted = devices < 2 || !merge->merge_dominated;
+    sample.merge_pred_ms = sim::MsFromUs(merge->merge_cost_us);
+    sample.savings_pred_ms = sim::MsFromUs(merge->savings_us);
   }
   QueryExecutor executor(manager.get());
   auto exec = executor.Run(bundle.graph.get(), options);
   ADAMANT_CHECK(exec.ok()) << "Q" << query << "/" << ExecutionModelName(model)
                            << ": " << exec.status().ToString();
-  Sample sample;
   sample.query = query;
   sample.model = ExecutionModelName(model);
   sample.devices = devices;
@@ -99,10 +113,12 @@ void WriteJson(const std::vector<Sample>& samples, const char* path) {
                  "    {\"query\": \"Q%d\", \"model\": \"%s\", "
                  "\"devices\": %d, \"elapsed_ms\": %.3f, \"speedup\": %.3f, "
                  "\"merge_host_ms\": %.4f, \"chunks\": %zu, "
-                 "\"chunk_split\": \"%s\"}%s\n",
+                 "\"chunk_split\": \"%s\", \"admitted\": %s, "
+                 "\"merge_pred_ms\": %.3f, \"savings_pred_ms\": %.3f}%s\n",
                  s.query, s.model.c_str(), s.devices, s.elapsed_ms, s.speedup,
                  s.merge_host_ms, s.chunks, s.chunk_split.c_str(),
-                 i + 1 < samples.size() ? "," : "");
+                 s.admitted ? "true" : "false", s.merge_pred_ms,
+                 s.savings_pred_ms, i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -117,8 +133,9 @@ int main() {
   using namespace adamant::bench;
 
   std::vector<Sample> samples;
-  std::printf("%-4s %-18s %8s %12s %9s %14s %12s\n", "Q", "model", "devices",
-              "elapsed_ms", "speedup", "merge_host_ms", "chunk_split");
+  std::printf("%-4s %-18s %8s %12s %9s %14s %12s %9s\n", "Q", "model",
+              "devices", "elapsed_ms", "speedup", "merge_host_ms",
+              "chunk_split", "admitted");
   for (int query : {3, 4, 6}) {
     // Single-device baselines (chunked is the speedup denominator; the
     // others anchor comparability with bench_fig11_exec_models).
@@ -132,20 +149,22 @@ int main() {
       group.push_back(s);
     }
     for (int devices : {1, 2, 4}) {
-      Sample s =
-          RunPoint(query, ExecutionModelKind::kDeviceParallel, devices);
+      Sample s = RunPoint(query, ExecutionModelKind::kDeviceParallel, devices,
+                          baseline.elapsed_ms * 1000.0);
       s.speedup = baseline.elapsed_ms / s.elapsed_ms;
       group.push_back(s);
     }
     for (const Sample& s : group) {
-      std::printf("Q%-3d %-18s %8d %12.3f %9.3f %14.4f %12s\n", s.query,
+      std::printf("Q%-3d %-18s %8d %12.3f %9.3f %14.4f %12s %9s\n", s.query,
                   s.model.c_str(), s.devices, s.elapsed_ms, s.speedup,
-                  s.merge_host_ms, s.chunk_split.c_str());
+                  s.merge_host_ms, s.chunk_split.c_str(),
+                  s.admitted ? "yes" : "REJECTED");
       samples.push_back(s);
     }
   }
   WriteJson(samples, "BENCH_multidevice.json");
 
+  bool ok = true;
   // The acceptance bar: two devices must beat single-device chunked on Q6.
   double q6_chunked = 0, q6_dp2 = 0;
   for (const Sample& s : samples) {
@@ -157,9 +176,34 @@ int main() {
     std::printf("FAIL: Q6 device-parallel x2 (%.3f ms) does not beat "
                 "single-device chunked (%.3f ms)\n",
                 q6_dp2, q6_chunked);
-    return 1;
+    ok = false;
+  } else {
+    std::printf("OK: Q6 device-parallel x2 speedup %.2fx\n",
+                q6_chunked / q6_dp2);
   }
-  std::printf("OK: Q6 device-parallel x2 speedup %.2fx\n",
-              q6_chunked / q6_dp2);
-  return 0;
+  // Merge-cost gate calibration: no *admitted* multi-device point may run
+  // materially slower than the chunked baseline (the Q4 regression must be
+  // rejected, not admitted), and the gate must not over-reject (Q6 x2 — the
+  // near-linear case — stays admitted).
+  for (const Sample& s : samples) {
+    if (s.model != "device-parallel" || s.devices < 2) continue;
+    if (s.admitted && s.speedup < 0.95) {
+      std::printf("FAIL: Q%d device-parallel x%d admitted by the merge gate "
+                  "but only %.3fx vs chunked\n",
+                  s.query, s.devices, s.speedup);
+      ok = false;
+    }
+    if (s.query == 4 && s.devices == 2 && s.admitted) {
+      std::printf("FAIL: Q4 device-parallel x2 (the known merge-dominated "
+                  "regression) was not rejected\n");
+      ok = false;
+    }
+    if (s.query == 6 && s.devices == 2 && !s.admitted) {
+      std::printf("FAIL: Q6 device-parallel x2 was rejected by the merge "
+                  "gate despite near-linear scaling\n");
+      ok = false;
+    }
+  }
+  if (ok) std::printf("OK: merge-cost gate admits/rejects correctly\n");
+  return ok ? 0 : 1;
 }

@@ -12,6 +12,28 @@
 
 namespace adamant {
 
+/// Task-layer implementation variant of a kernel. The Task layer may hold
+/// several implementations of one primitive (Table I); `kScalar` is the
+/// single-threaded reference, `kParallel` a tiled worker-pool implementation
+/// with bit-identical output. Devices resolve which one a launch runs.
+enum class KernelVariant : uint8_t {
+  kScalar = 0,
+  kParallel = 1,
+};
+
+/// What a launch (or ExecutionOptions) asks for: defer to the device's
+/// default policy, or force one variant. Forcing kParallel silently falls
+/// back to kScalar for kernels without a parallel implementation.
+enum class KernelVariantRequest : uint8_t {
+  kAuto = 0,
+  kScalar = 1,
+  kParallel = 2,
+};
+
+inline const char* KernelVariantName(KernelVariant v) {
+  return v == KernelVariant::kParallel ? "parallel" : "scalar";
+}
+
 /// One argument of a kernel launch: a device buffer (tagged by access mode
 /// so the simulator can derive data dependencies) or an immediate scalar.
 struct KernelArg {
@@ -75,11 +97,18 @@ class KernelExecContext {
   int64_t scalar(size_t i) const { return args_[i].i64; }
   double scalar_f(size_t i) const { return args_[i].f64; }
 
+  /// Thread budget for parallel kernel variants: the maximum number of
+  /// threads (pool workers + the calling thread) the kernel may use.
+  /// <= 1 means run single-threaded; scalar variants ignore it.
+  int parallel_threads() const { return parallel_threads_; }
+  void set_parallel_threads(int threads) { parallel_threads_ = threads; }
+
  private:
   std::vector<void*> pointers_;
   std::vector<size_t> sizes_;
   std::vector<KernelArg> args_;
   size_t work_items_;
+  int parallel_threads_ = 0;
 };
 
 /// Functional implementation of a kernel, executed on the host against the
@@ -111,6 +140,13 @@ struct KernelLaunch {
   /// benchmark's data-scale factor (e.g. hash-table cardinalities), false
   /// for fixed parameters (e.g. the 5 TPC-H order priorities).
   bool scale_cost_param = false;
+  /// Which Task-layer implementation variant to run. kAuto defers to the
+  /// device's default policy (set per driver kind at BindStandardKernels
+  /// time); forcing kParallel falls back to the scalar implementation for
+  /// kernels without a registered parallel variant. Ignored when `fn` is set.
+  KernelVariantRequest variant = KernelVariantRequest::kAuto;
+  /// Thread budget for the parallel variant; 0 = the device's policy count.
+  int num_threads = 0;
   /// Inline implementation; if empty, the kernel registered under
   /// kernel_name via prepare_kernel()/RegisterPrecompiledKernel() is used.
   HostKernelFn fn;

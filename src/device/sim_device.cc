@@ -231,6 +231,24 @@ bool SimulatedDevice::HasKernel(const std::string& name) const {
          precompiled_kernels_.count(name) > 0;
 }
 
+void SimulatedDevice::RegisterParallelKernel(const std::string& name,
+                                             HostKernelFn fn) {
+  std::lock_guard<std::mutex> lock(call_mu_);
+  parallel_kernels_[name] = std::move(fn);
+}
+
+bool SimulatedDevice::HasParallelKernel(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(call_mu_);
+  return parallel_kernels_.count(name) > 0;
+}
+
+void SimulatedDevice::SetKernelVariantPolicy(KernelVariant native,
+                                             int threads) {
+  std::lock_guard<std::mutex> lock(call_mu_);
+  default_variant_ = native;
+  kernel_threads_ = threads > 0 ? threads : 1;
+}
+
 Result<BufferId> SimulatedDevice::CreateChunk(BufferId parent, size_t bytes,
                                               size_t offset) {
   std::lock_guard<std::mutex> lock(call_mu_);
@@ -292,6 +310,30 @@ Status SimulatedDevice::Execute(const KernelLaunch& launch) {
                                   " (runtime compilation required)");
   }
 
+  // Resolve the Task-layer variant: an explicit launch request wins, kAuto
+  // takes the device policy; kernels without a registered parallel variant
+  // silently fall back to the scalar binding. Inline fns bypass variants.
+  KernelVariant used_variant =
+      launch.variant == KernelVariantRequest::kScalar ? KernelVariant::kScalar
+      : launch.variant == KernelVariantRequest::kParallel
+          ? KernelVariant::kParallel
+          : default_variant_;
+  int used_threads = 1;
+  if (!launch.fn && used_variant == KernelVariant::kParallel) {
+    if (auto vit = parallel_kernels_.find(launch.kernel_name);
+        vit != parallel_kernels_.end()) {
+      fn = vit->second;
+      used_threads =
+          launch.num_threads > 0 ? launch.num_threads : kernel_threads_;
+      ++parallel_launches_;
+    } else {
+      used_variant = KernelVariant::kScalar;
+    }
+  } else if (launch.fn) {
+    used_variant = default_variant_;  // inline fns charge the native rate
+    used_threads = kernel_threads_;
+  }
+
   // Resolve buffer arguments and collect dependency times.
   std::vector<void*> pointers(launch.args.size(), nullptr);
   std::vector<size_t> sizes(launch.args.size(), 0);
@@ -320,6 +362,15 @@ Status SimulatedDevice::Execute(const KernelLaunch& launch) {
   double cost_param = launch.scale_cost_param ? Scale(launch.cost_param)
                                               : launch.cost_param;
   SimTime body = model_.KernelDuration(launch.kernel_name, tuples, cost_param);
+  // The calibrated rate corresponds to the driver's *native* variant; when
+  // that is the parallel one (CPU drivers), running another variant scales
+  // the body by S(native)/S(used). Scalar-native (GPU) drivers charge the
+  // calibrated rate regardless — their model already is massively parallel.
+  if (default_variant_ == KernelVariant::kParallel) {
+    const int used = used_variant == KernelVariant::kParallel ? used_threads : 1;
+    body *= sim::ParallelKernelSpeedup(kernel_threads_, tuples) /
+            sim::ParallelKernelSpeedup(used, tuples);
+  }
   kernel_body_time_ += body;
   kernel_body_by_name_[launch.kernel_name] += body;
   SimTime duration = model_.kernel_launch_us + body;
@@ -336,6 +387,9 @@ Status SimulatedDevice::Execute(const KernelLaunch& launch) {
   // Run the actual computation now, in issue order.
   KernelExecContext ctx(std::move(pointers), std::move(sizes), launch.args,
                         launch.work_items);
+  ctx.set_parallel_threads(used_variant == KernelVariant::kParallel
+                               ? used_threads
+                               : 1);
   return fn(&ctx).WithContext("kernel '" + launch.kernel_name + "' on " +
                               name_);
 }

@@ -92,6 +92,25 @@ class SimulatedDevice : public Device {
   void RegisterPrecompiledKernel(const std::string& name, HostKernelFn fn);
   bool HasKernel(const std::string& name) const;
 
+  /// Registers the parallel (worker-pool) Task-layer variant of `name`.
+  /// Orthogonal to PrepareKernel/RegisterPrecompiledKernel: a launch still
+  /// needs the scalar binding, and the variant resolved at Execute time
+  /// (launch.variant, else the device policy) picks between the two.
+  void RegisterParallelKernel(const std::string& name, HostKernelFn fn);
+  bool HasParallelKernel(const std::string& name) const;
+
+  /// Sets the device's native variant and thread count. The driver's
+  /// calibrated kernel rates correspond to its *native* variant, so Execute
+  /// charges KernelDuration scaled by S(native)/S(used) — forcing kScalar on
+  /// a parallel-native CPU driver slows it down; forcing kParallel on a
+  /// scalar-native (GPU) driver changes which host fn computes but not the
+  /// simulated time (the GPU model already is massively parallel).
+  void SetKernelVariantPolicy(KernelVariant native, int threads);
+  KernelVariant default_kernel_variant() const { return default_variant_; }
+  int kernel_threads() const { return kernel_threads_; }
+  /// Number of Execute calls that dispatched a parallel variant fn.
+  size_t parallel_launches() const { return parallel_launches_; }
+
   // --- Simulation control (used by the runtime layer, not part of the
   //     paper's device interface) ---
   /// Async = calls enqueue instead of blocking the host (CUDA streams /
@@ -133,7 +152,10 @@ class SimulatedDevice : public Device {
   sim::MemoryArena& device_arena() { return device_arena_; }
   sim::MemoryArena& pinned_arena() { return pinned_arena_; }
   const DeviceCallStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DeviceCallStats{}; }
+  void ResetStats() {
+    stats_ = DeviceCallStats{};
+    parallel_launches_ = 0;
+  }
 
   /// Direct access to a buffer's backing bytes — for tests only; the
   /// runtime always goes through PlaceData/RetrieveData.
@@ -196,6 +218,13 @@ class SimulatedDevice : public Device {
 
   std::map<std::string, HostKernelFn, std::less<>> prepared_kernels_;
   std::map<std::string, HostKernelFn, std::less<>> precompiled_kernels_;
+  std::map<std::string, HostKernelFn, std::less<>> parallel_kernels_;
+  KernelVariant default_variant_ = KernelVariant::kScalar;
+  /// Thread budget handed to parallel variants (deterministic policy
+  /// constant, never hardware_concurrency — simulated time must not depend
+  /// on the host machine).
+  int kernel_threads_ = 4;
+  size_t parallel_launches_ = 0;
 
   sim::MemoryArena device_arena_;
   sim::MemoryArena pinned_arena_;

@@ -19,6 +19,11 @@ namespace adamant::obs {
 /// never collide with a reserved track.
 inline constexpr int kHostTrack = 900;
 inline constexpr int kServiceTrack = 901;
+/// Worker-pool tracks: worker i of the Task-layer WorkerPool records its
+/// `tile:*` spans on kPoolTrackBase + i; the thread that submitted the
+/// parallel region (and participates in it) records on kPoolCallerTrack.
+inline constexpr int kPoolTrackBase = 910;
+inline constexpr int kPoolCallerTrack = 926;
 
 /// The disabled-path guard: one relaxed atomic load and a branch, inlinable
 /// at every instrumentation site. All Record*/TraceSpan entry points check

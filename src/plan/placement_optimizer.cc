@@ -3,9 +3,17 @@
 #include <algorithm>
 #include <map>
 
+#include "runtime/exec/plan_shapes.h"
+
 namespace adamant::plan {
 
 namespace {
+
+/// Host-side merge throughput assumed for interior-breaker container unions
+/// (hash-table entry rehash / partial-sum folds). Deliberately optimistic:
+/// the gate should only fire when the round-trip wire time alone already
+/// dominates.
+constexpr double kHostMergeGibps = 8.0;
 
 const PrimitiveKind kStreaming[] = {
     PrimitiveKind::kMap,         PrimitiveKind::kFilterBitmap,
@@ -28,6 +36,55 @@ PlacementPolicy MakeCandidate(DeviceId streaming, DeviceId hash,
 }
 
 }  // namespace
+
+Result<MergeCostEstimate> EstimateDeviceParallelMerge(
+    const PrimitiveGraph& graph, DeviceManager* manager,
+    const std::vector<DeviceId>& device_set,
+    sim::SimTime baseline_elapsed_us) {
+  if (manager == nullptr) return Status::InvalidArgument("null manager");
+  if (device_set.empty()) {
+    return Status::InvalidArgument("empty device set");
+  }
+  MergeCostEstimate estimate;
+  const auto n = static_cast<double>(device_set.size());
+  estimate.savings_us =
+      baseline_elapsed_us > 0 ? baseline_elapsed_us * (1.0 - 1.0 / n) : 0.0;
+  if (device_set.size() < 2) return estimate;
+
+  const sim::DevicePerfModel& model =
+      manager->device(device_set[0])->perf_model();
+  const double scale = manager->data_scale();
+  ADAMANT_ASSIGN_OR_RETURN(std::vector<Pipeline> pipelines,
+                           graph.SplitPipelines());
+  for (const Pipeline& pipeline : pipelines) {
+    for (int node_id : pipeline.nodes) {
+      const GraphNode& node = graph.node(node_id);
+      if (!GetSignature(node.kind).pipeline_breaker) continue;
+      // Terminal breakers are merged once into the host-side result — no
+      // redistribution; only interior breakers pay the full round-trip.
+      if (graph.IsTerminal(node_id)) continue;
+      ADAMANT_ASSIGN_OR_RETURN(
+          exec::PersistShape shape,
+          exec::PlanPersist(node, pipeline.input_rows));
+      estimate.interior_persist_bytes += shape.bytes;
+      const double wire_bytes = static_cast<double>(shape.bytes) * scale;
+      // Gather every partition's persist, merge, redistribute the union.
+      estimate.merge_cost_us +=
+          n * (model.transfer.latency_us +
+               model.TransferDuration(wire_bytes,
+                                      sim::TransferDirection::kDeviceToHost,
+                                      /*pinned=*/false)) +
+          n * (model.transfer.latency_us +
+               model.TransferDuration(wire_bytes,
+                                      sim::TransferDirection::kHostToDevice,
+                                      /*pinned=*/false)) +
+          sim::TransferUs(wire_bytes, kHostMergeGibps);
+    }
+  }
+  estimate.merge_dominated =
+      baseline_elapsed_us > 0 && estimate.merge_cost_us > estimate.savings_us;
+  return estimate;
+}
 
 Result<PlacementSearchResult> SearchPlacements(
     const LogicalNode& root, const Catalog& catalog, DeviceManager* manager,
@@ -86,23 +143,40 @@ Result<PlacementSearchResult> SearchPlacements(
     PlacementPolicy policy = MakeCandidate(set[0], set[0], set[0]);
     ADAMANT_ASSIGN_OR_RETURN(PlanBundle bundle,
                              LowerPlan(root, catalog, policy));
-    ExecutionOptions parallel = options;
-    parallel.model = ExecutionModelKind::kDeviceParallel;
-    parallel.device_set = set;
-    QueryExecutor executor(manager);
-    auto exec = executor.Run(bundle.graph.get(), parallel);
-    if (!exec.ok()) {
-      // Graphs with global breakers (PREFIX_SUM, SORT_AGG) reject the
-      // model; record and fall back to the grid winner.
+    // Merge-cost gate: when the interior-breaker round-trip is predicted to
+    // eat the compute savings of the split, don't even simulate the
+    // candidate (BENCH_multidevice's Q4 regression: a fact-table HASH_BUILD
+    // union dominating a 2-device split).
+    ADAMANT_ASSIGN_OR_RETURN(
+        MergeCostEstimate merge,
+        EstimateDeviceParallelMerge(*bundle.graph, manager, set,
+                                    have_best ? result.best_elapsed_us : 0));
+    if (have_best && merge.merge_dominated) {
       result.evaluated.emplace_back(
-          name + " (" + exec.status().ToString() + ")", -1.0);
+          name + " (rejected: predicted merge " +
+              std::to_string(static_cast<long long>(merge.merge_cost_us)) +
+              "us > savings " +
+              std::to_string(static_cast<long long>(merge.savings_us)) + "us)",
+          -1.0);
     } else {
-      result.evaluated.emplace_back(name, exec->stats.elapsed_us);
-      if (!have_best || exec->stats.elapsed_us < result.best_elapsed_us) {
-        have_best = true;
-        result.best = policy;
-        result.best_name = name;
-        result.best_elapsed_us = exec->stats.elapsed_us;
+      ExecutionOptions parallel = options;
+      parallel.model = ExecutionModelKind::kDeviceParallel;
+      parallel.device_set = set;
+      QueryExecutor executor(manager);
+      auto exec = executor.Run(bundle.graph.get(), parallel);
+      if (!exec.ok()) {
+        // Graphs with global breakers (PREFIX_SUM, SORT_AGG) reject the
+        // model; record and fall back to the grid winner.
+        result.evaluated.emplace_back(
+            name + " (" + exec.status().ToString() + ")", -1.0);
+      } else {
+        result.evaluated.emplace_back(name, exec->stats.elapsed_us);
+        if (!have_best || exec->stats.elapsed_us < result.best_elapsed_us) {
+          have_best = true;
+          result.best = policy;
+          result.best_name = name;
+          result.best_elapsed_us = exec->stats.elapsed_us;
+        }
       }
     }
   }

@@ -36,6 +36,30 @@ Result<PlacementSearchResult> SearchPlacements(const LogicalNode& root,
                                                DeviceManager* manager,
                                                const ExecutionOptions& options);
 
+/// Prediction of the device-parallel model's host-merge overhead for a
+/// lowered graph. Interior (non-terminal) pipeline breakers force a full
+/// round-trip per partition device — D2H every partition's persist, merge
+/// on the host, H2D the union back — before the next pipeline may run; when
+/// the persist is large (a fact-table hash build) that round-trip swamps
+/// the compute savings of splitting the chunk range. SearchPlacements uses
+/// this to reject merge-dominated device-parallel candidates without
+/// simulating them.
+struct MergeCostEstimate {
+  /// Predicted wire + host time of all interior-breaker merges (us).
+  sim::SimTime merge_cost_us = 0;
+  /// Predicted compute saving vs the single-device baseline:
+  /// baseline * (1 - 1/N) for an N-device split.
+  sim::SimTime savings_us = 0;
+  /// Nominal (unscaled) bytes of interior-breaker persists.
+  size_t interior_persist_bytes = 0;
+  /// merge_cost_us > savings_us — the candidate is predicted to lose.
+  bool merge_dominated = false;
+};
+
+Result<MergeCostEstimate> EstimateDeviceParallelMerge(
+    const PrimitiveGraph& graph, DeviceManager* manager,
+    const std::vector<DeviceId>& device_set, sim::SimTime baseline_elapsed_us);
+
 /// Pick a device set for the device-parallel execution model: the largest
 /// group of plugged devices sharing one performance model (identical
 /// hardware — a chunk split across unlike devices is dominated by the

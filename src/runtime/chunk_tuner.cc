@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/bit_util.h"
+#include "task/kernels.h"
 
 namespace adamant {
 
@@ -35,9 +36,19 @@ Result<size_t> SuggestChunkElems(const SimulatedDevice& device,
   const size_t per_row = widest_row_bytes * 4;
   size_t elems = budget / per_row;
   elems = bit_util::NextPowerOfTwo(std::max<size_t>(elems, 2)) / 2;  // floor
-  constexpr size_t kMinChunk = size_t{1} << 16;
+  size_t min_chunk = size_t{1} << 16;
+  // Parallel-native devices want chunks holding several tiles per thread,
+  // or the worker-pool variants run under-occupied (and tiny chunks fall
+  // below the auto-fallback threshold entirely, wasting the cores).
+  if (device.default_kernel_variant() == KernelVariant::kParallel) {
+    const size_t parallel_floor =
+        bit_util::NextPowerOfTwo(kernels::ParallelTileElems() *
+                                 static_cast<size_t>(device.kernel_threads()) *
+                                 4);
+    min_chunk = std::max(min_chunk, parallel_floor);
+  }
   constexpr size_t kMaxChunk = size_t{1} << 26;
-  return std::clamp(elems, kMinChunk, kMaxChunk);
+  return std::clamp(elems, min_chunk, kMaxChunk);
 }
 
 }  // namespace adamant

@@ -673,6 +673,9 @@ Status RunContext::ExecuteNode(int node_id, size_t chunk, size_t base_row,
     }
   }
 
+  launch.variant = options_.kernel_variant;
+  launch.num_threads = options_.kernel_threads;
+
   {
     static obs::Counter* launches =
         obs::GlobalMetrics().GetCounter("adamant_kernel_launches_total");
@@ -951,6 +954,21 @@ void RunContext::FinalizeStats() {
     ds.prepare_calls = dev->stats().prepare_memory;
     ds.device_mem_high_water = dev->device_arena().high_water();
     ds.pinned_mem_high_water = dev->pinned_arena().high_water();
+    // Report the variant the run actually resolved: a forced option wins,
+    // kAuto means the device's native policy.
+    const KernelVariant effective =
+        options_.kernel_variant == KernelVariantRequest::kScalar
+            ? KernelVariant::kScalar
+        : options_.kernel_variant == KernelVariantRequest::kParallel
+            ? KernelVariant::kParallel
+            : dev->default_kernel_variant();
+    ds.kernel_variant = KernelVariantName(effective);
+    ds.kernel_threads = effective == KernelVariant::kParallel
+                            ? (options_.kernel_threads > 0
+                                   ? options_.kernel_threads
+                                   : dev->kernel_threads())
+                            : 1;
+    ds.parallel_launches = dev->parallel_launches();
     stats.kernel_body_us += ds.kernel_body_us;
     stats.transfer_wire_us += ds.transfer_wire_us;
     stats.elapsed_us = std::max(stats.elapsed_us, dev->MaxCompletion());

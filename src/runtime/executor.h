@@ -66,6 +66,14 @@ struct ExecutionOptions {
   /// across. Empty = every plugged device. Other models ignore it (their
   /// placement comes from the graph's node annotations).
   std::vector<DeviceId> device_set;
+  /// Task-layer kernel variant stamped onto every launch: kAuto defers to
+  /// each device's policy (CPU drivers run parallel natively, GPU drivers
+  /// scalar); kScalar/kParallel force one variant engine-wide. Kernels
+  /// without a parallel implementation always run scalar.
+  KernelVariantRequest kernel_variant = KernelVariantRequest::kAuto;
+  /// Thread budget per parallel kernel launch; 0 = each device's policy
+  /// count (kDefaultKernelThreads for CPU drivers).
+  int kernel_threads = 0;
 
   // --- Service-layer hooks (see src/service/). All default to off; a bare
   //     QueryExecutor::Run behaves exactly as in the single-query engine. ---
@@ -108,6 +116,12 @@ struct DeviceRunStats {
   size_t prepare_calls = 0;
   size_t device_mem_high_water = 0;  // nominal bytes
   size_t pinned_mem_high_water = 0;  // nominal bytes
+  /// Task-layer variant policy the device ran under ("scalar"|"parallel"),
+  /// its thread budget, and how many Execute calls dispatched a parallel
+  /// variant fn — so benchmark output is self-describing.
+  std::string kernel_variant;
+  int kernel_threads = 0;
+  size_t parallel_launches = 0;
 };
 
 struct QueryStats {

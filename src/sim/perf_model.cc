@@ -16,6 +16,12 @@ SimTime KernelCostProfile::Duration(double tuples, double cost_param) const {
   return fixed_us + tuples / rate;
 }
 
+double ParallelKernelSpeedup(int threads, double tuples) {
+  if (threads <= 1 || tuples < kParallelSpeedupMinTuples) return 1.0;
+  return static_cast<double>(threads) /
+         (1.0 + kParallelOverheadAlpha * static_cast<double>(threads - 1));
+}
+
 const KernelCostProfile& DevicePerfModel::Profile(
     std::string_view kernel_name) const {
   auto it = kernels.find(kernel_name);

@@ -32,6 +32,22 @@ struct KernelCostProfile {
 
 enum class TransferDirection { kHostToDevice, kDeviceToHost };
 
+/// Modeled throughput scaling of a tiled multi-threaded (worker-pool) kernel
+/// variant relative to the single-threaded scalar reference on the same CPU:
+///
+///   S(t, n) = t / (1 + kParallelOverheadAlpha * (t - 1))   for n >= threshold
+///   S(t, n) = 1                                            below the threshold
+///
+/// The sub-linear term models tile dispatch, cache sharing and the serial
+/// tail; the threshold models the auto-fallback of parallel variants to the
+/// scalar path when a launch holds too few tiles to amortize the fork.
+/// Calibrated CPU kernel rates (presets.cc) correspond to the driver's
+/// *default* variant — the paper's OpenMP implementation is multi-threaded —
+/// so a device charges KernelDuration scaled by S(native)/S(used).
+inline constexpr double kParallelOverheadAlpha = 0.10;
+inline constexpr double kParallelSpeedupMinTuples = 32768;
+double ParallelKernelSpeedup(int threads, double tuples);
+
 /// PCIe (or memory-bus) transfer characteristics of a device driver.
 struct TransferParams {
   double h2d_pageable_gibps = 6.0;

@@ -1,8 +1,22 @@
 #include "task/kernel_registry.h"
 
+#include <string_view>
+
 #include "task/kernels.h"
 
 namespace adamant {
+namespace {
+
+/// CPU drivers are parallel-native: the paper's OpenMP (and OpenCL-on-CPU)
+/// kernels are multi-threaded, and the calibrated rates in presets.cc
+/// describe exactly those. GPU drivers stay scalar-native — their host-side
+/// variant choice cannot change device time.
+bool IsCpuDriver(std::string_view perf_model_name) {
+  return perf_model_name.substr(0, 10) == "openmp_cpu" ||
+         perf_model_name.substr(0, 10) == "opencl_cpu";
+}
+
+}  // namespace
 
 Status BindStandardKernels(SimulatedDevice* device) {
   if (device == nullptr) return Status::InvalidArgument("null device");
@@ -15,6 +29,16 @@ Status BindStandardKernels(SimulatedDevice* device) {
       device->RegisterPrecompiledKernel(name, std::move(fn));
     }
   }
+  // Parallel variants ship precompiled with every driver (they are host
+  // code, not SDK kernels) and sit beside the scalar binding; the variant
+  // resolved at Execute time picks between the two.
+  for (const std::string& name : kernels::ParallelKernelNames()) {
+    device->RegisterParallelKernel(name, kernels::GetParallelKernelFn(name));
+  }
+  device->SetKernelVariantPolicy(IsCpuDriver(device->perf_model().name)
+                                     ? KernelVariant::kParallel
+                                     : KernelVariant::kScalar,
+                                 kDefaultKernelThreads);
   return Status::OK();
 }
 

@@ -6,11 +6,22 @@
 
 namespace adamant {
 
+/// Default thread budget of parallel kernel variants on parallel-native
+/// (CPU) drivers. A deterministic policy constant — never derived from the
+/// host's core count, so simulated timings are machine-independent.
+inline constexpr int kDefaultKernelThreads = 4;
+
 /// Installs the standard Table-I kernel library on a device. On drivers with
 /// runtime compilation (OpenCL) every kernel goes through prepare_kernel —
 /// ADAMANT compiles all pre-existing kernels during initialization, paying
 /// the compile cost once; on CUDA/OpenMP drivers kernels are registered as
 /// precompiled binaries.
+///
+/// Also installs the parallel (worker-pool) variant of every primitive that
+/// has one and sets the device's variant policy: CPU drivers
+/// (openmp_cpu/opencl_cpu) are parallel-native with kDefaultKernelThreads
+/// threads, GPU drivers scalar-native. See SetKernelVariantPolicy for the
+/// timing semantics.
 Status BindStandardKernels(SimulatedDevice* device);
 
 }  // namespace adamant

@@ -36,6 +36,28 @@ bool HasKernel(const std::string& name);
 /// All kernel names, in no particular order.
 const std::vector<std::string>& AllKernelNames();
 
+// ---------------------------------------------------------------------------
+// Parallel (worker-pool) variants. The Task layer holds a second, tiled
+// implementation of the hot primitives (kernels_parallel.cc): bit-identical
+// output and error messages, work split into ParallelTileElems()-sized tiles
+// run on the shared task::WorkerPool. A parallel fn reads its thread budget
+// from KernelExecContext::parallel_threads() and falls back to the scalar
+// implementation when the launch is too small to amortize the fork (< 2
+// tiles) or the budget is <= 1 thread.
+// ---------------------------------------------------------------------------
+
+/// Tile size (tuples) of the parallel variants. A power of two and a
+/// multiple of 64 so FILTER_BITMAP tiles are bitmap-word aligned.
+size_t ParallelTileElems();
+
+/// Parallel implementation of kernel `name`. Dies on kernels without one
+/// (use HasParallelKernel to probe).
+HostKernelFn GetParallelKernelFn(const std::string& name);
+bool HasParallelKernel(const std::string& name);
+
+/// Names of kernels with a parallel variant, in no particular order.
+const std::vector<std::string>& ParallelKernelNames();
+
 /// Pseudo-OpenCL source text for `name`, fed to prepare_kernel on drivers
 /// with runtime compilation (models the kernel strings ADAMANT compiles at
 /// initialization).

@@ -1,0 +1,143 @@
+#ifndef ADAMANT_TASK_KERNELS_INTERNAL_H_
+#define ADAMANT_TASK_KERNELS_INTERNAL_H_
+
+/// Shared decoding/arithmetic helpers of the Task-layer kernel
+/// implementations, used by both the scalar reference kernels (kernels.cc)
+/// and the worker-pool parallel variants (kernels_parallel.cc). The parallel
+/// variants must be bit-identical to scalar — including error messages — so
+/// both compile against exactly these helpers.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "device/kernel_launch.h"
+#include "storage/types.h"
+#include "task/primitive.h"
+
+namespace adamant::kernels::internal {
+
+inline Status CheckIntType(ElementType type) {
+  if (type != ElementType::kInt32 && type != ElementType::kInt64) {
+    return Status::NotSupported(std::string("element type ") +
+                                ElementTypeName(type) +
+                                " in device kernels (int32/int64 only)");
+  }
+  return Status::OK();
+}
+
+inline int64_t LoadAs64(const void* ptr, ElementType type, size_t i) {
+  return type == ElementType::kInt32
+             ? static_cast<const int32_t*>(ptr)[i]
+             : static_cast<const int64_t*>(ptr)[i];
+}
+
+inline void StoreFrom64(void* ptr, ElementType type, size_t i, int64_t value) {
+  if (type == ElementType::kInt32) {
+    static_cast<int32_t*>(ptr)[i] = static_cast<int32_t>(value);
+  } else {
+    static_cast<int64_t*>(ptr)[i] = value;
+  }
+}
+
+inline Status CheckCapacity(const KernelExecContext& ctx, size_t arg,
+                            size_t needed, const char* what) {
+  if (ctx.arg_bytes(arg) < needed) {
+    return Status::ExecutionError(
+        std::string(what) + " buffer too small: need " +
+        std::to_string(needed) + " bytes, have " +
+        std::to_string(ctx.arg_bytes(arg)));
+  }
+  return Status::OK();
+}
+
+inline int64_t AggIdentity(AggOp op) {
+  switch (op) {
+    case AggOp::kSum:
+    case AggOp::kCount:
+      return 0;
+    case AggOp::kMin:
+      return INT64_MAX;
+    case AggOp::kMax:
+      return INT64_MIN;
+  }
+  return 0;
+}
+
+inline int64_t AggCombine(AggOp op, int64_t acc, int64_t value) {
+  switch (op) {
+    case AggOp::kSum:
+      return acc + value;
+    case AggOp::kCount:
+      return acc + 1;
+    case AggOp::kMin:
+      return value < acc ? value : acc;
+    case AggOp::kMax:
+      return value > acc ? value : acc;
+  }
+  return acc;
+}
+
+inline bool Compare(CmpOp op, int64_t v, int64_t lo, int64_t hi) {
+  switch (op) {
+    case CmpOp::kLt:
+      return v < lo;
+    case CmpOp::kLe:
+      return v <= lo;
+    case CmpOp::kGt:
+      return v > lo;
+    case CmpOp::kGe:
+      return v >= lo;
+    case CmpOp::kEq:
+      return v == lo;
+    case CmpOp::kNe:
+      return v != lo;
+    case CmpOp::kBetween:
+      return lo <= v && v <= hi;
+    case CmpOp::kInPair:
+      return v == lo || v == hi;
+  }
+  return false;
+}
+
+/// Decoded argument frame: handles the `has_count_in` convention uniformly.
+/// `num_scalars` is the kernel's fixed scalar count INCLUDING has_count_in.
+struct Frame {
+  size_t data_base;      // index of the first data buffer
+  size_t num_data;       // number of data buffers
+  size_t scalar_base;    // index of the first scalar
+  size_t n;              // effective tuple count
+
+  static Result<Frame> Decode(const KernelExecContext& ctx,
+                              size_t num_scalars) {
+    if (ctx.num_args() < num_scalars) {
+      return Status::InvalidArgument("too few kernel arguments");
+    }
+    Frame frame;
+    frame.scalar_base = ctx.num_args() - num_scalars;
+    const bool has_count =
+        ctx.scalar(ctx.num_args() - 1) != 0;  // last scalar by convention
+    frame.data_base = has_count ? 1 : 0;
+    if (frame.scalar_base < frame.data_base) {
+      return Status::InvalidArgument("count_in flag set but no count buffer");
+    }
+    frame.num_data = frame.scalar_base - frame.data_base;
+    frame.n = ctx.work_items();
+    if (has_count) {
+      if (ctx.arg_bytes(0) < sizeof(int64_t)) {
+        return Status::InvalidArgument("count_in buffer too small");
+      }
+      const int64_t device_count = *ctx.ptr_as<const int64_t>(0);
+      if (device_count < 0) {
+        return Status::ExecutionError("negative device count");
+      }
+      frame.n = std::min<size_t>(frame.n, static_cast<size_t>(device_count));
+    }
+    return frame;
+  }
+};
+
+}  // namespace adamant::kernels::internal
+
+#endif  // ADAMANT_TASK_KERNELS_INTERNAL_H_

@@ -1,0 +1,670 @@
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+#include "task/hash_table.h"
+#include "task/kernels.h"
+#include "task/kernels_internal.h"
+#include "task/worker_pool.h"
+
+/// Worker-pool (tiled) implementations of the hot Table-I primitives.
+///
+/// Every variant here is bit-identical to its scalar reference in
+/// kernels.cc — same outputs, same error messages — which the parity
+/// property test (tests/kernel_variants_test.cc) enforces. The recipes:
+///
+///   * MAP / FILTER_BITMAP / MATERIALIZE_POSITION: tiles are independent
+///     (kNeqPrev only *reads* across the tile boundary; bitmap tiles are
+///     word-aligned because the tile size is a multiple of 64).
+///   * FILTER_POSITION / MATERIALIZE / HASH_PROBE: per-tile count pass →
+///     serial exclusive scan of tile counts → per-tile compaction pass
+///     writing at the tile's offset. Output order equals scalar order.
+///   * PREFIX_SUM: three-pass tile scan (tile sums → serial scan of sums →
+///     per-tile rescan); 32-bit wraparound arithmetic matches scalar.
+///   * AGG_BLOCK: per-tile partials from the aggregation identity, folded
+///     serially in tile order (int64 combine is associative).
+///   * HASH_BUILD: the hash+validation pass parallelizes; insertion stays
+///     serial because linear-probe layout depends on insertion order.
+///
+/// On error the Status (message included) matches scalar exactly; output
+/// buffer contents after a failed launch are unspecified for both variants.
+namespace adamant::kernels {
+namespace {
+
+using internal::AggCombine;
+using internal::AggIdentity;
+using internal::CheckCapacity;
+using internal::CheckIntType;
+using internal::Compare;
+using internal::Frame;
+using internal::LoadAs64;
+using internal::StoreFrom64;
+
+/// Tile size: power of two, multiple of 64 (bitmap-word alignment).
+constexpr size_t kTileElems = 16384;
+
+size_t NumTiles(size_t n) { return (n + kTileElems - 1) / kTileElems; }
+size_t TileBegin(size_t tile) { return tile * kTileElems; }
+size_t TileEnd(size_t n, size_t tile) {
+  return std::min(n, (tile + 1) * kTileElems);
+}
+
+/// True when the launch is too small (or the thread budget too low) for the
+/// fork to pay off; callers then delegate to the scalar reference.
+bool ShouldFallBack(const KernelExecContext& ctx, size_t n) {
+  return ctx.parallel_threads() <= 1 || NumTiles(n) < 2;
+}
+
+/// Runs fn(begin, end) over every tile of [0, n) on the shared pool.
+Status RunTiled(size_t n, int max_threads, const std::string& label,
+                const std::function<Status(size_t, size_t)>& fn) {
+  return task::WorkerPool::Global().ParallelTiles(
+      NumTiles(n), max_threads, label,
+      [&](size_t tile) { return fn(TileBegin(tile), TileEnd(n, tile)); });
+}
+
+// ---------------------------------------------------------------------------
+// MAP: tiles are fully independent. kNeqPrev reads in0[i-1] across the tile
+// boundary, but in0 is read-only so there is no write-write or read-write
+// overlap between tiles.
+// ---------------------------------------------------------------------------
+Status ParallelMapKernel(KernelExecContext* ctx) {
+  static const HostKernelFn scalar = GetKernelFn("map");
+  ADAMANT_ASSIGN_OR_RETURN(Frame f, Frame::Decode(*ctx, 5));
+  if (ShouldFallBack(*ctx, f.n)) return scalar(ctx);
+  if (f.num_data != 2 && f.num_data != 3) {
+    return Status::InvalidArgument("map expects 2 or 3 data buffers");
+  }
+  const bool col_col = f.num_data == 3;
+  const auto op = static_cast<MapOp>(ctx->scalar(f.scalar_base));
+  const auto in_type = static_cast<ElementType>(ctx->scalar(f.scalar_base + 1));
+  const auto out_type =
+      static_cast<ElementType>(ctx->scalar(f.scalar_base + 2));
+  const int64_t imm = ctx->scalar(f.scalar_base + 3);
+  ADAMANT_RETURN_NOT_OK(CheckIntType(in_type));
+  ADAMANT_RETURN_NOT_OK(CheckIntType(out_type));
+
+  const void* in0 = ctx->ptr(f.data_base);
+  const void* in1 = col_col ? ctx->ptr(f.data_base + 1) : nullptr;
+  const size_t out_arg = f.data_base + f.num_data - 1;
+  void* out = ctx->ptr(out_arg);
+  ADAMANT_RETURN_NOT_OK(
+      CheckCapacity(*ctx, out_arg, f.n * ElementSize(out_type), "map out"));
+  ADAMANT_RETURN_NOT_OK(
+      CheckCapacity(*ctx, f.data_base, f.n * ElementSize(in_type), "map in"));
+
+  const bool needs_col = op == MapOp::kAddCol || op == MapOp::kSubCol ||
+                         op == MapOp::kMulCol ||
+                         op == MapOp::kMulPctComplement ||
+                         op == MapOp::kMulPct || op == MapOp::kMulPctPlus;
+  if (needs_col != col_col) {
+    return Status::InvalidArgument(
+        "map operand mismatch: column-column op requires exactly 3 buffers");
+  }
+
+  return RunTiled(f.n, ctx->parallel_threads(), "map",
+                  [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      int64_t a = LoadAs64(in0, in_type, i);
+      int64_t r = 0;
+      switch (op) {
+        case MapOp::kAddScalar:
+          r = a + imm;
+          break;
+        case MapOp::kSubScalar:
+          r = a - imm;
+          break;
+        case MapOp::kMulScalar:
+          r = a * imm;
+          break;
+        case MapOp::kAddCol:
+          r = a + LoadAs64(in1, in_type, i);
+          break;
+        case MapOp::kSubCol:
+          r = a - LoadAs64(in1, in_type, i);
+          break;
+        case MapOp::kMulCol:
+          r = a * LoadAs64(in1, in_type, i);
+          break;
+        case MapOp::kMulPctComplement:
+          r = a * (100 - static_cast<const int32_t*>(in1)[i]) / 100;
+          break;
+        case MapOp::kMulPct:
+          r = a * static_cast<const int32_t*>(in1)[i] / 100;
+          break;
+        case MapOp::kMulPctPlus:
+          r = a * (100 + static_cast<const int32_t*>(in1)[i]) / 100;
+          break;
+        case MapOp::kIdentity:
+          r = a;
+          break;
+        case MapOp::kNeqPrev:
+          r = i > 0 && a != LoadAs64(in0, in_type, i - 1) ? 1 : 0;
+          break;
+      }
+      StoreFrom64(out, out_type, i, r);
+    }
+    return Status::OK();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// FILTER_BITMAP: kTileElems is a multiple of 64, so each tile owns a
+// disjoint range of bitmap words (the last tile owns the partial word).
+// ---------------------------------------------------------------------------
+Status ParallelFilterBitmapKernel(KernelExecContext* ctx) {
+  static const HostKernelFn scalar = GetKernelFn("filter_bitmap");
+  ADAMANT_ASSIGN_OR_RETURN(Frame f, Frame::Decode(*ctx, 6));
+  if (ShouldFallBack(*ctx, f.n)) return scalar(ctx);
+  if (f.num_data != 2) {
+    return Status::InvalidArgument("filter_bitmap expects 2 data buffers");
+  }
+  const auto op = static_cast<CmpOp>(ctx->scalar(f.scalar_base));
+  const auto type = static_cast<ElementType>(ctx->scalar(f.scalar_base + 1));
+  const int64_t lo = ctx->scalar(f.scalar_base + 2);
+  const int64_t hi = ctx->scalar(f.scalar_base + 3);
+  const bool combine_and = ctx->scalar(f.scalar_base + 4) != 0;
+  ADAMANT_RETURN_NOT_OK(CheckIntType(type));
+
+  const void* in = ctx->ptr(f.data_base);
+  auto* bitmap = ctx->ptr_as<uint64_t>(f.data_base + 1);
+  ADAMANT_RETURN_NOT_OK(CheckCapacity(
+      *ctx, f.data_base + 1, bit_util::BytesForBits(f.n), "filter bitmap"));
+  ADAMANT_RETURN_NOT_OK(CheckCapacity(*ctx, f.data_base,
+                                      f.n * ElementSize(type), "filter in"));
+
+  return RunTiled(f.n, ctx->parallel_threads(), "filter_bitmap",
+                  [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      bool pred = Compare(op, LoadAs64(in, type, i), lo, hi);
+      if (combine_and) pred = pred && bit_util::GetBit(bitmap, i);
+      bit_util::SetBitTo(bitmap, i, pred);
+    }
+    return Status::OK();
+  });
+}
+
+/// Serial exclusive scan of per-tile counts; returns the grand total.
+size_t ScanTileCounts(std::vector<size_t>* counts) {
+  size_t total = 0;
+  for (size_t& c : *counts) {
+    const size_t tile_count = c;
+    c = total;
+    total += tile_count;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// FILTER_POSITION: count → exclusive offset → compact. Output order equals
+// scalar order because tiles compact in row order at row-ordered offsets.
+// On overflow the failing row is re-derived serially so the error message
+// matches scalar exactly.
+// ---------------------------------------------------------------------------
+Status ParallelFilterPositionKernel(KernelExecContext* ctx) {
+  static const HostKernelFn scalar = GetKernelFn("filter_position");
+  ADAMANT_ASSIGN_OR_RETURN(Frame f, Frame::Decode(*ctx, 5));
+  if (ShouldFallBack(*ctx, f.n)) return scalar(ctx);
+  if (f.num_data != 3) {
+    return Status::InvalidArgument("filter_position expects 3 data buffers");
+  }
+  const auto op = static_cast<CmpOp>(ctx->scalar(f.scalar_base));
+  const auto type = static_cast<ElementType>(ctx->scalar(f.scalar_base + 1));
+  const int64_t lo = ctx->scalar(f.scalar_base + 2);
+  const int64_t hi = ctx->scalar(f.scalar_base + 3);
+  ADAMANT_RETURN_NOT_OK(CheckIntType(type));
+
+  const void* in = ctx->ptr(f.data_base);
+  auto* positions = ctx->ptr_as<int32_t>(f.data_base + 1);
+  auto* count = ctx->ptr_as<int64_t>(f.data_base + 2);
+  const size_t cap = ctx->arg_bytes(f.data_base + 1) / sizeof(int32_t);
+  ADAMANT_RETURN_NOT_OK(
+      CheckCapacity(*ctx, f.data_base + 2, sizeof(int64_t), "count"));
+
+  const int threads = ctx->parallel_threads();
+  std::vector<size_t> offsets(NumTiles(f.n), 0);
+  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, threads, "filter_position",
+                                 [&](size_t begin, size_t end) {
+    size_t c = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (Compare(op, LoadAs64(in, type, i), lo, hi)) ++c;
+    }
+    offsets[begin / kTileElems] = c;
+    return Status::OK();
+  }));
+  const size_t total = ScanTileCounts(&offsets);
+  if (total > cap) {
+    // Find the row the scalar loop would have failed on: the (cap+1)-th
+    // match. Scan the tile whose offset range crosses `cap`.
+    size_t tile = 0;
+    while (tile + 1 < offsets.size() && offsets[tile + 1] <= cap) ++tile;
+    size_t k = offsets[tile];
+    for (size_t i = TileBegin(tile); i < TileEnd(f.n, tile); ++i) {
+      if (Compare(op, LoadAs64(in, type, i), lo, hi)) {
+        if (k >= cap) {
+          return Status::ExecutionError("position list overflow at row " +
+                                        std::to_string(i));
+        }
+        ++k;
+      }
+    }
+    return Status::ExecutionError("position list overflow");  // unreachable
+  }
+  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, threads, "filter_position",
+                                 [&](size_t begin, size_t end) {
+    size_t k = offsets[begin / kTileElems];
+    for (size_t i = begin; i < end; ++i) {
+      if (Compare(op, LoadAs64(in, type, i), lo, hi)) {
+        positions[k++] = static_cast<int32_t>(i);
+      }
+    }
+    return Status::OK();
+  }));
+  count[0] = static_cast<int64_t>(total);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// MATERIALIZE: same count → offset → compact recipe over a bitmap.
+// ---------------------------------------------------------------------------
+Status ParallelMaterializeKernel(KernelExecContext* ctx) {
+  static const HostKernelFn scalar = GetKernelFn("materialize");
+  ADAMANT_ASSIGN_OR_RETURN(Frame f, Frame::Decode(*ctx, 2));
+  if (ShouldFallBack(*ctx, f.n)) return scalar(ctx);
+  if (f.num_data != 4) {
+    return Status::InvalidArgument("materialize expects 4 data buffers");
+  }
+  const auto type = static_cast<ElementType>(ctx->scalar(f.scalar_base));
+  ADAMANT_RETURN_NOT_OK(CheckIntType(type));
+
+  const void* in = ctx->ptr(f.data_base);
+  const auto* bitmap = ctx->ptr_as<const uint64_t>(f.data_base + 1);
+  void* out = ctx->ptr(f.data_base + 2);
+  auto* count = ctx->ptr_as<int64_t>(f.data_base + 3);
+  const size_t cap = ctx->arg_bytes(f.data_base + 2) / ElementSize(type);
+  ADAMANT_RETURN_NOT_OK(CheckCapacity(
+      *ctx, f.data_base + 1, bit_util::BytesForBits(f.n), "bitmap"));
+  ADAMANT_RETURN_NOT_OK(
+      CheckCapacity(*ctx, f.data_base + 3, sizeof(int64_t), "count"));
+
+  const int threads = ctx->parallel_threads();
+  std::vector<size_t> offsets(NumTiles(f.n), 0);
+  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, threads, "materialize",
+                                 [&](size_t begin, size_t end) {
+    size_t c = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (bit_util::GetBit(bitmap, i)) ++c;
+    }
+    offsets[begin / kTileElems] = c;
+    return Status::OK();
+  }));
+  const size_t total = ScanTileCounts(&offsets);
+  if (total > cap) {
+    size_t tile = 0;
+    while (tile + 1 < offsets.size() && offsets[tile + 1] <= cap) ++tile;
+    size_t k = offsets[tile];
+    for (size_t i = TileBegin(tile); i < TileEnd(f.n, tile); ++i) {
+      if (bit_util::GetBit(bitmap, i)) {
+        if (k >= cap) {
+          return Status::ExecutionError("materialize overflow at row " +
+                                        std::to_string(i));
+        }
+        ++k;
+      }
+    }
+    return Status::ExecutionError("materialize overflow");  // unreachable
+  }
+  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, threads, "materialize",
+                                 [&](size_t begin, size_t end) {
+    size_t k = offsets[begin / kTileElems];
+    for (size_t i = begin; i < end; ++i) {
+      if (bit_util::GetBit(bitmap, i)) {
+        StoreFrom64(out, type, k++, LoadAs64(in, type, i));
+      }
+    }
+    return Status::OK();
+  }));
+  count[0] = static_cast<int64_t>(total);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// MATERIALIZE_POSITION: pure gather, tiles independent. The pool reports
+// the error of the lowest-numbered failing tile and each tile fails on its
+// first bad row, so the reported row equals the scalar first-failure row.
+// ---------------------------------------------------------------------------
+Status ParallelMaterializePositionKernel(KernelExecContext* ctx) {
+  static const HostKernelFn scalar = GetKernelFn("materialize_position");
+  ADAMANT_ASSIGN_OR_RETURN(Frame f, Frame::Decode(*ctx, 2));
+  if (ShouldFallBack(*ctx, f.n)) return scalar(ctx);
+  if (f.num_data != 3) {
+    return Status::InvalidArgument(
+        "materialize_position expects 3 data buffers");
+  }
+  const auto type = static_cast<ElementType>(ctx->scalar(f.scalar_base));
+  ADAMANT_RETURN_NOT_OK(CheckIntType(type));
+
+  const void* in = ctx->ptr(f.data_base);
+  const auto* positions = ctx->ptr_as<const int32_t>(f.data_base + 1);
+  void* out = ctx->ptr(f.data_base + 2);
+  const size_t in_len = ctx->arg_bytes(f.data_base) / ElementSize(type);
+  ADAMANT_RETURN_NOT_OK(CheckCapacity(*ctx, f.data_base + 2,
+                                      f.n * ElementSize(type), "gather out"));
+
+  return RunTiled(f.n, ctx->parallel_threads(), "materialize_position",
+                  [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const auto p = static_cast<size_t>(positions[i]);
+      if (p >= in_len) {
+        return Status::ExecutionError("gather position " + std::to_string(p) +
+                                      " out of range " +
+                                      std::to_string(in_len));
+      }
+      StoreFrom64(out, type, i, LoadAs64(in, type, p));
+    }
+    return Status::OK();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// PREFIX_SUM: three-pass tile scan. All arithmetic is 32-bit wraparound
+// (unsigned internally), identical to the scalar accumulator mod 2^32.
+// ---------------------------------------------------------------------------
+Status ParallelPrefixSumKernel(KernelExecContext* ctx) {
+  static const HostKernelFn scalar = GetKernelFn("prefix_sum");
+  ADAMANT_ASSIGN_OR_RETURN(Frame f, Frame::Decode(*ctx, 2));
+  if (ShouldFallBack(*ctx, f.n)) return scalar(ctx);
+  if (f.num_data != 2) {
+    return Status::InvalidArgument("prefix_sum expects 2 data buffers");
+  }
+  const bool exclusive = ctx->scalar(f.scalar_base) != 0;
+  const auto* in = ctx->ptr_as<const int32_t>(f.data_base);
+  auto* out = ctx->ptr_as<int32_t>(f.data_base + 1);
+  ADAMANT_RETURN_NOT_OK(
+      CheckCapacity(*ctx, f.data_base + 1, f.n * 4, "prefix_sum out"));
+
+  const int threads = ctx->parallel_threads();
+  std::vector<uint32_t> bases(NumTiles(f.n), 0);
+  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, threads, "prefix_sum",
+                                 [&](size_t begin, size_t end) {
+    uint32_t sum = 0;
+    for (size_t i = begin; i < end; ++i) sum += static_cast<uint32_t>(in[i]);
+    bases[begin / kTileElems] = sum;
+    return Status::OK();
+  }));
+  uint32_t running = 0;
+  for (uint32_t& b : bases) {
+    const uint32_t tile_sum = b;
+    b = running;
+    running += tile_sum;
+  }
+  return RunTiled(f.n, threads, "prefix_sum",
+                  [&](size_t begin, size_t end) {
+    uint32_t acc = bases[begin / kTileElems];
+    for (size_t i = begin; i < end; ++i) {
+      if (exclusive) {
+        out[i] = static_cast<int32_t>(acc);
+        acc += static_cast<uint32_t>(in[i]);
+      } else {
+        acc += static_cast<uint32_t>(in[i]);
+        out[i] = static_cast<int32_t>(acc);
+      }
+    }
+    return Status::OK();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// AGG_BLOCK: per-tile partials from the aggregation identity, folded
+// serially in tile order. int64 SUM/COUNT/MIN/MAX combination is
+// associative, so the result is bit-identical to the scalar left fold.
+// ---------------------------------------------------------------------------
+Status ParallelAggBlockKernel(KernelExecContext* ctx) {
+  static const HostKernelFn scalar = GetKernelFn("agg_block");
+  ADAMANT_ASSIGN_OR_RETURN(Frame f, Frame::Decode(*ctx, 4));
+  if (ShouldFallBack(*ctx, f.n)) return scalar(ctx);
+  if (f.num_data != 2) {
+    return Status::InvalidArgument("agg_block expects 2 data buffers");
+  }
+  const auto op = static_cast<AggOp>(ctx->scalar(f.scalar_base));
+  const auto type = static_cast<ElementType>(ctx->scalar(f.scalar_base + 1));
+  const bool init = ctx->scalar(f.scalar_base + 2) != 0;
+  ADAMANT_RETURN_NOT_OK(CheckIntType(type));
+
+  const void* in = ctx->ptr(f.data_base);
+  auto* acc = ctx->ptr_as<int64_t>(f.data_base + 1);
+  ADAMANT_RETURN_NOT_OK(
+      CheckCapacity(*ctx, f.data_base + 1, sizeof(int64_t), "acc"));
+
+  std::vector<int64_t> partials(NumTiles(f.n), 0);
+  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, ctx->parallel_threads(), "agg_block",
+                                 [&](size_t begin, size_t end) {
+    int64_t p = AggIdentity(op);
+    for (size_t i = begin; i < end; ++i) {
+      p = AggCombine(op, p, op == AggOp::kCount ? 0 : LoadAs64(in, type, i));
+    }
+    partials[begin / kTileElems] = p;
+    return Status::OK();
+  }));
+  int64_t a = init ? AggIdentity(op) : acc[0];
+  for (int64_t p : partials) {
+    switch (op) {
+      case AggOp::kSum:
+      case AggOp::kCount:
+        a += p;  // COUNT partials merge by addition, not AggCombine(+1).
+        break;
+      case AggOp::kMin:
+        a = p < a ? p : a;
+        break;
+      case AggOp::kMax:
+        a = p > a ? p : a;
+        break;
+    }
+  }
+  acc[0] = a;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// HASH_BUILD: the hash + sentinel-validation pass parallelizes; insertion
+// stays serial because the linear-probe layout depends on insertion order
+// (bit-identity). The serial pass reuses the precomputed home slots.
+// ---------------------------------------------------------------------------
+Status ParallelHashBuildKernel(KernelExecContext* ctx) {
+  static const HostKernelFn scalar = GetKernelFn("hash_build");
+  ADAMANT_ASSIGN_OR_RETURN(Frame f, Frame::Decode(*ctx, 3));
+  if (ShouldFallBack(*ctx, f.n)) return scalar(ctx);
+  if (f.num_data != 2 && f.num_data != 3) {
+    return Status::InvalidArgument("hash_build expects 2 or 3 data buffers");
+  }
+  const bool has_payload = f.num_data == 3;
+  const auto num_slots = static_cast<size_t>(ctx->scalar(f.scalar_base));
+  const int64_t pos_base = ctx->scalar(f.scalar_base + 1);
+  if (!bit_util::IsPowerOfTwo(num_slots)) {
+    return Status::InvalidArgument("num_slots must be a power of two");
+  }
+
+  const auto* keys = ctx->ptr_as<const int32_t>(f.data_base);
+  const int32_t* payload =
+      has_payload ? ctx->ptr_as<const int32_t>(f.data_base + 1) : nullptr;
+  const size_t table_arg = f.data_base + f.num_data - 1;
+  auto* table = static_cast<HashTableLayout::BuildSlot*>(ctx->ptr(table_arg));
+  ADAMANT_RETURN_NOT_OK(CheckCapacity(
+      *ctx, table_arg, HashTableLayout::BuildTableBytes(num_slots), "table"));
+
+  const size_t mask = num_slots - 1;
+  std::vector<uint32_t> home(f.n);
+  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, ctx->parallel_threads(), "hash_build",
+                                 [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (keys[i] == HashTableLayout::kEmptyKey) {
+        return Status::InvalidArgument("key collides with empty sentinel");
+      }
+      home[i] = HashTableLayout::Hash(keys[i]) & static_cast<uint32_t>(mask);
+    }
+    return Status::OK();
+  }));
+  for (size_t i = 0; i < f.n; ++i) {
+    size_t slot = home[i];
+    size_t attempts = 0;
+    while (table[slot].key != HashTableLayout::kEmptyKey) {
+      slot = (slot + 1) & mask;
+      if (++attempts >= num_slots) {
+        return Status::ExecutionError("hash table full (" +
+                                      std::to_string(num_slots) + " slots)");
+      }
+    }
+    table[slot].key = keys[i];
+    table[slot].payload =
+        has_payload ? payload[i]
+                    : static_cast<int32_t>(pos_base + static_cast<int64_t>(i));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// HASH_PROBE: the table is read-only, so both the count pass and the write
+// pass probe concurrently; result order equals scalar order because tiles
+// write at row-ordered offsets.
+// ---------------------------------------------------------------------------
+Status ParallelHashProbeKernel(KernelExecContext* ctx) {
+  static const HostKernelFn scalar = GetKernelFn("hash_probe");
+  ADAMANT_ASSIGN_OR_RETURN(Frame f, Frame::Decode(*ctx, 4));
+  if (ShouldFallBack(*ctx, f.n)) return scalar(ctx);
+  if (f.num_data != 5) {
+    return Status::InvalidArgument("hash_probe expects 5 data buffers");
+  }
+  const auto num_slots = static_cast<size_t>(ctx->scalar(f.scalar_base));
+  const auto mode = static_cast<ProbeMode>(ctx->scalar(f.scalar_base + 1));
+  const int64_t pos_base = ctx->scalar(f.scalar_base + 2);
+  if (!bit_util::IsPowerOfTwo(num_slots)) {
+    return Status::InvalidArgument("num_slots must be a power of two");
+  }
+
+  const auto* keys = ctx->ptr_as<const int32_t>(f.data_base);
+  const auto* table =
+      static_cast<const HashTableLayout::BuildSlot*>(ctx->ptr(f.data_base + 1));
+  auto* left = ctx->ptr_as<int32_t>(f.data_base + 2);
+  auto* right = ctx->ptr_as<int32_t>(f.data_base + 3);
+  auto* count = ctx->ptr_as<int64_t>(f.data_base + 4);
+  ADAMANT_RETURN_NOT_OK(CheckCapacity(
+      *ctx, f.data_base + 1, HashTableLayout::BuildTableBytes(num_slots),
+      "table"));
+  ADAMANT_RETURN_NOT_OK(
+      CheckCapacity(*ctx, f.data_base + 4, sizeof(int64_t), "count"));
+  const size_t cap = std::min(ctx->arg_bytes(f.data_base + 2),
+                              ctx->arg_bytes(f.data_base + 3)) /
+                     sizeof(int32_t);
+
+  const size_t mask = num_slots - 1;
+  // Probes row i's cluster, invoking emit(i, payload) per match. Returns
+  // the match count for the row.
+  const auto probe_row = [&](size_t i, const auto& emit) {
+    const int32_t key = keys[i];
+    size_t slot = HashTableLayout::Hash(key) & mask;
+    size_t attempts = 0;
+    size_t matches = 0;
+    while (table[slot].key != HashTableLayout::kEmptyKey &&
+           attempts < num_slots) {
+      if (table[slot].key == key) {
+        emit(i, table[slot].payload);
+        ++matches;
+        if (mode == ProbeMode::kSemi) break;
+      }
+      slot = (slot + 1) & mask;
+      ++attempts;
+    }
+    return matches;
+  };
+
+  const int threads = ctx->parallel_threads();
+  std::vector<size_t> offsets(NumTiles(f.n), 0);
+  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, threads, "hash_probe",
+                                 [&](size_t begin, size_t end) {
+    size_t c = 0;
+    for (size_t i = begin; i < end; ++i) {
+      c += probe_row(i, [](size_t, int32_t) {});
+    }
+    offsets[begin / kTileElems] = c;
+    return Status::OK();
+  }));
+  const size_t total = ScanTileCounts(&offsets);
+  if (total > cap) {
+    // Re-derive the row the scalar loop fails on: the row emitting the
+    // (cap+1)-th match.
+    size_t tile = 0;
+    while (tile + 1 < offsets.size() && offsets[tile + 1] <= cap) ++tile;
+    size_t k = offsets[tile];
+    for (size_t i = TileBegin(tile); i < TileEnd(f.n, tile); ++i) {
+      bool overflowed = false;
+      probe_row(i, [&](size_t, int32_t) {
+        if (k >= cap) overflowed = true;
+        ++k;
+      });
+      if (overflowed) {
+        return Status::ExecutionError("join result overflow at row " +
+                                      std::to_string(i));
+      }
+    }
+    return Status::ExecutionError("join result overflow");  // unreachable
+  }
+  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, threads, "hash_probe",
+                                 [&](size_t begin, size_t end) {
+    size_t k = offsets[begin / kTileElems];
+    for (size_t i = begin; i < end; ++i) {
+      probe_row(i, [&](size_t row, int32_t pay) {
+        left[k] = static_cast<int32_t>(pos_base + static_cast<int64_t>(row));
+        right[k] = pay;
+        ++k;
+      });
+    }
+    return Status::OK();
+  }));
+  count[0] = static_cast<int64_t>(total);
+  return Status::OK();
+}
+
+const std::map<std::string, HostKernelFn>& ParallelKernelTable() {
+  static const std::map<std::string, HostKernelFn>* const kTable =
+      new std::map<std::string, HostKernelFn>{
+          {"map", ParallelMapKernel},
+          {"filter_bitmap", ParallelFilterBitmapKernel},
+          {"filter_position", ParallelFilterPositionKernel},
+          {"materialize", ParallelMaterializeKernel},
+          {"materialize_position", ParallelMaterializePositionKernel},
+          {"prefix_sum", ParallelPrefixSumKernel},
+          {"agg_block", ParallelAggBlockKernel},
+          {"hash_build", ParallelHashBuildKernel},
+          {"hash_probe", ParallelHashProbeKernel},
+      };
+  return *kTable;
+}
+
+}  // namespace
+
+size_t ParallelTileElems() { return kTileElems; }
+
+HostKernelFn GetParallelKernelFn(const std::string& name) {
+  auto it = ParallelKernelTable().find(name);
+  ADAMANT_CHECK(it != ParallelKernelTable().end())
+      << "no parallel variant for kernel '" << name << "'";
+  return it->second;
+}
+
+bool HasParallelKernel(const std::string& name) {
+  return ParallelKernelTable().count(name) > 0;
+}
+
+const std::vector<std::string>& ParallelKernelNames() {
+  static const std::vector<std::string>* const kNames = [] {
+    auto* names = new std::vector<std::string>();
+    for (const auto& [name, fn] : ParallelKernelTable()) names->push_back(name);
+    return names;
+  }();
+  return *kNames;
+}
+
+}  // namespace adamant::kernels

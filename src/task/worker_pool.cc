@@ -1,0 +1,175 @@
+#include "task/worker_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace adamant::task {
+namespace {
+
+struct PoolCounters {
+  obs::Counter* regions;
+  obs::Counter* parallel_regions;
+  obs::Counter* tiles;
+  obs::Counter* busy_us;
+  obs::Counter* idle_us;
+};
+
+PoolCounters& Counters() {
+  static PoolCounters c = {
+      obs::GlobalMetrics().GetCounter("adamant_pool_regions_total"),
+      obs::GlobalMetrics().GetCounter("adamant_pool_parallel_regions_total"),
+      obs::GlobalMetrics().GetCounter("adamant_pool_tiles_total"),
+      obs::GlobalMetrics().GetCounter("adamant_pool_busy_us_total"),
+      obs::GlobalMetrics().GetCounter("adamant_pool_idle_us_total"),
+  };
+  return c;
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+WorkerPool& WorkerPool::Global() {
+  static WorkerPool pool;
+  return pool;
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void WorkerPool::EnsureStartedLocked() {
+  if (!workers_.empty()) return;
+  // Spawn at least 2 workers even on a single-core host so the parallel
+  // code paths (and their TSan coverage) exercise real cross-thread
+  // interleavings; the simulated cost model, not wall-clock, carries the
+  // speedup semantics.
+  unsigned hw = std::thread::hardware_concurrency();
+  int count = std::clamp<int>(static_cast<int>(hw), 2, kMaxWorkers);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+  worker_count_.store(count, std::memory_order_relaxed);
+}
+
+Status WorkerPool::ParallelTiles(size_t num_tiles, int max_threads,
+                                 const std::string& label, const TileFn& fn) {
+  if (!fn) return Status::InvalidArgument("WorkerPool: null tile function");
+  Counters().regions->Increment();
+  if (num_tiles == 0) return Status::OK();
+
+  Region region;
+  region.num_tiles = num_tiles;
+  region.fn = &fn;
+  region.label = &label;
+
+  if (max_threads <= 1 || num_tiles < 2) {
+    // Inline serial path: no pool interaction, no span churn.
+    RunTiles(region, obs::kPoolCallerTrack);
+    std::lock_guard<std::mutex> elock(region.error_mu);
+    return region.error;
+  }
+
+  // One region at a time: later submitters block here, not inside the
+  // tile-claim protocol.
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  Counters().parallel_regions->Increment();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnsureStartedLocked();
+    region.max_joiners = std::min(
+        {workers_.size(), static_cast<size_t>(max_threads - 1), num_tiles - 1});
+    current_ = &region;
+    ++region_seq_;
+  }
+  work_cv_.notify_all();
+
+  RunTiles(region, obs::kPoolCallerTrack);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    current_ = nullptr;  // No further joins; already-active workers drain.
+    done_cv_.wait(lock, [&region] { return region.active == 0; });
+  }
+  std::lock_guard<std::mutex> elock(region.error_mu);
+  return region.error;
+}
+
+void WorkerPool::RecordError(Region& region, size_t tile, Status status) {
+  region.failed.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(region.error_mu);
+  if (region.error.ok() || tile < region.error_tile) {
+    region.error = std::move(status);
+    region.error_tile = tile;
+  }
+}
+
+void WorkerPool::RunTiles(Region& region, int track) {
+  const bool tracing = obs::TracingEnabled();
+  if (tracing) {
+    obs::TraceRecorder::Global().SetTrackName(
+        track, track == obs::kPoolCallerTrack
+                   ? "pool.caller"
+                   : "pool.worker" + std::to_string(track - obs::kPoolTrackBase));
+  }
+  size_t tiles_run = 0;
+  const auto busy_start = std::chrono::steady_clock::now();
+  while (!region.failed.load(std::memory_order_relaxed)) {
+    const size_t tile = region.next_tile.fetch_add(1, std::memory_order_relaxed);
+    if (tile >= region.num_tiles) break;
+    Status st;
+    if (tracing) {
+      obs::TraceSpan span;
+      span.Start(track, "tile:" + *region.label);
+      span.set_args("{\"tile\":" + std::to_string(tile) + "}");
+      st = (*region.fn)(tile);
+    } else {
+      st = (*region.fn)(tile);
+    }
+    ++tiles_run;
+    if (!st.ok()) RecordError(region, tile, std::move(st));
+  }
+  if (tiles_run > 0) {
+    Counters().tiles->Add(static_cast<double>(tiles_run));
+    Counters().busy_us->Add(MicrosSince(busy_start));
+  }
+}
+
+void WorkerPool::WorkerMain(int index) {
+  const int track = obs::kPoolTrackBase + index;
+  uint64_t last_seq = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stop_) return;
+    Region* region = current_;
+    if (region != nullptr && region_seq_ != last_seq &&
+        region->joined < region->max_joiners) {
+      last_seq = region_seq_;
+      ++region->joined;
+      ++region->active;
+      lock.unlock();
+      RunTiles(*region, track);
+      lock.lock();
+      if (--region->active == 0) done_cv_.notify_all();
+      continue;
+    }
+    const auto idle_start = std::chrono::steady_clock::now();
+    work_cv_.wait(lock);
+    Counters().idle_us->Add(MicrosSince(idle_start));
+  }
+}
+
+}  // namespace adamant::task

@@ -56,10 +56,13 @@ std::unique_ptr<DeviceManager> TwoGpuManager() {
   return manager;
 }
 
-ExecutionOptions OptionsFor(ExecutionModelKind model) {
+ExecutionOptions OptionsFor(
+    ExecutionModelKind model,
+    KernelVariantRequest variant = KernelVariantRequest::kAuto) {
   ExecutionOptions options;
   options.model = model;
   options.chunk_elems = 1024;  // several chunks even at SF 0.002
+  options.kernel_variant = variant;
   if (model == ExecutionModelKind::kDeviceParallel) {
     options.device_set = {0, 1};
   }
@@ -143,6 +146,74 @@ TEST(ParityMatrixTest, DeviceParallelSplitsAcrossBothDevices) {
     split += chunks;
   }
   EXPECT_EQ(split, exec->stats.chunks);
+}
+
+// --- Parallel kernel variants ----------------------------------------------
+
+// The whole matrix again with the worker-pool kernel variants forced on:
+// every model x Q3/Q4/Q6 must still match the host reference bit for bit.
+// (The fixture devices are scalar-native GPUs, so this genuinely flips the
+// executed Task-layer implementation rather than re-running the default.)
+TEST(ParityMatrixTest, AllModelsBitIdenticalWithParallelVariants) {
+  const auto& fixture = MatrixFixture::Get();
+  struct Case {
+    const char* name;
+    std::function<Result<plan::PlanBundle>(DeviceId)> build;
+    std::function<void(const plan::PlanBundle&, const QueryExecution&,
+                       ExecutionModelKind)>
+        check;
+  };
+  const Catalog& catalog = *fixture.catalog;
+  const Case kCases[] = {
+      {"Q3", [&](DeviceId d) { return plan::BuildQ3(catalog, {}, d); },
+       [&](const plan::PlanBundle& bundle, const QueryExecution& exec,
+           ExecutionModelKind model) {
+         auto want = tpch::Q3Reference(catalog, {});
+         ASSERT_TRUE(want.ok());
+         auto rows = plan::ExtractQ3(bundle, exec, catalog, {});
+         ASSERT_TRUE(rows.ok()) << ExecutionModelName(model);
+         EXPECT_EQ(*rows, *want) << "Q3/" << ExecutionModelName(model);
+       }},
+      {"Q4", [&](DeviceId d) { return plan::BuildQ4(catalog, {}, d); },
+       [&](const plan::PlanBundle& bundle, const QueryExecution& exec,
+           ExecutionModelKind model) {
+         auto want = tpch::Q4Reference(catalog, {});
+         ASSERT_TRUE(want.ok());
+         auto rows = plan::ExtractQ4(bundle, exec);
+         ASSERT_TRUE(rows.ok()) << ExecutionModelName(model);
+         EXPECT_EQ(*rows, *want) << "Q4/" << ExecutionModelName(model);
+       }},
+      {"Q6", [&](DeviceId d) { return plan::BuildQ6(catalog, {}, d); },
+       [&](const plan::PlanBundle& bundle, const QueryExecution& exec,
+           ExecutionModelKind model) {
+         auto want = tpch::Q6Reference(catalog, {});
+         ASSERT_TRUE(want.ok());
+         auto revenue = plan::ExtractQ6(bundle, exec);
+         ASSERT_TRUE(revenue.ok()) << ExecutionModelName(model);
+         EXPECT_EQ(*revenue, *want) << "Q6/" << ExecutionModelName(model);
+       }}};
+  auto manager = TwoGpuManager();
+  for (const Case& c : kCases) {
+    auto bundle = c.build(0);
+    ASSERT_TRUE(bundle.ok());
+    for (ExecutionModelKind model : kAllModels) {
+      QueryExecutor executor(manager.get());
+      auto exec = executor.Run(
+          bundle->graph.get(),
+          OptionsFor(model, KernelVariantRequest::kParallel));
+      ASSERT_TRUE(exec.ok()) << c.name << "/" << ExecutionModelName(model)
+                             << ": " << exec.status().ToString();
+      c.check(*bundle, *exec, model);
+      // The stats must report what actually ran.
+      for (const DeviceRunStats& device : exec->stats.devices) {
+        if (device.execute_calls == 0) continue;
+        EXPECT_EQ(device.kernel_variant, "parallel")
+            << c.name << "/" << ExecutionModelName(model);
+        EXPECT_GT(device.parallel_launches, 0u)
+            << c.name << "/" << ExecutionModelName(model);
+      }
+    }
+  }
 }
 
 // --- Footprint estimate upper-bounds observed high water -------------------

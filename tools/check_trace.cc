@@ -9,7 +9,8 @@
 // and chunk spans nested inside pipeline spans. Each --require=SUBSTR
 // additionally asserts that some event name contains SUBSTR — CI uses this
 // to prove a trace actually carries kernel/transfer/service events rather
-// than being merely well-formed.
+// than being merely well-formed. A trailing '*' makes it a prefix match
+// (e.g. --require=tile:* for the worker-pool span family).
 //
 // Exit status: 0 valid, 1 invalid or a requirement missing, 2 usage error.
 
@@ -62,16 +63,23 @@ int main(int argc, char** argv) {
 
   bool requirements_ok = true;
   for (const std::string& want : required) {
+    // A trailing '*' turns the requirement into a prefix match — e.g.
+    // --require=tile:* asserts some event of the worker-pool span family
+    // exists without naming a specific kernel. Otherwise: substring match.
+    const bool is_prefix = !want.empty() && want.back() == '*';
+    const std::string needle =
+        is_prefix ? want.substr(0, want.size() - 1) : want;
     bool found = false;
     for (const std::string& name : result.event_names) {
-      if (name.find(want) != std::string::npos) {
+      if (is_prefix ? name.rfind(needle, 0) == 0
+                    : name.find(needle) != std::string::npos) {
         found = true;
         break;
       }
     }
     if (!found) {
-      std::fprintf(stderr, "error: no event name contains '%s'\n",
-                   want.c_str());
+      std::fprintf(stderr, "error: no event name %s '%s'\n",
+                   is_prefix ? "starts with" : "contains", needle.c_str());
       requirements_ok = false;
     }
   }

@@ -15,6 +15,15 @@
 //   --model=NAME      oaat | chunked | pipelined | 4phase | 4phase-pipelined
 //                     | device-parallel
 //   --chunk=N|auto    chunk size in nominal elements (default 2^25)
+//   --kernel-variant=auto|scalar|parallel
+//                     Task-layer kernel variant: auto = per-device policy
+//                     (CPU drivers run the worker-pool parallel variants
+//                     natively, GPU drivers scalar); scalar/parallel force
+//                     one variant. The chosen variant + thread count per
+//                     device is reported as a JSON line.
+//   --kernel-threads=N
+//                     thread budget for parallel variants (default: the
+//                     device policy count, 4 on CPU drivers)
 //   --verify          compare results against the scalar reference
 //   --trace=PATH      write a chrome://tracing JSON of the real run: the
 //                     query is routed through a one-off QueryService so the
@@ -86,6 +95,10 @@ struct Options {
   int setup = 1;
   std::string model = "chunked";
   std::string chunk = "33554432";  // 2^25
+  /// Task-layer kernel variant: auto (per-device policy) | scalar | parallel.
+  std::string kernel_variant = "auto";
+  /// Thread budget for parallel variants; 0 = per-device policy count.
+  int kernel_threads = 0;
   bool verify = false;
   std::string trace_path;
   std::string sim_trace_path;
@@ -135,6 +148,14 @@ Result<Options> ParseArgs(int argc, char** argv) {
       options.model = value;
     } else if (ParseFlag(arg, "chunk", &value)) {
       options.chunk = value;
+    } else if (ParseFlag(arg, "kernel-variant", &value)) {
+      if (value != "auto" && value != "scalar" && value != "parallel") {
+        return Status::InvalidArgument(
+            "--kernel-variant must be auto|scalar|parallel");
+      }
+      options.kernel_variant = value;
+    } else if (ParseFlag(arg, "kernel-threads", &value)) {
+      options.kernel_threads = std::stoi(value);
     } else if (ParseFlag(arg, "trace", &value)) {
       options.trace_path = value;
     } else if (ParseFlag(arg, "sim-trace", &value)) {
@@ -319,6 +340,11 @@ Status RunQuery(const std::string& query, const Catalog& catalog,
   }
 
   exec_options.collect_profile = options.profile;
+  exec_options.kernel_variant =
+      options.kernel_variant == "scalar"   ? KernelVariantRequest::kScalar
+      : options.kernel_variant == "parallel" ? KernelVariantRequest::kParallel
+                                             : KernelVariantRequest::kAuto;
+  exec_options.kernel_threads = options.kernel_threads;
 
   // With a service attached (--trace), the query goes through Submit so the
   // trace carries the admission/placement instants alongside the runtime
@@ -355,6 +381,26 @@ Status RunQuery(const std::string& query, const Catalog& catalog,
               manager->device(report_device)->name().c_str(),
               ExecutionModelName(exec_options.model), exec_options.chunk_elems);
   PrintStats(exec, report_device);
+  {
+    // Self-describing benchmark output: which Task-layer kernel variant each
+    // used device resolved, its thread budget, and how many launches
+    // actually dispatched a parallel fn. Empty when the run went through a
+    // shared-device service lease (per-device snapshots are skipped there).
+    std::string variants_json;
+    for (const DeviceRunStats& ds : exec.stats.devices) {
+      if (ds.execute_calls == 0 || ds.kernel_variant.empty()) continue;
+      if (!variants_json.empty()) variants_json += ",";
+      variants_json += "\"" + ds.name + "\":{\"variant\":\"" +
+                       ds.kernel_variant +
+                       "\",\"threads\":" + std::to_string(ds.kernel_threads) +
+                       ",\"parallel_launches\":" +
+                       std::to_string(ds.parallel_launches) + "}";
+    }
+    if (!variants_json.empty()) {
+      std::printf("    {\"query\":\"%s\",\"kernel_variants\":{%s}}\n",
+                  query.c_str(), variants_json.c_str());
+    }
+  }
   if (options.profile) {
     std::printf("    profile: %s\n", exec.stats.profile.ToJson().c_str());
   }
