@@ -1,0 +1,79 @@
+// SQL frontend compile latency: wall-clock cost of lex → parse → bind →
+// plan for every builtin query. The frontend sits on the query submission
+// path (the service compiles SQL once per Submit), so its cost is real host
+// time, not simulated device time — same reporting rationale as
+// bench_obs_overhead.
+//
+// Method: per builtin, warm up, then keep the minimum of N compiles
+// (min-of-N is the standard low-noise wall-clock estimator). Planning
+// includes sampling-based selectivity annotation and join-order costing,
+// so compile time scales with the sample, not the full catalog.
+//
+// Results land in BENCH_sql.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "adamant/adamant.h"
+
+namespace adamant::bench {
+namespace {
+
+constexpr double kScaleFactor = 0.02;
+constexpr int kIterations = 25;
+
+double CompileOnceUs(const std::string& sql, const Catalog& catalog,
+                     const sql::PlannerOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  auto compiled = sql::Compile(sql, catalog, options);
+  const auto end = std::chrono::steady_clock::now();
+  ADAMANT_CHECK(compiled.ok()) << compiled.status().ToString();
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+int Main() {
+  tpch::TpchConfig config;
+  config.scale_factor = kScaleFactor;
+  auto catalog = tpch::Generate(config);
+  ADAMANT_CHECK(catalog.ok()) << catalog.status().ToString();
+
+  DeviceManager manager;
+  auto gpu = manager.AddDriver(sim::DriverKind::kCudaGpu);
+  ADAMANT_CHECK(gpu.ok()) << gpu.status().ToString();
+  ADAMANT_CHECK(BindStandardKernels(manager.device(*gpu)).ok());
+
+  sql::PlannerOptions options;
+  options.manager = &manager;  // enable cost-based join ordering
+
+  std::FILE* json = std::fopen("BENCH_sql.json", "w");
+  ADAMANT_CHECK(json != nullptr);
+  std::fprintf(json, "{\"scale_factor\":%g,\"queries\":[", kScaleFactor);
+  std::printf("SQL compile latency (SF %g, min of %d)\n", kScaleFactor,
+              kIterations);
+
+  bool first = true;
+  for (const sql::BuiltinQuery& builtin : sql::BuiltinQueries()) {
+    for (int i = 0; i < 3; ++i) {
+      CompileOnceUs(builtin.sql, **catalog, options);  // warm-up
+    }
+    double best = CompileOnceUs(builtin.sql, **catalog, options);
+    for (int i = 1; i < kIterations; ++i) {
+      best = std::min(best, CompileOnceUs(builtin.sql, **catalog, options));
+    }
+    std::printf("  %-18s %8.1f us\n", builtin.name.c_str(), best);
+    std::fprintf(json, "%s{\"name\":\"%s\",\"compile_us\":%.1f}",
+                 first ? "" : ",", builtin.name.c_str(), best);
+    first = false;
+  }
+  std::fprintf(json, "]}\n");
+  std::fclose(json);
+  return 0;
+}
+
+}  // namespace
+}  // namespace adamant::bench
+
+int main() { return adamant::bench::Main(); }

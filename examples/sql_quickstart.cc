@@ -1,0 +1,48 @@
+// SQL quickstart: generate TPC-H, plug a simulated GPU, compile a SQL
+// query through the frontend (lexer → parser → binder → planner), lower it
+// to a primitive graph, run it, and print the result table. See docs/sql.md
+// for the supported grammar.
+
+#include <cstdio>
+
+#include "adamant/adamant.h"
+
+using namespace adamant;  // NOLINT — example brevity
+
+int main() {
+  auto catalog = tpch::Generate({.scale_factor = 0.01});
+  if (!catalog.ok()) return 1;
+
+  DeviceManager manager;
+  auto gpu = manager.AddDriver(sim::DriverKind::kCudaGpu);
+  if (!gpu.ok() || !BindStandardKernels(manager.device(*gpu)).ok()) return 1;
+
+  const std::string query =
+      "SELECT l_returnflag, COUNT(*) AS lines, AVG(l_quantity) AS avg_qty "
+      "FROM lineitem "
+      "WHERE l_shipdate >= DATE '1995-01-01' "
+      "GROUP BY l_returnflag "
+      "ORDER BY lines DESC";
+
+  sql::PlannerOptions planner_options;
+  planner_options.manager = &manager;  // cost model prices join orders
+  auto compiled = sql::Compile(query, **catalog, planner_options);
+  if (!compiled.ok()) {  // errors carry line:col positions
+    std::fprintf(stderr, "%s\n", compiled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", sql::ExplainCompiled(*compiled).c_str());
+
+  auto bundle = plan::LowerPlan(*compiled->plan, **catalog, *gpu);
+  if (!bundle.ok()) return 1;
+
+  QueryExecutor executor(&manager);
+  auto exec = executor.Run(bundle->graph.get(), {});
+  if (!exec.ok()) return 1;
+
+  auto results = sql::ExtractResults(*compiled, *bundle, *exec);
+  if (!results.ok()) return 1;
+  std::printf("%s", sql::FormatResultSet(*results, *compiled,
+                                         **catalog).c_str());
+  return 0;
+}

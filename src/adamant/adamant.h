@@ -10,6 +10,8 @@
 ///   task/    — primitive definitions (Table I), kernels, containers
 ///   runtime/ — primitive graph, transfer hub, execution models
 ///   plan/    — TPC-H plans as primitive graphs
+///   sql/     — SQL frontend: lexer → parser → binder → cost-based planner
+///              onto the logical-plan IR (see docs/sql.md)
 ///   service/ — serving layer: concurrent scheduler, per-device memory
 ///              budgets, cross-query device column cache
 ///   sim/     — calibrated co-processor performance models (substitution
@@ -48,6 +50,8 @@
 #include "service/query_service.h"
 #include "service/scheduler.h"
 #include "sim/presets.h"
+#include "sql/builtin_queries.h"
+#include "sql/engine.h"
 #include "sim/trace_export.h"
 #include "storage/table.h"
 #include "task/containers.h"

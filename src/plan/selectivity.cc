@@ -52,9 +52,15 @@ class Annotator {
       : sample_(sample), sample_every_(sample_every) {}
 
   /// Returns (annotated node, the node's sampled output stream).
+  /// `deflation` tracks how much smaller the sampled stream is than a
+  /// faithful 1/k sample of the true stream: each FK join loses the probe
+  /// rows whose build partner fell outside the sample, compounding a
+  /// further ~k-fold shrink per join that downstream cardinality
+  /// measurements must scale back up.
   struct Annotated {
     std::shared_ptr<LogicalNode> node;
     InterpreterStream stream;
+    double deflation = 1.0;
   };
 
   Result<Annotated> Visit(const LogicalNode& node) {
@@ -86,7 +92,7 @@ class Annotator {
           pred.selectivity = Fraction(next.rows, stream.rows);
           stream = std::move(next);
         }
-        return Annotated{copy, std::move(stream)};
+        return Annotated{copy, std::move(stream), child.deflation};
       }
       case LogicalNode::Kind::kProject: {
         ADAMANT_ASSIGN_OR_RETURN(Annotated child, Visit(*node.child));
@@ -99,7 +105,7 @@ class Annotator {
           }
           stream.cols[name] = std::move(values);
         }
-        return Annotated{copy, std::move(stream)};
+        return Annotated{copy, std::move(stream), child.deflation};
       }
       case LogicalNode::Kind::kHashJoin: {
         ADAMANT_ASSIGN_OR_RETURN(Annotated build, Visit(*node.build));
@@ -127,8 +133,26 @@ class Annotator {
             ++out.rows;
           }
         }
-        copy->join_selectivity = Fraction(out.rows, probe.stream.rows);
-        return Annotated{copy, std::move(out)};
+        // A systematic 1/k sample keeps only ~1/k of a unique-key (FK→PK)
+        // build side, so most probe rows' partners are missing from the
+        // sample and the measured match fraction deflates by ~k. A
+        // low-cardinality build keeps every key and needs no correction.
+        // The sampled duplication factor picks between the regimes; like
+        // the group-count scaling below, this is the safe (larger-buffer)
+        // choice.
+        double correction = 1.0;
+        if (!build_count.empty()) {
+          const double dup = static_cast<double>(build.stream.rows) /
+                             static_cast<double>(build_count.size());
+          correction = std::min(static_cast<double>(sample_every_),
+                                std::max(1.0, sample_every_ / dup));
+        }
+        copy->join_selectivity = std::min(
+            1.0, Fraction(out.rows, probe.stream.rows) * correction);
+        // The missing partners shrink the sampled output stream by the
+        // same factor; record it so downstream distinct counts rescale.
+        return Annotated{copy, std::move(out),
+                         probe.deflation * correction};
       }
       case LogicalNode::Kind::kGroupBy:
       case LogicalNode::Kind::kReduce: {
@@ -142,12 +166,16 @@ class Annotator {
           // The sample sees at most 1/k of the rows; distinct counts scale
           // somewhere between 1x (low-cardinality keys, all seen) and kx
           // (unique keys). Scaling by k is the safe (larger-table) choice.
+          // Upstream joins shrink the sampled stream further (deflation);
+          // unique group keys shrink proportionally, so scale that back
+          // too — again the larger, safe choice for low-cardinality keys.
           copy->expected_groups = std::max<double>(
-              16.0,
-              static_cast<double>(distinct.size() * sample_every_));
+              16.0, static_cast<double>(distinct.size()) *
+                        static_cast<double>(sample_every_) *
+                        child.deflation);
           copy->groups_scale_with_data = node.groups_scale_with_data;
         }
-        return Annotated{copy, std::move(child.stream)};
+        return Annotated{copy, std::move(child.stream), child.deflation};
       }
     }
     return Status::Internal("unknown logical node kind");

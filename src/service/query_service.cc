@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "obs/chrome_trace.h"
+#include "plan/lowering.h"
+#include "sql/engine.h"
 #include "obs/trace.h"
 #include "runtime/executor.h"
 
@@ -88,6 +90,30 @@ QueryService::QueryService(DeviceManager* manager, ServiceConfig config)
 QueryService::~QueryService() { Stop(); }
 
 Result<std::shared_ptr<QueryTicket>> QueryService::Submit(QuerySpec spec) {
+  if (!spec.sql.empty()) {
+    if (spec.make_graph) {
+      return Status::InvalidArgument(
+          "QuerySpec.sql and QuerySpec.make_graph are exclusive");
+    }
+    if (spec.sql_catalog == nullptr) {
+      return Status::InvalidArgument(
+          "QuerySpec.sql requires QuerySpec.sql_catalog");
+    }
+    sql::PlannerOptions planner_options;
+    planner_options.manager = manager_;
+    ADAMANT_ASSIGN_OR_RETURN(
+        sql::CompiledQuery compiled,
+        sql::Compile(spec.sql, *spec.sql_catalog, planner_options));
+    if (spec.name.empty()) spec.name = "sql";
+    auto plan = compiled.plan;
+    const Catalog* catalog = spec.sql_catalog;
+    spec.make_graph = [plan, catalog](DeviceId device)
+        -> Result<std::unique_ptr<PrimitiveGraph>> {
+      ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle bundle,
+                               plan::LowerPlan(*plan, *catalog, device));
+      return std::move(bundle.graph);
+    };
+  }
   if (!spec.make_graph) {
     return Status::InvalidArgument("QuerySpec.make_graph is not set");
   }

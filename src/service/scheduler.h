@@ -20,6 +20,8 @@
 
 namespace adamant {
 
+class Catalog;
+
 /// Two-level admission priority: high-priority queries dispatch before any
 /// normal-priority query; FIFO within a level.
 enum class QueryPriority { kNormal = 0, kHigh = 1 };
@@ -27,9 +29,19 @@ enum class QueryPriority { kNormal = 0, kHigh = 1 };
 /// A query submitted to the service. The graph is built lazily by
 /// `make_graph` once the scheduler has picked a device, so one spec can run
 /// anywhere in `eligible_devices` (empty = any plugged device).
+///
+/// Instead of providing `make_graph`, a spec may carry SQL text: set `sql`
+/// (and `sql_catalog`) and Submit compiles the query once through the SQL
+/// frontend (sql/engine.h) and synthesizes `make_graph` from the compiled
+/// logical plan. Compile errors surface as the Submit error, with the usual
+/// line:col diagnostics.
 struct QuerySpec {
   std::string name;
   std::function<Result<std::unique_ptr<PrimitiveGraph>>(DeviceId)> make_graph;
+  /// SQL alternative to make_graph (exclusive with it). Requires
+  /// sql_catalog; must stay alive until Submit returns.
+  std::string sql;
+  const Catalog* sql_catalog = nullptr;
   ExecutionOptions options;
   QueryPriority priority = QueryPriority::kNormal;
   std::vector<DeviceId> eligible_devices;

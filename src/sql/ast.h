@@ -1,0 +1,103 @@
+#ifndef ADAMANT_SQL_AST_H_
+#define ADAMANT_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace adamant::sql {
+
+/// Abstract syntax produced by the parser. Every node keeps the source
+/// position of its first token so the binder can report "line:col:"
+/// diagnostics for names it cannot resolve.
+
+struct SelectStmt;
+
+struct Expr {
+  enum class Kind : uint8_t {
+    kColumn,      // [table.]column
+    kIntLit,      // 42          (int_val)
+    kDecimalLit,  // 0.06 -> 6   (int_val, scaled by 100)
+    kDateLit,     // DATE 'YYYY-MM-DD' -> day number (int_val)
+    kStringLit,   // 'BUILDING'  (str_val)
+    kBinary,      // lhs op rhs with op in + - * /
+    kAggCall,     // SUM/COUNT/MIN/MAX/AVG(arg); COUNT(*) has no arg
+    kStar,        // bare * (only valid inside EXISTS subqueries / COUNT)
+  };
+
+  Kind kind = Kind::kIntLit;
+  SourcePos pos;
+
+  std::string table;   // kColumn qualifier ("" if unqualified)
+  std::string column;  // kColumn name
+
+  int64_t int_val = 0;   // kIntLit / kDecimalLit / kDateLit
+  std::string str_val;   // kStringLit
+
+  char op = 0;  // kBinary: '+', '-', '*', '/'
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;  // kAggCall keeps its argument in lhs
+
+  std::string agg;  // kAggCall: "sum", "count", "min", "max", "avg"
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One conjunct of a WHERE clause (the grammar has no OR).
+struct Condition {
+  enum class Kind : uint8_t {
+    kCompare,  // lhs cmp rhs
+    kBetween,  // lhs BETWEEN lo AND hi (inclusive)
+    kInList,   // lhs IN (lit, ...)
+    kExists,   // EXISTS (SELECT ...) -> semi join
+  };
+
+  Kind kind = Kind::kCompare;
+  SourcePos pos;
+
+  std::string cmp;  // kCompare: "<", "<=", ">", ">=", "=", "<>"
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  ExprPtr lo;  // kBetween
+  ExprPtr hi;
+
+  std::vector<ExprPtr> in_list;
+
+  std::unique_ptr<SelectStmt> subquery;  // kExists
+};
+
+struct TableRef {
+  std::string name;
+  std::string alias;  // "" if none
+  SourcePos pos;
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // "" if none
+  SourcePos pos;
+};
+
+struct OrderItem {
+  ExprPtr expr;  // output name, column, or 1-based position
+  bool desc = false;
+  SourcePos pos;
+};
+
+struct SelectStmt {
+  SourcePos pos;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::vector<Condition> where;     // implicit conjunction
+  std::vector<ExprPtr> group_by;    // column references
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no LIMIT
+};
+
+}  // namespace adamant::sql
+
+#endif  // ADAMANT_SQL_AST_H_

@@ -1,0 +1,947 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/date.h"
+#include "storage/tbl_io.h"
+#include "tpch/tbl_schemas.h"
+
+namespace adamant::sql {
+
+namespace {
+
+using plan::AggSpec;
+using plan::Predicate;
+using plan::ScalarExpr;
+
+Status BindError(SourcePos pos, const std::string& message) {
+  return Status::InvalidArgument(pos.ToString() + ": " + message);
+}
+
+Status Unsupported(SourcePos pos, const std::string& message) {
+  return Status::NotSupported(pos.ToString() + ": " + message);
+}
+
+ColumnSemantic SemanticOfKind(TblColumnSpec::Kind kind) {
+  switch (kind) {
+    case TblColumnSpec::Kind::kMoney: return ColumnSemantic::kMoney;
+    case TblColumnSpec::Kind::kPct: return ColumnSemantic::kPercent;
+    case TblColumnSpec::Kind::kDate: return ColumnSemantic::kDate;
+    case TblColumnSpec::Kind::kDict: return ColumnSemantic::kDict;
+    default: return ColumnSemantic::kPlain;
+  }
+}
+
+}  // namespace
+
+const char* SemanticName(ColumnSemantic sem) {
+  switch (sem) {
+    case ColumnSemantic::kPlain: return "plain";
+    case ColumnSemantic::kMoney: return "money";
+    case ColumnSemantic::kPercent: return "percent";
+    case ColumnSemantic::kDate: return "date";
+    case ColumnSemantic::kDict: return "dict";
+  }
+  return "?";
+}
+
+ColumnSemantic SemanticOf(const std::string& table,
+                          const std::string& column) {
+  using SemanticMap = std::map<std::pair<std::string, std::string>,
+                               ColumnSemantic>;
+  static const SemanticMap* const kSemantics = [] {
+    auto* map = new SemanticMap();
+    const std::pair<const char*, std::vector<TblColumnSpec>> kSpecs[] = {
+        {"lineitem", tpch::LineitemTblSpec()},
+        {"orders", tpch::OrdersTblSpec()},
+        {"customer", tpch::CustomerTblSpec()},
+        {"part", tpch::PartTblSpec()},
+        {"supplier", tpch::SupplierTblSpec()},
+        {"partsupp", tpch::PartsuppTblSpec()},
+        {"nation", tpch::NationTblSpec()},
+        {"region", tpch::RegionTblSpec()},
+    };
+    for (const auto& [name, specs] : kSpecs) {
+      for (const auto& spec : specs) {
+        if (spec.kind == TblColumnSpec::Kind::kSkip) continue;
+        (*map)[{name, spec.name}] = SemanticOfKind(spec.kind);
+      }
+    }
+    return map;
+  }();
+  auto it = kSemantics->find({table, column});
+  return it == kSemantics->end() ? ColumnSemantic::kPlain : it->second;
+}
+
+namespace {
+
+// A constant leaf (possibly folded from integer arithmetic).
+struct ConstVal {
+  enum class Kind : uint8_t { kInt, kDecimal, kDate, kString };
+  Kind kind = Kind::kInt;
+  int64_t value = 0;
+  std::string text;
+  SourcePos pos;
+};
+
+// A bound scalar value flowing through the fact stream: a base column or a
+// computed (projected) column.
+struct Scalar {
+  std::string column;
+  ElementType type = ElementType::kInt32;
+  ColumnSemantic sem = ColumnSemantic::kPlain;
+};
+
+class Binder {
+ public:
+  Binder(const SelectStmt& stmt, const Catalog& catalog)
+      : stmt_(stmt), catalog_(catalog) {}
+
+  Result<BoundQuery> Bind() {
+    ADAMANT_RETURN_NOT_OK(BindFrom());
+    ADAMANT_RETURN_NOT_OK(BindWhere());
+    ADAMANT_RETURN_NOT_OK(BindGroupBy());
+    ADAMANT_RETURN_NOT_OK(BindSelectItems());
+    ADAMANT_RETURN_NOT_OK(BindOrderBy());
+    bound_.limit = stmt_.limit;
+    if (bound_.aggregates.empty()) {
+      if (bound_.group_by.empty()) {
+        return Unsupported(stmt_.pos,
+                           "the execution primitives aggregate: use GROUP BY "
+                           "and/or aggregate functions in the SELECT list");
+      }
+      // Grouped query with no aggregate (SELECT DISTINCT-style): count rows
+      // per group so the sink has something to do.
+      bound_.aggregates.push_back(
+          {AggOp::kCount, "", "$rows", ColumnSemantic::kPlain});
+    }
+    return std::move(bound_);
+  }
+
+ private:
+  struct ResolvedColumn {
+    int table = -1;
+    std::string column;
+    ElementType type = ElementType::kInt32;
+    ColumnSemantic sem = ColumnSemantic::kPlain;
+  };
+
+  // Alias -> table index; one scope per (sub)query.
+  using Scope = std::vector<std::pair<std::string, int>>;
+
+  // --- FROM ---------------------------------------------------------------
+
+  Status BindFrom() {
+    for (const TableRef& ref : stmt_.from) {
+      auto table = catalog_.GetTable(ref.name);
+      if (!table.ok()) {
+        return BindError(ref.pos, "unknown table '" + ref.name + "'");
+      }
+      const std::string alias = ref.alias.empty() ? ref.name : ref.alias;
+      for (const auto& [existing, _] : main_scope_) {
+        if (existing == alias) {
+          return BindError(ref.pos, "duplicate table alias '" + alias + "'");
+        }
+      }
+      main_scope_.emplace_back(alias, static_cast<int>(bound_.tables.size()));
+      bound_.tables.push_back(BoundTable{ref.name, alias, *table, false, {}});
+    }
+    return Status::OK();
+  }
+
+  // --- column resolution --------------------------------------------------
+
+  Result<ResolvedColumn> Resolve(const Expr& expr, const Scope& scope) {
+    ResolvedColumn out;
+    out.column = expr.column;
+    if (!expr.table.empty()) {
+      const auto it =
+          std::find_if(scope.begin(), scope.end(),
+                       [&](const auto& e) { return e.first == expr.table; });
+      if (it == scope.end()) {
+        return BindError(expr.pos,
+                         "unknown table alias '" + expr.table + "'");
+      }
+      out.table = it->second;
+      const BoundTable& t = bound_.tables[out.table];
+      auto col = t.table->GetColumn(expr.column);
+      if (!col.ok()) {
+        return BindError(expr.pos, "unknown column '" + expr.column +
+                                       "' in table '" + t.name + "'");
+      }
+      out.type = (*col)->type();
+    } else {
+      int matches = 0;
+      std::string owners;
+      for (const auto& [alias, index] : scope) {
+        auto col = bound_.tables[index].table->GetColumn(expr.column);
+        if (!col.ok()) continue;
+        if (matches++ == 0) {
+          out.table = index;
+          out.type = (*col)->type();
+        }
+        owners += (owners.empty() ? "" : ", ") + alias;
+      }
+      if (matches == 0) {
+        return BindError(expr.pos, "unknown column '" + expr.column + "'");
+      }
+      if (matches > 1) {
+        return BindError(expr.pos, "ambiguous column '" + expr.column +
+                                       "' (in " + owners + ")");
+      }
+    }
+    out.sem = SemanticOf(bound_.tables[out.table].name, expr.column);
+    return out;
+  }
+
+  // --- constants ----------------------------------------------------------
+
+  std::optional<ConstVal> TryFoldConst(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kIntLit:
+        return ConstVal{ConstVal::Kind::kInt, expr.int_val, "", expr.pos};
+      case Expr::Kind::kDecimalLit:
+        return ConstVal{ConstVal::Kind::kDecimal, expr.int_val, "", expr.pos};
+      case Expr::Kind::kDateLit:
+        return ConstVal{ConstVal::Kind::kDate, expr.int_val, "", expr.pos};
+      case Expr::Kind::kStringLit:
+        return ConstVal{ConstVal::Kind::kString, 0, expr.str_val, expr.pos};
+      case Expr::Kind::kBinary: {
+        auto lhs = TryFoldConst(*expr.lhs);
+        if (!lhs || lhs->kind != ConstVal::Kind::kInt) return std::nullopt;
+        auto rhs = TryFoldConst(*expr.rhs);
+        if (!rhs || rhs->kind != ConstVal::Kind::kInt) return std::nullopt;
+        int64_t v = 0;
+        switch (expr.op) {
+          case '+': v = lhs->value + rhs->value; break;
+          case '-': v = lhs->value - rhs->value; break;
+          case '*': v = lhs->value * rhs->value; break;
+          default: return std::nullopt;
+        }
+        return ConstVal{ConstVal::Kind::kInt, v, "", expr.pos};
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  /// Scales/encodes a literal for comparison against a column: integers vs
+  /// money/percent scale by 100, date columns accept DATE or 'YYYY-MM-DD'
+  /// literals, dictionary columns accept strings (unknown strings become
+  /// the never-matching code -1; `ordered` comparisons are rejected because
+  /// dictionary code order is not string order).
+  Result<int64_t> Coerce(const ConstVal& lit, const ResolvedColumn& col,
+                         bool ordered) {
+    const BoundTable& table = bound_.tables[col.table];
+    switch (col.sem) {
+      case ColumnSemantic::kDict: {
+        if (lit.kind != ConstVal::Kind::kString) {
+          return BindError(lit.pos, "column '" + col.column +
+                                        "' is dictionary-encoded and "
+                                        "compares against string literals");
+        }
+        if (ordered) {
+          return Unsupported(lit.pos,
+                             "ordered comparison on dictionary column '" +
+                                 col.column +
+                                 "' (codes are not ordered like strings); "
+                                 "use =, <>, or IN");
+        }
+        const StringDictionary* dict =
+            table.table->FindDictionary(col.column);
+        if (dict == nullptr) return -1;
+        auto code = dict->Lookup(lit.text);
+        return code.ok() ? static_cast<int64_t>(*code) : -1;
+      }
+      case ColumnSemantic::kDate: {
+        if (lit.kind == ConstVal::Kind::kDate) return lit.value;
+        if (lit.kind == ConstVal::Kind::kString) {
+          auto date = Date::Parse(lit.text);
+          if (!date.ok()) {
+            return BindError(lit.pos, "bad date literal '" + lit.text +
+                                          "': " + date.status().message());
+          }
+          return date->days();
+        }
+        return BindError(lit.pos, "column '" + col.column +
+                                      "' is a date; compare against DATE "
+                                      "'YYYY-MM-DD'");
+      }
+      case ColumnSemantic::kMoney:
+      case ColumnSemantic::kPercent: {
+        if (lit.kind == ConstVal::Kind::kDecimal) return lit.value;
+        if (lit.kind == ConstVal::Kind::kInt) {
+          if (std::abs(lit.value) >
+              std::numeric_limits<int64_t>::max() / 100) {
+            return BindError(lit.pos, "literal overflows the fixed-point "
+                                      "hundredths encoding");
+          }
+          return lit.value * 100;
+        }
+        return BindError(lit.pos, "column '" + col.column +
+                                      "' stores fixed-point hundredths; "
+                                      "compare against a numeric literal");
+      }
+      case ColumnSemantic::kPlain: {
+        if (lit.kind == ConstVal::Kind::kInt) return lit.value;
+        if (lit.kind == ConstVal::Kind::kDecimal) {
+          return BindError(lit.pos, "decimal literal compared to integer "
+                                        "column '" + col.column + "'");
+        }
+        return BindError(lit.pos, "column '" + col.column +
+                                      "' is numeric; compare against a "
+                                      "numeric literal");
+      }
+    }
+    return BindError(lit.pos, "unhandled literal");
+  }
+
+  // --- WHERE --------------------------------------------------------------
+
+  Status BindWhere() {
+    for (const Condition& cond : stmt_.where) {
+      switch (cond.kind) {
+        case Condition::Kind::kCompare:
+          ADAMANT_RETURN_NOT_OK(BindCompare(cond));
+          break;
+        case Condition::Kind::kBetween:
+          ADAMANT_RETURN_NOT_OK(BindBetween(cond));
+          break;
+        case Condition::Kind::kInList:
+          ADAMANT_RETURN_NOT_OK(BindInList(cond));
+          break;
+        case Condition::Kind::kExists:
+          ADAMANT_RETURN_NOT_OK(BindExists(cond));
+          break;
+      }
+    }
+    return Status::OK();
+  }
+
+  static Result<CmpOp> CmpFromText(const std::string& cmp, SourcePos pos) {
+    if (cmp == "<") return CmpOp::kLt;
+    if (cmp == "<=") return CmpOp::kLe;
+    if (cmp == ">") return CmpOp::kGt;
+    if (cmp == ">=") return CmpOp::kGe;
+    if (cmp == "=") return CmpOp::kEq;
+    if (cmp == "<>") return CmpOp::kNe;
+    return BindError(pos, "unknown comparison '" + cmp + "'");
+  }
+
+  static CmpOp Flip(CmpOp op) {
+    switch (op) {
+      case CmpOp::kLt: return CmpOp::kGt;
+      case CmpOp::kLe: return CmpOp::kGe;
+      case CmpOp::kGt: return CmpOp::kLt;
+      case CmpOp::kGe: return CmpOp::kLe;
+      default: return op;
+    }
+  }
+
+  static bool IsOrdered(CmpOp op) {
+    return op != CmpOp::kEq && op != CmpOp::kNe;
+  }
+
+  Status CheckJoinKey(const ResolvedColumn& col, SourcePos pos) {
+    if (col.type != ElementType::kInt32) {
+      return Unsupported(
+          pos, "join key '" + col.column +
+                   "' must be a 32-bit integer column (got " +
+                   std::string(ElementTypeName(col.type)) + ")");
+    }
+    return Status::OK();
+  }
+
+  Status BindCompare(const Condition& cond) {
+    ADAMANT_ASSIGN_OR_RETURN(CmpOp op, CmpFromText(cond.cmp, cond.pos));
+    const auto lhs_const = TryFoldConst(*cond.lhs);
+    const auto rhs_const = TryFoldConst(*cond.rhs);
+    if (lhs_const && rhs_const) {
+      return Unsupported(cond.pos,
+                         "constant predicates are not supported; every "
+                         "predicate references a column");
+    }
+
+    const Expr* col_side = lhs_const ? cond.rhs.get() : cond.lhs.get();
+    const std::optional<ConstVal>& lit = lhs_const ? lhs_const : rhs_const;
+    if (col_side->kind != Expr::Kind::kColumn) {
+      return Unsupported(col_side->pos,
+                         "predicates compare a plain column against a "
+                         "literal or another column");
+    }
+    ADAMANT_ASSIGN_OR_RETURN(ResolvedColumn a, Resolve(*col_side, main_scope_));
+
+    if (lit) {  // column vs literal
+      if (lhs_const) op = Flip(op);
+      ADAMANT_ASSIGN_OR_RETURN(int64_t value, Coerce(*lit, a, IsOrdered(op)));
+      BoundPredicate pred;
+      pred.pred = Predicate{a.column, op, value, 0, 0.5};
+      pred.pos = cond.pos;
+      bound_.tables[a.table].predicates.push_back(std::move(pred));
+      return Status::OK();
+    }
+
+    const Expr* other = lhs_const ? cond.lhs.get() : cond.rhs.get();
+    if (other->kind != Expr::Kind::kColumn) {
+      return Unsupported(other->pos,
+                         "predicates compare a plain column against a "
+                         "literal or another column");
+    }
+    ADAMANT_ASSIGN_OR_RETURN(ResolvedColumn b, Resolve(*other, main_scope_));
+
+    if (a.table != b.table) {  // join edge
+      if (op != CmpOp::kEq) {
+        return Unsupported(cond.pos,
+                           "only equality joins are supported between "
+                           "tables");
+      }
+      ADAMANT_RETURN_NOT_OK(CheckJoinKey(a, cond.lhs->pos));
+      ADAMANT_RETURN_NOT_OK(CheckJoinKey(b, cond.rhs->pos));
+      bound_.joins.push_back(BoundJoin{a.table, b.table, a.column, b.column,
+                                       ProbeMode::kAll, cond.pos});
+      return Status::OK();
+    }
+
+    // Same-table column-column comparison: hidden difference + compare to 0.
+    if (a.type != b.type) {
+      return Unsupported(cond.pos,
+                         "cannot compare " +
+                             std::string(ElementTypeName(a.type)) +
+                             " column '" + a.column + "' to " +
+                             ElementTypeName(b.type) + " column '" +
+                             b.column + "'");
+    }
+    BoundPredicate pred;
+    pred.needs_diff = true;
+    pred.diff_lhs = a.column;
+    pred.diff_rhs = b.column;
+    pred.diff_type = a.type;
+    pred.pred = Predicate{"$d" + std::to_string(diff_count_++), op, 0, 0, 0.5};
+    pred.pos = cond.pos;
+    bound_.tables[a.table].predicates.push_back(std::move(pred));
+    return Status::OK();
+  }
+
+  Status BindBetween(const Condition& cond) {
+    if (cond.lhs->kind != Expr::Kind::kColumn) {
+      return Unsupported(cond.lhs->pos, "BETWEEN applies to a plain column");
+    }
+    ADAMANT_ASSIGN_OR_RETURN(ResolvedColumn col,
+                             Resolve(*cond.lhs, main_scope_));
+    const auto lo = TryFoldConst(*cond.lo);
+    const auto hi = TryFoldConst(*cond.hi);
+    if (!lo || !hi) {
+      return Unsupported(cond.pos, "BETWEEN bounds must be literals");
+    }
+    ADAMANT_ASSIGN_OR_RETURN(int64_t lo_v, Coerce(*lo, col, /*ordered=*/true));
+    ADAMANT_ASSIGN_OR_RETURN(int64_t hi_v, Coerce(*hi, col, /*ordered=*/true));
+    BoundPredicate pred;
+    pred.pred = Predicate::Between(col.column, lo_v, hi_v, 0.5);
+    pred.pos = cond.pos;
+    bound_.tables[col.table].predicates.push_back(std::move(pred));
+    return Status::OK();
+  }
+
+  Status BindInList(const Condition& cond) {
+    if (cond.lhs->kind != Expr::Kind::kColumn) {
+      return Unsupported(cond.lhs->pos, "IN applies to a plain column");
+    }
+    ADAMANT_ASSIGN_OR_RETURN(ResolvedColumn col,
+                             Resolve(*cond.lhs, main_scope_));
+    std::vector<int64_t> values;
+    for (const ExprPtr& item : cond.in_list) {
+      const auto lit = TryFoldConst(*item);
+      if (!lit) {
+        return Unsupported(item->pos, "IN list entries must be literals");
+      }
+      ADAMANT_ASSIGN_OR_RETURN(int64_t v, Coerce(*lit, col, /*ordered=*/false));
+      values.push_back(v);
+    }
+    if (values.empty() || values.size() > 2) {
+      return Unsupported(cond.pos,
+                         "IN lists support one or two values (the FILTER "
+                         "primitive evaluates at most a pair)");
+    }
+    BoundPredicate pred;
+    pred.pred = values.size() == 1
+                    ? Predicate::Eq(col.column, values[0], 0.5)
+                    : Predicate::InPair(col.column, values[0], values[1], 0.5);
+    pred.pos = cond.pos;
+    bound_.tables[col.table].predicates.push_back(std::move(pred));
+    return Status::OK();
+  }
+
+  Status BindExists(const Condition& cond) {
+    const SelectStmt& sub = *cond.subquery;
+    if (sub.from.size() != 1) {
+      return Unsupported(cond.pos,
+                         "EXISTS subqueries scan exactly one table");
+    }
+    if (!sub.group_by.empty() || !sub.order_by.empty() || sub.limit >= 0) {
+      return Unsupported(cond.pos,
+                         "EXISTS subqueries support FROM/WHERE only");
+    }
+    const TableRef& ref = sub.from[0];
+    auto table = catalog_.GetTable(ref.name);
+    if (!table.ok()) {
+      return BindError(ref.pos, "unknown table '" + ref.name + "'");
+    }
+    const int sub_index = static_cast<int>(bound_.tables.size());
+    const std::string alias = ref.alias.empty() ? ref.name : ref.alias;
+    bound_.tables.push_back(BoundTable{ref.name, alias, *table, true, {}});
+    Scope sub_scope = {{alias, sub_index}};
+
+    bool have_correlation = false;
+    for (const Condition& c : sub.where) {
+      if (c.kind == Condition::Kind::kExists) {
+        return Unsupported(c.pos, "nested EXISTS is not supported");
+      }
+      // A comparison whose two sides live in different scopes is the
+      // correlating equality; everything else must bind inside the
+      // subquery and is pushed down to its scan.
+      if (c.kind == Condition::Kind::kCompare &&
+          c.lhs->kind == Expr::Kind::kColumn &&
+          c.rhs->kind == Expr::Kind::kColumn) {
+        auto in_sub_l = Resolve(*c.lhs, sub_scope);
+        auto in_sub_r = Resolve(*c.rhs, sub_scope);
+        if (in_sub_l.ok() != in_sub_r.ok()) {  // one side is correlated
+          if (c.cmp != "=") {
+            return Unsupported(c.pos,
+                               "correlated predicates must be equalities");
+          }
+          const Expr& outer_expr = in_sub_l.ok() ? *c.rhs : *c.lhs;
+          ADAMANT_ASSIGN_OR_RETURN(ResolvedColumn outer,
+                                   Resolve(outer_expr, main_scope_));
+          const ResolvedColumn inner = in_sub_l.ok() ? *in_sub_l : *in_sub_r;
+          ADAMANT_RETURN_NOT_OK(CheckJoinKey(outer, c.pos));
+          ADAMANT_RETURN_NOT_OK(CheckJoinKey(inner, c.pos));
+          if (have_correlation) {
+            return Unsupported(c.pos,
+                               "EXISTS supports a single correlating "
+                               "equality");
+          }
+          have_correlation = true;
+          bound_.joins.push_back(BoundJoin{outer.table, sub_index,
+                                           outer.column, inner.column,
+                                           ProbeMode::kSemi, cond.pos});
+          continue;
+        }
+      }
+      // Bind as a local predicate of the subquery's table.
+      const size_t before = bound_.tables[sub_index].predicates.size();
+      Scope saved = main_scope_;
+      main_scope_ = sub_scope;
+      Status bound = c.kind == Condition::Kind::kCompare  ? BindCompare(c)
+                     : c.kind == Condition::Kind::kBetween ? BindBetween(c)
+                                                           : BindInList(c);
+      main_scope_ = saved;
+      ADAMANT_RETURN_NOT_OK(bound);
+      if (bound_.tables[sub_index].predicates.size() == before &&
+          c.kind == Condition::Kind::kCompare) {
+        // Same-scope comparison landed as a join inside the subquery.
+        return Unsupported(c.pos,
+                           "EXISTS subquery predicates must stay on the "
+                           "subquery's table");
+      }
+    }
+    if (!have_correlation) {
+      return Unsupported(cond.pos,
+                         "EXISTS subquery needs a correlating equality "
+                         "with the outer query");
+    }
+    return Status::OK();
+  }
+
+  // --- GROUP BY -----------------------------------------------------------
+
+  Status BindGroupBy() {
+    if (stmt_.group_by.size() > 2) {
+      return Unsupported(stmt_.group_by[2]->pos,
+                         "GROUP BY supports at most two columns (packed "
+                         "into one 32-bit key)");
+    }
+    for (const ExprPtr& col : stmt_.group_by) {
+      ADAMANT_ASSIGN_OR_RETURN(ResolvedColumn r, Resolve(*col, main_scope_));
+      ADAMANT_RETURN_NOT_OK(SetFact(r.table, col->pos));
+      if (r.type != ElementType::kInt32) {
+        return Unsupported(col->pos,
+                           "GROUP BY key '" + r.column +
+                               "' must be a 32-bit column (the HASH_AGG "
+                               "primitive keys on int32)");
+      }
+      group_resolved_.push_back(r);
+      bound_.group_by.push_back(
+          BoundGroupKey{r.column, bound_.tables[r.table].name, r.sem});
+    }
+    return Status::OK();
+  }
+
+  // --- SELECT list --------------------------------------------------------
+
+  Status BindSelectItems() {
+    for (const SelectItem& item : stmt_.items) {
+      if (item.expr->kind == Expr::Kind::kStar) {
+        return Unsupported(item.pos, "SELECT * is only valid inside EXISTS");
+      }
+      BoundOutput out;
+      if (item.expr->kind == Expr::Kind::kColumn) {
+        ADAMANT_ASSIGN_OR_RETURN(ResolvedColumn r,
+                                 Resolve(*item.expr, main_scope_));
+        int key_part = -1;
+        for (size_t i = 0; i < group_resolved_.size(); ++i) {
+          if (group_resolved_[i].table == r.table &&
+              group_resolved_[i].column == r.column) {
+            key_part = static_cast<int>(i);
+            break;
+          }
+        }
+        if (key_part < 0) {
+          return BindError(item.expr->pos,
+                           "column '" + r.column +
+                               "' must appear in GROUP BY (only group keys "
+                               "and aggregates can be selected)");
+        }
+        out.kind = BoundOutput::Kind::kGroupKey;
+        out.key_part = key_part;
+        out.sem = r.sem;
+        out.name = item.alias.empty() ? r.column : item.alias;
+      } else if (item.expr->kind == Expr::Kind::kAggCall) {
+        ADAMANT_ASSIGN_OR_RETURN(out, BindAggCall(*item.expr));
+        if (!item.alias.empty()) {
+          out.name = item.alias;
+        }
+        PromoteAggName(out);
+      } else {
+        return Unsupported(item.expr->pos,
+                           "SELECT items are group-key columns or aggregate "
+                           "calls (arithmetic belongs inside the aggregate)");
+      }
+      for (const BoundOutput& existing : bound_.outputs) {
+        if (existing.name == out.name) {
+          return BindError(item.pos, "duplicate output name '" + out.name +
+                                         "'; add AS <alias>");
+        }
+      }
+      bound_.outputs.push_back(std::move(out));
+    }
+    return Status::OK();
+  }
+
+  /// Gives the aggregate node the visible output's name (instead of a
+  /// hidden "$a<N>" placeholder) so plans and explain output read well.
+  void PromoteAggName(const BoundOutput& out) {
+    if (out.kind != BoundOutput::Kind::kAgg) return;
+    BoundAggregate& agg = bound_.aggregates[out.agg_index];
+    if (!agg.output_name.empty() && agg.output_name[0] == '$') {
+      agg.output_name = out.name;
+    }
+  }
+
+  int AddAggregate(AggOp op, const std::string& value_column,
+                   ColumnSemantic sem) {
+    for (size_t i = 0; i < bound_.aggregates.size(); ++i) {
+      if (bound_.aggregates[i].op == op &&
+          bound_.aggregates[i].value_column == value_column) {
+        return static_cast<int>(i);
+      }
+    }
+    bound_.aggregates.push_back(
+        {op, value_column,
+         "$a" + std::to_string(bound_.aggregates.size()), sem});
+    return static_cast<int>(bound_.aggregates.size() - 1);
+  }
+
+  Result<BoundOutput> BindAggCall(const Expr& call) {
+    BoundOutput out;
+    if (call.agg == "count") {
+      if (call.lhs != nullptr && call.lhs->kind != Expr::Kind::kColumn) {
+        return Unsupported(call.pos,
+                           "COUNT takes '*' or a plain column (there are "
+                           "no NULLs, so both count rows)");
+      }
+      if (call.lhs != nullptr) {
+        ADAMANT_RETURN_NOT_OK(Resolve(*call.lhs, main_scope_).status());
+      }
+      out.kind = BoundOutput::Kind::kAgg;
+      out.agg_index = AddAggregate(AggOp::kCount, "", ColumnSemantic::kPlain);
+      out.name = "count";
+      out.sem = ColumnSemantic::kPlain;
+      return out;
+    }
+    if (call.lhs == nullptr) {
+      return BindError(call.pos, call.agg + " needs an argument");
+    }
+    ADAMANT_ASSIGN_OR_RETURN(Scalar arg, BindScalar(*call.lhs));
+    if (call.agg == "avg") {
+      out.kind = BoundOutput::Kind::kAvg;
+      out.sum_index = AddAggregate(AggOp::kSum, arg.column, arg.sem);
+      out.count_index =
+          AddAggregate(AggOp::kCount, "", ColumnSemantic::kPlain);
+      out.sem = arg.sem;
+      out.name = "avg_" + BaseName(arg.column);
+      return out;
+    }
+    AggOp op = AggOp::kSum;
+    if (call.agg == "sum") op = AggOp::kSum;
+    else if (call.agg == "min") op = AggOp::kMin;
+    else if (call.agg == "max") op = AggOp::kMax;
+    out.kind = BoundOutput::Kind::kAgg;
+    out.agg_index = AddAggregate(op, arg.column, arg.sem);
+    out.sem = arg.sem;
+    out.name = call.agg + "_" + BaseName(arg.column);
+    return out;
+  }
+
+  static std::string BaseName(const std::string& column) {
+    return column.empty() || column[0] == '$' ? "expr" : column;
+  }
+
+  // --- scalar expressions over the fact stream ----------------------------
+
+  Status SetFact(int table, SourcePos pos) {
+    if (bound_.tables[table].semi_only) {
+      return Unsupported(pos,
+                         "columns of an EXISTS subquery table cannot be "
+                         "selected or aggregated (only probe-side columns "
+                         "survive a semi join)");
+    }
+    if (bound_.fact_table == -1) {
+      bound_.fact_table = table;
+      return Status::OK();
+    }
+    if (bound_.fact_table != table) {
+      return Unsupported(
+          pos, "grouping/aggregation columns must come from one table "
+               "(only probe-side columns survive joins); got '" +
+                   bound_.tables[bound_.fact_table].alias + "' and '" +
+                   bound_.tables[table].alias + "'");
+    }
+    return Status::OK();
+  }
+
+  std::string EmitStep(const ScalarExpr& expr) {
+    const std::string key = std::to_string(static_cast<int>(expr.op)) + "|" +
+                            expr.a + "|" + expr.b + "|" +
+                            std::to_string(expr.imm) + "|" +
+                            std::to_string(static_cast<int>(expr.out_type));
+    auto it = cse_.find(key);
+    if (it != cse_.end()) return it->second;
+    const std::string name = "$e" + std::to_string(bound_.projections.size());
+    bound_.projections.emplace_back(name, expr);
+    cse_.emplace(key, name);
+    return name;
+  }
+
+  /// Matches (1 - col) / (1 + col) / (col + 1) against a percent-semantic
+  /// column; returns the column and the sign of the percentage term.
+  Result<std::optional<std::pair<Scalar, int>>> MatchPctFactor(
+      const Expr& expr) {
+    if (expr.kind != Expr::Kind::kBinary ||
+        (expr.op != '+' && expr.op != '-')) {
+      return std::optional<std::pair<Scalar, int>>{};
+    }
+    auto is_one = [](const Expr& e) {
+      return (e.kind == Expr::Kind::kIntLit && e.int_val == 1) ||
+             (e.kind == Expr::Kind::kDecimalLit && e.int_val == 100);
+    };
+    const Expr* col = nullptr;
+    if (is_one(*expr.lhs) && expr.rhs->kind == Expr::Kind::kColumn) {
+      col = expr.rhs.get();
+    } else if (expr.op == '+' && is_one(*expr.rhs) &&
+               expr.lhs->kind == Expr::Kind::kColumn) {
+      col = expr.lhs.get();
+    }
+    if (col == nullptr) return std::optional<std::pair<Scalar, int>>{};
+    ADAMANT_ASSIGN_OR_RETURN(ResolvedColumn r, Resolve(*col, main_scope_));
+    if (r.sem != ColumnSemantic::kPercent) {
+      return std::optional<std::pair<Scalar, int>>{};
+    }
+    ADAMANT_RETURN_NOT_OK(SetFact(r.table, col->pos));
+    return std::make_optional(std::make_pair(
+        Scalar{r.column, r.type, r.sem}, expr.op == '-' ? -1 : +1));
+  }
+
+  Result<Scalar> BindScalar(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kColumn: {
+        ADAMANT_ASSIGN_OR_RETURN(ResolvedColumn r, Resolve(expr, main_scope_));
+        ADAMANT_RETURN_NOT_OK(SetFact(r.table, expr.pos));
+        return Scalar{r.column, r.type, r.sem};
+      }
+      case Expr::Kind::kAggCall:
+        return Unsupported(expr.pos, "aggregates cannot be nested");
+      case Expr::Kind::kBinary:
+        break;
+      default:
+        return Unsupported(expr.pos,
+                           "aggregate arguments must reference a column");
+    }
+
+    if (expr.op == '/') {
+      return Unsupported(expr.pos,
+                         "division is not supported in expressions (AVG "
+                         "computes averages; money*percent uses the fixed-"
+                         "point MULPCT ops)");
+    }
+
+    if (expr.op == '*') {
+      // price * (1 - pct) / (1 + pct) / pct — the fixed-point MULPCT family.
+      ADAMANT_ASSIGN_OR_RETURN(auto rhs_pct, MatchPctFactor(*expr.rhs));
+      ADAMANT_ASSIGN_OR_RETURN(auto lhs_pct, MatchPctFactor(*expr.lhs));
+      if (rhs_pct || lhs_pct) {
+        const auto& [pct, sign] = rhs_pct ? *rhs_pct : *lhs_pct;
+        ADAMANT_ASSIGN_OR_RETURN(Scalar base,
+                                 BindScalar(rhs_pct ? *expr.lhs : *expr.rhs));
+        ScalarExpr step = sign < 0
+                              ? ScalarExpr::MulPctComplement(base.column,
+                                                             pct.column)
+                              : ScalarExpr::MulPctPlus(base.column,
+                                                       pct.column);
+        return Scalar{EmitStep(step), ElementType::kInt64, base.sem};
+      }
+    }
+
+    const auto lhs_const = TryFoldConst(*expr.lhs);
+    const auto rhs_const = TryFoldConst(*expr.rhs);
+    if (lhs_const && rhs_const) {
+      return Unsupported(expr.pos,
+                         "constant expressions are not supported as "
+                         "aggregate arguments");
+    }
+
+    if (lhs_const || rhs_const) {  // column-immediate arithmetic
+      if (lhs_const && expr.op == '-') {
+        return Unsupported(expr.pos,
+                           "literal-minus-column is not supported (the MAP "
+                           "primitive computes col-op-immediate)");
+      }
+      ADAMANT_ASSIGN_OR_RETURN(
+          Scalar base, BindScalar(lhs_const ? *expr.rhs : *expr.lhs));
+      const ConstVal& lit = lhs_const ? *lhs_const : *rhs_const;
+      int64_t imm = lit.value;
+      if (lit.kind == ConstVal::Kind::kDecimal) {
+        if (base.sem != ColumnSemantic::kMoney &&
+            base.sem != ColumnSemantic::kPercent) {
+          return BindError(lit.pos,
+                           "decimal immediate on a non-fixed-point column");
+        }
+      } else if (lit.kind == ConstVal::Kind::kInt) {
+        if (expr.op != '*' && (base.sem == ColumnSemantic::kMoney ||
+                               base.sem == ColumnSemantic::kPercent)) {
+          imm *= 100;  // $5 added to money adds 500 cents
+        }
+      } else {
+        return Unsupported(lit.pos, "non-numeric immediate in arithmetic");
+      }
+      MapOp op = expr.op == '+'   ? MapOp::kAddScalar
+                 : expr.op == '-' ? MapOp::kSubScalar
+                                  : MapOp::kMulScalar;
+      ScalarExpr step{op, base.column, "", imm, base.type};
+      return Scalar{EmitStep(step), base.type, base.sem};
+    }
+
+    // column-column arithmetic
+    ADAMANT_ASSIGN_OR_RETURN(Scalar lhs, BindScalar(*expr.lhs));
+    ADAMANT_ASSIGN_OR_RETURN(Scalar rhs, BindScalar(*expr.rhs));
+    if (expr.op == '*' && (lhs.sem == ColumnSemantic::kPercent ||
+                           rhs.sem == ColumnSemantic::kPercent)) {
+      const Scalar& pct = lhs.sem == ColumnSemantic::kPercent ? lhs : rhs;
+      const Scalar& base = lhs.sem == ColumnSemantic::kPercent ? rhs : lhs;
+      ScalarExpr step = ScalarExpr::MulPct(base.column, pct.column);
+      return Scalar{EmitStep(step), ElementType::kInt64, base.sem};
+    }
+    if (lhs.type != rhs.type) {
+      return Unsupported(expr.pos,
+                         "column-column arithmetic needs matching types "
+                         "(got " + std::string(ElementTypeName(lhs.type)) +
+                             " and " + ElementTypeName(rhs.type) + ")");
+    }
+    MapOp op = expr.op == '+'   ? MapOp::kAddCol
+               : expr.op == '-' ? MapOp::kSubCol
+                                : MapOp::kMulCol;
+    ColumnSemantic sem =
+        lhs.sem == rhs.sem && expr.op != '-' ? lhs.sem : ColumnSemantic::kPlain;
+    if (lhs.sem == rhs.sem && lhs.sem == ColumnSemantic::kMoney) {
+      sem = ColumnSemantic::kMoney;  // money +/- money stays money
+    }
+    ScalarExpr step{op, lhs.column, rhs.column, 0, lhs.type};
+    return Scalar{EmitStep(step), lhs.type, sem};
+  }
+
+  // --- ORDER BY -----------------------------------------------------------
+
+  Status BindOrderBy() {
+    for (const OrderItem& item : stmt_.order_by) {
+      int index = -1;
+      const Expr& e = *item.expr;
+      if (e.kind == Expr::Kind::kIntLit) {
+        if (e.int_val < 1 ||
+            e.int_val > static_cast<int64_t>(bound_.outputs.size())) {
+          return BindError(e.pos, "ORDER BY position " +
+                                      std::to_string(e.int_val) +
+                                      " is out of range");
+        }
+        index = static_cast<int>(e.int_val) - 1;
+      } else if (e.kind == Expr::Kind::kColumn && e.table.empty()) {
+        for (size_t i = 0; i < bound_.outputs.size(); ++i) {
+          if (bound_.outputs[i].name == e.column) {
+            index = static_cast<int>(i);
+            break;
+          }
+        }
+        if (index < 0) {
+          return BindError(e.pos, "ORDER BY name '" + e.column +
+                                      "' does not match any output column");
+        }
+      } else if (e.kind == Expr::Kind::kAggCall) {
+        ADAMANT_ASSIGN_OR_RETURN(BoundOutput probe, BindAggCall(e));
+        for (size_t i = 0; i < bound_.outputs.size(); ++i) {
+          const BoundOutput& out = bound_.outputs[i];
+          if (out.kind != probe.kind) continue;
+          if (probe.kind == BoundOutput::Kind::kAgg &&
+              out.agg_index == probe.agg_index) {
+            index = static_cast<int>(i);
+            break;
+          }
+          if (probe.kind == BoundOutput::Kind::kAvg &&
+              out.sum_index == probe.sum_index) {
+            index = static_cast<int>(i);
+            break;
+          }
+        }
+        if (index < 0) {
+          return BindError(e.pos,
+                           "ORDER BY aggregate must also appear in the "
+                           "SELECT list");
+        }
+      } else {
+        return Unsupported(e.pos,
+                           "ORDER BY takes an output name, a 1-based "
+                           "position, or a selected aggregate");
+      }
+      bound_.order_by.push_back(BoundOrderKey{index, item.desc});
+    }
+    return Status::OK();
+  }
+
+  const SelectStmt& stmt_;
+  const Catalog& catalog_;
+  BoundQuery bound_;
+  Scope main_scope_;
+  std::vector<ResolvedColumn> group_resolved_;
+  std::map<std::string, std::string> cse_;
+  int diff_count_ = 0;
+};
+
+}  // namespace
+
+Result<BoundQuery> Bind(const SelectStmt& stmt, const Catalog& catalog) {
+  Binder binder(stmt, catalog);
+  return binder.Bind();
+}
+
+}  // namespace adamant::sql

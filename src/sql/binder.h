@@ -1,0 +1,119 @@
+#ifndef ADAMANT_SQL_BINDER_H_
+#define ADAMANT_SQL_BINDER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace adamant::sql {
+
+/// Value-level semantics of a column beyond its physical ElementType —
+/// recovered from tpch/tbl_schemas for the TPC-H tables (dates are day
+/// numbers, money is cents, percentages are hundredths, strings are
+/// dictionary codes). Columns of unknown tables are kPlain. The binder uses
+/// this to scale literals, to pick MULPCT map ops, and to decode results
+/// for display.
+enum class ColumnSemantic : uint8_t { kPlain, kMoney, kPercent, kDate, kDict };
+
+const char* SemanticName(ColumnSemantic sem);
+
+ColumnSemantic SemanticOf(const std::string& table, const std::string& column);
+
+/// One pushed-down predicate over a single table. Column-column comparisons
+/// (l_commitdate < l_receiptdate) become a hidden difference projection plus
+/// a compare-to-zero predicate, which is the shape the MAP+FILTER primitives
+/// support.
+struct BoundPredicate {
+  plan::Predicate pred;
+  bool needs_diff = false;  // project pred.column = diff_lhs - diff_rhs first
+  std::string diff_lhs;
+  std::string diff_rhs;
+  ElementType diff_type = ElementType::kInt32;
+  SourcePos pos;
+};
+
+struct BoundTable {
+  std::string name;   // catalog table name
+  std::string alias;  // binding alias (explicit alias or table name)
+  TablePtr table;
+  bool semi_only = false;  // introduced by EXISTS; contributes no columns
+  std::vector<BoundPredicate> predicates;
+};
+
+/// One equi-join edge between two bound tables. Orientation (probe vs
+/// build) is chosen by the planner when it roots the join tree at the fact
+/// table.
+struct BoundJoin {
+  int left_table = -1;
+  int right_table = -1;
+  std::string left_key;
+  std::string right_key;
+  ProbeMode mode = ProbeMode::kAll;
+  SourcePos pos;
+};
+
+struct BoundAggregate {
+  AggOp op = AggOp::kSum;
+  std::string value_column;  // "" for COUNT
+  std::string output_name;
+  ColumnSemantic sem = ColumnSemantic::kPlain;
+};
+
+struct BoundGroupKey {
+  std::string column;
+  std::string table;  // catalog table name, for dictionary decoding
+  ColumnSemantic sem = ColumnSemantic::kPlain;
+};
+
+/// One SELECT output, in SELECT-list order. AVG outputs are computed from a
+/// hidden SUM and COUNT pair at extraction time (the device kernels are
+/// integer-only).
+struct BoundOutput {
+  enum class Kind : uint8_t { kGroupKey, kAgg, kAvg };
+  Kind kind = Kind::kAgg;
+  std::string name;
+  int key_part = 0;      // kGroupKey: index into group_by
+  int agg_index = -1;    // kAgg
+  int sum_index = -1;    // kAvg
+  int count_index = -1;  // kAvg
+  ColumnSemantic sem = ColumnSemantic::kPlain;
+};
+
+struct BoundOrderKey {
+  int output_index = 0;
+  bool desc = false;
+};
+
+/// A fully resolved query: tables with pushed-down predicates, join edges,
+/// computed columns over the fact stream, aggregates and outputs. The
+/// planner turns this into a LogicalNode tree.
+struct BoundQuery {
+  std::vector<BoundTable> tables;
+  std::vector<BoundJoin> joins;
+  /// The single table whose columns feed grouping/aggregation (the IR keeps
+  /// probe-side columns only); -1 when no output references a column, in
+  /// which case the planner picks the largest table.
+  int fact_table = -1;
+  /// Computed columns over the post-join fact stream, in dependency order;
+  /// hidden names start with '$'.
+  std::vector<std::pair<std::string, plan::ScalarExpr>> projections;
+  std::vector<BoundGroupKey> group_by;  // empty => Reduce sink
+  std::vector<BoundAggregate> aggregates;
+  std::vector<BoundOutput> outputs;
+  std::vector<BoundOrderKey> order_by;
+  int64_t limit = -1;
+};
+
+/// Resolves names and types against `catalog`. All diagnostics are
+/// InvalidArgument/NotSupported with "line:col: ..." messages.
+Result<BoundQuery> Bind(const SelectStmt& stmt, const Catalog& catalog);
+
+}  // namespace adamant::sql
+
+#endif  // ADAMANT_SQL_BINDER_H_

@@ -1,0 +1,90 @@
+#include "sql/builtin_queries.h"
+
+namespace adamant::sql {
+
+const std::vector<BuiltinQuery>& BuiltinQueries() {
+  static const std::vector<BuiltinQuery>* const kQueries = [] {
+    auto* queries = new std::vector<BuiltinQuery>();
+    queries->push_back(
+        {"q1", "TPC-H Q1: pricing summary report",
+         "SELECT l_returnflag, l_linestatus,\n"
+         "       SUM(l_quantity) AS sum_qty,\n"
+         "       SUM(l_extendedprice) AS sum_base,\n"
+         "       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,\n"
+         "       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax))\n"
+         "           AS sum_charge,\n"
+         "       AVG(l_quantity) AS avg_qty,\n"
+         "       COUNT(*) AS count\n"
+         "FROM lineitem\n"
+         "WHERE l_shipdate <= DATE '1998-09-02'\n"
+         "GROUP BY l_returnflag, l_linestatus\n"
+         "ORDER BY l_returnflag, l_linestatus"});
+    queries->push_back(
+        {"q3", "TPC-H Q3: shipping priority",
+         "SELECT l_orderkey,\n"
+         "       SUM(l_extendedprice * (1 - l_discount)) AS revenue\n"
+         "FROM customer, orders, lineitem\n"
+         "WHERE c_mktsegment = 'BUILDING'\n"
+         "  AND c_custkey = o_custkey\n"
+         "  AND l_orderkey = o_orderkey\n"
+         "  AND o_orderdate < DATE '1995-03-15'\n"
+         "  AND l_shipdate > DATE '1995-03-15'\n"
+         "GROUP BY l_orderkey\n"
+         "ORDER BY revenue DESC, l_orderkey\n"
+         "LIMIT 10"});
+    queries->push_back(
+        {"q4", "TPC-H Q4: order priority checking",
+         "SELECT o_orderpriority, COUNT(*) AS order_count\n"
+         "FROM orders\n"
+         "WHERE o_orderdate >= DATE '1993-07-01'\n"
+         "  AND o_orderdate < DATE '1993-10-01'\n"
+         "  AND EXISTS (SELECT * FROM lineitem\n"
+         "              WHERE l_orderkey = o_orderkey\n"
+         "                AND l_commitdate < l_receiptdate)\n"
+         "GROUP BY o_orderpriority\n"
+         "ORDER BY o_orderpriority"});
+    queries->push_back(
+        {"q6", "TPC-H Q6: forecasting revenue change",
+         "SELECT SUM(l_extendedprice * l_discount) AS revenue\n"
+         "FROM lineitem\n"
+         "WHERE l_shipdate >= DATE '1994-01-01'\n"
+         "  AND l_shipdate < DATE '1995-01-01'\n"
+         "  AND l_discount BETWEEN 0.05 AND 0.07\n"
+         "  AND l_quantity < 24"});
+    // SQL-only: no hand-built plan exists for these two.
+    queries->push_back(
+        {"shipmode_rollup",
+         "SQL-only: revenue rollup by ship mode and return flag",
+         "SELECT l_shipmode, l_returnflag,\n"
+         "       SUM(l_extendedprice * (1 - l_discount)) AS revenue,\n"
+         "       COUNT(*) AS line_count\n"
+         "FROM lineitem\n"
+         "WHERE l_shipdate >= DATE '1995-01-01'\n"
+         "  AND l_shipdate < DATE '1996-01-01'\n"
+         "GROUP BY l_shipmode, l_returnflag\n"
+         "ORDER BY revenue DESC"});
+    queries->push_back(
+        {"priority_window",
+         "SQL-only: big-ticket order counts per priority in a half-year "
+         "window",
+         "SELECT o_orderpriority, COUNT(*) AS order_count,\n"
+         "       AVG(o_totalprice) AS avg_price\n"
+         "FROM orders\n"
+         "WHERE o_orderdate >= DATE '1994-01-01'\n"
+         "  AND o_orderdate < DATE '1994-07-01'\n"
+         "  AND o_totalprice > 150000.00\n"
+         "GROUP BY o_orderpriority\n"
+         "ORDER BY order_count DESC, o_orderpriority"});
+    return queries;
+  }();
+  return *kQueries;
+}
+
+const BuiltinQuery* FindBuiltinQuery(const std::string& name) {
+  for (const BuiltinQuery& query : BuiltinQueries()) {
+    if (query.name == name) return &query;
+  }
+  return nullptr;
+}
+
+}  // namespace adamant::sql

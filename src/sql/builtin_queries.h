@@ -1,0 +1,26 @@
+#ifndef ADAMANT_SQL_BUILTIN_QUERIES_H_
+#define ADAMANT_SQL_BUILTIN_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace adamant::sql {
+
+/// Named SQL texts shipped with the executor: the validated TPC-H subset
+/// (q1/q3/q4/q6, parameterized like tpch/queries.h so results match the
+/// hand-built plans bit for bit) plus queries that exist only as SQL.
+/// `run_tpch --list-queries` prints them; `--sql=<name>` runs one.
+struct BuiltinQuery {
+  std::string name;
+  std::string title;
+  std::string sql;
+};
+
+const std::vector<BuiltinQuery>& BuiltinQueries();
+
+/// nullptr when `name` is not a built-in.
+const BuiltinQuery* FindBuiltinQuery(const std::string& name);
+
+}  // namespace adamant::sql
+
+#endif  // ADAMANT_SQL_BUILTIN_QUERIES_H_

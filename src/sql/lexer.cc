@@ -1,0 +1,202 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <limits>
+
+namespace adamant::sql {
+
+namespace {
+
+Status LexError(SourcePos pos, const std::string& message) {
+  return Status::InvalidArgument(pos.ToString() + ": " + message);
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kInt: return "integer literal";
+    case TokenKind::kDecimal: return "decimal literal";
+    case TokenKind::kString: return "string literal";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'<>'";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  SourcePos pos;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (sql[i] == '\n') {
+        ++pos.line;
+        pos.col = 1;
+      } else {
+        ++pos.col;
+      }
+    }
+  };
+  auto push = [&](TokenKind kind, SourcePos at, std::string text = {},
+                  int64_t value = 0) {
+    tokens.push_back(Token{kind, std::move(text), value, at});
+  };
+
+  while (i < n) {
+    const char c = sql[i];
+    const SourcePos at = pos;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') advance(1);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::string ident;
+      while (i < n && IsIdentBody(sql[i])) {
+        ident.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(sql[i]))));
+        advance(1);
+      }
+      push(TokenKind::kIdent, at, std::move(ident));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      int64_t value = 0;
+      bool overflow = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+        const int digit = sql[i] - '0';
+        if (value > (std::numeric_limits<int64_t>::max() - digit) / 10) {
+          overflow = true;
+        } else {
+          value = value * 10 + digit;
+        }
+        advance(1);
+      }
+      if (overflow) return LexError(at, "integer literal overflows int64");
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        advance(1);  // '.'
+        std::string frac;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          frac.push_back(sql[i]);
+          advance(1);
+        }
+        // Trailing zeros beyond two places are harmless (0.060 == 0.06).
+        while (frac.size() > 2 && frac.back() == '0') frac.pop_back();
+        if (frac.size() > 2) {
+          return LexError(at,
+                          "decimal literal has more than two decimal places "
+                          "(money/percentage columns store hundredths)");
+        }
+        int64_t cents = value;
+        if (cents > std::numeric_limits<int64_t>::max() / 100) {
+          return LexError(at, "decimal literal overflows int64");
+        }
+        cents *= 100;
+        if (!frac.empty()) cents += (frac[0] - '0') * 10;
+        if (frac.size() > 1) cents += frac[1] - '0';
+        push(TokenKind::kDecimal, at, {}, cents);
+      } else {
+        push(TokenKind::kInt, at, {}, value);
+      }
+      continue;
+    }
+    if (c == '\'') {
+      advance(1);
+      std::string body;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escapes a quote
+            body.push_back('\'');
+            advance(2);
+            continue;
+          }
+          advance(1);
+          closed = true;
+          break;
+        }
+        body.push_back(sql[i]);
+        advance(1);
+      }
+      if (!closed) return LexError(at, "unterminated string literal");
+      push(TokenKind::kString, at, std::move(body));
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenKind::kLParen, at); advance(1); continue;
+      case ')': push(TokenKind::kRParen, at); advance(1); continue;
+      case ',': push(TokenKind::kComma, at); advance(1); continue;
+      case '.': push(TokenKind::kDot, at); advance(1); continue;
+      case ';': push(TokenKind::kSemicolon, at); advance(1); continue;
+      case '*': push(TokenKind::kStar, at); advance(1); continue;
+      case '+': push(TokenKind::kPlus, at); advance(1); continue;
+      case '-': push(TokenKind::kMinus, at); advance(1); continue;
+      case '/': push(TokenKind::kSlash, at); advance(1); continue;
+      case '=': push(TokenKind::kEq, at); advance(1); continue;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kLe, at);
+          advance(2);
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenKind::kNe, at);
+          advance(2);
+        } else {
+          push(TokenKind::kLt, at);
+          advance(1);
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kGe, at);
+          advance(2);
+        } else {
+          push(TokenKind::kGt, at);
+          advance(1);
+        }
+        continue;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kNe, at);
+          advance(2);
+          continue;
+        }
+        return LexError(at, "unexpected character '!'");
+      default:
+        return LexError(at, std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(TokenKind::kEnd, pos);
+  return tokens;
+}
+
+}  // namespace adamant::sql

@@ -1,0 +1,66 @@
+#ifndef ADAMANT_SQL_LEXER_H_
+#define ADAMANT_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace adamant::sql {
+
+/// 1-based source position; every token, AST node and diagnostic carries
+/// one so errors print as "line:col: message".
+struct SourcePos {
+  int line = 1;
+  int col = 1;
+
+  std::string ToString() const {
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+};
+
+enum class TokenKind : uint8_t {
+  kEnd,
+  kIdent,    // lowercased bare identifier or keyword
+  kInt,      // integer literal (value in int_val)
+  kDecimal,  // decimal literal, scaled by 100 into int_val (0.06 -> 6)
+  kString,   // 'single quoted', case preserved, '' escapes a quote
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // ident (lowercased) or string-literal body
+  int64_t int_val = 0;  // kInt / kDecimal value
+  SourcePos pos;
+};
+
+/// Tokenizes `sql`. Identifiers and keywords are lowercased (the grammar is
+/// case-insensitive); string literals keep their case. `--` comments run to
+/// end of line. Decimal literals allow at most two fractional digits and
+/// are scaled by 100, which matches both money (cents) and percentage
+/// column encodings. Fails with InvalidArgument("line:col: ...") on
+/// unexpected characters, unterminated strings, and numeric overflow.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+/// Debug name of a token kind ("identifier", "'<='", ...).
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace adamant::sql
+
+#endif  // ADAMANT_SQL_LEXER_H_

@@ -1,0 +1,406 @@
+#include "sql/parser.h"
+
+#include <set>
+#include <utility>
+
+#include "common/date.h"
+
+namespace adamant::sql {
+
+namespace {
+
+// Structural keywords may not be used as bare column names or aliases;
+// rejecting them early keeps syntax errors close to the actual mistake.
+const std::set<std::string>& ReservedWords() {
+  static const std::set<std::string> kReserved = {
+      "select", "from", "where", "group",   "by", "order", "limit",
+      "and",    "or",   "between", "in",    "exists", "join", "on",
+      "inner",  "as",   "asc",   "desc",    "date",   "not",  "having"};
+  return kReserved;
+}
+
+bool IsAggName(const std::string& name) {
+  return name == "sum" || name == "count" || name == "min" ||
+         name == "max" || name == "avg";
+}
+
+constexpr int kMaxNesting = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStmt>> ParseStatement() {
+    ADAMANT_ASSIGN_OR_RETURN(auto stmt, ParseSelect(/*subquery=*/false));
+    Accept(TokenKind::kSemicolon);
+    if (Peek().kind != TokenKind::kEnd) {
+      return ErrorHere("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool Accept(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    Advance();
+    return true;
+  }
+  bool PeekKw(const std::string& word, size_t ahead = 0) const {
+    return Peek(ahead).kind == TokenKind::kIdent && Peek(ahead).text == word;
+  }
+  bool AcceptKw(const std::string& word) {
+    if (!PeekKw(word)) return false;
+    Advance();
+    return true;
+  }
+  Status ErrorAt(SourcePos pos, const std::string& message) const {
+    return Status::InvalidArgument(pos.ToString() + ": " + message);
+  }
+  Status ErrorHere(const std::string& message) const {
+    return ErrorAt(Peek().pos, message + " (got " +
+                                   TokenKindName(Peek().kind) +
+                                   (Peek().kind == TokenKind::kIdent
+                                        ? " '" + Peek().text + "'"
+                                        : "") +
+                                   ")");
+  }
+  Status ExpectKw(const std::string& word) {
+    if (!AcceptKw(word)) return ErrorHere("expected " + UpperCopy(word));
+    return Status::OK();
+  }
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (!Accept(kind)) return ErrorHere("expected " + what);
+    return Status::OK();
+  }
+  static std::string UpperCopy(std::string s) {
+    for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return s;
+  }
+
+  Result<std::string> ParseIdent(const std::string& what) {
+    if (Peek().kind != TokenKind::kIdent) return ErrorHere("expected " + what);
+    if (ReservedWords().count(Peek().text)) {
+      return ErrorAt(Peek().pos, "keyword '" + Peek().text +
+                                     "' cannot be used as " + what);
+    }
+    return Advance().text;
+  }
+
+  // --- expressions -------------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() {
+    ADAMANT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseTerm());
+    while (Peek().kind == TokenKind::kPlus ||
+           Peek().kind == TokenKind::kMinus) {
+      const Token& op = Advance();
+      ADAMANT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseTerm());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->pos = op.pos;
+      node->op = op.kind == TokenKind::kPlus ? '+' : '-';
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    ADAMANT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseFactor());
+    while (Peek().kind == TokenKind::kStar ||
+           Peek().kind == TokenKind::kSlash) {
+      const Token& op = Advance();
+      ADAMANT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseFactor());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->pos = op.pos;
+      node->op = op.kind == TokenKind::kStar ? '*' : '/';
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseFactor() {
+    if (++depth_ > kMaxNesting) {
+      --depth_;
+      return ErrorHere("expression nests too deeply");
+    }
+    auto result = ParseFactorImpl();
+    --depth_;
+    return result;
+  }
+
+  Result<ExprPtr> ParseFactorImpl() {
+    const Token& tok = Peek();
+    auto node = std::make_unique<Expr>();
+    node->pos = tok.pos;
+    switch (tok.kind) {
+      case TokenKind::kInt:
+        node->kind = Expr::Kind::kIntLit;
+        node->int_val = Advance().int_val;
+        return node;
+      case TokenKind::kDecimal:
+        node->kind = Expr::Kind::kDecimalLit;
+        node->int_val = Advance().int_val;
+        return node;
+      case TokenKind::kString:
+        node->kind = Expr::Kind::kStringLit;
+        node->str_val = Advance().text;
+        return node;
+      case TokenKind::kMinus: {
+        Advance();
+        ADAMANT_ASSIGN_OR_RETURN(ExprPtr inner, ParseFactor());
+        if (inner->kind != Expr::Kind::kIntLit &&
+            inner->kind != Expr::Kind::kDecimalLit) {
+          return ErrorAt(tok.pos,
+                         "unary '-' is only supported on numeric literals");
+        }
+        inner->int_val = -inner->int_val;
+        return inner;
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        ADAMANT_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        ADAMANT_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+        return inner;
+      }
+      case TokenKind::kIdent:
+        break;
+      default:
+        return ErrorHere("expected expression");
+    }
+
+    // DATE 'YYYY-MM-DD'
+    if (tok.text == "date" && Peek(1).kind == TokenKind::kString) {
+      Advance();
+      const Token& lit = Advance();
+      auto date = Date::Parse(lit.text);
+      if (!date.ok()) {
+        return ErrorAt(lit.pos, "bad date literal '" + lit.text +
+                                    "': " + date.status().message());
+      }
+      node->kind = Expr::Kind::kDateLit;
+      node->int_val = date->days();
+      return node;
+    }
+
+    // Aggregate call.
+    if (IsAggName(tok.text) && Peek(1).kind == TokenKind::kLParen) {
+      node->kind = Expr::Kind::kAggCall;
+      node->agg = Advance().text;
+      Advance();  // '('
+      if (Peek().kind == TokenKind::kStar) {
+        if (node->agg != "count") {
+          return ErrorHere("'*' argument is only valid in COUNT(*)");
+        }
+        Advance();
+      } else {
+        ADAMANT_ASSIGN_OR_RETURN(node->lhs, ParseExpr());
+      }
+      ADAMANT_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return node;
+    }
+
+    // Column reference [table.]column.
+    ADAMANT_ASSIGN_OR_RETURN(std::string first, ParseIdent("a column name"));
+    node->kind = Expr::Kind::kColumn;
+    if (Accept(TokenKind::kDot)) {
+      ADAMANT_ASSIGN_OR_RETURN(node->column, ParseIdent("a column name"));
+      node->table = std::move(first);
+    } else {
+      node->column = std::move(first);
+    }
+    return node;
+  }
+
+  // --- conditions --------------------------------------------------------
+
+  Result<Condition> ParseCondition() {
+    Condition cond;
+    cond.pos = Peek().pos;
+    if (PeekKw("exists")) {
+      Advance();
+      ADAMANT_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+      if (++depth_ > kMaxNesting) {
+        --depth_;
+        return ErrorAt(cond.pos, "subquery nests too deeply");
+      }
+      auto sub = ParseSelect(/*subquery=*/true);
+      --depth_;
+      ADAMANT_RETURN_NOT_OK(sub.status());
+      ADAMANT_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      cond.kind = Condition::Kind::kExists;
+      cond.subquery = std::move(*sub);
+      return cond;
+    }
+
+    ADAMANT_ASSIGN_OR_RETURN(cond.lhs, ParseExpr());
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kLt: cond.cmp = "<"; break;
+      case TokenKind::kLe: cond.cmp = "<="; break;
+      case TokenKind::kGt: cond.cmp = ">"; break;
+      case TokenKind::kGe: cond.cmp = ">="; break;
+      case TokenKind::kEq: cond.cmp = "="; break;
+      case TokenKind::kNe: cond.cmp = "<>"; break;
+      default:
+        if (PeekKw("between")) {
+          Advance();
+          cond.kind = Condition::Kind::kBetween;
+          ADAMANT_ASSIGN_OR_RETURN(cond.lo, ParseExpr());
+          ADAMANT_RETURN_NOT_OK(ExpectKw("and"));
+          ADAMANT_ASSIGN_OR_RETURN(cond.hi, ParseExpr());
+          return cond;
+        }
+        if (PeekKw("in")) {
+          Advance();
+          cond.kind = Condition::Kind::kInList;
+          ADAMANT_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+          do {
+            ADAMANT_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+            cond.in_list.push_back(std::move(item));
+          } while (Accept(TokenKind::kComma));
+          ADAMANT_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+          return cond;
+        }
+        return ErrorHere("expected a comparison operator, BETWEEN, or IN");
+    }
+    Advance();
+    cond.kind = Condition::Kind::kCompare;
+    ADAMANT_ASSIGN_OR_RETURN(cond.rhs, ParseExpr());
+    return cond;
+  }
+
+  // --- statement ---------------------------------------------------------
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect(bool subquery) {
+    auto stmt = std::make_unique<SelectStmt>();
+    stmt->pos = Peek().pos;
+    ADAMANT_RETURN_NOT_OK(ExpectKw("select"));
+
+    do {
+      SelectItem item;
+      item.pos = Peek().pos;
+      if (Peek().kind == TokenKind::kStar) {
+        if (!subquery) {
+          return ErrorAt(Peek().pos,
+                         "SELECT * is not supported; name output columns "
+                         "explicitly (it is allowed inside EXISTS)");
+        }
+        Advance();
+        item.expr = std::make_unique<Expr>();
+        item.expr->kind = Expr::Kind::kStar;
+        item.expr->pos = item.pos;
+      } else {
+        ADAMANT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKw("as")) {
+          ADAMANT_ASSIGN_OR_RETURN(item.alias, ParseIdent("an output alias"));
+        } else if (Peek().kind == TokenKind::kIdent &&
+                   !ReservedWords().count(Peek().text)) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt->items.push_back(std::move(item));
+    } while (Accept(TokenKind::kComma));
+
+    ADAMANT_RETURN_NOT_OK(ExpectKw("from"));
+    ADAMANT_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+    stmt->from.push_back(std::move(first));
+    while (true) {
+      if (Accept(TokenKind::kComma)) {
+        ADAMANT_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        stmt->from.push_back(std::move(ref));
+        continue;
+      }
+      if (PeekKw("inner") || PeekKw("join")) {
+        AcceptKw("inner");
+        ADAMANT_RETURN_NOT_OK(ExpectKw("join"));
+        ADAMANT_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        stmt->from.push_back(std::move(ref));
+        ADAMANT_RETURN_NOT_OK(ExpectKw("on"));
+        ADAMANT_ASSIGN_OR_RETURN(Condition on, ParseCondition());
+        if (on.kind != Condition::Kind::kCompare || on.cmp != "=") {
+          return ErrorAt(on.pos, "ON clause must be a single equality");
+        }
+        stmt->where.push_back(std::move(on));
+        continue;
+      }
+      break;
+    }
+
+    if (AcceptKw("where")) {
+      do {
+        ADAMANT_ASSIGN_OR_RETURN(Condition cond, ParseCondition());
+        stmt->where.push_back(std::move(cond));
+      } while (AcceptKw("and"));
+    }
+
+    if (AcceptKw("group")) {
+      ADAMANT_RETURN_NOT_OK(ExpectKw("by"));
+      do {
+        ADAMANT_ASSIGN_OR_RETURN(ExprPtr col, ParseExpr());
+        if (col->kind != Expr::Kind::kColumn) {
+          return ErrorAt(col->pos, "GROUP BY supports plain columns only");
+        }
+        stmt->group_by.push_back(std::move(col));
+      } while (Accept(TokenKind::kComma));
+    }
+
+    if (AcceptKw("order")) {
+      ADAMANT_RETURN_NOT_OK(ExpectKw("by"));
+      do {
+        OrderItem item;
+        item.pos = Peek().pos;
+        ADAMANT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKw("desc")) {
+          item.desc = true;
+        } else {
+          AcceptKw("asc");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (Accept(TokenKind::kComma));
+    }
+
+    if (AcceptKw("limit")) {
+      if (Peek().kind != TokenKind::kInt) {
+        return ErrorHere("expected an integer after LIMIT");
+      }
+      stmt->limit = Advance().int_val;
+    }
+    return stmt;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    ref.pos = Peek().pos;
+    ADAMANT_ASSIGN_OR_RETURN(ref.name, ParseIdent("a table name"));
+    if (AcceptKw("as")) {
+      ADAMANT_ASSIGN_OR_RETURN(ref.alias, ParseIdent("a table alias"));
+    } else if (Peek().kind == TokenKind::kIdent &&
+               !ReservedWords().count(Peek().text)) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStmt>> Parse(const std::string& sql) {
+  ADAMANT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace adamant::sql

@@ -1,0 +1,19 @@
+#ifndef ADAMANT_SQL_PARSER_H_
+#define ADAMANT_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace adamant::sql {
+
+/// Lexes and parses one SELECT statement of the supported analytic subset
+/// (see docs/sql.md for the grammar). Returns InvalidArgument with a
+/// "line:col: ..." message on any syntax error; never throws or aborts.
+Result<std::unique_ptr<SelectStmt>> Parse(const std::string& sql);
+
+}  // namespace adamant::sql
+
+#endif  // ADAMANT_SQL_PARSER_H_

@@ -37,6 +37,21 @@
 //   --metrics=PATH    after the run, dump the metrics registries to PATH as
 //                     Prometheus text (or JSON when PATH ends in .json)
 //   --explain         print the logical plan (where available) and exit
+//
+// SQL frontend (src/sql/, docs/sql.md):
+//
+//   run_tpch --sql=q6 --verify          # run a built-in by name
+//   run_tpch --sql="SELECT ..." --explain
+//   run_tpch --sql-file=query.sql
+//
+//   --sql=TEXT        run a SQL query: TEXT is a built-in name from
+//                     --list-queries, or literal SQL. With --explain,
+//                     prints the bound/annotated plan, pushed-down
+//                     predicates, costed join orders and the chosen device
+//                     placement instead of running. With --verify, the
+//                     result is cross-checked against the host interpreter.
+//   --sql-file=PATH   like --sql, reading the query text from PATH
+//   --list-queries    print every built-in query name + SQL text and exit
 //   --devices=LIST    (single-query mode) comma-separated device ids, e.g.
 //                     --devices=0,1: plugs that many instances of --driver
 //                     and runs the query device-parallel across them,
@@ -50,6 +65,9 @@
 //   run_tpch --serve --clients=4 --queries=50 --seed=7 --devices=2
 //
 //   --serve           enable serve mode
+//   --serve-sql       serve mode, but every query is submitted as SQL text
+//                     (QuerySpec::sql) — the q3/q4/q6 built-ins — and each
+//                     result is checked against a serial SQL run
 //   --clients=N       concurrent worker threads (default 4)
 //   --queries=N       workload size (default 50)
 //   --seed=N          workload RNG seed (default 7)
@@ -74,6 +92,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <random>
@@ -105,7 +124,13 @@ struct Options {
   bool profile = false;
   std::string metrics_path;
   bool explain = false;
+  /// SQL frontend: --sql (builtin name or literal text), --sql-file.
+  std::string sql;
+  std::string sql_file;
+  bool list_queries = false;
   bool serve = false;
+  /// Serve mode submits QuerySpec::sql text instead of make_graph.
+  bool serve_sql = false;
   size_t clients = 4;
   size_t serve_queries = 50;
   unsigned seed = 7;
@@ -203,8 +228,17 @@ Result<Options> ParseArgs(int argc, char** argv) {
       options.sticky_device = std::stoi(value);
     } else if (arg == "--sequential") {
       options.sequential = true;
+    } else if (ParseFlag(arg, "sql", &value)) {
+      options.sql = value;
+    } else if (ParseFlag(arg, "sql-file", &value)) {
+      options.sql_file = value;
+    } else if (arg == "--list-queries") {
+      options.list_queries = true;
     } else if (arg == "--serve") {
       options.serve = true;
+    } else if (arg == "--serve-sql") {
+      options.serve = true;
+      options.serve_sql = true;
     } else if (arg == "--no-cache") {
       options.no_cache = true;
     } else if (arg == "--verify") {
@@ -505,6 +539,118 @@ Status RunQuery(const std::string& query, const Catalog& catalog,
 }
 
 // ---------------------------------------------------------------------------
+// SQL mode: compile --sql / --sql-file text through the SQL frontend and run
+// the resulting logical plan through the same lowering/executor path the
+// hand-built plans use.
+// ---------------------------------------------------------------------------
+
+// Resolves --sql / --sql-file into query text + a display label. A --sql
+// value naming a built-in (see --list-queries) expands to its SQL.
+Result<std::pair<std::string, std::string>> ResolveSqlText(
+    const Options& options) {
+  if (!options.sql_file.empty()) {
+    std::ifstream in(options.sql_file);
+    if (!in.good()) {
+      return Status::IOError("cannot read --sql-file=" + options.sql_file);
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return std::make_pair(std::move(text), options.sql_file);
+  }
+  if (const sql::BuiltinQuery* builtin = sql::FindBuiltinQuery(options.sql)) {
+    return std::make_pair(builtin->sql, builtin->name);
+  }
+  return std::make_pair(options.sql, std::string("sql"));
+}
+
+Status RunSql(const Catalog& catalog, DeviceManager* manager, DeviceId device,
+              const Options& options, QueryService* service) {
+  ADAMANT_ASSIGN_OR_RETURN(ExecutionModelKind model,
+                           ModelFromName(options.model));
+  ADAMANT_ASSIGN_OR_RETURN(auto resolved, ResolveSqlText(options));
+  const std::string& sql_text = resolved.first;
+  const std::string& label = resolved.second;
+
+  sql::PlannerOptions planner_options;
+  planner_options.manager = manager;
+  planner_options.cost_device = device;
+  ADAMANT_ASSIGN_OR_RETURN(sql::CompiledQuery compiled,
+                           sql::Compile(sql_text, catalog, planner_options));
+  ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle bundle,
+                           plan::LowerPlan(*compiled.plan, catalog, device));
+
+  ExecutionOptions exec_options;
+  exec_options.model = model;
+  if (!options.device_set.empty()) {
+    exec_options.model = ExecutionModelKind::kDeviceParallel;
+    exec_options.device_set = options.device_set;
+  }
+  if (options.chunk == "auto") {
+    ADAMANT_ASSIGN_OR_RETURN(
+        exec_options.chunk_elems,
+        SuggestChunkElems(*manager->device(device), *bundle.graph));
+  } else {
+    exec_options.chunk_elems = std::stoull(options.chunk);
+  }
+  exec_options.collect_profile = options.profile;
+
+  if (options.explain) {
+    std::printf("%s: %s\n%s", label.c_str(), sql_text.c_str(),
+                sql::ExplainCompiled(compiled).c_str());
+    ADAMANT_ASSIGN_OR_RETURN(
+        plan::PlacementSearchResult placement,
+        plan::SearchPlacements(*compiled.plan, catalog, manager,
+                               exec_options));
+    std::printf("placement: %s (simulated %.3f ms, %zu candidates)\n",
+                placement.best_name.c_str(),
+                sim::MsFromUs(placement.best_elapsed_us),
+                placement.evaluated.size());
+    return Status::OK();
+  }
+
+  // With a service attached (--trace), the query goes through Submit as SQL
+  // text; lowering is deterministic, so the local bundle's named sinks still
+  // extract the serviced execution's results.
+  Result<QueryExecution> direct = Status::Internal("query did not run");
+  std::shared_ptr<QueryTicket> ticket;
+  if (service != nullptr) {
+    QuerySpec spec;
+    spec.name = label;
+    spec.options = exec_options;
+    spec.sql = sql_text;
+    spec.sql_catalog = &catalog;
+    ADAMANT_ASSIGN_OR_RETURN(ticket, service->Submit(std::move(spec)));
+    ADAMANT_RETURN_NOT_OK(ticket->Wait().status());
+  } else {
+    QueryExecutor executor(manager);
+    direct = executor.Run(bundle.graph.get(), exec_options);
+    ADAMANT_RETURN_NOT_OK(direct.status());
+  }
+  const QueryExecution& exec = service != nullptr ? *ticket->Wait() : *direct;
+  const DeviceId report_device =
+      service != nullptr ? ticket->placed_device() : device;
+
+  std::printf("%s on %s (%s, chunk %zu):\n", label.c_str(),
+              manager->device(report_device)->name().c_str(),
+              ExecutionModelName(exec_options.model),
+              exec_options.chunk_elems);
+  PrintStats(exec, report_device);
+  if (options.profile) {
+    std::printf("    profile: %s\n", exec.stats.profile.ToJson().c_str());
+  }
+
+  ADAMANT_ASSIGN_OR_RETURN(sql::SqlResultSet results,
+                           sql::ExtractResults(compiled, bundle, exec));
+  std::printf("%s", sql::FormatResultSet(results, compiled, catalog).c_str());
+  if (options.verify) {
+    ADAMANT_RETURN_NOT_OK(
+        sql::VerifyAgainstInterpreter(compiled, bundle, exec, catalog));
+    std::printf("    verification: MATCH (host interpreter)\n");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
 // Serve mode: a seeded Q3/Q4/Q6 mix through the QueryService, each result
 // checked bit-for-bit against a serial single-query run.
 // ---------------------------------------------------------------------------
@@ -614,9 +760,38 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
     ADAMANT_RETURN_NOT_OK(BindStandardKernels(clean->device(device)));
     ref_manager = clean.get();
   }
-  ADAMANT_ASSIGN_OR_RETURN(ServeReference ref,
-                           BuildServeReference(*catalog, ref_manager,
-                                               exec_options));
+  ServeReference ref;
+  // SQL serve mode references: the q3/q4/q6 built-ins compiled through the
+  // SQL frontend and run serially. The service compiles the same text, so
+  // the (deterministic) lowering's named sinks line up with these bundles.
+  const char* kSqlServeNames[3] = {"q3", "q4", "q6"};
+  std::vector<sql::CompiledQuery> sql_compiled;
+  std::vector<plan::PlanBundle> sql_bundles;
+  std::vector<sql::SqlResultSet> sql_refs;
+  if (options.serve_sql) {
+    QueryExecutor ref_executor(ref_manager);
+    for (const char* name : kSqlServeNames) {
+      const sql::BuiltinQuery* builtin = sql::FindBuiltinQuery(name);
+      sql::PlannerOptions planner_options;
+      planner_options.manager = ref_manager;
+      ADAMANT_ASSIGN_OR_RETURN(
+          sql::CompiledQuery compiled,
+          sql::Compile(builtin->sql, *catalog, planner_options));
+      ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle bundle,
+                               plan::LowerPlan(*compiled.plan, *catalog, 0));
+      ADAMANT_ASSIGN_OR_RETURN(
+          QueryExecution exec,
+          ref_executor.Run(bundle.graph.get(), exec_options));
+      ADAMANT_ASSIGN_OR_RETURN(sql::SqlResultSet rows,
+                               sql::ExtractResults(compiled, bundle, exec));
+      sql_compiled.push_back(std::move(compiled));
+      sql_bundles.push_back(std::move(bundle));
+      sql_refs.push_back(std::move(rows));
+    }
+  } else {
+    ADAMANT_ASSIGN_OR_RETURN(ref, BuildServeReference(*catalog, ref_manager,
+                                                      exec_options));
+  }
 
   ServiceConfig config;
   config.workers = std::max<size_t>(options.clients, 1);
@@ -650,7 +825,11 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
     const int kind_ix = pick(rng);
     QuerySpec spec;
     spec.options = exec_options;
-    if (kind_ix == 0) {
+    if (options.serve_sql) {
+      spec.name = std::string("sql-") + kSqlServeNames[kind_ix];
+      spec.sql = sql::FindBuiltinQuery(kSqlServeNames[kind_ix])->sql;
+      spec.sql_catalog = cat;
+    } else if (kind_ix == 0) {
       spec.name = "Q3";
       spec.make_graph = [cat](DeviceId device)
           -> Result<std::unique_ptr<PrimitiveGraph>> {
@@ -700,7 +879,13 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
       return result.status().WithContext("served query " + std::to_string(i));
     }
     bool match = false;
-    if (kinds[i] == 0) {
+    if (options.serve_sql) {
+      const size_t k = static_cast<size_t>(kinds[i]);
+      ADAMANT_ASSIGN_OR_RETURN(
+          sql::SqlResultSet rows,
+          sql::ExtractResults(sql_compiled[k], sql_bundles[k], *result));
+      match = rows.rows == sql_refs[k].rows;
+    } else if (kinds[i] == 0) {
       ADAMANT_ASSIGN_OR_RETURN(
           auto rows, plan::ExtractQ3(ref.q3_bundle, *result, *catalog, {}));
       match = rows == ref.q3;
@@ -750,6 +935,14 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
 }
 
 Status Run(const Options& options) {
+  if (options.list_queries) {
+    for (const sql::BuiltinQuery& query : sql::BuiltinQueries()) {
+      std::printf("%s — %s\n%s\n\n", query.name.c_str(), query.title.c_str(),
+                  query.sql.c_str());
+    }
+    return Status::OK();
+  }
+
   // Data.
   std::shared_ptr<Catalog> catalog;
   if (!options.tbl_dir.empty()) {
@@ -810,7 +1003,11 @@ Status Run(const Options& options) {
 
   // Queries.
   std::vector<std::string> queries;
-  if (options.query == "all") {
+  if (!options.sql.empty() || !options.sql_file.empty()) {
+    queries.clear();  // SQL mode replaces the built-in plan list.
+    ADAMANT_RETURN_NOT_OK(
+        RunSql(*catalog, &manager, device, options, service.get()));
+  } else if (options.query == "all") {
     queries = {"1", "3", "4", "5", "6", "10", "12", "14"};
   } else {
     queries = {options.query};
