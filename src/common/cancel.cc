@@ -1,0 +1,105 @@
+#include "common/cancel.h"
+
+namespace adamant {
+
+const char* CancelCauseToString(CancelCause cause) {
+  switch (cause) {
+    case CancelCause::kNone:
+      return "none";
+    case CancelCause::kUser:
+      return "user";
+    case CancelCause::kDeadline:
+      return "deadline";
+    case CancelCause::kWatchdog:
+      return "watchdog";
+  }
+  return "unknown";
+}
+
+void CancelToken::SetDeadlineAfterMs(double ms) {
+  auto now = std::chrono::steady_clock::now();
+  SetDeadline(now + std::chrono::nanoseconds(
+                        static_cast<int64_t>(ms * 1e6)));
+}
+
+void CancelToken::Cancel(CancelCause cause, std::string reason, int device) {
+  if (cause == CancelCause::kNone) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  int expected = static_cast<int>(CancelCause::kNone);
+  // Stage the fields first; the release CAS publishes them. Losing the race
+  // leaves the winner's fields untouched.
+  std::string staged_reason = std::move(reason);
+  int staged_device = device;
+  if (state_.load(std::memory_order_relaxed) != expected) return;
+  reason_ = std::move(staged_reason);
+  device_ = staged_device;
+  state_.compare_exchange_strong(expected, static_cast<int>(cause),
+                                 std::memory_order_release,
+                                 std::memory_order_relaxed);
+}
+
+double CancelToken::RemainingMs() const {
+  int64_t dl = deadline_ns_.load(std::memory_order_acquire);
+  if (dl == kNoDeadline) return 0;
+  int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+  return static_cast<double>(dl - now) / 1e6;
+}
+
+Status CancelToken::Check() const {
+  int state = state_.load(std::memory_order_acquire);
+  if (state != static_cast<int>(CancelCause::kNone)) {
+    return StatusForCause(static_cast<CancelCause>(state));
+  }
+  int64_t dl = deadline_ns_.load(std::memory_order_acquire);
+  if (dl != kNoDeadline) {
+    int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+    if (now >= dl) {
+      // Lazily trip so all later observers (other worker threads, the
+      // service) agree the run is dead. Losing the CAS to a concurrent
+      // Cancel is fine — first cause wins.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        int expected = static_cast<int>(CancelCause::kNone);
+        if (state_.load(std::memory_order_relaxed) == expected) {
+          reason_ = "deadline lapsed";
+          state_.compare_exchange_strong(
+              expected, static_cast<int>(CancelCause::kDeadline),
+              std::memory_order_release, std::memory_order_relaxed);
+        }
+      }
+      return StatusForCause(cause());
+    }
+  }
+  return Status::OK();
+}
+
+Status CancelToken::StatusForCause(CancelCause c) const {
+  std::string reason;
+  int device = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reason = reason_;
+    device = device_;
+  }
+  switch (c) {
+    case CancelCause::kDeadline:
+      return Status::DeadlineExceeded(reason.empty() ? "deadline lapsed"
+                                                     : reason);
+    case CancelCause::kWatchdog: {
+      Status st = Status::Cancelled(
+          "watchdog: " + (reason.empty() ? std::string("run overran budget")
+                                         : reason));
+      return device >= 0 ? st.WithDevice(device) : st;
+    }
+    case CancelCause::kUser:
+    default:
+      return Status::Cancelled(reason.empty() ? "cancelled by caller"
+                                              : reason);
+  }
+}
+
+}  // namespace adamant

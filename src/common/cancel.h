@@ -1,0 +1,117 @@
+#ifndef ADAMANT_COMMON_CANCEL_H_
+#define ADAMANT_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace adamant {
+
+/// Who tripped a CancelToken. Ordered so that "first cause wins" is a simple
+/// compare-exchange from kNone; later callers see the original cause.
+enum class CancelCause : int {
+  kNone = 0,
+  /// Explicit client/driver cancellation. Final — the service does not retry.
+  kUser = 1,
+  /// The token's deadline passed. Final — retrying cannot un-miss it.
+  kDeadline = 2,
+  /// The service watchdog judged the run hung (gross overrun of predicted
+  /// cost). Carries a blamed device; the service may retry elsewhere after
+  /// reporting the device to DeviceHealth.
+  kWatchdog = 3,
+};
+
+const char* CancelCauseToString(CancelCause cause);
+
+/// Cooperative cancellation + deadline carrier, shared between a run and its
+/// controllers (client, service watchdog). One token covers one *attempt*:
+/// the service mints a fresh token per retry so a watchdog cancellation of
+/// attempt N cannot leak into attempt N+1.
+///
+/// Thread-safety: all methods are safe to call concurrently. `Check()` is the
+/// hot-path query, designed to be cheap when nothing has happened: one
+/// relaxed load of the cancel state plus (when a deadline is armed) one
+/// steady_clock read. Cancellation is *cooperative*: kernels, chunk loops,
+/// tile claims, and transfer calls poll `Check()` at their natural
+/// boundaries and unwind via the normal Status error path, which reuses the
+/// deterministic teardown built for device faults (ledger to zero, leases
+/// invalidated, rings freed).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms an absolute wall-clock deadline. Passing a lapsed deadline is
+  /// allowed; the next Check() trips it. Only the latest call wins.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline.time_since_epoch())
+            .count(),
+        std::memory_order_release);
+  }
+
+  /// Convenience: deadline `ms` milliseconds from now. `ms <= 0` arms an
+  /// already-lapsed deadline (useful in tests).
+  void SetDeadlineAfterMs(double ms);
+
+  /// Trips the token. The first cause wins: once cancelled, later calls are
+  /// no-ops (so a user cancel is not re-labelled by a racing watchdog).
+  /// `device` tags the blamed device for kWatchdog (-1 = none).
+  void Cancel(CancelCause cause, std::string reason, int device = -1);
+
+  /// True once tripped (by Cancel or by a lapsed deadline observed by a
+  /// previous Check). A lapsed-but-unobserved deadline reads false here;
+  /// use Check() for the authoritative answer.
+  bool cancelled() const {
+    return state_.load(std::memory_order_relaxed) !=
+           static_cast<int>(CancelCause::kNone);
+  }
+
+  CancelCause cause() const {
+    return static_cast<CancelCause>(state_.load(std::memory_order_acquire));
+  }
+
+  /// Milliseconds until the armed deadline (negative when lapsed), or +inf
+  /// semantics via `has_deadline()==false`. Used by admission and watchdog
+  /// arithmetic.
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_acquire) != kNoDeadline;
+  }
+  double RemainingMs() const;
+
+  /// The cancellation status for the current state:
+  ///  - OK when not cancelled and (no deadline or deadline not lapsed);
+  ///  - Status::DeadlineExceeded when the deadline lapsed (lazily trips the
+  ///    token so later observers agree);
+  ///  - Status::Cancelled("...") otherwise, tagged WithDevice for watchdog
+  ///    cancellations so DeviceHealth can attribute the straggler.
+  Status Check() const;
+
+ private:
+  Status StatusForCause(CancelCause cause) const;
+
+  static constexpr int64_t kNoDeadline = INT64_MAX;
+
+  // CancelCause as int. kNone until tripped; written exactly once (CAS).
+  mutable std::atomic<int> state_{static_cast<int>(CancelCause::kNone)};
+  // steady_clock nanoseconds-since-epoch of the deadline; kNoDeadline = none.
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+
+  // reason_/device_ are written under mu_ *before* the release store to
+  // state_, and read under mu_ after an acquire load, so readers always see
+  // the fields of the winning cause.
+  // mutable: Check() is const but lazily trips a lapsed deadline.
+  mutable std::mutex mu_;
+  mutable std::string reason_;
+  int device_ = -1;
+};
+
+}  // namespace adamant
+
+#endif  // ADAMANT_COMMON_CANCEL_H_

@@ -28,6 +28,14 @@ enum class StatusCode : int {
   /// query: the same query may succeed on a sibling device or on a later
   /// attempt (transfer hiccup, launch failure, driver reset). Transient.
   kDeviceUnavailable = 10,
+  /// The query's deadline passed while it was queued or running. Not
+  /// transient: re-running the same query cannot un-miss its deadline.
+  kDeadlineExceeded = 11,
+  /// The run was cancelled cooperatively (client cancel, service watchdog).
+  /// Not transient by classification — the *service* decides whether a
+  /// watchdog cancellation warrants a retry elsewhere (it carries a device
+  /// tag), while a client cancel is final.
+  kCancelled = 12,
 };
 
 /// Returns a human-readable name for a status code ("OK", "Out of memory"...).
@@ -77,6 +85,12 @@ class Status {
   static Status DeviceUnavailable(std::string msg) {
     return Status(StatusCode::kDeviceUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -94,6 +108,10 @@ class Status {
   bool IsDeviceUnavailable() const {
     return code() == StatusCode::kDeviceUnavailable;
   }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// Transient/permanent classification for retry policies: a transient
   /// error may clear on a later attempt or on a different device; a

@@ -1,6 +1,8 @@
 #include "device/fault_injector.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -72,6 +74,19 @@ FaultPlan FaultPlan::Sticky(InterfaceCall call, size_t from_nth) {
   return plan;
 }
 
+FaultPlan FaultPlan::StickyStall(InterfaceCall call, double stall_ms,
+                                 size_t from_nth) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.call = call;
+  spec.nth_call = from_nth;
+  spec.sticky = true;
+  spec.stall_wall_ms = stall_ms;
+  spec.code = StatusCode::kOk;  // slow, not broken
+  plan.specs.push_back(spec);
+  return plan;
+}
+
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(std::move(plan)),
       rng_(plan_.seed),
@@ -98,6 +113,8 @@ FaultInjector::Decision FaultInjector::OnCall(InterfaceCall call,
     if (!triggered) continue;
     if (spec.sticky) sticky_tripped_[i] = true;
     decision.latency_us = std::max(decision.latency_us, spec.latency_spike_us);
+    decision.stall_wall_ms = std::min(
+        std::max(decision.stall_wall_ms, spec.stall_wall_ms), kMaxStallWallMs);
     if (spec.code != StatusCode::kOk && decision.status.ok()) {
       ++injected_;
       decision.status =
@@ -155,6 +172,23 @@ Status FaultInjectingDevice::Inject(InterfaceCall call) {
                           std::to_string(decision.latency_us) + "}");
     }
     InjectDelay(decision.latency_us);
+  }
+  if (decision.stall_wall_ms > 0) {
+    static obs::Counter* stalls =
+        obs::GlobalMetrics().GetCounter("adamant_fault_stalls_total");
+    stalls->Increment();
+    obs::GlobalMetrics()
+        .GetCounter("adamant_fault_stalls_total", "device", name())
+        ->Increment();
+    obs::TraceSpan stall_span;
+    if (obs::TracingEnabled()) {
+      stall_span.Start(obs::kHostTrack,
+                       std::string("fault_stall:") + InterfaceCallName(call));
+      stall_span.set_args("{\"device\":\"" + name() + "\",\"stall_ms\":" +
+                          std::to_string(decision.stall_wall_ms) + "}");
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        decision.stall_wall_ms));
   }
   if (!decision.status.ok()) {
     static obs::Counter* faults =

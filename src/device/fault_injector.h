@@ -49,6 +49,11 @@ struct FaultSpec {
   /// Extra simulated latency booked when the rule triggers; with
   /// `code == kOk` the rule is a pure latency spike (slow, not broken).
   sim::SimTime latency_spike_us = 0;
+  /// Extra *wall-clock* stall when the rule triggers: the calling thread
+  /// really sleeps (capped at kMaxStallWallMs), so deadline and watchdog
+  /// paths — which live in wall time — are testable. Independent of
+  /// latency_spike_us, which only books simulated time.
+  double stall_wall_ms = 0;
   /// Status code of the injected failure. kDeviceUnavailable (transient) by
   /// default; use a permanent code to model non-retryable faults.
   StatusCode code = StatusCode::kDeviceUnavailable;
@@ -75,7 +80,18 @@ struct FaultPlan {
   /// (kDeviceUnavailable): the *query* can succeed elsewhere even though
   /// this device cannot; quarantine is what retires the device.
   static FaultPlan Sticky(InterfaceCall call, size_t from_nth = 1);
+  /// From the nth call (1-based) of `call` on, every call *stalls* the
+  /// calling thread for `stall_ms` of real wall time (capped at
+  /// FaultSpec::kMaxStallWallMs) but still succeeds — a chronically slow
+  /// device rather than a broken one. This is the watchdog's prey: only a
+  /// deadline or watchdog cancellation ends such a run.
+  static FaultPlan StickyStall(InterfaceCall call, double stall_ms,
+                               size_t from_nth = 1);
 };
+
+/// Upper bound on a single injected wall-clock stall, so a mis-tuned plan
+/// cannot wedge a test binary for minutes.
+inline constexpr double kMaxStallWallMs = 1000.0;
 
 /// Deterministic, thread-safe fault decision engine: counts calls per
 /// interface-call site, draws probability triggers from one seeded RNG, and
@@ -89,6 +105,8 @@ class FaultInjector {
     Status status;                  // OK = no fault
     sim::SimTime latency_us = 0;    // extra latency to book (may be > 0
                                     // even when status is OK)
+    double stall_wall_ms = 0;       // real sleep to impose on the caller,
+                                    // already capped at kMaxStallWallMs
   };
 
   /// Decision for the next call of `call` on device `device_name`.

@@ -12,6 +12,8 @@
 
 namespace adamant {
 
+class CancelToken;
+
 /// Task-layer implementation variant of a kernel. The Task layer may hold
 /// several implementations of one primitive (Table I); `kScalar` is the
 /// single-threaded reference, `kParallel` a tiled worker-pool implementation
@@ -103,12 +105,19 @@ class KernelExecContext {
   int parallel_threads() const { return parallel_threads_; }
   void set_parallel_threads(int threads) { parallel_threads_ = threads; }
 
+  /// Cooperative cancellation token for the owning run, or null. Parallel
+  /// variants poll it between tiles so a cancelled run stops claiming work
+  /// instead of finishing the kernel.
+  CancelToken* cancel() const { return cancel_; }
+  void set_cancel(CancelToken* token) { cancel_ = token; }
+
  private:
   std::vector<void*> pointers_;
   std::vector<size_t> sizes_;
   std::vector<KernelArg> args_;
   size_t work_items_;
   int parallel_threads_ = 0;
+  CancelToken* cancel_ = nullptr;
 };
 
 /// Functional implementation of a kernel, executed on the host against the
@@ -147,6 +156,10 @@ struct KernelLaunch {
   KernelVariantRequest variant = KernelVariantRequest::kAuto;
   /// Thread budget for the parallel variant; 0 = the device's policy count.
   int num_threads = 0;
+  /// Cooperative cancellation token for the owning run; not owned, may be
+  /// null. Stamped by the executor from ExecutionOptions so parallel tile
+  /// loops can stop early on cancel/deadline.
+  CancelToken* cancel = nullptr;
   /// Inline implementation; if empty, the kernel registered under
   /// kernel_name via prepare_kernel()/RegisterPrecompiledKernel() is used.
   HostKernelFn fn;

@@ -390,6 +390,7 @@ Status SimulatedDevice::Execute(const KernelLaunch& launch) {
   ctx.set_parallel_threads(used_variant == KernelVariant::kParallel
                                ? used_threads
                                : 1);
+  ctx.set_cancel(launch.cancel);
   return fn(&ctx).WithContext("kernel '" + launch.kernel_name + "' on " +
                               name_);
 }

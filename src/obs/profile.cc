@@ -19,15 +19,20 @@ std::string Ms(double value) {
 
 std::string QueryProfile::ToJson() const {
   std::ostringstream out;
-  out << "{\"queue_wait_ms\":" << Ms(queue_wait_ms)
-      << ",\"run_ms\":" << Ms(run_ms)
+  out << "{\"queue_wait_ms\":" << Ms(queue_wait_ms);
+  if (!cancelled_cause.empty()) {
+    out << ",\"cancelled\":\"" << JsonEscape(cancelled_cause) << "\"";
+  }
+  out << ",\"run_ms\":" << Ms(run_ms)
       << ",\"merge_host_ms\":" << Ms(merge_host_ms) << ",\"pipelines\":[";
   for (size_t i = 0; i < pipelines.size(); ++i) {
     const PipelineProfile& pipeline = pipelines[i];
     if (i) out << ",";
     out << "{\"index\":" << pipeline.index
         << ",\"wall_ms\":" << Ms(pipeline.wall_ms)
-        << ",\"chunks\":" << pipeline.chunks << ",\"devices\":[";
+        << ",\"chunks\":" << pipeline.chunks;
+    if (pipeline.cancelled) out << ",\"cancelled\":true";
+    out << ",\"devices\":[";
     for (size_t j = 0; j < pipeline.devices.size(); ++j) {
       const PipelineDeviceSlice& slice = pipeline.devices[j];
       if (j) out << ",";

@@ -22,6 +22,10 @@ struct PipelineProfile {
   int index = 0;
   double wall_ms = 0;
   size_t chunks = 0;
+  /// True when the run was cancelled (deadline, client cancel, watchdog)
+  /// while this pipeline was executing — its chunk count and timings cover
+  /// only the work done before the token tripped.
+  bool cancelled = false;
   std::vector<PipelineDeviceSlice> devices;
 };
 
@@ -42,6 +46,9 @@ struct DeviceProfile {
 /// the service layer. All times are milliseconds.
 struct QueryProfile {
   bool collected = false;
+  /// Why the run ended early, or empty for a completed run: "user",
+  /// "deadline", or "watchdog" (CancelCauseToString of the tripped token).
+  std::string cancelled_cause;
   double queue_wait_ms = 0;
   double run_ms = 0;
   double merge_host_ms = 0;

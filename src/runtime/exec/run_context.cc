@@ -25,10 +25,12 @@ RunContext::RunContext(DeviceManager* manager, PrimitiveGraph* graph,
                         : DataContainer::WithoutTransforms()) {
   hub_.set_scan_cache(options.scan_cache);
   hub_.set_memory_listener(options.memory_listener);
+  hub_.set_cancel_token(options.cancel_token);
   run_start_ = std::chrono::steady_clock::now();
 }
 
 Status RunContext::Prepare(const std::vector<DeviceId>& device_override) {
+  ADAMANT_RETURN_NOT_OK(CheckCancel());
   ADAMANT_RETURN_NOT_OK(graph_->Validate());
   ADAMANT_ASSIGN_OR_RETURN(pipelines_, graph_->SplitPipelines());
   graph_->ResetProgress();
@@ -79,6 +81,8 @@ void RunContext::ClosePipeline() {
   if (!options_.collect_profile) return;
   obs::PipelineProfile profile;
   profile.index = index;
+  profile.cancelled =
+      options_.cancel_token != nullptr && options_.cancel_token->cancelled();
   profile.wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - pipeline_start_)
@@ -113,6 +117,7 @@ void RunContext::ClosePipeline() {
 Status RunContext::BeginPipeline(const Pipeline& pipeline,
                                  size_t total_chunks) {
   ClosePipeline();
+  ADAMANT_RETURN_NOT_OK(CheckCancel());
   for (int node_id : pipeline.nodes) {
     const GraphNode& node = graph_->node(node_id);
     if (node.kind == PrimitiveKind::kPrefixSum && total_chunks > 1) {
@@ -172,6 +177,7 @@ Status RunContext::RunChunks(const Pipeline& pipeline, size_t chunk_begin,
   chunk_end = std::min(chunk_end, chunks.total());
   const int track = PipelineTrack(pipeline);
   for (size_t c = chunk_begin; c < chunk_end; ++c) {
+    ADAMANT_RETURN_NOT_OK(CheckCancel());
     const size_t base_row = chunks.base(c);
     const size_t n = chunks.rows(c);
 
@@ -208,6 +214,7 @@ Status RunContext::SyncPipelineDevices(const Pipeline& pipeline) {
 }
 
 Status RunContext::CompleteRun() {
+  ADAMANT_RETURN_NOT_OK(CheckCancel());
   // Result delivery: terminal breaker outputs come back to the host.
   for (const GraphNode& node : graph_->nodes()) {
     if (!GetSignature(node.kind).pipeline_breaker) continue;
@@ -675,6 +682,7 @@ Status RunContext::ExecuteNode(int node_id, size_t chunk, size_t base_row,
 
   launch.variant = options_.kernel_variant;
   launch.num_threads = options_.kernel_threads;
+  launch.cancel = options_.cancel_token;
 
   {
     static obs::Counter* launches =
@@ -919,6 +927,11 @@ void RunContext::FinalizeStats() {
                                std::chrono::steady_clock::now() - run_start_)
                                .count();
     stats.profile.merge_host_ms = stats.merge_host_ms;
+    if (options_.cancel_token != nullptr &&
+        options_.cancel_token->cancelled()) {
+      stats.profile.cancelled_cause =
+          CancelCauseToString(options_.cancel_token->cause());
+    }
   }
   stats.bytes_h2d += hub_.bytes_host_to_device();
   stats.bytes_d2h += hub_.bytes_device_to_host();

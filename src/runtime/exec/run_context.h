@@ -119,6 +119,15 @@ class RunContext {
   /// final synchronize of every used device.
   Status CompleteRun();
 
+  /// The run's cancellation state: OK without a token (or while untripped),
+  /// otherwise the token's DeadlineExceeded/Cancelled status. Drivers and
+  /// phase operations poll this at pipeline and chunk boundaries; a non-OK
+  /// return unwinds through ReleaseAll like any other error.
+  Status CheckCancel() const {
+    return options_.cancel_token == nullptr ? Status::OK()
+                                            : options_.cancel_token->Check();
+  }
+
   // --- Device-parallel support (partition merge at the task layer) ---
 
   /// The persist backing a breaker node, or nullptr if none was allocated.

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "device/device_manager.h"
 #include "obs/profile.h"
@@ -98,6 +99,13 @@ struct ExecutionOptions {
   /// reset_device_state is also true (exclusive device use); wall-clock
   /// pipeline timings and run_ms are collected regardless.
   bool collect_profile = false;
+  /// Cooperative cancellation / deadline token for this run; not owned, may
+  /// be null. Checked at pipeline and chunk boundaries in every ModelDriver,
+  /// per tile in the WorkerPool claim loop, and around DataTransferHub
+  /// H2D/D2H calls. A tripped token unwinds through the same deterministic
+  /// teardown as a device fault: MemoryLedger back to zero, cache leases
+  /// invalidated, pinned rings freed.
+  CancelToken* cancel_token = nullptr;
 };
 
 /// Per-device timing/footprint snapshot for one query execution.

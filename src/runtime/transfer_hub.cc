@@ -53,6 +53,7 @@ Result<BufferId> DataTransferHub::PrepareDeviceMemory(SimulatedDevice* dev,
 
 Result<BufferId> DataTransferHub::LoadData(DeviceId device, const void* src,
                                            size_t bytes) {
+  ADAMANT_RETURN_NOT_OK(CheckCancel());
   ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
   ADAMANT_ASSIGN_OR_RETURN(BufferId id, PrepareDeviceMemory(dev, device, bytes));
   ChargeAllocate(device, bytes);
@@ -75,6 +76,7 @@ Result<BufferId> DataTransferHub::LoadData(DeviceId device, const void* src,
 Result<ScanBufferCache::Lease> DataTransferHub::LoadColumnChunk(
     DeviceId device, const ColumnPtr& column, size_t base_row, size_t count,
     size_t elem_size) {
+  ADAMANT_RETURN_NOT_OK(CheckCancel());
   const size_t bytes = count * elem_size;
   const uint8_t* src = column->raw_data() + base_row * elem_size;
 
@@ -124,6 +126,7 @@ Result<ScanBufferCache::Lease> DataTransferHub::LoadColumnChunk(
 Status DataTransferHub::PlaceChunk(DeviceId device, BufferId dst,
                                    const void* src, size_t bytes,
                                    size_t dst_offset) {
+  ADAMANT_RETURN_NOT_OK(CheckCancel());
   ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev, manager_->GetDevice(device));
   obs::TraceSpan span;
   if (obs::TracingEnabled()) {
@@ -142,6 +145,7 @@ Result<BufferId> DataTransferHub::Router(DeviceId src_device, BufferId src,
   // Same-device routing is a pure no-op: the data is already resident, so
   // neither transfer counter may be charged.
   if (src_device == dst_device) return src;
+  ADAMANT_RETURN_NOT_OK(CheckCancel());
   ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * from,
                            manager_->GetDevice(src_device));
   ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * to,

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "device/device_manager.h"
 #include "runtime/runtime_hooks.h"
@@ -32,6 +33,14 @@ class DataTransferHub {
   }
   void set_scan_cache(ScanBufferCache* cache) { scan_cache_ = cache; }
   ScanBufferCache* scan_cache() const { return scan_cache_; }
+  /// Cooperative cancellation for the owning run (not owned, may be null):
+  /// H2D/D2H entry points (LoadData / LoadColumnChunk / PlaceChunk / Router)
+  /// bail with the token's status before moving bytes, so a cancelled run
+  /// stops transferring at the next chunk instead of streaming to the end.
+  /// Teardown paths (FreeBuffer*, EnsureFormat cleanup) never check it —
+  /// unwinding must always complete.
+  void set_cancel_token(CancelToken* token) { cancel_ = token; }
+  CancelToken* cancel_token() const { return cancel_; }
 
   /// load_data(): allocates a device buffer and places `bytes` of host data.
   Result<BufferId> LoadData(DeviceId device, const void* src, size_t bytes);
@@ -113,10 +122,17 @@ class DataTransferHub {
     if (memory_listener_ != nullptr) memory_listener_->OnFree(device, bytes);
   }
 
+  /// Returns the token's status when tripped, OK otherwise (or when no
+  /// token is attached).
+  Status CheckCancel() const {
+    return cancel_ == nullptr ? Status::OK() : cancel_->Check();
+  }
+
   DeviceManager* manager_;
   DataContainer transforms_;
   MemoryChargeListener* memory_listener_ = nullptr;
   ScanBufferCache* scan_cache_ = nullptr;
+  CancelToken* cancel_ = nullptr;
   size_t bytes_h2d_ = 0;
   size_t bytes_d2h_ = 0;
   size_t bytes_h2d_saved_ = 0;

@@ -1,0 +1,83 @@
+#include "service/cost_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "runtime/exec/plan_shapes.h"
+#include "task/primitive.h"
+
+namespace adamant {
+
+Result<double> EstimateSimCostUs(const PrimitiveGraph& graph,
+                                 const ExecutionOptions& options,
+                                 const sim::DevicePerfModel& model,
+                                 double data_scale) {
+  ADAMANT_RETURN_NOT_OK(graph.Validate());
+  ADAMANT_ASSIGN_OR_RETURN(std::vector<Pipeline> pipelines,
+                           graph.SplitPipelines());
+  const bool oaat = options.model == ExecutionModelKind::kOperatorAtATime;
+  double total_us = 0;
+  for (const Pipeline& pipeline : pipelines) {
+    const size_t cap =
+        exec::PipelineChunkCapacity(pipeline, options, oaat, data_scale);
+    const double rows = static_cast<double>(pipeline.input_rows);
+    const double chunks =
+        cap == 0 ? 1.0
+                 : std::max(1.0, std::ceil(rows / static_cast<double>(cap)));
+    const double rows_per_chunk = rows * data_scale / chunks;
+
+    // Scan columns cross the bus once: wire time for the full (scaled)
+    // column, plus the per-call DMA setup latency once per chunk.
+    for (int edge_id : pipeline.scan_edges) {
+      const GraphEdge& edge = graph.edges()[static_cast<size_t>(edge_id)];
+      const double bytes =
+          rows * static_cast<double>(ElementSize(edge.elem_type)) * data_scale;
+      total_us += static_cast<double>(model.TransferDuration(
+          bytes, sim::TransferDirection::kHostToDevice, /*pinned=*/false));
+      total_us += chunks * model.transfer.latency_us;
+    }
+
+    // One launch of every node's kernel per chunk at full chunk cardinality
+    // (no selectivity model), cost_param pinned at 1.
+    for (int node_id : pipeline.nodes) {
+      const GraphNode& node = graph.node(node_id);
+      const char* kernel = GetSignature(node.kind).kernel_name;
+      total_us += chunks * (model.kernel_launch_us +
+                            static_cast<double>(model.KernelDuration(
+                                kernel, rows_per_chunk, /*cost_param=*/1.0)));
+    }
+  }
+  return total_us;
+}
+
+void CostCalibration::Observe(const std::string& query_name, double sim_us,
+                              double wall_ms) {
+  if (wall_ms <= 0) return;
+  ++observations_;
+  avg_run_ms_ = observations_ == 1
+                    ? wall_ms
+                    : kAlpha * wall_ms + (1 - kAlpha) * avg_run_ms_;
+  if (sim_us > 0) {
+    const double ratio = wall_ms / sim_us;
+    wall_per_sim_us_ =
+        ratio_seen_ ? kAlpha * ratio + (1 - kAlpha) * wall_per_sim_us_ : ratio;
+    ratio_seen_ = true;
+  }
+  auto [it, inserted] = by_name_.try_emplace(query_name);
+  it->second.wall_ms =
+      inserted ? wall_ms
+               : kAlpha * wall_ms + (1 - kAlpha) * it->second.wall_ms;
+}
+
+double CostCalibration::PredictWallMs(const std::string& query_name,
+                                      double sim_us, double floor_ms) const {
+  auto it = by_name_.find(query_name);
+  if (it != by_name_.end()) return std::max(floor_ms, it->second.wall_ms);
+  if (ratio_seen_ && sim_us > 0) {
+    return std::max(floor_ms, wall_per_sim_us_ * sim_us);
+  }
+  return floor_ms;
+}
+
+}  // namespace adamant

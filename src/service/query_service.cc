@@ -45,10 +45,17 @@ QueryService::QueryService(DeviceManager* manager, ServiceConfig config)
   quarantines_ = metrics_.GetCounter("adamant_service_quarantines_total");
   fault_unwinds_ = metrics_.GetCounter("adamant_service_fault_unwinds_total");
   probes_ = metrics_.GetCounter("adamant_service_probes_total");
+  shed_ = metrics_.GetCounter("adamant_service_shed_total");
+  deadline_evictions_ =
+      metrics_.GetCounter("adamant_service_deadline_evictions_total");
+  watchdog_fires_ = metrics_.GetCounter("adamant_service_watchdog_fires_total");
+  cancelled_ = metrics_.GetCounter("adamant_service_cancelled_total");
   queue_wait_hist_ = metrics_.GetHistogram("adamant_service_queue_wait_ms",
                                            obs::LatencyBucketsMs());
   run_hist_ =
       metrics_.GetHistogram("adamant_service_run_ms", obs::LatencyBucketsMs());
+  deadline_slack_hist_ = metrics_.GetHistogram(
+      "adamant_service_deadline_slack_ms", obs::LatencyBucketsMs());
   for (size_t i = 0; i < manager->num_devices(); ++i) {
     const std::string& name = manager->device(static_cast<DeviceId>(i))->name();
     completed_by_device_.push_back(metrics_.GetCounter(
@@ -84,6 +91,12 @@ QueryService::QueryService(DeviceManager* manager, ServiceConfig config)
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  // The watchdog doubles as the deadline evictor, so it runs whenever
+  // either duty is on. It only takes mu_ briefly per poll; with neither
+  // deadlines nor watched runs present each poll is a no-op scan.
+  if (config_.slo.watchdog_factor > 0 || config_.slo.evict_lapsed) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
 }
 
@@ -156,6 +169,16 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(QuerySpec spec) {
   ADAMANT_ASSIGN_OR_RETURN(
       size_t estimate,
       EstimateDeviceMemoryBytes(*probe, spec.options, manager_->data_scale()));
+  // Sim-cost estimate on the same probe device, for deadline admission and
+  // the watchdog budget. Best-effort: a failed estimate (0) just means the
+  // calibration falls back to per-name history / the policy floor.
+  double predicted_sim_us = 0;
+  if (Result<double> cost = EstimateSimCostUs(
+          *probe, spec.options, manager_->device(probe_device)->perf_model(),
+          manager_->data_scale());
+      cost.ok()) {
+    predicted_sim_us = *cost;
+  }
 
   // A query whose estimate exceeds every eligible budget would wait
   // forever — reject it up front. One that merely exceeds what is free
@@ -178,6 +201,14 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(QuerySpec spec) {
   query->ticket->name_ = query->spec.name;
   query->estimate_bytes = estimate;
   query->submit_time = std::chrono::steady_clock::now();
+  query->predicted_sim_us = predicted_sim_us;
+  if (query->spec.deadline_ms > 0) {
+    query->has_deadline = true;
+    query->deadline =
+        query->submit_time +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(query->spec.deadline_ms));
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -207,6 +238,35 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(QuerySpec spec) {
       reject_event("queue_full");
       return Status::OutOfMemory("admission queue is full (" +
                                  std::to_string(config_.max_queue) + ")");
+    }
+    if (query->has_deadline && config_.slo.shed_on_admission) {
+      // Shed, don't enqueue: when predicted run time plus predicted queue
+      // wait already overshoots the deadline, enqueueing only burns a
+      // device slot on work whose result nobody can use. Queue wait is
+      // approximated as the backlog (queued + running) served at the
+      // calibrated average run time across the worker pool.
+      const double run_ms = PredictRunMs(*query);
+      const double wait_ms =
+          calibration_.avg_run_ms() *
+          static_cast<double>(queue_.size() + active_) /
+          static_cast<double>(std::max<size_t>(config_.workers, 1));
+      if (run_ms + wait_ms > query->spec.deadline_ms) {
+        shed_->Increment();
+        if (obs::TracingEnabled()) {
+          obs::TraceInstant(
+              obs::kServiceTrack, "shed",
+              "{\"query\":\"" + obs::JsonEscape(query->spec.name) +
+                  "\",\"predicted_run_ms\":" + std::to_string(run_ms) +
+                  ",\"predicted_wait_ms\":" + std::to_string(wait_ms) +
+                  ",\"deadline_ms\":" +
+                  std::to_string(query->spec.deadline_ms) + "}");
+        }
+        return Status::DeadlineExceeded(
+            query->spec.name + ": shed at admission: predicted run " +
+            std::to_string(run_ms) + " ms + queue wait " +
+            std::to_string(wait_ms) + " ms exceeds the " +
+            std::to_string(query->spec.deadline_ms) + " ms deadline");
+      }
     }
     admitted_->Increment();
     if (obs::TracingEnabled()) {
@@ -240,11 +300,25 @@ void QueryService::WorkerLoop() {
   for (;;) {
     std::shared_ptr<QueuedQuery> query;
     std::vector<DeviceId> placed;
+    // The attempt's cancellation carrier. Minted fresh per attempt so a
+    // watchdog cancellation of attempt N cannot leak into attempt N+1; a
+    // client-supplied token (spec.options.cancel_token) is used as-is
+    // instead, so external Cancel() reaches the run — at the price of
+    // single-shot semantics (a watchdog trip then fails the query rather
+    // than retrying, since the trip is sticky on the client's token).
+    std::shared_ptr<CancelToken> minted;
+    CancelToken* token = nullptr;
+    uint64_t run_id = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       for (;;) {
         if (stopping_ && queue_.empty()) return;
         const auto now = std::chrono::steady_clock::now();
+        // Deadline housekeeping first: work whose deadline (or client
+        // token) already tripped must not consume the slot this worker is
+        // about to lease.
+        EvictLapsedLocked(now);
+        if (stopping_ && queue_.empty()) return;
         // Earliest deadline at which a currently-skipped query (backoff) or
         // a quarantined device (probe cooldown) becomes dispatchable; when
         // nothing is dispatchable now, the wait below wakes at it instead
@@ -359,11 +433,30 @@ void QueryService::WorkerLoop() {
       ++query->attempt;
       if (query->attempt > 1) retries_->Increment();
       ++active_;
+
+      token = query->spec.options.cancel_token;
+      if (token == nullptr) {
+        minted = std::make_shared<CancelToken>();
+        token = minted.get();
+      }
+      if (query->has_deadline) token->SetDeadline(query->deadline);
+      ActiveRun run;
+      run.token = token;
+      run.start = std::chrono::steady_clock::now();
+      if (config_.slo.watchdog_factor > 0) {
+        run.budget_ms = std::max(
+            config_.slo.watchdog_factor * PredictRunMs(*query),
+            config_.slo.min_watchdog_ms);
+      }
+      run.device = placed.front();
+      run.name = query->spec.name;
+      run_id = next_run_id_++;
+      active_runs_.emplace(run_id, std::move(run));
     }
 
     const DeviceId primary = placed.front();
     const auto start = std::chrono::steady_clock::now();
-    Result<QueryExecution> result = RunOne(*query, placed);
+    Result<QueryExecution> result = RunOne(*query, placed, token);
     const auto end = std::chrono::steady_clock::now();
     const bool ok = result.ok();
     const bool device_fault = !ok && result.status().device_id() >= 0;
@@ -378,8 +471,13 @@ void QueryService::WorkerLoop() {
     const double attempt_ms = ElapsedMs(start, end);
     bool requeued = false;
 
+    const bool was_cancelled =
+        !ok && (result.status().IsCancelled() ||
+                result.status().IsDeadlineExceeded());
+
     {
       std::lock_guard<std::mutex> lock(mu_);
+      active_runs_.erase(run_id);
       for (DeviceId d : placed) {
         slots_.Release(d);
         ledger_->budget(d).Release(query->estimate_bytes);
@@ -387,6 +485,22 @@ void QueryService::WorkerLoop() {
       }
       ++release_epoch_;  // budget state changed: deferrals may count again
       --active_;
+      if (was_cancelled) {
+        cancelled_->Increment();
+        if (obs::TracingEnabled()) {
+          obs::TraceInstant(
+              obs::kServiceTrack, "cancel",
+              "{\"query\":\"" + obs::JsonEscape(query->spec.name) +
+                  "\",\"cause\":\"" + CancelCauseToString(token->cause()) +
+                  "\",\"attempt\":" + std::to_string(query->attempt) + "}");
+        }
+      }
+      if (ok) {
+        // Only clean completions calibrate: a cancelled run's wall time
+        // says nothing about how long the query *would* have taken.
+        calibration_.Observe(query->spec.name, query->predicted_sim_us,
+                             attempt_ms);
+      }
       if (ok) {
         for (DeviceId d : placed) {
           health_.OnSuccess(d);  // probe passed ⇒ device re-admitted
@@ -404,8 +518,21 @@ void QueryService::WorkerLoop() {
           }
         }
       }
+      // A watchdog cancellation is retryable by design even though
+      // kCancelled is not transient: the *run* was judged hung on that
+      // device, not doomed — the straggler is excluded (device_fault path
+      // above) and the retry lands elsewhere. Only service-minted tokens
+      // qualify: a client token keeps its sticky cancelled state, so a
+      // retry through it would die instantly.
+      const bool watchdog_retry = minted != nullptr && was_cancelled &&
+                                  token->cause() == CancelCause::kWatchdog;
+      // User cancels and lapsed deadlines are final: retrying cannot
+      // un-cancel or un-miss them.
+      const bool final_cancel = was_cancelled && !watchdog_retry;
       const bool retryable =
-          !ok && (result.status().IsTransient() || !config_.retry.transient_only);
+          !ok && !final_cancel &&
+          (result.status().IsTransient() || watchdog_retry ||
+           !config_.retry.transient_only);
       if (retryable && query->attempt < config_.retry.max_attempts) {
         // Requeue with the failing device excluded and a backoff deadline.
         // The admission bound does not apply: a requeue re-enters work that
@@ -441,6 +568,12 @@ void QueryService::WorkerLoop() {
         query->ticket->attempts_ = query->attempt;
         queue_wait_hist_->Observe(query->ticket->queue_wait_ms_);
         run_hist_->Observe(query->ticket->run_ms_);
+        if (query->has_deadline) {
+          // Slack = deadline minus completion, clamped at 0 — a miss lands
+          // in the lowest bucket rather than going unrecorded.
+          deadline_slack_hist_->Observe(
+              std::max(0.0, ElapsedMs(end, query->deadline)));
+        }
         if (ok) {
           // The runtime filled the rest of the profile; the queue wait is
           // only knowable here, at the service layer.
@@ -458,8 +591,83 @@ void QueryService::WorkerLoop() {
   }
 }
 
+double QueryService::PredictRunMs(const QueuedQuery& query) const {
+  return calibration_.PredictWallMs(query.spec.name, query.predicted_sim_us,
+                                    config_.slo.min_predicted_ms);
+}
+
+void QueryService::EvictLapsedLocked(
+    std::chrono::steady_clock::time_point now) {
+  if (!config_.slo.evict_lapsed) return;
+  std::vector<std::shared_ptr<QueuedQuery>> lapsed =
+      queue_.EvictIf([&](const QueuedQuery& q) {
+        if (q.has_deadline && q.deadline <= now) return true;
+        const CancelToken* t = q.spec.options.cancel_token;
+        return t != nullptr && !t->Check().ok();
+      });
+  if (lapsed.empty()) return;
+  for (const std::shared_ptr<QueuedQuery>& q : lapsed) {
+    deadline_evictions_->Increment();
+    failed_->Increment();
+    q->ticket->queue_wait_ms_ = ElapsedMs(q->submit_time, now);
+    q->ticket->attempts_ = q->attempt;
+    if (obs::TracingEnabled()) {
+      obs::TraceInstant(obs::kServiceTrack, "shed:evict",
+                        "{\"query\":\"" + obs::JsonEscape(q->spec.name) +
+                            "\",\"queued_ms\":" +
+                            std::to_string(q->ticket->queue_wait_ms_) + "}");
+    }
+    Status cause;
+    if (q->has_deadline && q->deadline <= now) {
+      deadline_slack_hist_->Observe(0.0);
+      cause = Status::DeadlineExceeded(
+          q->spec.name + ": deadline lapsed after " +
+          std::to_string(q->ticket->queue_wait_ms_) + " ms in queue");
+    } else {
+      cause = q->spec.options.cancel_token->Check();
+    }
+    q->ticket->Complete(std::move(cause));
+  }
+  idle_cv_.notify_all();
+}
+
+void QueryService::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    const auto now = std::chrono::steady_clock::now();
+    // Lapsed queued work is evicted here too, so eviction keeps its
+    // cadence even when every worker is pinned down by long runs.
+    EvictLapsedLocked(now);
+    for (auto& [id, run] : active_runs_) {
+      if (run.budget_ms <= 0 || run.fired) continue;
+      const double elapsed = ElapsedMs(run.start, now);
+      if (elapsed <= run.budget_ms) continue;
+      // Cancel once per run; the worker handles the unwound result
+      // (DeviceHealth blame + retry elsewhere) when the run returns.
+      run.fired = true;
+      watchdog_fires_->Increment();
+      if (obs::TracingEnabled()) {
+        obs::TraceInstant(
+            obs::kServiceTrack, "watchdog_fire",
+            "{\"query\":\"" + obs::JsonEscape(run.name) +
+                "\",\"device\":" + std::to_string(run.device) +
+                ",\"elapsed_ms\":" + std::to_string(elapsed) +
+                ",\"budget_ms\":" + std::to_string(run.budget_ms) + "}");
+      }
+      run.token->Cancel(CancelCause::kWatchdog,
+                        run.name + ": " + std::to_string(elapsed) +
+                            " ms elapsed against a " +
+                            std::to_string(run.budget_ms) + " ms budget",
+                        run.device);
+    }
+    watchdog_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                    config_.slo.watchdog_poll_ms));
+  }
+}
+
 Result<QueryExecution> QueryService::RunOne(
-    const QueuedQuery& query, const std::vector<DeviceId>& devices) {
+    const QueuedQuery& query, const std::vector<DeviceId>& devices,
+    CancelToken* token) {
   ADAMANT_ASSIGN_OR_RETURN(std::unique_ptr<PrimitiveGraph> graph,
                            query.spec.make_graph(devices.front()));
   if (graph == nullptr) {
@@ -467,6 +675,7 @@ Result<QueryExecution> QueryService::RunOne(
                                    ": make_graph returned null");
   }
   ExecutionOptions options = query.spec.options;
+  options.cancel_token = token;
   options.scan_cache = cache_.get();
   options.memory_listener = ledger_.get();
   if (options.model == ExecutionModelKind::kDeviceParallel) {
@@ -497,10 +706,12 @@ void QueryService::Stop() {
     stopping_ = true;
   }
   dispatch_cv_.notify_all();
+  watchdog_cv_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 ServiceStats QueryService::GetStats() const {
@@ -524,6 +735,10 @@ ServiceStats QueryService::GetStats() const {
     stats.quarantines = count(quarantines_);
     stats.fault_unwinds = count(fault_unwinds_);
     stats.probes = count(probes_);
+    stats.shed = count(shed_);
+    stats.deadline_evictions = count(deadline_evictions_);
+    stats.watchdog_fires = count(watchdog_fires_);
+    stats.cancelled = count(cancelled_);
     stats.queued = queue_.size();
     stats.active = active_;
     stats.wall_seconds =
@@ -564,6 +779,10 @@ std::string ServiceStats::ToJson() const {
       << ",\"retries\":" << retries << ",\"requeues\":" << requeues
       << ",\"quarantines\":" << quarantines
       << ",\"fault_unwinds\":" << fault_unwinds << ",\"probes\":" << probes
+      << ",\"shed\":" << shed
+      << ",\"deadline_evictions\":" << deadline_evictions
+      << ",\"watchdog_fires\":" << watchdog_fires
+      << ",\"cancelled\":" << cancelled
       << ",\"queued\":" << queued << ",\"active\":" << active
       << ",\"wall_seconds\":" << wall_seconds
       << ",\"queue_wait_p50_ms\":" << queue_wait_p50_ms

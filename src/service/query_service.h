@@ -12,10 +12,14 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+
+#include "common/cancel.h"
 #include "common/result.h"
 #include "device/device_manager.h"
 #include "obs/metrics.h"
 #include "service/column_cache.h"
+#include "service/cost_predictor.h"
 #include "service/device_health.h"
 #include "service/memory_budget.h"
 #include "service/scheduler.h"
@@ -44,6 +48,35 @@ struct RetryPolicy {
   bool transient_only = true;
 };
 
+/// Deadline / SLO policy (docs/serving.md "Deadlines, cancellation, and
+/// load shedding"). Predictions come from the service's CostCalibration:
+/// the perf-model sim-cost estimate rescaled by observed completions, with
+/// `min_predicted_ms` as the floor so a cold (uncalibrated) service is
+/// permissive rather than trigger-happy.
+struct SloPolicy {
+  /// Shed at Submit when predicted run time plus predicted queue wait
+  /// cannot meet the query's deadline. Shedding fails fast with
+  /// DeadlineExceeded instead of enqueueing doomed work.
+  bool shed_on_admission = true;
+  /// Evict queued queries whose deadline (or client CancelToken) has
+  /// already tripped; checked by dispatching workers and by the watchdog
+  /// thread, so eviction does not depend on a worker going idle.
+  bool evict_lapsed = true;
+  /// Watchdog: cancel an in-flight run once its wall time exceeds
+  /// watchdog_factor × predicted run time. The cancellation is tagged with
+  /// the run's primary device, so DeviceHealth treats a chronic straggler
+  /// exactly like a crasher (quarantine + probe) and the retry lands
+  /// elsewhere. 0 disables the watchdog.
+  double watchdog_factor = 0;
+  /// Floor on every run-time prediction (ms).
+  double min_predicted_ms = 5.0;
+  /// Floor on the watchdog budget (ms), over and above the factor — absorbs
+  /// scheduler noise on very short queries.
+  double min_watchdog_ms = 50.0;
+  /// Watchdog poll cadence (ms).
+  double watchdog_poll_ms = 5.0;
+};
+
 struct ServiceConfig {
   /// Worker threads draining the admission queue.
   size_t workers = 4;
@@ -65,6 +98,8 @@ struct ServiceConfig {
   RetryPolicy retry;
   /// Device quarantine thresholds (see DeviceHealthConfig).
   DeviceHealthConfig health;
+  /// Deadline shedding / eviction / watchdog policy (see SloPolicy).
+  SloPolicy slo;
 };
 
 /// Aggregate service counters, exported as JSON by run_tpch --serve.
@@ -87,6 +122,13 @@ struct ServiceStats {
   size_t fault_unwinds = 0; // device-attributed failures unwound by the
                             // executor (transient or not)
   size_t probes = 0;        // placements onto a quarantined device
+  /// Deadline / SLO counters (docs/serving.md "Deadlines, cancellation,
+  /// and load shedding").
+  size_t shed = 0;               // rejected at admission: deadline unmeetable
+  size_t deadline_evictions = 0; // evicted from the queue after lapsing
+  size_t watchdog_fires = 0;     // in-flight runs cancelled by the watchdog
+  size_t cancelled = 0;          // run attempts that ended cancelled /
+                                 // deadline-exceeded (any cause)
   size_t queued = 0;  // snapshot
   size_t active = 0;  // snapshot
   double wall_seconds = 0;
@@ -156,11 +198,35 @@ class QueryService {
   MemoryLedger& ledger() { return *ledger_; }
 
  private:
+  /// One dispatched attempt currently running, visible to the watchdog.
+  /// `token` stays valid while the entry exists: the dispatching worker
+  /// owns the token and erases the entry before releasing it.
+  struct ActiveRun {
+    CancelToken* token = nullptr;
+    std::chrono::steady_clock::time_point start;
+    /// Watchdog budget (ms); <= 0 = not watched.
+    double budget_ms = 0;
+    DeviceId device = -1;  // primary device, blamed on watchdog fire
+    std::string name;
+    bool fired = false;  // the watchdog cancels each run at most once
+  };
+
   void WorkerLoop();
+  void WatchdogLoop();
+  /// Evicts every queued query whose deadline lapsed or whose client
+  /// CancelToken tripped, completing their tickets. Caller holds mu_
+  /// (ticket completion takes only the ticket's own lock; clients in
+  /// Wait() never hold mu_, so there is no inversion).
+  void EvictLapsedLocked(std::chrono::steady_clock::time_point now);
+  /// Predicted wall time (ms) of one run of `query`, floored by the
+  /// policy. Caller holds mu_ (reads the calibration).
+  double PredictRunMs(const QueuedQuery& query) const;
   /// Runs one attempt on the leased device set (a single element for
-  /// classic leases; the device-parallel split set otherwise).
+  /// classic leases; the device-parallel split set otherwise), with
+  /// `token` armed as the attempt's cancellation carrier.
   Result<QueryExecution> RunOne(const QueuedQuery& query,
-                                const std::vector<DeviceId>& devices);
+                                const std::vector<DeviceId>& devices,
+                                CancelToken* token);
   /// Backoff delay before retry attempt `attempt` (1-based count of
   /// failures so far), with seeded jitter. Caller holds mu_.
   double BackoffMs(size_t attempt);
@@ -180,6 +246,12 @@ class QueryService {
   std::mt19937_64 jitter_rng_;
   bool stopping_ = false;
   size_t active_ = 0;
+  /// Sim-cost → wall-time rescaling, fed by completed runs (guarded by mu_).
+  CostCalibration calibration_;
+  /// In-flight attempts, keyed by a monotonic run id (guarded by mu_).
+  std::map<uint64_t, ActiveRun> active_runs_;
+  uint64_t next_run_id_ = 1;
+  std::condition_variable watchdog_cv_;  // wakes WatchdogLoop (stop)
   /// Bumped (under mu_) whenever a completion releases slot + budget;
   /// budget deferrals count at most once per query per epoch.
   uint64_t release_epoch_ = 1;
@@ -201,12 +273,20 @@ class QueryService {
   obs::Counter* quarantines_;
   obs::Counter* fault_unwinds_;
   obs::Counter* probes_;
+  obs::Counter* shed_;
+  obs::Counter* deadline_evictions_;
+  obs::Counter* watchdog_fires_;
+  obs::Counter* cancelled_;
   obs::Histogram* queue_wait_hist_;
   obs::Histogram* run_hist_;
+  /// Deadline minus completion time, clamped at 0, for every finished
+  /// query that carried a deadline — the margin the SLO ran with.
+  obs::Histogram* deadline_slack_hist_;
   std::vector<obs::Counter*> completed_by_device_;
   std::vector<obs::Counter*> busy_ms_by_device_;
 
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
 };
 
 }  // namespace adamant

@@ -43,6 +43,22 @@ std::shared_ptr<QueuedQuery> AdmissionQueue::PopFirst(
   return nullptr;
 }
 
+std::vector<std::shared_ptr<QueuedQuery>> AdmissionQueue::EvictIf(
+    const std::function<bool(const QueuedQuery&)>& evict) {
+  std::vector<std::shared_ptr<QueuedQuery>> evicted;
+  for (auto* level : {&high_, &normal_}) {
+    for (auto it = level->begin(); it != level->end();) {
+      if (evict(**it)) {
+        evicted.push_back(std::move(*it));
+        it = level->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return evicted;
+}
+
 DeviceId DeviceSlotTable::PickLeastLoaded(
     const std::vector<DeviceId>& eligible) const {
   return PickLeastLoaded(eligible, [](DeviceId) { return true; });

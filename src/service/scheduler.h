@@ -44,6 +44,12 @@ struct QuerySpec {
   const Catalog* sql_catalog = nullptr;
   ExecutionOptions options;
   QueryPriority priority = QueryPriority::kNormal;
+  /// Soft SLO deadline, milliseconds from Submit; 0 = none. With a deadline
+  /// the service (a) sheds the query at admission when predicted cost plus
+  /// queue wait cannot meet it, (b) evicts it from the queue once it lapses,
+  /// and (c) arms the run's CancelToken so in-flight work unwinds when the
+  /// deadline passes mid-run.
+  double deadline_ms = 0;
   std::vector<DeviceId> eligible_devices;
   /// Devices to lease together for one run. 1 (default) is the classic
   /// single-device lease. >1 requires options.model == kDeviceParallel: the
@@ -111,6 +117,13 @@ struct QueuedQuery {
   size_t attempt = 0;
   std::vector<DeviceId> excluded_devices;
   std::chrono::steady_clock::time_point not_before{};
+  /// Absolute deadline (valid iff has_deadline), from spec.deadline_ms.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  /// Predicted simulated run cost (us) on the probe device, from
+  /// EstimateSimCostUs; 0 when the estimate failed. Feeds admission
+  /// shedding and the watchdog budget via CostCalibration.
+  double predicted_sim_us = 0;
 };
 
 /// Bounded two-level FIFO of pending queries. Not internally synchronized —
@@ -133,6 +146,13 @@ class AdmissionQueue {
   /// bookkeeping fields, e.g. deferral_epoch).
   std::shared_ptr<QueuedQuery> PopFirst(
       const std::function<bool(QueuedQuery&)>& admit);
+
+  /// Removes and returns every query for which `evict` returns true, in
+  /// queue order. Used for deadline eviction: the caller completes the
+  /// evicted tickets (outside its lock if it prefers) — eviction must not
+  /// depend on a worker happening to dispatch.
+  std::vector<std::shared_ptr<QueuedQuery>> EvictIf(
+      const std::function<bool(const QueuedQuery&)>& evict);
 
  private:
   size_t max_size_;

@@ -58,12 +58,16 @@ bool ShouldFallBack(const KernelExecContext& ctx, size_t n) {
   return ctx.parallel_threads() <= 1 || NumTiles(n) < 2;
 }
 
-/// Runs fn(begin, end) over every tile of [0, n) on the shared pool.
-Status RunTiled(size_t n, int max_threads, const std::string& label,
+/// Runs fn(begin, end) over every tile of [0, n) on the shared pool. The
+/// launch's cancel token (if any) is polled per tile by the pool, so a
+/// cancelled run stops claiming tiles mid-kernel.
+Status RunTiled(const KernelExecContext& ctx, size_t n, int max_threads,
+                const std::string& label,
                 const std::function<Status(size_t, size_t)>& fn) {
   return task::WorkerPool::Global().ParallelTiles(
       NumTiles(n), max_threads, label,
-      [&](size_t tile) { return fn(TileBegin(tile), TileEnd(n, tile)); });
+      [&](size_t tile) { return fn(TileBegin(tile), TileEnd(n, tile)); },
+      ctx.cancel());
 }
 
 // ---------------------------------------------------------------------------
@@ -105,7 +109,7 @@ Status ParallelMapKernel(KernelExecContext* ctx) {
         "map operand mismatch: column-column op requires exactly 3 buffers");
   }
 
-  return RunTiled(f.n, ctx->parallel_threads(), "map",
+  return RunTiled(*ctx, f.n, ctx->parallel_threads(), "map",
                   [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       int64_t a = LoadAs64(in0, in_type, i);
@@ -176,7 +180,7 @@ Status ParallelFilterBitmapKernel(KernelExecContext* ctx) {
   ADAMANT_RETURN_NOT_OK(CheckCapacity(*ctx, f.data_base,
                                       f.n * ElementSize(type), "filter in"));
 
-  return RunTiled(f.n, ctx->parallel_threads(), "filter_bitmap",
+  return RunTiled(*ctx, f.n, ctx->parallel_threads(), "filter_bitmap",
                   [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       bool pred = Compare(op, LoadAs64(in, type, i), lo, hi);
@@ -226,7 +230,7 @@ Status ParallelFilterPositionKernel(KernelExecContext* ctx) {
 
   const int threads = ctx->parallel_threads();
   std::vector<size_t> offsets(NumTiles(f.n), 0);
-  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, threads, "filter_position",
+  ADAMANT_RETURN_NOT_OK(RunTiled(*ctx, f.n, threads, "filter_position",
                                  [&](size_t begin, size_t end) {
     size_t c = 0;
     for (size_t i = begin; i < end; ++i) {
@@ -253,7 +257,7 @@ Status ParallelFilterPositionKernel(KernelExecContext* ctx) {
     }
     return Status::ExecutionError("position list overflow");  // unreachable
   }
-  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, threads, "filter_position",
+  ADAMANT_RETURN_NOT_OK(RunTiled(*ctx, f.n, threads, "filter_position",
                                  [&](size_t begin, size_t end) {
     size_t k = offsets[begin / kTileElems];
     for (size_t i = begin; i < end; ++i) {
@@ -292,7 +296,7 @@ Status ParallelMaterializeKernel(KernelExecContext* ctx) {
 
   const int threads = ctx->parallel_threads();
   std::vector<size_t> offsets(NumTiles(f.n), 0);
-  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, threads, "materialize",
+  ADAMANT_RETURN_NOT_OK(RunTiled(*ctx, f.n, threads, "materialize",
                                  [&](size_t begin, size_t end) {
     size_t c = 0;
     for (size_t i = begin; i < end; ++i) {
@@ -317,7 +321,7 @@ Status ParallelMaterializeKernel(KernelExecContext* ctx) {
     }
     return Status::ExecutionError("materialize overflow");  // unreachable
   }
-  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, threads, "materialize",
+  ADAMANT_RETURN_NOT_OK(RunTiled(*ctx, f.n, threads, "materialize",
                                  [&](size_t begin, size_t end) {
     size_t k = offsets[begin / kTileElems];
     for (size_t i = begin; i < end; ++i) {
@@ -354,7 +358,7 @@ Status ParallelMaterializePositionKernel(KernelExecContext* ctx) {
   ADAMANT_RETURN_NOT_OK(CheckCapacity(*ctx, f.data_base + 2,
                                       f.n * ElementSize(type), "gather out"));
 
-  return RunTiled(f.n, ctx->parallel_threads(), "materialize_position",
+  return RunTiled(*ctx, f.n, ctx->parallel_threads(), "materialize_position",
                   [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       const auto p = static_cast<size_t>(positions[i]);
@@ -388,7 +392,7 @@ Status ParallelPrefixSumKernel(KernelExecContext* ctx) {
 
   const int threads = ctx->parallel_threads();
   std::vector<uint32_t> bases(NumTiles(f.n), 0);
-  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, threads, "prefix_sum",
+  ADAMANT_RETURN_NOT_OK(RunTiled(*ctx, f.n, threads, "prefix_sum",
                                  [&](size_t begin, size_t end) {
     uint32_t sum = 0;
     for (size_t i = begin; i < end; ++i) sum += static_cast<uint32_t>(in[i]);
@@ -401,7 +405,7 @@ Status ParallelPrefixSumKernel(KernelExecContext* ctx) {
     b = running;
     running += tile_sum;
   }
-  return RunTiled(f.n, threads, "prefix_sum",
+  return RunTiled(*ctx, f.n, threads, "prefix_sum",
                   [&](size_t begin, size_t end) {
     uint32_t acc = bases[begin / kTileElems];
     for (size_t i = begin; i < end; ++i) {
@@ -440,7 +444,7 @@ Status ParallelAggBlockKernel(KernelExecContext* ctx) {
       CheckCapacity(*ctx, f.data_base + 1, sizeof(int64_t), "acc"));
 
   std::vector<int64_t> partials(NumTiles(f.n), 0);
-  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, ctx->parallel_threads(), "agg_block",
+  ADAMANT_RETURN_NOT_OK(RunTiled(*ctx, f.n, ctx->parallel_threads(), "agg_block",
                                  [&](size_t begin, size_t end) {
     int64_t p = AggIdentity(op);
     for (size_t i = begin; i < end; ++i) {
@@ -497,7 +501,7 @@ Status ParallelHashBuildKernel(KernelExecContext* ctx) {
 
   const size_t mask = num_slots - 1;
   std::vector<uint32_t> home(f.n);
-  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, ctx->parallel_threads(), "hash_build",
+  ADAMANT_RETURN_NOT_OK(RunTiled(*ctx, f.n, ctx->parallel_threads(), "hash_build",
                                  [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       if (keys[i] == HashTableLayout::kEmptyKey) {
@@ -582,7 +586,7 @@ Status ParallelHashProbeKernel(KernelExecContext* ctx) {
 
   const int threads = ctx->parallel_threads();
   std::vector<size_t> offsets(NumTiles(f.n), 0);
-  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, threads, "hash_probe",
+  ADAMANT_RETURN_NOT_OK(RunTiled(*ctx, f.n, threads, "hash_probe",
                                  [&](size_t begin, size_t end) {
     size_t c = 0;
     for (size_t i = begin; i < end; ++i) {
@@ -611,7 +615,7 @@ Status ParallelHashProbeKernel(KernelExecContext* ctx) {
     }
     return Status::ExecutionError("join result overflow");  // unreachable
   }
-  ADAMANT_RETURN_NOT_OK(RunTiled(f.n, threads, "hash_probe",
+  ADAMANT_RETURN_NOT_OK(RunTiled(*ctx, f.n, threads, "hash_probe",
                                  [&](size_t begin, size_t end) {
     size_t k = offsets[begin / kTileElems];
     for (size_t i = begin; i < end; ++i) {

@@ -66,7 +66,8 @@ void WorkerPool::EnsureStartedLocked() {
 }
 
 Status WorkerPool::ParallelTiles(size_t num_tiles, int max_threads,
-                                 const std::string& label, const TileFn& fn) {
+                                 const std::string& label, const TileFn& fn,
+                                 CancelToken* cancel) {
   if (!fn) return Status::InvalidArgument("WorkerPool: null tile function");
   Counters().regions->Increment();
   if (num_tiles == 0) return Status::OK();
@@ -75,6 +76,7 @@ Status WorkerPool::ParallelTiles(size_t num_tiles, int max_threads,
   region.num_tiles = num_tiles;
   region.fn = &fn;
   region.label = &label;
+  region.cancel = cancel;
 
   if (max_threads <= 1 || num_tiles < 2) {
     // Inline serial path: no pool interaction, no span churn.
@@ -128,6 +130,15 @@ void WorkerPool::RunTiles(Region& region, int track) {
   size_t tiles_run = 0;
   const auto busy_start = std::chrono::steady_clock::now();
   while (!region.failed.load(std::memory_order_relaxed)) {
+    if (region.cancel != nullptr) {
+      Status cst = region.cancel->Check();
+      if (!cst.ok()) {
+        // Record under a sentinel tile index above every real tile: a real
+        // tile failure (always lower-numbered) still wins deterministically.
+        RecordError(region, region.num_tiles, std::move(cst));
+        break;
+      }
+    }
     const size_t tile = region.next_tile.fetch_add(1, std::memory_order_relaxed);
     if (tile >= region.num_tiles) break;
     Status st;

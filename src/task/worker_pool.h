@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 
 namespace adamant::task {
@@ -52,8 +53,14 @@ class WorkerPool {
   /// `max_threads` threads including the caller. Blocks until every claimed
   /// tile finished. max_threads <= 1 (or num_tiles < 2) runs inline on the
   /// caller without touching the pool threads.
+  ///
+  /// `cancel` (optional, not owned) is polled before each tile claim: once
+  /// tripped, no further tiles are claimed on any thread and the region
+  /// reports the token's status — unless a tile had already failed, in
+  /// which case the lowest failing tile's error wins as usual.
   Status ParallelTiles(size_t num_tiles, int max_threads,
-                       const std::string& label, const TileFn& fn);
+                       const std::string& label, const TileFn& fn,
+                       CancelToken* cancel = nullptr);
 
   /// Number of spawned worker threads (0 until the first parallel region).
   int worker_count() const { return worker_count_.load(std::memory_order_relaxed); }
@@ -66,6 +73,7 @@ class WorkerPool {
     const TileFn* fn = nullptr;
     const std::string* label = nullptr;
     size_t max_joiners = 0;
+    CancelToken* cancel = nullptr;
 
     std::atomic<size_t> next_tile{0};
     std::atomic<bool> failed{false};

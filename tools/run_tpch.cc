@@ -82,6 +82,23 @@
 //                     device's data-path interface calls (default 0 = off)
 //   --fault-seed=N    fault RNG seed; device i uses N + i (default 13)
 //   --sticky-device=I device I dies on its first Execute and stays dead
+//   --stall-ms=F      with --sticky-device: the device stalls every Execute
+//                     for F wall-clock ms instead of failing (a chronic
+//                     straggler — pair with --watchdog-factor)
+//
+// Deadlines and load shedding (serve mode; see docs/serving.md):
+//
+//   run_tpch --serve --queries=100 --deadline-ms=200 --watchdog-factor=3
+//
+//   --deadline-ms=F       per-query deadline; unmeetable queries are shed at
+//                         admission, lapsed ones evicted or cancelled
+//   --priority=normal|high  admission priority class of the workload
+//   --watchdog-factor=F   cancel runs exceeding F x predicted cost and
+//                         quarantine the device (0 = off)
+//
+// Exit codes: 0 success; 1 hard failure; 2 bad arguments; 3 = some served
+// queries were shed / cancelled / failed — details on the machine-readable
+// "serve_errors:" JSON line.
 //                     until quarantined (default -1 = none)
 //   --sequential      submit one query at a time (wait for each before the
 //                     next): fixes the device call order so two same-seed
@@ -143,6 +160,16 @@ struct Options {
   uint64_t fault_seed = 13;
   int sticky_device = -1;
   bool sequential = false;
+  /// Serve-mode SLO knobs (docs/serving.md "Deadlines, cancellation, and
+  /// load shedding"): per-query deadline (0 = none), priority class, and
+  /// watchdog factor (0 = watchdog off).
+  double deadline_ms = 0;
+  QueryPriority priority = QueryPriority::kNormal;
+  double watchdog_factor = 0;
+  /// With --sticky-device: the device *stalls* each Execute for this many
+  /// wall-clock ms instead of failing — a chronic straggler for the
+  /// watchdog, rather than a crasher for the retry path.
+  double stall_ms = 0;
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
@@ -226,6 +253,20 @@ Result<Options> ParseArgs(int argc, char** argv) {
       options.fault_seed = std::stoull(value);
     } else if (ParseFlag(arg, "sticky-device", &value)) {
       options.sticky_device = std::stoi(value);
+    } else if (ParseFlag(arg, "deadline-ms", &value)) {
+      options.deadline_ms = std::stod(value);
+    } else if (ParseFlag(arg, "priority", &value)) {
+      if (value == "high") {
+        options.priority = QueryPriority::kHigh;
+      } else if (value == "normal") {
+        options.priority = QueryPriority::kNormal;
+      } else {
+        return Status::InvalidArgument("--priority must be normal|high");
+      }
+    } else if (ParseFlag(arg, "watchdog-factor", &value)) {
+      options.watchdog_factor = std::stod(value);
+    } else if (ParseFlag(arg, "stall-ms", &value)) {
+      options.stall_ms = std::stod(value);
     } else if (arg == "--sequential") {
       options.sequential = true;
     } else if (ParseFlag(arg, "sql", &value)) {
@@ -699,7 +740,30 @@ Result<ServeReference> BuildServeReference(const Catalog& catalog,
   return ref;
 }
 
-Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
+/// One served query that did not produce a usable result, for the
+/// machine-readable `serve_errors:` record (exit code 3).
+struct ServeErrorRecord {
+  size_t index;
+  std::string query;
+  const char* outcome;  // "shed" | "rejected" | "cancelled" | "failed"
+  Status status;
+};
+
+std::string ServeErrorsJson(const std::vector<ServeErrorRecord>& errors) {
+  std::string json =
+      "{\"count\":" + std::to_string(errors.size()) + ",\"errors\":[";
+  for (size_t i = 0; i < errors.size(); ++i) {
+    const ServeErrorRecord& e = errors[i];
+    if (i > 0) json += ",";
+    json += "{\"index\":" + std::to_string(e.index) + ",\"query\":\"" +
+            obs::JsonEscape(e.query) + "\",\"outcome\":\"" + e.outcome +
+            "\",\"status\":\"" + obs::JsonEscape(e.status.ToString()) + "\"}";
+  }
+  return json + "]}";
+}
+
+Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog,
+             int* exit_code) {
   ADAMANT_ASSIGN_OR_RETURN(sim::DriverKind kind,
                            DriverFromName(options.driver));
   ADAMANT_ASSIGN_OR_RETURN(ExecutionModelKind model,
@@ -718,7 +782,14 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
       FaultPlan plan = FaultPlan::TransientRate(
           options.fault_rate, options.fault_seed + i);
       if (static_cast<int>(i) == options.sticky_device) {
-        FaultPlan sticky = FaultPlan::Sticky(InterfaceCall::kExecute);
+        // --stall-ms turns the sticky device into a chronic straggler
+        // (every Execute sleeps but succeeds) instead of a crasher; only a
+        // deadline or the watchdog ends runs placed on it.
+        FaultPlan sticky =
+            options.stall_ms > 0
+                ? FaultPlan::StickyStall(InterfaceCall::kExecute,
+                                         options.stall_ms)
+                : FaultPlan::Sticky(InterfaceCall::kExecute);
         plan.specs.insert(plan.specs.end(), sticky.specs.begin(),
                           sticky.specs.end());
       }
@@ -796,6 +867,13 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
   ServiceConfig config;
   config.workers = std::max<size_t>(options.clients, 1);
   config.enable_cache = !options.no_cache;
+  config.slo.watchdog_factor = options.watchdog_factor;
+  if (options.deadline_ms > 0 || options.watchdog_factor > 0) {
+    std::printf("serve: deadline %g ms, priority %s, watchdog factor %g\n",
+                options.deadline_ms,
+                options.priority == QueryPriority::kHigh ? "high" : "normal",
+                options.watchdog_factor);
+  }
   if (faults) {
     // ~10% per-attempt fault rate wants more headroom than the default 3
     // attempts before a ticket is allowed to fail.
@@ -819,12 +897,15 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
   const Catalog* cat = catalog.get();
   std::vector<int> kinds;
   std::vector<std::shared_ptr<QueryTicket>> tickets;
+  std::vector<ServeErrorRecord> errors;
   kinds.reserve(options.serve_queries);
   tickets.reserve(options.serve_queries);
   for (size_t i = 0; i < options.serve_queries; ++i) {
     const int kind_ix = pick(rng);
     QuerySpec spec;
     spec.options = exec_options;
+    spec.deadline_ms = options.deadline_ms;
+    spec.priority = options.priority;
     if (options.serve_sql) {
       spec.name = std::string("sql-") + kSqlServeNames[kind_ix];
       spec.sql = sql::FindBuiltinQuery(kSqlServeNames[kind_ix])->sql;
@@ -854,8 +935,26 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
         return std::move(bundle.graph);
       };
     }
-    ADAMANT_ASSIGN_OR_RETURN(std::shared_ptr<QueryTicket> ticket,
-                             service.Submit(std::move(spec)));
+    const std::string query_name = spec.name;
+    Result<std::shared_ptr<QueryTicket>> submit =
+        service.Submit(std::move(spec));
+    if (!submit.ok()) {
+      // Shed (deadline unmeetable) and capacity rejections are recorded
+      // outcomes of the experiment, not reasons to abort it; anything else
+      // (a plan bug) still aborts.
+      const Status& st = submit.status();
+      if (st.IsDeadlineExceeded()) {
+        errors.push_back({i, query_name, "shed", st});
+      } else if (st.IsOutOfMemory() || st.IsUnavailable()) {
+        errors.push_back({i, query_name, "rejected", st});
+      } else {
+        return st.WithContext("submitting query " + std::to_string(i));
+      }
+      kinds.push_back(kind_ix);
+      tickets.push_back(nullptr);
+      continue;
+    }
+    std::shared_ptr<QueryTicket> ticket = std::move(*submit);
     // Sequential mode serializes the device call order: every attempt of
     // query i happens before any call of query i+1, which makes the fault
     // injectors' seeded decisions — and hence the failure counters —
@@ -868,15 +967,26 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
   size_t mismatches = 0;
   size_t fault_failures = 0;
   for (size_t i = 0; i < tickets.size(); ++i) {
+    if (tickets[i] == nullptr) continue;  // shed / rejected at submit
     const Result<QueryExecution>& result = tickets[i]->Wait();
     if (!result.ok()) {
+      const Status& st = result.status();
+      if (st.IsCancelled() || st.IsDeadlineExceeded()) {
+        // SLO outcomes (deadline lapse, user cancel, unretried watchdog
+        // trip) are recorded even under fault injection — they are what a
+        // deadline experiment measures.
+        errors.push_back(
+            {i, tickets[i]->name(), "cancelled", st});
+        continue;
+      }
       // With fault injection on, a ticket that exhausted its retries is an
       // expected outcome to report, not a reason to abort the workload.
       if (faults) {
         ++fault_failures;
         continue;
       }
-      return result.status().WithContext("served query " + std::to_string(i));
+      errors.push_back({i, tickets[i]->name(), "failed", st});
+      continue;
     }
     bool match = false;
     if (options.serve_sql) {
@@ -904,7 +1014,15 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
 
   ServiceStats stats = service.GetStats();
   std::printf("serve: %zu/%zu results match serial runs\n",
-              tickets.size() - mismatches - fault_failures, tickets.size());
+              tickets.size() - mismatches - fault_failures - errors.size(),
+              tickets.size());
+  if (!errors.empty()) {
+    // Machine-readable record of every shed / rejected / cancelled / failed
+    // served query, on one greppable line; paired with exit code 3 so
+    // harnesses distinguish "the SLO shed work" from "the binary broke".
+    std::printf("serve_errors: %s\n", ServeErrorsJson(errors).c_str());
+    *exit_code = 3;
+  }
   if (faults) {
     std::printf("serve: %zu queries failed after retries; %zu fault unwinds, "
                 "%zu retries, %zu quarantines\n",
@@ -934,7 +1052,7 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog) {
   return Status::OK();
 }
 
-Status Run(const Options& options) {
+Status Run(const Options& options, int* exit_code) {
   if (options.list_queries) {
     for (const sql::BuiltinQuery& query : sql::BuiltinQueries()) {
       std::printf("%s — %s\n%s\n\n", query.name.c_str(), query.title.c_str(),
@@ -956,7 +1074,7 @@ Status Run(const Options& options) {
                 options.nominal_sf);
   }
 
-  if (options.serve) return Serve(options, catalog);
+  if (options.serve) return Serve(options, catalog, exit_code);
 
   // Device.
   ADAMANT_ASSIGN_OR_RETURN(sim::DriverKind kind,
@@ -1071,10 +1189,13 @@ int main(int argc, char** argv) {
                  options.status().ToString().c_str());
     return 2;
   }
-  adamant::Status st = adamant::Run(*options);
+  // Exit codes: 0 success, 1 hard failure, 2 bad arguments, 3 served
+  // queries were shed/cancelled/failed (see the serve_errors: JSON line).
+  int exit_code = 0;
+  adamant::Status st = adamant::Run(*options, &exit_code);
   if (!st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;
   }
-  return 0;
+  return exit_code;
 }
