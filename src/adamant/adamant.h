@@ -34,6 +34,7 @@
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "obs/trace_check.h"
+#include "plan/fusion.h"
 #include "plan/logical_plan.h"
 #include "plan/lowering.h"
 #include "plan/placement_optimizer.h"

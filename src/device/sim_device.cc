@@ -334,6 +334,8 @@ Status SimulatedDevice::Execute(const KernelLaunch& launch) {
     used_threads = kernel_threads_;
   }
 
+  if (launch.kernel_name == "fused") ++fused_launches_;
+
   // Resolve buffer arguments and collect dependency times.
   std::vector<void*> pointers(launch.args.size(), nullptr);
   std::vector<size_t> sizes(launch.args.size(), 0);

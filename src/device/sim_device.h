@@ -110,6 +110,8 @@ class SimulatedDevice : public Device {
   int kernel_threads() const { return kernel_threads_; }
   /// Number of Execute calls that dispatched a parallel variant fn.
   size_t parallel_launches() const { return parallel_launches_; }
+  /// Number of Execute calls that ran the fused composite kernel.
+  size_t fused_launches() const { return fused_launches_; }
 
   // --- Simulation control (used by the runtime layer, not part of the
   //     paper's device interface) ---
@@ -155,6 +157,7 @@ class SimulatedDevice : public Device {
   void ResetStats() {
     stats_ = DeviceCallStats{};
     parallel_launches_ = 0;
+    fused_launches_ = 0;
   }
 
   /// Direct access to a buffer's backing bytes — for tests only; the
@@ -225,6 +228,7 @@ class SimulatedDevice : public Device {
   /// on the host machine).
   int kernel_threads_ = 4;
   size_t parallel_launches_ = 0;
+  size_t fused_launches_ = 0;
 
   sim::MemoryArena device_arena_;
   sim::MemoryArena pinned_arena_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "plan/fusion.h"
 #include "runtime/exec/plan_shapes.h"
 
 namespace adamant::plan {
@@ -106,6 +107,10 @@ Result<PlacementSearchResult> SearchPlacements(
         PlacementPolicy policy = MakeCandidate(streaming, hash, sink);
         ADAMANT_ASSIGN_OR_RETURN(PlanBundle bundle,
                                  LowerPlan(root, catalog, policy));
+        // Candidates are simulated the way they would run: with the
+        // fusion pass applied under the same options.
+        ADAMANT_RETURN_NOT_OK(
+            ApplyFusion(&bundle, options, manager).status());
         QueryExecutor executor(manager);
         auto exec = executor.Run(bundle.graph.get(), options);
         if (!exec.ok()) {
@@ -143,6 +148,7 @@ Result<PlacementSearchResult> SearchPlacements(
     PlacementPolicy policy = MakeCandidate(set[0], set[0], set[0]);
     ADAMANT_ASSIGN_OR_RETURN(PlanBundle bundle,
                              LowerPlan(root, catalog, policy));
+    ADAMANT_RETURN_NOT_OK(ApplyFusion(&bundle, options, manager).status());
     // Merge-cost gate: when the interior-breaker round-trip is predicted to
     // eat the compute savings of the split, don't even simulate the
     // candidate (BENCH_multidevice's Q4 regression: a fact-table HASH_BUILD

@@ -31,9 +31,20 @@ Result<size_t> SuggestChunkElems(const SimulatedDevice& device,
   }
 
   // Budget: a quarter of device memory, split between dual staging buffers
-  // (2x) and an equal allowance for intermediates (2x again).
+  // (2x) and an equal allowance for intermediates (2x again). Graphs that
+  // carry fused composites skip the interior materializations — the fused
+  // group writes a single compacted output — so their transient allowance
+  // halves and the chunk can grow into the reclaimed space.
+  bool has_fused = false;
+  for (const GraphNode& node : graph.nodes()) {
+    if (node.kind == PrimitiveKind::kFused ||
+        node.kind == PrimitiveKind::kFusedAgg) {
+      has_fused = true;
+      break;
+    }
+  }
   const size_t budget = device.perf_model().device_memory_bytes / 4;
-  const size_t per_row = widest_row_bytes * 4;
+  const size_t per_row = widest_row_bytes * (has_fused ? 3 : 4);
   size_t elems = budget / per_row;
   elems = bit_util::NextPowerOfTwo(std::max<size_t>(elems, 2)) / 2;  // floor
   size_t min_chunk = size_t{1} << 16;

@@ -93,6 +93,9 @@ Status MergeBreaker(RunContext& parent, std::vector<SubRun>& subs,
                               ": partition containers differ in size");
     }
     switch (node.kind) {
+      // FUSED_AGG mirrors its terminal aggregate in config.agg_op, so the
+      // per-partition int64 accumulators merge exactly like AGG_BLOCK.
+      case PrimitiveKind::kFusedAgg:
       case PrimitiveKind::kAggBlock: {
         int64_t acc, part;
         std::memcpy(&acc, merged.data(), sizeof(acc));

@@ -39,12 +39,19 @@ std::vector<OutputPlanEntry> PlanNodeOutputs(const GraphNode& node,
               {1, EstimateElems(in_capacity, sel) * sizeof(int32_t),
                DataSemantic::kNumeric},
               {2, sizeof(int64_t), DataSemantic::kNumeric}};
+    case PrimitiveKind::kFused:
+      // Single compacted output + count, like MATERIALIZE — and nothing
+      // else: the fused group's interior intermediates need no ring slots.
+      return {{0, EstimateElems(in_capacity, sel) * 8,
+               DataSemantic::kNumeric},
+              {2, sizeof(int64_t), DataSemantic::kNumeric}};
     // Breakers write into their persists; no per-chunk outputs.
     case PrimitiveKind::kAggBlock:
     case PrimitiveKind::kHashBuild:
     case PrimitiveKind::kHashAgg:
     case PrimitiveKind::kSortAgg:
     case PrimitiveKind::kPrefixSum:
+    case PrimitiveKind::kFusedAgg:
       return {};
   }
   return {};
@@ -54,6 +61,7 @@ Result<PersistShape> PlanPersist(const GraphNode& node, size_t input_rows) {
   PersistShape shape;
   switch (node.kind) {
     case PrimitiveKind::kAggBlock:
+    case PrimitiveKind::kFusedAgg:
       shape.bytes = sizeof(int64_t);
       break;
     case PrimitiveKind::kHashBuild: {

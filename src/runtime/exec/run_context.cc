@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "runtime/exec/plan_shapes.h"
 #include "task/kernels.h"
+#include "task/kernels_fused.h"
 
 namespace adamant::exec {
 
@@ -455,7 +456,8 @@ Status RunContext::StageAllocations(const Pipeline& pipeline, size_t cap) {
     const size_t out_cap =
         node.kind == PrimitiveKind::kFilterPosition ||
                 node.kind == PrimitiveKind::kMaterialize ||
-                node.kind == PrimitiveKind::kHashProbe
+                node.kind == PrimitiveKind::kHashProbe ||
+                node.kind == PrimitiveKind::kFused
             ? EstimateElems(in_cap, node.config.selectivity)
             : in_cap;
     caps[{node_id, 0}] = out_cap;
@@ -469,6 +471,14 @@ Status RunContext::ExecuteNode(int node_id, size_t chunk, size_t base_row,
   const GraphNode& node = graph_->node(node_id);
   ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev,
                            manager_->GetDevice(node.device));
+
+  // Fused composites take a variable number of inputs and launch the
+  // recipe interpreter; they get their own path.
+  if (node.kind == PrimitiveKind::kFused ||
+      node.kind == PrimitiveKind::kFusedAgg) {
+    (void)chunk;
+    return ExecuteFusedNode(node, dev, base_row, n);
+  }
 
   // Resolve inputs by slot.
   std::array<Binding, 2> in{};
@@ -713,6 +723,95 @@ Status RunContext::ExecuteNode(int node_id, size_t chunk, size_t base_row,
   return Status::OK();
 }
 
+Status RunContext::ExecuteFusedNode(const GraphNode& node,
+                                    SimulatedDevice* dev, size_t base_row,
+                                    size_t n) {
+  // Resolve inputs by slot — a fused group may read more than two scan
+  // columns, so the fixed two-slot array in ExecuteNode does not apply.
+  const size_t num_inputs = FusedNumInputs(node.config.fused_steps);
+  std::vector<Binding> in(num_inputs);
+  std::vector<bool> has_in(num_inputs, false);
+  for (int edge_id : graph_->InEdges(node.id)) {
+    const GraphEdge& edge = graph_->edges()[static_cast<size_t>(edge_id)];
+    const auto slot = static_cast<size_t>(edge.to_slot);
+    if (slot >= num_inputs) {
+      return Status::Internal(node.label + ": fused input slot " +
+                              std::to_string(edge.to_slot) +
+                              " has no load step");
+    }
+    ADAMANT_ASSIGN_OR_RETURN(in[slot], InputBinding(edge, node.device));
+    has_in[slot] = true;
+  }
+  for (size_t i = 0; i < num_inputs; ++i) {
+    if (!has_in[i]) {
+      return Status::Internal(node.label + ": fused input slot " +
+                              std::to_string(i) + " is unbound");
+    }
+  }
+  const Binding& a = in[0];
+  std::vector<BufferId> inputs(num_inputs);
+  for (size_t i = 0; i < num_inputs; ++i) inputs[i] = in[i].data;
+
+  KernelLaunch launch;
+  Binding out0;
+  if (node.kind == PrimitiveKind::kFused) {
+    const size_t est = EstimateElems(a.capacity, node.config.selectivity);
+    ADAMANT_ASSIGN_OR_RETURN(
+        out0.data, OutputBuffer(node, 0, est * 8, DataSemantic::kNumeric));
+    ADAMANT_ASSIGN_OR_RETURN(
+        out0.count,
+        OutputBuffer(node, 2, sizeof(int64_t), DataSemantic::kNumeric));
+    out0.capacity = est;
+    out0.elem_type = node.config.out_type;
+    out0.device = node.device;
+    launch = kernels::MakeFused(inputs, out0.data, out0.count,
+                                node.config.fused_steps, /*init=*/false,
+                                a.capacity, a.count);
+  } else {  // kFusedAgg: accumulate into the persist, like AGG_BLOCK.
+    Persist& persist = persists_.at(node.id);
+    const bool init = !persist.initialized;
+    persist.initialized = true;
+    out0.data = persist.buffer;
+    out0.capacity = 1;
+    out0.elem_type = ElementType::kInt64;
+    out0.device = node.device;
+    launch = kernels::MakeFused(inputs, persist.buffer, kInvalidBuffer,
+                                node.config.fused_steps, init, a.capacity,
+                                a.count);
+  }
+
+  launch.variant = options_.kernel_variant;
+  launch.num_threads = options_.kernel_threads;
+  launch.cancel = options_.cancel_token;
+
+  {
+    static obs::Counter* launches =
+        obs::GlobalMetrics().GetCounter("adamant_kernel_launches_total");
+    launches->Increment();
+    obs::TraceSpan kernel_span;
+    if (obs::TracingEnabled()) {
+      // One span per fused group launch, named after the recipe so traces
+      // show what the composite replaced (e.g. fused:filter+filter+map+agg).
+      kernel_span.Start(static_cast<int>(node.device),
+                        "fused:" + FusedRecipeLabel(node.config.fused_steps));
+    }
+    ADAMANT_RETURN_NOT_OK(
+        dev->Execute(launch).WithContext(node.label).WithDevice(node.device));
+  }
+
+  for (int edge_id : graph_->OutEdges(node.id)) {
+    edge_bindings_[edge_id] = out0;
+  }
+
+  // A terminal FUSED node streams its compacted output back per chunk;
+  // FUSED_AGG is a breaker and is retrieved via its persist.
+  if (graph_->IsTerminal(node.id) && node.kind == PrimitiveKind::kFused) {
+    ADAMANT_RETURN_NOT_OK(
+        RetrieveStreaming(node, dev, out0, nullptr, base_row, n));
+  }
+  return Status::OK();
+}
+
 Status RunContext::AllocatePersist(const GraphNode& node, size_t input_rows) {
   if (persists_.count(node.id) > 0) return Status::OK();
   ADAMANT_ASSIGN_OR_RETURN(PersistShape shape, PlanPersist(node, input_rows));
@@ -858,6 +957,7 @@ Status RunContext::BindPersistOutputs(const Pipeline& pipeline) {
     binding.num_slots = persist.num_slots;
     switch (node.kind) {
       case PrimitiveKind::kAggBlock:
+      case PrimitiveKind::kFusedAgg:
         binding.capacity = 1;
         binding.elem_type = ElementType::kInt64;
         break;
@@ -982,6 +1082,7 @@ void RunContext::FinalizeStats() {
                                    : dev->kernel_threads())
                             : 1;
     ds.parallel_launches = dev->parallel_launches();
+    ds.fused_launches = dev->fused_launches();
     stats.kernel_body_us += ds.kernel_body_us;
     stats.transfer_wire_us += ds.transfer_wire_us;
     stats.elapsed_us = std::max(stats.elapsed_us, dev->MaxCompletion());

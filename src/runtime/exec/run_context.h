@@ -174,6 +174,10 @@ class RunContext {
                              std::map<std::pair<int, int>, size_t>* caps) const;
   static int PrimaryInputSlot(const GraphNode& node);
   Status ExecuteNode(int node_id, size_t chunk, size_t base_row, size_t n);
+  /// FUSED / FUSED_AGG launch path: variable input count, recipe
+  /// interpreter kernel, `fused:<recipe>` trace span.
+  Status ExecuteFusedNode(const GraphNode& node, SimulatedDevice* dev,
+                          size_t base_row, size_t n);
   Status AllocatePersist(const GraphNode& node, size_t input_rows);
   Status RetrieveStreaming(const GraphNode& node, SimulatedDevice* dev,
                            const Binding& out0, const Binding* out1,

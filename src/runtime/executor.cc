@@ -29,6 +29,104 @@ const char* ExecutionModelName(ExecutionModelKind kind) {
   return "?";
 }
 
+const char* FusionModeName(FusionMode mode) {
+  switch (mode) {
+    case FusionMode::kOff:
+      return "off";
+    case FusionMode::kOn:
+      return "on";
+    case FusionMode::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Knob validation: the single authority for ExecutionOptions enums/ranges.
+// ---------------------------------------------------------------------------
+
+Status ValidateExecutionOptions(const ExecutionOptions& options) {
+  switch (options.model) {
+    case ExecutionModelKind::kOperatorAtATime:
+    case ExecutionModelKind::kChunked:
+    case ExecutionModelKind::kPipelined:
+    case ExecutionModelKind::kFourPhaseChunked:
+    case ExecutionModelKind::kFourPhasePipelined:
+    case ExecutionModelKind::kDeviceParallel:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "unknown execution model " +
+          std::to_string(static_cast<int>(options.model)));
+  }
+  switch (options.kernel_variant) {
+    case KernelVariantRequest::kAuto:
+    case KernelVariantRequest::kScalar:
+    case KernelVariantRequest::kParallel:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "unknown kernel variant " +
+          std::to_string(static_cast<int>(options.kernel_variant)));
+  }
+  switch (options.fusion) {
+    case FusionMode::kOff:
+    case FusionMode::kOn:
+    case FusionMode::kAuto:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "unknown fusion mode " +
+          std::to_string(static_cast<int>(options.fusion)));
+  }
+  if (options.kernel_threads < 0 || options.kernel_threads > 1024) {
+    return Status::InvalidArgument(
+        "kernel_threads must be in [0, 1024], got " +
+        std::to_string(options.kernel_threads));
+  }
+  if (options.chunk_elems == 0) {
+    return Status::InvalidArgument("chunk_elems must be positive");
+  }
+  if (options.pipeline_depth > 1024) {
+    return Status::InvalidArgument(
+        "pipeline_depth must be at most 1024, got " +
+        std::to_string(options.pipeline_depth));
+  }
+  return Status::OK();
+}
+
+Result<KernelVariantRequest> ParseKernelVariant(const std::string& value) {
+  if (value == "auto") return KernelVariantRequest::kAuto;
+  if (value == "scalar") return KernelVariantRequest::kScalar;
+  if (value == "parallel") return KernelVariantRequest::kParallel;
+  return Status::InvalidArgument(
+      "unknown kernel variant '" + value +
+      "' (expected auto|scalar|parallel)");
+}
+
+Result<FusionMode> ParseFusionMode(const std::string& value) {
+  if (value == "off") return FusionMode::kOff;
+  if (value == "on") return FusionMode::kOn;
+  if (value == "auto") return FusionMode::kAuto;
+  return Status::InvalidArgument("unknown fusion mode '" + value +
+                                 "' (expected off|on|auto)");
+}
+
+Result<ExecutionModelKind> ParseExecutionModel(const std::string& value) {
+  if (value == "oaat") return ExecutionModelKind::kOperatorAtATime;
+  if (value == "chunked") return ExecutionModelKind::kChunked;
+  if (value == "pipelined") return ExecutionModelKind::kPipelined;
+  if (value == "4phase") return ExecutionModelKind::kFourPhaseChunked;
+  if (value == "4phase-pipelined") {
+    return ExecutionModelKind::kFourPhasePipelined;
+  }
+  if (value == "device-parallel") return ExecutionModelKind::kDeviceParallel;
+  return Status::InvalidArgument(
+      "unknown execution model '" + value +
+      "' (expected oaat|chunked|pipelined|4phase|4phase-pipelined|"
+      "device-parallel)");
+}
+
 // ---------------------------------------------------------------------------
 // QueryExecution result accessors.
 // ---------------------------------------------------------------------------
@@ -44,8 +142,9 @@ Result<const QueryExecution::NodeOutput*> QueryExecution::Output(
 
 Result<int64_t> QueryExecution::AggValue(int node_id) const {
   ADAMANT_ASSIGN_OR_RETURN(const NodeOutput* output, Output(node_id));
-  if (output->kind != PrimitiveKind::kAggBlock ||
-      output->bytes.size() != sizeof(int64_t)) {
+  const bool agg_kind = output->kind == PrimitiveKind::kAggBlock ||
+                        output->kind == PrimitiveKind::kFusedAgg;
+  if (!agg_kind || output->bytes.size() != sizeof(int64_t)) {
     return Status::InvalidArgument("node " + std::to_string(node_id) +
                                    " is not an AGG_BLOCK result");
   }
@@ -116,6 +215,7 @@ Result<QueryExecution> QueryExecutor::Run(PrimitiveGraph* graph,
   if (manager_ == nullptr || manager_->num_devices() == 0) {
     return Status::InvalidArgument("no devices plugged");
   }
+  ADAMANT_RETURN_NOT_OK(ValidateExecutionOptions(options));
   ADAMANT_ASSIGN_OR_RETURN(std::unique_ptr<exec::ModelDriver> driver,
                            exec::MakeModelDriver(options.model));
   obs::TraceSpan query_span;

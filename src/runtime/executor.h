@@ -47,6 +47,17 @@ enum class ExecutionModelKind {
 
 const char* ExecutionModelName(ExecutionModelKind kind);
 
+/// Whether plan::ApplyFusion rewrites fusable chains into FUSED composite
+/// primitives. kAuto fuses a group only when the device's cost model says
+/// the single-pass kernel beats the unfused chain.
+enum class FusionMode {
+  kOff = 0,
+  kOn,
+  kAuto,
+};
+
+const char* FusionModeName(FusionMode mode);
+
 struct ExecutionOptions {
   ExecutionModelKind model = ExecutionModelKind::kChunked;
   /// Chunk size in *nominal* elements (the paper uses 2^25 int values); the
@@ -75,6 +86,11 @@ struct ExecutionOptions {
   /// Thread budget per parallel kernel launch; 0 = each device's policy
   /// count (kDefaultKernelThreads for CPU drivers).
   int kernel_threads = 0;
+  /// Kernel-fusion mode consumed by plan::ApplyFusion (the executor itself
+  /// runs whatever graph it is handed — fusion is a plan-level rewrite
+  /// applied before placement/execution by the CLI, the placement search
+  /// and tests).
+  FusionMode fusion = FusionMode::kAuto;
 
   // --- Service-layer hooks (see src/service/). All default to off; a bare
   //     QueryExecutor::Run behaves exactly as in the single-query engine. ---
@@ -130,6 +146,8 @@ struct DeviceRunStats {
   std::string kernel_variant;
   int kernel_threads = 0;
   size_t parallel_launches = 0;
+  /// Execute calls that ran a FUSED composite kernel on this device.
+  size_t fused_launches = 0;
 };
 
 struct QueryStats {
@@ -205,6 +223,25 @@ class QueryExecution {
  private:
   std::map<int, NodeOutput> outputs_;
 };
+
+// ---------------------------------------------------------------------------
+// ExecutionOptions knob validation. One authority for every enum/range
+// check so the CLI, the service layer and QueryExecutor::Run reject bad
+// values with the same messages instead of scattering per-site checks.
+// ---------------------------------------------------------------------------
+
+/// Validates the cross-field knobs of `options` (kernel_variant,
+/// kernel_threads, model, fusion, chunk_elems, pipeline_depth). Returns
+/// InvalidArgument with a descriptive message on the first violation.
+Status ValidateExecutionOptions(const ExecutionOptions& options);
+
+/// String parsers for the CLI-facing knobs. Accepted values:
+/// kernel variant "auto"|"scalar"|"parallel"; fusion "off"|"on"|"auto";
+/// model "oaat"|"chunked"|"pipelined"|"4phase"|"4phase-pipelined"|
+/// "device-parallel".
+Result<KernelVariantRequest> ParseKernelVariant(const std::string& value);
+Result<FusionMode> ParseFusionMode(const std::string& value);
+Result<ExecutionModelKind> ParseExecutionModel(const std::string& value);
 
 /// Conservative estimate, in *nominal* bytes (see SimContext::data_scale),
 /// of the peak device-memory footprint of running `graph` under `options`:

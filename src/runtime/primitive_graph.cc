@@ -49,6 +49,11 @@ std::vector<SlotSpec> ExpectedInputs(const GraphNode& node) {
               {S::kNumeric, node.config.agg_op != AggOp::kCount}};
     case PrimitiveKind::kSortAgg:
       return {{S::kNumeric, true}, {S::kPrefixSum, true}};
+    case PrimitiveKind::kFused:
+    case PrimitiveKind::kFusedAgg:
+      // One required NUMERIC slot per input buffer the recipe loads.
+      return std::vector<SlotSpec>(FusedNumInputs(node.config.fused_steps),
+                                   {S::kNumeric, true});
   }
   return {};
 }

@@ -53,6 +53,12 @@ struct NodeConfig {
 
   // SORT_AGG
   size_t num_groups = 0;
+
+  /// FUSED / FUSED_AGG: the recipe (plan::FusionPass output). Input slot i
+  /// of the node feeds load steps with operand a == i; a FUSED_AGG node
+  /// also mirrors the terminal's op in agg_op so partition merging
+  /// (device-parallel model) treats it like AGG_BLOCK.
+  std::vector<FusedStep> fused_steps;
 };
 
 /// A primitive-graph node: one database primitive annotated with its target

@@ -81,6 +81,11 @@ void GpuKernels(DevicePerfModel* m, double s, bool opencl) {
     m->kernels["hash_probe"] = P(3600 * s, 0, 0.05, 0.08);
   }
   m->kernels["sort_agg"] = P(15000 * s);
+  // Fused composite pass: one traversal of the scan inputs regardless of
+  // how many primitives the recipe folds. Slightly below the streaming
+  // filter rate — the per-row interpreter does a few ops per element — but
+  // a K-primitive chain collapses from K traversals to one.
+  m->kernels["fused"] = P(38000 * s);
   m->default_kernel = P(10000 * s);
 }
 
@@ -114,6 +119,8 @@ void CpuKernels(DevicePerfModel* m, double s, bool opencl) {
   m->kernels["hash_build"] = P(hash * 1.1 * s, 0, 0.02, 0.02);
   m->kernels["hash_probe"] = P(hash * 1.5 * s, 0, 0.02, 0.02);
   m->kernels["sort_agg"] = P(streaming * 0.4 * s);
+  // One traversal for the whole fused chain (see the GPU note above).
+  m->kernels["fused"] = P(streaming * 0.9 * s);
   m->default_kernel = P(streaming * 0.5 * s);
 }
 

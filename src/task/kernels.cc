@@ -7,6 +7,7 @@
 #include "common/bit_util.h"
 #include "common/logging.h"
 #include "task/hash_table.h"
+#include "task/kernels_fused.h"
 #include "task/kernels_internal.h"
 
 namespace adamant::kernels {
@@ -501,6 +502,7 @@ const std::map<std::string, HostKernelFn>& KernelTable() {
           {"hash_agg", HashAggKernel},
           {"sort_agg", SortAggKernel},
           {"fill", FillKernel},
+          {"fused", FusedKernel},
       };
   return *kTable;
 }

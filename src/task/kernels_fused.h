@@ -1,0 +1,50 @@
+#ifndef ADAMANT_TASK_KERNELS_FUSED_H_
+#define ADAMANT_TASK_KERNELS_FUSED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "device/kernel_launch.h"
+#include "storage/types.h"
+#include "task/primitive.h"
+
+namespace adamant::kernels {
+
+/// Single-pass interpreter over a fused recipe (FUSED / FUSED_AGG composite
+/// primitives, see plan::FusionPass). One traversal of the scan inputs
+/// replaces the whole map/filter/materialize[/agg] chain: per row the steps
+/// run in recipe order with predicate short-circuiting, and the terminal
+/// step either compacts survivors into the output (FUSED) or folds them
+/// into an int64 accumulator (FUSED_AGG). Outputs and error messages are
+/// bit-identical to running the unfused chain.
+///
+/// Argument layout (see MakeFused): buffers are [count_in?] in0..inN-1,
+/// then out+count (stream) or acc (agg); scalars are the encoded steps
+/// (kFusedStepScalars each) followed by init, num_inputs, num_steps,
+/// has_count — self-describing from the tail, so the kernel recovers the
+/// scalar count before the standard Frame decode.
+Status FusedKernel(KernelExecContext* ctx);
+
+/// Worker-pool (tiled) variant: per-tile partials folded in tile order for
+/// FUSED_AGG, count-pass / scan / emit-pass for FUSED (the parallel
+/// materialize recipe). Falls back to the scalar interpreter on small
+/// launches; bit-identical either way.
+Status ParallelFusedKernel(KernelExecContext* ctx);
+
+/// Upper bound on recipe length (keeps the scalar list bounded).
+constexpr size_t kMaxFusedSteps = 64;
+
+/// Launch builder. `inputs` are the scan input buffers (load step operand
+/// `a` indexes into them). For an agg-terminated recipe pass the int64[1]
+/// accumulator as `out_or_acc` and kInvalidBuffer as `count`; for a
+/// stream-terminated recipe pass the output buffer and the int64[1] count
+/// output. `init` resets the accumulator to the aggregate identity.
+KernelLaunch MakeFused(const std::vector<BufferId>& inputs,
+                       BufferId out_or_acc, BufferId count,
+                       const std::vector<FusedStep>& steps, bool init,
+                       size_t n, BufferId count_in = kInvalidBuffer);
+
+}  // namespace adamant::kernels
+
+#endif  // ADAMANT_TASK_KERNELS_FUSED_H_

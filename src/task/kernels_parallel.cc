@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "task/hash_table.h"
 #include "task/kernels.h"
+#include "task/kernels_fused.h"
 #include "task/kernels_internal.h"
 #include "task/worker_pool.h"
 
@@ -643,6 +644,7 @@ const std::map<std::string, HostKernelFn>& ParallelKernelTable() {
           {"agg_block", ParallelAggBlockKernel},
           {"hash_build", ParallelHashBuildKernel},
           {"hash_probe", ParallelHashProbeKernel},
+          {"fused", ParallelFusedKernel},
       };
   return *kTable;
 }

@@ -28,6 +28,10 @@ const char* PrimitiveKindName(PrimitiveKind kind) {
       return "MATERIALIZE";
     case PrimitiveKind::kMaterializePosition:
       return "MATERIALIZE_POSITION";
+    case PrimitiveKind::kFused:
+      return "FUSED";
+    case PrimitiveKind::kFusedAgg:
+      return "FUSED_AGG";
   }
   return "?";
 }
@@ -80,6 +84,13 @@ const std::vector<PrimitiveSignature>& SignatureTable() {
            {S::kNumeric, S::kBitmap}, {S::kNumeric}, false},
           {PrimitiveKind::kMaterializePosition, "materialize_position",
            {S::kNumeric, S::kPosition}, {S::kNumeric}, false},
+          // Composite primitives (plan::FusionPass). Input arity is
+          // recipe-dependent; the runtime validates it from the node's
+          // fused_steps, so the signature stays GENERIC.
+          {PrimitiveKind::kFused, "fused", {S::kGeneric}, {S::kNumeric},
+           false},
+          {PrimitiveKind::kFusedAgg, "fused", {S::kGeneric}, {S::kNumeric},
+           true},
       };
   return *kTable;
 }
@@ -117,6 +128,42 @@ Status ValidateEdge(DataSemantic from, PrimitiveKind to, size_t input_index) {
         DataSemanticName(expected) + ", got " + DataSemanticName(from));
   }
   return Status::OK();
+}
+
+const char* FusedStepOpName(FusedStep::Op op) {
+  switch (op) {
+    case FusedStep::Op::kLoad:
+      return "load";
+    case FusedStep::Op::kFilter:
+      return "filter";
+    case FusedStep::Op::kMap:
+      return "map";
+    case FusedStep::Op::kEmit:
+      return "emit";
+    case FusedStep::Op::kAgg:
+      return "agg";
+  }
+  return "?";
+}
+
+size_t FusedNumInputs(const std::vector<FusedStep>& steps) {
+  int64_t max_input = -1;
+  for (const FusedStep& step : steps) {
+    if (step.op == FusedStep::Op::kLoad && step.a > max_input) {
+      max_input = step.a;
+    }
+  }
+  return static_cast<size_t>(max_input + 1);
+}
+
+std::string FusedRecipeLabel(const std::vector<FusedStep>& steps) {
+  std::string label;
+  for (const FusedStep& step : steps) {
+    if (step.op == FusedStep::Op::kLoad) continue;
+    if (!label.empty()) label += '+';
+    label += FusedStepOpName(step.op);
+  }
+  return label;
 }
 
 }  // namespace adamant

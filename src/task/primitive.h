@@ -24,9 +24,16 @@ enum class PrimitiveKind : uint8_t {
   kPrefixSum,
   kMaterialize,
   kMaterializePosition,
+  /// Composite single-pass primitive produced by plan::FusionPass: a
+  /// map/filter/materialize chain collapsed into one traversal. Streaming
+  /// (compacting) form; the recipe lives in NodeConfig::fused_steps.
+  kFused,
+  /// Composite single-pass primitive whose terminal is a block aggregate;
+  /// a pipeline breaker like AGG_BLOCK.
+  kFusedAgg,
 };
 
-constexpr int kNumPrimitiveKinds = 11;
+constexpr int kNumPrimitiveKinds = 13;
 
 /// I/O semantics of primitive inputs/outputs (Section III-B3). The runtime
 /// uses these on data edges to pick the right downstream primitive (e.g. a
@@ -122,6 +129,52 @@ enum class ProbeMode : int64_t {
   /// Emit at most one match per probe key (semi join / EXISTS).
   kSemi,
 };
+
+// ---------------------------------------------------------------------------
+// Fused-recipe steps (FUSED / FUSED_AGG composite primitives).
+// ---------------------------------------------------------------------------
+
+/// One step of a fused recipe. The fused kernel is a register machine: step
+/// `s` writes register `s` (loads and maps produce values; filters AND into
+/// the row predicate), and the single terminal step emits or aggregates.
+/// Steps are evaluated per row in recipe (topological) order with predicate
+/// short-circuiting, which is exactly the row's fate in the unfused chain:
+/// a row dropped by a filter never reaches downstream map arithmetic.
+struct FusedStep {
+  enum class Op : int64_t {
+    /// reg = load(input buffer `a`) as ElementType `b`.
+    kLoad = 0,
+    /// pred &= Compare(CmpOp `a`, reg[src0], lo=`b`, hi=`c`).
+    kFilter,
+    /// reg = MapOp `a` over reg[src0] (and reg[src1] for column-column
+    /// ops, imm=`b` for scalar ops), truncated to ElementType `c` — the
+    /// store/load round-trip the unfused chain performs between kernels.
+    kMap,
+    /// Terminal (FUSED): if pred, out[k++] = reg[src0] as ElementType `a`.
+    kEmit,
+    /// Terminal (FUSED_AGG): if pred, acc = combine(AggOp `a`, acc,
+    /// reg[src0]).
+    kAgg,
+  };
+  Op op = Op::kLoad;
+  int64_t a = 0;
+  int64_t b = 0;
+  int64_t c = 0;
+  int32_t src0 = -1;
+  int32_t src1 = -1;
+};
+
+/// Scalars per encoded step in the fused kernel's argument list.
+constexpr size_t kFusedStepScalars = 6;
+
+const char* FusedStepOpName(FusedStep::Op op);
+
+/// Number of input buffers a recipe reads (max load index + 1).
+size_t FusedNumInputs(const std::vector<FusedStep>& steps);
+
+/// Compact recipe description for labels and trace spans, e.g.
+/// "filter+filter+map+agg" (loads omitted).
+std::string FusedRecipeLabel(const std::vector<FusedStep>& steps);
 
 }  // namespace adamant
 

@@ -549,7 +549,7 @@ TEST(KernelVariantParity, HashProbeOverflowErrorParity) {
 // --- Variant registry & device policy --------------------------------------
 
 TEST(KernelVariantRegistry, EveryParallelKernelHasAScalarReference) {
-  EXPECT_EQ(kernels::ParallelKernelNames().size(), 9u);
+  EXPECT_EQ(kernels::ParallelKernelNames().size(), 10u);
   for (const std::string& name : kernels::ParallelKernelNames()) {
     EXPECT_TRUE(kernels::HasKernel(name)) << name;
     EXPECT_TRUE(kernels::HasParallelKernel(name)) << name;

@@ -751,7 +751,8 @@ TEST(KernelRegistry, AllKernelNamesHaveFnAndSource) {
               std::string::npos);
   }
   EXPECT_FALSE(kernels::HasKernel("bogus"));
-  EXPECT_EQ(kernels::AllKernelNames().size(), 12u) << "11 Table-I + fill";
+  EXPECT_EQ(kernels::AllKernelNames().size(), 13u)
+      << "11 Table-I + fill + fused";
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <memory>
@@ -16,6 +17,18 @@
 
 namespace adamant {
 namespace {
+
+// CI's sanitizer job reruns this whole binary with ADAMANT_FUSION=on: every
+// matrix test then executes fused plans under ASan/UBSan, re-checking the
+// same bit-identity invariants. Bundle node ids are remapped in place, so
+// result extraction keeps working on the fused graph.
+Status ApplyEnvFusion(plan::PlanBundle* bundle) {
+  const char* env = std::getenv("ADAMANT_FUSION");
+  if (env == nullptr || std::string(env) != "on") return Status::OK();
+  ExecutionOptions options;
+  options.fusion = FusionMode::kOn;
+  return plan::ApplyFusion(bundle, options).status();
+}
 
 struct MatrixFixture {
   std::shared_ptr<Catalog> catalog;
@@ -85,6 +98,7 @@ TEST(ParityMatrixTest, Q6AllModelsBitIdentical) {
   auto manager = TwoGpuManager();
   auto bundle = plan::BuildQ6(*fixture.catalog, {}, 0);
   ASSERT_TRUE(bundle.ok());
+  ASSERT_TRUE(ApplyEnvFusion(&*bundle).ok());
   auto want = tpch::Q6Reference(*fixture.catalog, {});
   ASSERT_TRUE(want.ok());
   for (ExecutionModelKind model : kAllModels) {
@@ -102,6 +116,7 @@ TEST(ParityMatrixTest, Q3AllModelsBitIdentical) {
   auto manager = TwoGpuManager();
   auto bundle = plan::BuildQ3(*fixture.catalog, {}, 0);
   ASSERT_TRUE(bundle.ok());
+  ASSERT_TRUE(ApplyEnvFusion(&*bundle).ok());
   auto want = tpch::Q3Reference(*fixture.catalog, {});
   ASSERT_TRUE(want.ok());
   for (ExecutionModelKind model : kAllModels) {
@@ -119,6 +134,7 @@ TEST(ParityMatrixTest, Q4AllModelsBitIdentical) {
   auto manager = TwoGpuManager();
   auto bundle = plan::BuildQ4(*fixture.catalog, {}, 0);
   ASSERT_TRUE(bundle.ok());
+  ASSERT_TRUE(ApplyEnvFusion(&*bundle).ok());
   auto want = tpch::Q4Reference(*fixture.catalog, {});
   ASSERT_TRUE(want.ok());
   for (ExecutionModelKind model : kAllModels) {
@@ -136,6 +152,7 @@ TEST(ParityMatrixTest, DeviceParallelSplitsAcrossBothDevices) {
   auto manager = TwoGpuManager();
   auto bundle = plan::BuildQ6(*fixture.catalog, {}, 0);
   ASSERT_TRUE(bundle.ok());
+  ASSERT_TRUE(ApplyEnvFusion(&*bundle).ok());
   auto exec =
       RunModel(manager.get(), *bundle, ExecutionModelKind::kDeviceParallel);
   ASSERT_TRUE(exec.ok()) << exec.status().ToString();
@@ -196,6 +213,7 @@ TEST(ParityMatrixTest, AllModelsBitIdenticalWithParallelVariants) {
   for (const Case& c : kCases) {
     auto bundle = c.build(0);
     ASSERT_TRUE(bundle.ok());
+    ASSERT_TRUE(ApplyEnvFusion(&*bundle).ok());
     for (ExecutionModelKind model : kAllModels) {
       QueryExecutor executor(manager.get());
       auto exec = executor.Run(
@@ -212,6 +230,75 @@ TEST(ParityMatrixTest, AllModelsBitIdenticalWithParallelVariants) {
         EXPECT_GT(device.parallel_launches, 0u)
             << c.name << "/" << ExecutionModelName(model);
       }
+    }
+  }
+}
+
+// --- Fused composites ------------------------------------------------------
+
+// The whole matrix again with the fusion pass forced on: every model x
+// Q3/Q4/Q6 must match the host reference bit for bit when the fusable
+// chains run as single FUSED / FUSED_AGG composites, and the per-device
+// stats must show those composites actually launching.
+TEST(ParityMatrixTest, AllModelsBitIdenticalWithFusionForced) {
+  const auto& fixture = MatrixFixture::Get();
+  struct Case {
+    const char* name;
+    std::function<Result<plan::PlanBundle>(DeviceId)> build;
+    std::function<void(const plan::PlanBundle&, const QueryExecution&,
+                       ExecutionModelKind)>
+        check;
+  };
+  const Catalog& catalog = *fixture.catalog;
+  const Case kCases[] = {
+      {"Q3", [&](DeviceId d) { return plan::BuildQ3(catalog, {}, d); },
+       [&](const plan::PlanBundle& bundle, const QueryExecution& exec,
+           ExecutionModelKind model) {
+         auto want = tpch::Q3Reference(catalog, {});
+         ASSERT_TRUE(want.ok());
+         auto rows = plan::ExtractQ3(bundle, exec, catalog, {});
+         ASSERT_TRUE(rows.ok()) << ExecutionModelName(model);
+         EXPECT_EQ(*rows, *want) << "Q3/" << ExecutionModelName(model);
+       }},
+      {"Q4", [&](DeviceId d) { return plan::BuildQ4(catalog, {}, d); },
+       [&](const plan::PlanBundle& bundle, const QueryExecution& exec,
+           ExecutionModelKind model) {
+         auto want = tpch::Q4Reference(catalog, {});
+         ASSERT_TRUE(want.ok());
+         auto rows = plan::ExtractQ4(bundle, exec);
+         ASSERT_TRUE(rows.ok()) << ExecutionModelName(model);
+         EXPECT_EQ(*rows, *want) << "Q4/" << ExecutionModelName(model);
+       }},
+      {"Q6", [&](DeviceId d) { return plan::BuildQ6(catalog, {}, d); },
+       [&](const plan::PlanBundle& bundle, const QueryExecution& exec,
+           ExecutionModelKind model) {
+         auto want = tpch::Q6Reference(catalog, {});
+         ASSERT_TRUE(want.ok());
+         auto revenue = plan::ExtractQ6(bundle, exec);
+         ASSERT_TRUE(revenue.ok()) << ExecutionModelName(model);
+         EXPECT_EQ(*revenue, *want) << "Q6/" << ExecutionModelName(model);
+       }}};
+  auto manager = TwoGpuManager();
+  for (const Case& c : kCases) {
+    auto bundle = c.build(0);
+    ASSERT_TRUE(bundle.ok());
+    ExecutionOptions fuse_options;
+    fuse_options.fusion = FusionMode::kOn;
+    auto report = plan::ApplyFusion(&*bundle, fuse_options, manager.get());
+    ASSERT_TRUE(report.ok()) << c.name << ": " << report.status().ToString();
+    ASSERT_GT(report->groups, 0) << c.name << " produced no fused groups";
+    for (ExecutionModelKind model : kAllModels) {
+      QueryExecutor executor(manager.get());
+      auto exec = executor.Run(bundle->graph.get(), OptionsFor(model));
+      ASSERT_TRUE(exec.ok()) << c.name << "/" << ExecutionModelName(model)
+                             << ": " << exec.status().ToString();
+      c.check(*bundle, *exec, model);
+      size_t fused_launches = 0;
+      for (const DeviceRunStats& device : exec->stats.devices) {
+        fused_launches += device.fused_launches;
+      }
+      EXPECT_GT(fused_launches, 0u)
+          << c.name << "/" << ExecutionModelName(model);
     }
   }
 }
@@ -235,6 +322,7 @@ TEST(ParityMatrixTest, EstimateUpperBoundsHighWaterForAllModels) {
       auto manager = TwoGpuManager();
       auto bundle = c.build(0);
       ASSERT_TRUE(bundle.ok());
+      ASSERT_TRUE(ApplyEnvFusion(&*bundle).ok());
       const ExecutionOptions options = OptionsFor(model);
       auto estimate = EstimateDeviceMemoryBytes(*bundle->graph, options,
                                                 manager->data_scale());

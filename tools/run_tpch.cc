@@ -24,6 +24,14 @@
 //   --kernel-threads=N
 //                     thread budget for parallel variants (default: the
 //                     device policy count, 4 on CPU drivers)
+//   --fusion=off|on|auto
+//                     plan-level kernel fusion (src/plan/fusion.h): rewrite
+//                     fusable MAP/FILTER/MATERIALIZE/AGG chains into single
+//                     FUSED composites before execution. off = never, on =
+//                     every eligible group, auto (default) = only when the
+//                     device cost model predicts a win. Fused group count
+//                     and per-device fused launches appear on the JSON
+//                     report line; --explain shows the fused plan.
 //   --verify          compare results against the scalar reference
 //   --trace=PATH      write a chrome://tracing JSON of the real run: the
 //                     query is routed through a one-off QueryService so the
@@ -135,6 +143,8 @@ struct Options {
   std::string kernel_variant = "auto";
   /// Thread budget for parallel variants; 0 = per-device policy count.
   int kernel_threads = 0;
+  /// Plan-level kernel fusion: off | on | auto (cost-gated).
+  std::string fusion = "auto";
   bool verify = false;
   std::string trace_path;
   std::string sim_trace_path;
@@ -197,17 +207,21 @@ Result<Options> ParseArgs(int argc, char** argv) {
     } else if (ParseFlag(arg, "setup", &value)) {
       options.setup = std::stoi(value);
     } else if (ParseFlag(arg, "model", &value)) {
+      // Knob strings are validated here, through the same parsers the
+      // runtime's ValidateExecutionOptions uses, so a typo exits 2 with the
+      // parser's message instead of failing mid-run.
+      ADAMANT_RETURN_NOT_OK(ParseExecutionModel(value).status());
       options.model = value;
     } else if (ParseFlag(arg, "chunk", &value)) {
       options.chunk = value;
     } else if (ParseFlag(arg, "kernel-variant", &value)) {
-      if (value != "auto" && value != "scalar" && value != "parallel") {
-        return Status::InvalidArgument(
-            "--kernel-variant must be auto|scalar|parallel");
-      }
+      ADAMANT_RETURN_NOT_OK(ParseKernelVariant(value).status());
       options.kernel_variant = value;
     } else if (ParseFlag(arg, "kernel-threads", &value)) {
       options.kernel_threads = std::stoi(value);
+    } else if (ParseFlag(arg, "fusion", &value)) {
+      ADAMANT_RETURN_NOT_OK(ParseFusionMode(value).status());
+      options.fusion = value;
     } else if (ParseFlag(arg, "trace", &value)) {
       options.trace_path = value;
     } else if (ParseFlag(arg, "sim-trace", &value)) {
@@ -310,20 +324,57 @@ Result<sim::DriverKind> DriverFromName(const std::string& name) {
   return it->second;
 }
 
-Result<ExecutionModelKind> ModelFromName(const std::string& name) {
-  const std::map<std::string, ExecutionModelKind> kModels = {
-      {"oaat", ExecutionModelKind::kOperatorAtATime},
-      {"chunked", ExecutionModelKind::kChunked},
-      {"pipelined", ExecutionModelKind::kPipelined},
-      {"4phase", ExecutionModelKind::kFourPhaseChunked},
-      {"4phase-pipelined", ExecutionModelKind::kFourPhasePipelined},
-      {"device-parallel", ExecutionModelKind::kDeviceParallel},
-  };
-  auto it = kModels.find(name);
-  if (it == kModels.end()) {
-    return Status::InvalidArgument("unknown model '" + name + "'");
+// Options → ExecutionOptions for the execution knobs that run_tpch forwards
+// verbatim. The strings were validated at ParseArgs time (exit 2 on typos),
+// so the Parse* calls here cannot fail.
+ExecutionOptions MakeExecOptions(const Options& options,
+                                 ExecutionModelKind model) {
+  ExecutionOptions exec_options;
+  exec_options.model = model;
+  if (!options.device_set.empty()) {
+    exec_options.model = ExecutionModelKind::kDeviceParallel;
+    exec_options.device_set = options.device_set;
   }
-  return it->second;
+  exec_options.collect_profile = options.profile;
+  exec_options.kernel_variant = *ParseKernelVariant(options.kernel_variant);
+  exec_options.kernel_threads = options.kernel_threads;
+  exec_options.fusion = *ParseFusionMode(options.fusion);
+  return exec_options;
+}
+
+// --explain: one line per primitive with the Task-layer kernel variant the
+// run would resolve (a forced --kernel-variant wins, kAuto means the owning
+// device's native policy — mirrors RunContext::FinalizeStats) and its thread
+// budget. Fused composites carry their recipe in the label.
+void PrintExplain(const std::string& title, const plan::PlanBundle& bundle,
+                  DeviceManager* manager, const ExecutionOptions& exec_options,
+                  const plan::FusionReport& fusion) {
+  std::printf("%s primitive graph (fusion %s: %d group(s), %d primitive(s) "
+              "fused):\n",
+              title.c_str(), FusionModeName(exec_options.fusion),
+              fusion.groups, fusion.nodes_fused);
+  for (const GraphNode& node : bundle.graph->nodes()) {
+    const SimulatedDevice* dev = manager->device(node.device);
+    const KernelVariant effective =
+        exec_options.kernel_variant == KernelVariantRequest::kScalar
+            ? KernelVariant::kScalar
+        : exec_options.kernel_variant == KernelVariantRequest::kParallel
+            ? KernelVariant::kParallel
+            : dev->default_kernel_variant();
+    const int threads = effective == KernelVariant::kParallel
+                            ? (exec_options.kernel_threads > 0
+                                   ? exec_options.kernel_threads
+                                   : dev->kernel_threads())
+                            : 1;
+    const bool fused_node = node.kind == PrimitiveKind::kFused ||
+                            node.kind == PrimitiveKind::kFusedAgg;
+    const std::string variant =
+        fused_node ? std::string("fused/") + KernelVariantName(effective)
+                   : std::string(KernelVariantName(effective));
+    std::printf("  [%2d] %-22s %-36s variant=%s threads=%d\n", node.id,
+                PrimitiveKindName(node.kind), node.label.c_str(),
+                variant.c_str(), threads);
+  }
 }
 
 void PrintStats(const QueryExecution& exec, DeviceId device) {
@@ -386,26 +437,24 @@ Status RunQuery(const std::string& query, const Catalog& catalog,
                 DeviceManager* manager, DeviceId device,
                 const Options& options, QueryService* service) {
   ADAMANT_ASSIGN_OR_RETURN(ExecutionModelKind model,
-                           ModelFromName(options.model));
+                           ParseExecutionModel(options.model));
 
   ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle bundle,
                            BuildBundle(query, catalog, device));
 
+  ExecutionOptions exec_options = MakeExecOptions(options, model);
+
+  // Fusion is a plan-level rewrite: it runs here, between lowering and
+  // execution, so --explain, the chunk tuner, and the run itself all see
+  // the same (fused) graph.
+  ADAMANT_ASSIGN_OR_RETURN(plan::FusionReport fusion,
+                           plan::ApplyFusion(&bundle, exec_options, manager));
+
   if (options.explain) {
-    std::printf("Q%s primitive graph:\n", query.c_str());
-    for (const GraphNode& node : bundle.graph->nodes()) {
-      std::printf("  [%2d] %-22s %s\n", node.id, PrimitiveKindName(node.kind),
-                  node.label.c_str());
-    }
+    PrintExplain("Q" + query, bundle, manager, exec_options, fusion);
     return Status::OK();
   }
 
-  ExecutionOptions exec_options;
-  exec_options.model = model;
-  if (!options.device_set.empty()) {
-    exec_options.model = ExecutionModelKind::kDeviceParallel;
-    exec_options.device_set = options.device_set;
-  }
   if (options.chunk == "auto") {
     ADAMANT_ASSIGN_OR_RETURN(
         exec_options.chunk_elems,
@@ -414,17 +463,11 @@ Status RunQuery(const std::string& query, const Catalog& catalog,
     exec_options.chunk_elems = std::stoull(options.chunk);
   }
 
-  exec_options.collect_profile = options.profile;
-  exec_options.kernel_variant =
-      options.kernel_variant == "scalar"   ? KernelVariantRequest::kScalar
-      : options.kernel_variant == "parallel" ? KernelVariantRequest::kParallel
-                                             : KernelVariantRequest::kAuto;
-  exec_options.kernel_threads = options.kernel_threads;
-
   // With a service attached (--trace), the query goes through Submit so the
   // trace carries the admission/placement instants alongside the runtime
-  // spans; node ids are deterministic per builder, so the local bundle still
-  // extracts the serviced execution's results.
+  // spans; node ids are deterministic per builder — make_graph applies the
+  // same fusion pass — so the local bundle still extracts the serviced
+  // execution's results.
   Result<QueryExecution> direct = Status::Internal("query did not run");
   std::shared_ptr<QueryTicket> ticket;
   if (service != nullptr) {
@@ -436,9 +479,11 @@ Status RunQuery(const std::string& query, const Catalog& catalog,
     }
     const Catalog* cat = &catalog;
     const std::string q = query;
-    spec.make_graph =
-        [cat, q](DeviceId dev) -> Result<std::unique_ptr<PrimitiveGraph>> {
+    const ExecutionOptions opts = exec_options;
+    spec.make_graph = [cat, q, opts, manager](
+                          DeviceId dev) -> Result<std::unique_ptr<PrimitiveGraph>> {
       ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle b, BuildBundle(q, *cat, dev));
+      ADAMANT_RETURN_NOT_OK(plan::ApplyFusion(&b, opts, manager).status());
       return std::move(b.graph);
     };
     ADAMANT_ASSIGN_OR_RETURN(ticket, service->Submit(std::move(spec)));
@@ -459,8 +504,9 @@ Status RunQuery(const std::string& query, const Catalog& catalog,
   {
     // Self-describing benchmark output: which Task-layer kernel variant each
     // used device resolved, its thread budget, and how many launches
-    // actually dispatched a parallel fn. Empty when the run went through a
-    // shared-device service lease (per-device snapshots are skipped there).
+    // actually dispatched a parallel or fused fn. Empty when the run went
+    // through a shared-device service lease (per-device snapshots are
+    // skipped there).
     std::string variants_json;
     for (const DeviceRunStats& ds : exec.stats.devices) {
       if (ds.execute_calls == 0 || ds.kernel_variant.empty()) continue;
@@ -469,11 +515,14 @@ Status RunQuery(const std::string& query, const Catalog& catalog,
                        ds.kernel_variant +
                        "\",\"threads\":" + std::to_string(ds.kernel_threads) +
                        ",\"parallel_launches\":" +
-                       std::to_string(ds.parallel_launches) + "}";
+                       std::to_string(ds.parallel_launches) +
+                       ",\"fused_launches\":" +
+                       std::to_string(ds.fused_launches) + "}";
     }
     if (!variants_json.empty()) {
-      std::printf("    {\"query\":\"%s\",\"kernel_variants\":{%s}}\n",
-                  query.c_str(), variants_json.c_str());
+      std::printf("    {\"query\":\"%s\",\"fused_groups\":%d,"
+                  "\"kernel_variants\":{%s}}\n",
+                  query.c_str(), fusion.groups, variants_json.c_str());
     }
   }
   if (options.profile) {
@@ -607,7 +656,7 @@ Result<std::pair<std::string, std::string>> ResolveSqlText(
 Status RunSql(const Catalog& catalog, DeviceManager* manager, DeviceId device,
               const Options& options, QueryService* service) {
   ADAMANT_ASSIGN_OR_RETURN(ExecutionModelKind model,
-                           ModelFromName(options.model));
+                           ParseExecutionModel(options.model));
   ADAMANT_ASSIGN_OR_RETURN(auto resolved, ResolveSqlText(options));
   const std::string& sql_text = resolved.first;
   const std::string& label = resolved.second;
@@ -620,12 +669,18 @@ Status RunSql(const Catalog& catalog, DeviceManager* manager, DeviceId device,
   ADAMANT_ASSIGN_OR_RETURN(plan::PlanBundle bundle,
                            plan::LowerPlan(*compiled.plan, catalog, device));
 
-  ExecutionOptions exec_options;
-  exec_options.model = model;
-  if (!options.device_set.empty()) {
-    exec_options.model = ExecutionModelKind::kDeviceParallel;
-    exec_options.device_set = options.device_set;
+  ExecutionOptions exec_options = MakeExecOptions(options, model);
+
+  // A service run (--trace) lowers the SQL text itself, without the fusion
+  // pass — fusing the local bundle would desync its node ids from the
+  // serviced execution it extracts results from. Direct runs (and
+  // --explain, which never executes the local bundle) fuse here.
+  plan::FusionReport fusion;
+  if (service == nullptr || options.explain) {
+    ADAMANT_ASSIGN_OR_RETURN(
+        fusion, plan::ApplyFusion(&bundle, exec_options, manager));
   }
+
   if (options.chunk == "auto") {
     ADAMANT_ASSIGN_OR_RETURN(
         exec_options.chunk_elems,
@@ -633,11 +688,11 @@ Status RunSql(const Catalog& catalog, DeviceManager* manager, DeviceId device,
   } else {
     exec_options.chunk_elems = std::stoull(options.chunk);
   }
-  exec_options.collect_profile = options.profile;
 
   if (options.explain) {
     std::printf("%s: %s\n%s", label.c_str(), sql_text.c_str(),
                 sql::ExplainCompiled(compiled).c_str());
+    PrintExplain(label, bundle, manager, exec_options, fusion);
     ADAMANT_ASSIGN_OR_RETURN(
         plan::PlacementSearchResult placement,
         plan::SearchPlacements(*compiled.plan, catalog, manager,
@@ -767,7 +822,7 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog,
   ADAMANT_ASSIGN_OR_RETURN(sim::DriverKind kind,
                            DriverFromName(options.driver));
   ADAMANT_ASSIGN_OR_RETURN(ExecutionModelKind model,
-                           ModelFromName(options.model));
+                           ParseExecutionModel(options.model));
   const sim::HardwareSetup setup = options.setup == 2
                                        ? sim::HardwareSetup::kSetup2
                                        : sim::HardwareSetup::kSetup1;
