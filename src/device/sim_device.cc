@@ -375,6 +375,7 @@ Status SimulatedDevice::Execute(const KernelLaunch& launch) {
   }
   kernel_body_time_ += body;
   kernel_body_by_name_[launch.kernel_name] += body;
+  if (launch.kernel_name == "fused") fused_body_time_ += body;
   SimTime duration = model_.kernel_launch_us + body;
   SimTime earliest = std::max(host_time_, deps);
   auto entry = compute_tl_.Schedule(earliest, duration, launch.kernel_name);
@@ -427,6 +428,7 @@ void SimulatedDevice::ResetTimelines() {
   compute_tl_.Reset();
   host_time_ = 0;
   kernel_body_time_ = 0;
+  fused_body_time_ = 0;
   kernel_body_by_name_.clear();
   transfer_wire_time_ = 0;
   for (auto& [id, rec] : records_) {

@@ -148,6 +148,8 @@ class SimulatedDevice : public Device {
   const std::map<std::string, sim::SimTime>& kernel_body_by_name() const {
     return kernel_body_by_name_;
   }
+  /// Share of kernel_body_time() spent inside fused composite kernels.
+  sim::SimTime fused_body_time() const { return fused_body_time_; }
   /// Sum of pure wire time across transfers.
   sim::SimTime transfer_wire_time() const { return transfer_wire_time_; }
 
@@ -242,6 +244,7 @@ class SimulatedDevice : public Device {
   bool initialized_ = false;
 
   sim::SimTime kernel_body_time_ = 0;
+  sim::SimTime fused_body_time_ = 0;
   std::map<std::string, sim::SimTime> kernel_body_by_name_;
   sim::SimTime transfer_wire_time_ = 0;
   DeviceCallStats stats_;

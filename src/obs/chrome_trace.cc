@@ -55,7 +55,19 @@ void ChromeTraceBuilder::AddInstant(int track, double ts_us,
                                     const std::string& args_json) {
   Event event;
   event.track = track;
-  event.instant = true;
+  event.phase = 'i';
+  event.ts = ts_us;
+  event.name = name;
+  event.args = args_json;
+  events_.push_back(std::move(event));
+}
+
+void ChromeTraceBuilder::AddCounter(int track, double ts_us,
+                                    const std::string& name,
+                                    const std::string& args_json) {
+  Event event;
+  event.track = track;
+  event.phase = 'C';
   event.ts = ts_us;
   event.name = name;
   event.args = args_json;
@@ -111,13 +123,13 @@ std::string ChromeTraceBuilder::ToJson() const {
   open_track_valid = false;
   for (const Event* event : sorted) {
     emit_track_meta(event->track);
-    out << ",{\"ph\":\"" << (event->instant ? "i" : "X")
+    out << ",{\"ph\":\"" << event->phase
         << "\",\"pid\":0,\"tid\":" << event->track << ",\"ts\":";
     AppendNumber(event->ts, &out);
-    if (!event->instant) {
+    if (event->phase == 'X') {
       out << ",\"dur\":";
       AppendNumber(event->dur, &out);
-    } else {
+    } else if (event->phase == 'i') {
       out << ",\"s\":\"t\"";
     }
     out << ",\"name\":\"" << JsonEscape(event->name.empty() ? "op"

@@ -34,6 +34,13 @@ class ChromeTraceBuilder {
   void AddInstant(int track, double ts_us, const std::string& name,
                   const std::string& args_json = "");
 
+  /// "C" counter event at ts_us on `track`. `args_json` must be a JSON
+  /// object of numeric series values ({"completed":12}); viewers plot each
+  /// key as a stacked series, and trace_check enforces per-series
+  /// monotonicity for counters named like totals.
+  void AddCounter(int track, double ts_us, const std::string& name,
+                  const std::string& args_json);
+
   size_t event_count() const { return events_.size(); }
 
   /// Serializes {"displayTimeUnit":"ms","traceEvents":[...]} with events
@@ -43,7 +50,7 @@ class ChromeTraceBuilder {
  private:
   struct Event {
     int track = 0;
-    bool instant = false;
+    char phase = 'X';  // 'X' complete | 'i' instant | 'C' counter
     double ts = 0;
     double dur = 0;
     std::string name;

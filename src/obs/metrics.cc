@@ -132,6 +132,10 @@ std::vector<double> ByteBuckets() {
   return bounds;
 }
 
+std::vector<double> QErrorBuckets() {
+  return {1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 25.0, 100.0, 1000.0};
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& label_key,
                                      const std::string& label_value) {

@@ -77,6 +77,11 @@ std::vector<double> LatencyBucketsMs();
 /// Default bucket layout for byte-count histograms (1KiB .. 4GiB).
 std::vector<double> ByteBuckets();
 
+/// Default bucket layout for q-error histograms (dimensionless, >= 1):
+/// dense near the perfect-estimate end, sparse toward order-of-magnitude
+/// misses.
+std::vector<double> QErrorBuckets();
+
 /// Named metric registry. Instruments are created on first use and live as
 /// long as the registry (pointers remain stable), keyed by
 /// `name{label_key="label_value"}` in Prometheus style. Lookup takes the

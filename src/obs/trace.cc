@@ -90,7 +90,19 @@ void TraceRecorder::RecordInstant(int track, std::string name,
   if (!TracingEnabled()) return;
   Event event;
   event.track = track;
-  event.instant = true;
+  event.phase = 'i';
+  event.ts = NowUs();
+  event.name = std::move(name);
+  event.args = std::move(args_json);
+  Append(std::move(event));
+}
+
+void TraceRecorder::RecordCounter(int track, std::string name,
+                                  std::string args_json) {
+  if (!TracingEnabled()) return;
+  Event event;
+  event.track = track;
+  event.phase = 'C';
   event.ts = NowUs();
   event.name = std::move(name);
   event.args = std::move(args_json);
@@ -106,8 +118,11 @@ std::string TraceRecorder::ExportChromeJson() {
   for (const auto& buffer : buffers_) {
     std::lock_guard<std::mutex> buffer_lock(buffer->mu);
     for (const Event& event : buffer->events) {
-      if (event.instant) {
+      if (event.phase == 'i') {
         builder.AddInstant(event.track, static_cast<double>(event.ts),
+                           event.name, event.args);
+      } else if (event.phase == 'C') {
+        builder.AddCounter(event.track, static_cast<double>(event.ts),
                            event.name, event.args);
       } else {
         builder.AddComplete(event.track, static_cast<double>(event.ts),

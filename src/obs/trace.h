@@ -64,6 +64,11 @@ class TraceRecorder {
                       std::string name, std::string args_json = std::string());
   void RecordInstant(int track, std::string name,
                      std::string args_json = std::string());
+  /// Counter ("C") sample: `args_json` must be a JSON object of numeric
+  /// series values, e.g. {"completed":12}. Emit samples of one series from
+  /// a single thread (or under one lock) so per-track timestamps give a
+  /// well-defined series order.
+  void RecordCounter(int track, std::string name, std::string args_json);
 
   /// Chrome Trace Event JSON of everything recorded since Enable().
   std::string ExportChromeJson();
@@ -83,7 +88,7 @@ class TraceRecorder {
  private:
   struct Event {
     int track = 0;
-    bool instant = false;
+    char phase = 'X';  // 'X' complete | 'i' instant | 'C' counter
     uint64_t ts = 0;
     uint64_t dur = 0;
     std::string name;
@@ -144,6 +149,14 @@ inline void TraceInstant(int track, std::string name,
                          std::string args_json = std::string()) {
   if (!TracingEnabled()) return;
   TraceRecorder::Global().RecordInstant(track, std::move(name),
+                                        std::move(args_json));
+}
+
+/// Counter-event shorthand, guarded internally. Same series discipline as
+/// TraceRecorder::RecordCounter: sample one series from one thread / lock.
+inline void TraceCounter(int track, std::string name, std::string args_json) {
+  if (!TracingEnabled()) return;
+  TraceRecorder::Global().RecordCounter(track, std::move(name),
                                         std::move(args_json));
 }
 

@@ -284,6 +284,10 @@ TraceCheckResult ValidateChromeTrace(const std::string& json) {
     std::vector<std::string> open_begins;      // B/E stack
     std::vector<Span> pipeline_spans;          // "pipeline..." complete spans
     std::vector<Span> chunk_spans;             // "chunk..." complete spans
+    /// Last sample per counter series ("event name/arg key"). Every 'C'
+    /// series ADAMANT emits is cumulative (service.queries finished/slow),
+    /// so a decreasing sample means double counting or a clock glitch.
+    std::map<std::string, double> counter_last;
   };
   std::map<std::pair<double, double>, TrackState> tracks;
 
@@ -355,7 +359,32 @@ TraceCheckResult ValidateChromeTrace(const std::string& json) {
         }
         track.open_begins.pop_back();
       }
-    } else if (phase != "i" && phase != "I" && phase != "C") {
+    } else if (phase == "C") {
+      // Counter sample: args must be an object of numeric series, and each
+      // series must be non-decreasing along its track (ADAMANT counters are
+      // cumulative by contract — see TraceRecorder::RecordCounter).
+      const JsonValue* cargs = event.Find("args");
+      if (!cargs || cargs->kind != JsonValue::kObject) {
+        err("counter event " + std::to_string(i) +
+            " ('" + event_name + "') missing args object");
+        continue;
+      }
+      for (const auto& [key, val] : cargs->fields) {
+        if (!val || val->kind != JsonValue::kNumber) {
+          err("counter event " + std::to_string(i) + " series '" +
+              event_name + "/" + key + "' is not numeric");
+          continue;
+        }
+        const std::string series = event_name + "/" + key;
+        auto it = track.counter_last.find(series);
+        if (it != track.counter_last.end() && val->number < it->second) {
+          err("counter series '" + series + "' decreases at event " +
+              std::to_string(i) + " (" + std::to_string(val->number) +
+              " after " + std::to_string(it->second) + ")");
+        }
+        track.counter_last[series] = val->number;
+      }
+    } else if (phase != "i" && phase != "I") {
       err("unsupported phase '" + phase + "' at event " + std::to_string(i));
     }
   }

@@ -1,0 +1,206 @@
+#include "plan/feedback.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+namespace adamant::plan {
+
+namespace {
+
+double Clamp01(double v) {
+  return std::min(1.0, std::max(SelectivityFeedback::kFloor, v));
+}
+
+bool IsSelectiveKind(PrimitiveKind kind) {
+  return kind == PrimitiveKind::kFilterPosition ||
+         kind == PrimitiveKind::kMaterialize ||
+         kind == PrimitiveKind::kHashProbe || kind == PrimitiveKind::kFused;
+}
+
+std::string LabelKey(const std::string& label, int ordinal) {
+  return "label:" + label + "#" + std::to_string(ordinal);
+}
+
+void AppendJsonString(std::ostringstream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') *out << '\\';
+    *out << c;
+  }
+  *out << '"';
+}
+
+}  // namespace
+
+void SelectivityFeedback::Fold(Entry* entry, double actual, double peak) {
+  if (entry->observations == 0) {
+    entry->ewma = actual;
+  } else {
+    entry->ewma = kAlpha * actual + (1.0 - kAlpha) * entry->ewma;
+  }
+  entry->peak = std::max(entry->peak, peak);
+  ++entry->observations;
+}
+
+void SelectivityFeedback::Observe(
+    const std::string& query_name,
+    const std::vector<obs::OperatorStats>& operators) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryModel& model = queries_[query_name];
+  ++model.runs;
+  std::map<std::string, int> ordinals;
+  for (const obs::OperatorStats& op : operators) {
+    if (!op.selective) continue;
+    const int ordinal = ordinals[op.label]++;
+    if (op.rows_in == 0) continue;  // cancelled before any chunk landed
+    const double actual = op.ActualSelectivity();
+    const double peak =
+        op.max_chunk_selectivity > 0 ? op.max_chunk_selectivity : actual;
+    if (!op.feedback_key.empty()) {
+      Fold(&model.keys[op.feedback_key], actual, peak);
+    }
+    Fold(&model.keys[LabelKey(op.label, ordinal)], actual, peak);
+  }
+}
+
+int SelectivityFeedback::ApplyToGraph(const std::string& query_name,
+                                      PrimitiveGraph* graph) const {
+  if (graph == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto qit = queries_.find(query_name);
+  if (qit == queries_.end()) return 0;
+  const QueryModel& model = qit->second;
+  int adjusted = 0;
+  std::map<std::string, int> ordinals;
+  for (const GraphNode& node : graph->nodes()) {
+    if (!IsSelectiveKind(node.kind)) continue;
+    const int ordinal = ordinals[node.label]++;
+    auto it = model.keys.find(LabelKey(node.label, ordinal));
+    if (it == model.keys.end() || it->second.observations == 0) continue;
+    const Entry& e = it->second;
+    // The peak (not the mean) sizes the buffer: a chunk that overflows its
+    // capacity estimate fails the query, so head-room pads the worst chunk
+    // ever seen.
+    graph->mutable_node(node.id).config.selectivity =
+        Clamp01(std::max(e.peak, e.ewma) * kSizingMargin);
+    ++adjusted;
+  }
+  return adjusted;
+}
+
+LogicalNodePtr SelectivityFeedback::ApplyToLogicalPlan(
+    const std::string& query_name, LogicalNodePtr root, int* adjusted) const {
+  int local = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto qit = queries_.find(query_name);
+    if (qit != queries_.end()) {
+      // Private rewrite over a snapshot reference; the lock is held for the
+      // whole (cheap, allocation-only) walk.
+      struct Walker {
+        const std::map<std::string, Entry>& keys;
+        int* adjusted;
+
+        LogicalNodePtr Walk(const LogicalNodePtr& node) {
+          if (node == nullptr) return node;
+          LogicalNodePtr child = Walk(node->child);
+          LogicalNodePtr build =
+              node->kind == LogicalNode::Kind::kHashJoin ? Walk(node->build)
+                                                         : node->build;
+          bool changed = child != node->child || build != node->build;
+          auto copy = std::make_shared<LogicalNode>(*node);
+          copy->child = child;
+          copy->build = build;
+          if (node->kind == LogicalNode::Kind::kFilter &&
+              !node->predicates.empty()) {
+            // The filter chain's cumulative selectivity is observed at its
+            // MATERIALIZE, keyed by the last FILTER_BITMAP's label.
+            auto it = keys.find("step:lower.filter(" +
+                                node->predicates.back().column + ")");
+            if (it != keys.end() && it->second.observations > 0) {
+              double current = 1.0;
+              for (const Predicate& p : node->predicates) {
+                current *= p.selectivity;
+              }
+              const double measured = Clamp01(it->second.ewma);
+              if (current > 0 && measured > 0) {
+                // Spread the correction evenly across the conjuncts — only
+                // the product is observable.
+                const double factor =
+                    std::pow(measured / current,
+                             1.0 / static_cast<double>(
+                                       node->predicates.size()));
+                for (Predicate& p : copy->predicates) {
+                  p.selectivity = Clamp01(p.selectivity * factor);
+                }
+                ++*adjusted;
+                changed = true;
+              }
+            }
+          } else if (node->kind == LogicalNode::Kind::kHashJoin) {
+            auto it = keys.find("step:lower.probe(" + node->probe_key + ")");
+            if (it != keys.end() && it->second.observations > 0) {
+              copy->join_selectivity = Clamp01(it->second.ewma);
+              ++*adjusted;
+              changed = true;
+            }
+          }
+          return changed ? LogicalNodePtr(copy) : node;
+        }
+      };
+      Walker walker{qit->second.keys, &local};
+      root = walker.Walk(root);
+    }
+  }
+  if (adjusted != nullptr) *adjusted = local;
+  return root;
+}
+
+Result<double> SelectivityFeedback::StepSelectivity(
+    const std::string& query_name, const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto qit = queries_.find(query_name);
+  if (qit == queries_.end()) {
+    return Status::NotFound("no feedback for query '" + query_name + "'");
+  }
+  auto it = qit->second.keys.find(key);
+  if (it == qit->second.keys.end() || it->second.observations == 0) {
+    return Status::NotFound("no feedback for key '" + key + "'");
+  }
+  return it->second.ewma;
+}
+
+size_t SelectivityFeedback::RunsObserved(const std::string& query_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto qit = queries_.find(query_name);
+  return qit == queries_.end() ? 0 : qit->second.runs;
+}
+
+std::string SelectivityFeedback::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << '{';
+  bool first_query = true;
+  for (const auto& [name, model] : queries_) {
+    if (!first_query) out << ',';
+    first_query = false;
+    AppendJsonString(&out, name);
+    out << ":{\"runs\":" << model.runs << ",\"keys\":{";
+    bool first_key = true;
+    for (const auto& [key, entry] : model.keys) {
+      if (!first_key) out << ',';
+      first_key = false;
+      AppendJsonString(&out, key);
+      out << ":{\"ewma\":" << entry.ewma << ",\"peak\":" << entry.peak
+          << ",\"observations\":" << entry.observations << '}';
+    }
+    out << "}}";
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace adamant::plan

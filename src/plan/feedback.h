@@ -1,0 +1,97 @@
+#ifndef ADAMANT_PLAN_FEEDBACK_H_
+#define ADAMANT_PLAN_FEEDBACK_H_
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/profile.h"
+#include "plan/logical_plan.h"
+#include "runtime/primitive_graph.h"
+
+namespace adamant::plan {
+
+/// The EXPLAIN ANALYZE feedback loop: folds observed per-operator
+/// selectivities (obs::OperatorStats, collected by the runtime when
+/// ExecutionOptions::collect_operator_stats is set) into a per-query-name
+/// model that the SQL planner and the lowering output consult on the next
+/// compile of the same query.
+///
+/// Two key families are kept per query name:
+///   * "step:<producer label>" — the cumulative selectivity of a logical
+///     step (a filter chain's MATERIALIZE, a join's HASH_PROBE), smoothed
+///     with an EWMA. These refine *logical* estimates: predicate and join
+///     selectivities on the plan tree (ApplyToLogicalPlan).
+///   * "label:<node label>#<ordinal>" — the worst per-chunk selectivity a
+///     physical node ever exhibited. These size *buffers*: overflowing a
+///     capacity estimate is an execution error, so graph application
+///     (ApplyToGraph) uses the observed peak plus head-room, never the
+///     mean.
+///
+/// All methods are thread-safe; the service shares one instance across its
+/// workers.
+class SelectivityFeedback {
+ public:
+  /// EWMA smoothing for the step-selectivity estimate.
+  static constexpr double kAlpha = 0.4;
+  /// Head-room multiplied onto observed peaks before they size buffers —
+  /// deliberately tighter than lowering's blind 1.3x margin, since it pads
+  /// a measurement instead of a guess.
+  static constexpr double kSizingMargin = 1.1;
+  /// Selectivities are clamped to [kFloor, 1] on application.
+  static constexpr double kFloor = 1e-3;
+
+  /// Folds one completed run's operator tree into the model for
+  /// `query_name`. Operators with no rows seen are skipped.
+  void Observe(const std::string& query_name,
+               const std::vector<obs::OperatorStats>& operators);
+
+  /// Replaces the capacity estimate (NodeConfig::selectivity) of selective
+  /// nodes in a freshly lowered graph with observed peaks. Nodes are
+  /// matched by label + per-label ordinal, which is stable across
+  /// recompiles of the same plan shape. Returns the number of nodes
+  /// adjusted.
+  int ApplyToGraph(const std::string& query_name, PrimitiveGraph* graph) const;
+
+  /// Rewrites filter-predicate and join selectivities of a logical plan
+  /// with observed step selectivities; untouched subtrees are shared with
+  /// the input. `adjusted`, when given, receives the number of estimates
+  /// replaced.
+  LogicalNodePtr ApplyToLogicalPlan(const std::string& query_name,
+                                    LogicalNodePtr root,
+                                    int* adjusted = nullptr) const;
+
+  /// Smoothed step selectivity for (query, key), e.g.
+  /// ("q3", "step:lower.filter(l_shipdate)"). NotFound if never observed.
+  Result<double> StepSelectivity(const std::string& query_name,
+                                 const std::string& key) const;
+
+  /// Number of Observe() calls folded in for `query_name`.
+  size_t RunsObserved(const std::string& query_name) const;
+
+  /// {"q3": {"step:...": {"ewma":s,"peak":p,"observations":n}, ...}, ...}
+  std::string ToJson() const;
+
+ private:
+  struct Entry {
+    double ewma = 0;    // smoothed cumulative selectivity of the step
+    double peak = 0;    // max per-chunk selectivity ever observed
+    size_t observations = 0;
+  };
+  struct QueryModel {
+    std::map<std::string, Entry> keys;
+    size_t runs = 0;
+  };
+
+  void Fold(Entry* entry, double actual, double peak);
+
+  mutable std::mutex mu_;
+  std::map<std::string, QueryModel> queries_;
+};
+
+}  // namespace adamant::plan
+
+#endif  // ADAMANT_PLAN_FEEDBACK_H_

@@ -380,6 +380,17 @@ Status DeviceParallelDriver::Execute(RunContext& ctx) {
     }
   }
 
+  // EXPLAIN ANALYZE: fold partition operator stats on every path — the
+  // partial tree of a cancelled or failed run still finalizes in the
+  // parent (sub-graphs are clones, so node ids line up).
+  if (ctx.options().collect_operator_stats) {
+    for (const SubRun& sub : subs) {
+      if (sub.ctx != nullptr) {
+        ctx.MergeOperatorStats(sub.ctx->operator_stats());
+      }
+    }
+  }
+
   // Partition cleanup on every path; the parent context's own ReleaseAll
   // runs in QueryExecutor::Run.
   for (SubRun& sub : subs) {

@@ -1,6 +1,7 @@
 #include "runtime/exec/run_context.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "common/logging.h"
@@ -188,6 +189,7 @@ Status RunContext::RunChunks(const Pipeline& pipeline, size_t chunk_begin,
       chunk_span.set_args("{\"rows\":" + std::to_string(n) + "}");
     }
     chunk_scan_cache_.clear();
+    analyze_counts_.clear();
     for (int edge_id : pipeline.scan_edges) {
       ADAMANT_RETURN_NOT_OK(PlaceScanChunk(edge_id, c, base_row, n));
     }
@@ -234,6 +236,13 @@ Status RunContext::PlaceScanChunk(int edge_id, size_t chunk, size_t base_row,
   GraphEdge& edge = graph_->edge(edge_id);
   const GraphNode& consumer = graph_->node(edge.to_node);
   const size_t elem = ElementSize(edge.elem_type);
+
+  // EXPLAIN ANALYZE: attribute this placement's transfer bytes and cache
+  // hits to the consuming operator, measured as hub-counter deltas so every
+  // placement path (staged / ring / transient / cached) is covered.
+  const bool analyze = options_.collect_operator_stats;
+  const size_t h2d_before = analyze ? hub_.bytes_host_to_device() : 0;
+  const size_t hits_before = analyze ? hub_.scan_cache_hits() : 0;
 
   // A column consumed by several primitives of one pipeline is placed on
   // the device once per chunk and the buffer shared.
@@ -282,6 +291,11 @@ Status RunContext::PlaceScanChunk(int edge_id, size_t chunk, size_t base_row,
   edge_bindings_[edge_id] = binding;
   chunk_scan_cache_[std::make_pair(edge.column.get(), consumer.device)] =
       binding;
+  if (analyze) {
+    obs::OperatorStats& op = op_stats_[edge.to_node];
+    op.bytes_h2d += hub_.bytes_host_to_device() - h2d_before;
+    op.cache_hits += hub_.scan_cache_hits() - hits_before;
+  }
   return Status::OK();
 }
 
@@ -305,6 +319,16 @@ Result<Binding> RunContext::InputBinding(const GraphEdge& edge,
       !edge.is_scan() &&
       GetSignature(graph_->node(edge.from_node).kind).pipeline_breaker;
   const size_t bytes = BindingBytes(edge, binding);
+  // EXPLAIN ANALYZE: routed bytes are the consumer's cost.
+  const bool analyze = options_.collect_operator_stats;
+  const size_t h2d_before = analyze ? hub_.bytes_host_to_device() : 0;
+  const size_t d2h_before = analyze ? hub_.bytes_device_to_host() : 0;
+  auto attribute_route = [&]() {
+    if (!analyze) return;
+    obs::OperatorStats& op = op_stats_[edge.to_node];
+    op.bytes_h2d += hub_.bytes_host_to_device() - h2d_before;
+    op.bytes_d2h += hub_.bytes_device_to_host() - d2h_before;
+  };
   if (from_breaker) {
     auto key = std::make_pair(edge.from_node, device);
     auto moved = moved_persists_.find(key);
@@ -319,6 +343,7 @@ Result<Binding> RunContext::InputBinding(const GraphEdge& edge,
     moved_persists_[key] = routed;
     binding.data = routed;
     binding.device = device;
+    attribute_route();
     return binding;
   }
 
@@ -334,6 +359,7 @@ Result<Binding> RunContext::InputBinding(const GraphEdge& edge,
   }
   binding.data = routed;
   binding.device = device;
+  attribute_route();
   return binding;
 }
 
@@ -688,11 +714,25 @@ Status RunContext::ExecuteNode(int node_id, size_t chunk, size_t base_row,
                                     values.capacity, values.count);
       break;
     }
+    case PrimitiveKind::kFused:
+    case PrimitiveKind::kFusedAgg:
+      return Status::Internal(node.label +
+                              ": fused kinds are dispatched above");
   }
 
   launch.variant = options_.kernel_variant;
   launch.num_threads = options_.kernel_threads;
   launch.cancel = options_.cancel_token;
+
+  // EXPLAIN ANALYZE: the primary input's valid-row count is known before
+  // the launch (its producer already ran this chunk).
+  int64_t analyze_rows_in = static_cast<int64_t>(n);
+  if (options_.collect_operator_stats) {
+    const auto pslot = static_cast<size_t>(PrimaryInputSlot(node));
+    if (has_in[pslot]) {
+      ADAMANT_ASSIGN_OR_RETURN(analyze_rows_in, BindingRows(in[pslot]));
+    }
+  }
 
   {
     static obs::Counter* launches =
@@ -702,8 +742,30 @@ Status RunContext::ExecuteNode(int node_id, size_t chunk, size_t base_row,
     if (obs::TracingEnabled()) {
       kernel_span.Start(static_cast<int>(node.device), "kernel:" + node.label);
     }
+    std::chrono::steady_clock::time_point kernel_start;
+    if (options_.collect_operator_stats) {
+      kernel_start = std::chrono::steady_clock::now();
+    }
     ADAMANT_RETURN_NOT_OK(
         dev->Execute(launch).WithContext(node.label).WithDevice(node.device));
+    if (options_.collect_operator_stats) {
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - kernel_start)
+                                 .count();
+      // Kinds that write a fresh count report measured output rows; the
+      // rest pass their input cardinality through. Breakers defer to
+      // FinalizeOperatorStats.
+      const bool fresh_count = node.kind == PrimitiveKind::kFilterPosition ||
+                               node.kind == PrimitiveKind::kMaterialize ||
+                               node.kind == PrimitiveKind::kHashProbe;
+      int64_t rows_out = analyze_rows_in;
+      if (fresh_count) {
+        ADAMANT_ASSIGN_OR_RETURN(rows_out, BindingRows(out0));
+      }
+      RecordOperatorSample(node, dev, static_cast<uint64_t>(analyze_rows_in),
+                           static_cast<uint64_t>(rows_out),
+                           !GetSignature(node.kind).pipeline_breaker, wall_ms);
+    }
   }
 
   // Publish outputs on the outgoing edges.
@@ -784,6 +846,11 @@ Status RunContext::ExecuteFusedNode(const GraphNode& node,
   launch.num_threads = options_.kernel_threads;
   launch.cancel = options_.cancel_token;
 
+  int64_t analyze_rows_in = static_cast<int64_t>(n);
+  if (options_.collect_operator_stats) {
+    ADAMANT_ASSIGN_OR_RETURN(analyze_rows_in, BindingRows(a));
+  }
+
   {
     static obs::Counter* launches =
         obs::GlobalMetrics().GetCounter("adamant_kernel_launches_total");
@@ -795,8 +862,24 @@ Status RunContext::ExecuteFusedNode(const GraphNode& node,
       kernel_span.Start(static_cast<int>(node.device),
                         "fused:" + FusedRecipeLabel(node.config.fused_steps));
     }
+    std::chrono::steady_clock::time_point kernel_start;
+    if (options_.collect_operator_stats) {
+      kernel_start = std::chrono::steady_clock::now();
+    }
     ADAMANT_RETURN_NOT_OK(
         dev->Execute(launch).WithContext(node.label).WithDevice(node.device));
+    if (options_.collect_operator_stats) {
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - kernel_start)
+                                 .count();
+      int64_t rows_out = analyze_rows_in;
+      if (node.kind == PrimitiveKind::kFused) {
+        ADAMANT_ASSIGN_OR_RETURN(rows_out, BindingRows(out0));
+      }
+      RecordOperatorSample(node, dev, static_cast<uint64_t>(analyze_rows_in),
+                           static_cast<uint64_t>(rows_out),
+                           node.kind == PrimitiveKind::kFused, wall_ms);
+    }
   }
 
   for (int edge_id : graph_->OutEdges(node.id)) {
@@ -873,6 +956,11 @@ Status RunContext::RetrieveStreaming(const GraphNode& node,
                                 .WithDevice(node.device));
     }
   }
+  if (options_.collect_operator_stats) {
+    obs::OperatorStats& op = op_stats_[node.id];
+    if (out0.count != kInvalidBuffer) op.bytes_d2h += sizeof(int64_t);
+    op.bytes_d2h += part.data.size() + part.data2.size();
+  }
   output.parts.push_back(std::move(part));
   return Status::OK();
 }
@@ -893,6 +981,9 @@ Status RunContext::RetrieveBreaker(const GraphNode& node) {
   if (obs::TracingEnabled()) {
     d2h_span.Start(static_cast<int>(persist.device), "d2h:" + node.label);
     d2h_span.set_args("{\"bytes\":" + std::to_string(persist.bytes) + "}");
+  }
+  if (options_.collect_operator_stats) {
+    op_stats_[node.id].bytes_d2h += persist.bytes;
   }
   return dev->RetrieveData(persist.buffer, output.bytes.data(),
                            persist.bytes, 0)
@@ -1018,6 +1109,237 @@ void RunContext::ReleaseAll() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE collection (options_.collect_operator_stats).
+// ---------------------------------------------------------------------------
+
+Result<int64_t> RunContext::BindingRows(const Binding& binding) {
+  if (binding.count == kInvalidBuffer) {
+    return static_cast<int64_t>(binding.capacity);
+  }
+  const auto key = std::make_pair(binding.device, binding.count);
+  auto it = analyze_counts_.find(key);
+  if (it != analyze_counts_.end()) return it->second;
+  ADAMANT_ASSIGN_OR_RETURN(SimulatedDevice * dev,
+                           manager_->GetDevice(binding.device));
+  int64_t value = 0;
+  ADAMANT_RETURN_NOT_OK(
+      dev->RetrieveData(binding.count, &value, sizeof(int64_t), 0)
+          .WithDevice(binding.device));
+  analyze_counts_[key] = value;
+  return value;
+}
+
+void RunContext::RecordOperatorSample(const GraphNode& node,
+                                      SimulatedDevice* dev, uint64_t rows_in,
+                                      uint64_t rows_out, bool counts_rows_out,
+                                      double wall_ms) {
+  obs::OperatorStats& op = op_stats_[node.id];
+  op.node_id = node.id;
+  op.rows_in += rows_in;
+  ++op.launches;
+  op.kernel_ms += wall_ms;
+  if (counts_rows_out) {
+    op.rows_out += rows_out;
+    if (rows_in > 0) {
+      op.max_chunk_selectivity = std::max(
+          op.max_chunk_selectivity,
+          static_cast<double>(rows_out) / static_cast<double>(rows_in));
+    }
+  }
+  if (node.kind == PrimitiveKind::kFused ||
+      node.kind == PrimitiveKind::kFusedAgg) {
+    op.fused_ms += wall_ms;
+  } else {
+    // Resolve the variant the launch actually ran: forced option wins,
+    // kAuto takes the device policy, and kernels without a parallel
+    // binding fall back to scalar (mirrors SimulatedDevice::Execute).
+    KernelVariant variant =
+        options_.kernel_variant == KernelVariantRequest::kScalar
+            ? KernelVariant::kScalar
+        : options_.kernel_variant == KernelVariantRequest::kParallel
+            ? KernelVariant::kParallel
+            : dev->default_kernel_variant();
+    if (variant == KernelVariant::kParallel &&
+        !dev->HasParallelKernel(GetSignature(node.kind).kernel_name)) {
+      variant = KernelVariant::kScalar;
+    }
+    if (variant == KernelVariant::kParallel) {
+      op.parallel_ms += wall_ms;
+    } else {
+      op.scalar_ms += wall_ms;
+    }
+  }
+  const int device = static_cast<int>(node.device);
+  obs::OperatorDeviceSlice* slice = nullptr;
+  for (obs::OperatorDeviceSlice& existing : op.devices) {
+    if (existing.device == device) {
+      slice = &existing;
+      break;
+    }
+  }
+  if (slice == nullptr) {
+    op.devices.emplace_back();
+    slice = &op.devices.back();
+    slice->device = device;
+  }
+  slice->rows_in += rows_in;
+  if (counts_rows_out) slice->rows_out += rows_out;
+  ++slice->launches;
+  slice->kernel_ms += wall_ms;
+}
+
+void RunContext::MergeOperatorStats(
+    const std::map<int, obs::OperatorStats>& other) {
+  for (const auto& [node_id, src] : other) {
+    obs::OperatorStats& dst = op_stats_[node_id];
+    dst.node_id = node_id;
+    dst.rows_in += src.rows_in;
+    dst.rows_out += src.rows_out;
+    dst.max_chunk_selectivity =
+        std::max(dst.max_chunk_selectivity, src.max_chunk_selectivity);
+    dst.launches += src.launches;
+    dst.kernel_ms += src.kernel_ms;
+    dst.scalar_ms += src.scalar_ms;
+    dst.parallel_ms += src.parallel_ms;
+    dst.fused_ms += src.fused_ms;
+    dst.bytes_h2d += src.bytes_h2d;
+    dst.bytes_d2h += src.bytes_d2h;
+    dst.cache_hits += src.cache_hits;
+    for (const obs::OperatorDeviceSlice& s : src.devices) {
+      obs::OperatorDeviceSlice* slice = nullptr;
+      for (obs::OperatorDeviceSlice& existing : dst.devices) {
+        if (existing.device == s.device) {
+          slice = &existing;
+          break;
+        }
+      }
+      if (slice == nullptr) {
+        dst.devices.push_back(s);
+        continue;
+      }
+      slice->rows_in += s.rows_in;
+      slice->rows_out += s.rows_out;
+      slice->launches += s.launches;
+      slice->kernel_ms += s.kernel_ms;
+    }
+  }
+}
+
+void RunContext::FinalizeOperatorStats() {
+  const double data_scale = manager_->data_scale();
+  // Predicted output cardinality per node, filled in pipeline order so a
+  // consumer in a later pipeline sees its producer's estimate.
+  std::map<int, double> pred_rows_out;
+  for (size_t pi = 0; pi < pipelines_.size(); ++pi) {
+    const Pipeline& pipeline = pipelines_[pi];
+    const size_t cap = ChunkCapacity(pipeline);
+    const double rows = static_cast<double>(pipeline.input_rows);
+    const double chunks =
+        cap == 0 ? 1.0
+                 : std::max(1.0, std::ceil(rows / static_cast<double>(cap)));
+    const double rows_per_chunk = rows * data_scale / chunks;
+    for (int node_id : pipeline.nodes) {
+      const GraphNode& node = graph_->node(node_id);
+      obs::OperatorStats& op = op_stats_[node_id];
+      op.node_id = node_id;
+      op.pipeline = static_cast<int>(pi);
+      op.label = node.label;
+      op.kind = GetSignature(node.kind).kernel_name;
+      // Predicted input rows: the primary in-edge producer's estimate, or
+      // the pipeline's scan cardinality.
+      double pred_in = rows;
+      for (int edge_id : graph_->InEdges(node_id)) {
+        const GraphEdge& edge = graph_->edges()[static_cast<size_t>(edge_id)];
+        if (edge.to_slot != PrimaryInputSlot(node)) continue;
+        if (!edge.is_scan()) {
+          auto it = pred_rows_out.find(edge.from_node);
+          if (it != pred_rows_out.end()) pred_in = it->second;
+        }
+        break;
+      }
+      op.predicted_rows_in = pred_in;
+      op.selective = node.kind == PrimitiveKind::kFilterPosition ||
+                     node.kind == PrimitiveKind::kMaterialize ||
+                     node.kind == PrimitiveKind::kHashProbe ||
+                     node.kind == PrimitiveKind::kFused;
+      double pred_out = pred_in;
+      if (op.selective) {
+        op.predicted_selectivity = node.config.selectivity;
+        pred_out = pred_in * node.config.selectivity;
+      } else {
+        switch (node.kind) {
+          case PrimitiveKind::kAggBlock:
+          case PrimitiveKind::kFusedAgg:
+            pred_out = std::min(pred_in, 1.0);
+            break;
+          case PrimitiveKind::kSortAgg:
+            pred_out = std::min(
+                pred_in, static_cast<double>(node.config.num_groups));
+            break;
+          default:
+            break;
+        }
+      }
+      op.predicted_rows_out = pred_out;
+      pred_rows_out[node_id] = pred_out;
+      // Per-node share of EstimateSimCostUs's kernel arithmetic: one launch
+      // per chunk at full chunk cardinality, cost_param pinned at 1.
+      auto dev = manager_->GetDevice(node.device);
+      if (dev.ok()) {
+        const sim::DevicePerfModel& model = (*dev)->perf_model();
+        op.predicted_cost_us =
+            chunks * (model.kernel_launch_us +
+                      static_cast<double>(model.KernelDuration(
+                          GetSignature(node.kind).kernel_name, rows_per_chunk,
+                          /*cost_param=*/1.0)));
+      }
+      // Feedback key: ties the operator back to the logical construct whose
+      // selectivity the planner estimated (see plan/feedback.h). MATERIALIZE
+      // carries the *cumulative* step selectivity, so its key is the filter
+      // chain it compacts — the slot-1 bitmap producer.
+      switch (node.kind) {
+        case PrimitiveKind::kFilterPosition:
+        case PrimitiveKind::kHashProbe:
+        case PrimitiveKind::kFused:
+          op.feedback_key = "step:" + node.label;
+          break;
+        case PrimitiveKind::kMaterialize:
+          for (int edge_id : graph_->InEdges(node_id)) {
+            const GraphEdge& edge =
+                graph_->edges()[static_cast<size_t>(edge_id)];
+            if (edge.to_slot != 1 || edge.is_scan()) continue;
+            op.feedback_key = "step:" + graph_->node(edge.from_node).label;
+            break;
+          }
+          break;
+        default:
+          break;
+      }
+      // Breakers write no per-chunk output count; derive their measured
+      // output cardinality from the kind.
+      if (GetSignature(node.kind).pipeline_breaker) {
+        switch (node.kind) {
+          case PrimitiveKind::kAggBlock:
+          case PrimitiveKind::kFusedAgg:
+            op.rows_out = std::min<uint64_t>(op.rows_in, 1);
+            break;
+          case PrimitiveKind::kSortAgg:
+            op.rows_out = std::min<uint64_t>(
+                op.rows_in, static_cast<uint64_t>(node.config.num_groups));
+            break;
+          default:  // hash_build / hash_agg / prefix_sum: bounded by input
+            op.rows_out = op.rows_in;
+            break;
+        }
+        for (obs::OperatorDeviceSlice& slice : op.devices) {
+          slice.rows_out = std::min<uint64_t>(slice.rows_in, op.rows_out);
+        }
+      }
+    }
+  }
+}
+
 void RunContext::FinalizeStats() {
   ClosePipeline();
   QueryStats& stats = exec_.stats;
@@ -1031,6 +1353,18 @@ void RunContext::FinalizeStats() {
         options_.cancel_token->cancelled()) {
       stats.profile.cancelled_cause =
           CancelCauseToString(options_.cancel_token->cause());
+    }
+  }
+  // EXPLAIN ANALYZE export happens before the shared-device early return
+  // below: operator stats use only wall clocks and this run's own counters,
+  // so they are safe (and meaningful) under shared device leases.
+  if (options_.collect_operator_stats) {
+    FinalizeOperatorStats();
+    stats.profile.operators.clear();
+    stats.profile.operators.reserve(op_stats_.size());
+    for (const auto& [node_id, op] : op_stats_) {
+      (void)node_id;
+      stats.profile.operators.push_back(op);
     }
   }
   stats.bytes_h2d += hub_.bytes_host_to_device();
@@ -1053,7 +1387,14 @@ void RunContext::FinalizeStats() {
   // snapshot entirely — entries keep just their names.
   if (!options_.reset_device_state) return;
   for (DeviceId id : used_devices_) {
-    SimulatedDevice* dev = manager_->device(id);
+    // Guard like ReleaseAll: a failed run may list a device that was never
+    // valid (unknown graph annotation), and FinalizeStats runs on every
+    // exit path.
+    auto dev_or = manager_->GetDevice(id);
+    if (!dev_or.ok() || static_cast<size_t>(id) >= stats.devices.size()) {
+      continue;
+    }
+    SimulatedDevice* dev = *dev_or;
     DeviceRunStats& ds = stats.devices[static_cast<size_t>(id)];
     ds.h2d_busy_us = dev->transfer_timeline().busy_time();
     ds.d2h_busy_us = dev->d2h_timeline().busy_time();
@@ -1083,6 +1424,7 @@ void RunContext::FinalizeStats() {
                             : 1;
     ds.parallel_launches = dev->parallel_launches();
     ds.fused_launches = dev->fused_launches();
+    ds.fused_body_us = dev->fused_body_time();
     stats.kernel_body_us += ds.kernel_body_us;
     stats.transfer_wire_us += ds.transfer_wire_us;
     stats.elapsed_us = std::max(stats.elapsed_us, dev->MaxCompletion());
@@ -1094,6 +1436,8 @@ void RunContext::FinalizeStats() {
       dp.compute_ms = static_cast<double>(ds.compute_busy_us) / 1000.0;
       dp.kernel_body_ms = static_cast<double>(ds.kernel_body_us) / 1000.0;
       dp.kernel_launches = ds.execute_calls;
+      dp.fused_launches = ds.fused_launches;
+      dp.fused_body_ms = static_cast<double>(ds.fused_body_us) / 1000.0;
       stats.profile.devices.push_back(std::move(dp));
     }
   }

@@ -142,6 +142,19 @@ class RunContext {
   /// zero chunks of the producing pipeline but consume the merged result.
   Status BindPersistOutputs(const Pipeline& pipeline);
 
+  // --- EXPLAIN ANALYZE (options_.collect_operator_stats) ---
+
+  /// This run's raw per-operator measurements, keyed by node id. Labels,
+  /// predictions and breaker output counts are stamped by FinalizeStats,
+  /// which exports the finished tree into QueryStats::profile.operators.
+  const std::map<int, obs::OperatorStats>& operator_stats() const {
+    return op_stats_;
+  }
+  /// Folds a partition sub-run's operator stats into this context. The
+  /// device-parallel driver's sub-graphs are clones with identical node
+  /// ids, so entries merge by id (sums; max for per-chunk selectivity).
+  void MergeOperatorStats(const std::map<int, obs::OperatorStats>& other);
+
   // --- Cleanup and accounting (QueryExecutor::Run's business) ---
 
   /// Delete phase / error cleanup: scan leases, per-chunk and per-run
@@ -185,6 +198,21 @@ class RunContext {
   Status RetrieveBreaker(const GraphNode& node);
   void FreeAll(std::vector<std::pair<DeviceId, BufferId>>* allocs);
   void ReleaseScanLeases();
+
+  /// Valid rows behind a binding: its count buffer's value (read once per
+  /// chunk via analyze_counts_), or its capacity when no count exists.
+  /// Reading a count books simulated D2H time but never touches results.
+  Result<int64_t> BindingRows(const Binding& binding);
+  /// Accumulates one chunk's execution of `node` into op_stats_.
+  /// `counts_rows_out` is false for pipeline breakers, whose output
+  /// cardinality is derived from their kind at finalize time.
+  void RecordOperatorSample(const GraphNode& node, SimulatedDevice* dev,
+                            uint64_t rows_in, uint64_t rows_out,
+                            bool counts_rows_out, double wall_ms);
+  /// Stamps labels/kinds/pipeline indexes, predicted rows/selectivity/cost
+  /// (EstimateSimCostUs's per-node arithmetic) and breaker output counts
+  /// onto op_stats_, walking the lowered plan node-for-node.
+  void FinalizeOperatorStats();
 
   /// The track a pipeline's events record on: its first node's device.
   int PipelineTrack(const Pipeline& pipeline) const;
@@ -233,6 +261,12 @@ class RunContext {
     sim::SimTime compute = 0;
   };
   std::map<DeviceId, BusySnapshot> pipeline_busy_snapshot_;
+
+  // --- EXPLAIN ANALYZE state (options_.collect_operator_stats) ---
+  std::map<int, obs::OperatorStats> op_stats_;
+  /// Per-chunk cache of count-buffer reads, keyed per device (BufferIds are
+  /// device-local), so each count crosses the bus at most once per chunk.
+  std::map<std::pair<DeviceId, BufferId>, int64_t> analyze_counts_;
 };
 
 }  // namespace adamant::exec

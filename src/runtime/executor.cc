@@ -225,10 +225,13 @@ Result<QueryExecution> QueryExecutor::Run(PrimitiveGraph* graph,
   }
   exec::RunContext context(manager_, graph, options);
   Status st = driver->Execute(context);
-  // Delete phase / error cleanup: give every allocation back.
+  // Delete phase / error cleanup: give every allocation back. Stats are
+  // finalized on the error path too, so a stats_sink observes the partial
+  // profile/operator tree of a cancelled or failed run.
   context.ReleaseAll();
-  if (!st.ok()) return st;
   context.FinalizeStats();
+  if (options.stats_sink != nullptr) *options.stats_sink = context.exec().stats;
+  if (!st.ok()) return st;
   return context.TakeExecution();
 }
 

@@ -58,6 +58,8 @@ enum class FusionMode {
 
 const char* FusionModeName(FusionMode mode);
 
+struct QueryStats;
+
 struct ExecutionOptions {
   ExecutionModelKind model = ExecutionModelKind::kChunked;
   /// Chunk size in *nominal* elements (the paper uses 2^25 int values); the
@@ -115,6 +117,20 @@ struct ExecutionOptions {
   /// reset_device_state is also true (exclusive device use); wall-clock
   /// pipeline timings and run_ms are collected regardless.
   bool collect_profile = false;
+  /// EXPLAIN ANALYZE: collect the per-operator obs::OperatorStats tree
+  /// (rows in/out, kernel wall ms by variant, launches, bytes, cache hits,
+  /// per-device slices) into QueryStats::profile.operators. Orthogonal to
+  /// collect_profile and safe under shared devices — the collection uses
+  /// only wall clocks and this run's own counters, never the devices'
+  /// unsynchronized accessors. Results stay bit-identical to an
+  /// uninstrumented run.
+  bool collect_operator_stats = false;
+  /// When set, the executor copies the run's QueryStats here on *every*
+  /// exit path — including error and cancellation unwinds, where Run()
+  /// returns a Status and the QueryExecution (with its stats) is otherwise
+  /// lost. Lets the service retain the profile/operator tree of a query
+  /// that blew its deadline. Not owned; must outlive the run.
+  QueryStats* stats_sink = nullptr;
   /// Cooperative cancellation / deadline token for this run; not owned, may
   /// be null. Checked at pipeline and chunk boundaries in every ModelDriver,
   /// per tile in the WorkerPool claim loop, and around DataTransferHub
@@ -146,8 +162,10 @@ struct DeviceRunStats {
   std::string kernel_variant;
   int kernel_threads = 0;
   size_t parallel_launches = 0;
-  /// Execute calls that ran a FUSED composite kernel on this device.
+  /// Execute calls that ran a FUSED composite kernel on this device, and
+  /// the share of kernel_body_us spent inside them.
   size_t fused_launches = 0;
+  sim::SimTime fused_body_us = 0;
 };
 
 struct QueryStats {

@@ -50,6 +50,7 @@ QueryService::QueryService(DeviceManager* manager, ServiceConfig config)
       metrics_.GetCounter("adamant_service_deadline_evictions_total");
   watchdog_fires_ = metrics_.GetCounter("adamant_service_watchdog_fires_total");
   cancelled_ = metrics_.GetCounter("adamant_service_cancelled_total");
+  slow_queries_ = metrics_.GetCounter("adamant_service_slow_queries_total");
   queue_wait_hist_ = metrics_.GetHistogram("adamant_service_queue_wait_ms",
                                            obs::LatencyBucketsMs());
   run_hist_ =
@@ -112,12 +113,18 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(QuerySpec spec) {
       return Status::InvalidArgument(
           "QuerySpec.sql requires QuerySpec.sql_catalog");
     }
+    if (spec.name.empty()) spec.name = "sql";
     sql::PlannerOptions planner_options;
     planner_options.manager = manager_;
+    if (config_.collect_operator_stats) {
+      // Recompiles of a served query name consult the selectivities its
+      // earlier analyzed runs measured.
+      planner_options.feedback = &feedback_;
+      planner_options.feedback_name = spec.name;
+    }
     ADAMANT_ASSIGN_OR_RETURN(
         sql::CompiledQuery compiled,
         sql::Compile(spec.sql, *spec.sql_catalog, planner_options));
-    if (spec.name.empty()) spec.name = "sql";
     auto plan = compiled.plan;
     const Catalog* catalog = spec.sql_catalog;
     spec.make_graph = [plan, catalog](DeviceId device)
@@ -456,7 +463,8 @@ void QueryService::WorkerLoop() {
 
     const DeviceId primary = placed.front();
     const auto start = std::chrono::steady_clock::now();
-    Result<QueryExecution> result = RunOne(*query, placed, token);
+    QueryStats run_stats;  // filled on every exit path, cancels included
+    Result<QueryExecution> result = RunOne(*query, placed, token, &run_stats);
     const auto end = std::chrono::steady_clock::now();
     const bool ok = result.ok();
     const bool device_fault = !ok && result.status().device_id() >= 0;
@@ -580,6 +588,58 @@ void QueryService::WorkerLoop() {
           (*result).stats.profile.queue_wait_ms =
               query->ticket->queue_wait_ms_;
         }
+        if (ok && config_.collect_operator_stats) {
+          // Close the loop: observed selectivities feed the next compile of
+          // this query name, and every operator's predicted-vs-actual gap
+          // lands in the adamant_plan_qerror_* histograms.
+          feedback_.Observe(query->spec.name, run_stats.profile.operators);
+          obs::RecordPlanQErrors(&metrics_, query->spec.name,
+                                 run_stats.profile.operators);
+        }
+        if (config_.history_capacity > 0) {
+          QueryHistoryEntry entry;
+          entry.id = ++history_seq_;
+          entry.name = query->spec.name;
+          entry.ok = ok;
+          if (!ok) entry.error = result.status().ToString();
+          entry.device = primary;
+          entry.attempts = query->attempt;
+          entry.queue_wait_ms = query->ticket->queue_wait_ms_;
+          entry.run_ms = attempt_ms;
+          entry.predicted_ms = PredictRunMs(*query);
+          entry.deadline_ms = query->spec.deadline_ms;
+          // Slow: over the deadline-fraction budget, or — deadline-less —
+          // over the fleet p95 once enough runs make a p95 meaningful.
+          if (query->has_deadline) {
+            entry.slow = attempt_ms > config_.slow_query_fraction *
+                                          query->spec.deadline_ms;
+          } else {
+            entry.slow = run_hist_->Count() >= 8 &&
+                         attempt_ms > run_hist_->Quantile(0.95);
+          }
+          entry.profile = run_stats.profile;
+          entry.profile.queue_wait_ms = query->ticket->queue_wait_ms_;
+          if (entry.slow) {
+            slow_queries_->Increment();
+          } else {
+            entry.profile.operators.clear();
+          }
+          history_.push_back(std::move(entry));
+          while (history_.size() > config_.history_capacity) {
+            history_.pop_front();
+          }
+          if (obs::TracingEnabled()) {
+            // Both series are monotonic by construction (counter values),
+            // which tools/check_trace verifies for every "C" event.
+            obs::TraceCounter(
+                obs::kServiceTrack, "service.queries",
+                "{\"finished\":" + std::to_string(history_seq_) +
+                    ",\"slow\":" +
+                    std::to_string(
+                        static_cast<uint64_t>(slow_queries_->Value())) +
+                    "}");
+          }
+        }
       }
     }
     // A finished attempt freed a slot and budget bytes: every waiting
@@ -667,12 +727,18 @@ void QueryService::WatchdogLoop() {
 
 Result<QueryExecution> QueryService::RunOne(
     const QueuedQuery& query, const std::vector<DeviceId>& devices,
-    CancelToken* token) {
+    CancelToken* token, QueryStats* stats_sink) {
   ADAMANT_ASSIGN_OR_RETURN(std::unique_ptr<PrimitiveGraph> graph,
                            query.spec.make_graph(devices.front()));
   if (graph == nullptr) {
     return Status::InvalidArgument(query.spec.name +
                                    ": make_graph returned null");
+  }
+  if (config_.collect_operator_stats) {
+    // Feedback also lands on the physical plan: buffer-sizing selectivities
+    // are replaced with peaks observed by earlier runs of this query name
+    // (covers hand-built make_graph plans, which never pass the planner).
+    feedback_.ApplyToGraph(query.spec.name, graph.get());
   }
   ExecutionOptions options = query.spec.options;
   options.cancel_token = token;
@@ -690,6 +756,10 @@ Result<QueryExecution> QueryService::RunOne(
   // Every served query carries its phase profile on the ticket; collection
   // is a handful of clock reads per pipeline, so it is always on here.
   options.collect_profile = true;
+  // EXPLAIN ANALYZE: the operator tree rides the stats sink so it survives
+  // error and cancel exits (Result<> carries no stats on failure).
+  options.collect_operator_stats = config_.collect_operator_stats;
+  options.stats_sink = stats_sink;
   QueryExecutor executor(manager_);
   return executor.Run(graph.get(), options);
 }
@@ -739,6 +809,7 @@ ServiceStats QueryService::GetStats() const {
     stats.deadline_evictions = count(deadline_evictions_);
     stats.watchdog_fires = count(watchdog_fires_);
     stats.cancelled = count(cancelled_);
+    stats.slow_queries = count(slow_queries_);
     stats.queued = queue_.size();
     stats.active = active_;
     stats.wall_seconds =
@@ -769,6 +840,40 @@ ServiceStats QueryService::GetStats() const {
   return stats;
 }
 
+std::string QueryHistoryEntry::ToJson() const {
+  std::ostringstream out;
+  out << "{\"id\":" << id << ",\"name\":\"" << obs::JsonEscape(name) << "\""
+      << ",\"ok\":" << (ok ? "true" : "false");
+  if (!error.empty()) {
+    out << ",\"error\":\"" << obs::JsonEscape(error) << "\"";
+  }
+  out << ",\"device\":" << device << ",\"attempts\":" << attempts
+      << ",\"queue_wait_ms\":" << queue_wait_ms << ",\"run_ms\":" << run_ms
+      << ",\"predicted_ms\":" << predicted_ms;
+  if (deadline_ms > 0) out << ",\"deadline_ms\":" << deadline_ms;
+  out << ",\"slow\":" << (slow ? "true" : "false")
+      << ",\"profile\":" << profile.ToJson() << "}";
+  return out.str();
+}
+
+std::string QueryService::HistoryJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"capacity\":" << config_.history_capacity
+      << ",\"finished\":" << history_seq_
+      << ",\"slow_queries\":"
+      << static_cast<uint64_t>(slow_queries_->Value()) << ",\"entries\":[";
+  // Newest first: the slow query someone is hunting is usually recent.
+  bool first = true;
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (!first) out << ",";
+    first = false;
+    out << it->ToJson();
+  }
+  out << "],\"feedback\":" << feedback_.ToJson() << "}";
+  return out.str();
+}
+
 std::string ServiceStats::ToJson() const {
   std::ostringstream out;
   out << "{";
@@ -783,6 +888,7 @@ std::string ServiceStats::ToJson() const {
       << ",\"deadline_evictions\":" << deadline_evictions
       << ",\"watchdog_fires\":" << watchdog_fires
       << ",\"cancelled\":" << cancelled
+      << ",\"slow_queries\":" << slow_queries
       << ",\"queued\":" << queued << ",\"active\":" << active
       << ",\"wall_seconds\":" << wall_seconds
       << ",\"queue_wait_p50_ms\":" << queue_wait_p50_ms

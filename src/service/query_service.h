@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <random>
@@ -18,6 +19,8 @@
 #include "common/result.h"
 #include "device/device_manager.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "plan/feedback.h"
 #include "service/column_cache.h"
 #include "service/cost_predictor.h"
 #include "service/device_health.h"
@@ -100,6 +103,41 @@ struct ServiceConfig {
   DeviceHealthConfig health;
   /// Deadline shedding / eviction / watchdog policy (see SloPolicy).
   SloPolicy slo;
+  /// EXPLAIN ANALYZE in serving: collect the per-operator stats tree on
+  /// every run (bit-identical results, a few extra clock reads and count
+  /// retrievals per chunk). Feeds the adamant_plan_qerror_* histograms, the
+  /// selectivity feedback cache consulted on the next compile of the same
+  /// query name, and the slow-query history.
+  bool collect_operator_stats = true;
+  /// Bounded completed-query history ring (0 disables history entirely).
+  size_t history_capacity = 64;
+  /// Slow-query threshold: a finished query is logged slow — full profile
+  /// and operator tree retained — when its run time exceeds this fraction
+  /// of its deadline, or, for deadline-less queries, the fleet run-time p95
+  /// (once enough runs have been observed to make a p95 meaningful).
+  double slow_query_fraction = 0.75;
+};
+
+/// One finished (completed or failed) query in the bounded history ring.
+struct QueryHistoryEntry {
+  uint64_t id = 0;  // monotonic completion sequence number
+  std::string name;
+  bool ok = false;
+  std::string error;  // failure Status::ToString(), empty when ok
+  DeviceId device = -1;
+  size_t attempts = 0;
+  double queue_wait_ms = 0;
+  double run_ms = 0;
+  /// Calibrated run-time prediction at completion time (PredictRunMs).
+  double predicted_ms = 0;
+  double deadline_ms = 0;  // 0 = none
+  bool slow = false;
+  /// Slow queries retain the full profile including the EXPLAIN ANALYZE
+  /// operator tree; fast ones keep only the phase summary (operators
+  /// dropped), bounding the ring's memory.
+  obs::QueryProfile profile;
+
+  std::string ToJson() const;
 };
 
 /// Aggregate service counters, exported as JSON by run_tpch --serve.
@@ -129,6 +167,9 @@ struct ServiceStats {
   size_t watchdog_fires = 0;     // in-flight runs cancelled by the watchdog
   size_t cancelled = 0;          // run attempts that ended cancelled /
                                  // deadline-exceeded (any cause)
+  /// Completed queries the history ring flagged slow (EXPLAIN ANALYZE
+  /// profile retained; see ServiceConfig::slow_query_fraction).
+  size_t slow_queries = 0;
   size_t queued = 0;  // snapshot
   size_t active = 0;  // snapshot
   double wall_seconds = 0;
@@ -194,6 +235,16 @@ class QueryService {
   /// exposable as Prometheus text (metrics().ToPrometheusText()) or JSON.
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Selectivity feedback cache fed by completed analyzed runs. The SQL
+  /// compile path (Submit) and graph lowering (RunOne) consult it, so
+  /// resubmitting a query name tightens its estimates run over run.
+  const plan::SelectivityFeedback& feedback() const { return feedback_; }
+
+  /// JSON dump of the query-history ring (most recent first; slow entries
+  /// carry their full EXPLAIN ANALYZE profile) plus the feedback cache.
+  /// Served by run_tpch --serve --history=PATH.
+  std::string HistoryJson() const;
+
   DeviceColumnCache* cache() { return cache_.get(); }
   MemoryLedger& ledger() { return *ledger_; }
 
@@ -224,9 +275,11 @@ class QueryService {
   /// Runs one attempt on the leased device set (a single element for
   /// classic leases; the device-parallel split set otherwise), with
   /// `token` armed as the attempt's cancellation carrier.
+  /// `stats_sink` receives the attempt's QueryStats (profile + operator
+  /// tree) on every exit path, including cancels and errors.
   Result<QueryExecution> RunOne(const QueuedQuery& query,
                                 const std::vector<DeviceId>& devices,
-                                CancelToken* token);
+                                CancelToken* token, QueryStats* stats_sink);
   /// Backoff delay before retry attempt `attempt` (1-based count of
   /// failures so far), with seeded jitter. Caller holds mu_.
   double BackoffMs(size_t attempt);
@@ -248,6 +301,12 @@ class QueryService {
   size_t active_ = 0;
   /// Sim-cost → wall-time rescaling, fed by completed runs (guarded by mu_).
   CostCalibration calibration_;
+  /// Observed-selectivity cache (internally synchronized; locked after mu_
+  /// when both are held).
+  plan::SelectivityFeedback feedback_;
+  /// Bounded completed-query ring, newest at the back (guarded by mu_).
+  std::deque<QueryHistoryEntry> history_;
+  uint64_t history_seq_ = 0;
   /// In-flight attempts, keyed by a monotonic run id (guarded by mu_).
   std::map<uint64_t, ActiveRun> active_runs_;
   uint64_t next_run_id_ = 1;
@@ -277,6 +336,7 @@ class QueryService {
   obs::Counter* deadline_evictions_;
   obs::Counter* watchdog_fires_;
   obs::Counter* cancelled_;
+  obs::Counter* slow_queries_;
   obs::Histogram* queue_wait_hist_;
   obs::Histogram* run_hist_;
   /// Deadline minus completion time, clamped at 0, for every finished

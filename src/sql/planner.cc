@@ -76,6 +76,12 @@ class Planner {
     ADAMANT_ASSIGN_OR_RETURN(
         out.plan,
         plan::AnnotateSelectivities(*root, catalog_, options_.sample_every));
+    // EXPLAIN ANALYZE feedback: observed step selectivities from earlier
+    // runs of this query override the sampled estimates.
+    if (options_.feedback != nullptr && !options_.feedback_name.empty()) {
+      out.plan = options_.feedback->ApplyToLogicalPlan(options_.feedback_name,
+                                                       out.plan);
+    }
 
     out.grouped = !bound_.group_by.empty();
     out.group_by = bound_.group_by;

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "device/device_manager.h"
+#include "plan/feedback.h"
 #include "plan/logical_plan.h"
 #include "sql/binder.h"
 
@@ -20,6 +21,11 @@ struct PlannerOptions {
   DeviceId cost_device = 0;
   /// Sampling stride handed to plan::AnnotateSelectivities.
   size_t sample_every = 7;
+  /// When set (with a non-empty feedback_name), observed selectivities from
+  /// prior EXPLAIN ANALYZE runs of the same query override the sampled
+  /// estimates (plan::SelectivityFeedback::ApplyToLogicalPlan). Not owned.
+  const plan::SelectivityFeedback* feedback = nullptr;
+  std::string feedback_name;
 };
 
 /// A planned query, ready to lower: the annotated LogicalNode tree plus

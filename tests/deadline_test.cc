@@ -261,6 +261,86 @@ TEST(ExecutorCancelTest, SeededCancellationPointSoak) {
   EXPECT_GT(cancelled_runs, 0u);
 }
 
+// EXPLAIN ANALYZE under cancellation (ISSUE satellite): with operator-stats
+// collection on and a stats sink attached, a deadline that trips mid-run
+// must still leave a *finalized, internally consistent* OperatorStats tree
+// in the sink — no double counting from partial chunks, no rows invented by
+// the unwind — across every execution model.
+TEST(ExecutorCancelTest, SeededDeadlineLeavesConsistentOperatorStats) {
+  DeviceManager manager;
+  // Stall each Execute so the randomized deadlines lapse *inside* runs.
+  auto device =
+      manager.AddDriver(sim::DriverKind::kCudaGpu, "gpu.0",
+                        FaultPlan::StickyStall(InterfaceCall::kExecute, 2.0));
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(BindStandardKernels(manager.device(*device)).ok());
+  MemoryLedger ledger(&manager, 0);
+
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> deadline_ms(0.5, 12.0);
+  size_t cancelled_runs = 0;
+  for (ExecutionModelKind model : kAllModels) {
+    SCOPED_TRACE(ExecutionModelName(model));
+    for (int iter = 0; iter < 4; ++iter) {
+      CancelToken token;
+      token.SetDeadlineAfterMs(deadline_ms(rng));
+      QueryStats sink;
+      ExecutionOptions options;
+      options.model = model;
+      options.chunk_elems = 2048;
+      options.cancel_token = &token;
+      options.memory_listener = &ledger;
+      options.collect_operator_stats = true;
+      options.stats_sink = &sink;
+      auto result = RunQ6Once(&manager, options);
+      if (!result.ok()) {
+        EXPECT_TRUE(result.status().IsDeadlineExceeded() ||
+                    result.status().IsCancelled())
+            << result.status().ToString();
+        ++cancelled_runs;
+      }
+      ASSERT_EQ(ledger.budget(0).live_bytes(), 0u);
+
+      // Finalized on every exit path: one entry per graph node, in node-id
+      // order, each internally consistent however far the run got.
+      const std::vector<obs::OperatorStats>& ops = sink.profile.operators;
+      ASSERT_FALSE(ops.empty()) << "stats sink not finalized";
+      uint64_t total_rows_in = 0;
+      for (size_t i = 0; i < ops.size(); ++i) {
+        const obs::OperatorStats& op = ops[i];
+        SCOPED_TRACE(op.label);
+        if (i > 0) {
+          EXPECT_GT(op.node_id, ops[i - 1].node_id);
+        }
+        if (op.selective) {
+          EXPECT_LE(op.rows_out, op.rows_in);
+        }
+        // Variant attribution never exceeds the measured wall total.
+        EXPECT_LE(op.scalar_ms + op.parallel_ms + op.fused_ms,
+                  op.kernel_ms + 1e-6);
+        // Device slices sum exactly to the operator totals (merge performs
+        // no double counting, partial chunks included).
+        uint64_t slice_in = 0, slice_out = 0;
+        size_t slice_launches = 0;
+        for (const obs::OperatorDeviceSlice& slice : op.devices) {
+          slice_in += slice.rows_in;
+          slice_out += slice.rows_out;
+          slice_launches += slice.launches;
+        }
+        EXPECT_EQ(slice_in, op.rows_in);
+        EXPECT_EQ(slice_out, op.rows_out);
+        EXPECT_EQ(slice_launches, op.launches);
+        total_rows_in += op.rows_in;
+      }
+      if (result.ok()) {
+        EXPECT_GT(total_rows_in, 0u);
+      }
+    }
+  }
+  // The soak is meaningless if no deadline ever landed mid-run.
+  EXPECT_GT(cancelled_runs, 0u);
+}
+
 // --- WorkerPool: the tile-claim loop honors the token ------------------------
 
 TEST(WorkerPoolCancelTest, PreCancelledTokenClaimsNoTiles) {

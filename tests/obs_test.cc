@@ -451,5 +451,201 @@ TEST(ProfileTest, ProfileOffByDefaultAndServiceTicketCarriesIt) {
   service.Drain();
 }
 
+// --- EXPLAIN ANALYZE operator stats ----------------------------------------
+
+TEST(OperatorStatsTest, CollectedTreeAlignsWithGraphAndResultsBitIdentical) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.002;
+  auto catalog = tpch::Generate(config);
+  ASSERT_TRUE(catalog.ok());
+
+  DeviceManager manager;
+  auto device = manager.AddDriver(sim::DriverKind::kCudaGpu);
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(BindStandardKernels(manager.device(*device)).ok());
+  QueryExecutor executor(&manager);
+
+  // Baseline: plain run.
+  auto plain_bundle = plan::BuildQ3(**catalog, {}, 0);
+  ASSERT_TRUE(plain_bundle.ok());
+  auto plain = executor.Run(plain_bundle->graph.get(), {});
+  ASSERT_TRUE(plain.ok());
+  auto plain_rows = plan::ExtractQ3(*plain_bundle, *plain, **catalog, {});
+  ASSERT_TRUE(plain_rows.ok());
+  EXPECT_TRUE(plain->stats.profile.operators.empty());
+
+  // Analyze run: same plan, operator stats on.
+  auto bundle = plan::BuildQ3(**catalog, {}, 0);
+  ASSERT_TRUE(bundle.ok());
+  ExecutionOptions options;
+  options.collect_operator_stats = true;
+  auto exec = executor.Run(bundle->graph.get(), options);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+
+  // Bit-identical results despite the instrumentation.
+  auto rows = plan::ExtractQ3(*bundle, *exec, **catalog, {});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, *plain_rows);
+
+  // The tree covers every graph node, in node-id order, with consistent
+  // measurements: rows flowed, kernels launched, filters filtered.
+  const std::vector<obs::OperatorStats>& ops = exec->stats.profile.operators;
+  ASSERT_EQ(ops.size(), bundle->graph->nodes().size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const obs::OperatorStats& op = ops[i];
+    const GraphNode& node = bundle->graph->nodes()[i];
+    EXPECT_EQ(op.node_id, node.id);
+    EXPECT_EQ(op.label, node.label);
+    EXPECT_GT(op.launches, 0u);
+    EXPECT_GT(op.rows_in, 0u);
+    EXPECT_GE(op.kernel_ms, 0.0);
+    if (op.selective) {
+      EXPECT_LE(op.rows_out, op.rows_in);
+      EXPECT_FALSE(op.feedback_key.empty()) << op.label;
+      EXPECT_GT(op.predicted_selectivity, 0.0);
+      EXPECT_GT(op.max_chunk_selectivity, 0.0);
+    }
+    EXPECT_GT(op.predicted_cost_us, 0.0);
+    ASSERT_EQ(op.devices.size(), 1u);
+    EXPECT_EQ(op.devices[0].rows_in, op.rows_in);
+    EXPECT_EQ(op.devices[0].rows_out, op.rows_out);
+  }
+  // Q3's probes are far more selective than the data flowing in.
+  bool saw_selective_probe = false;
+  for (const obs::OperatorStats& op : ops) {
+    if (op.kind == "hash_probe" && op.rows_out < op.rows_in) {
+      saw_selective_probe = true;
+    }
+  }
+  EXPECT_TRUE(saw_selective_probe);
+
+  // The serialized profile carries the tree.
+  const std::string json = exec->stats.profile.ToJson();
+  for (const char* want : {"\"operators\"", "\"feedback_key\"",
+                           "\"selectivity_qerror\"", "\"predicted_cost_us\""}) {
+    EXPECT_NE(json.find(want), std::string::npos) << want;
+  }
+}
+
+TEST(OperatorStatsTest, FusedRunAttributesFusedLaunchesInDeviceProfile) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.002;
+  auto catalog = tpch::Generate(config);
+  ASSERT_TRUE(catalog.ok());
+
+  DeviceManager manager;
+  auto device = manager.AddDriver(sim::DriverKind::kCudaGpu);
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(BindStandardKernels(manager.device(*device)).ok());
+
+  auto bundle = plan::BuildQ6(**catalog, {}, 0);
+  ASSERT_TRUE(bundle.ok());
+  ExecutionOptions options;
+  options.fusion = FusionMode::kOn;
+  options.collect_profile = true;
+  options.collect_operator_stats = true;
+  auto fusion = plan::ApplyFusion(&*bundle, options, &manager);
+  ASSERT_TRUE(fusion.ok());
+  ASSERT_GT(fusion->groups, 0);
+
+  QueryExecutor executor(&manager);
+  auto exec = executor.Run(bundle->graph.get(), options);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+
+  // Satellite: the fused launch count and body-time share surface in the
+  // DeviceProfile and its JSON, and the operator tree attributes the wall
+  // time to the fused variant bucket.
+  ASSERT_EQ(exec->stats.profile.devices.size(), 1u);
+  const obs::DeviceProfile& dev = exec->stats.profile.devices[0];
+  EXPECT_GT(dev.fused_launches, 0u);
+  EXPECT_GT(dev.kernel_launches, 0u);
+  EXPECT_LE(dev.fused_launches, dev.kernel_launches);
+  EXPECT_GE(dev.fused_body_ms, 0.0);
+  EXPECT_LE(dev.fused_body_ms, dev.kernel_body_ms + 1e-9);
+  const std::string json = exec->stats.profile.ToJson();
+  EXPECT_NE(json.find("\"fused_launches\""), std::string::npos);
+  EXPECT_NE(json.find("\"fused_body_ms\""), std::string::npos);
+
+  bool saw_fused_op = false;
+  for (const obs::OperatorStats& op : exec->stats.profile.operators) {
+    if (op.kind == "fused" || op.kind == "fused_agg") {
+      saw_fused_op = true;
+      EXPECT_GT(op.fused_ms, 0.0);
+      EXPECT_NEAR(op.fused_ms, op.kernel_ms, 1e-9);
+    }
+  }
+  EXPECT_TRUE(saw_fused_op);
+}
+
+TEST(QErrorTest, SymmetricWithFloors) {
+  EXPECT_DOUBLE_EQ(obs::QError(2.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(obs::QError(1.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(obs::QError(0.5, 0.5), 1.0);
+  // Zero-sided estimates clamp to a floor: large finite, never inf/nan.
+  EXPECT_DOUBLE_EQ(obs::QError(0.0, 0.0), 1.0);
+  const double zero_vs_one = obs::QError(0.0, 1.0);
+  EXPECT_GT(zero_vs_one, 1e6);
+  EXPECT_TRUE(std::isfinite(zero_vs_one));
+  // Bucket layout starts at the perfect estimate and is sorted.
+  const std::vector<double> buckets = obs::QErrorBuckets();
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_DOUBLE_EQ(buckets.front(), 1.0);
+  EXPECT_TRUE(std::is_sorted(buckets.begin(), buckets.end()));
+}
+
+TEST(QErrorTest, RecordPlanQErrorsFillsHistograms) {
+  obs::MetricsRegistry registry;
+  obs::OperatorStats filter;
+  filter.selective = true;
+  filter.predicted_selectivity = 0.5;
+  filter.rows_in = 100;
+  filter.rows_out = 25;  // actual 0.25 → q-error 2
+  filter.predicted_cost_us = 10;
+  filter.kernel_ms = 1;
+  filter.launches = 1;
+  obs::OperatorStats scan;
+  scan.predicted_cost_us = 10;
+  scan.kernel_ms = 1;
+  scan.launches = 1;
+  obs::RecordPlanQErrors(&registry, "Q3", {filter, scan});
+
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("adamant_plan_qerror_selectivity_count{query=\"Q3\"} 1"),
+            std::string::npos)
+      << text;
+  // Equal cost shares on both sides → both cost q-errors are exactly 1.
+  EXPECT_NE(text.find("adamant_plan_qerror_cost_bucket{query=\"Q3\",le=\"1\"}"
+                      " 2"),
+            std::string::npos)
+      << text;
+}
+
+// --- Counter ('C') trace events ---------------------------------------------
+
+TEST(TraceValidationTest, CounterSeriesMustBeMonotonic) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Enable();
+  obs::TraceCounter(obs::kServiceTrack, "service.queries",
+                    "{\"finished\":1,\"slow\":0}");
+  obs::TraceCounter(obs::kServiceTrack, "service.queries",
+                    "{\"finished\":2,\"slow\":1}");
+  const std::string good = recorder.ExportChromeJson();
+  recorder.Disable();
+  EXPECT_TRUE(obs::ValidateChromeTrace(good).ok);
+
+  // A decreasing sample of the same series is flagged.
+  recorder.Enable();
+  obs::TraceCounter(obs::kServiceTrack, "service.queries",
+                    "{\"finished\":5}");
+  obs::TraceCounter(obs::kServiceTrack, "service.queries",
+                    "{\"finished\":4}");
+  const std::string bad = recorder.ExportChromeJson();
+  recorder.Disable();
+  const obs::TraceCheckResult result = obs::ValidateChromeTrace(bad);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.errors.empty());
+  EXPECT_NE(result.errors[0].find("decreases"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace adamant

@@ -228,6 +228,147 @@ TEST(QueryServiceTest, SeededMixedWorkloadMatchesSerial) {
   EXPECT_FALSE(stats.ToJson().empty());
 }
 
+// --- Selectivity feedback: repeated served runs tighten predictions -------
+
+// Mean selectivity q-error over the selective operators of one run's
+// EXPLAIN ANALYZE tree.
+double MeanSelectivityQError(const std::vector<obs::OperatorStats>& ops) {
+  double sum = 0;
+  size_t n = 0;
+  for (const obs::OperatorStats& op : ops) {
+    if (!op.selective || op.rows_in == 0) continue;
+    sum += obs::QError(op.predicted_selectivity, op.ActualSelectivity());
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 1.0;
+}
+
+TEST(QueryServiceTest, RepeatedServedRunsTightenPredictions) {
+  const auto& fixture = ServiceFixture::Get();
+  DeviceManager manager;
+  auto device = manager.AddDriver(sim::DriverKind::kCudaGpu, "gpu.0");
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(BindStandardKernels(manager.device(*device)).ok());
+
+  ServiceConfig config;
+  config.workers = 1;  // sequential: run N's feedback applies to run N+1
+  QueryService service(&manager, config);
+
+  // Four identical served Q3 runs. The ticket result carries the operator
+  // tree, so each run's predicted-vs-actual gap is directly measurable.
+  std::vector<double> run_qerror;
+  std::vector<std::vector<int32_t>> run_orderkeys;
+  auto q3_bundle = plan::BuildQ3(*fixture.catalog, {}, 0);
+  ASSERT_TRUE(q3_bundle.ok());
+  for (int run = 0; run < 4; ++run) {
+    auto ticket = service.Submit(SpecFor(fixture.catalog.get(), 0));
+    ASSERT_TRUE(ticket.ok());
+    const Result<QueryExecution>& result = (*ticket)->Wait();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const std::vector<obs::OperatorStats>& ops =
+        result->stats.profile.operators;
+    ASSERT_FALSE(ops.empty()) << "run " << run;
+    run_qerror.push_back(MeanSelectivityQError(ops));
+    auto rows = plan::ExtractQ3(*q3_bundle, *result, *fixture.catalog, {});
+    ASSERT_TRUE(rows.ok());
+    std::vector<int32_t> keys;
+    for (const auto& row : *rows) keys.push_back(row.orderkey);
+    run_orderkeys.push_back(std::move(keys));
+  }
+  service.Drain();
+
+  // Feedback observed every clean completion...
+  EXPECT_EQ(service.feedback().RunsObserved("Q3"), 4u);
+  // ...and the later runs' predictions are measurably tighter than the
+  // first (cold) run's. Q3's cold probe estimate is off by >10x, so the
+  // tightening is far beyond noise.
+  EXPECT_LT(run_qerror.back(), run_qerror.front() * 0.5)
+      << "cold " << run_qerror.front() << " warm " << run_qerror.back();
+  EXPECT_LT(run_qerror.back(), 2.0);
+  // The feedback override must never change the answer.
+  for (size_t i = 1; i < run_orderkeys.size(); ++i) {
+    EXPECT_EQ(run_orderkeys[i], run_orderkeys[0]) << "run " << i;
+  }
+
+  // The cache's view is directly queryable, and applying it to a freshly
+  // lowered graph moves the stamped selectivities.
+  auto fresh = plan::BuildQ3(*fixture.catalog, {}, 0);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(service.feedback().ApplyToGraph("Q3", fresh->graph.get()), 0);
+  // An unknown query name leaves graphs untouched.
+  auto other = plan::BuildQ3(*fixture.catalog, {}, 0);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(service.feedback().ApplyToGraph("nope", other->graph.get()), 0);
+}
+
+// --- Query history ring + slow-query retention ----------------------------
+
+TEST(QueryServiceTest, HistoryRingIsBoundedAndNonSlowEntriesDropOperators) {
+  const auto& fixture = ServiceFixture::Get();
+  DeviceManager manager;
+  auto device = manager.AddDriver(sim::DriverKind::kCudaGpu, "gpu.0");
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(BindStandardKernels(manager.device(*device)).ok());
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.history_capacity = 4;
+  // run_ms can never exceed 2x a generous deadline: nothing is slow.
+  config.slow_query_fraction = 2.0;
+  QueryService service(&manager, config);
+  for (int i = 0; i < 10; ++i) {
+    QuerySpec spec = SpecFor(fixture.catalog.get(), 2);
+    spec.deadline_ms = 60000;
+    auto ticket = service.Submit(std::move(spec));
+    ASSERT_TRUE(ticket.ok());
+    ASSERT_TRUE((*ticket)->Wait().ok());
+  }
+  service.Drain();
+
+  const std::string json = service.HistoryJson();
+  EXPECT_NE(json.find("\"capacity\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"finished\":10"), std::string::npos) << json;
+  // Ring trimmed to capacity: oldest ids gone, newest (id 10) first.
+  EXPECT_EQ(json.find("\"id\":1,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"id\":10,"), std::string::npos) << json;
+  size_t entries = 0;
+  for (size_t pos = json.find("\"id\":"); pos != std::string::npos;
+       pos = json.find("\"id\":", pos + 1)) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 4u);
+  // Non-slow entries drop the operator tree (bounded memory).
+  EXPECT_EQ(json.find("\"operators\""), std::string::npos);
+  EXPECT_EQ(service.GetStats().slow_queries, 0u);
+}
+
+TEST(QueryServiceTest, SlowQueryRetainsOperatorTreeInHistory) {
+  const auto& fixture = ServiceFixture::Get();
+  DeviceManager manager;
+  auto device = manager.AddDriver(sim::DriverKind::kCudaGpu, "gpu.0");
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(BindStandardKernels(manager.device(*device)).ok());
+
+  ServiceConfig config;
+  config.workers = 1;
+  // Any nonzero run time exceeds 0 x deadline: every query is "slow".
+  config.slow_query_fraction = 0.0;
+  QueryService service(&manager, config);
+  QuerySpec spec = SpecFor(fixture.catalog.get(), 0);
+  spec.deadline_ms = 60000;
+  auto ticket = service.Submit(std::move(spec));
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE((*ticket)->Wait().ok());
+  service.Drain();
+
+  const std::string json = service.HistoryJson();
+  EXPECT_NE(json.find("\"slow\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"operators\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"feedback\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"predicted_ms\""), std::string::npos) << json;
+  EXPECT_EQ(service.GetStats().slow_queries, 1u);
+}
+
 // --- Memory budgets: queue, don't fail ------------------------------------
 
 TEST(QueryServiceTest, BudgetExceedingQueryQueuesInsteadOfFailing) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <memory>
 #include <string>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "adamant/adamant.h"
+#include "plan/feedback.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 
@@ -572,6 +574,109 @@ TEST(SqlExplain, Q6ShowsMergedDateRange) {
   // plan's shape.
   EXPECT_NE(text.find("l_shipdate between"), std::string::npos) << text;
   EXPECT_NE(text.find("(no joins)"), std::string::npos) << text;
+}
+
+// --- Selectivity feedback into the planner ---
+
+// Collects every node of a given kind, probe-side-first.
+void CollectNodes(const plan::LogicalNodePtr& node,
+                  plan::LogicalNode::Kind kind,
+                  std::vector<const plan::LogicalNode*>* out) {
+  if (node == nullptr) return;
+  CollectNodes(node->child, kind, out);
+  CollectNodes(node->build, kind, out);
+  if (node->kind == kind) out->push_back(node.get());
+}
+
+double PredicateProduct(const plan::LogicalNode& filter) {
+  double product = 1.0;
+  for (const auto& predicate : filter.predicates) {
+    product *= predicate.selectivity;
+  }
+  return product;
+}
+
+obs::OperatorStats SyntheticObservation(const std::string& feedback_key,
+                                        uint64_t rows_in, uint64_t rows_out) {
+  obs::OperatorStats op;
+  op.label = feedback_key;  // unique label -> stable per-label ordinal
+  op.kind = "MATERIALIZE";
+  op.feedback_key = feedback_key;
+  op.selective = true;
+  op.rows_in = rows_in;
+  op.rows_out = rows_out;
+  op.max_chunk_selectivity =
+      static_cast<double>(rows_out) / static_cast<double>(rows_in);
+  op.launches = 1;
+  return op;
+}
+
+// The planner consults the selectivity feedback cache on recompile: observed
+// step selectivities override the sampled predicate estimates and the join
+// selectivity, while a compile without feedback (or under a different query
+// name) is untouched.
+TEST(SqlFeedback, ObservedSelectivitiesOverridePlannerEstimates) {
+  const auto& fixture = SqlFixture::Get();
+
+  auto baseline = sql::Compile(BuiltinSql("q3"), *fixture.catalog);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  std::vector<const plan::LogicalNode*> filters;
+  std::vector<const plan::LogicalNode*> joins;
+  CollectNodes(baseline->plan, plan::LogicalNode::Kind::kFilter, &filters);
+  CollectNodes(baseline->plan, plan::LogicalNode::Kind::kHashJoin, &joins);
+  ASSERT_FALSE(filters.empty());
+  ASSERT_FALSE(joins.empty());
+  const plan::LogicalNode& base_filter = *filters.front();
+  ASSERT_FALSE(base_filter.predicates.empty());
+  const std::string filter_column = base_filter.predicates.back().column;
+  const std::string probe_key = joins.front()->probe_key;
+  const double base_product = PredicateProduct(base_filter);
+  const double base_join = joins.front()->join_selectivity;
+
+  // Feed the cache the keys lowering stamps on the filter chain's
+  // MATERIALIZE and the join's HASH_PROBE, with observed selectivities far
+  // from the sampled estimates.
+  const double fed_filter = 0.007;
+  const double fed_join = 333.0 / 1024.0;  // odd ratio, can't collide with
+                                           // a sampled estimate
+  plan::SelectivityFeedback feedback;
+  feedback.Observe(
+      "q3", {SyntheticObservation("step:lower.filter(" + filter_column + ")",
+                                  1000000, 7000),
+             SyntheticObservation("step:lower.probe(" + probe_key + ")", 1024,
+                                  333)});
+  ASSERT_EQ(feedback.RunsObserved("q3"), 1u);
+
+  sql::PlannerOptions with_feedback;
+  with_feedback.feedback = &feedback;
+  with_feedback.feedback_name = "q3";
+  auto tuned = sql::Compile(BuiltinSql("q3"), *fixture.catalog, with_feedback);
+  ASSERT_TRUE(tuned.ok()) << tuned.status().ToString();
+  filters.clear();
+  joins.clear();
+  CollectNodes(tuned->plan, plan::LogicalNode::Kind::kFilter, &filters);
+  CollectNodes(tuned->plan, plan::LogicalNode::Kind::kHashJoin, &joins);
+  ASSERT_FALSE(filters.empty());
+  ASSERT_FALSE(joins.empty());
+  // The correction is spread across the conjuncts, so only the product is
+  // pinned: it must land on the measured cumulative selectivity.
+  EXPECT_NEAR(PredicateProduct(*filters.front()), fed_filter, 1e-9);
+  EXPECT_GT(std::abs(PredicateProduct(*filters.front()) - base_product),
+            1e-4);
+  EXPECT_DOUBLE_EQ(joins.front()->join_selectivity, fed_join);
+  EXPECT_NE(joins.front()->join_selectivity, base_join);
+
+  // A different feedback name leaves the plan at the sampled estimates.
+  sql::PlannerOptions other_name;
+  other_name.feedback = &feedback;
+  other_name.feedback_name = "not-q3";
+  auto untouched =
+      sql::Compile(BuiltinSql("q3"), *fixture.catalog, other_name);
+  ASSERT_TRUE(untouched.ok()) << untouched.status().ToString();
+  filters.clear();
+  CollectNodes(untouched->plan, plan::LogicalNode::Kind::kFilter, &filters);
+  ASSERT_FALSE(filters.empty());
+  EXPECT_DOUBLE_EQ(PredicateProduct(*filters.front()), base_product);
 }
 
 // --- Service submission via QuerySpec::sql ---

@@ -1,18 +1,22 @@
 // check_trace — lint a Chrome Trace Event JSON file (as written by
 // run_tpch --trace or obs::TraceRecorder::ExportChromeJson).
 //
-//   check_trace trace.json [--require=SUBSTR ...]
+//   check_trace trace.json [--require=SUBSTR ...] [--forbid=SUBSTR ...]
 //
 // Validates the structural invariants every ADAMANT trace must hold (see
 // obs/trace_check.h): parseable JSON, a traceEvents array, per-track
 // non-decreasing timestamps, balanced B/E pairs, non-negative durations,
-// and chunk spans nested inside pipeline spans. Each --require=SUBSTR
-// additionally asserts that some event name contains SUBSTR — CI uses this
-// to prove a trace actually carries kernel/transfer/service events rather
-// than being merely well-formed. A trailing '*' makes it a prefix match
-// (e.g. --require=tile:* for the worker-pool span family).
+// chunk spans nested inside pipeline spans, and non-decreasing counter
+// ('C') series. Each --require=SUBSTR additionally asserts that some event
+// name contains SUBSTR — CI uses this to prove a trace actually carries
+// kernel/transfer/service events rather than being merely well-formed. A
+// trailing '*' makes it a prefix match (e.g. --require=tile:* for the
+// worker-pool span family). --forbid=SUBSTR is the negation: the check
+// fails if any event name matches (e.g. --forbid=fused:* proves a
+// --fusion=off run launched no fused composites).
 //
-// Exit status: 0 valid, 1 invalid or a requirement missing, 2 usage error.
+// Exit status: 0 valid, 1 invalid / requirement missing / forbidden event
+// present, 2 usage error.
 
 #include <cstdio>
 #include <fstream>
@@ -25,11 +29,15 @@
 int main(int argc, char** argv) {
   std::string path;
   std::vector<std::string> required;
+  std::vector<std::string> forbidden;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string prefix = "--require=";
+    const std::string forbid_prefix = "--forbid=";
     if (arg.rfind(prefix, 0) == 0) {
       required.push_back(arg.substr(prefix.size()));
+    } else if (arg.rfind(forbid_prefix, 0) == 0) {
+      forbidden.push_back(arg.substr(forbid_prefix.size()));
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
@@ -42,7 +50,8 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) {
     std::fprintf(stderr,
-                 "usage: check_trace TRACE.json [--require=SUBSTR ...]\n");
+                 "usage: check_trace TRACE.json [--require=SUBSTR ...] "
+                 "[--forbid=SUBSTR ...]\n");
     return 2;
   }
 
@@ -84,9 +93,29 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("%s: %zu events, %zu tracks, %s%s\n", path.c_str(),
+  // --forbid mirrors --require with the sense inverted: any matching event
+  // name (same trailing-'*' prefix semantics) fails the check.
+  bool forbidden_ok = true;
+  for (const std::string& banned : forbidden) {
+    const bool is_prefix = !banned.empty() && banned.back() == '*';
+    const std::string needle =
+        is_prefix ? banned.substr(0, banned.size() - 1) : banned;
+    for (const std::string& name : result.event_names) {
+      if (is_prefix ? name.rfind(needle, 0) == 0
+                    : name.find(needle) != std::string::npos) {
+        std::fprintf(stderr, "error: event name '%s' %s forbidden '%s'\n",
+                     name.c_str(), is_prefix ? "starts with" : "contains",
+                     needle.c_str());
+        forbidden_ok = false;
+        break;
+      }
+    }
+  }
+
+  std::printf("%s: %zu events, %zu tracks, %s%s%s\n", path.c_str(),
               result.event_count, result.track_count,
               result.ok ? "valid" : "INVALID",
-              requirements_ok ? "" : " (missing required events)");
-  return result.ok && requirements_ok ? 0 : 1;
+              requirements_ok ? "" : " (missing required events)",
+              forbidden_ok ? "" : " (forbidden events present)");
+  return result.ok && requirements_ok && forbidden_ok ? 0 : 1;
 }

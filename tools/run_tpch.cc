@@ -45,6 +45,15 @@
 //   --metrics=PATH    after the run, dump the metrics registries to PATH as
 //                     Prometheus text (or JSON when PATH ends in .json)
 //   --explain         print the logical plan (where available) and exit
+//   --explain-analyze run the query with per-operator stats collection and
+//                     print the measured OperatorStats tree next to the
+//                     planner's predictions: rows / selectivity / cost share
+//                     per primitive with q-error columns (Leis et al.), plus
+//                     kernel wall ms split by variant. Results stay
+//                     bit-identical to a plain run (--verify still checks).
+//                     Observed q-errors are recorded into the
+//                     adamant_plan_qerror_{selectivity,cost} histograms
+//                     (visible via --metrics). docs/observability.md.
 //
 // SQL frontend (src/sql/, docs/sql.md):
 //
@@ -81,6 +90,10 @@
 //   --seed=N          workload RNG seed (default 7)
 //   --devices=N       instances of --driver to plug (default 2)
 //   --no-cache        disable the cross-query device column cache
+//   --history=PATH    after the workload drains, dump the service's bounded
+//                     query-history ring (slow queries keep their full
+//                     EXPLAIN ANALYZE operator tree) plus the selectivity
+//                     feedback cache as JSON to PATH (docs/serving.md)
 //
 // Fault injection (serve mode; see docs/serving.md "Fault handling"):
 //
@@ -151,6 +164,11 @@ struct Options {
   bool profile = false;
   std::string metrics_path;
   bool explain = false;
+  /// EXPLAIN ANALYZE: collect per-operator stats and print the predicted
+  /// vs measured tree with q-error columns after the run.
+  bool explain_analyze = false;
+  /// Serve mode: dump the service query-history ring + feedback cache here.
+  std::string history_path;
   /// SQL frontend: --sql (builtin name or literal text), --sql-file.
   std::string sql;
   std::string sql_file;
@@ -300,6 +318,10 @@ Result<Options> ParseArgs(int argc, char** argv) {
       options.verify = true;
     } else if (arg == "--explain") {
       options.explain = true;
+    } else if (arg == "--explain-analyze") {
+      options.explain_analyze = true;
+    } else if (ParseFlag(arg, "history", &value)) {
+      options.history_path = value;
     } else if (arg == "--help") {
       return Status::InvalidArgument("help requested");
     } else {
@@ -336,6 +358,7 @@ ExecutionOptions MakeExecOptions(const Options& options,
     exec_options.device_set = options.device_set;
   }
   exec_options.collect_profile = options.profile;
+  exec_options.collect_operator_stats = options.explain_analyze;
   exec_options.kernel_variant = *ParseKernelVariant(options.kernel_variant);
   exec_options.kernel_threads = options.kernel_threads;
   exec_options.fusion = *ParseFusionMode(options.fusion);
@@ -375,6 +398,76 @@ void PrintExplain(const std::string& title, const plan::PlanBundle& bundle,
                 PrimitiveKindName(node.kind), node.label.c_str(),
                 variant.c_str(), threads);
   }
+}
+
+// --explain-analyze: the measured OperatorStats tree next to the planner's
+// predictions, one row per lowered primitive in node-id order. Selectivity
+// columns apply only to the buffer-sizing kinds (FILTER_POSITION /
+// MATERIALIZE / HASH_PROBE / FUSED); cost q-errors compare share-of-total
+// (predicted sim-us vs measured kernel wall ms), so no unit calibration is
+// needed. The summary line is what tests and the docs walkthrough grep.
+void PrintExplainAnalyze(const std::string& title,
+                         const std::vector<obs::OperatorStats>& operators) {
+  if (operators.empty()) {
+    std::printf("%s explain analyze: no operator stats collected\n",
+                title.c_str());
+    return;
+  }
+  double pred_total = 0;
+  double actual_total = 0;
+  for (const obs::OperatorStats& op : operators) {
+    pred_total += op.predicted_cost_us;
+    actual_total += op.kernel_ms;
+  }
+  std::printf("%s explain analyze (rows/selectivity predicted->actual, "
+              "cost%% = share of total, q = max(p/a, a/p)):\n",
+              title.c_str());
+  std::printf("  %4s %3s %-20s %-30s %22s %15s %7s %13s %7s %6s %9s\n",
+              "pipe", "id", "kind", "label", "rows p->a", "sel p->a",
+              "q_sel", "cost% p->a", "q_cost", "launch", "kernel_ms");
+  double sel_q_sum = 0, sel_q_max = 0;
+  size_t sel_n = 0;
+  double cost_q_sum = 0, cost_q_max = 0;
+  size_t cost_n = 0;
+  for (const obs::OperatorStats& op : operators) {
+    char rows[64];
+    std::snprintf(rows, sizeof(rows), "%.0f->%llu", op.predicted_rows_out,
+                  static_cast<unsigned long long>(op.rows_out));
+    char sel[48] = "-";
+    char q_sel[32] = "-";
+    if (op.selective && op.rows_in > 0) {
+      const double q = obs::QError(op.predicted_selectivity,
+                                   op.ActualSelectivity());
+      std::snprintf(sel, sizeof(sel), "%.4f->%.4f", op.predicted_selectivity,
+                    op.ActualSelectivity());
+      std::snprintf(q_sel, sizeof(q_sel), "%.2f", q);
+      sel_q_sum += q;
+      sel_q_max = std::max(sel_q_max, q);
+      ++sel_n;
+    }
+    char cost[48] = "-";
+    char q_cost[32] = "-";
+    if (pred_total > 0 && actual_total > 0 && op.launches > 0) {
+      const double pred_share = op.predicted_cost_us / pred_total;
+      const double actual_share = op.kernel_ms / actual_total;
+      const double q = obs::QError(pred_share, actual_share);
+      std::snprintf(cost, sizeof(cost), "%4.1f->%4.1f", pred_share * 100,
+                    actual_share * 100);
+      std::snprintf(q_cost, sizeof(q_cost), "%.2f", q);
+      cost_q_sum += q;
+      cost_q_max = std::max(cost_q_max, q);
+      ++cost_n;
+    }
+    std::printf("  %4d %3d %-20s %-30s %22s %15s %7s %13s %7s %6zu %9.3f\n",
+                op.pipeline, op.node_id, op.kind.c_str(), op.label.c_str(),
+                rows, sel, q_sel, cost, q_cost, op.launches, op.kernel_ms);
+  }
+  std::printf("  qerror: selectivity mean %.2f max %.2f (%zu ops), "
+              "cost-share mean %.2f max %.2f (%zu ops)\n",
+              sel_n > 0 ? sel_q_sum / static_cast<double>(sel_n) : 1.0,
+              sel_q_max, sel_n,
+              cost_n > 0 ? cost_q_sum / static_cast<double>(cost_n) : 1.0,
+              cost_q_max, cost_n);
 }
 
 void PrintStats(const QueryExecution& exec, DeviceId device) {
@@ -527,6 +620,11 @@ Status RunQuery(const std::string& query, const Catalog& catalog,
   }
   if (options.profile) {
     std::printf("    profile: %s\n", exec.stats.profile.ToJson().c_str());
+  }
+  if (options.explain_analyze) {
+    PrintExplainAnalyze("Q" + query, exec.stats.profile.operators);
+    obs::RecordPlanQErrors(&obs::GlobalMetrics(), "Q" + query,
+                           exec.stats.profile.operators);
   }
   if (exec_options.model == ExecutionModelKind::kDeviceParallel) {
     // Machine-readable split report: which device ran how many chunks, and
@@ -733,6 +831,11 @@ Status RunSql(const Catalog& catalog, DeviceManager* manager, DeviceId device,
   PrintStats(exec, report_device);
   if (options.profile) {
     std::printf("    profile: %s\n", exec.stats.profile.ToJson().c_str());
+  }
+  if (options.explain_analyze) {
+    PrintExplainAnalyze(label, exec.stats.profile.operators);
+    obs::RecordPlanQErrors(&obs::GlobalMetrics(), label,
+                           exec.stats.profile.operators);
   }
 
   ADAMANT_ASSIGN_OR_RETURN(sql::SqlResultSet results,
@@ -1096,6 +1199,15 @@ Status Serve(const Options& options, const std::shared_ptr<Catalog>& catalog,
   }
   if (!options.metrics_path.empty()) {
     ADAMANT_RETURN_NOT_OK(DumpMetrics(options.metrics_path, &service));
+  }
+  if (!options.history_path.empty()) {
+    std::ofstream out(options.history_path);
+    out << service.HistoryJson();
+    if (!out.good()) {
+      return Status::IOError("cannot write history to " +
+                             options.history_path);
+    }
+    std::printf("query history written to %s\n", options.history_path.c_str());
   }
   service.Stop();
   if (!options.trace_path.empty()) obs::TraceRecorder::Global().Disable();
