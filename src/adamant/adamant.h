@@ -41,6 +41,7 @@
 #include "plan/tpch_logical.h"
 #include "plan/tpch_plans.h"
 #include "runtime/chunk_tuner.h"
+#include "runtime/exec/hetero_split.h"
 #include "runtime/executor.h"
 #include "runtime/primitive_graph.h"
 #include "runtime/runtime_hooks.h"

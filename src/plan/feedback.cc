@@ -203,4 +203,70 @@ std::string SelectivityFeedback::ToJson() const {
   return out.str();
 }
 
+void SplitCalibration::Observe(const std::string& device_name,
+                               double predicted_chunk_us,
+                               double observed_chunk_us) {
+  if (!(predicted_chunk_us > 0) || !(observed_chunk_us > 0)) return;
+  const double sample =
+      std::min(kMaxSkew,
+               std::max(1.0 / kMaxSkew, observed_chunk_us / predicted_chunk_us));
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = devices_[device_name];
+  entry.ratio = entry.observations == 0
+                    ? sample
+                    : kAlpha * sample + (1.0 - kAlpha) * entry.ratio;
+  ++entry.observations;
+}
+
+double SplitCalibration::Ratio(const std::string& device_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = devices_.find(device_name);
+  return it == devices_.end() || it->second.observations == 0
+             ? 1.0
+             : it->second.ratio;
+}
+
+std::vector<double> SplitCalibration::CalibrateWeights(
+    const std::vector<std::string>& names, std::vector<double> weights) const {
+  if (names.size() != weights.size()) return weights;
+  std::lock_guard<std::mutex> lock(mu_);
+  double sum = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    auto it = devices_.find(names[i]);
+    if (it != devices_.end() && it->second.observations > 0) {
+      // Observed cost ran ratio-times the prediction, so the device's
+      // effective throughput is 1/ratio of the model's — shrink its share.
+      weights[i] /= it->second.ratio;
+    }
+    sum += weights[i];
+  }
+  if (sum > 0) {
+    for (double& w : weights) w /= sum;
+  }
+  return weights;
+}
+
+size_t SplitCalibration::Observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, entry] : devices_) total += entry.observations;
+  return total;
+}
+
+std::string SplitCalibration::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const auto& [name, entry] : devices_) {
+    if (!first) out << ',';
+    first = false;
+    AppendJsonString(&out, name);
+    out << ":{\"ratio\":" << entry.ratio
+        << ",\"observations\":" << entry.observations << '}';
+  }
+  out << '}';
+  return out.str();
+}
+
 }  // namespace adamant::plan

@@ -92,6 +92,53 @@ class SelectivityFeedback {
   std::map<std::string, QueryModel> queries_;
 };
 
+/// Feedback loop for heterogeneous split execution: tracks, per device
+/// *name*, the EWMA of observed-over-predicted per-chunk cost from completed
+/// device-parallel runs (QueryStats::split_{predicted,observed}_chunk_us).
+/// The ratio — not the raw cost, which is query-dependent — transfers
+/// across queries: a device whose chunks consistently run 1.5x the model's
+/// prediction gets its split share shrunk accordingly on the next compile,
+/// so the planner's cost-ratio partition converges on observed throughput.
+///
+/// Thread-safe; the service shares one instance across its workers.
+class SplitCalibration {
+ public:
+  /// EWMA smoothing for the observed/predicted cost ratio.
+  static constexpr double kAlpha = 0.3;
+  /// Ratios are clamped to [1/kMaxSkew, kMaxSkew] on application so one
+  /// wild sample cannot starve a device of chunks forever.
+  static constexpr double kMaxSkew = 16.0;
+
+  /// Folds one device's per-chunk prediction error from a completed run.
+  /// Non-positive inputs are ignored (no chunks ran, or no estimate).
+  void Observe(const std::string& device_name, double predicted_chunk_us,
+               double observed_chunk_us);
+
+  /// Smoothed observed/predicted cost ratio for a device name; 1.0 when the
+  /// device has never been observed.
+  double Ratio(const std::string& device_name) const;
+
+  /// Rescales model-predicted split weights by each device's calibration:
+  /// weight_i /= ratio_i, renormalized. `names` is parallel to `weights`.
+  std::vector<double> CalibrateWeights(const std::vector<std::string>& names,
+                                       std::vector<double> weights) const;
+
+  /// Number of Observe() calls folded in across all devices.
+  size_t Observations() const;
+
+  /// {"cuda_gpu.0": {"ratio":r,"observations":n}, ...}
+  std::string ToJson() const;
+
+ private:
+  struct Entry {
+    double ratio = 1.0;
+    size_t observations = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> devices_;
+};
+
 }  // namespace adamant::plan
 
 #endif  // ADAMANT_PLAN_FEEDBACK_H_

@@ -1,9 +1,12 @@
 #include "plan/placement_optimizer.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
+#include <set>
 
 #include "plan/fusion.h"
+#include "runtime/exec/hetero_split.h"
 #include "runtime/exec/plan_shapes.h"
 
 namespace adamant::plan {
@@ -40,20 +43,23 @@ PlacementPolicy MakeCandidate(DeviceId streaming, DeviceId hash,
 
 Result<MergeCostEstimate> EstimateDeviceParallelMerge(
     const PrimitiveGraph& graph, DeviceManager* manager,
-    const std::vector<DeviceId>& device_set,
-    sim::SimTime baseline_elapsed_us) {
+    const std::vector<DeviceId>& device_set, sim::SimTime baseline_elapsed_us,
+    const std::vector<double>& split) {
   if (manager == nullptr) return Status::InvalidArgument("null manager");
   if (device_set.empty()) {
     return Status::InvalidArgument("empty device set");
   }
   MergeCostEstimate estimate;
-  const auto n = static_cast<double>(device_set.size());
-  estimate.savings_us =
-      baseline_elapsed_us > 0 ? baseline_elapsed_us * (1.0 - 1.0 / n) : 0.0;
+  const std::vector<double> shares =
+      exec::NormalizeSplit(split, device_set.size());
+  const double max_share = *std::max_element(shares.begin(), shares.end());
+  // The split's elapsed is bounded by its largest partition; the even case
+  // reduces to the familiar baseline * (1 - 1/N).
+  estimate.savings_us = baseline_elapsed_us > 0
+                            ? baseline_elapsed_us * (1.0 - max_share)
+                            : 0.0;
   if (device_set.size() < 2) return estimate;
 
-  const sim::DevicePerfModel& model =
-      manager->device(device_set[0])->perf_model();
   const double scale = manager->data_scale();
   ADAMANT_ASSIGN_OR_RETURN(std::vector<Pipeline> pipelines,
                            graph.SplitPipelines());
@@ -69,17 +75,22 @@ Result<MergeCostEstimate> EstimateDeviceParallelMerge(
           exec::PlanPersist(node, pipeline.input_rows));
       estimate.interior_persist_bytes += shape.bytes;
       const double wire_bytes = static_cast<double>(shape.bytes) * scale;
-      // Gather every partition's persist, merge, redistribute the union.
-      estimate.merge_cost_us +=
-          n * (model.transfer.latency_us +
-               model.TransferDuration(wire_bytes,
-                                      sim::TransferDirection::kDeviceToHost,
-                                      /*pinned=*/false)) +
-          n * (model.transfer.latency_us +
-               model.TransferDuration(wire_bytes,
-                                      sim::TransferDirection::kHostToDevice,
-                                      /*pinned=*/false)) +
-          sim::TransferUs(wire_bytes, kHostMergeGibps);
+      // Gather every partition's persist, merge, redistribute the union —
+      // each device over its own bus (a heterogeneous set mixes transfer
+      // models, and the slow bus is usually the expensive leg).
+      for (DeviceId id : device_set) {
+        const sim::DevicePerfModel& model = manager->device(id)->perf_model();
+        estimate.merge_cost_us +=
+            (model.transfer.latency_us +
+             model.TransferDuration(wire_bytes,
+                                    sim::TransferDirection::kDeviceToHost,
+                                    /*pinned=*/false)) +
+            (model.transfer.latency_us +
+             model.TransferDuration(wire_bytes,
+                                    sim::TransferDirection::kHostToDevice,
+                                    /*pinned=*/false));
+      }
+      estimate.merge_cost_us += sim::TransferUs(wire_bytes, kHostMergeGibps);
     }
   }
   estimate.merge_dominated =
@@ -89,7 +100,7 @@ Result<MergeCostEstimate> EstimateDeviceParallelMerge(
 
 Result<PlacementSearchResult> SearchPlacements(
     const LogicalNode& root, const Catalog& catalog, DeviceManager* manager,
-    const ExecutionOptions& options) {
+    const ExecutionOptions& options, const SplitCalibration* calibration) {
   if (manager == nullptr || manager->num_devices() == 0) {
     return Status::InvalidArgument("no devices plugged");
   }
@@ -131,24 +142,51 @@ Result<PlacementSearchResult> SearchPlacements(
       }
     }
   }
-  // One extra candidate beyond the D^3 single-device grid: if the manager
-  // holds two or more identical devices, try splitting the chunk range
-  // across all of them (the device-parallel model). The driver retargets
-  // every node itself, so the policy only decides what a partition looks
-  // like; use the homogeneous all-on-first-set-member placement.
-  ADAMANT_ASSIGN_OR_RETURN(std::vector<DeviceId> set,
-                           ChooseDeviceSet(manager, 0));
-  if (set.size() >= 2) {
-    std::string name = "device-parallel{";
-    for (size_t i = 0; i < set.size(); ++i) {
-      if (i > 0) name += ",";
-      name += manager->device(set[i])->name();
-    }
-    name += "}";
+  // Device-parallel candidates beyond the D^3 single-device grid. The
+  // driver retargets every node itself, so the policy only decides what a
+  // partition looks like; use the all-on-first-set-member placement. Two
+  // shapes: the homogeneous even split across the largest identical-device
+  // group (PR 5's candidate), and — when the manager mixes device classes —
+  // a heterogeneous cost-ratio split across every plugged device, with
+  // ratios from the per-device graph price (optionally rescaled by the
+  // calibration feedback of earlier runs).
+  auto try_device_parallel = [&](const std::vector<DeviceId>& set,
+                                 bool ratio_split) -> Status {
+    std::string name = ratio_split ? "device-parallel-hetero{"
+                                   : "device-parallel{";
+    std::vector<double> split;
+    std::vector<double> partition_cost;
     PlacementPolicy policy = MakeCandidate(set[0], set[0], set[0]);
     ADAMANT_ASSIGN_OR_RETURN(PlanBundle bundle,
                              LowerPlan(root, catalog, policy));
     ADAMANT_RETURN_NOT_OK(ApplyFusion(&bundle, options, manager).status());
+    std::vector<exec::DeviceCostEstimate> estimates;
+    if (ratio_split) {
+      ExecutionOptions estimate_options = options;
+      estimate_options.model = ExecutionModelKind::kDeviceParallel;
+      ADAMANT_ASSIGN_OR_RETURN(
+          estimates, exec::EstimateDeviceCosts(*bundle.graph, manager, set,
+                                               estimate_options));
+      split = exec::ThroughputWeights(estimates);
+      if (calibration != nullptr) {
+        std::vector<std::string> names;
+        for (DeviceId id : set) names.push_back(manager->device(id)->name());
+        split = calibration->CalibrateWeights(names, std::move(split));
+      }
+      for (size_t i = 0; i < set.size(); ++i) {
+        partition_cost.push_back(estimates[i].total_cost_us * split[i]);
+      }
+    }
+    for (size_t i = 0; i < set.size(); ++i) {
+      if (i > 0) name += ",";
+      name += manager->device(set[i])->name();
+      if (ratio_split) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), ":%.2f", split[i]);
+        name += buf;
+      }
+    }
+    name += "}";
     // Merge-cost gate: when the interior-breaker round-trip is predicted to
     // eat the compute savings of the split, don't even simulate the
     // candidate (BENCH_multidevice's Q4 regression: a fact-table HASH_BUILD
@@ -156,7 +194,8 @@ Result<PlacementSearchResult> SearchPlacements(
     ADAMANT_ASSIGN_OR_RETURN(
         MergeCostEstimate merge,
         EstimateDeviceParallelMerge(*bundle.graph, manager, set,
-                                    have_best ? result.best_elapsed_us : 0));
+                                    have_best ? result.best_elapsed_us : 0,
+                                    split));
     if (have_best && merge.merge_dominated) {
       result.evaluated.emplace_back(
           name + " (rejected: predicted merge " +
@@ -164,27 +203,42 @@ Result<PlacementSearchResult> SearchPlacements(
               "us > savings " +
               std::to_string(static_cast<long long>(merge.savings_us)) + "us)",
           -1.0);
-    } else {
-      ExecutionOptions parallel = options;
-      parallel.model = ExecutionModelKind::kDeviceParallel;
-      parallel.device_set = set;
-      QueryExecutor executor(manager);
-      auto exec = executor.Run(bundle.graph.get(), parallel);
-      if (!exec.ok()) {
-        // Graphs with global breakers (PREFIX_SUM, SORT_AGG) reject the
-        // model; record and fall back to the grid winner.
-        result.evaluated.emplace_back(
-            name + " (" + exec.status().ToString() + ")", -1.0);
-      } else {
-        result.evaluated.emplace_back(name, exec->stats.elapsed_us);
-        if (!have_best || exec->stats.elapsed_us < result.best_elapsed_us) {
-          have_best = true;
-          result.best = policy;
-          result.best_name = name;
-          result.best_elapsed_us = exec->stats.elapsed_us;
-        }
-      }
+      return Status::OK();
     }
+    ExecutionOptions parallel = options;
+    parallel.model = ExecutionModelKind::kDeviceParallel;
+    parallel.device_set = set;
+    parallel.device_split = split;
+    QueryExecutor executor(manager);
+    auto exec = executor.Run(bundle.graph.get(), parallel);
+    if (!exec.ok()) {
+      // Graphs with global breakers (PREFIX_SUM, SORT_AGG) reject the
+      // model; record and fall back to the grid winner.
+      result.evaluated.emplace_back(
+          name + " (" + exec.status().ToString() + ")", -1.0);
+      return Status::OK();
+    }
+    result.evaluated.emplace_back(name, exec->stats.elapsed_us);
+    if (!have_best || exec->stats.elapsed_us < result.best_elapsed_us) {
+      have_best = true;
+      result.best = policy;
+      result.best_name = name;
+      result.best_elapsed_us = exec->stats.elapsed_us;
+      result.best_device_set = set;
+      result.best_split =
+          split.empty() ? exec::NormalizeSplit({}, set.size()) : split;
+      result.best_partition_cost_us = partition_cost;
+    }
+    return Status::OK();
+  };
+  ADAMANT_ASSIGN_OR_RETURN(std::vector<DeviceId> set,
+                           ChooseDeviceSet(manager, 0));
+  if (set.size() >= 2) {
+    ADAMANT_RETURN_NOT_OK(try_device_parallel(set, /*ratio_split=*/false));
+  }
+  auto hetero = ChooseHeterogeneousDeviceSet(manager, 0);
+  if (hetero.ok() && hetero->size() >= 2) {
+    ADAMANT_RETURN_NOT_OK(try_device_parallel(*hetero, /*ratio_split=*/true));
   }
 
   if (!have_best) {
@@ -208,6 +262,27 @@ Result<std::vector<DeviceId>> ChooseDeviceSet(DeviceManager* manager,
     if (best == nullptr || ids.size() > best->size()) best = &ids;
   }
   std::vector<DeviceId> set = *best;  // already sorted: ids ascend per group
+  if (max_devices > 0 && set.size() > max_devices) set.resize(max_devices);
+  return set;
+}
+
+Result<std::vector<DeviceId>> ChooseHeterogeneousDeviceSet(
+    DeviceManager* manager, size_t max_devices) {
+  if (manager == nullptr || manager->num_devices() == 0) {
+    return Status::InvalidArgument("no devices plugged");
+  }
+  std::set<std::string> models;
+  std::vector<DeviceId> set;
+  for (size_t i = 0; i < manager->num_devices(); ++i) {
+    const auto id = static_cast<DeviceId>(i);
+    models.insert(manager->device(id)->perf_model().name);
+    set.push_back(id);
+  }
+  if (models.size() < 2) {
+    return Status::NotFound(
+        "all plugged devices share one performance model; use "
+        "ChooseDeviceSet");
+  }
   if (max_devices > 0 && set.size() > max_devices) set.resize(max_devices);
   return set;
 }

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "plan/feedback.h"
 #include "plan/lowering.h"
 #include "runtime/executor.h"
 
@@ -27,14 +28,23 @@ struct PlacementSearchResult {
   PlacementPolicy best;
   std::string best_name;
   sim::SimTime best_elapsed_us = 0;
+  /// Non-empty iff the winner is a device-parallel split: the partition
+  /// device set, the per-device split ratios (parallel to the set), and the
+  /// predicted per-partition cost (share x per-device graph price, us).
+  std::vector<DeviceId> best_device_set;
+  std::vector<double> best_split;
+  std::vector<double> best_partition_cost_us;
   /// Every evaluated candidate: name -> simulated elapsed (us).
   std::vector<std::pair<std::string, sim::SimTime>> evaluated;
 };
 
-Result<PlacementSearchResult> SearchPlacements(const LogicalNode& root,
-                                               const Catalog& catalog,
-                                               DeviceManager* manager,
-                                               const ExecutionOptions& options);
+/// `calibration`, when given, rescales the heterogeneous candidate's
+/// model-predicted split ratios with observed per-device cost ratios from
+/// earlier runs (the split feedback loop).
+Result<PlacementSearchResult> SearchPlacements(
+    const LogicalNode& root, const Catalog& catalog, DeviceManager* manager,
+    const ExecutionOptions& options,
+    const SplitCalibration* calibration = nullptr);
 
 /// Prediction of the device-parallel model's host-merge overhead for a
 /// lowered graph. Interior (non-terminal) pipeline breakers force a full
@@ -48,7 +58,9 @@ struct MergeCostEstimate {
   /// Predicted wire + host time of all interior-breaker merges (us).
   sim::SimTime merge_cost_us = 0;
   /// Predicted compute saving vs the single-device baseline:
-  /// baseline * (1 - 1/N) for an N-device split.
+  /// baseline * (1 - max_share) — for an even N-way split that is the
+  /// familiar baseline * (1 - 1/N); an asymmetric split is bounded by its
+  /// largest partition.
   sim::SimTime savings_us = 0;
   /// Nominal (unscaled) bytes of interior-breaker persists.
   size_t interior_persist_bytes = 0;
@@ -56,18 +68,31 @@ struct MergeCostEstimate {
   bool merge_dominated = false;
 };
 
+/// `split`, when non-empty, holds the per-device shares (parallel to
+/// `device_set`, any positive scale): savings shrink to the largest share's
+/// partition, and each device's round-trip is priced with its *own*
+/// transfer model instead of assuming the set is homogeneous.
 Result<MergeCostEstimate> EstimateDeviceParallelMerge(
     const PrimitiveGraph& graph, DeviceManager* manager,
-    const std::vector<DeviceId>& device_set, sim::SimTime baseline_elapsed_us);
+    const std::vector<DeviceId>& device_set, sim::SimTime baseline_elapsed_us,
+    const std::vector<double>& split = {});
 
 /// Pick a device set for the device-parallel execution model: the largest
 /// group of plugged devices sharing one performance model (identical
-/// hardware — a chunk split across unlike devices is dominated by the
-/// slowest partition), truncated to max_devices (0 = no limit). Returns the
-/// ids sorted ascending; a single-element set means device-parallel
+/// hardware — an *even* chunk split across unlike devices is dominated by
+/// the slowest partition), truncated to max_devices (0 = no limit). Returns
+/// the ids sorted ascending; a single-element set means device-parallel
 /// degenerates to chunked and is not worth dispatching.
 Result<std::vector<DeviceId>> ChooseDeviceSet(DeviceManager* manager,
                                               size_t max_devices);
+
+/// Heterogeneous variant: every plugged device, regardless of performance
+/// model — viable since the driver splits the chunk range by cost ratio
+/// rather than evenly, so a slow device takes a proportionally small slice
+/// instead of dominating the join. NotFound when the manager's devices all
+/// share one model (the homogeneous chooser covers that case).
+Result<std::vector<DeviceId>> ChooseHeterogeneousDeviceSet(
+    DeviceManager* manager, size_t max_devices);
 
 }  // namespace adamant::plan
 

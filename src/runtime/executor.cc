@@ -92,6 +92,25 @@ Status ValidateExecutionOptions(const ExecutionOptions& options) {
         "pipeline_depth must be at most 1024, got " +
         std::to_string(options.pipeline_depth));
   }
+  if (!options.device_split.empty()) {
+    if (options.model != ExecutionModelKind::kDeviceParallel) {
+      return Status::InvalidArgument(
+          "device_split only applies to the device-parallel model");
+    }
+    if (options.device_set.empty() ||
+        options.device_split.size() != options.device_set.size()) {
+      return Status::InvalidArgument(
+          "device_split must name one share per device_set entry (" +
+          std::to_string(options.device_split.size()) + " shares for " +
+          std::to_string(options.device_set.size()) + " devices)");
+    }
+    for (double share : options.device_split) {
+      if (!(share > 0) || share > 1e9) {
+        return Status::InvalidArgument(
+            "device_split shares must be positive finite values");
+      }
+    }
+  }
   return Status::OK();
 }
 

@@ -80,6 +80,20 @@ struct ExecutionOptions {
   /// across. Empty = every plugged device. Other models ignore it (their
   /// placement comes from the graph's node annotations).
   std::vector<DeviceId> device_set;
+  /// Device-parallel model only: explicit per-device split shares, parallel
+  /// to `device_set` (same order; need not sum to 1 — they are normalized).
+  /// Empty = the driver derives throughput-proportional shares from each
+  /// device's perf model (exec::EstimateDeviceCosts). The planner/service
+  /// set this when their ratio search (possibly feedback-calibrated) has a
+  /// better answer than the raw model.
+  std::vector<double> device_split;
+  /// Device-parallel model only: bounded runtime rebalancing. When a
+  /// partition exhausts its chunk range ahead of the others on the
+  /// *simulated* clock, it steals whole chunks from the slowest partition's
+  /// unclaimed tail, keeping every range contiguous. Results stay
+  /// bit-identical either way; only the schedule (and the simulated elapsed
+  /// time) changes. On by default — a correct static split steals nothing.
+  bool split_rebalance = true;
   /// Task-layer kernel variant stamped onto every launch: kAuto defers to
   /// each device's policy (CPU drivers run parallel natively, GPU drivers
   /// scalar); kScalar/kParallel force one variant engine-wide. Kernels
@@ -181,6 +195,16 @@ struct QueryStats {
   /// breaker outputs. Empty / 0 for single-device models.
   std::map<int, size_t> chunks_by_device;
   double merge_host_ms = 0;
+  /// Device-parallel model: the planned split share per device (normalized,
+  /// before any runtime rebalancing), chunks each device took from another
+  /// partition's tail, and the predicted vs observed per-chunk simulated
+  /// cost per device. The observed/predicted pair is what the service feeds
+  /// into plan::SplitCalibration so the next compile's ratio search
+  /// converges toward measured speed. Empty for single-device models.
+  std::map<int, double> split_ratio_by_device;
+  std::map<int, size_t> chunks_stolen_by_device;
+  std::map<int, double> split_predicted_chunk_us;
+  std::map<int, double> split_observed_chunk_us;
   size_t bytes_h2d = 0;
   size_t bytes_d2h = 0;
   /// Scan-cache effect on this run (0 when no cache is attached).

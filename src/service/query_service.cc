@@ -9,6 +9,7 @@
 #include "plan/lowering.h"
 #include "sql/engine.h"
 #include "obs/trace.h"
+#include "runtime/exec/hetero_split.h"
 #include "runtime/executor.h"
 
 namespace adamant {
@@ -596,6 +597,20 @@ void QueryService::WorkerLoop() {
           obs::RecordPlanQErrors(&metrics_, query->spec.name,
                                  run_stats.profile.operators);
         }
+        if (ok) {
+          // Split feedback: per-device predicted vs observed chunk cost
+          // from a device-parallel run refines the next lease's split
+          // ratios (device name, not id — the ratio transfers across
+          // lease compositions).
+          for (const auto& [dev, predicted] :
+               run_stats.split_predicted_chunk_us) {
+            auto it = run_stats.split_observed_chunk_us.find(dev);
+            if (it == run_stats.split_observed_chunk_us.end()) continue;
+            split_calibration_.Observe(
+                manager_->device(static_cast<DeviceId>(dev))->name(),
+                predicted, it->second);
+          }
+        }
         if (config_.history_capacity > 0) {
           QueryHistoryEntry entry;
           entry.id = ++history_seq_;
@@ -749,6 +764,48 @@ Result<QueryExecution> QueryService::RunOne(
     // range splits across — whatever device_set the spec carried is
     // replaced by the leased set.
     options.device_set = devices;
+    std::vector<double> explicit_split = std::move(options.device_split);
+    options.device_split.clear();
+    if (devices.size() > 1 && explicit_split.size() == devices.size()) {
+      // An explicit submitter split (run_tpch --split, forced-imbalance
+      // experiments) overrides the cost model, but only when it lines up
+      // with the leased set one-to-one — a split sized for a different
+      // device_set than the scheduler granted is meaningless.
+      options.device_split =
+          exec::NormalizeSplit(std::move(explicit_split), devices.size());
+    } else if (devices.size() > 1) {
+      // Cost-ratio split over the leased set — heterogeneous leases (mixed
+      // device classes) get throughput-proportional shares instead of the
+      // driver's raw model estimate, rescaled by what earlier runs actually
+      // observed per device (split_calibration_). A device whose calibrated
+      // share is negligible is dropped from the partition set entirely: its
+      // slot stays leased (the scheduler already charged it), but running a
+      // sliver partition would cost more in merge round-trips than the
+      // sliver saves.
+      auto estimates =
+          exec::EstimateDeviceCosts(*graph, manager_, devices, options);
+      if (estimates.ok()) {
+        std::vector<double> weights = exec::ThroughputWeights(*estimates);
+        std::vector<std::string> names;
+        names.reserve(devices.size());
+        for (DeviceId d : devices) names.push_back(manager_->device(d)->name());
+        weights = split_calibration_.CalibrateWeights(names, std::move(weights));
+        constexpr double kMinShare = 0.04;
+        std::vector<DeviceId> kept;
+        std::vector<double> kept_weights;
+        for (size_t i = 0; i < devices.size(); ++i) {
+          if (weights[i] >= kMinShare) {
+            kept.push_back(devices[i]);
+            kept_weights.push_back(weights[i]);
+          }
+        }
+        if (!kept.empty() && kept.size() < devices.size()) {
+          options.device_set = kept;
+          weights = exec::NormalizeSplit(std::move(kept_weights), kept.size());
+        }
+        options.device_split = std::move(weights);
+      }
+    }
   }
   // With exclusive device leases each run may reset its device's clocks and
   // counters; with shared devices that would clobber a neighbour mid-run.

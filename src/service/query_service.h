@@ -240,6 +240,14 @@ class QueryService {
   /// resubmitting a query name tightens its estimates run over run.
   const plan::SelectivityFeedback& feedback() const { return feedback_; }
 
+  /// Per-device split calibration fed by completed device-parallel runs:
+  /// the observed/predicted per-chunk cost ratio per device name. RunOne
+  /// rescales the cost-model split of the next multi-device lease with it,
+  /// so heterogeneous splits converge on observed throughput.
+  const plan::SplitCalibration& split_calibration() const {
+    return split_calibration_;
+  }
+
   /// JSON dump of the query-history ring (most recent first; slow entries
   /// carry their full EXPLAIN ANALYZE profile) plus the feedback cache.
   /// Served by run_tpch --serve --history=PATH.
@@ -304,6 +312,9 @@ class QueryService {
   /// Observed-selectivity cache (internally synchronized; locked after mu_
   /// when both are held).
   plan::SelectivityFeedback feedback_;
+  /// Observed/predicted chunk-cost ratios per device name (internally
+  /// synchronized; locked after mu_ when both are held).
+  plan::SplitCalibration split_calibration_;
   /// Bounded completed-query ring, newest at the back (guarded by mu_).
   std::deque<QueryHistoryEntry> history_;
   uint64_t history_seq_ = 0;

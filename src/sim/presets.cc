@@ -1,5 +1,7 @@
 #include "sim/presets.h"
 
+#include <cstdio>
+
 #include "common/logging.h"
 #include "common/units.h"
 
@@ -207,6 +209,24 @@ DevicePerfModel MakePerfModel(DriverKind kind, HardwareSetup setup) {
       break;
   }
   return m;
+}
+
+DevicePerfModel ScalePerfModel(DevicePerfModel model, double compute_factor,
+                               double transfer_factor) {
+  for (auto& [name, profile] : model.kernels) {
+    (void)name;
+    profile.tuples_per_us *= compute_factor;
+  }
+  model.default_kernel.tuples_per_us *= compute_factor;
+  model.transfer.h2d_pageable_gibps *= transfer_factor;
+  model.transfer.h2d_pinned_gibps *= transfer_factor;
+  model.transfer.d2h_pageable_gibps *= transfer_factor;
+  model.transfer.d2h_pinned_gibps *= transfer_factor;
+  char suffix[48];
+  std::snprintf(suffix, sizeof(suffix), "[x%.2g/x%.2g]", compute_factor,
+                transfer_factor);
+  model.name += suffix;
+  return model;
 }
 
 }  // namespace adamant::sim

@@ -27,6 +27,17 @@ bool IsGpuDriver(DriverKind kind);
 /// reports in Figs. 3, 5, 9 and 10.
 DevicePerfModel MakePerfModel(DriverKind kind, HardwareSetup setup);
 
+/// Derives a uniformly faster/slower variant of `model` for heterogeneous
+/// device mixes: every kernel rate is multiplied by `compute_factor` and
+/// every transfer bandwidth by `transfer_factor` (latencies and host-side
+/// overheads are left alone — a slower part shares the same driver stack).
+/// The model is renamed with a "[xC/xT]" suffix so ChooseDeviceSet's
+/// perf-model-name grouping sees a distinct device class, while the
+/// driver-kind prefix survives for the kernel registry's CPU/GPU variant
+/// policy.
+DevicePerfModel ScalePerfModel(DevicePerfModel model, double compute_factor,
+                               double transfer_factor = 1.0);
+
 }  // namespace adamant::sim
 
 #endif  // ADAMANT_SIM_PRESETS_H_

@@ -305,13 +305,17 @@ TEST(PlacementSearch, FindsFastestCandidateAndAllAgree) {
   options.model = ExecutionModelKind::kChunked;
   auto search = SearchPlacements(**logical, **catalog, &manager, options);
   ASSERT_TRUE(search.ok()) << search.status().ToString();
-  // Two devices, three classes: 8 candidates evaluated.
-  EXPECT_EQ(search->evaluated.size(), 8u);
+  // Two devices, three classes: 8 grid candidates, plus the heterogeneous
+  // cost-ratio split across the unlike pair.
+  EXPECT_EQ(search->evaluated.size(), 9u);
+  bool saw_hetero = false;
   for (const auto& [name, elapsed] : search->evaluated) {
+    if (name.rfind("device-parallel-hetero{", 0) == 0) saw_hetero = true;
     if (elapsed >= 0) {
       EXPECT_GE(elapsed, search->best_elapsed_us) << name;
     }
   }
+  EXPECT_TRUE(saw_hetero);
   EXPECT_FALSE(search->best_name.empty());
 
   // The winning policy produces the reference answer (placement never

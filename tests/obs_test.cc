@@ -620,6 +620,63 @@ TEST(QErrorTest, RecordPlanQErrorsFillsHistograms) {
       << text;
 }
 
+// --- Heterogeneous split metrics ---------------------------------------------
+
+// A device-parallel run with a deliberately mis-set split must expose the
+// per-device planned split ratio gauge and bump the process-wide steal
+// counter through the standard Prometheus exposition.
+TEST(MetricsTest, SplitRatioGaugeAndStealCounterExposed) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.002;
+  auto catalog = tpch::Generate(config);
+  ASSERT_TRUE(catalog.ok());
+
+  DeviceManager manager;
+  for (int i = 0; i < 2; ++i) {
+    auto device = manager.AddDriver(sim::DriverKind::kCudaGpu,
+                                    "split_gpu." + std::to_string(i));
+    ASSERT_TRUE(device.ok());
+    ASSERT_TRUE(BindStandardKernels(manager.device(*device)).ok());
+  }
+
+  const double stolen_before = obs::GlobalMetrics()
+                                   .GetCounter("adamant_chunks_stolen_total")
+                                   ->Value();
+  auto bundle = plan::BuildQ6(**catalog, {}, 0);
+  ASSERT_TRUE(bundle.ok());
+  ExecutionOptions options;
+  options.model = ExecutionModelKind::kDeviceParallel;
+  options.device_set = {0, 1};
+  options.device_split = {0.1, 0.9};  // mis-set: device 0 must steal
+  options.chunk_elems = 1024;         // many chunks → guaranteed stealing
+  QueryExecutor executor(&manager);
+  auto exec = executor.Run(bundle->graph.get(), options);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+
+  const std::string text = obs::GlobalMetrics().ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE adamant_split_ratio gauge"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("adamant_split_ratio{device=\"split_gpu.0\"} 0.1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("adamant_split_ratio{device=\"split_gpu.1\"} 0.9"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE adamant_chunks_stolen_total counter"),
+            std::string::npos)
+      << text;
+  const double stolen_after = obs::GlobalMetrics()
+                                  .GetCounter("adamant_chunks_stolen_total")
+                                  ->Value();
+  EXPECT_GT(stolen_after, stolen_before);
+  size_t stolen_stats = 0;
+  for (const auto& [device, stolen] : exec->stats.chunks_stolen_by_device) {
+    stolen_stats += stolen;
+  }
+  EXPECT_DOUBLE_EQ(stolen_after - stolen_before,
+                   static_cast<double>(stolen_stats));
+}
+
 // --- Counter ('C') trace events ---------------------------------------------
 
 TEST(TraceValidationTest, CounterSeriesMustBeMonotonic) {

@@ -10,7 +10,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "adamant/adamant.h"
@@ -338,6 +340,149 @@ TEST(ParityMatrixTest, EstimateUpperBoundsHighWaterForAllModels) {
       }
     }
   }
+}
+
+// --- Heterogeneous split ----------------------------------------------------
+
+// Fast + slow device pair for the heterogeneous matrix: device 0 is the
+// stock cuda_gpu driver, device 1 is the same model with 4x slower compute
+// and a slower bus (the bench_hetero_split profile), so the cost-ratio
+// search genuinely produces an asymmetric split.
+std::unique_ptr<DeviceManager> HeteroManager() {
+  auto manager = std::make_unique<DeviceManager>();
+  auto fast = manager->AddDriver(sim::DriverKind::kCudaGpu, "cuda_fast.0");
+  ADAMANT_CHECK(fast.ok()) << fast.status().ToString();
+  ADAMANT_CHECK(BindStandardKernels(manager->device(*fast)).ok());
+  DriverProps props =
+      MakeDriverProps(sim::DriverKind::kCudaGpu, manager->setup());
+  props.model = sim::ScalePerfModel(props.model, 0.25, 0.7);
+  auto slow = manager->AddDevice(std::make_unique<SimulatedDevice>(
+      "cuda_slow.1", std::move(props.model), props.format,
+      props.runtime_compile, manager->sim_context()));
+  ADAMANT_CHECK(slow.ok()) << slow.status().ToString();
+  ADAMANT_CHECK(BindStandardKernels(manager->device(*slow)).ok());
+  return manager;
+}
+
+// Q3/Q4/Q6 across the fast+slow pair, cost-ratio split, with runtime
+// rebalancing on and off: every run must match the host reference bit for
+// bit — stealing may move chunks between devices but never changes results.
+TEST(ParityMatrixTest, HeterogeneousSplitBitIdenticalWithAndWithoutRebalance) {
+  const auto& fixture = MatrixFixture::Get();
+  const Catalog& catalog = *fixture.catalog;
+  struct Case {
+    const char* name;
+    std::function<Result<plan::PlanBundle>(DeviceId)> build;
+    std::function<void(const plan::PlanBundle&, const QueryExecution&,
+                       const char*)>
+        check;
+  };
+  const Case kCases[] = {
+      {"Q3", [&](DeviceId d) { return plan::BuildQ3(catalog, {}, d); },
+       [&](const plan::PlanBundle& bundle, const QueryExecution& exec,
+           const char* tag) {
+         auto want = tpch::Q3Reference(catalog, {});
+         ASSERT_TRUE(want.ok());
+         auto rows = plan::ExtractQ3(bundle, exec, catalog, {});
+         ASSERT_TRUE(rows.ok()) << tag;
+         EXPECT_EQ(*rows, *want) << tag;
+       }},
+      {"Q4", [&](DeviceId d) { return plan::BuildQ4(catalog, {}, d); },
+       [&](const plan::PlanBundle& bundle, const QueryExecution& exec,
+           const char* tag) {
+         auto want = tpch::Q4Reference(catalog, {});
+         ASSERT_TRUE(want.ok());
+         auto rows = plan::ExtractQ4(bundle, exec);
+         ASSERT_TRUE(rows.ok()) << tag;
+         EXPECT_EQ(*rows, *want) << tag;
+       }},
+      {"Q6", [&](DeviceId d) { return plan::BuildQ6(catalog, {}, d); },
+       [&](const plan::PlanBundle& bundle, const QueryExecution& exec,
+           const char* tag) {
+         auto want = tpch::Q6Reference(catalog, {});
+         ASSERT_TRUE(want.ok());
+         auto revenue = plan::ExtractQ6(bundle, exec);
+         ASSERT_TRUE(revenue.ok()) << tag;
+         EXPECT_EQ(*revenue, *want) << tag;
+       }}};
+  auto manager = HeteroManager();
+  for (const Case& c : kCases) {
+    auto bundle = c.build(0);
+    ASSERT_TRUE(bundle.ok());
+    ASSERT_TRUE(ApplyEnvFusion(&*bundle).ok());
+    for (bool rebalance : {true, false}) {
+      SCOPED_TRACE(std::string(c.name) +
+                   (rebalance ? "/rebalance" : "/static"));
+      ExecutionOptions options = OptionsFor(ExecutionModelKind::kDeviceParallel);
+      options.split_rebalance = rebalance;
+      QueryExecutor executor(manager.get());
+      auto exec = executor.Run(bundle->graph.get(), options);
+      ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+      // The driver must have recorded an asymmetric cost-ratio split for
+      // the pair (fast share strictly above even).
+      ASSERT_EQ(exec->stats.split_ratio_by_device.size(), 2u);
+      EXPECT_GT(exec->stats.split_ratio_by_device.begin()->second, 0.5);
+      c.check(*bundle, *exec, c.name);
+    }
+  }
+}
+
+// Seeded mid-run cancellation on a deliberately asymmetric split: the
+// canceller fires at a randomized point while the rebalancer is stealing
+// from the overloaded slow device. Every cancelled run must unwind cleanly
+// as Cancelled, and every surviving (and one final clean) run must stay
+// bit-identical to the reference.
+TEST(ParityMatrixTest, HeterogeneousSeededCancellationOnAsymmetricSplit) {
+  const auto& fixture = MatrixFixture::Get();
+  auto manager = HeteroManager();
+  auto bundle = plan::BuildQ6(*fixture.catalog, {}, 0);
+  ASSERT_TRUE(bundle.ok());
+  ASSERT_TRUE(ApplyEnvFusion(&*bundle).ok());
+  auto want = tpch::Q6Reference(*fixture.catalog, {});
+  ASSERT_TRUE(want.ok());
+
+  std::mt19937 rng(29);
+  std::uniform_int_distribution<int> delay_us(0, 4000);
+  size_t cancelled_runs = 0;
+  for (int iter = 0; iter < 6; ++iter) {
+    CancelToken token;
+    // Iteration 0 cancels before dispatch (deterministically Cancelled);
+    // the rest fire at a randomized point of the run.
+    if (iter == 0) token.Cancel(CancelCause::kUser, "pre-dispatch cancel");
+    std::thread canceller([&token, delay = delay_us(rng)] {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      token.Cancel(CancelCause::kUser, "hetero soak cancel");
+    });
+    ExecutionOptions options = OptionsFor(ExecutionModelKind::kDeviceParallel);
+    // Mis-set split (most work on the slow device) so rebalancing steals
+    // while the cancel lands.
+    options.device_split = {0.2, 0.8};
+    options.cancel_token = &token;
+    QueryExecutor executor(manager.get());
+    auto exec = executor.Run(bundle->graph.get(), options);
+    canceller.join();
+    if (exec.ok()) {
+      auto revenue = plan::ExtractQ6(*bundle, *exec);
+      ASSERT_TRUE(revenue.ok());
+      EXPECT_EQ(*revenue, *want) << "surviving run, iter " << iter;
+    } else {
+      EXPECT_TRUE(exec.status().IsCancelled()) << exec.status().ToString();
+      ++cancelled_runs;
+    }
+  }
+  // A clean run after the soak: the devices are perfectly reusable.
+  ExecutionOptions clean = OptionsFor(ExecutionModelKind::kDeviceParallel);
+  clean.device_split = {0.2, 0.8};
+  QueryExecutor executor(manager.get());
+  auto exec = executor.Run(bundle->graph.get(), clean);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  auto revenue = plan::ExtractQ6(*bundle, *exec);
+  ASSERT_TRUE(revenue.ok());
+  EXPECT_EQ(*revenue, *want);
+  // With a zero-to-4ms fuse across six iterations at least one cancel
+  // should land mid-run; if the runs got too fast to ever catch, that is
+  // worth noticing rather than silently passing.
+  EXPECT_GT(cancelled_runs, 0u);
 }
 
 }  // namespace

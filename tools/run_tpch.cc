@@ -74,6 +74,15 @@
 //                     and runs the query device-parallel across them,
 //                     reporting the per-device chunk split and host merge
 //                     time as a JSON line. A bare count N means 0..N-1.
+//                     Driver names build a mixed-class set instead:
+//                     --devices=cuda_gpu,openmp_cpu plugs one device per
+//                     named class and splits the chunk range across the
+//                     heterogeneous pair by cost ratio.
+//   --split=LIST      (single-query mode, device-parallel) explicit split
+//                     shares, one per --devices entry (any positive scale,
+//                     e.g. --split=3,1); overrides the cost-model ratios.
+//   --no-rebalance    disable runtime chunk stealing between partitions
+//                     (the static split ratio is final)
 //
 // Serve mode (the service layer of src/service/): replays a seeded mixed
 // Q3/Q4/Q6 workload through the QueryService scheduler, verifies every
@@ -126,6 +135,7 @@
 //                     runs report identical failure counters
 
 #include <algorithm>
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -183,6 +193,13 @@ struct Options {
   /// Single-query mode: parsed --devices list (kDeviceParallel partition
   /// set). Empty = the flag was absent or serve mode owns it.
   std::vector<DeviceId> device_set;
+  /// Single-query mode: driver-class names from a non-numeric --devices
+  /// list (mixed heterogeneous set); parallel to device_set when non-empty.
+  std::vector<std::string> device_classes;
+  /// --split: explicit per-device shares, parallel to device_set.
+  std::vector<double> device_split;
+  /// --no-rebalance: freeze the static split (no chunk stealing).
+  bool no_rebalance = false;
   bool no_cache = false;
   double fault_rate = 0;
   uint64_t fault_seed = 13;
@@ -257,20 +274,33 @@ Result<Options> ParseArgs(int argc, char** argv) {
     } else if (ParseFlag(arg, "devices", &value)) {
       // Comma-separated ids select a device-parallel partition set; a bare
       // count keeps the serve-mode meaning (N instances) and, in
-      // single-query mode, expands to ids 0..N-1.
-      if (value.find(',') != std::string::npos) {
+      // single-query mode, expands to ids 0..N-1. Driver-class names
+      // (--devices=cuda_gpu,openmp_cpu) plug a mixed heterogeneous set.
+      if (value.find(',') != std::string::npos ||
+          (!value.empty() && !std::isdigit(static_cast<unsigned char>(
+                                 value.front())))) {
+        std::vector<std::string> tokens;
         size_t pos = 0;
-        while (pos < value.size()) {
+        while (pos <= value.size()) {
           const size_t comma = value.find(',', pos);
           const std::string tok =
               value.substr(pos, comma == std::string::npos ? std::string::npos
                                                            : comma - pos);
-          if (!tok.empty()) {
-            options.device_set.push_back(
-                static_cast<DeviceId>(std::stoi(tok)));
-          }
+          if (!tok.empty()) tokens.push_back(tok);
           if (comma == std::string::npos) break;
           pos = comma + 1;
+        }
+        const bool named =
+            !tokens.empty() &&
+            !std::isdigit(static_cast<unsigned char>(tokens.front().front()));
+        for (size_t t = 0; t < tokens.size(); ++t) {
+          if (named) {
+            options.device_classes.push_back(tokens[t]);
+            options.device_set.push_back(static_cast<DeviceId>(t));
+          } else {
+            options.device_set.push_back(
+                static_cast<DeviceId>(std::stoi(tokens[t])));
+          }
         }
         options.devices = options.device_set.size();
       } else {
@@ -279,6 +309,19 @@ Result<Options> ParseArgs(int argc, char** argv) {
           options.device_set.push_back(static_cast<DeviceId>(d));
         }
       }
+    } else if (ParseFlag(arg, "split", &value)) {
+      size_t pos = 0;
+      while (pos <= value.size()) {
+        const size_t comma = value.find(',', pos);
+        const std::string tok =
+            value.substr(pos, comma == std::string::npos ? std::string::npos
+                                                         : comma - pos);
+        if (!tok.empty()) options.device_split.push_back(std::stod(tok));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg == "--no-rebalance") {
+      options.no_rebalance = true;
     } else if (ParseFlag(arg, "fault-rate", &value)) {
       options.fault_rate = std::stod(value);
     } else if (ParseFlag(arg, "fault-seed", &value)) {
@@ -356,7 +399,9 @@ ExecutionOptions MakeExecOptions(const Options& options,
   if (!options.device_set.empty()) {
     exec_options.model = ExecutionModelKind::kDeviceParallel;
     exec_options.device_set = options.device_set;
+    exec_options.device_split = options.device_split;
   }
+  exec_options.split_rebalance = !options.no_rebalance;
   exec_options.collect_profile = options.profile;
   exec_options.collect_operator_stats = options.explain_analyze;
   exec_options.kernel_variant = *ParseKernelVariant(options.kernel_variant);
@@ -470,6 +515,33 @@ void PrintExplainAnalyze(const std::string& title,
               cost_q_max, cost_n);
 }
 
+// --explain (device-parallel): the chosen device set with per-device split
+// ratios and the predicted per-partition cost (share x the graph priced on
+// that device), next to the primitive-graph / placement output.
+void PrintSplitExplain(DeviceManager* manager, const PrimitiveGraph& graph,
+                       const ExecutionOptions& exec_options) {
+  if (exec_options.model != ExecutionModelKind::kDeviceParallel ||
+      exec_options.device_set.size() < 2) {
+    return;
+  }
+  auto estimates = exec::EstimateDeviceCosts(
+      graph, manager, exec_options.device_set, exec_options);
+  if (!estimates.ok()) return;
+  const std::vector<double> weights =
+      exec_options.device_split.empty()
+          ? exec::ThroughputWeights(*estimates)
+          : exec::NormalizeSplit(exec_options.device_split,
+                                 exec_options.device_set.size());
+  std::printf("split:");
+  for (size_t i = 0; i < exec_options.device_set.size(); ++i) {
+    std::printf(" %s=%.3f (predicted %.3f ms/partition)",
+                manager->device(exec_options.device_set[i])->name().c_str(),
+                weights[i],
+                sim::MsFromUs((*estimates)[i].total_cost_us * weights[i]));
+  }
+  std::printf(" rebalance=%s\n", exec_options.split_rebalance ? "on" : "off");
+}
+
 void PrintStats(const QueryExecution& exec, DeviceId device) {
   const QueryStats& stats = exec.stats;
   std::printf("    elapsed %.3f ms | kernels %.3f ms | wire %.3f ms | "
@@ -543,17 +615,18 @@ Status RunQuery(const std::string& query, const Catalog& catalog,
   ADAMANT_ASSIGN_OR_RETURN(plan::FusionReport fusion,
                            plan::ApplyFusion(&bundle, exec_options, manager));
 
-  if (options.explain) {
-    PrintExplain("Q" + query, bundle, manager, exec_options, fusion);
-    return Status::OK();
-  }
-
   if (options.chunk == "auto") {
     ADAMANT_ASSIGN_OR_RETURN(
         exec_options.chunk_elems,
         SuggestChunkElems(*manager->device(device), *bundle.graph));
   } else {
     exec_options.chunk_elems = std::stoull(options.chunk);
+  }
+
+  if (options.explain) {
+    PrintExplain("Q" + query, bundle, manager, exec_options, fusion);
+    PrintSplitExplain(manager, *bundle.graph, exec_options);
+    return Status::OK();
   }
 
   // With a service attached (--trace), the query goes through Submit so the
@@ -627,19 +700,37 @@ Status RunQuery(const std::string& query, const Catalog& catalog,
                            exec.stats.profile.operators);
   }
   if (exec_options.model == ExecutionModelKind::kDeviceParallel) {
-    // Machine-readable split report: which device ran how many chunks, and
-    // the host time spent merging partition breaker containers.
+    // Machine-readable split report: which device ran how many chunks, the
+    // planned split ratio per device, how many chunks each partition stole
+    // at runtime, and the host time spent merging breaker containers.
     std::string chunks_json;
     for (const auto& [dev_id, count] : exec.stats.chunks_by_device) {
       if (!chunks_json.empty()) chunks_json += ",";
       chunks_json += "\"" + std::to_string(dev_id) +
                      "\":" + std::to_string(count);
     }
+    std::string split_json;
+    for (const auto& [dev_id, ratio] : exec.stats.split_ratio_by_device) {
+      if (!split_json.empty()) split_json += ",";
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "\"%d\":%.4f", dev_id, ratio);
+      split_json += buf;
+    }
+    std::string stolen_json;
+    for (const auto& [dev_id, count] : exec.stats.chunks_stolen_by_device) {
+      if (!stolen_json.empty()) stolen_json += ",";
+      stolen_json += "\"" + std::to_string(dev_id) +
+                     "\":" + std::to_string(count);
+    }
     std::printf("    {\"query\":\"%s\",\"model\":\"device-parallel\","
                 "\"devices\":%zu,\"chunks_by_device\":{%s},"
+                "\"split_ratio\":{%s},\"chunks_stolen\":{%s},"
+                "\"rebalance\":%s,"
                 "\"merge_host_ms\":%.4f,\"elapsed_ms\":%.3f}\n",
                 query.c_str(), options.device_set.size(),
-                chunks_json.c_str(), exec.stats.merge_host_ms,
+                chunks_json.c_str(), split_json.c_str(), stolen_json.c_str(),
+                exec_options.split_rebalance ? "true" : "false",
+                exec.stats.merge_host_ms,
                 sim::MsFromUs(exec.stats.elapsed_us));
   }
 
@@ -799,6 +890,24 @@ Status RunSql(const Catalog& catalog, DeviceManager* manager, DeviceId device,
                 placement.best_name.c_str(),
                 sim::MsFromUs(placement.best_elapsed_us),
                 placement.evaluated.size());
+    if (!placement.best_device_set.empty()) {
+      // The winner is a device-parallel split: the chosen set with each
+      // device's split ratio and predicted per-partition cost.
+      std::printf("split:");
+      for (size_t i = 0; i < placement.best_device_set.size(); ++i) {
+        std::printf(" %s=%.3f",
+                    manager->device(placement.best_device_set[i])
+                        ->name()
+                        .c_str(),
+                    placement.best_split[i]);
+        if (i < placement.best_partition_cost_us.size()) {
+          std::printf(" (predicted %.3f ms/partition)",
+                      sim::MsFromUs(placement.best_partition_cost_us[i]));
+        }
+      }
+      std::printf("\n");
+    }
+    PrintSplitExplain(manager, *bundle.graph, exec_options);
     return Status::OK();
   }
 
@@ -1249,18 +1358,34 @@ Status Run(const Options& options, int* exit_code) {
   DeviceManager manager(options.setup == 2 ? sim::HardwareSetup::kSetup2
                                            : sim::HardwareSetup::kSetup1);
   manager.SetDataScale(options.nominal_sf / options.sf);
-  ADAMANT_ASSIGN_OR_RETURN(DeviceId device, manager.AddDriver(kind));
-  ADAMANT_RETURN_NOT_OK(BindStandardKernels(manager.device(device)));
-  if (!options.device_set.empty()) {
-    // Device-parallel run: plug enough instances of the chosen driver to
-    // cover every id in --devices (device 0 is already plugged above).
-    const DeviceId max_id = *std::max_element(options.device_set.begin(),
-                                              options.device_set.end());
-    for (DeviceId id = 1; id <= max_id; ++id) {
+  DeviceId device = 0;
+  if (!options.device_classes.empty()) {
+    // Heterogeneous device-parallel run: one device per named driver class,
+    // in --devices order; the chunk range splits across the mixed set by
+    // cost ratio.
+    for (size_t i = 0; i < options.device_classes.size(); ++i) {
+      ADAMANT_ASSIGN_OR_RETURN(sim::DriverKind class_kind,
+                               DriverFromName(options.device_classes[i]));
       ADAMANT_ASSIGN_OR_RETURN(
           DeviceId added,
-          manager.AddDriver(kind, options.driver + "." + std::to_string(id)));
+          manager.AddDriver(class_kind, options.device_classes[i] + "." +
+                                            std::to_string(i)));
       ADAMANT_RETURN_NOT_OK(BindStandardKernels(manager.device(added)));
+    }
+  } else {
+    ADAMANT_ASSIGN_OR_RETURN(device, manager.AddDriver(kind));
+    ADAMANT_RETURN_NOT_OK(BindStandardKernels(manager.device(device)));
+    if (!options.device_set.empty()) {
+      // Device-parallel run: plug enough instances of the chosen driver to
+      // cover every id in --devices (device 0 is already plugged above).
+      const DeviceId max_id = *std::max_element(options.device_set.begin(),
+                                                options.device_set.end());
+      for (DeviceId id = 1; id <= max_id; ++id) {
+        ADAMANT_ASSIGN_OR_RETURN(
+            DeviceId added, manager.AddDriver(kind, options.driver + "." +
+                                                        std::to_string(id)));
+        ADAMANT_RETURN_NOT_OK(BindStandardKernels(manager.device(added)));
+      }
     }
   }
   if (!options.sim_trace_path.empty()) {
